@@ -1,0 +1,70 @@
+// Ablation — cost of the location-independence contract.
+//
+// Items crossing simulated node boundaries are serialised and deserialised
+// (§4.1 requires transparent serialisation). This ablation measures what the
+// round-trip costs by toggling it off — the delta is the price the runtime
+// pays to keep the simulation honest, and what a colocated deployment saves.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/kv.h"
+#include "src/apps/workloads.h"
+
+namespace sdg::bench {
+namespace {
+
+constexpr size_t kValueSize = 512;
+
+double RunOnce(bool serialize, double seconds) {
+  apps::KvOptions opt;
+  opt.partitions = 2;
+  auto g = apps::BuildKvSdg(opt);
+  if (!g.ok()) {
+    return 0;
+  }
+  runtime::ClusterOptions copts;
+  copts.num_nodes = 2;
+  copts.serialize_cross_node = serialize;
+  runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(*g));
+  if (!d.ok()) {
+    return 0;
+  }
+  std::atomic<uint64_t> seed{3};
+  uint64_t injected = DriveLoad(seconds, 2, [&](int) {
+    thread_local apps::KvWorkload wl(100000, kValueSize, 0.5,
+                                     seed.fetch_add(1));
+    if (Backpressure(**d)) {
+      return false;
+    }
+    auto op = wl.Next();
+    if (op.type == apps::KvWorkload::OpType::kRead) {
+      return (*d)->Inject("get", Tuple{Value(op.key)}).ok();
+    }
+    return (*d)->Inject("put", Tuple{Value(op.key), Value(std::move(op.value))}).ok();
+  });
+  (*d)->Drain();
+  (*d)->Shutdown();
+  return static_cast<double>(injected) / seconds;
+}
+
+void Run() {
+  PrintHeader("Ablation A3", "cross-node serialisation cost");
+  const double seconds = MeasureSeconds(3.0);
+  double with = RunOnce(true, seconds);
+  double without = RunOnce(false, seconds);
+  std::printf("%-28s %16s\n", "mode", "tput (op/s)");
+  std::printf("%-28s %16.0f\n", "serialised boundaries", with);
+  std::printf("%-28s %16.0f\n", "zero-copy boundaries", without);
+  std::printf("serialisation overhead: %.1f%%\n",
+              without > 0 ? (1.0 - with / without) * 100.0 : 0.0);
+  PrintNote("2-partition KV store, 512 B values, 50/50 read/write");
+}
+
+}  // namespace
+}  // namespace sdg::bench
+
+int main() {
+  sdg::bench::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared plumbing for the per-figure reproduction benches.
+//
+// Every binary regenerates one table/figure of the paper's §6 and prints the
+// same rows/series the paper reports. Run durations are scaled for a single
+// machine; set SDG_BENCH_SECONDS to stretch the measurement window and
+// SDG_BENCH_SCALE (a float, default 1.0) to scale state sizes / key counts.
+#ifndef SDG_BENCH_BENCH_COMMON_H_
+#define SDG_BENCH_BENCH_COMMON_H_
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/runtime/cluster.h"
+
+namespace sdg::bench {
+
+inline double MeasureSeconds(double default_s) {
+  const char* env = std::getenv("SDG_BENCH_SECONDS");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return default_s;
+}
+
+inline double Scale() {
+  const char* env = std::getenv("SDG_BENCH_SCALE");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 1.0;
+}
+
+inline std::filesystem::path FreshBenchDir(const std::string& tag) {
+  auto dir = std::filesystem::temp_directory_path() / ("sdg_bench_" + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Tag carrying the injection time, for end-to-end request latency.
+inline uint64_t NowTag() { return static_cast<uint64_t>(Stopwatch::NowNanos()); }
+
+inline double LatencyMsFromTag(uint64_t tag) {
+  return static_cast<double>(Stopwatch::NowNanos() -
+                             static_cast<int64_t>(tag)) *
+         1e-6;
+}
+
+// Header/row helpers keeping all benches' output uniform.
+inline void PrintHeader(const std::string& figure, const std::string& title) {
+  std::printf("=== %s: %s ===\n", figure.c_str(), title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+// Open-loop load needs backpressure or reported latency is just unbounded
+// queue wait: when the deployment's aggregate mailbox depth passes `limit`,
+// callers should pause injection briefly. Returns true when overloaded.
+inline bool Backpressure(runtime::Deployment& d, size_t limit = 4096) {
+  if (d.TotalQueueDepth() > limit) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return true;
+  }
+  return false;
+}
+
+// Drives `inject` from `threads` threads as fast as possible for
+// `duration_s`; returns the number of successful injections.
+inline uint64_t DriveLoad(double duration_s, int threads,
+                          const std::function<bool(int thread_id)>& inject) {
+  std::atomic<uint64_t> injected{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (inject(t)) {
+          injected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(
+      std::chrono::nanoseconds(static_cast<int64_t>(duration_s * 1e9)));
+  stop = true;
+  for (auto& w : workers) {
+    w.join();
+  }
+  return injected.load();
+}
+
+}  // namespace sdg::bench
+
+#endif  // SDG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,109 @@
+// Fig. 5 — Online collaborative filtering: throughput and getRec latency as
+// the read/write ratio varies (1:5, 1:2, 1:1, 2:1, 5:1).
+//
+// Paper shape: ~10k-14k requests/s overall; throughput declines modestly as
+// the read share grows because every getRec crosses the partial-state
+// synchronisation barrier (one-to-all multiply + all-to-one merge).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/apps/cf.h"
+#include "src/apps/workloads.h"
+#include "src/common/rng.h"
+
+namespace sdg::bench {
+namespace {
+
+struct RatioPoint {
+  const char* label;
+  double read_fraction;  // getRec share of requests
+};
+
+void Run() {
+  PrintHeader("Fig. 5", "CF throughput/latency vs read:write ratio");
+  PrintNote("reads = getRec (global access + merge barrier), writes = addRating");
+
+  const double seconds = MeasureSeconds(3.0);
+  const double scale = Scale();
+  const auto num_users = static_cast<uint64_t>(2000 * scale);
+  const auto num_items = static_cast<uint64_t>(150 * scale);
+
+  const RatioPoint points[] = {
+      {"1:5", 1.0 / 6}, {"1:2", 1.0 / 3}, {"1:1", 0.5},
+      {"2:1", 2.0 / 3}, {"5:1", 5.0 / 6},
+  };
+
+  std::printf("%-8s %16s %14s %14s %14s\n", "ratio", "tput (req/s)",
+              "lat p50 (ms)", "lat p95 (ms)", "staleness ok");
+
+  for (const auto& point : points) {
+    apps::CfOptions opt;
+    opt.num_items = num_items;
+    opt.user_partitions = 2;
+    opt.cooc_replicas = 2;
+    auto t = apps::BuildCfSdg(opt);
+    if (!t.ok()) {
+      std::fprintf(stderr, "build failed: %s\n", t.status().ToString().c_str());
+      return;
+    }
+    runtime::ClusterOptions copts;
+    copts.num_nodes = 4;
+    copts.mailbox_capacity = 1 << 14;
+    runtime::Cluster cluster(copts);
+    auto d = cluster.Deploy(std::move(t->sdg));
+    if (!d.ok()) {
+      std::fprintf(stderr, "deploy failed: %s\n", d.status().ToString().c_str());
+      return;
+    }
+
+    Histogram latency_ms;
+    (void)(*d)->OnOutput("merge", [&](const Tuple&, uint64_t tag) {
+      if (tag != 0) {
+        latency_ms.Record(LatencyMsFromTag(tag));
+      }
+    });
+
+    // Warm the model so recommendations are non-trivial.
+    apps::RatingGenerator warmup(num_users, num_items, 1);
+    for (int i = 0; i < 3000; ++i) {
+      auto r = warmup.Next();
+      (void)(*d)->Inject("addRating",
+                         Tuple{Value(r.user), Value(r.item), Value(r.rating)});
+    }
+    (*d)->Drain();
+
+    std::atomic<uint64_t> seed{100};
+    uint64_t injected = DriveLoad(seconds, 2, [&](int thread_id) {
+      thread_local apps::RatingGenerator ratings(num_users, num_items,
+                                                 seed.fetch_add(1));
+      thread_local Rng rng(seed.fetch_add(1));
+      if (Backpressure(**d, 512)) {
+        return false;
+      }
+      if (rng.NextDouble() < point.read_fraction) {
+        auto user = static_cast<int64_t>(rng.NextBounded(num_users));
+        return (*d)->Inject("getRec", Tuple{Value(user)}, NowTag()).ok();
+      }
+      auto r = ratings.Next();
+      return (*d)
+          ->Inject("addRating",
+                   Tuple{Value(r.user), Value(r.item), Value(r.rating)})
+          .ok();
+    });
+    (*d)->Drain();
+
+    auto lat = latency_ms.Snapshot();
+    double tput = static_cast<double>(injected) / seconds;
+    std::printf("%-8s %16.0f %14.2f %14.2f %14s\n", point.label, tput, lat.p50,
+                lat.p95, lat.p95 < 1500.0 ? "yes" : "no");
+    (*d)->Shutdown();
+  }
+}
+
+}  // namespace
+}  // namespace sdg::bench
+
+int main() {
+  sdg::bench::Run();
+  return 0;
+}

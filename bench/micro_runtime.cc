@@ -1,0 +1,167 @@
+// Microbenchmarks of the runtime layer (google-benchmark): injection-to-sink
+// latency, partitioned hops, and the partial-state barrier as the replica
+// count grows — the building blocks behind the figure-level results.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/graph/sdg.h"
+#include "src/runtime/cluster.h"
+#include "src/state/keyed_dict.h"
+
+namespace sdg::runtime {
+namespace {
+
+using state::KeyedDict;
+using state::StateAs;
+using IntDict = KeyedDict<int64_t, int64_t>;
+
+// Blocks until the sink has delivered `expected` tuples.
+class SinkLatch {
+ public:
+  void Arrived() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+    cv_.notify_all();
+  }
+  void AwaitAndReset(uint64_t expected) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ >= expected; });
+    count_ = 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t count_ = 0;
+};
+
+void BM_InjectToSinkRoundTrip(benchmark::State& state) {
+  graph::SdgBuilder b;
+  auto echo = b.AddEntryTask("echo", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  (void)echo;
+  auto g = std::move(b).Build();
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  SinkLatch latch;
+  (void)(*d)->OnOutput("echo", [&](const Tuple&, uint64_t) { latch.Arrived(); });
+
+  for (auto _ : state) {
+    (void)(*d)->Inject("echo", Tuple{Value(1)});
+    latch.AwaitAndReset(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  (*d)->Shutdown();
+}
+BENCHMARK(BM_InjectToSinkRoundTrip);
+
+void BM_PartitionedPut(benchmark::State& state) {
+  const auto partitions = static_cast<uint32_t>(state.range(0));
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  (void)b.SetAccess(put, dict, graph::AccessMode::kPartitioned);
+  b.SetInitialInstances(put, partitions);
+  auto g = std::move(b).Build();
+  ClusterOptions o;
+  o.num_nodes = partitions;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+
+  int64_t k = 0;
+  for (auto _ : state) {
+    (void)(*d)->Inject("put", Tuple{Value(k++ % 10000), Value(k)});
+  }
+  (*d)->Drain();
+  state.SetItemsProcessed(state.iterations());
+  (*d)->Shutdown();
+}
+BENCHMARK(BM_PartitionedPut)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_PartialBarrierMerge(benchmark::State& state) {
+  // One global read: broadcast to k replicas, gather k partials, merge.
+  const auto replicas = static_cast<uint32_t>(state.range(0));
+  graph::SdgBuilder b;
+  auto acc = b.AddState("acc", graph::StateDistribution::kPartial,
+                        [] { return std::make_unique<IntDict>(); });
+  auto update = b.AddEntryTask("update", [](const Tuple& in,
+                                            graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), 1);
+  });
+  auto query = b.AddEntryTask("query", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  auto read = b.AddTask("read", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, Tuple{in[0],
+                      Value(StateAs<IntDict>(ctx.state())->Get(in[0].AsInt())
+                                .value_or(0))});
+  });
+  auto merge = b.AddCollectorTask(
+      "merge", [](const std::vector<Tuple>& partials, graph::TaskContext& ctx) {
+        int64_t total = 0;
+        for (const auto& p : partials) {
+          total += p[1].AsInt();
+        }
+        ctx.Emit(0, Tuple{partials[0][0], Value(total)});
+      });
+  (void)b.SetAccess(update, acc, graph::AccessMode::kLocal);
+  (void)b.SetAccess(read, acc, graph::AccessMode::kGlobal);
+  b.SetInitialInstances(update, replicas);
+  (void)b.Connect(query, read, graph::Dispatch::kOneToAll);
+  (void)b.Connect(read, merge, graph::Dispatch::kAllToOne);
+  auto g = std::move(b).Build();
+
+  ClusterOptions o;
+  o.num_nodes = replicas;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  SinkLatch latch;
+  (void)(*d)->OnOutput("merge", [&](const Tuple&, uint64_t) { latch.Arrived(); });
+
+  for (auto _ : state) {
+    (void)(*d)->Inject("query", Tuple{Value(7)});
+    latch.AwaitAndReset(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+  (*d)->Shutdown();
+}
+BENCHMARK(BM_PartialBarrierMerge)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DeploymentStartup(benchmark::State& state) {
+  // §3.4: materialising an SDG is the model's fixed cost ("50 TE and SE
+  // instances on 50 nodes within 7 s" on the paper's cluster). Here: one
+  // partitioned group scaled to `instances`, time to full deployment.
+  const auto instances = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    graph::SdgBuilder b;
+    auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                           [] { return std::make_unique<IntDict>(); });
+    auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+      StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+    });
+    (void)b.SetAccess(put, dict, graph::AccessMode::kPartitioned);
+    b.SetInitialInstances(put, instances);
+    auto g = std::move(b).Build();
+    ClusterOptions o;
+    o.num_nodes = instances;
+    Cluster cluster(o);
+    auto d = cluster.Deploy(std::move(*g));
+    benchmark::DoNotOptimize(d);
+    (*d)->Shutdown();
+  }
+}
+BENCHMARK(BM_DeploymentStartup)->Arg(4)->Arg(16)->Arg(50);
+
+}  // namespace
+}  // namespace sdg::runtime
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// Microbenchmarks of the state layer (google-benchmark): dirty-overlay cost,
+// serialisation, chunk split, and tuple round-trips. These quantify the
+// primitives behind the figure-level results (e.g. why async checkpoints are
+// cheap: a write during a checkpoint is one extra hash-map insert).
+#include <benchmark/benchmark.h>
+
+#include "src/common/value.h"
+#include "src/state/chunk.h"
+#include "src/state/keyed_dict.h"
+#include "src/state/sparse_matrix.h"
+#include "src/state/vector_state.h"
+
+namespace sdg {
+namespace {
+
+void BM_DictPut(benchmark::State& state) {
+  state::KeyedDict<int64_t, int64_t> dict;
+  int64_t k = 0;
+  for (auto _ : state) {
+    dict.Put(k++ % 100000, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictPut);
+
+void BM_DictPutDuringCheckpoint(benchmark::State& state) {
+  state::KeyedDict<int64_t, int64_t> dict;
+  for (int64_t i = 0; i < 100000; ++i) {
+    dict.Put(i, 1);
+  }
+  dict.BeginCheckpoint();
+  int64_t k = 0;
+  for (auto _ : state) {
+    dict.Put(k++ % 100000, 2);  // diverted to the dirty overlay
+  }
+  dict.EndCheckpoint();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictPutDuringCheckpoint);
+
+void BM_DictGet(benchmark::State& state) {
+  state::KeyedDict<int64_t, int64_t> dict;
+  for (int64_t i = 0; i < 100000; ++i) {
+    dict.Put(i, i);
+  }
+  int64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dict.Get(k++ % 100000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DictGet);
+
+void BM_DictSerialize(benchmark::State& state) {
+  state::KeyedDict<int64_t, int64_t> dict;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) {
+    dict.Put(i, i);
+  }
+  for (auto _ : state) {
+    size_t bytes = 0;
+    dict.SerializeRecords([&](uint64_t, const uint8_t*, size_t size) {
+      bytes += size;
+    });
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DictSerialize)->Arg(1000)->Arg(100000);
+
+void BM_EndCheckpointConsolidate(benchmark::State& state) {
+  const int64_t dirty = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    state::KeyedDict<int64_t, int64_t> dict;
+    for (int64_t i = 0; i < 100000; ++i) {
+      dict.Put(i, 1);
+    }
+    dict.BeginCheckpoint();
+    for (int64_t i = 0; i < dirty; ++i) {
+      dict.Put(i, 2);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(dict.EndCheckpoint());
+  }
+}
+BENCHMARK(BM_EndCheckpointConsolidate)->Arg(100)->Arg(10000);
+
+void BM_SparseMatrixAdd(benchmark::State& state) {
+  state::SparseMatrix m;
+  int64_t k = 0;
+  for (auto _ : state) {
+    m.Add(k % 1000, (k * 7) % 1000, 1.0);
+    ++k;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SparseMatrixAdd);
+
+void BM_SparseMatrixMultiply(benchmark::State& state) {
+  state::SparseMatrix m;
+  const size_t dim = state.range(0);
+  for (size_t r = 0; r < dim; ++r) {
+    for (size_t c = 0; c < 16; ++c) {
+      m.Set(static_cast<int64_t>(r), static_cast<int64_t>((r * 31 + c) % dim),
+            1.0);
+    }
+  }
+  std::vector<double> x(dim, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.MultiplyDense(x, dim));
+  }
+}
+BENCHMARK(BM_SparseMatrixMultiply)->Arg(256)->Arg(1024);
+
+void BM_VectorStateAdd(benchmark::State& state) {
+  state::VectorState v(4096);
+  size_t i = 0;
+  for (auto _ : state) {
+    v.Add(i++ % 4096, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VectorStateAdd);
+
+void BM_ChunkSplit(benchmark::State& state) {
+  state::KeyedDict<int64_t, int64_t> dict;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    dict.Put(i, i);
+  }
+  auto chunks = state::SerializeToChunks(dict, "bench", 1);
+  for (auto _ : state) {
+    auto parts = state::SplitChunk(chunks[0], 4);
+    benchmark::DoNotOptimize(parts);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChunkSplit)->Arg(10000);
+
+void BM_TupleRoundTrip(benchmark::State& state) {
+  Tuple t{Value(int64_t{42}), Value(std::string(64, 'x')),
+          Value(std::vector<double>(16, 1.5))};
+  for (auto _ : state) {
+    auto bytes = t.ToBytes();
+    auto back = Tuple::FromBytes(bytes);
+    benchmark::DoNotOptimize(back);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleRoundTrip);
+
+}  // namespace
+}  // namespace sdg
+
+BENCHMARK_MAIN();

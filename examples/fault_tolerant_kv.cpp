@@ -1,0 +1,109 @@
+// Fault-tolerant key/value store: the §5 recovery mechanism in action.
+//
+// A partitioned KV store runs with asynchronous dirty-state checkpointing.
+// The demo loads data, checkpoints, keeps writing, kills the node hosting
+// the store, and restores it onto TWO replacement nodes (the 1-to-2 strategy
+// of Fig. 4): checkpoint chunks stream from the backup directories, are
+// hash-split across the recovering nodes, and the post-checkpoint writes are
+// replayed from the upstream buffers — nothing is lost.
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "src/apps/kv.h"
+#include "src/common/clock.h"
+#include "src/runtime/cluster.h"
+
+using sdg::Tuple;
+using sdg::Value;
+
+int main() {
+  auto dir = std::filesystem::temp_directory_path() / "sdg_example_kv";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  sdg::apps::KvOptions kv;
+  auto graph = sdg::apps::BuildKvSdg(kv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  sdg::runtime::ClusterOptions options;
+  options.num_nodes = 3;  // node 0 serves; nodes 1 and 2 are spares
+  options.fault_tolerance.mode = sdg::runtime::FtMode::kAsyncLocal;
+  options.fault_tolerance.checkpoint_interval_s = 0;  // manual for the demo
+  options.fault_tolerance.store.root = dir;
+  options.fault_tolerance.store.num_backup_nodes = 2;  // m = 2 backup "disks"
+  sdg::runtime::Cluster cluster(options);
+  auto d = cluster.Deploy(std::move(*graph));
+  if (!d.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+
+  constexpr int64_t kKeys = 20000;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    (void)(*d)->Inject("put", Tuple{Value(k), Value("v" + std::to_string(k))});
+  }
+  (*d)->Drain();
+  std::printf("loaded %ld keys (%zu bytes of state)\n",
+              static_cast<long>(kKeys), (*d)->StateSizeBytes("store"));
+
+  if (auto s = (*d)->CheckpointNode(0); !s.ok()) {
+    std::fprintf(stderr, "checkpoint failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint taken (async, dirty-state)\n");
+
+  // Post-checkpoint writes: only recoverable via upstream-buffer replay.
+  for (int64_t k = 0; k < kKeys; k += 2) {
+    (void)(*d)->Inject("put",
+                       Tuple{Value(k), Value("updated" + std::to_string(k))});
+  }
+  (*d)->Drain();
+  std::printf("applied %ld post-checkpoint updates\n",
+              static_cast<long>(kKeys / 2));
+
+  (void)(*d)->KillNode(0);
+  std::printf("node 0 killed; in-memory state lost\n");
+
+  sdg::Stopwatch timer;
+  if (auto s = (*d)->RecoverNode(0, {1, 2}); !s.ok()) {
+    std::fprintf(stderr, "recovery failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  (*d)->Drain();  // replay reprocessing included
+  std::printf("recovered 1-to-2 in %.3f s; store now has %u partitions\n",
+              timer.ElapsedSeconds(), (*d)->NumStateInstances("store"));
+
+  // Verify: every key readable, post-checkpoint updates present.
+  std::mutex mu;
+  std::map<int64_t, std::string> results;
+  (void)(*d)->OnOutput("get", [&](const Tuple& out, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    results[out[0].AsInt()] = out[1].AsString();
+  });
+  for (int64_t k = 0; k < kKeys; ++k) {
+    (void)(*d)->Inject("get", Tuple{Value(k)});
+  }
+  (*d)->Drain();
+
+  int64_t missing = 0, stale = 0;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    const std::string& v = results[k];
+    if (v.empty()) {
+      ++missing;
+    } else if (k % 2 == 0 && v.rfind("updated", 0) != 0) {
+      ++stale;
+    }
+  }
+  std::printf("verification: %ld missing, %ld stale of %ld keys -> %s\n",
+              static_cast<long>(missing), static_cast<long>(stale),
+              static_cast<long>(kKeys),
+              missing == 0 && stale == 0 ? "OK" : "FAILED");
+  (*d)->Shutdown();
+  std::filesystem::remove_all(dir);
+  return missing == 0 && stale == 0 ? 0 : 1;
+}

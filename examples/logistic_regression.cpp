@@ -1,0 +1,86 @@
+// Logistic regression: iterative machine learning on partial state.
+//
+// The model weights are a @Partial vector — each worker replica trains on
+// its share of the stream without coordination, relying on the optimistic
+// convergence the paper cites for iterative algorithms (§3.1). The demo
+// trains on a synthetic separable dataset over several epochs, reading the
+// merged (averaged) model between epochs to watch accuracy climb.
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "src/apps/lr.h"
+#include "src/apps/workloads.h"
+#include "src/runtime/cluster.h"
+
+using sdg::Tuple;
+using sdg::Value;
+
+namespace {
+
+double Accuracy(const std::vector<double>& model,
+                sdg::apps::LrDataGenerator& gen, int samples) {
+  int correct = 0;
+  for (int i = 0; i < samples; ++i) {
+    auto ex = gen.Next();
+    double z = 0;
+    for (size_t j = 0; j < model.size() && j < ex.x.size(); ++j) {
+      z += model[j] * ex.x[j];
+    }
+    if ((sdg::apps::LrSigmoid(z) > 0.5 ? 1 : 0) == ex.y) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / samples;
+}
+
+}  // namespace
+
+int main() {
+  sdg::apps::LrOptions options;
+  options.dimensions = 16;
+  options.learning_rate = 0.3;
+  options.worker_replicas = 2;
+
+  auto graph = sdg::apps::BuildLrSdg(options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  sdg::runtime::ClusterOptions copts;
+  copts.num_nodes = 2;
+  sdg::runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(*graph));
+  if (!d.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+
+  std::mutex mu;
+  std::vector<double> model;
+  (void)(*d)->OnOutput("mergeModel", [&](const Tuple& out, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    model = out[0].AsDoubleVector();
+  });
+
+  sdg::apps::LrDataGenerator train_gen(options.dimensions, /*seed=*/3);
+  sdg::apps::LrDataGenerator eval_gen(options.dimensions, /*seed=*/3);
+  for (int i = 0; i < 50000; ++i) {
+    eval_gen.Next();  // disjoint evaluation range, same ground truth
+  }
+
+  std::printf("epoch  accuracy (2 independent weight replicas, merged read)\n");
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    for (int i = 0; i < 3000; ++i) {
+      auto ex = train_gen.Next();
+      (void)(*d)->Inject("train", Tuple{Value(ex.x), Value(ex.y)});
+    }
+    (*d)->Drain();
+    (void)(*d)->Inject("readModel", Tuple{});
+    (*d)->Drain();
+    std::lock_guard<std::mutex> lock(mu);
+    std::printf("%5d  %.1f%%\n", epoch, 100.0 * Accuracy(model, eval_gen, 500));
+  }
+  (*d)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Quickstart: build a small stateful dataflow graph by hand, deploy it on a
+// simulated cluster, stream data through it, and read state back.
+//
+// The graph is a minimal "visit counter": events (user, page) enter at the
+// "visit" entry TE, which updates a partitioned KeyedDict; "query"(user)
+// reads the count back and emits it to a sink.
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+#include "src/graph/sdg.h"
+#include "src/runtime/cluster.h"
+#include "src/state/keyed_dict.h"
+
+using sdg::Tuple;
+using sdg::Value;
+using sdg::graph::AccessMode;
+using sdg::graph::SdgBuilder;
+using sdg::graph::StateDistribution;
+using sdg::state::KeyedDict;
+using sdg::state::StateAs;
+
+using VisitDict = KeyedDict<int64_t, int64_t>;
+
+int main() {
+  // 1. Declare the state element: a dictionary partitioned by user id.
+  SdgBuilder builder;
+  auto visits = builder.AddState("visits", StateDistribution::kPartitioned,
+                                 [] { return std::make_unique<VisitDict>(); });
+
+  // 2. Task elements. Each TE accesses at most one SE; partitioned access
+  //    means the dataflow key selects the partition.
+  auto visit = builder.AddEntryTask(
+      "visit", [](const Tuple& in, sdg::graph::TaskContext& ctx) {
+        auto* d = StateAs<VisitDict>(ctx.state());
+        d->Update(in[0].AsInt(), [](int64_t v) { return v + 1; });
+      });
+  auto query = builder.AddEntryTask(
+      "query", [](const Tuple& in, sdg::graph::TaskContext& ctx) {
+        auto* d = StateAs<VisitDict>(ctx.state());
+        // Emitting past the last out-edge delivers to the TE's sink.
+        ctx.Emit(0, Tuple{in[0], Value(d->Get(in[0].AsInt()).value_or(0))});
+      });
+  if (!builder.SetAccess(visit, visits, AccessMode::kPartitioned).ok() ||
+      !builder.SetAccess(query, visits, AccessMode::kPartitioned).ok()) {
+    std::fprintf(stderr, "failed to wire access edges\n");
+    return 1;
+  }
+  builder.SetInitialInstances(visit, 2);  // two partitions from the start
+
+  auto graph = std::move(builder).Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "invalid SDG: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SDG built:\n%s\n", graph->ToDot().c_str());
+
+  // 3. Deploy on a simulated 2-node cluster.
+  sdg::runtime::ClusterOptions options;
+  options.num_nodes = 2;
+  sdg::runtime::Cluster cluster(options);
+  auto deployment = cluster.Deploy(std::move(*graph));
+  if (!deployment.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n",
+                 deployment.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Register the sink, stream events, and query.
+  std::mutex mu;
+  std::map<int64_t, int64_t> results;
+  (void)(*deployment)->OnOutput("query", [&](const Tuple& out, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    results[out[0].AsInt()] = out[1].AsInt();
+  });
+
+  for (int round = 0; round < 5; ++round) {
+    for (int64_t user = 0; user < 4; ++user) {
+      if (user <= round) {
+        (void)(*deployment)->Inject("visit", Tuple{Value(user)});
+      }
+    }
+  }
+  (*deployment)->Drain();
+
+  for (int64_t user = 0; user < 4; ++user) {
+    (void)(*deployment)->Inject("query", Tuple{Value(user)});
+  }
+  (*deployment)->Drain();
+
+  std::printf("visit counts (expected 5,4,3,2):\n");
+  for (const auto& [user, count] : results) {
+    std::printf("  user %ld -> %ld visits\n", static_cast<long>(user),
+                static_cast<long>(count));
+  }
+  (*deployment)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Streaming wordcount: fine-grained state updates with per-window results.
+//
+// Lines of synthetic Zipf text stream into the SDG; every word is one state
+// update to a partitioned dictionary (the finest update granularity, §6.1).
+// Twice a second the driver snapshots the hottest words — fresh results over
+// continuously mutating state, with no micro-batching anywhere.
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/apps/wordcount.h"
+#include "src/apps/workloads.h"
+#include "src/runtime/cluster.h"
+
+using sdg::Tuple;
+using sdg::Value;
+
+int main() {
+  sdg::apps::WordCountOptions options;
+  options.count_partitions = 2;
+  auto graph = sdg::apps::BuildWordCountSdg(options);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  sdg::runtime::ClusterOptions copts;
+  copts.num_nodes = 2;
+  sdg::runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(*graph));
+  if (!d.ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", d.status().ToString().c_str());
+    return 1;
+  }
+
+  std::mutex mu;
+  std::vector<std::pair<std::string, int64_t>> snapshot;
+  (void)(*d)->OnOutput("read", [&](const Tuple& out, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    snapshot.emplace_back(out[0].AsString(), out[1].AsInt());
+  });
+
+  // Producer thread: a continuous stream of synthetic text.
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> lines{0};
+  std::thread producer([&] {
+    sdg::apps::TextGenerator gen(/*vocabulary=*/5000, /*words_per_line=*/8,
+                                 /*seed=*/7);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if ((*d)->Inject("line", Tuple{Value(gen.NextLine())}).ok()) {
+        lines.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  // Window driver: every 500 ms, snapshot the counts of the head words.
+  for (int window = 1; window <= 6; ++window) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      snapshot.clear();
+    }
+    for (const char* w : {"w0", "w1", "w2", "w3"}) {
+      (void)(*d)->Inject("snapshot", Tuple{Value(w)});
+    }
+    (*d)->Drain();
+    std::lock_guard<std::mutex> lock(mu);
+    std::printf("window %d (%llu lines in):", window,
+                static_cast<unsigned long long>(lines.load()));
+    for (const auto& [word, count] : snapshot) {
+      std::printf("  %s=%lld", word.c_str(), static_cast<long long>(count));
+    }
+    std::printf("\n");
+  }
+
+  stop = true;
+  producer.join();
+  (*d)->Drain();
+  std::printf("processed %llu lines total; distinct words tracked: %llu\n",
+              static_cast<unsigned long long>(lines.load()),
+              static_cast<unsigned long long>(
+                  (*d)->StateInstance("counts", 0)->EntryCount() +
+                  (*d)->StateInstance("counts", 1)->EntryCount()));
+  (*d)->Shutdown();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Splices measured bench output into EXPERIMENTS.md.
+
+Reads bench_output.txt (as produced by `for b in build/bench/*; do ...`),
+extracts each figure/ablation block, and replaces the corresponding
+<FIGn>/<ABLn> placeholder (or previously spliced block) in EXPERIMENTS.md.
+"""
+
+import re
+import sys
+
+MAPPING = {
+    "fig05_cf_ratio": "FIG5",
+    "fig06_kv_state": "FIG6",
+    "fig07_kv_scale": "FIG7",
+    "fig08_wc_window": "FIG8",
+    "fig09_lr_scale": "FIG9",
+    "fig10_stragglers": "FIG10",
+    "fig11_recovery": "FIG11",
+    "fig12_sync_vs_async": "FIG12",
+    "fig13_ckpt_overhead": "FIG13",
+    "ablate_dispatch": "ABL1",
+    "ablate_chunks": "ABL2",
+    "ablate_serialization": "ABL3",
+}
+
+
+def extract_blocks(bench_text):
+    blocks = {}
+    current = None
+    lines = []
+    for line in bench_text.splitlines():
+        m = re.match(r"^### (\S+)", line)
+        if m:
+            if current in MAPPING:
+                blocks[MAPPING[current]] = "\n".join(lines).strip()
+            current = m.group(1)
+            lines = []
+        else:
+            lines.append(line)
+    if current in MAPPING:
+        blocks[MAPPING[current]] = "\n".join(lines).strip()
+    return blocks
+
+
+def main():
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    doc_path = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    with open(bench_path) as f:
+        blocks = extract_blocks(f.read())
+    with open(doc_path) as f:
+        doc = f.read()
+    for tag, block in blocks.items():
+        placeholder = f"<{tag}>"
+        if placeholder in doc:
+            doc = doc.replace(placeholder, block)
+        else:
+            # Re-splice: replace the fenced block following the tag comment.
+            marker = f"<!-- {tag} -->"
+            pattern = re.compile(
+                re.escape(marker) + r"\n```\n.*?\n```", re.DOTALL)
+            if pattern.search(doc):
+                doc = pattern.sub(marker + "\n```\n" + block + "\n```", doc)
+    # Tag each fenced block so future runs can re-splice.
+    for tag in blocks:
+        doc = doc.replace(f"```\n<{tag}>", f"```\n<{tag}>")
+    with open(doc_path, "w") as f:
+        f.write(doc)
+    missing = [t for t in MAPPING.values() if f"<{t}>" in doc]
+    if missing:
+        print(f"warning: unfilled placeholders: {missing}")
+    print(f"updated {doc_path} with {len(blocks)} measured blocks")
+
+
+if __name__ == "__main__":
+    main()

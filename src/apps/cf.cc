@@ -1,0 +1,184 @@
+#include "src/apps/cf.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/state/sparse_matrix.h"
+
+namespace sdg::apps {
+
+using state::SparseMatrix;
+using state::StateAs;
+using translate::FieldAnnotation;
+using translate::LocalStmt;
+using translate::MergeStmt;
+using translate::Method;
+using translate::OutputStmt;
+using translate::Program;
+using translate::StateField;
+using translate::StateStmt;
+
+namespace {
+
+// A sparse row travels between TEs as an interleaved (column, value) vector.
+std::vector<double> EncodeSparseRow(const SparseMatrix::Row& row) {
+  std::vector<double> out;
+  out.reserve(row.size() * 2);
+  for (const auto& [col, v] : row) {
+    out.push_back(static_cast<double>(col));
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace
+
+Program BuildCfProgram(const CfOptions& options) {
+  const size_t num_items = options.num_items;
+
+  Program p;
+  p.name = "collaborative-filtering";
+
+  // @Partitioned Matrix userItem;  @Partial Matrix coOcc;  (Alg. 1 lines 1-2)
+  p.fields.push_back(StateField{
+      "userItem", FieldAnnotation::kPartitioned,
+      [] { return std::make_unique<SparseMatrix>(); }});
+  p.fields.push_back(StateField{
+      "coOcc", FieldAnnotation::kPartial,
+      [] { return std::make_unique<SparseMatrix>(); }});
+
+  // void addRating(int user, int item, int rating)  (lines 4-13)
+  {
+    Method m;
+    m.name = "addRating";
+    m.params = {"user", "item", "rating"};
+
+    // userItem.setElement(user, item, rating); userRow = userItem.getRow(user)
+    StateStmt set;
+    set.field = "userItem";
+    set.key_var = "user";
+    set.inputs = {"user", "item", "rating"};
+    set.label = "updateUserItem";
+    set.op = [](state::StateBackend* s, const std::vector<Value>& in) {
+      auto* m = StateAs<SparseMatrix>(s);
+      m->Set(in[0].AsInt(), in[1].AsInt(), in[2].ToDouble());
+      return Value();
+    };
+    m.body.push_back(set);
+
+    StateStmt get_row;
+    get_row.field = "userItem";
+    get_row.key_var = "user";
+    get_row.inputs = {"user"};
+    get_row.output = "userRow";
+    get_row.op = [](state::StateBackend* s, const std::vector<Value>& in) {
+      auto* m = StateAs<SparseMatrix>(s);
+      return Value(EncodeSparseRow(m->GetRow(in[0].AsInt())));
+    };
+    m.body.push_back(get_row);
+
+    // The co-occurrence update loop (lines 7-12): for every item i the user
+    // rated positively, bump coOcc[item][i] and coOcc[i][item]. Local access
+    // to the @Partial field: each replica absorbs a share of the updates.
+    StateStmt update_cooc;
+    update_cooc.field = "coOcc";
+    update_cooc.inputs = {"item", "userRow"};
+    update_cooc.label = "updateCoOcc";
+    const uint32_t update_think_us = options.update_think_us;
+    update_cooc.op = [update_think_us](state::StateBackend* s,
+                                       const std::vector<Value>& in) {
+      if (update_think_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(update_think_us));
+      }
+      auto* m = StateAs<SparseMatrix>(s);
+      int64_t item = in[0].AsInt();
+      const auto& row = in[1].AsDoubleVector();
+      for (size_t k = 0; k + 1 < row.size(); k += 2) {
+        auto i = static_cast<int64_t>(row[k]);
+        if (row[k + 1] > 0) {
+          m->Add(item, i, 1.0);
+          if (i != item) {
+            m->Add(i, item, 1.0);
+          }
+        }
+      }
+      return Value();
+    };
+    m.body.push_back(update_cooc);
+    p.methods.push_back(std::move(m));
+  }
+
+  // Vector getRec(int user)  (lines 14-19)
+  {
+    Method m;
+    m.name = "getRec";
+    m.params = {"user"};
+
+    StateStmt get_row;
+    get_row.field = "userItem";
+    get_row.key_var = "user";
+    get_row.inputs = {"user"};
+    get_row.output = "userRow";
+    get_row.label = "getUserVec";
+    get_row.op = [num_items](state::StateBackend* s,
+                             const std::vector<Value>& in) {
+      auto* m = StateAs<SparseMatrix>(s);
+      return Value(m->GetRowDense(in[0].AsInt(), num_items));
+    };
+    m.body.push_back(get_row);
+
+    // @Partial Vector userRec = @Global coOcc.multiply(userRow);  (line 16)
+    StateStmt multiply;
+    multiply.field = "coOcc";
+    multiply.global = true;
+    multiply.inputs = {"userRow"};
+    multiply.output = "userRec";
+    multiply.label = "getRecVec";
+    const uint32_t think_us = options.multiply_think_us;
+    multiply.op = [num_items, think_us](state::StateBackend* s,
+                                        const std::vector<Value>& in) {
+      if (think_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(think_us));
+      }
+      auto* m = StateAs<SparseMatrix>(s);
+      return Value(m->MultiplyDense(in[0].AsDoubleVector(), num_items));
+    };
+    m.body.push_back(multiply);
+
+    // Vector rec = merge(@Global userRec);  (lines 17, 20-25)
+    MergeStmt merge;
+    merge.partial_var = "userRec";
+    merge.extra_inputs = {"user"};
+    merge.output = "rec";
+    merge.label = "merge";
+    merge.op = [num_items](const std::vector<Value>& partials,
+                           const std::vector<Value>& extras) {
+      std::vector<double> rec(num_items, 0.0);
+      for (const auto& partial : partials) {
+        const auto& v = partial.AsDoubleVector();
+        for (size_t i = 0; i < v.size() && i < rec.size(); ++i) {
+          rec[i] += v[i];
+        }
+      }
+      (void)extras;
+      return Value(std::move(rec));
+    };
+    m.body.push_back(merge);
+
+    OutputStmt out;
+    out.inputs = {"user", "rec"};
+    m.body.push_back(out);
+    p.methods.push_back(std::move(m));
+  }
+  return p;
+}
+
+Result<translate::Translation> BuildCfSdg(const CfOptions& options) {
+  translate::TranslateOptions topt;
+  topt.partitioned_instances = options.user_partitions;
+  topt.partial_instances = options.cooc_replicas;
+  return translate::TranslateToSdg(BuildCfProgram(options), topt);
+}
+
+}  // namespace sdg::apps

@@ -1,0 +1,46 @@
+// Online collaborative filtering — the paper's running example (Alg. 1).
+//
+// The program is expressed in the translate IR exactly as the annotated Java
+// class of Alg. 1: `userItem` is a @Partitioned matrix keyed by user,
+// `coOcc` a @Partial matrix; addRating updates both, getRec multiplies the
+// user's rating row with every coOcc replica under @Global access and merges
+// the partial recommendation vectors. Translating it yields the Fig. 1 SDG
+// (five task elements on two state elements).
+#ifndef SDG_APPS_CF_H_
+#define SDG_APPS_CF_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+#include "src/translate/ir.h"
+#include "src/translate/translator.h"
+
+namespace sdg::apps {
+
+struct CfOptions {
+  // Item-vector dimension (recommendation vectors have this length).
+  size_t num_items = 1000;
+  // Initial parallelism: partitions of userItem / replicas of coOcc.
+  uint32_t user_partitions = 1;
+  uint32_t cooc_replicas = 1;
+  // Artificial per-request work (microseconds, slept) in the getRecVec
+  // multiply and the updateCoOcc update. Lets single-core hosts exhibit the
+  // paper's instance-scaling behaviour: sleeping instances overlap, so added
+  // instances add capacity. updateCoOcc is the CPU-intensive TE of §3.2 and
+  // splits across replicas via one-to-any dispatch.
+  uint32_t multiply_think_us = 0;
+  uint32_t update_think_us = 0;
+};
+
+// The annotated imperative program of Alg. 1.
+translate::Program BuildCfProgram(const CfOptions& options);
+
+// Convenience: translated, executable SDG.
+//   Entries: "addRating"(user, item, rating) and "getRec"(user).
+//   Sink: the "merge" collector emits (user, recommendation vector).
+Result<translate::Translation> BuildCfSdg(const CfOptions& options);
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_CF_H_

@@ -1,0 +1,167 @@
+#include "src/apps/kmeans.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "src/state/dense_matrix.h"
+
+namespace sdg::apps {
+
+using graph::AccessMode;
+using graph::Dispatch;
+using graph::SdgBuilder;
+using graph::StateDistribution;
+using state::DenseMatrix;
+using state::StateAs;
+
+Result<graph::Sdg> BuildKMeansSdg(const KMeansOptions& options) {
+  const uint32_t k = options.clusters;
+  const size_t d = options.dimensions;
+  if (k == 0 || d == 0) {
+    return InvalidArgumentError("k-means needs clusters > 0 and dimensions > 0");
+  }
+  std::vector<double> init = options.initial_centroids;
+  if (init.empty()) {
+    // Axis-aligned unit positions: centroid i at e_{i mod d} * (1 + i/d).
+    init.assign(k * d, 0.0);
+    for (uint32_t i = 0; i < k; ++i) {
+      init[i * d + i % d] = 1.0 + static_cast<double>(i / d);
+    }
+  }
+  if (init.size() != static_cast<size_t>(k) * d) {
+    return InvalidArgumentError("initial_centroids must be clusters x dimensions");
+  }
+
+  SdgBuilder b;
+  auto model = b.AddState(
+      "model", StateDistribution::kPartial, [k, d, init] {
+        auto m = std::make_unique<DenseMatrix>(k, d);
+        for (uint32_t i = 0; i < k; ++i) {
+          for (size_t j = 0; j < d; ++j) {
+            m->Set(i, j, init[i * d + j]);
+          }
+        }
+        return m;
+      });
+  auto sums = b.AddState("sums", StateDistribution::kPartial, [k, d] {
+    return std::make_unique<DenseMatrix>(k, d + 1);
+  });
+
+  // assign: nearest centroid under the local model replica.
+  auto assign = b.AddEntryTask(
+      "assign", [k, d](const Tuple& in, graph::TaskContext& ctx) {
+        auto* m = StateAs<DenseMatrix>(ctx.state());
+        const auto& x = in[0].AsDoubleVector();
+        uint32_t best = 0;
+        double best_dist = std::numeric_limits<double>::infinity();
+        for (uint32_t c = 0; c < k; ++c) {
+          double dist = 0;
+          for (size_t j = 0; j < d && j < x.size(); ++j) {
+            double diff = m->Get(c, j) - x[j];
+            dist += diff * diff;
+          }
+          if (dist < best_dist) {
+            best_dist = dist;
+            best = c;
+          }
+        }
+        ctx.Emit(0, Tuple{Value(static_cast<int64_t>(best)), in[0]});
+        ctx.Emit(1, Tuple{Value(static_cast<int64_t>(best)), in[0]});  // sink
+      });
+
+  // accumulate: fold the assignment into one replica's sums.
+  auto accumulate = b.AddTask(
+      "accumulate", [d](const Tuple& in, graph::TaskContext& ctx) {
+        auto* s = StateAs<DenseMatrix>(ctx.state());
+        auto c = static_cast<size_t>(in[0].AsInt());
+        const auto& x = in[1].AsDoubleVector();
+        for (size_t j = 0; j < d && j < x.size(); ++j) {
+          s->Add(c, j, x[j]);
+        }
+        s->Add(c, d, 1.0);
+      });
+
+  // step: fan the synchronisation token out to every sums replica.
+  auto step = b.AddEntryTask("step", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  auto read_sums = b.AddTask(
+      "readSums", [k, d](const Tuple&, graph::TaskContext& ctx) {
+        auto* s = StateAs<DenseMatrix>(ctx.state());
+        std::vector<double> flat;
+        flat.reserve(k * (d + 1));
+        for (uint32_t c = 0; c < k; ++c) {
+          for (size_t j = 0; j <= d; ++j) {
+            flat.push_back(s->Get(c, j));
+          }
+        }
+        ctx.Emit(0, Tuple{Value(std::move(flat))});
+      });
+
+  // newModel: reconcile the partial sums into centroids (merge TE).
+  auto new_model = b.AddCollectorTask(
+      "newModel",
+      [k, d](const std::vector<Tuple>& partials, graph::TaskContext& ctx) {
+        std::vector<double> totals(k * (d + 1), 0.0);
+        for (const auto& p : partials) {
+          const auto& flat = p[0].AsDoubleVector();
+          for (size_t i = 0; i < totals.size() && i < flat.size(); ++i) {
+            totals[i] += flat[i];
+          }
+        }
+        std::vector<double> centroids(k * d, 0.0);
+        std::vector<double> counts(k, 0.0);
+        for (uint32_t c = 0; c < k; ++c) {
+          double count = totals[c * (d + 1) + d];
+          counts[c] = count;
+          for (size_t j = 0; j < d; ++j) {
+            centroids[c * d + j] =
+                count > 0 ? totals[c * (d + 1) + j] / count : 0.0;
+          }
+        }
+        Tuple update{Value(centroids), Value(counts)};
+        ctx.Emit(0, update);                    // -> applyModel (one-to-all)
+        ctx.Emit(1, Tuple{Value(int64_t{1})});  // -> resetSums (one-to-all)
+        ctx.Emit(2, std::move(update));         // -> sink (observers)
+      });
+
+  // applyModel: every model replica adopts the reconciled centroids; empty
+  // clusters keep their previous position.
+  auto apply_model = b.AddTask(
+      "applyModel", [k, d](const Tuple& in, graph::TaskContext& ctx) {
+        auto* m = StateAs<DenseMatrix>(ctx.state());
+        const auto& centroids = in[0].AsDoubleVector();
+        const auto& counts = in[1].AsDoubleVector();
+        for (uint32_t c = 0; c < k; ++c) {
+          if (counts[c] <= 0) {
+            continue;
+          }
+          for (size_t j = 0; j < d; ++j) {
+            m->Set(c, j, centroids[c * d + j]);
+          }
+        }
+      });
+
+  // resetSums: every sums replica starts the next iteration from zero.
+  auto reset_sums = b.AddTask("resetSums", [](const Tuple&, graph::TaskContext& ctx) {
+    StateAs<DenseMatrix>(ctx.state())->Fill(0.0);
+  });
+
+  SDG_RETURN_IF_ERROR(b.SetAccess(assign, model, AccessMode::kLocal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(accumulate, sums, AccessMode::kLocal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(read_sums, sums, AccessMode::kGlobal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(apply_model, model, AccessMode::kLocal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(reset_sums, sums, AccessMode::kLocal));
+  b.SetInitialInstances(assign, options.replicas);
+  b.SetInitialInstances(accumulate, options.replicas);
+
+  SDG_RETURN_IF_ERROR(b.Connect(assign, accumulate, Dispatch::kOneToAny));
+  SDG_RETURN_IF_ERROR(b.Connect(step, read_sums, Dispatch::kOneToAll));
+  SDG_RETURN_IF_ERROR(b.Connect(read_sums, new_model, Dispatch::kAllToOne));
+  SDG_RETURN_IF_ERROR(b.Connect(new_model, apply_model, Dispatch::kOneToAll));
+  SDG_RETURN_IF_ERROR(b.Connect(new_model, reset_sums, Dispatch::kOneToAll));
+  return std::move(b).Build();
+}
+
+}  // namespace sdg::apps

@@ -1,0 +1,57 @@
+// Online k-means clustering on SDGs.
+//
+// k-means is one of the algorithms the paper's introduction targets. It
+// exercises the partial-state machinery end to end: assignments accumulate
+// into independent @Partial sum replicas; a synchronisation point reads all
+// replicas globally, a merge TE reconciles them into new centroids, and the
+// reconciled model is redistributed one-to-all so every replica resumes from
+// the same state — the full "access all partial instances and reconcile
+// according to application semantics" loop of §3.2, plus the iterative
+// update cycle of §3.1.
+//
+// Dataflow:
+//   assign(point) --one-to-any--> accumulate           [model: local read]
+//                                                      [sums: local update]
+//   step() --one-to-all--> readSums --all-to-one--> newModel (merge)
+//   newModel --one-to-all--> applyModel                [model: local write]
+//            --one-to-all--> resetSums                 [sums: local reset]
+#ifndef SDG_APPS_KMEANS_H_
+#define SDG_APPS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+
+namespace sdg::apps {
+
+struct KMeansOptions {
+  uint32_t clusters = 4;
+  size_t dimensions = 2;
+  uint32_t replicas = 1;
+  // Initial centroid positions, row-major clusters x dimensions; empty picks
+  // axis-aligned unit positions.
+  std::vector<double> initial_centroids;
+};
+
+// Entries:
+//   "assign"(point: double vector)  — assigns the point to the nearest
+//       centroid and accumulates it into one replica's sums; also emits
+//       (cluster, point) to the "assign" sink for observers.
+//   "step"()                        — closes the iteration: merges all sum
+//       replicas into new centroids, redistributes them to every model
+//       replica and resets the sums. The merged centroid matrix (flattened)
+//       is emitted to the "newModel" sink.
+// State elements: "model" (partial DenseMatrix k x d),
+//                 "sums" (partial DenseMatrix k x (d+1); last column holds
+//                 the assignment counts).
+//
+// Callers must Drain() between assignment streaming and step() — the
+// synchronisation point assumes assignments in flight have settled, matching
+// the coordination-free iteration contract of §3.1.
+Result<graph::Sdg> BuildKMeansSdg(const KMeansOptions& options);
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_KMEANS_H_

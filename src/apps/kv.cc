@@ -1,0 +1,112 @@
+#include "src/apps/kv.h"
+
+#include <memory>
+
+#include "src/state/keyed_dict.h"
+
+namespace sdg::apps {
+
+using graph::AccessMode;
+using graph::SdgBuilder;
+using graph::StateDistribution;
+using state::KeyedDict;
+using state::StateAs;
+
+using StoreDict = KeyedDict<int64_t, std::string>;
+
+Result<graph::Sdg> BuildKvSdg(const KvOptions& options) {
+  SdgBuilder b;
+  auto store = b.AddState("store", StateDistribution::kPartitioned,
+                          [] { return std::make_unique<StoreDict>(); });
+
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<StoreDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsString());
+  });
+  auto get = b.AddEntryTask("get", [](const Tuple& in, graph::TaskContext& ctx) {
+    auto v = StateAs<StoreDict>(ctx.state())->Get(in[0].AsInt());
+    ctx.Emit(0, Tuple{in[0], Value(v.value_or(std::string()))});
+  });
+  auto del = b.AddEntryTask("del", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<StoreDict>(ctx.state())->Erase(in[0].AsInt());
+  });
+
+  SDG_RETURN_IF_ERROR(b.SetAccess(put, store, AccessMode::kPartitioned));
+  SDG_RETURN_IF_ERROR(b.SetAccess(get, store, AccessMode::kPartitioned));
+  SDG_RETURN_IF_ERROR(b.SetAccess(del, store, AccessMode::kPartitioned));
+  b.SetInitialInstances(put, options.partitions);
+  return std::move(b).Build();
+}
+
+translate::Program BuildKvProgram() {
+  using translate::FieldAnnotation;
+  using translate::Method;
+  using translate::OutputStmt;
+  using translate::Program;
+  using translate::StateField;
+  using translate::StateStmt;
+
+  Program p;
+  p.name = "kv-store";
+  // @Partitioned Dictionary<long, String> store;
+  p.fields.push_back(StateField{"store", FieldAnnotation::kPartitioned,
+                                [] { return std::make_unique<StoreDict>(); }});
+
+  {
+    Method m;
+    m.name = "put";
+    m.params = {"key", "value"};
+    StateStmt s;
+    s.field = "store";
+    s.key_var = "key";
+    s.inputs = {"key", "value"};
+    s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
+      StateAs<StoreDict>(b)->Put(in[0].AsInt(), in[1].AsString());
+      return Value();
+    };
+    m.body.push_back(std::move(s));
+    p.methods.push_back(std::move(m));
+  }
+  {
+    Method m;
+    m.name = "get";
+    m.params = {"key"};
+    StateStmt s;
+    s.field = "store";
+    s.key_var = "key";
+    s.inputs = {"key"};
+    s.output = "value";
+    s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
+      return Value(
+          StateAs<StoreDict>(b)->Get(in[0].AsInt()).value_or(std::string()));
+    };
+    m.body.push_back(std::move(s));
+    OutputStmt out;
+    out.inputs = {"key", "value"};
+    m.body.push_back(out);
+    p.methods.push_back(std::move(m));
+  }
+  {
+    Method m;
+    m.name = "del";
+    m.params = {"key"};
+    StateStmt s;
+    s.field = "store";
+    s.key_var = "key";
+    s.inputs = {"key"};
+    s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
+      StateAs<StoreDict>(b)->Erase(in[0].AsInt());
+      return Value();
+    };
+    m.body.push_back(std::move(s));
+    p.methods.push_back(std::move(m));
+  }
+  return p;
+}
+
+Result<translate::Translation> BuildKvSdgViaTranslator(const KvOptions& options) {
+  translate::TranslateOptions topt;
+  topt.partitioned_instances = options.partitions;
+  return translate::TranslateToSdg(BuildKvProgram(), topt);
+}
+
+}  // namespace sdg::apps

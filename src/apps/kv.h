@@ -1,0 +1,38 @@
+// Distributed partitioned key/value store on SDGs (§6.1).
+//
+// The paper's synthetic benchmark: "an algorithm with pure mutable state".
+// Keys hash-partition a KeyedDict across the put/get state-bound group;
+// values are opaque byte strings so benches can dial the state size.
+#ifndef SDG_APPS_KV_H_
+#define SDG_APPS_KV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+#include "src/translate/ir.h"
+#include "src/translate/translator.h"
+
+namespace sdg::apps {
+
+struct KvOptions {
+  uint32_t partitions = 1;
+};
+
+// SDG with entries:
+//   "put"(key:int, value:string)  — upsert
+//   "get"(key:int)                — emits (key, value|"") to the "get" sink
+//   "del"(key:int)                — erase
+// State element: "store" (KeyedDict<int64, string>, partitioned).
+Result<graph::Sdg> BuildKvSdg(const KvOptions& options);
+
+// The same store expressed as an annotated imperative program (the paper
+// translates all applications from Java; this is the KV analogue). The
+// translated SDG is behaviourally identical to BuildKvSdg's hand-built one.
+translate::Program BuildKvProgram();
+Result<translate::Translation> BuildKvSdgViaTranslator(const KvOptions& options);
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_KV_H_

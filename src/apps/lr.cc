@@ -1,0 +1,102 @@
+#include "src/apps/lr.h"
+
+#include <cmath>
+#include <memory>
+
+#include "src/state/vector_state.h"
+
+namespace sdg::apps {
+
+using graph::AccessMode;
+using graph::Dispatch;
+using graph::SdgBuilder;
+using graph::StateDistribution;
+using state::StateAs;
+using state::VectorState;
+
+double LrSigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+Result<graph::Sdg> BuildLrSdg(const LrOptions& options) {
+  SdgBuilder b;
+  const size_t dims = options.dimensions;
+  auto weights = b.AddState("weights", StateDistribution::kPartial,
+                            [dims] { return std::make_unique<VectorState>(dims); });
+
+  const double lr = options.learning_rate;
+  auto train = b.AddEntryTask("train", [lr, dims](const Tuple& in,
+                                                  graph::TaskContext& ctx) {
+    auto* w = StateAs<VectorState>(ctx.state());
+    const auto& x = in[0].AsDoubleVector();
+    double y = static_cast<double>(in[1].AsInt());
+    double z = 0;
+    for (size_t i = 0; i < dims && i < x.size(); ++i) {
+      z += w->Get(i) * x[i];
+    }
+    double err = LrSigmoid(z) - y;
+    for (size_t i = 0; i < dims && i < x.size(); ++i) {
+      w->Add(i, -lr * err * x[i]);
+    }
+  });
+
+  auto train_batch = b.AddEntryTask(
+      "trainBatch", [lr, dims](const Tuple& in, graph::TaskContext& ctx) {
+        auto* w = StateAs<VectorState>(ctx.state());
+        const auto& xs = in[0].AsDoubleVector();
+        const auto& ys = in[1].AsIntVector();
+        // Snapshot once, run SGD locally over the split, write back one
+        // accumulated delta — two locked state operations per split.
+        std::vector<double> local = w->ToDense();
+        local.resize(dims, 0.0);
+        std::vector<double> original = local;
+        for (size_t e = 0; e < ys.size(); ++e) {
+          const double* x = xs.data() + e * dims;
+          double z = 0;
+          for (size_t i = 0; i < dims; ++i) {
+            z += local[i] * x[i];
+          }
+          double err = LrSigmoid(z) - static_cast<double>(ys[e]);
+          for (size_t i = 0; i < dims; ++i) {
+            local[i] -= lr * err * x[i];
+          }
+        }
+        for (size_t i = 0; i < dims; ++i) {
+          local[i] -= original[i];  // local now holds the delta
+        }
+        w->Accumulate(local);
+      });
+
+  auto read_model =
+      b.AddEntryTask("readModel", [](const Tuple& in, graph::TaskContext& ctx) {
+        ctx.Emit(0, in);
+      });
+  auto fetch = b.AddTask("fetchModel", [](const Tuple&, graph::TaskContext& ctx) {
+    auto* w = StateAs<VectorState>(ctx.state());
+    ctx.Emit(0, Tuple{Value(w->ToDense())});
+  });
+  auto merge = b.AddCollectorTask(
+      "mergeModel",
+      [dims](const std::vector<Tuple>& partials, graph::TaskContext& ctx) {
+        std::vector<double> avg(dims, 0.0);
+        for (const auto& p : partials) {
+          const auto& v = p[0].AsDoubleVector();
+          for (size_t i = 0; i < dims && i < v.size(); ++i) {
+            avg[i] += v[i];
+          }
+        }
+        for (auto& a : avg) {
+          a /= static_cast<double>(partials.size());
+        }
+        ctx.Emit(0, Tuple{Value(std::move(avg))});
+      });
+
+  SDG_RETURN_IF_ERROR(b.SetAccess(train, weights, AccessMode::kLocal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(train_batch, weights, AccessMode::kLocal));
+  SDG_RETURN_IF_ERROR(b.SetAccess(fetch, weights, AccessMode::kGlobal));
+  b.SetInitialInstances(train, options.worker_replicas);
+  b.SetInitialInstances(train_batch, options.worker_replicas);
+  SDG_RETURN_IF_ERROR(b.Connect(read_model, fetch, Dispatch::kOneToAll));
+  SDG_RETURN_IF_ERROR(b.Connect(fetch, merge, Dispatch::kAllToOne));
+  return std::move(b).Build();
+}
+
+}  // namespace sdg::apps

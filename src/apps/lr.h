@@ -1,0 +1,38 @@
+// Batch logistic regression on SDGs (§6.2 scalability experiment).
+//
+// The model weights are a @Partial vector: every worker instance owns a
+// replica, trains on its share of the batch (one-to-any dispatch) and applies
+// gradients locally without coordination — the optimistic consistency the
+// paper relies on for iterative ML (§3.1). A "readModel" entry performs a
+// @Global read that averages the replicas through a merge collector.
+#ifndef SDG_APPS_LR_H_
+#define SDG_APPS_LR_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+
+namespace sdg::apps {
+
+struct LrOptions {
+  size_t dimensions = 10;
+  double learning_rate = 0.1;
+  uint32_t worker_replicas = 1;
+};
+
+// Entries:
+//   "train"(x: double vector, y: int {0,1})  — one SGD step on one replica
+//   "trainBatch"(xs: flattened doubles, ys: int vector) — a block of
+//       examples in one data item (datasets enter as splits, not records)
+//   "readModel"()                            — merged (averaged) weights to
+//                                              the "mergeModel" sink
+// State element: "weights" (VectorState, partial).
+Result<graph::Sdg> BuildLrSdg(const LrOptions& options);
+
+// Sigmoid used by both the trainer and tests.
+double LrSigmoid(double z);
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_LR_H_

@@ -1,0 +1,71 @@
+#include "src/apps/wordcount.h"
+
+#include <memory>
+#include <string>
+
+#include "src/state/keyed_dict.h"
+
+namespace sdg::apps {
+
+using graph::AccessMode;
+using graph::Dispatch;
+using graph::SdgBuilder;
+using graph::StateDistribution;
+using state::KeyedDict;
+using state::StateAs;
+
+using CountDict = KeyedDict<std::string, int64_t>;
+
+Result<graph::Sdg> BuildWordCountSdg(const WordCountOptions& options) {
+  SdgBuilder b;
+  auto counts = b.AddState("counts", StateDistribution::kPartitioned,
+                           [] { return std::make_unique<CountDict>(); });
+
+  auto line = b.AddEntryTask("line", [](const Tuple& in, graph::TaskContext& ctx) {
+    const std::string& text = in[0].AsString();
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find(' ', start);
+      if (end == std::string::npos) {
+        end = text.size();
+      }
+      if (end > start) {
+        ctx.Emit(0, Tuple{Value(text.substr(start, end - start))});
+      }
+      start = end + 1;
+    }
+  });
+
+  const bool emit_updates = options.emit_updates;
+  auto count = b.AddTask("count", [emit_updates](const Tuple& in,
+                                                 graph::TaskContext& ctx) {
+    auto* d = StateAs<CountDict>(ctx.state());
+    const std::string& word = in[0].AsString();
+    int64_t updated = 0;
+    d->Update(word, [&](int64_t v) {
+      updated = v + 1;
+      return updated;
+    });
+    if (emit_updates) {
+      ctx.Emit(1, Tuple{in[0], Value(updated)});
+    }
+  });
+
+  auto snapshot =
+      b.AddEntryTask("snapshot", [](const Tuple& in, graph::TaskContext& ctx) {
+        ctx.Emit(0, in);
+      });
+  auto read = b.AddTask("read", [](const Tuple& in, graph::TaskContext& ctx) {
+    auto* d = StateAs<CountDict>(ctx.state());
+    ctx.Emit(0, Tuple{in[0], Value(d->Get(in[0].AsString()).value_or(0))});
+  });
+
+  SDG_RETURN_IF_ERROR(b.SetAccess(count, counts, AccessMode::kPartitioned));
+  SDG_RETURN_IF_ERROR(b.SetAccess(read, counts, AccessMode::kPartitioned));
+  b.SetInitialInstances(count, options.count_partitions);
+  SDG_RETURN_IF_ERROR(b.Connect(line, count, Dispatch::kPartitioned, 0));
+  SDG_RETURN_IF_ERROR(b.Connect(snapshot, read, Dispatch::kPartitioned, 0));
+  return std::move(b).Build();
+}
+
+}  // namespace sdg::apps

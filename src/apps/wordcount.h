@@ -1,0 +1,30 @@
+// Streaming wordcount (§6.1, "update granularity" experiment).
+//
+// Lines enter at the "line" entry, a stateless splitter fans words out under
+// key partitioning, and per-word counts live in a partitioned KeyedDict —
+// the finest possible update granularity (one state update per word).
+// A "snapshot"(word) entry reads a count back out.
+#ifndef SDG_APPS_WORDCOUNT_H_
+#define SDG_APPS_WORDCOUNT_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+
+namespace sdg::apps {
+
+struct WordCountOptions {
+  uint32_t count_partitions = 1;
+  // When true, the counter emits (word, count) to its sink on every update —
+  // the per-item output mode the smallest windows degenerate to.
+  bool emit_updates = false;
+};
+
+// Entries: "line"(text:string), "snapshot"(word:string).
+// TEs: "line" -> "count" (partitioned KeyedDict<string,int64> "counts").
+Result<graph::Sdg> BuildWordCountSdg(const WordCountOptions& options);
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_WORDCOUNT_H_

@@ -1,0 +1,145 @@
+// Synthetic workload generators standing in for the paper's datasets.
+//
+// Substitutions (see DESIGN.md §3): the Netflix rating trace and the
+// Wikipedia text corpus drive state growth and access skew through their key
+// distributions, which these Zipf-based generators reproduce; the Spark LR
+// dataset is dense feature vectors, generated here from a known ground-truth
+// separator so convergence is testable.
+#ifndef SDG_APPS_WORKLOADS_H_
+#define SDG_APPS_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace sdg::apps {
+
+// Netflix-like stream of (user, item, rating) triples with Zipf-skewed
+// users and items.
+class RatingGenerator {
+ public:
+  struct Rating {
+    int64_t user = 0;
+    int64_t item = 0;
+    int64_t rating = 0;  // 1..5
+  };
+
+  RatingGenerator(uint64_t num_users, uint64_t num_items, uint64_t seed,
+                  double theta = 0.9)
+      : users_(num_users, theta, seed),
+        items_(num_items, theta, seed ^ 0x9e37u),
+        rng_(seed ^ 0x51edu) {}
+
+  Rating Next() {
+    return Rating{static_cast<int64_t>(users_.Next()),
+                  static_cast<int64_t>(items_.Next()),
+                  static_cast<int64_t>(1 + rng_.NextBounded(5))};
+  }
+
+ private:
+  ZipfGenerator users_;
+  ZipfGenerator items_;
+  Rng rng_;
+};
+
+// Wikipedia-like text: lines of Zipf-distributed words from a synthetic
+// vocabulary ("w<rank>").
+class TextGenerator {
+ public:
+  TextGenerator(uint64_t vocabulary, uint64_t words_per_line, uint64_t seed,
+                double theta = 0.9)
+      : words_(vocabulary, theta, seed), words_per_line_(words_per_line) {}
+
+  std::string NextLine() {
+    std::string line;
+    for (uint64_t i = 0; i < words_per_line_; ++i) {
+      if (i > 0) {
+        line += ' ';
+      }
+      line += 'w';
+      line += std::to_string(words_.Next());
+    }
+    return line;
+  }
+
+ private:
+  ZipfGenerator words_;
+  uint64_t words_per_line_;
+};
+
+// YCSB-like key/value operation mix with Zipf keys and fixed-size values.
+class KvWorkload {
+ public:
+  enum class OpType { kRead, kWrite };
+  struct Op {
+    OpType type = OpType::kWrite;
+    int64_t key = 0;
+    std::string value;  // empty for reads
+  };
+
+  // `read_fraction` in [0,1]: probability an operation is a read.
+  KvWorkload(uint64_t num_keys, size_t value_size, double read_fraction,
+             uint64_t seed, double theta = 0.8)
+      : keys_(num_keys, theta, seed),
+        rng_(seed ^ 0xabcdu),
+        value_size_(value_size),
+        read_fraction_(read_fraction) {}
+
+  Op Next() {
+    Op op;
+    op.key = static_cast<int64_t>(keys_.Next());
+    if (rng_.NextDouble() < read_fraction_) {
+      op.type = OpType::kRead;
+    } else {
+      op.type = OpType::kWrite;
+      op.value.assign(value_size_, static_cast<char>('a' + op.key % 26));
+    }
+    return op;
+  }
+
+ private:
+  ZipfGenerator keys_;
+  Rng rng_;
+  size_t value_size_;
+  double read_fraction_;
+};
+
+// Dense feature vectors with labels from a known logistic model.
+class LrDataGenerator {
+ public:
+  LrDataGenerator(size_t dimensions, uint64_t seed)
+      : rng_(seed), true_weights_(dimensions) {
+    for (auto& w : true_weights_) {
+      w = rng_.NextDoubleIn(-1.0, 1.0);
+    }
+  }
+
+  struct Example {
+    std::vector<double> x;
+    int64_t y = 0;
+  };
+
+  Example Next() {
+    Example e;
+    e.x.resize(true_weights_.size());
+    double z = 0;
+    for (size_t i = 0; i < e.x.size(); ++i) {
+      e.x[i] = rng_.NextGaussian();
+      z += e.x[i] * true_weights_[i];
+    }
+    e.y = z > 0 ? 1 : 0;
+    return e;
+  }
+
+  const std::vector<double>& true_weights() const { return true_weights_; }
+
+ private:
+  Rng rng_;
+  std::vector<double> true_weights_;
+};
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_WORKLOADS_H_

@@ -1,0 +1,67 @@
+// BatchedWordCountEngine: a first-order model of batched dataflow systems for
+// the update-granularity experiment (Fig. 8).
+//
+// Two comparator behaviours of §6.1 are reproduced:
+//  - Naiad-like ("timely"): items are processed in scheduling batches of a
+//    configurable size; every batch pays a fixed coordination/progress-
+//    tracking overhead. A small batch size gives low latency, a large one
+//    high throughput — the trade-off the paper configures as
+//    Naiad-LowLatency (1k) vs Naiad-HighThroughput (20k).
+//  - Streaming-Spark-like ("microbatch"): the batch IS the window; state is
+//    carried as immutable per-batch datasets, so every window additionally
+//    pays a cost proportional to the whole state size (the RDD cogroup of
+//    updateStateByKey) — this is what collapses below a minimum window.
+//
+// In both, a window boundary forces a flush: the current partial batch is
+// processed so the window's result can be emitted. The engine runs the
+// workload for a fixed wall-clock duration and reports the achieved
+// throughput; collapse appears as a steep throughput drop once per-window
+// fixed costs dominate.
+#ifndef SDG_BASELINE_BATCHED_STREAM_H_
+#define SDG_BASELINE_BATCHED_STREAM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/workloads.h"
+
+namespace sdg::baseline {
+
+struct BatchedWordCountOptions {
+  // Items per scheduling batch (window boundaries force smaller batches).
+  size_t batch_size = 1000;
+  // Fixed coordination cost paid per scheduled batch (seconds).
+  double per_batch_overhead_s = 0.001;
+  // Per-record dataflow processing cost (seconds/word): operator dispatch,
+  // (de)serialisation and channel hand-off a real engine pays per record.
+  double per_item_cost_s = 0;
+  // Streaming-Spark semantics: pay an O(|state|) immutable-state
+  // regeneration cost at every window.
+  bool copy_state_per_window = false;
+  // Window (result granularity) in seconds of wall-clock time.
+  double window_s = 1.0;
+};
+
+struct BatchedRunResult {
+  double throughput_items_s = 0;
+  uint64_t items_processed = 0;
+  uint64_t batches = 0;
+  uint64_t windows = 0;
+  uint64_t distinct_words = 0;
+  // Mean wall time between window results.
+  double achieved_window_s = 0;
+  // Fixed cost charged at every window boundary (forced-flush scheduling
+  // overhead + state regeneration). When this approaches the window length
+  // the engine cannot sustain that result granularity — the paper's
+  // "smallest sustainable window size".
+  double fixed_window_cost_s = 0;
+};
+
+// Runs synthetic text through the engine for `duration_s` wall seconds.
+BatchedRunResult RunBatchedWordCount(const BatchedWordCountOptions& options,
+                                     apps::TextGenerator& generator,
+                                     double duration_s);
+
+}  // namespace sdg::baseline
+
+#endif  // SDG_BASELINE_BATCHED_STREAM_H_

@@ -1,0 +1,48 @@
+// SyncCheckpointKvEngine: the Naiad comparator of the state-size experiment
+// (Fig. 6).
+//
+// A single-node key/value store whose only fault-tolerance mechanism is
+// synchronous global checkpointing: processing stops while the entire state
+// is serialised and written out — to disk (Naiad-Disk) or to a memory buffer
+// standing in for a RAM disk (Naiad-NoDisk). Request latency therefore
+// spikes by the full checkpoint duration, and throughput degrades as state
+// grows; the paper's SDG runs the same workload with dirty-state
+// asynchronous checkpoints for contrast.
+#ifndef SDG_BASELINE_SYNC_KV_H_
+#define SDG_BASELINE_SYNC_KV_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/apps/workloads.h"
+#include "src/common/metrics.h"
+
+namespace sdg::baseline {
+
+struct SyncKvOptions {
+  double checkpoint_interval_s = 1.0;
+  bool checkpoint_to_disk = true;
+  std::string disk_path = "/tmp/sdg_sync_kv.ckpt";
+  // Extra per-request scheduling cost (Naiad routes requests through its
+  // dataflow scheduler even for single-record batches).
+  double per_request_overhead_s = 0;
+};
+
+struct SyncKvResult {
+  double throughput_ops_s = 0;
+  PercentileSummary latency_ms;
+  uint64_t checkpoints = 0;
+  double max_checkpoint_s = 0;
+  size_t state_bytes = 0;
+};
+
+// Preloads `preload_keys` entries of `value_size` bytes, then serves the
+// workload for `duration_s`, checkpointing synchronously on schedule.
+SyncKvResult RunSyncCheckpointKv(const SyncKvOptions& options,
+                                 apps::KvWorkload& workload,
+                                 uint64_t preload_keys, size_t value_size,
+                                 double duration_s);
+
+}  // namespace sdg::baseline
+
+#endif  // SDG_BASELINE_SYNC_KV_H_

@@ -1,0 +1,209 @@
+#include "src/checkpoint/backup_store.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "src/common/clock.h"
+#include "src/common/logging.h"
+
+namespace sdg::checkpoint {
+
+namespace fs = std::filesystem;
+
+BackupStore::BackupStore(BackupStoreOptions options)
+    : options_(std::move(options)), pool_(options_.io_threads) {
+  SDG_CHECK(options_.num_backup_nodes > 0) << "backup store needs m >= 1";
+  for (uint32_t i = 0; i < options_.num_backup_nodes; ++i) {
+    buckets_.push_back(std::make_unique<BucketState>());
+    std::error_code ec;
+    fs::create_directories(options_.root / ("backup" + std::to_string(i)), ec);
+  }
+  std::error_code ec;
+  fs::create_directories(options_.root / "meta", ec);
+}
+
+BackupStore::~BackupStore() { pool_.Wait(); }
+
+fs::path BackupStore::ChunkPath(uint32_t backup, uint32_t node, uint64_t epoch,
+                                const std::string& name,
+                                uint32_t chunk_index) const {
+  return options_.root / ("backup" + std::to_string(backup)) /
+         ("node" + std::to_string(node) + "_epoch" + std::to_string(epoch) +
+          "_" + name + "_chunk" + std::to_string(chunk_index) + ".bin");
+}
+
+fs::path BackupStore::MetaPath(uint32_t node, uint64_t epoch) const {
+  return options_.root / "meta" /
+         ("node" + std::to_string(node) + "_epoch" + std::to_string(epoch) +
+          ".meta");
+}
+
+void BackupStore::Throttle(uint32_t backup, size_t bytes) {
+  if (options_.throttle_bytes_per_sec == 0) {
+    return;
+  }
+  auto& bucket = *buckets_[backup % buckets_.size()];
+  int64_t cost_ns = static_cast<int64_t>(
+      1e9 * static_cast<double>(bytes) /
+      static_cast<double>(options_.throttle_bytes_per_sec));
+  int64_t wait_until;
+  {
+    std::lock_guard<std::mutex> lock(bucket.mutex);
+    int64_t now = Stopwatch::NowNanos();
+    int64_t start = std::max(now, bucket.next_free_ns);
+    bucket.next_free_ns = start + cost_ns;
+    wait_until = bucket.next_free_ns;
+  }
+  int64_t now = Stopwatch::NowNanos();
+  if (wait_until > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wait_until - now));
+  }
+}
+
+Status BackupStore::WriteFile(const fs::path& path,
+                              const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return UnavailableError("cannot open " + path.string() + " for writing");
+  }
+  size_t written = bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int rc = std::fclose(f);
+  if (written != bytes.size() || rc != 0) {
+    return DataLossError("short write to " + path.string());
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> BackupStore::ReadFile(const fs::path& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open " + path.string());
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return DataLossError("short read from " + path.string());
+  }
+  return bytes;
+}
+
+Status BackupStore::WriteChunks(uint32_t node, uint64_t epoch,
+                                const std::string& name,
+                                const std::vector<std::vector<uint8_t>>& chunks) {
+  std::mutex status_mutex;
+  Status first_error;
+  for (uint32_t i = 0; i < chunks.size(); ++i) {
+    // Round-robin placement over the m backup nodes (step B3 of Fig. 4).
+    uint32_t backup = i % options_.num_backup_nodes;
+    const auto& chunk = chunks[i];
+    fs::path path = ChunkPath(backup, node, epoch, name, i);
+    pool_.Submit([this, backup, path, &chunk, &status_mutex, &first_error] {
+      Throttle(backup, chunk.size());
+      Status s = WriteFile(path, chunk);
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(status_mutex);
+        if (first_error.ok()) {
+          first_error = s;
+        }
+      }
+    });
+  }
+  pool_.Wait();
+  return first_error;
+}
+
+Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
+    uint32_t node, uint64_t epoch, const std::string& name,
+    uint32_t num_chunks) {
+  std::vector<std::vector<uint8_t>> chunks(num_chunks);
+  std::mutex status_mutex;
+  Status first_error;
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    uint32_t backup = i % options_.num_backup_nodes;
+    fs::path path = ChunkPath(backup, node, epoch, name, i);
+    pool_.Submit([this, backup, path, i, &chunks, &status_mutex, &first_error] {
+      auto bytes = ReadFile(path);
+      if (bytes.ok()) {
+        Throttle(backup, bytes->size());
+        chunks[i] = std::move(*bytes);
+      } else {
+        std::lock_guard<std::mutex> lock(status_mutex);
+        if (first_error.ok()) {
+          first_error = bytes.status();
+        }
+      }
+    });
+  }
+  pool_.Wait();
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return chunks;
+}
+
+Status BackupStore::WriteMeta(uint32_t node, uint64_t epoch,
+                              const CheckpointMeta& meta) {
+  return WriteFile(MetaPath(node, epoch), meta.ToBytes());
+}
+
+Result<CheckpointMeta> BackupStore::ReadMeta(uint32_t node, uint64_t epoch) {
+  SDG_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                       ReadFile(MetaPath(node, epoch)));
+  return CheckpointMeta::FromBytes(bytes);
+}
+
+Result<uint64_t> BackupStore::LatestEpoch(uint32_t node) {
+  // The meta file is written last, so its presence marks a complete
+  // checkpoint; scan for the highest epoch.
+  uint64_t best = 0;
+  bool found = false;
+  std::string prefix = "node" + std::to_string(node) + "_epoch";
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(options_.root / "meta", ec)) {
+    std::string fname = entry.path().filename().string();
+    if (fname.rfind(prefix, 0) != 0) {
+      continue;
+    }
+    uint64_t epoch = std::strtoull(fname.c_str() + prefix.size(), nullptr, 10);
+    if (!found || epoch > best) {
+      best = epoch;
+      found = true;
+    }
+  }
+  if (!found) {
+    return NotFoundError("no checkpoint for node " + std::to_string(node));
+  }
+  return best;
+}
+
+void BackupStore::PruneBefore(uint32_t node, uint64_t keep_epoch) {
+  std::string node_prefix = "node" + std::to_string(node) + "_epoch";
+  auto epoch_of = [&](const std::string& fname) -> uint64_t {
+    return std::strtoull(fname.c_str() + node_prefix.size(), nullptr, 10);
+  };
+  std::error_code ec;
+  for (uint32_t b = 0; b < options_.num_backup_nodes; ++b) {
+    fs::path dir = options_.root / ("backup" + std::to_string(b));
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      std::string fname = entry.path().filename().string();
+      if (fname.rfind(node_prefix, 0) == 0 && epoch_of(fname) < keep_epoch) {
+        fs::remove(entry.path(), ec);
+      }
+    }
+  }
+  for (const auto& entry :
+       fs::directory_iterator(options_.root / "meta", ec)) {
+    std::string fname = entry.path().filename().string();
+    if (fname.rfind(node_prefix, 0) == 0 && epoch_of(fname) < keep_epoch) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace sdg::checkpoint

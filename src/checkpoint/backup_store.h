@@ -1,0 +1,93 @@
+// BackupStore: the distributed checkpoint storage of §5 (Fig. 4).
+//
+// Checkpoint chunks are streamed round-robin to m backup "nodes" — here,
+// m directories on disk, each with an optional bandwidth throttle so benches
+// can reproduce the paper's disk-bound regime. A thread pool serialises and
+// writes chunks in parallel (step B2); restore reads the chunks of an SE
+// instance from all m directories in parallel and hands them to the caller,
+// which splits them across n recovering instances (steps R1/R2).
+#ifndef SDG_CHECKPOINT_BACKUP_STORE_H_
+#define SDG_CHECKPOINT_BACKUP_STORE_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/thread_pool.h"
+#include "src/checkpoint/checkpoint_meta.h"
+
+namespace sdg::checkpoint {
+
+struct BackupStoreOptions {
+  std::filesystem::path root;
+  // m: number of simulated backup nodes (directories).
+  uint32_t num_backup_nodes = 2;
+  // Per-backup-node I/O throughput cap in bytes/second; 0 disables the
+  // throttle. Models the paper's per-disk bandwidth.
+  uint64_t throttle_bytes_per_sec = 0;
+  // Threads serialising/writing chunks in parallel (step B2).
+  size_t io_threads = 4;
+};
+
+class BackupStore {
+ public:
+  explicit BackupStore(BackupStoreOptions options);
+  ~BackupStore();
+
+  BackupStore(const BackupStore&) = delete;
+  BackupStore& operator=(const BackupStore&) = delete;
+
+  // Persists the chunks of one SE instance under (node, epoch, name).
+  // Chunk i goes to backup node i % m; writes proceed in parallel.
+  Status WriteChunks(uint32_t node, uint64_t epoch, const std::string& name,
+                     const std::vector<std::vector<uint8_t>>& chunks);
+
+  // Reads back all chunks of (node, epoch, name), in chunk order. Chunks are
+  // fetched from the m backup directories in parallel.
+  Result<std::vector<std::vector<uint8_t>>> ReadChunks(uint32_t node,
+                                                       uint64_t epoch,
+                                                       const std::string& name,
+                                                       uint32_t num_chunks);
+
+  // Persists / retrieves checkpoint metadata for (node, epoch).
+  Status WriteMeta(uint32_t node, uint64_t epoch, const CheckpointMeta& meta);
+  Result<CheckpointMeta> ReadMeta(uint32_t node, uint64_t epoch);
+
+  // Highest epoch for which a complete meta record exists for `node`.
+  Result<uint64_t> LatestEpoch(uint32_t node);
+
+  // Removes every epoch of `node` older than `keep_epoch`.
+  void PruneBefore(uint32_t node, uint64_t keep_epoch);
+
+  uint32_t num_backup_nodes() const { return options_.num_backup_nodes; }
+
+ private:
+  std::filesystem::path ChunkPath(uint32_t backup, uint32_t node,
+                                  uint64_t epoch, const std::string& name,
+                                  uint32_t chunk_index) const;
+  std::filesystem::path MetaPath(uint32_t node, uint64_t epoch) const;
+
+  // Applies the per-backup-node bandwidth throttle for `bytes` of traffic.
+  void Throttle(uint32_t backup, size_t bytes);
+
+  Status WriteFile(const std::filesystem::path& path,
+                   const std::vector<uint8_t>& bytes);
+  Result<std::vector<uint8_t>> ReadFile(const std::filesystem::path& path);
+
+  BackupStoreOptions options_;
+  ThreadPool pool_;
+  // Token-bucket state per backup node.
+  struct BucketState {
+    std::mutex mutex;
+    int64_t next_free_ns = 0;
+  };
+  std::vector<std::unique_ptr<BucketState>> buckets_;
+};
+
+}  // namespace sdg::checkpoint
+
+#endif  // SDG_CHECKPOINT_BACKUP_STORE_H_

@@ -1,0 +1,73 @@
+#include "src/checkpoint/checkpoint_meta.h"
+
+namespace sdg::checkpoint {
+
+void CheckpointMeta::Serialize(BinaryWriter& w) const {
+  w.Write<uint64_t>(epoch);
+  w.Write<uint32_t>(static_cast<uint32_t>(tasks.size()));
+  for (const auto& t : tasks) {
+    w.Write<uint32_t>(t.task);
+    w.Write<uint32_t>(t.instance);
+    w.Write<uint64_t>(t.emit_clock);
+    w.Write<uint32_t>(static_cast<uint32_t>(t.last_seen.size()));
+    for (const auto& s : t.last_seen) {
+      w.Write<uint32_t>(s.task);
+      w.Write<uint32_t>(s.instance);
+      w.Write<uint64_t>(s.ts);
+    }
+  }
+  w.Write<uint32_t>(static_cast<uint32_t>(states.size()));
+  for (const auto& s : states) {
+    w.Write<uint32_t>(s.state);
+    w.Write<uint32_t>(s.instance);
+    w.Write<uint32_t>(s.num_chunks);
+    w.Write<uint64_t>(s.record_count);
+  }
+}
+
+Result<CheckpointMeta> CheckpointMeta::Deserialize(BinaryReader& r) {
+  CheckpointMeta m;
+  SDG_ASSIGN_OR_RETURN(m.epoch, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(uint32_t num_tasks, r.Read<uint32_t>());
+  m.tasks.reserve(std::min<size_t>(num_tasks, r.remaining()));
+  for (uint32_t i = 0; i < num_tasks; ++i) {
+    TaskInstanceMeta t;
+    SDG_ASSIGN_OR_RETURN(t.task, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(t.instance, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(t.emit_clock, r.Read<uint64_t>());
+    SDG_ASSIGN_OR_RETURN(uint32_t num_seen, r.Read<uint32_t>());
+    t.last_seen.reserve(std::min<size_t>(num_seen, r.remaining()));
+    for (uint32_t j = 0; j < num_seen; ++j) {
+      SourceTimestamp s;
+      SDG_ASSIGN_OR_RETURN(s.task, r.Read<uint32_t>());
+      SDG_ASSIGN_OR_RETURN(s.instance, r.Read<uint32_t>());
+      SDG_ASSIGN_OR_RETURN(s.ts, r.Read<uint64_t>());
+      t.last_seen.push_back(s);
+    }
+    m.tasks.push_back(std::move(t));
+  }
+  SDG_ASSIGN_OR_RETURN(uint32_t num_states, r.Read<uint32_t>());
+  m.states.reserve(std::min<size_t>(num_states, r.remaining()));
+  for (uint32_t i = 0; i < num_states; ++i) {
+    StateInstanceMeta s;
+    SDG_ASSIGN_OR_RETURN(s.state, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(s.instance, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(s.num_chunks, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(s.record_count, r.Read<uint64_t>());
+    m.states.push_back(s);
+  }
+  return m;
+}
+
+std::vector<uint8_t> CheckpointMeta::ToBytes() const {
+  BinaryWriter w;
+  Serialize(w);
+  return std::move(w).TakeBuffer();
+}
+
+Result<CheckpointMeta> CheckpointMeta::FromBytes(const std::vector<uint8_t>& bytes) {
+  BinaryReader r(bytes);
+  return Deserialize(r);
+}
+
+}  // namespace sdg::checkpoint

@@ -1,0 +1,53 @@
+// Checkpoint metadata: everything besides SE contents a node needs to resume.
+//
+// Per §5, a checkpoint records, for every task instance on the node, the
+// vector timestamp of the last data item applied from each input dataflow
+// (so upstream replay can resume exactly past the snapshot) and the
+// instance's emit clock (so re-emitted items carry the same timestamps and
+// downstream duplicate detection works).
+#ifndef SDG_CHECKPOINT_CHECKPOINT_META_H_
+#define SDG_CHECKPOINT_CHECKPOINT_META_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+
+namespace sdg::checkpoint {
+
+struct SourceTimestamp {
+  uint32_t task = 0;
+  uint32_t instance = 0;
+  uint64_t ts = 0;
+};
+
+struct TaskInstanceMeta {
+  uint32_t task = 0;
+  uint32_t instance = 0;
+  uint64_t emit_clock = 0;
+  std::vector<SourceTimestamp> last_seen;
+};
+
+struct StateInstanceMeta {
+  uint32_t state = 0;
+  uint32_t instance = 0;
+  uint32_t num_chunks = 0;
+  uint64_t record_count = 0;
+};
+
+struct CheckpointMeta {
+  uint64_t epoch = 0;
+  std::vector<TaskInstanceMeta> tasks;
+  std::vector<StateInstanceMeta> states;
+
+  void Serialize(BinaryWriter& w) const;
+  static Result<CheckpointMeta> Deserialize(BinaryReader& r);
+  std::vector<uint8_t> ToBytes() const;
+  static Result<CheckpointMeta> FromBytes(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace sdg::checkpoint
+
+#endif  // SDG_CHECKPOINT_CHECKPOINT_META_H_

@@ -1,0 +1,62 @@
+// Time primitives.
+//
+// LogicalClock issues the TE-generated scalar timestamps that the failure
+// recovery protocol attaches to every data item (§5): checkpoints record a
+// vector timestamp of the last item applied per input dataflow, and
+// downstream nodes discard duplicates during replay by comparing timestamps.
+#ifndef SDG_COMMON_CLOCK_H_
+#define SDG_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace sdg {
+
+// Monotonically increasing per-source timestamp generator.
+class LogicalClock {
+ public:
+  uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
+
+  // Fast-forward past `ts`; used when a recovered task resumes emitting so
+  // its timestamps stay monotone across the failure.
+  void AdvanceTo(uint64_t ts) {
+    uint64_t current = next_.load(std::memory_order_relaxed);
+    while (current <= ts && !next_.compare_exchange_weak(
+                                current, ts + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> next_{1};
+};
+
+// Wall-clock stopwatch for benchmark measurement windows.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_CLOCK_H_

@@ -1,0 +1,40 @@
+// Hashing utilities. All partitioning in the SDG runtime (key-partitioned
+// dispatch, checkpoint chunking) goes through these functions so that
+// partition placement is deterministic across runs.
+#ifndef SDG_COMMON_HASH_H_
+#define SDG_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace sdg {
+
+// FNV-1a 64-bit over a byte range.
+constexpr uint64_t Fnv1a64(const char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint8_t>(data[i]);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+constexpr uint64_t Fnv1a64(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+// SplitMix64 finaliser: a fast, well-mixed integer hash.
+constexpr uint64_t MixHash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return MixHash64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_HASH_H_

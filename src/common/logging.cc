@@ -1,0 +1,69 @@
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace sdg {
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+std::mutex g_log_mutex;
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void Logger::SetMinLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::min_level() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Logger::Write(LogLevel level, std::string_view file, int line,
+                   std::string_view message) {
+  // Strip the directory part of the file path for readability.
+  size_t slash = file.rfind('/');
+  if (slash != std::string_view::npos) {
+    file = file.substr(slash + 1);
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%lld.%03lld %s %.*s:%d] %.*s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000),
+               std::string(LogLevelName(level)).c_str(),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+namespace internal {
+
+LogMessage::~LogMessage() {
+  Logger::Write(level_, file_, line_, stream_.str());
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace sdg

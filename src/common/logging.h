@@ -1,0 +1,76 @@
+// Minimal thread-safe leveled logger.
+//
+// Usage: SDG_LOG(kInfo) << "deployed " << n << " task elements";
+// The default minimum level is kWarning so that tests and benchmarks stay
+// quiet; raise verbosity with Logger::SetMinLevel.
+#ifndef SDG_COMMON_LOGGING_H_
+#define SDG_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace sdg {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+std::string_view LogLevelName(LogLevel level);
+
+class Logger {
+ public:
+  static void SetMinLevel(LogLevel level);
+  static LogLevel min_level();
+
+  // Writes one formatted line to stderr under a global mutex.
+  static void Write(LogLevel level, std::string_view file, int line,
+                    std::string_view message);
+};
+
+namespace internal {
+
+// Collects one log statement's stream output and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define SDG_LOG(severity)                                                 \
+  for (bool _sdg_log_once =                                               \
+           ::sdg::LogLevel::severity >= ::sdg::Logger::min_level();       \
+       _sdg_log_once; _sdg_log_once = false)                              \
+  ::sdg::internal::LogMessage(::sdg::LogLevel::severity, __FILE__,        \
+                              __LINE__)                                   \
+      .stream()
+
+// Fatal-on-false invariant check, active in all build modes.
+#define SDG_CHECK(cond)                                                    \
+  for (bool _sdg_check_failed = !(cond); _sdg_check_failed;                \
+       _sdg_check_failed = false)                                          \
+  ::sdg::internal::LogMessage(::sdg::LogLevel::kFatal, __FILE__, __LINE__) \
+          .stream()                                                        \
+      << "Check failed: " #cond " "
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#include "src/common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace sdg {
+
+std::string PercentileSummary::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.3f p5=%.3f p25=%.3f p50=%.3f p75=%.3f p95=%.3f",
+                static_cast<unsigned long long>(count), mean, p5, p25, p50, p75,
+                p95);
+  return buf;
+}
+
+double PercentileOfSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  auto lo = static_cast<size_t>(std::floor(rank));
+  auto hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+PercentileSummary Histogram::Snapshot() const {
+  std::vector<double> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = samples_;
+  }
+  PercentileSummary s;
+  s.count = copy.size();
+  if (copy.empty()) {
+    return s;
+  }
+  std::sort(copy.begin(), copy.end());
+  s.min = copy.front();
+  s.max = copy.back();
+  s.mean = std::accumulate(copy.begin(), copy.end(), 0.0) /
+           static_cast<double>(copy.size());
+  s.p5 = PercentileOfSorted(copy, 5);
+  s.p25 = PercentileOfSorted(copy, 25);
+  s.p50 = PercentileOfSorted(copy, 50);
+  s.p75 = PercentileOfSorted(copy, 75);
+  s.p95 = PercentileOfSorted(copy, 95);
+  s.p99 = PercentileOfSorted(copy, 99);
+  return s;
+}
+
+double ThroughputMeter::TakeRate() {
+  int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  uint64_t count = counter_.value();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (last_ns_ == 0) {
+    last_ns_ = now_ns;
+    last_count_ = count;
+    return 0.0;
+  }
+  double elapsed = static_cast<double>(now_ns - last_ns_) * 1e-9;
+  double rate = elapsed <= 0 ? 0.0
+                             : static_cast<double>(count - last_count_) / elapsed;
+  last_ns_ = now_ns;
+  last_count_ = count;
+  return rate;
+}
+
+}  // namespace sdg

@@ -1,0 +1,101 @@
+// Counters and percentile histograms.
+//
+// The paper reports latency candlesticks at the 5th/25th/50th/75th/95th
+// percentiles (§6) and throughput in requests/s; these types back every bench
+// binary's output.
+#ifndef SDG_COMMON_METRICS_H_
+#define SDG_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdg {
+
+// Monotonic event counter, safe for concurrent increments.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Summary of a histogram at the paper's candlestick percentiles.
+struct PercentileSummary {
+  uint64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p5 = 0;
+  double p25 = 0;
+  double p50 = 0;
+  double p75 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  // e.g. "n=1000 mean=1.2 p5=0.3 p25=0.8 p50=1.1 p75=1.5 p95=2.2".
+  std::string ToString() const;
+};
+
+// Records raw samples and computes exact percentiles on demand. Recording is
+// lock-protected; Snapshot sorts a copy, so it is safe to call concurrently
+// with recording.
+class Histogram {
+ public:
+  void Record(double sample) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(sample);
+  }
+
+  void RecordBatch(const std::vector<double>& samples) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.insert(samples_.end(), samples.begin(), samples.end());
+  }
+
+  PercentileSummary Snapshot() const;
+
+  uint64_t count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_.size();
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+};
+
+// Computes the p-th percentile (0..100) of already-sorted samples by linear
+// interpolation. Exposed for tests and for one-shot percentile math.
+double PercentileOfSorted(const std::vector<double>& sorted, double p);
+
+// Throughput meter: windowed rate of events over wall-clock time.
+class ThroughputMeter {
+ public:
+  void Add(uint64_t events) { counter_.Increment(events); }
+
+  // Events counted since the previous TakeRate call, divided by elapsed
+  // seconds since then.
+  double TakeRate();
+
+ private:
+  Counter counter_;
+  std::mutex mutex_;
+  uint64_t last_count_ = 0;
+  int64_t last_ns_ = 0;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_METRICS_H_

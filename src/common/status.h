@@ -1,0 +1,154 @@
+// Status / Result error-handling primitives for the SDG library.
+//
+// The library does not throw exceptions across module boundaries; fallible
+// operations return Status (or Result<T> when they produce a value).
+#ifndef SDG_COMMON_STATUS_H_
+#define SDG_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace sdg {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kAborted,
+  kDataLoss,
+  kInternal,
+  kUnimplemented,
+  kDeadlineExceeded,
+};
+
+// Human-readable name of a status code (e.g. "INVALID_ARGUMENT").
+std::string_view StatusCodeName(StatusCode code);
+
+// A cheap value type carrying an error code and message. The OK status carries
+// no message and is the default-constructed value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status AbortedError(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+// Propagates a non-OK status to the caller.
+#define SDG_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::sdg::Status _sdg_status = (expr);    \
+    if (!_sdg_status.ok()) {               \
+      return _sdg_status;                  \
+    }                                      \
+  } while (false)
+
+// Assigns the value of a Result expression or propagates its status.
+#define SDG_ASSIGN_OR_RETURN(lhs, expr)             \
+  SDG_ASSIGN_OR_RETURN_IMPL_(                       \
+      SDG_STATUS_CONCAT_(_sdg_result, __LINE__), lhs, expr)
+#define SDG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+#define SDG_STATUS_CONCAT_(a, b) SDG_STATUS_CONCAT_IMPL_(a, b)
+#define SDG_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+// Fixed-size thread pool used for parallel checkpoint chunk serialisation
+// (§5, step B2 of the m-to-n backup protocol) and other fan-out work.
+#ifndef SDG_COMMON_THREAD_POOL_H_
+#define SDG_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdg {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks run in FIFO order across the worker threads.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_THREAD_POOL_H_

@@ -1,0 +1,175 @@
+#include "src/common/value.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/hash.h"
+
+namespace sdg {
+
+void Value::Serialize(BinaryWriter& w) const {
+  w.Write<uint8_t>(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case Type::kNull:
+      break;
+    case Type::kInt:
+      w.Write<int64_t>(AsInt());
+      break;
+    case Type::kDouble:
+      w.Write<double>(AsDouble());
+      break;
+    case Type::kString:
+      w.WriteString(AsString());
+      break;
+    case Type::kDoubleVector:
+      w.WriteVector<double>(AsDoubleVector());
+      break;
+    case Type::kIntVector:
+      w.WriteVector<int64_t>(AsIntVector());
+      break;
+  }
+}
+
+Result<Value> Value::Deserialize(BinaryReader& r) {
+  SDG_ASSIGN_OR_RETURN(uint8_t tag, r.Read<uint8_t>());
+  switch (static_cast<Type>(tag)) {
+    case Type::kNull:
+      return Value();
+    case Type::kInt: {
+      SDG_ASSIGN_OR_RETURN(int64_t v, r.Read<int64_t>());
+      return Value(v);
+    }
+    case Type::kDouble: {
+      SDG_ASSIGN_OR_RETURN(double v, r.Read<double>());
+      return Value(v);
+    }
+    case Type::kString: {
+      SDG_ASSIGN_OR_RETURN(std::string v, r.ReadString());
+      return Value(std::move(v));
+    }
+    case Type::kDoubleVector: {
+      SDG_ASSIGN_OR_RETURN(std::vector<double> v, r.ReadVector<double>());
+      return Value(std::move(v));
+    }
+    case Type::kIntVector: {
+      SDG_ASSIGN_OR_RETURN(std::vector<int64_t> v, r.ReadVector<int64_t>());
+      return Value(std::move(v));
+    }
+  }
+  return Status(StatusCode::kDataLoss, "unknown value type tag");
+}
+
+uint64_t Value::Hash() const {
+  switch (type()) {
+    case Type::kNull:
+      return 0;
+    case Type::kInt:
+      return MixHash64(static_cast<uint64_t>(AsInt()));
+    case Type::kDouble: {
+      double d = AsDouble();
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return MixHash64(bits);
+    }
+    case Type::kString:
+      return Fnv1a64(AsString());
+    case Type::kDoubleVector: {
+      uint64_t h = 0x1234;
+      for (double d : AsDoubleVector()) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h = HashCombine(h, bits);
+      }
+      return h;
+    }
+    case Type::kIntVector: {
+      uint64_t h = 0x5678;
+      for (int64_t v : AsIntVector()) {
+        h = HashCombine(h, static_cast<uint64_t>(v));
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  std::ostringstream os;
+  switch (type()) {
+    case Type::kNull:
+      os << "null";
+      break;
+    case Type::kInt:
+      os << AsInt();
+      break;
+    case Type::kDouble:
+      os << AsDouble();
+      break;
+    case Type::kString:
+      os << '"' << AsString() << '"';
+      break;
+    case Type::kDoubleVector: {
+      os << "[";
+      const auto& v = AsDoubleVector();
+      for (size_t i = 0; i < v.size(); ++i) {
+        os << (i ? "," : "") << v[i];
+      }
+      os << "]";
+      break;
+    }
+    case Type::kIntVector: {
+      os << "[";
+      const auto& v = AsIntVector();
+      for (size_t i = 0; i < v.size(); ++i) {
+        os << (i ? "," : "") << v[i];
+      }
+      os << "]";
+      break;
+    }
+  }
+  return os.str();
+}
+
+void Tuple::Serialize(BinaryWriter& w) const {
+  w.Write<uint32_t>(static_cast<uint32_t>(values_.size()));
+  for (const auto& v : values_) {
+    v.Serialize(w);
+  }
+}
+
+Result<Tuple> Tuple::Deserialize(BinaryReader& r) {
+  SDG_ASSIGN_OR_RETURN(uint32_t count, r.Read<uint32_t>());
+  std::vector<Value> values;
+  // A hostile count must not drive a huge allocation: each value occupies at
+  // least one byte, so remaining() bounds any honest count.
+  values.reserve(std::min<size_t>(count, r.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    SDG_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+std::vector<uint8_t> Tuple::ToBytes() const {
+  BinaryWriter w;
+  Serialize(w);
+  return std::move(w).TakeBuffer();
+}
+
+Result<Tuple> Tuple::FromBytes(const std::vector<uint8_t>& bytes) {
+  BinaryReader r(bytes);
+  return Deserialize(r);
+}
+
+std::string Tuple::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    os << (i ? ", " : "") << values_[i].ToString();
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sdg

@@ -1,0 +1,114 @@
+// Dynamically-typed values and tuples flowing along SDG dataflow edges.
+//
+// Data items crossing simulated node boundaries are serialised; Tuple is the
+// unit of transfer (the "live variables" a TE sends to its successor after
+// the translation's live-variable analysis, §4.2 step 5).
+#ifndef SDG_COMMON_VALUE_H_
+#define SDG_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+
+namespace sdg {
+
+// One dynamically typed value. The alternatives cover everything the paper's
+// applications move along dataflows: scalars, strings, and numeric vectors
+// (e.g. CF's user rating row and partial recommendation vectors).
+class Value {
+ public:
+  using Variant = std::variant<std::monostate, int64_t, double, std::string,
+                               std::vector<double>, std::vector<int64_t>>;
+
+  enum class Type : uint8_t {
+    kNull = 0,
+    kInt = 1,
+    kDouble = 2,
+    kString = 3,
+    kDoubleVector = 4,
+    kIntVector = 5,
+  };
+
+  Value() = default;
+  Value(int64_t v) : v_(v) {}                       // NOLINT
+  Value(int v) : v_(static_cast<int64_t>(v)) {}     // NOLINT
+  Value(double v) : v_(v) {}                        // NOLINT
+  Value(std::string v) : v_(std::move(v)) {}        // NOLINT
+  Value(const char* v) : v_(std::string(v)) {}      // NOLINT
+  Value(std::vector<double> v) : v_(std::move(v)) {}   // NOLINT
+  Value(std::vector<int64_t> v) : v_(std::move(v)) {}  // NOLINT
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const std::vector<double>& AsDoubleVector() const {
+    return std::get<std::vector<double>>(v_);
+  }
+  const std::vector<int64_t>& AsIntVector() const {
+    return std::get<std::vector<int64_t>>(v_);
+  }
+  std::vector<double>& MutableDoubleVector() {
+    return std::get<std::vector<double>>(v_);
+  }
+
+  // Numeric coercion: int or double -> double.
+  double ToDouble() const {
+    if (type() == Type::kInt) {
+      return static_cast<double>(AsInt());
+    }
+    return AsDouble();
+  }
+
+  void Serialize(BinaryWriter& w) const;
+  static Result<Value> Deserialize(BinaryReader& r);
+
+  // Hash used by key-partitioned dispatch; equal values hash equally.
+  uint64_t Hash() const;
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+  std::string ToString() const;
+
+ private:
+  Variant v_;
+};
+
+// An ordered sequence of values: one dataflow data item's payload.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_.at(i); }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  Value& operator[](size_t i) { return values_[i]; }
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  void Serialize(BinaryWriter& w) const;
+  static Result<Tuple> Deserialize(BinaryReader& r);
+  std::vector<uint8_t> ToBytes() const;
+  static Result<Tuple> FromBytes(const std::vector<uint8_t>& bytes);
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_VALUE_H_

@@ -1,0 +1,84 @@
+#include "src/graph/allocation.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace sdg::graph {
+
+std::string Allocation::ToString(const Sdg& g) const {
+  std::ostringstream os;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    os << "node " << n << ":";
+    for (const auto& s : g.states()) {
+      if (state_nodes[s.id] == n) {
+        os << " [SE " << s.name << "]";
+      }
+    }
+    for (const auto& t : g.tasks()) {
+      if (task_nodes[t.id] == n) {
+        os << " (TE " << t.name << ")";
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<Allocation> AllocateSdg(const Sdg& g, uint32_t num_nodes) {
+  if (num_nodes == 0) {
+    return InvalidArgumentError("allocation requires at least one node");
+  }
+  Allocation a;
+  a.num_nodes = num_nodes;
+  constexpr NodeId kUnassigned = UINT32_MAX;
+  a.state_nodes.assign(g.states().size(), kUnassigned);
+  a.task_nodes.assign(g.tasks().size(), kUnassigned);
+
+  NodeId next_node = 0;
+  auto take_node = [&]() -> NodeId {
+    NodeId n = next_node;
+    next_node = (next_node + 1) % num_nodes;
+    return n;
+  };
+
+  // Step 1: colocate all SEs accessed by TEs that participate in a cycle.
+  std::vector<TaskId> cyclic = g.TasksOnCycles();
+  std::set<StateId> cycle_states;
+  for (TaskId t : cyclic) {
+    const auto& te = g.task(t);
+    if (te.state.has_value()) {
+      cycle_states.insert(*te.state);
+    }
+  }
+  if (!cycle_states.empty()) {
+    NodeId shared = take_node();
+    for (StateId s : cycle_states) {
+      a.state_nodes[s] = shared;
+    }
+  }
+
+  // Step 2: remaining SEs on separate nodes.
+  for (const auto& s : g.states()) {
+    if (a.state_nodes[s.id] == kUnassigned) {
+      a.state_nodes[s.id] = take_node();
+    }
+  }
+
+  // Step 3: TEs join the SE they access.
+  for (const auto& t : g.tasks()) {
+    if (t.state.has_value()) {
+      a.task_nodes[t.id] = a.state_nodes[*t.state];
+    }
+  }
+
+  // Step 4: remaining (stateless) TEs on separate nodes.
+  for (const auto& t : g.tasks()) {
+    if (a.task_nodes[t.id] == kUnassigned) {
+      a.task_nodes[t.id] = take_node();
+    }
+  }
+  return a;
+}
+
+}  // namespace sdg::graph

@@ -1,0 +1,40 @@
+// The four-step TE/SE-to-node allocation algorithm of §3.3.
+//
+// Step 1: SEs accessed by TEs on a dataflow cycle are colocated (cuts
+//         communication in iterative algorithms).
+// Step 2: remaining SEs are spread over separate nodes (maximises the memory
+//         available to each).
+// Step 3: TEs are colocated with the SE they access (no remote state access).
+// Step 4: stateless / unallocated TEs go to separate nodes.
+#ifndef SDG_GRAPH_ALLOCATION_H_
+#define SDG_GRAPH_ALLOCATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+
+namespace sdg::graph {
+
+using NodeId = uint32_t;
+
+struct Allocation {
+  // Home node of each SE / TE (indexed by id). Runtime instance scaling may
+  // later place additional instances elsewhere.
+  std::vector<NodeId> state_nodes;
+  std::vector<NodeId> task_nodes;
+  uint32_t num_nodes = 0;
+
+  std::string ToString(const Sdg& g) const;
+};
+
+// Maps every element of `g` onto `num_nodes` simulated nodes. Fails if
+// num_nodes == 0. With fewer nodes than elements, placement wraps round-robin
+// (the paper's strategy degrades the same way on small clusters).
+Result<Allocation> AllocateSdg(const Sdg& g, uint32_t num_nodes);
+
+}  // namespace sdg::graph
+
+#endif  // SDG_GRAPH_ALLOCATION_H_

@@ -1,0 +1,334 @@
+#include "src/graph/sdg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace sdg::graph {
+
+std::string_view StateDistributionName(StateDistribution d) {
+  switch (d) {
+    case StateDistribution::kSingle:
+      return "single";
+    case StateDistribution::kPartitioned:
+      return "partitioned";
+    case StateDistribution::kPartial:
+      return "partial";
+  }
+  return "?";
+}
+
+std::string_view AccessModeName(AccessMode m) {
+  switch (m) {
+    case AccessMode::kNone:
+      return "none";
+    case AccessMode::kLocal:
+      return "local";
+    case AccessMode::kPartitioned:
+      return "partitioned";
+    case AccessMode::kGlobal:
+      return "global";
+  }
+  return "?";
+}
+
+std::string_view DispatchName(Dispatch d) {
+  switch (d) {
+    case Dispatch::kPartitioned:
+      return "partitioned";
+    case Dispatch::kOneToAny:
+      return "one-to-any";
+    case Dispatch::kOneToAll:
+      return "one-to-all";
+    case Dispatch::kAllToOne:
+      return "all-to-one";
+  }
+  return "?";
+}
+
+Result<TaskId> Sdg::TaskByName(std::string_view name) const {
+  for (const auto& t : tasks_) {
+    if (t.name == name) {
+      return t.id;
+    }
+  }
+  return NotFoundError("no task element named '" + std::string(name) + "'");
+}
+
+Result<StateId> Sdg::StateByName(std::string_view name) const {
+  for (const auto& s : states_) {
+    if (s.name == name) {
+      return s.id;
+    }
+  }
+  return NotFoundError("no state element named '" + std::string(name) + "'");
+}
+
+std::vector<const DataflowEdge*> Sdg::OutEdges(TaskId id) const {
+  std::vector<const DataflowEdge*> out;
+  for (const auto& e : edges_) {
+    if (e.from == id) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::vector<const DataflowEdge*> Sdg::InEdges(TaskId id) const {
+  std::vector<const DataflowEdge*> in;
+  for (const auto& e : edges_) {
+    if (e.to == id) {
+      in.push_back(&e);
+    }
+  }
+  return in;
+}
+
+std::vector<TaskId> Sdg::TasksOnCycles() const {
+  // A TE lies on a cycle iff it is reachable from one of its own successors.
+  // With the small graphs SDGs describe, an O(V * E) reachability sweep is
+  // plenty.
+  std::vector<TaskId> result;
+  for (const auto& t : tasks_) {
+    std::set<TaskId> visited;
+    std::vector<TaskId> frontier;
+    for (const auto* e : OutEdges(t.id)) {
+      frontier.push_back(e->to);
+    }
+    bool on_cycle = false;
+    while (!frontier.empty() && !on_cycle) {
+      TaskId cur = frontier.back();
+      frontier.pop_back();
+      if (cur == t.id) {
+        on_cycle = true;
+        break;
+      }
+      if (!visited.insert(cur).second) {
+        continue;
+      }
+      for (const auto* e : OutEdges(cur)) {
+        frontier.push_back(e->to);
+      }
+    }
+    if (on_cycle) {
+      result.push_back(t.id);
+    }
+  }
+  return result;
+}
+
+Status Sdg::Validate() const {
+  if (tasks_.empty()) {
+    return InvalidArgumentError("SDG has no task elements");
+  }
+  bool has_entry = false;
+  for (const auto& t : tasks_) {
+    if (t.is_entry) {
+      has_entry = true;
+    }
+    if (!t.fn && !t.collector) {
+      return InvalidArgumentError("task '" + t.name + "' has no function");
+    }
+    if (t.fn && t.collector) {
+      return InvalidArgumentError("task '" + t.name +
+                                  "' has both a task and a collector function");
+    }
+    if (t.state.has_value()) {
+      if (*t.state >= states_.size()) {
+        return InvalidArgumentError("task '" + t.name +
+                                    "' references unknown state element");
+      }
+      const auto& se = states_[*t.state];
+      // Access mode must be consistent with the SE's distribution.
+      switch (t.access) {
+        case AccessMode::kNone:
+          return InvalidArgumentError("task '" + t.name +
+                                      "' has an access edge but mode 'none'");
+        case AccessMode::kLocal:
+          if (se.distribution == StateDistribution::kPartitioned) {
+            return InvalidArgumentError(
+                "task '" + t.name + "' uses local access to partitioned SE '" +
+                se.name + "'; partitioned SEs require an access key");
+          }
+          break;
+        case AccessMode::kPartitioned:
+          if (se.distribution != StateDistribution::kPartitioned) {
+            return InvalidArgumentError("task '" + t.name +
+                                        "' uses partitioned access to non-"
+                                        "partitioned SE '" + se.name + "'");
+          }
+          break;
+        case AccessMode::kGlobal:
+          if (se.distribution != StateDistribution::kPartial) {
+            return InvalidArgumentError(
+                "task '" + t.name + "' uses global access to SE '" + se.name +
+                "' which is not partial");
+          }
+          break;
+      }
+    } else if (t.access != AccessMode::kNone) {
+      return InvalidArgumentError("task '" + t.name +
+                                  "' declares state access but no SE");
+    }
+    if (t.initial_instances == 0) {
+      return InvalidArgumentError("task '" + t.name +
+                                  "' must have at least one instance");
+    }
+  }
+  if (!has_entry) {
+    return InvalidArgumentError("SDG has no entry task element");
+  }
+
+  for (const auto& e : edges_) {
+    if (e.from >= tasks_.size() || e.to >= tasks_.size()) {
+      return InvalidArgumentError("dataflow edge references unknown task");
+    }
+    const auto& to = tasks_[e.to];
+    if (e.dispatch == Dispatch::kPartitioned && e.key_field < 0) {
+      return InvalidArgumentError("partitioned dataflow edge into '" + to.name +
+                                  "' is missing its key field");
+    }
+    // A TE with partitioned state access must receive key-partitioned
+    // dataflows so that data and state partitions align (§3.2: "the dataflow
+    // partitioning strategy must be compatible with the data access
+    // pattern").
+    if (to.access == AccessMode::kPartitioned &&
+        e.dispatch != Dispatch::kPartitioned) {
+      return InvalidArgumentError(
+          "task '" + to.name +
+          "' accesses a partitioned SE but its input dataflow from '" +
+          tasks_[e.from].name + "' uses " + std::string(DispatchName(e.dispatch)) +
+          " dispatch instead of key partitioning");
+    }
+    // Collector TEs implement the all-to-one synchronisation barrier.
+    if (to.is_collector() && e.dispatch != Dispatch::kAllToOne) {
+      return InvalidArgumentError("collector task '" + to.name +
+                                  "' requires all-to-one dispatch on edge from '" +
+                                  tasks_[e.from].name + "'");
+    }
+    if (!to.is_collector() && e.dispatch == Dispatch::kAllToOne) {
+      return InvalidArgumentError("all-to-one edge into '" + to.name +
+                                  "' requires a collector task");
+    }
+  }
+
+  // Entry TEs must be injectable: no dataflow may target an entry TE with
+  // dispatch that conflicts with injection (cycles back into entries are
+  // permitted for iterative algorithms).
+  // Partitioned SEs accessed by several TEs must agree on one partitioning
+  // strategy; with hash partitioning on a single key field this reduces to
+  // each accessor receiving key-partitioned input, checked above.
+  return Status::Ok();
+}
+
+std::string Sdg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph sdg {\n  rankdir=LR;\n";
+  for (const auto& t : tasks_) {
+    os << "  t" << t.id << " [shape=box,label=\"" << t.name << "\"];\n";
+  }
+  for (const auto& s : states_) {
+    os << "  s" << s.id << " [shape=ellipse,style=filled,fillcolor=lightgrey,label=\""
+       << s.name << "\\n(" << StateDistributionName(s.distribution) << ")\"];\n";
+  }
+  for (const auto& t : tasks_) {
+    if (t.state.has_value()) {
+      os << "  t" << t.id << " -> s" << *t.state << " [style=dashed,label=\""
+         << AccessModeName(t.access) << "\"];\n";
+    }
+  }
+  for (const auto& e : edges_) {
+    os << "  t" << e.from << " -> t" << e.to << " [label=\""
+       << DispatchName(e.dispatch) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+StateId SdgBuilder::AddState(std::string name, StateDistribution distribution,
+                             state::StateFactory factory) {
+  StateElement se;
+  se.id = static_cast<StateId>(g_.states_.size());
+  se.name = std::move(name);
+  se.distribution = distribution;
+  se.factory = std::move(factory);
+  g_.states_.push_back(std::move(se));
+  return g_.states_.back().id;
+}
+
+TaskId SdgBuilder::AddTask(std::string name, TaskFn fn) {
+  TaskElement te;
+  te.id = static_cast<TaskId>(g_.tasks_.size());
+  te.name = std::move(name);
+  te.fn = std::move(fn);
+  g_.tasks_.push_back(std::move(te));
+  return g_.tasks_.back().id;
+}
+
+TaskId SdgBuilder::AddEntryTask(std::string name, TaskFn fn) {
+  TaskId id = AddTask(std::move(name), std::move(fn));
+  g_.tasks_[id].is_entry = true;
+  return id;
+}
+
+TaskId SdgBuilder::AddCollectorTask(std::string name, CollectorFn fn) {
+  TaskElement te;
+  te.id = static_cast<TaskId>(g_.tasks_.size());
+  te.name = std::move(name);
+  te.collector = std::move(fn);
+  g_.tasks_.push_back(std::move(te));
+  return g_.tasks_.back().id;
+}
+
+Status SdgBuilder::SetAccess(TaskId task, StateId state, AccessMode mode) {
+  if (task >= g_.tasks_.size()) {
+    return InvalidArgumentError("unknown task id");
+  }
+  if (state >= g_.states_.size()) {
+    return InvalidArgumentError("unknown state id");
+  }
+  auto& te = g_.tasks_[task];
+  if (te.state.has_value() && *te.state != state) {
+    // The access relation is a partial function (§3.1): a TE accessing two
+    // SEs must be split into two TEs by the translator.
+    return FailedPreconditionError("task '" + te.name +
+                                   "' already accesses a different SE; each TE "
+                                   "may access at most one SE");
+  }
+  te.state = state;
+  te.access = mode;
+  return Status::Ok();
+}
+
+Status SdgBuilder::Connect(TaskId from, TaskId to, Dispatch dispatch,
+                           int key_field) {
+  if (from >= g_.tasks_.size() || to >= g_.tasks_.size()) {
+    return InvalidArgumentError("unknown task id in dataflow edge");
+  }
+  DataflowEdge e;
+  e.from = from;
+  e.to = to;
+  e.dispatch = dispatch;
+  e.key_field = key_field;
+  g_.edges_.push_back(e);
+  return Status::Ok();
+}
+
+void SdgBuilder::SetInitialInstances(TaskId task, uint32_t n) {
+  if (task < g_.tasks_.size()) {
+    g_.tasks_[task].initial_instances = n;
+  }
+}
+
+void SdgBuilder::SetEntryKeyField(TaskId task, int field) {
+  if (task < g_.tasks_.size()) {
+    g_.tasks_[task].entry_key_field = field;
+  }
+}
+
+Result<Sdg> SdgBuilder::Build() && {
+  SDG_RETURN_IF_ERROR(g_.Validate());
+  return std::move(g_);
+}
+
+}  // namespace sdg::graph

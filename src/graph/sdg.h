@@ -1,0 +1,184 @@
+// The stateful dataflow graph (SDG) model of §3.
+//
+// An SDG is a cyclic graph with two vertex kinds — task elements (TEs) that
+// transform dataflows, and state elements (SEs) holding mutable state — plus
+// two edge kinds: access edges (TE -> SE; a partial function, each TE touches
+// at most one SE) and dataflow edges (TE -> TE) carrying data items with one
+// of four dispatching semantics. SEs are distributed either by partitioning
+// (disjoint splits addressed by an access key) or as partial instances
+// (independent replicas, readable globally and reconciled by a merge TE).
+#ifndef SDG_GRAPH_SDG_H_
+#define SDG_GRAPH_SDG_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::graph {
+
+using TaskId = uint32_t;
+using StateId = uint32_t;
+
+// How an SE is distributed across nodes (§3.2, Fig. 2).
+enum class StateDistribution {
+  kSingle,       // one instance
+  kPartitioned,  // disjoint splits, addressed by an access key
+  kPartial,      // independent replicas, merged on global access
+};
+
+// How a TE accesses its SE (derived from the program annotations, §4.1).
+enum class AccessMode {
+  kNone,         // stateless TE
+  kLocal,        // the single / local-partial instance
+  kPartitioned,  // one partition selected by the dataflow key
+  kGlobal,       // all partial instances (one-to-all upstream dispatch)
+};
+
+// Dispatching semantics of a dataflow edge (§4.2, step 4).
+enum class Dispatch {
+  kPartitioned,  // hash the key field, route to instance hash % n
+  kOneToAny,     // load balance (round-robin)
+  kOneToAll,     // broadcast to every downstream instance
+  kAllToOne,     // synchronisation barrier gathering into one instance
+};
+
+std::string_view StateDistributionName(StateDistribution d);
+std::string_view AccessModeName(AccessMode m);
+std::string_view DispatchName(Dispatch d);
+
+// Runtime-provided context handed to task functions. Lives in graph so task
+// logic can be attached to the graph without depending on the runtime.
+class TaskContext {
+ public:
+  virtual ~TaskContext() = default;
+
+  // The TE's single SE instance on this node, or nullptr for stateless TEs.
+  virtual state::StateBackend* state() = 0;
+
+  // Sends `tuple` along the TE's `output`-th outgoing dataflow edge.
+  virtual void Emit(size_t output, Tuple tuple) = 0;
+
+  // This TE instance's index and the current instance count of its TE.
+  virtual uint32_t instance_id() const = 0;
+  virtual uint32_t num_instances() const = 0;
+};
+
+// Transforms one input data item. Pipelined: called per item, may Emit any
+// number of outputs.
+using TaskFn = std::function<void(const Tuple& input, TaskContext& ctx)>;
+
+// A merge TE's logic: receives the gathered partial results of one barrier
+// (one tuple per upstream instance, §3.2 "merge computation").
+using CollectorFn =
+    std::function<void(const std::vector<Tuple>& partials, TaskContext& ctx)>;
+
+struct StateElement {
+  StateId id = 0;
+  std::string name;
+  StateDistribution distribution = StateDistribution::kSingle;
+  state::StateFactory factory;
+};
+
+struct TaskElement {
+  TaskId id = 0;
+  std::string name;
+  TaskFn fn;                  // exactly one of fn / collector is set
+  CollectorFn collector;
+  std::optional<StateId> state;  // the access edge (at most one per TE)
+  AccessMode access = AccessMode::kNone;
+  bool is_entry = false;      // external injection point (program entry, rule 1)
+  // For entry TEs with partitioned state access: which tuple field carries
+  // the partition key at injection.
+  int entry_key_field = 0;
+  uint32_t initial_instances = 1;
+
+  bool is_collector() const { return static_cast<bool>(collector); }
+};
+
+struct DataflowEdge {
+  TaskId from = 0;
+  TaskId to = 0;
+  Dispatch dispatch = Dispatch::kOneToAny;
+  // For kPartitioned dispatch: index of the key field within the tuple.
+  int key_field = -1;
+};
+
+// The immutable graph handed to the runtime. Build via SdgBuilder.
+class Sdg {
+ public:
+  const std::vector<TaskElement>& tasks() const { return tasks_; }
+  const std::vector<StateElement>& states() const { return states_; }
+  const std::vector<DataflowEdge>& edges() const { return edges_; }
+
+  const TaskElement& task(TaskId id) const { return tasks_.at(id); }
+  const StateElement& state(StateId id) const { return states_.at(id); }
+
+  Result<TaskId> TaskByName(std::string_view name) const;
+  Result<StateId> StateByName(std::string_view name) const;
+
+  // Outgoing dataflow edges of `id`, in insertion order (the Emit index
+  // used by task functions follows this order).
+  std::vector<const DataflowEdge*> OutEdges(TaskId id) const;
+  std::vector<const DataflowEdge*> InEdges(TaskId id) const;
+
+  // TE ids that form part of at least one dataflow cycle (iteration, §3.1).
+  std::vector<TaskId> TasksOnCycles() const;
+
+  // Structural checks: one-SE-per-TE is enforced by construction; this
+  // verifies dispatch/access compatibility (§3.2) and entry/collector rules.
+  Status Validate() const;
+
+  std::string ToDot() const;  // Graphviz rendering for docs and debugging
+
+ private:
+  friend class SdgBuilder;
+
+  std::vector<TaskElement> tasks_;
+  std::vector<StateElement> states_;
+  std::vector<DataflowEdge> edges_;
+};
+
+// Fluent construction of SDGs. Example (the Fig. 1 CF graph):
+//
+//   SdgBuilder b;
+//   auto user_item = b.AddState("userItem", StateDistribution::kPartitioned,
+//                               [] { return std::make_unique<SparseMatrix>(); });
+//   auto update = b.AddEntryTask("updateUserItem", update_fn);
+//   b.SetAccess(update, user_item, AccessMode::kPartitioned);
+//   b.Connect(update, next, Dispatch::kPartitioned, /*key_field=*/0);
+//   auto g = std::move(b).Build();   // validates
+class SdgBuilder {
+ public:
+  StateId AddState(std::string name, StateDistribution distribution,
+                   state::StateFactory factory);
+
+  TaskId AddTask(std::string name, TaskFn fn);
+  TaskId AddEntryTask(std::string name, TaskFn fn);
+  // A merge TE gathering all-to-one barriers (§3.2).
+  TaskId AddCollectorTask(std::string name, CollectorFn fn);
+
+  // Declares the TE's access edge. A TE may access at most one SE; a second
+  // call for the same TE fails.
+  Status SetAccess(TaskId task, StateId state, AccessMode mode);
+
+  Status Connect(TaskId from, TaskId to, Dispatch dispatch, int key_field = -1);
+
+  void SetInitialInstances(TaskId task, uint32_t n);
+  void SetEntryKeyField(TaskId task, int field);
+
+  // Validates and returns the graph; fails with the first structural error.
+  Result<Sdg> Build() &&;
+
+ private:
+  Sdg g_;
+};
+
+}  // namespace sdg::graph
+
+#endif  // SDG_GRAPH_SDG_H_

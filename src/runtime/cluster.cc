@@ -1,0 +1,1423 @@
+#include "src/runtime/cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/thread_pool.h"
+#include "src/state/chunk.h"
+
+namespace sdg::runtime {
+
+namespace {
+
+// Acquires every mutex in `mutexes` without hold-and-wait: try-lock all, back
+// off on contention. Avoids deadlock against workers that hold their step
+// lock while blocked on a full mailbox.
+class MultiLock {
+ public:
+  explicit MultiLock(std::vector<std::mutex*> mutexes)
+      : mutexes_(std::move(mutexes)) {
+    for (;;) {
+      size_t acquired = 0;
+      for (; acquired < mutexes_.size(); ++acquired) {
+        if (!mutexes_[acquired]->try_lock()) {
+          break;
+        }
+      }
+      if (acquired == mutexes_.size()) {
+        return;
+      }
+      for (size_t i = 0; i < acquired; ++i) {
+        mutexes_[i]->unlock();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+
+  ~MultiLock() { Release(); }
+
+  void Release() {
+    for (auto* m : mutexes_) {
+      m->unlock();
+    }
+    mutexes_.clear();
+  }
+
+ private:
+  std::vector<std::mutex*> mutexes_;
+};
+
+std::string StateChunkName(graph::StateId state, uint32_t instance) {
+  return "se" + std::to_string(state) + "_" + std::to_string(instance);
+}
+
+std::string BufferChunkName(graph::TaskId task, uint32_t instance) {
+  return "outbuf" + std::to_string(task) + "_" + std::to_string(instance);
+}
+
+}  // namespace
+
+std::string_view FtModeName(FtMode mode) {
+  switch (mode) {
+    case FtMode::kNone:
+      return "none";
+    case FtMode::kAsyncLocal:
+      return "async-local";
+    case FtMode::kSyncLocal:
+      return "sync-local";
+    case FtMode::kSyncGlobal:
+      return "sync-global";
+  }
+  return "?";
+}
+
+Deployment::Deployment(graph::Sdg g, ClusterOptions options)
+    : sdg_(std::move(g)), options_(std::move(options)) {
+  edges_ = sdg_.edges();
+  out_edges_.resize(sdg_.tasks().size());
+  for (const auto& e : edges_) {
+    out_edges_[e.from].push_back(&e);
+  }
+  rr_counters_.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    rr_counters_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+  node_alive_.assign(options_.num_nodes, true);
+  node_straggler_.assign(options_.num_nodes, false);
+  node_epoch_.assign(options_.num_nodes, 0);
+  for (uint32_t i = 0; i < options_.num_nodes; ++i) {
+    node_ckpt_mutex_.push_back(std::make_unique<std::mutex>());
+  }
+  if (options_.fault_tolerance.mode != FtMode::kNone) {
+    store_ = std::make_unique<checkpoint::BackupStore>(
+        options_.fault_tolerance.store);
+    buffering_enabled_ = true;
+  }
+}
+
+Deployment::~Deployment() { Shutdown(); }
+
+Status Deployment::Start() {
+  if (started_.exchange(true)) {
+    return FailedPreconditionError("deployment already started");
+  }
+  SDG_ASSIGN_OR_RETURN(graph::Allocation alloc,
+                       graph::AllocateSdg(sdg_, options_.num_nodes));
+
+  task_instances_.resize(sdg_.tasks().size());
+  state_groups_.resize(sdg_.states().size());
+
+  // Build state groups: instance count of a group is the maximum requested
+  // instance count over its accessor TEs; all accessors are yoked to it.
+  for (const auto& se : sdg_.states()) {
+    StateGroup& group = state_groups_[se.id];
+    group.state = se.id;
+    uint32_t count = 1;
+    for (const auto& te : sdg_.tasks()) {
+      if (te.state == se.id) {
+        group.accessors.push_back(te.id);
+        count = std::max(count, te.initial_instances);
+      }
+    }
+    for (uint32_t j = 0; j < count; ++j) {
+      group.instances.push_back(se.factory());
+      // Instance 0 at the allocated home node; extras spread round-robin.
+      uint32_t node = (alloc.state_nodes[se.id] + j) % options_.num_nodes;
+      group.instance_nodes.push_back(node);
+    }
+  }
+
+  // Materialise task instances. Stateful TEs: one instance per SE instance,
+  // colocated (§3.3 step 3). Stateless TEs: their own requested count.
+  for (const auto& te : sdg_.tasks()) {
+    auto& slots = task_instances_[te.id];
+    if (te.state.has_value()) {
+      StateGroup& group = state_groups_[*te.state];
+      for (uint32_t j = 0; j < group.instances.size(); ++j) {
+        slots.push_back(std::make_unique<TaskInstance>(
+            te, j, group.instance_nodes[j], group.instances[j].get(), this,
+            options_.mailbox_capacity));
+      }
+    } else {
+      for (uint32_t j = 0; j < te.initial_instances; ++j) {
+        uint32_t node = (alloc.task_nodes[te.id] + j) % options_.num_nodes;
+        slots.push_back(std::make_unique<TaskInstance>(
+            te, j, node, nullptr, this, options_.mailbox_capacity));
+      }
+    }
+    if (te.is_entry) {
+      external_clocks_[te.id] = std::make_unique<LogicalClock>();
+      external_buffers_[te.id] = std::make_unique<OutputBuffer>();
+      external_locks_[te.id] = std::make_unique<std::mutex>();
+    }
+  }
+
+  for (auto& slots : task_instances_) {
+    for (auto& ti : slots) {
+      ti->Start();
+    }
+  }
+
+  services_running_ = true;
+  const auto& ft = options_.fault_tolerance;
+  if (ft.mode != FtMode::kNone && ft.checkpoint_interval_s > 0) {
+    ckpt_driver_ = std::thread([this] { CheckpointDriverLoop(); });
+  }
+  if (options_.scaling.enabled) {
+    scaling_monitor_ = std::thread([this] { ScalingMonitorLoop(); });
+  }
+  return Status::Ok();
+}
+
+Status Deployment::Inject(std::string_view entry, Tuple tuple,
+                          uint64_t user_tag) {
+  if (!started_.load() || shut_down_.load()) {
+    return FailedPreconditionError("deployment is not running");
+  }
+  std::shared_lock ingest(ingest_gate_);
+  SDG_ASSIGN_OR_RETURN(graph::TaskId task, sdg_.TaskByName(entry));
+  const auto& te = sdg_.task(task);
+  if (!te.is_entry) {
+    return InvalidArgumentError("task '" + std::string(entry) +
+                                "' is not an entry point");
+  }
+
+  // The per-entry lock makes (timestamp, buffer append, dispatch) atomic so
+  // per-source FIFO timestamps stay monotone at every destination.
+  std::lock_guard<std::mutex> entry_lock(*external_locks_.at(task));
+
+  DataItem item;
+  item.from = SourceId{kExternalTask, task};
+  item.ts = external_clocks_.at(task)->Next();
+  item.user_tag = user_tag;
+  item.payload = std::move(tuple);
+
+  std::shared_lock topo(topo_mutex_);
+  const auto& slots = task_instances_[task];
+  uint32_t n = static_cast<uint32_t>(slots.size());
+  if (n == 0) {
+    return UnavailableError("entry task has no instances");
+  }
+
+  std::vector<std::pair<uint32_t, DataItem>> deliveries;
+  if (te.access == graph::AccessMode::kPartitioned) {
+    int key_field = te.entry_key_field;
+    if (key_field < 0 || static_cast<size_t>(key_field) >= item.payload.size()) {
+      return InvalidArgumentError("entry tuple lacks the partition key field");
+    }
+    uint32_t dest = static_cast<uint32_t>(item.payload[key_field].Hash() % n);
+    if (buffering_enabled_) {
+      external_buffers_.at(task)->Append(item, dest);
+    }
+    deliveries.emplace_back(dest, std::move(item));
+  } else if (te.access == graph::AccessMode::kGlobal) {
+    item.barrier_id = barrier_seq_.fetch_add(1);
+    item.expected_partials = n;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (buffering_enabled_) {
+        external_buffers_.at(task)->Append(item, j);
+      }
+      if (j + 1 < n) {
+        deliveries.emplace_back(j, item);
+      } else {
+        deliveries.emplace_back(j, std::move(item));
+      }
+    }
+  } else {
+    // Local / stateless entries load-balance (one-to-any).
+    uint32_t dest = static_cast<uint32_t>(item.ts % n);
+    if (buffering_enabled_) {
+      external_buffers_.at(task)->Append(item, dest);
+    }
+    deliveries.emplace_back(dest, std::move(item));
+  }
+
+  std::vector<std::pair<TaskInstance*, DataItem>> pushes;
+  pushes.reserve(deliveries.size());
+  for (auto& [dest, it] : deliveries) {
+    if (slots[dest]) {
+      pushes.emplace_back(slots[dest].get(), std::move(it));
+    }
+  }
+  topo.unlock();
+
+  for (auto& [ti, it] : pushes) {
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      ++in_flight_;
+    }
+    // Injection crosses the client/cluster boundary: always serialise.
+    if (options_.serialize_cross_node) {
+      auto bytes = it.ToBytes();
+      auto back = DataItem::FromBytes(bytes);
+      SDG_CHECK(back.ok()) << "self round-trip failed";
+      it = std::move(*back);
+    }
+    if (!ti->Deliver(std::move(it))) {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      --in_flight_;
+      inflight_cv_.notify_all();
+    }
+  }
+  return Status::Ok();
+}
+
+Status Deployment::OnOutput(std::string_view task, SinkFn fn) {
+  SDG_ASSIGN_OR_RETURN(graph::TaskId id, sdg_.TaskByName(task));
+  std::lock_guard<std::mutex> lock(sinks_mutex_);
+  sinks_[id] = std::move(fn);
+  return Status::Ok();
+}
+
+void Deployment::Drain() {
+  std::unique_lock<std::mutex> lock(inflight_mutex_);
+  inflight_cv_.wait(lock, [&] { return in_flight_ <= 0; });
+}
+
+void Deployment::Shutdown() {
+  if (shut_down_.exchange(true)) {
+    return;
+  }
+  services_running_ = false;
+  if (ckpt_driver_.joinable()) {
+    ckpt_driver_.join();
+  }
+  if (scaling_monitor_.joinable()) {
+    scaling_monitor_.join();
+  }
+  // Abort everything; callers wanting a clean flush call Drain() first.
+  std::unique_lock topo(topo_mutex_);
+  for (auto& slots : task_instances_) {
+    for (auto& ti : slots) {
+      if (ti) {
+        ti->Abort();
+      }
+    }
+  }
+  for (auto& slots : task_instances_) {
+    for (auto& ti : slots) {
+      if (ti) {
+        ti->Join();
+      }
+    }
+  }
+  for (auto& ti : dead_instances_) {
+    ti->Abort();
+    ti->Join();
+  }
+}
+
+// --- Routing -----------------------------------------------------------------
+
+void Deployment::RouteEmit(TaskInstance& src, size_t output, Tuple tuple,
+                           const DataItem& cause) {
+  const auto& outs = out_edges_[src.task_id()];
+  if (output >= outs.size()) {
+    DeliverToSink(src.task_id(), tuple, cause.user_tag);
+    return;
+  }
+  DataItem item;
+  item.from = SourceId{src.task_id(), src.instance_id()};
+  item.ts = src.emit_clock().Next();
+  item.barrier_id = cause.barrier_id;
+  item.expected_partials = cause.expected_partials;
+  item.user_tag = cause.user_tag;
+  item.replayed = cause.replayed;  // derived items of replayed inputs dedupe too
+  item.payload = std::move(tuple);
+  RouteItem(*outs[output], &src, std::move(item));
+}
+
+void Deployment::RouteItem(const graph::DataflowEdge& edge, TaskInstance* src,
+                           DataItem item) {
+  std::vector<std::pair<TaskInstance*, DataItem>> pushes;
+  uint32_t src_node = src != nullptr ? src->node() : UINT32_MAX;
+  {
+    std::shared_lock topo(topo_mutex_);
+    const auto& slots = task_instances_[edge.to];
+    uint32_t n = static_cast<uint32_t>(slots.size());
+    if (n == 0) {
+      return;
+    }
+    auto log_and_stage = [&](uint32_t dest, DataItem it) {
+      if (src != nullptr && buffering_enabled_) {
+        src->BufferFor(edge.to).Append(it, dest);
+      }
+      if (slots[dest]) {
+        pushes.emplace_back(slots[dest].get(), std::move(it));
+      }
+    };
+    switch (edge.dispatch) {
+      case graph::Dispatch::kPartitioned: {
+        uint32_t dest = static_cast<uint32_t>(
+            item.payload[edge.key_field].Hash() % n);
+        log_and_stage(dest, std::move(item));
+        break;
+      }
+      case graph::Dispatch::kOneToAny: {
+        size_t edge_index = static_cast<size_t>(&edge - edges_.data());
+        uint32_t start = static_cast<uint32_t>(
+            rr_counters_[edge_index]->fetch_add(1) % n);
+        uint32_t dest = start;
+        if (options_.one_to_any == OneToAnyPolicy::kRoundRobin) {
+          // Strict fair share; skip dead instances only.
+          for (uint32_t tries = 0; tries < n && !slots[dest]; ++tries) {
+            dest = (dest + 1) % n;
+          }
+        } else {
+          // Join-shortest-queue with round-robin tie-breaking: a straggling
+          // instance naturally receives less work instead of its fair share
+          // (reactive load balancing, §3.3).
+          size_t min_depth = SIZE_MAX;
+          for (uint32_t j = 0; j < n; ++j) {
+            if (slots[j]) {
+              min_depth = std::min(min_depth, slots[j]->QueueDepth());
+            }
+          }
+          if (min_depth == SIZE_MAX) {
+            break;  // no alive instance
+          }
+          for (uint32_t tries = 0; tries < n; ++tries) {
+            uint32_t candidate = (start + tries) % n;
+            if (slots[candidate] &&
+                slots[candidate]->QueueDepth() <= min_depth) {
+              dest = candidate;
+              break;
+            }
+          }
+        }
+        log_and_stage(dest, std::move(item));
+        break;
+      }
+      case graph::Dispatch::kOneToAll: {
+        // A broadcast over partial instances opens a barrier (§4.2 rule 3).
+        item.barrier_id = barrier_seq_.fetch_add(1);
+        uint32_t alive = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+          if (slots[j]) {
+            ++alive;
+          }
+        }
+        item.expected_partials = alive;
+        uint32_t staged = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+          if (slots[j]) {
+            ++staged;
+            if (staged < alive) {
+              log_and_stage(j, item);
+            } else {
+              log_and_stage(j, std::move(item));
+            }
+          }
+        }
+        break;
+      }
+      case graph::Dispatch::kAllToOne: {
+        // Gather at the collector's first alive instance.
+        uint32_t dest = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+          if (slots[j]) {
+            dest = j;
+            break;
+          }
+        }
+        log_and_stage(dest, std::move(item));
+        break;
+      }
+    }
+  }
+
+  for (auto& [ti, it] : pushes) {
+    DeliverTo(edge.to, ti->instance_id(), std::move(it), src_node);
+    // DeliverTo resolves the instance again; pass-through kept simple.
+    (void)ti;
+  }
+}
+
+void Deployment::DeliverTo(graph::TaskId task, uint32_t dest, DataItem item,
+                           uint32_t src_node) {
+  TaskInstance* ti = nullptr;
+  {
+    std::shared_lock topo(topo_mutex_);
+    const auto& slots = task_instances_[task];
+    if (dest >= slots.size() || !slots[dest]) {
+      return;  // lost instance: upstream buffer retains the item for replay
+    }
+    ti = slots[dest].get();
+  }
+  // Items crossing a node boundary are serialised to keep the location-
+  // independence contract honest (§4.1).
+  if (options_.serialize_cross_node && ti->node() != src_node) {
+    auto bytes = item.ToBytes();
+    auto back = DataItem::FromBytes(bytes);
+    SDG_CHECK(back.ok()) << "cross-node round-trip failed";
+    item = std::move(*back);
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    ++in_flight_;
+  }
+  if (!ti->Deliver(std::move(item))) {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    --in_flight_;
+    inflight_cv_.notify_all();
+  }
+}
+
+void Deployment::DeliverToSink(graph::TaskId task, const Tuple& tuple,
+                               uint64_t user_tag) {
+  SinkFn fn;
+  {
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    auto it = sinks_.find(task);
+    if (it == sinks_.end()) {
+      return;
+    }
+    fn = it->second;
+  }
+  fn(tuple, user_tag);
+}
+
+void Deployment::OnItemDone() {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  if (--in_flight_ <= 0) {
+    inflight_cv_.notify_all();
+  }
+}
+
+double Deployment::NodeSpeed(uint32_t node) const {
+  if (node < options_.node_speed.size()) {
+    return options_.node_speed[node];
+  }
+  return 1.0;
+}
+
+uint32_t Deployment::NumInstances(graph::TaskId task) const {
+  std::shared_lock topo(topo_mutex_);
+  uint32_t alive = 0;
+  for (const auto& ti : task_instances_[task]) {
+    if (ti) {
+      ++alive;
+    }
+  }
+  return alive;
+}
+
+// --- Introspection -------------------------------------------------------------
+
+uint64_t Deployment::TotalProcessed() const {
+  std::shared_lock topo(topo_mutex_);
+  uint64_t total = 0;
+  for (const auto& slots : task_instances_) {
+    for (const auto& ti : slots) {
+      if (ti) {
+        total += ti->ItemsProcessed();
+      }
+    }
+  }
+  return total;
+}
+
+size_t Deployment::TotalQueueDepth() const {
+  std::shared_lock topo(topo_mutex_);
+  size_t total = 0;
+  for (const auto& slots : task_instances_) {
+    for (const auto& ti : slots) {
+      if (ti) {
+        total += ti->QueueDepth();
+      }
+    }
+  }
+  return total;
+}
+
+size_t Deployment::QueueDepthOf(std::string_view task_name) const {
+  auto id = sdg_.TaskByName(task_name);
+  if (!id.ok()) {
+    return 0;
+  }
+  std::shared_lock topo(topo_mutex_);
+  size_t total = 0;
+  for (const auto& ti : task_instances_[*id]) {
+    if (ti) {
+      total += ti->QueueDepth();
+    }
+  }
+  return total;
+}
+
+uint64_t Deployment::ProcessedOf(std::string_view task_name) const {
+  auto id = sdg_.TaskByName(task_name);
+  if (!id.ok()) {
+    return 0;
+  }
+  std::shared_lock topo(topo_mutex_);
+  uint64_t total = 0;
+  for (const auto& ti : task_instances_[*id]) {
+    if (ti) {
+      total += ti->ItemsProcessed();
+    }
+  }
+  return total;
+}
+
+size_t Deployment::StateSizeBytes(std::string_view state_name) const {
+  auto id = sdg_.StateByName(state_name);
+  if (!id.ok()) {
+    return 0;
+  }
+  std::shared_lock topo(topo_mutex_);
+  size_t total = 0;
+  for (const auto& inst : state_groups_[*id].instances) {
+    if (inst) {
+      total += inst->SizeBytes();
+    }
+  }
+  return total;
+}
+
+state::StateBackend* Deployment::StateInstance(std::string_view state_name,
+                                               uint32_t instance) {
+  auto id = sdg_.StateByName(state_name);
+  if (!id.ok()) {
+    return nullptr;
+  }
+  std::shared_lock topo(topo_mutex_);
+  auto& group = state_groups_[*id];
+  if (instance >= group.instances.size()) {
+    return nullptr;
+  }
+  return group.instances[instance].get();
+}
+
+uint32_t Deployment::NumStateInstances(std::string_view state_name) const {
+  auto id = sdg_.StateByName(state_name);
+  if (!id.ok()) {
+    return 0;
+  }
+  std::shared_lock topo(topo_mutex_);
+  return static_cast<uint32_t>(state_groups_[*id].instances.size());
+}
+
+uint32_t Deployment::NumInstancesOf(std::string_view task_name) const {
+  auto id = sdg_.TaskByName(task_name);
+  if (!id.ok()) {
+    return 0;
+  }
+  return NumInstances(*id);
+}
+
+bool Deployment::NodeAlive(uint32_t node) const {
+  std::shared_lock topo(topo_mutex_);
+  return node < node_alive_.size() && node_alive_[node];
+}
+
+std::string Deployment::DescribeTopology() const {
+  std::shared_lock topo(topo_mutex_);
+  std::ostringstream os;
+  for (uint32_t node = 0; node < options_.num_nodes; ++node) {
+    os << "node " << node << (node_alive_[node] ? "" : " [DEAD]")
+       << (node_straggler_[node] ? " [straggler]" : "");
+    double speed = node < options_.node_speed.size()
+                       ? options_.node_speed[node]
+                       : 1.0;
+    if (speed != 1.0) {
+      os << " (speed " << speed << "x)";
+    }
+    os << "\n";
+    for (const auto& group : state_groups_) {
+      for (uint32_t j = 0; j < group.instances.size(); ++j) {
+        if (group.instances[j] && group.instance_nodes[j] == node) {
+          os << "  SE " << sdg_.state(group.state).name << "[" << j << "] "
+             << group.instances[j]->EntryCount() << " entries, "
+             << group.instances[j]->SizeBytes() << " bytes\n";
+        }
+      }
+    }
+    for (const auto& slots : task_instances_) {
+      for (const auto& ti : slots) {
+        if (ti && ti->node() == node) {
+          os << "  TE " << ti->te().name << "[" << ti->instance_id() << "] "
+             << "queued=" << ti->QueueDepth()
+             << " processed=" << ti->ItemsProcessed() << "\n";
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+// --- Scaling -------------------------------------------------------------------
+
+uint32_t Deployment::PickLeastLoadedNode(bool avoid_stragglers) const {
+  // Callers hold at least a shared topo lock.
+  std::vector<size_t> load(options_.num_nodes, 0);
+  for (const auto& slots : task_instances_) {
+    for (const auto& ti : slots) {
+      if (ti) {
+        ++load[ti->node()];
+      }
+    }
+  }
+  uint32_t best = 0;
+  size_t best_load = SIZE_MAX;
+  for (uint32_t n = 0; n < options_.num_nodes; ++n) {
+    if (!node_alive_[n]) {
+      continue;
+    }
+    if (avoid_stragglers && node_straggler_[n]) {
+      continue;
+    }
+    if (load[n] < best_load) {
+      best = n;
+      best_load = load[n];
+    }
+  }
+  if (best_load == SIZE_MAX) {
+    // All candidates excluded; fall back to any alive node.
+    for (uint32_t n = 0; n < options_.num_nodes; ++n) {
+      if (node_alive_[n]) {
+        return n;
+      }
+    }
+  }
+  return best;
+}
+
+Status Deployment::AddTaskInstance(std::string_view task_name) {
+  SDG_ASSIGN_OR_RETURN(graph::TaskId task, sdg_.TaskByName(task_name));
+  const auto& te = sdg_.task(task);
+
+  // Pause ingest and wait for in-flight items so no item is routed under the
+  // old partitioning while we re-shard.
+  std::unique_lock ingest(ingest_gate_);
+  Drain();
+  std::unique_lock topo(topo_mutex_);
+
+  if (!te.state.has_value()) {
+    auto& slots = task_instances_[task];
+    uint32_t j = static_cast<uint32_t>(slots.size());
+    uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
+    slots.push_back(std::make_unique<TaskInstance>(
+        te, j, node, nullptr, this, options_.mailbox_capacity));
+    slots.back()->Start();
+    return Status::Ok();
+  }
+
+  StateGroup& group = state_groups_[*te.state];
+  const auto& se = sdg_.state(group.state);
+  uint32_t k = static_cast<uint32_t>(group.instances.size());
+  for (const auto& inst : group.instances) {
+    if (!inst) {
+      return FailedPreconditionError(
+          "cannot scale a group with failed instances; recover first");
+    }
+    if (inst->checkpoint_active()) {
+      return FailedPreconditionError(
+          "cannot scale during an active checkpoint of SE '" + se.name + "'");
+    }
+  }
+
+  uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
+  auto fresh = se.factory();
+
+  if (se.distribution == graph::StateDistribution::kPartitioned) {
+    // Re-shard every existing instance under the new modulus k+1: records
+    // whose partition changes move to their new owner. Records just moved
+    // into instance j already satisfy hash % (k+1) == j, so later
+    // extractions cannot move them twice.
+    group.instances.push_back(std::move(fresh));
+    group.instance_nodes.push_back(node);
+    uint32_t new_k = k + 1;
+    for (uint32_t i = 0; i < new_k; ++i) {
+      for (uint32_t j = 0; j < new_k; ++j) {
+        if (i == j || !group.instances[i]) {
+          continue;
+        }
+        state::StateBackend* target = group.instances[j].get();
+        Status s = group.instances[i]->ExtractPartition(
+            j, new_k, [target](uint64_t, const uint8_t* p, size_t n) {
+              Status rs = target->RestoreRecord(p, n);
+              SDG_CHECK(rs.ok()) << "re-shard restore failed: " << rs.ToString();
+            });
+        SDG_RETURN_IF_ERROR(s);
+      }
+    }
+  } else {
+    // Partial (or single) SE: a new, independent replica starting empty; its
+    // contributions merge with the others at the next global access (§3.2).
+    group.instances.push_back(std::move(fresh));
+    group.instance_nodes.push_back(node);
+  }
+
+  // Every accessor TE gains a colocated instance bound to the new SE
+  // instance.
+  uint32_t j = k;
+  for (graph::TaskId accessor : group.accessors) {
+    auto& slots = task_instances_[accessor];
+    SDG_CHECK(slots.size() == j) << "group instance counts diverged";
+    slots.push_back(std::make_unique<TaskInstance>(
+        sdg_.task(accessor), j, node, group.instances[j].get(), this,
+        options_.mailbox_capacity));
+    slots.back()->Start();
+  }
+  return Status::Ok();
+}
+
+// --- Checkpointing -------------------------------------------------------------
+
+Status Deployment::CheckpointNode(uint32_t node) {
+  if (options_.fault_tolerance.mode == FtMode::kNone) {
+    return FailedPreconditionError("fault tolerance disabled");
+  }
+  if (node >= options_.num_nodes) {
+    return InvalidArgumentError("unknown node");
+  }
+  std::lock_guard<std::mutex> ckpt_lock(*node_ckpt_mutex_[node]);
+  return CheckpointNodeLocked(node);
+}
+
+Status Deployment::CheckpointNodeLocked(uint32_t node) {
+  const FtMode mode = options_.fault_tolerance.mode;
+  const uint32_t num_chunks =
+      std::max<uint32_t>(1, options_.fault_tolerance.chunks_per_state);
+
+  checkpoint::CheckpointMeta meta;
+  struct CapturedState {
+    state::StateBackend* backend = nullptr;
+    std::string name;
+  };
+  struct CaptureUnit {
+    state::StateBackend* backend = nullptr;  // nullptr for stateless tasks
+    graph::StateId state = 0;
+    uint32_t instance = 0;
+    std::vector<TaskInstance*> accessors;
+  };
+  std::vector<CapturedState> captured_states;
+  std::vector<TaskInstance*> captured_tasks;
+
+  // Pass 1 (topology lock only): enumerate what lives on the node. Pointers
+  // stay valid after release — killed objects are parked, not destroyed.
+  std::vector<CaptureUnit> units;
+  {
+    std::shared_lock topo(topo_mutex_);
+    if (!node_alive_[node]) {
+      return FailedPreconditionError("node is not alive");
+    }
+    meta.epoch = ++node_epoch_[node];
+
+    for (auto& group : state_groups_) {
+      for (uint32_t j = 0; j < group.instances.size(); ++j) {
+        if (!group.instances[j] || group.instance_nodes[j] != node) {
+          continue;
+        }
+        CaptureUnit unit;
+        unit.backend = group.instances[j].get();
+        unit.state = group.state;
+        unit.instance = j;
+        for (graph::TaskId a : group.accessors) {
+          auto& slots = task_instances_[a];
+          if (j < slots.size() && slots[j]) {
+            unit.accessors.push_back(slots[j].get());
+          }
+        }
+        units.push_back(std::move(unit));
+      }
+    }
+    for (const auto& te : sdg_.tasks()) {
+      if (te.state.has_value()) {
+        continue;
+      }
+      for (auto& ti : task_instances_[te.id]) {
+        if (ti && ti->node() == node) {
+          CaptureUnit unit;
+          unit.accessors.push_back(ti.get());
+          units.push_back(std::move(unit));
+        }
+      }
+    }
+  }
+
+  // Pass 2 (no topology lock held): per unit, briefly pause its accessors to
+  // flag the SE dirty and capture a consistent (SE, vector-timestamp, clock)
+  // cut — the paper's "minimal interruption" point (§5 step 1/2).
+  for (auto& unit : units) {
+    std::vector<std::mutex*> locks;
+    locks.reserve(unit.accessors.size());
+    for (auto* ti : unit.accessors) {
+      locks.push_back(&ti->step_mutex());
+    }
+    MultiLock pause(std::move(locks));
+    if (unit.backend != nullptr) {
+      unit.backend->BeginCheckpoint();
+      checkpoint::StateInstanceMeta sm;
+      sm.state = unit.state;
+      sm.instance = unit.instance;
+      sm.num_chunks = num_chunks;
+      sm.record_count = unit.backend->EntryCount();
+      meta.states.push_back(sm);
+      captured_states.push_back(
+          {unit.backend, StateChunkName(unit.state, unit.instance)});
+    }
+    for (auto* ti : unit.accessors) {
+      checkpoint::TaskInstanceMeta tm;
+      tm.task = ti->task_id();
+      tm.instance = ti->instance_id();
+      tm.emit_clock = ti->emit_clock().Peek();
+      for (const auto& [src, ts] : ti->LastSeenSnapshot()) {
+        tm.last_seen.push_back({src.task, src.instance, ts});
+      }
+      meta.tasks.push_back(std::move(tm));
+      captured_tasks.push_back(ti);
+    }
+  }
+
+  // Serialise + persist. For the synchronous modes, processing is paused for
+  // this entire phase; for async-local the dirty overlays absorb writes.
+  auto persist = [&]() -> Status {
+    for (auto& cs : captured_states) {
+      auto chunks = state::SerializeToChunks(*cs.backend, cs.name, num_chunks);
+      SDG_RETURN_IF_ERROR(store_->WriteChunks(node, meta.epoch, cs.name, chunks));
+    }
+    for (auto* ti : captured_tasks) {
+      std::vector<uint8_t> blob = SerializeBuffers(*ti);
+      SDG_RETURN_IF_ERROR(store_->WriteChunks(
+          node, meta.epoch, BufferChunkName(ti->task_id(), ti->instance_id()),
+          {blob}));
+    }
+    return Status::Ok();
+  };
+
+  Status persist_status;
+  if (mode == FtMode::kSyncLocal || mode == FtMode::kSyncGlobal) {
+    // Stop-the-node (SEEP) / stop-the-world (Naiad): hold every relevant
+    // step lock for the full serialise+write.
+    std::vector<std::mutex*> locks;
+    {
+      std::shared_lock topo(topo_mutex_);
+      for (auto& slots : task_instances_) {
+        for (auto& ti : slots) {
+          if (!ti) {
+            continue;
+          }
+          if (mode == FtMode::kSyncGlobal || ti->node() == node) {
+            locks.push_back(&ti->step_mutex());
+          }
+        }
+      }
+    }
+    MultiLock pause(std::move(locks));
+    persist_status = persist();
+  } else {
+    persist_status = persist();
+  }
+
+  // Consolidate dirty overlays (brief per-SE lock inside EndCheckpoint).
+  for (auto& cs : captured_states) {
+    cs.backend->EndCheckpoint();
+  }
+  SDG_RETURN_IF_ERROR(persist_status);
+  SDG_RETURN_IF_ERROR(store_->WriteMeta(node, meta.epoch, meta));
+
+  // Acknowledge upstream buffers: everything at or below the checkpointed
+  // vector timestamp is now recoverable from this checkpoint (§5 trimming).
+  {
+    std::shared_lock topo(topo_mutex_);
+    for (const auto& tm : meta.tasks) {
+      for (const auto& seen : tm.last_seen) {
+        if (seen.task == kExternalTask) {
+          auto it = external_buffers_.find(seen.instance);
+          if (it != external_buffers_.end()) {
+            it->second->Ack(tm.instance, seen.ts);
+          }
+          continue;
+        }
+        auto& slots = task_instances_[seen.task];
+        if (seen.instance < slots.size() && slots[seen.instance]) {
+          slots[seen.instance]->BufferFor(tm.task).Ack(tm.instance, seen.ts);
+        }
+      }
+    }
+  }
+  store_->PruneBefore(node, meta.epoch);
+  checkpoints_done_.Increment();
+  return Status::Ok();
+}
+
+Status Deployment::CheckpointAllNodes() {
+  for (uint32_t n = 0; n < options_.num_nodes; ++n) {
+    if (NodeAlive(n)) {
+      SDG_RETURN_IF_ERROR(CheckpointNode(n));
+    }
+  }
+  return Status::Ok();
+}
+
+void Deployment::CheckpointDriverLoop() {
+  const double interval = options_.fault_tolerance.checkpoint_interval_s;
+  Stopwatch since_last;
+  while (services_running_) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (since_last.ElapsedSeconds() < interval) {
+      continue;
+    }
+    since_last.Restart();
+    for (uint32_t n = 0; n < options_.num_nodes && services_running_; ++n) {
+      if (NodeAlive(n)) {
+        Status s = CheckpointNode(n);
+        if (!s.ok()) {
+          SDG_LOG(kWarning) << "periodic checkpoint of node " << n
+                            << " failed: " << s.ToString();
+        }
+      }
+    }
+  }
+}
+
+// --- Output-buffer (de)serialisation -------------------------------------------
+
+std::vector<uint8_t> Deployment::SerializeBuffers(TaskInstance& ti) {
+  BinaryWriter w;
+  std::vector<std::pair<graph::TaskId, std::vector<OutputBuffer::Entry>>> all;
+  ti.ForEachBuffer([&](graph::TaskId task, OutputBuffer& buffer) {
+    all.emplace_back(task, buffer.Snapshot());
+  });
+  w.Write<uint32_t>(static_cast<uint32_t>(all.size()));
+  for (const auto& [task, entries] : all) {
+    w.Write<uint32_t>(task);
+    w.Write<uint64_t>(entries.size());
+    for (const auto& e : entries) {
+      w.Write<uint32_t>(e.dest_instance);
+      e.item.Serialize(w);
+    }
+  }
+  return std::move(w).TakeBuffer();
+}
+
+Status Deployment::RestoreBuffers(TaskInstance& ti,
+                                  const std::vector<uint8_t>& blob) {
+  BinaryReader r(blob);
+  SDG_ASSIGN_OR_RETURN(uint32_t num_buffers, r.Read<uint32_t>());
+  for (uint32_t b = 0; b < num_buffers; ++b) {
+    SDG_ASSIGN_OR_RETURN(uint32_t task, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(uint64_t count, r.Read<uint64_t>());
+    OutputBuffer& buffer = ti.BufferFor(task);
+    for (uint64_t i = 0; i < count; ++i) {
+      SDG_ASSIGN_OR_RETURN(uint32_t dest, r.Read<uint32_t>());
+      SDG_ASSIGN_OR_RETURN(DataItem item, DataItem::Deserialize(r));
+      buffer.RestoreEntry(item, dest);
+    }
+  }
+  return Status::Ok();
+}
+
+// --- Failure & recovery ----------------------------------------------------------
+
+Status Deployment::KillNode(uint32_t node) {
+  if (node >= options_.num_nodes) {
+    return InvalidArgumentError("unknown node");
+  }
+  std::unique_lock topo(topo_mutex_);
+  if (!node_alive_[node]) {
+    return FailedPreconditionError("node already dead");
+  }
+  node_alive_[node] = false;
+  for (auto& slots : task_instances_) {
+    for (auto& ti : slots) {
+      if (ti && ti->node() == node) {
+        ti->Abort();  // drops queued items; worker exits asynchronously
+        dead_instances_.push_back(std::move(ti));
+      }
+    }
+  }
+  for (auto& group : state_groups_) {
+    for (uint32_t j = 0; j < group.instances.size(); ++j) {
+      if (group.instances[j] && group.instance_nodes[j] == node) {
+        // The in-memory state is lost to the dataflow; the object itself is
+        // parked so concurrent raw-pointer holders (e.g. a checkpoint in
+        // flight) stay valid.
+        dead_states_.push_back(std::move(group.instances[j]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Deployment::RecoverNode(uint32_t failed,
+                               const std::vector<uint32_t>& replacements) {
+  if (store_ == nullptr) {
+    return FailedPreconditionError("fault tolerance disabled");
+  }
+  if (replacements.empty()) {
+    return InvalidArgumentError("need at least one replacement node");
+  }
+  for (uint32_t r : replacements) {
+    if (r >= options_.num_nodes || !NodeAlive(r)) {
+      return InvalidArgumentError("replacement node not alive");
+    }
+  }
+  const uint32_t n = static_cast<uint32_t>(replacements.size());
+
+  // Exclude a still-running checkpoint of the failed node: its raw pointers
+  // into the graveyard must stay valid while it persists.
+  std::lock_guard<std::mutex> ckpt_lock(*node_ckpt_mutex_[failed]);
+
+  SDG_ASSIGN_OR_RETURN(uint64_t epoch, store_->LatestEpoch(failed));
+  SDG_ASSIGN_OR_RETURN(checkpoint::CheckpointMeta meta,
+                       store_->ReadMeta(failed, epoch));
+
+  // Phase 1 (off the lock): fetch chunks from the m backup directories in
+  // parallel, split n ways, and rebuild backends + instances.
+  struct RestoredState {
+    graph::StateId state = 0;
+    uint32_t old_instance = 0;
+    std::vector<std::unique_ptr<state::StateBackend>> backends;  // size n
+  };
+  std::vector<RestoredState> restored_states;
+
+  for (const auto& sm : meta.states) {
+    SDG_ASSIGN_OR_RETURN(
+        auto chunks,
+        store_->ReadChunks(failed, epoch, StateChunkName(sm.state, sm.instance),
+                           sm.num_chunks));
+    RestoredState rs;
+    rs.state = sm.state;
+    rs.old_instance = sm.instance;
+    const auto& se = sdg_.state(sm.state);
+    for (uint32_t i = 0; i < n; ++i) {
+      rs.backends.push_back(se.factory());
+    }
+    // Per-node ingest pacing: each recovering node can only absorb restore
+    // traffic at a bounded rate, so splitting across n nodes divides the
+    // per-node ingest time (the sleeps below overlap across threads).
+    const uint64_t ingest_bw =
+        options_.fault_tolerance.recovery_ingest_bytes_per_sec;
+    auto ingest_throttle = [ingest_bw](size_t bytes) {
+      if (ingest_bw > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(
+            static_cast<int64_t>(1e9 * static_cast<double>(bytes) /
+                                 static_cast<double>(ingest_bw))));
+      }
+    };
+    if (n == 1) {
+      // Plain 1-to-1 (or m-to-1) restore.
+      for (const auto& chunk : chunks) {
+        ingest_throttle(chunk.size());
+        SDG_RETURN_IF_ERROR(state::RestoreChunk(*rs.backends[0], chunk));
+      }
+    } else {
+      // Step R1/R2 of Fig. 4: split each chunk into n partitions and
+      // reconstruct the n new instances in parallel.
+      ThreadPool pool(n);
+      std::mutex status_mutex;
+      Status first_error;
+      for (const auto& chunk : chunks) {
+        SDG_ASSIGN_OR_RETURN(auto parts, state::SplitChunk(chunk, n));
+        for (uint32_t i = 0; i < n; ++i) {
+          auto part = std::make_shared<std::vector<uint8_t>>(std::move(parts[i]));
+          state::StateBackend* target = rs.backends[i].get();
+          pool.Submit([part, target, &status_mutex, &first_error,
+                       &ingest_throttle] {
+            ingest_throttle(part->size());
+            Status s = state::RestoreChunk(*target, *part);
+            if (!s.ok()) {
+              std::lock_guard<std::mutex> lock(status_mutex);
+              if (first_error.ok()) {
+                first_error = s;
+              }
+            }
+          });
+        }
+      }
+      pool.Wait();
+      SDG_RETURN_IF_ERROR(first_error);
+    }
+    restored_states.push_back(std::move(rs));
+  }
+
+  // Phase 2: install under the topology lock.
+  std::vector<TaskInstance*> new_instances;
+  std::set<graph::TaskId> split_tasks;  // re-instantiated n-way (old dest = 0)
+  {
+    std::unique_lock topo(topo_mutex_);
+
+    for (auto& rs : restored_states) {
+      StateGroup& group = state_groups_[rs.state];
+      if (n == 1) {
+        group.instances[rs.old_instance] = std::move(rs.backends[0]);
+        group.instance_nodes[rs.old_instance] = replacements[0];
+      } else {
+        if (group.instances.size() != 1) {
+          return UnimplementedError(
+              "n-way split recovery requires a single-instance SE");
+        }
+        group.instances.clear();
+        group.instance_nodes.clear();
+        for (uint32_t i = 0; i < n; ++i) {
+          group.instances.push_back(std::move(rs.backends[i]));
+          group.instance_nodes.push_back(replacements[i]);
+        }
+      }
+    }
+
+    for (const auto& tm : meta.tasks) {
+      const auto& te = sdg_.task(tm.task);
+      auto& slots = task_instances_[tm.task];
+      std::map<SourceId, uint64_t> seen;
+      for (const auto& s : tm.last_seen) {
+        seen[SourceId{s.task, s.instance}] = s.ts;
+      }
+
+      uint32_t copies = 1;
+      if (te.state.has_value() &&
+          state_groups_[*te.state].instances.size() == n && n > 1) {
+        copies = n;  // accessor of a split SE is re-instantiated n-way
+        split_tasks.insert(tm.task);
+        slots.clear();
+        slots.resize(n);
+      }
+      for (uint32_t c = 0; c < copies; ++c) {
+        uint32_t inst = copies == 1 ? tm.instance : c;
+        uint32_t node = replacements[c % replacements.size()];
+        state::StateBackend* backend = nullptr;
+        if (te.state.has_value()) {
+          backend = state_groups_[*te.state].instances[inst].get();
+        }
+        if (inst >= slots.size()) {
+          slots.resize(inst + 1);
+        }
+        slots[inst] = std::make_unique<TaskInstance>(
+            te, inst, node, backend, this, options_.mailbox_capacity);
+        slots[inst]->emit_clock().AdvanceTo(tm.emit_clock);
+        slots[inst]->RestoreLastSeen(seen);
+        new_instances.push_back(slots[inst].get());
+      }
+      // Restore this instance's output buffers (for downstream replay).
+      auto blob = store_->ReadChunks(failed, epoch,
+                                     BufferChunkName(tm.task, tm.instance), 1);
+      if (blob.ok() && !blob->empty()) {
+        SDG_RETURN_IF_ERROR(RestoreBuffers(*slots[copies == 1 ? tm.instance : 0],
+                                           (*blob)[0]));
+      }
+    }
+    // Note: the graveyard (dead_instances_/dead_states_) is reclaimed only at
+    // shutdown — an in-flight checkpoint may still hold raw pointers into it.
+  }
+
+  for (auto* ti : new_instances) {
+    ti->Start();
+  }
+
+  // Phase 3: replay. First re-send the recovered node's own buffered outputs
+  // (downstream dedups by timestamp), then ask upstreams to replay inputs
+  // past the checkpoint's vector timestamp.
+  for (auto* ti : new_instances) {
+    ti->ForEachBuffer([&](graph::TaskId downstream, OutputBuffer& buffer) {
+      for (auto& entry : buffer.Snapshot()) {
+        DataItem item = entry.item;
+        item.replayed = true;
+        DeliverTo(downstream, entry.dest_instance, std::move(item), UINT32_MAX);
+      }
+    });
+  }
+
+  for (auto* ti : new_instances) {
+    graph::TaskId t = ti->task_id();
+    const auto& te = sdg_.task(t);
+    const bool split = split_tasks.count(t) > 0;
+    // Items for a split task were originally destined to the single old
+    // instance 0; re-dispatch them under the new partitioning. For 1:1
+    // recovery the recorded destination is exact.
+    const uint32_t old_dest = split ? 0 : ti->instance_id();
+
+    auto replay_to_self = [&](const DataItem& item, int key_field) {
+      DataItem replay = item;
+      replay.replayed = true;
+      if (split && te.access == graph::AccessMode::kPartitioned &&
+          key_field >= 0) {
+        uint32_t count = NumInstances(t);
+        uint32_t dest =
+            count == 0
+                ? 0
+                : static_cast<uint32_t>(
+                      replay.payload[static_cast<size_t>(key_field)].Hash() %
+                      count);
+        if (dest != ti->instance_id()) {
+          return;  // another new instance replays it
+        }
+      } else if (split && ti->instance_id() != 0) {
+        // Non-partitioned access after a split: instance 0 inherits the
+        // stream (others start fresh).
+        return;
+      }
+      DeliverTo(t, ti->instance_id(), std::move(replay), UINT32_MAX);
+    };
+
+    // External replay for entry TEs.
+    if (te.is_entry) {
+      std::shared_lock topo(topo_mutex_);
+      auto it = external_buffers_.find(t);
+      if (it != external_buffers_.end()) {
+        uint64_t from_ts = ti->LastSeenFrom(SourceId{kExternalTask, t});
+        auto items = it->second->ItemsAfter(old_dest, from_ts);
+        topo.unlock();
+        for (auto& item : items) {
+          replay_to_self(item, te.entry_key_field);
+        }
+      }
+    }
+    // Upstream TE replay.
+    for (const auto* edge : sdg_.InEdges(t)) {
+      std::vector<TaskInstance*> upstreams;
+      {
+        std::shared_lock topo(topo_mutex_);
+        for (auto& u : task_instances_[edge->from]) {
+          if (u) {
+            upstreams.push_back(u.get());
+          }
+        }
+      }
+      for (auto* u : upstreams) {
+        uint64_t from_ts =
+            ti->LastSeenFrom(SourceId{edge->from, u->instance_id()});
+        for (auto& item : u->BufferFor(t).ItemsAfter(old_dest, from_ts)) {
+          replay_to_self(item, edge->key_field);
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Deployment::MigrateNode(uint32_t from, const std::vector<uint32_t>& to) {
+  for (uint32_t t : to) {
+    if (t == from) {
+      return InvalidArgumentError("cannot migrate a node onto itself");
+    }
+  }
+  // A fresh checkpoint minimises the replay tail; the kill then makes the
+  // node's in-memory state unreachable, and recovery restores it elsewhere.
+  SDG_RETURN_IF_ERROR(CheckpointNode(from));
+  SDG_RETURN_IF_ERROR(KillNode(from));
+  return RecoverNode(from, to);
+}
+
+// --- Scaling monitor --------------------------------------------------------------
+
+void Deployment::ScalingMonitorLoop() {
+  const auto& opts = options_.scaling;
+  std::map<graph::TaskId, int> high_samples;
+  std::map<std::pair<graph::TaskId, uint32_t>, uint64_t> last_processed;
+  std::map<std::pair<graph::TaskId, uint32_t>, int> slow_samples;
+  Stopwatch cooldown;
+  bool in_cooldown = false;
+
+  while (services_running_) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(opts.sample_interval_ms));
+    if (!services_running_) {
+      return;
+    }
+    if (in_cooldown && cooldown.ElapsedMillis() < opts.cooldown_ms) {
+      continue;
+    }
+    in_cooldown = false;
+
+    struct TaskSample {
+      graph::TaskId task;
+      double occupancy = 0;
+      uint32_t alive = 0;
+      std::vector<std::pair<uint32_t, double>> instance_rates;  // per instance
+      std::vector<uint32_t> instance_nodes;
+    };
+    std::vector<TaskSample> samples;
+    {
+      std::shared_lock topo(topo_mutex_);
+      for (const auto& te : sdg_.tasks()) {
+        TaskSample s;
+        s.task = te.id;
+        size_t depth = 0, capacity = 0;
+        for (const auto& ti : task_instances_[te.id]) {
+          if (!ti) {
+            continue;
+          }
+          ++s.alive;
+          depth += ti->QueueDepth();
+          capacity += ti->QueueCapacity();
+          uint64_t processed = ti->ItemsProcessed();
+          auto key = std::make_pair(te.id, ti->instance_id());
+          double rate =
+              static_cast<double>(processed - last_processed[key]);
+          last_processed[key] = processed;
+          s.instance_rates.emplace_back(ti->instance_id(), rate);
+          s.instance_nodes.push_back(ti->node());
+        }
+        s.occupancy = capacity == 0
+                          ? 0
+                          : static_cast<double>(depth) / static_cast<double>(capacity);
+        samples.push_back(std::move(s));
+      }
+    }
+
+    for (auto& s : samples) {
+      // Straggler detection: an instance persistently slower than the median
+      // marks its node (future placements avoid it; §6.3).
+      if (s.instance_rates.size() >= 2) {
+        std::vector<double> rates;
+        for (auto& [inst, rate] : s.instance_rates) {
+          rates.push_back(rate);
+        }
+        std::sort(rates.begin(), rates.end());
+        double median = rates[rates.size() / 2];
+        for (size_t i = 0; i < s.instance_rates.size(); ++i) {
+          auto [inst, rate] = s.instance_rates[i];
+          auto key = std::make_pair(s.task, inst);
+          if (median > 0 && rate < opts.straggler_ratio * median) {
+            if (++slow_samples[key] >= opts.samples_to_trigger) {
+              uint32_t node = s.instance_nodes[i];
+              std::unique_lock topo(topo_mutex_);
+              if (!node_straggler_[node]) {
+                SDG_LOG(kInfo) << "node " << node << " flagged as straggler";
+                node_straggler_[node] = true;
+              }
+            }
+          } else {
+            slow_samples[key] = 0;
+          }
+        }
+      }
+      // Bottleneck detection: sustained queue occupancy triggers a new
+      // instance (§3.3 reactive scaling).
+      if (s.occupancy >= opts.queue_high_watermark &&
+          s.alive < opts.max_instances_per_task) {
+        if (++high_samples[s.task] >= opts.samples_to_trigger) {
+          high_samples[s.task] = 0;
+          const auto& te = sdg_.task(s.task);
+          SDG_LOG(kInfo) << "scaling task '" << te.name << "' to "
+                         << (s.alive + 1) << " instances";
+          Status st = AddTaskInstance(te.name);
+          if (!st.ok()) {
+            SDG_LOG(kWarning) << "scale-out failed: " << st.ToString();
+          }
+          in_cooldown = true;
+          cooldown.Restart();
+          break;  // one action per cycle
+        }
+      } else {
+        high_samples[s.task] = 0;
+      }
+    }
+  }
+}
+
+// --- Cluster -----------------------------------------------------------------------
+
+Result<std::unique_ptr<Deployment>> Cluster::Deploy(graph::Sdg g) {
+  auto deployment = std::make_unique<Deployment>(std::move(g), options_);
+  SDG_RETURN_IF_ERROR(deployment->Start());
+  return deployment;
+}
+
+}  // namespace sdg::runtime

@@ -1,0 +1,86 @@
+// DataItem: the unit travelling along dataflow edges at runtime.
+//
+// Besides the tuple payload, an item carries the metadata the SDG protocols
+// need: a per-source scalar timestamp (failure recovery replay/dedup, §5), a
+// barrier id + expected-partials count (all-to-one synchronisation barriers
+// over partial state, §3.2/§4.2), and an opaque user tag that flows from
+// injection to the sink (benches use it to measure per-request latency).
+#ifndef SDG_RUNTIME_DATA_ITEM_H_
+#define SDG_RUNTIME_DATA_ITEM_H_
+
+#include <cstdint>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace sdg::runtime {
+
+// Identifies one task-element instance as a message source.
+struct SourceId {
+  uint32_t task = 0;
+  uint32_t instance = 0;
+
+  friend bool operator==(const SourceId& a, const SourceId& b) {
+    return a.task == b.task && a.instance == b.instance;
+  }
+  friend bool operator<(const SourceId& a, const SourceId& b) {
+    return a.task != b.task ? a.task < b.task : a.instance < b.instance;
+  }
+};
+
+struct DataItem {
+  SourceId from;
+  // TE-generated scalar timestamp, strictly increasing per source (§5).
+  uint64_t ts = 0;
+  // Non-zero when this item belongs to a one-to-all/all-to-one barrier; the
+  // collector gathers `expected_partials` items sharing a barrier id.
+  uint64_t barrier_id = 0;
+  uint32_t expected_partials = 0;
+  // Opaque request tag propagated from injection to sinks.
+  uint64_t user_tag = 0;
+  // Set on items re-sent during recovery; receivers run duplicate detection
+  // only on replayed items (normal FIFO delivery cannot duplicate).
+  bool replayed = false;
+  Tuple payload;
+
+  void Serialize(BinaryWriter& w) const {
+    w.Write<uint32_t>(from.task);
+    w.Write<uint32_t>(from.instance);
+    w.Write<uint64_t>(ts);
+    w.Write<uint64_t>(barrier_id);
+    w.Write<uint32_t>(expected_partials);
+    w.Write<uint64_t>(user_tag);
+    w.Write<uint8_t>(replayed ? 1 : 0);
+    payload.Serialize(w);
+  }
+
+  static Result<DataItem> Deserialize(BinaryReader& r) {
+    DataItem item;
+    SDG_ASSIGN_OR_RETURN(item.from.task, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(item.from.instance, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(item.ts, r.Read<uint64_t>());
+    SDG_ASSIGN_OR_RETURN(item.barrier_id, r.Read<uint64_t>());
+    SDG_ASSIGN_OR_RETURN(item.expected_partials, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(item.user_tag, r.Read<uint64_t>());
+    SDG_ASSIGN_OR_RETURN(uint8_t replayed, r.Read<uint8_t>());
+    item.replayed = replayed != 0;
+    SDG_ASSIGN_OR_RETURN(item.payload, Tuple::Deserialize(r));
+    return item;
+  }
+
+  std::vector<uint8_t> ToBytes() const {
+    BinaryWriter w;
+    Serialize(w);
+    return std::move(w).TakeBuffer();
+  }
+
+  static Result<DataItem> FromBytes(const std::vector<uint8_t>& bytes) {
+    BinaryReader r(bytes);
+    return Deserialize(r);
+  }
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_DATA_ITEM_H_

@@ -1,0 +1,92 @@
+// OutputBuffer: the upstream-backup message log of the recovery protocol (§5).
+//
+// Every TE instance logs, per downstream TE, each item it sent together with
+// the destination instance chosen by the dispatcher. After a downstream
+// failure, entries past the restored checkpoint's vector timestamp are
+// replayed; once a downstream instance's checkpoint is persisted, its entries
+// at or below the acknowledged timestamp are trimmed.
+#ifndef SDG_RUNTIME_OUTPUT_BUFFER_H_
+#define SDG_RUNTIME_OUTPUT_BUFFER_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/runtime/data_item.h"
+
+namespace sdg::runtime {
+
+class OutputBuffer {
+ public:
+  struct Entry {
+    DataItem item;
+    uint32_t dest_instance = 0;
+  };
+
+  void Append(const DataItem& item, uint32_t dest_instance) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{item, dest_instance});
+  }
+
+  // Records that `dest_instance` has durably checkpointed items from this
+  // source up to `acked_ts`, then drops every entry covered by the
+  // acknowledgements seen so far.
+  void Ack(uint32_t dest_instance, uint64_t acked_ts) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t& slot = acked_[dest_instance];
+    slot = std::max(slot, acked_ts);
+    while (!entries_.empty()) {
+      const Entry& front = entries_.front();
+      auto it = acked_.find(front.dest_instance);
+      if (it == acked_.end() || front.item.ts > it->second) {
+        break;  // head not yet covered; keep everything after it too (FIFO)
+      }
+      entries_.pop_front();
+    }
+  }
+
+  // Entries with ts > from_ts destined to `dest_instance` (replay set).
+  std::vector<DataItem> ItemsAfter(uint32_t dest_instance,
+                                   uint64_t from_ts) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<DataItem> out;
+    for (const auto& e : entries_) {
+      if (e.dest_instance == dest_instance && e.item.ts > from_ts) {
+        out.push_back(e.item);
+      }
+    }
+    return out;
+  }
+
+  // All entries, for checkpointing this buffer's contents.
+  std::vector<Entry> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<Entry>(entries_.begin(), entries_.end());
+  }
+
+  void RestoreEntry(const DataItem& item, uint32_t dest_instance) {
+    Append(item, dest_instance);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+  std::unordered_map<uint32_t, uint64_t> acked_;
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_OUTPUT_BUFFER_H_

@@ -1,0 +1,164 @@
+#include "src/runtime/task_instance.h"
+
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace sdg::runtime {
+
+// TaskContext implementation bound to one (instance, input item) pair.
+class InstanceTaskContext final : public graph::TaskContext {
+ public:
+  InstanceTaskContext(TaskInstance& ti, const DataItem& cause,
+                      uint32_t num_instances)
+      : ti_(ti), cause_(cause), num_instances_(num_instances) {}
+
+  state::StateBackend* state() override { return ti_.state_; }
+
+  void Emit(size_t output, Tuple tuple) override {
+    ti_.hooks_->RouteEmit(ti_, output, std::move(tuple), cause_);
+  }
+
+  uint32_t instance_id() const override { return ti_.instance_; }
+  uint32_t num_instances() const override { return num_instances_; }
+
+ private:
+  TaskInstance& ti_;
+  const DataItem& cause_;
+  uint32_t num_instances_;
+};
+
+TaskInstance::TaskInstance(const graph::TaskElement& te, uint32_t instance,
+                           uint32_t node, state::StateBackend* state,
+                           RuntimeHooks* hooks, size_t mailbox_capacity)
+    : te_(te),
+      instance_(instance),
+      node_(node),
+      state_(state),
+      hooks_(hooks),
+      mailbox_(mailbox_capacity) {}
+
+TaskInstance::~TaskInstance() {
+  Abort();
+  Join();
+}
+
+void TaskInstance::Start() {
+  SDG_CHECK(!started_.exchange(true)) << "task instance started twice";
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void TaskInstance::StopWhenDrained() { mailbox_.Close(); }
+
+void TaskInstance::Abort() { mailbox_.Abort(); }
+
+void TaskInstance::Join() {
+  if (worker_.joinable()) {
+    worker_.join();
+  }
+}
+
+bool TaskInstance::Deliver(DataItem item) {
+  return mailbox_.Push(std::move(item));
+}
+
+std::map<SourceId, uint64_t> TaskInstance::LastSeenSnapshot() const {
+  std::lock_guard<std::mutex> lock(seen_mutex_);
+  return last_seen_;
+}
+
+void TaskInstance::RestoreLastSeen(const std::map<SourceId, uint64_t>& seen) {
+  std::lock_guard<std::mutex> lock(seen_mutex_);
+  last_seen_ = seen;
+}
+
+uint64_t TaskInstance::LastSeenFrom(const SourceId& src) const {
+  std::lock_guard<std::mutex> lock(seen_mutex_);
+  auto it = last_seen_.find(src);
+  return it == last_seen_.end() ? 0 : it->second;
+}
+
+OutputBuffer& TaskInstance::BufferFor(graph::TaskId downstream) {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  auto& slot = buffers_[downstream];
+  if (!slot) {
+    slot = std::make_unique<OutputBuffer>();
+  }
+  return *slot;
+}
+
+void TaskInstance::ForEachBuffer(
+    const std::function<void(graph::TaskId, OutputBuffer&)>& fn) {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (auto& [task, buffer] : buffers_) {
+    fn(task, *buffer);
+  }
+}
+
+void TaskInstance::WorkerLoop() {
+  while (true) {
+    auto item = mailbox_.Pop();
+    if (!item.has_value()) {
+      return;  // closed and drained, or aborted
+    }
+    int64_t start_ns = Stopwatch::NowNanos();
+    {
+      std::lock_guard<std::mutex> step(step_mutex_);
+      ProcessItem(*item);
+    }
+    hooks_->OnItemDone();
+    // Straggler simulation: a node with speed s < 1 takes 1/s times as long
+    // per item; pad the difference.
+    double speed = hooks_->NodeSpeed(node_);
+    if (speed < 1.0 && speed > 0.0) {
+      int64_t took = Stopwatch::NowNanos() - start_ns;
+      auto pad = static_cast<int64_t>(static_cast<double>(took) * (1.0 / speed - 1.0));
+      if (pad > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(pad));
+      }
+    }
+  }
+}
+
+void TaskInstance::ProcessItem(const DataItem& item) {
+  // Duplicate detection (§5): only replayed items are checked — in normal
+  // operation per-source FIFO delivery makes duplicates impossible, and
+  // checking would mis-drop items rerouted by repartitioning.
+  if (item.replayed && item.ts <= LastSeenFrom(item.from)) {
+    processed_.Increment();
+    return;
+  }
+
+  uint32_t num_instances = hooks_->NumInstances(te_.id);
+  if (te_.is_collector()) {
+    // All-to-one barrier: gather the partials of this item's barrier until
+    // all expected instances have reported, then run the merge logic (§3.2).
+    if (item.barrier_id == 0) {
+      InstanceTaskContext ctx(*this, item, num_instances);
+      te_.collector({item.payload}, ctx);
+    } else {
+      auto& pending = pending_barriers_[item.barrier_id];
+      pending.expected = item.expected_partials;
+      pending.user_tag = item.user_tag;
+      pending.partials.push_back(item.payload);
+      if (pending.partials.size() >= pending.expected) {
+        PendingBarrier done = std::move(pending);
+        pending_barriers_.erase(item.barrier_id);
+        InstanceTaskContext ctx(*this, item, num_instances);
+        te_.collector(done.partials, ctx);
+      }
+    }
+  } else {
+    InstanceTaskContext ctx(*this, item, num_instances);
+    te_.fn(item.payload, ctx);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(seen_mutex_);
+    uint64_t& slot = last_seen_[item.from];
+    slot = std::max(slot, item.ts);
+  }
+  processed_.Increment();
+}
+
+}  // namespace sdg::runtime

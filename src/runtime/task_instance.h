@@ -1,0 +1,151 @@
+// TaskInstance: one materialised instance of a task element on a node.
+//
+// TEs are not scheduled; the whole SDG is materialised (§3.1). Every instance
+// owns a mailbox and a worker thread that pops one data item at a time,
+// processes it against the instance's local SE, and emits results downstream
+// — a fully pipelined execution with no scheduling overhead.
+//
+// The instance also carries the recovery protocol's per-instance state (§5):
+// the emit clock issuing outgoing timestamps, the vector of last-seen
+// timestamps per upstream source (checkpointed, and used to discard
+// duplicates during replay), and the output buffers logging sent items for
+// upstream backup.
+#ifndef SDG_RUNTIME_TASK_INSTANCE_H_
+#define SDG_RUNTIME_TASK_INSTANCE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/metrics.h"
+#include "src/common/queue.h"
+#include "src/graph/sdg.h"
+#include "src/runtime/data_item.h"
+#include "src/runtime/output_buffer.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::runtime {
+
+class TaskInstance;
+
+// Callbacks a TaskInstance needs from the deployment. Implemented by
+// Deployment; kept abstract so TaskInstance has no dependency on it.
+class RuntimeHooks {
+ public:
+  virtual ~RuntimeHooks() = default;
+
+  // Routes `tuple` along the `output`-th out-edge of src's TE. `cause` is the
+  // input item being processed (propagates barrier id and user tag).
+  virtual void RouteEmit(TaskInstance& src, size_t output, Tuple tuple,
+                         const DataItem& cause) = 0;
+
+  // Delivers a tuple emitted past the last out-edge to the TE's sink.
+  virtual void DeliverToSink(graph::TaskId task, const Tuple& tuple,
+                             uint64_t user_tag) = 0;
+
+  // Called once per item after processing completes (in-flight accounting).
+  virtual void OnItemDone() = 0;
+
+  // Speed factor of `node` (1.0 = nominal; <1 simulates a straggler).
+  virtual double NodeSpeed(uint32_t node) const = 0;
+
+  // Current instance count of `task` (exposed to task code via the context).
+  virtual uint32_t NumInstances(graph::TaskId task) const = 0;
+};
+
+class TaskInstance {
+ public:
+  TaskInstance(const graph::TaskElement& te, uint32_t instance, uint32_t node,
+               state::StateBackend* state, RuntimeHooks* hooks,
+               size_t mailbox_capacity);
+  ~TaskInstance();
+
+  TaskInstance(const TaskInstance&) = delete;
+  TaskInstance& operator=(const TaskInstance&) = delete;
+
+  void Start();
+  // Stops the worker after the mailbox drains (graceful shutdown).
+  void StopWhenDrained();
+  // Kills the worker immediately, dropping queued items (failure injection).
+  void Abort();
+  void Join();
+
+  // Enqueues an item; returns false if the mailbox is closed.
+  bool Deliver(DataItem item);
+
+  const graph::TaskElement& te() const { return te_; }
+  graph::TaskId task_id() const { return te_.id; }
+  uint32_t instance_id() const { return instance_; }
+  uint32_t node() const { return node_; }
+  void set_node(uint32_t node) { node_ = node; }
+  state::StateBackend* state() const { return state_; }
+  void set_state(state::StateBackend* s) { state_ = s; }
+
+  size_t QueueDepth() const { return mailbox_.size(); }
+  size_t QueueCapacity() const { return mailbox_.capacity(); }
+  uint64_t ItemsProcessed() const { return processed_.value(); }
+
+  LogicalClock& emit_clock() { return emit_clock_; }
+
+  // --- Recovery protocol state ----------------------------------------------
+
+  // The step lock is held by the worker while processing one item; the
+  // checkpointer takes it to capture a consistent (SE, meta) cut with only a
+  // brief interruption (§5).
+  std::mutex& step_mutex() { return step_mutex_; }
+
+  // Snapshot of the per-source last-seen timestamps. Caller must hold the
+  // step lock for a consistent cut.
+  std::map<SourceId, uint64_t> LastSeenSnapshot() const;
+  void RestoreLastSeen(const std::map<SourceId, uint64_t>& seen);
+  uint64_t LastSeenFrom(const SourceId& src) const;
+
+  // Output buffer per downstream task (upstream backup log).
+  OutputBuffer& BufferFor(graph::TaskId downstream);
+  // Visits (downstream task id, buffer) pairs.
+  void ForEachBuffer(
+      const std::function<void(graph::TaskId, OutputBuffer&)>& fn);
+
+ private:
+  friend class InstanceTaskContext;
+
+  void WorkerLoop();
+  void ProcessItem(const DataItem& item);
+
+  const graph::TaskElement te_;  // copy: survives graph changes & rescaling
+  const uint32_t instance_;
+  uint32_t node_;
+  state::StateBackend* state_;  // owned by the deployment; stable across repartitioning
+  RuntimeHooks* const hooks_;
+
+  BoundedQueue<DataItem> mailbox_;
+  std::thread worker_;
+  std::atomic<bool> started_{false};
+
+  LogicalClock emit_clock_;
+  std::mutex step_mutex_;
+
+  mutable std::mutex seen_mutex_;
+  std::map<SourceId, uint64_t> last_seen_;
+
+  std::mutex buffers_mutex_;
+  std::map<graph::TaskId, std::unique_ptr<OutputBuffer>> buffers_;
+
+  // Barrier gathering for collector TEs: barrier id -> partials received.
+  struct PendingBarrier {
+    uint32_t expected = 0;
+    uint64_t user_tag = 0;
+    std::vector<Tuple> partials;
+  };
+  std::map<uint64_t, PendingBarrier> pending_barriers_;
+
+  Counter processed_;
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_TASK_INSTANCE_H_

@@ -1,0 +1,147 @@
+#include "src/state/chunk.h"
+
+#include <cstring>
+
+#include "src/common/serialize.h"
+
+namespace sdg::state {
+namespace {
+
+// Serialised header prefix; the body (records) follows immediately.
+std::vector<uint8_t> BuildHeader(const std::string& se_name,
+                                 uint64_t record_count) {
+  BinaryWriter w;
+  w.Write<uint32_t>(kChunkMagic);
+  w.Write<uint32_t>(kChunkVersion);
+  w.WriteString(se_name);
+  w.Write<uint64_t>(record_count);
+  return std::move(w).TakeBuffer();
+}
+
+}  // namespace
+
+ChunkBuilder::ChunkBuilder(std::string se_name) : se_name_(std::move(se_name)) {}
+
+void ChunkBuilder::AddRecord(uint64_t key_hash, const uint8_t* payload,
+                             size_t size) {
+  // Hot path (every state record of every checkpoint): frame the record
+  // in-place, no temporary buffers.
+  uint64_t len = size;
+  size_t offset = body_.size();
+  body_.resize(offset + 2 * sizeof(uint64_t) + size);
+  std::memcpy(body_.data() + offset, &key_hash, sizeof(uint64_t));
+  std::memcpy(body_.data() + offset + sizeof(uint64_t), &len, sizeof(uint64_t));
+  std::memcpy(body_.data() + offset + 2 * sizeof(uint64_t), payload, size);
+  ++record_count_;
+}
+
+RecordSink ChunkBuilder::AsSink() {
+  return [this](uint64_t key_hash, const uint8_t* payload, size_t size) {
+    AddRecord(key_hash, payload, size);
+  };
+}
+
+size_t ChunkBuilder::size_bytes() const { return body_.size(); }
+
+std::vector<uint8_t> ChunkBuilder::Finish() && {
+  std::vector<uint8_t> out = BuildHeader(se_name_, record_count_);
+  out.insert(out.end(), body_.begin(), body_.end());
+  return out;
+}
+
+Result<ChunkReader> ChunkReader::Open(const std::vector<uint8_t>& chunk) {
+  BinaryReader r(chunk);
+  SDG_ASSIGN_OR_RETURN(uint32_t magic, r.Read<uint32_t>());
+  if (magic != kChunkMagic) {
+    return Status(StatusCode::kDataLoss, "bad chunk magic");
+  }
+  SDG_ASSIGN_OR_RETURN(uint32_t version, r.Read<uint32_t>());
+  if (version != kChunkVersion) {
+    return Status(StatusCode::kDataLoss, "unsupported chunk version");
+  }
+  SDG_ASSIGN_OR_RETURN(std::string se_name, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(uint64_t record_count, r.Read<uint64_t>());
+  return ChunkReader(std::move(se_name), record_count,
+                     chunk.data() + r.position(), chunk.size() - r.position());
+}
+
+Status ChunkReader::ForEachRecord(const RecordSink& fn) const {
+  BinaryReader r(body_, body_size_);
+  for (uint64_t i = 0; i < record_count_; ++i) {
+    SDG_ASSIGN_OR_RETURN(uint64_t key_hash, r.Read<uint64_t>());
+    SDG_ASSIGN_OR_RETURN(uint64_t len, r.Read<uint64_t>());
+    if (r.remaining() < len) {
+      return Status(StatusCode::kDataLoss, "truncated chunk record");
+    }
+    fn(key_hash, body_ + r.position(), len);
+    SDG_RETURN_IF_ERROR(r.Skip(len));
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<uint8_t>>> SplitChunk(
+    const std::vector<uint8_t>& chunk, uint32_t n) {
+  SDG_ASSIGN_OR_RETURN(ChunkReader reader, ChunkReader::Open(chunk));
+  std::vector<ChunkBuilder> builders;
+  builders.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    builders.emplace_back(reader.se_name());
+  }
+  SDG_RETURN_IF_ERROR(reader.ForEachRecord(
+      [&](uint64_t key_hash, const uint8_t* payload, size_t size) {
+        builders[key_hash % n].AddRecord(key_hash, payload, size);
+      }));
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(n);
+  for (auto& b : builders) {
+    out.push_back(std::move(b).Finish());
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> FilterChunk(const std::vector<uint8_t>& chunk,
+                                         uint32_t part, uint32_t num_parts) {
+  SDG_ASSIGN_OR_RETURN(ChunkReader reader, ChunkReader::Open(chunk));
+  ChunkBuilder builder(reader.se_name());
+  SDG_RETURN_IF_ERROR(reader.ForEachRecord(
+      [&](uint64_t key_hash, const uint8_t* payload, size_t size) {
+        if (key_hash % num_parts == part) {
+          builder.AddRecord(key_hash, payload, size);
+        }
+      }));
+  return std::move(builder).Finish();
+}
+
+Status RestoreChunk(StateBackend& backend, const std::vector<uint8_t>& chunk) {
+  SDG_ASSIGN_OR_RETURN(ChunkReader reader, ChunkReader::Open(chunk));
+  Status status;
+  SDG_RETURN_IF_ERROR(reader.ForEachRecord(
+      [&](uint64_t key_hash, const uint8_t* payload, size_t size) {
+        if (status.ok()) {
+          status = backend.RestoreRecord(payload, size);
+        }
+      }));
+  return status;
+}
+
+std::vector<std::vector<uint8_t>> SerializeToChunks(const StateBackend& backend,
+                                                    std::string_view se_name,
+                                                    uint32_t m) {
+  std::vector<ChunkBuilder> builders;
+  builders.reserve(m);
+  for (uint32_t i = 0; i < m; ++i) {
+    builders.emplace_back(std::string(se_name));
+  }
+  backend.SerializeRecords(
+      [&](uint64_t key_hash, const uint8_t* payload, size_t size) {
+        builders[key_hash % m].AddRecord(key_hash, payload, size);
+      });
+  std::vector<std::vector<uint8_t>> out;
+  out.reserve(m);
+  for (auto& b : builders) {
+    out.push_back(std::move(b).Finish());
+  }
+  return out;
+}
+
+}  // namespace sdg::state

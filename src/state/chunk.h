@@ -1,0 +1,96 @@
+// Checkpoint chunks: the on-wire/on-disk unit of the m-to-n backup/restore
+// protocol (§5, Fig. 4).
+//
+// A chunk is a byte blob holding (key_hash, payload) records emitted by a
+// StateBackend. Because every record carries its partitioning hash in the
+// frame, a backup node can split a chunk into n sub-chunks for parallel
+// restore (step R1) *without* knowing the state's type or deserialising
+// payloads.
+//
+// Layout: [magic u32][version u32][se_name string][record_count u64]
+//         then per record: [key_hash u64][payload_len u64][payload bytes]
+#ifndef SDG_STATE_CHUNK_H_
+#define SDG_STATE_CHUNK_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::state {
+
+inline constexpr uint32_t kChunkMagic = 0x53444743;  // "SDGC"
+inline constexpr uint32_t kChunkVersion = 1;
+
+// Accumulates records into one chunk blob.
+class ChunkBuilder {
+ public:
+  explicit ChunkBuilder(std::string se_name);
+
+  void AddRecord(uint64_t key_hash, const uint8_t* payload, size_t size);
+
+  // A RecordSink forwarding into this builder.
+  RecordSink AsSink();
+
+  uint64_t record_count() const { return record_count_; }
+  size_t size_bytes() const;
+
+  // Finalises the header and returns the blob; the builder is consumed.
+  std::vector<uint8_t> Finish() &&;
+
+ private:
+  std::string se_name_;
+  std::vector<uint8_t> body_;
+  uint64_t record_count_ = 0;
+};
+
+// Parsed chunk metadata plus a cursor over its records.
+class ChunkReader {
+ public:
+  static Result<ChunkReader> Open(const std::vector<uint8_t>& chunk);
+
+  const std::string& se_name() const { return se_name_; }
+  uint64_t record_count() const { return record_count_; }
+
+  // Calls `fn(key_hash, payload, size)` for every record.
+  Status ForEachRecord(const RecordSink& fn) const;
+
+ private:
+  ChunkReader(std::string se_name, uint64_t record_count, const uint8_t* body,
+              size_t body_size)
+      : se_name_(std::move(se_name)),
+        record_count_(record_count),
+        body_(body),
+        body_size_(body_size) {}
+
+  std::string se_name_;
+  uint64_t record_count_;
+  const uint8_t* body_;  // points into the caller's chunk buffer
+  size_t body_size_;
+};
+
+// Splits `chunk` into `n` chunks, assigning each record by key_hash % n.
+// Payloads are copied verbatim; no state type knowledge required.
+Result<std::vector<std::vector<uint8_t>>> SplitChunk(
+    const std::vector<uint8_t>& chunk, uint32_t n);
+
+// Splits `chunk`, keeping only the records for partition `part` of
+// `num_parts` (what one recovering node receives).
+Result<std::vector<uint8_t>> FilterChunk(const std::vector<uint8_t>& chunk,
+                                         uint32_t part, uint32_t num_parts);
+
+// Feeds every record of `chunk` into `backend` via RestoreRecord.
+Status RestoreChunk(StateBackend& backend, const std::vector<uint8_t>& chunk);
+
+// Serialises `backend` into `m` chunks, records distributed by key_hash % m
+// (step B1 of the backup protocol).
+std::vector<std::vector<uint8_t>> SerializeToChunks(const StateBackend& backend,
+                                                    std::string_view se_name,
+                                                    uint32_t m);
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_CHUNK_H_

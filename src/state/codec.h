@@ -1,0 +1,83 @@
+// Per-type encode/decode/hash used by the keyed state structures. The hash is
+// the partitioning hash: key-partitioned dispatch, partitioned-SE placement
+// and checkpoint chunking must all agree on it.
+#ifndef SDG_STATE_CODEC_H_
+#define SDG_STATE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+
+namespace sdg::state {
+
+template <typename T>
+struct Codec;
+
+template <typename T>
+  requires std::is_integral_v<T>
+struct Codec<T> {
+  static void Encode(BinaryWriter& w, T v) { w.Write<T>(v); }
+  static Result<T> Decode(BinaryReader& r) { return r.Read<T>(); }
+  static uint64_t Hash(T v) { return MixHash64(static_cast<uint64_t>(v)); }
+};
+
+template <>
+struct Codec<double> {
+  static void Encode(BinaryWriter& w, double v) { w.Write<double>(v); }
+  static Result<double> Decode(BinaryReader& r) { return r.Read<double>(); }
+  static uint64_t Hash(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return MixHash64(bits);
+  }
+};
+
+template <>
+struct Codec<std::string> {
+  static void Encode(BinaryWriter& w, const std::string& v) { w.WriteString(v); }
+  static Result<std::string> Decode(BinaryReader& r) { return r.ReadString(); }
+  static uint64_t Hash(const std::string& v) { return Fnv1a64(v); }
+};
+
+template <>
+struct Codec<std::vector<double>> {
+  static void Encode(BinaryWriter& w, const std::vector<double>& v) {
+    w.WriteVector<double>(v);
+  }
+  static Result<std::vector<double>> Decode(BinaryReader& r) {
+    return r.ReadVector<double>();
+  }
+  static uint64_t Hash(const std::vector<double>& v) {
+    uint64_t h = 0xd0;
+    for (double d : v) {
+      h = HashCombine(h, Codec<double>::Hash(d));
+    }
+    return h;
+  }
+};
+
+template <>
+struct Codec<std::vector<int64_t>> {
+  static void Encode(BinaryWriter& w, const std::vector<int64_t>& v) {
+    w.WriteVector<int64_t>(v);
+  }
+  static Result<std::vector<int64_t>> Decode(BinaryReader& r) {
+    return r.ReadVector<int64_t>();
+  }
+  static uint64_t Hash(const std::vector<int64_t>& v) {
+    uint64_t h = 0x10;
+    for (int64_t i : v) {
+      h = HashCombine(h, static_cast<uint64_t>(i));
+    }
+    return h;
+  }
+};
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_CODEC_H_

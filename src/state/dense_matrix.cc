@@ -1,0 +1,202 @@
+#include "src/state/dense_matrix.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/serialize.h"
+
+namespace sdg::state {
+
+double DenseMatrix::Get(size_t row, size_t col) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+  if (checkpoint_active_) {
+    auto it = dirty_.find(Index(row, col));
+    if (it != dirty_.end()) {
+      return it->second;
+    }
+  }
+  return data_[Index(row, col)];
+}
+
+void DenseMatrix::Set(size_t row, size_t col, double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+  if (checkpoint_active_) {
+    dirty_[Index(row, col)] = v;
+  } else {
+    data_[Index(row, col)] = v;
+  }
+}
+
+void DenseMatrix::Add(size_t row, size_t col, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+  size_t idx = Index(row, col);
+  if (checkpoint_active_) {
+    auto it = dirty_.find(idx);
+    double base = it != dirty_.end() ? it->second : data_[idx];
+    dirty_[idx] = base + delta;
+  } else {
+    data_[idx] += delta;
+  }
+}
+
+void DenseMatrix::Fill(double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    for (size_t i = 0; i < data_.size(); ++i) {
+      dirty_[i] = v;
+    }
+    return;
+  }
+  std::fill(data_.begin(), data_.end(), v);
+}
+
+std::vector<double> DenseMatrix::GetRowDense(size_t row) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(row < rows_) << "DenseMatrix row out of range";
+  std::vector<double> out(data_.begin() + static_cast<ptrdiff_t>(row * cols_),
+                          data_.begin() + static_cast<ptrdiff_t>((row + 1) * cols_));
+  if (checkpoint_active_) {
+    for (const auto& [idx, v] : dirty_) {
+      if (idx / cols_ == row) {
+        out[idx % cols_] = v;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::MultiplyDense(const std::vector<double>& x) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(x.size() == cols_) << "DenseMatrix multiply dimension mismatch";
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row = data_.data() + r * cols_;
+    for (size_t c = 0; c < cols_; ++c) {
+      sum += row[c] * x[c];
+    }
+    out[r] = sum;
+  }
+  if (checkpoint_active_) {
+    // Correct rows touched by the dirty overlay.
+    for (const auto& [idx, v] : dirty_) {
+      size_t r = idx / cols_;
+      size_t c = idx % cols_;
+      out[r] += (v - data_[idx]) * x[c];
+    }
+  }
+  return out;
+}
+
+size_t DenseMatrix::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size() * sizeof(double) + dirty_.size() * 24;
+}
+
+void DenseMatrix::BeginCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on DenseMatrix";
+  checkpoint_active_ = true;
+}
+
+void DenseMatrix::SerializeRecords(const RecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (size_t r = 0; r < rows_; ++r) {
+    if (r < row_extracted_.size() && row_extracted_[r]) {
+      continue;
+    }
+    BinaryWriter w;
+    w.Write<uint64_t>(rows_);
+    w.Write<uint64_t>(cols_);
+    w.Write<uint64_t>(r);
+    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
+    sink(MixHash64(r), w.buffer().data(), w.buffer().size());
+  }
+}
+
+uint64_t DenseMatrix::EndCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
+  uint64_t consolidated = dirty_.size();
+  for (const auto& [idx, v] : dirty_) {
+    data_[idx] = v;
+  }
+  dirty_.clear();
+  checkpoint_active_ = false;
+  return consolidated;
+}
+
+void DenseMatrix::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rows_ = 0;
+  cols_ = 0;
+  data_.clear();
+  dirty_.clear();
+  row_extracted_.clear();
+}
+
+Status DenseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
+  BinaryReader r(payload, size);
+  SDG_ASSIGN_OR_RETURN(uint64_t rows, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(uint64_t cols, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(uint64_t row, r.Read<uint64_t>());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rows_ == 0 && cols_ == 0) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows_ * cols_, 0.0);
+  }
+  if (rows != rows_ || cols != cols_ || row >= rows_) {
+    return Status(StatusCode::kDataLoss, "DenseMatrix record shape mismatch");
+  }
+  if (r.remaining() < cols_ * sizeof(double)) {
+    return Status(StatusCode::kDataLoss, "short DenseMatrix row record");
+  }
+  for (size_t c = 0; c < cols_; ++c) {
+    data_[Index(row, c)] = r.Read<double>().value();
+  }
+  if (row < row_extracted_.size()) {
+    row_extracted_[row] = false;
+  }
+  return Status::Ok();
+}
+
+Status DenseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
+                                     const RecordSink& sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    return FailedPreconditionError(
+        "cannot repartition DenseMatrix during an active checkpoint");
+  }
+  if (row_extracted_.size() < rows_) {
+    row_extracted_.resize(rows_, false);
+  }
+  for (size_t r = 0; r < rows_; ++r) {
+    if (row_extracted_[r]) {
+      continue;
+    }
+    uint64_t h = MixHash64(r);
+    if (h % num_parts != part) {
+      continue;
+    }
+    BinaryWriter w;
+    w.Write<uint64_t>(rows_);
+    w.Write<uint64_t>(cols_);
+    w.Write<uint64_t>(r);
+    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
+    sink(h, w.buffer().data(), w.buffer().size());
+    std::fill(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+              data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_), 0.0);
+    row_extracted_[r] = true;
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdg::state

@@ -1,0 +1,77 @@
+// DenseMatrix: a fixed-shape dense double matrix SE, row-partitionable.
+//
+// One of the paper's predefined SE classes (§3.2). Checkpoint records and
+// partition units are whole rows; dirty state is a flat (row*cols + col)
+// overlay so fine-grained element updates stay cheap during a checkpoint.
+#ifndef SDG_STATE_DENSE_MATRIX_H_
+#define SDG_STATE_DENSE_MATRIX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/state/state_backend.h"
+
+namespace sdg::state {
+
+class DenseMatrix final : public StateBackend {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  // --- Matrix operations ----------------------------------------------------
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double Get(size_t row, size_t col) const;
+  void Set(size_t row, size_t col, double v);
+  void Add(size_t row, size_t col, double delta);
+
+  // Sets every element to `v`, preserving the shape (e.g. zeroing an
+  // accumulator between iterations).
+  void Fill(double v);
+
+  std::vector<double> GetRowDense(size_t row) const;
+
+  // result = M * x (x has length cols()).
+  std::vector<double> MultiplyDense(const std::vector<double>& x) const;
+
+  // --- StateBackend ---------------------------------------------------------
+
+  std::string_view TypeName() const override { return "DenseMatrix"; }
+  size_t SizeBytes() const override;
+  uint64_t EntryCount() const override { return rows_ * cols_; }
+
+  void BeginCheckpoint() override;
+  void SerializeRecords(const RecordSink& sink) const override;
+  uint64_t EndCheckpoint() override;
+  bool checkpoint_active() const override {
+    return checkpoint_active_.load(std::memory_order_acquire);
+  }
+
+  void Clear() override;
+  Status RestoreRecord(const uint8_t* payload, size_t size) override;
+  Status ExtractPartition(uint32_t part, uint32_t num_parts,
+                          const RecordSink& sink) override;
+
+ private:
+  size_t Index(size_t row, size_t col) const { return row * cols_ + col; }
+
+  mutable std::mutex mutex_;
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+  std::unordered_map<size_t, double> dirty_;  // flat index -> value
+  // Rows zeroed out by ExtractPartition are no longer owned by this instance;
+  // they are skipped when serialising so restore does not resurrect them.
+  std::vector<bool> row_extracted_;
+  std::atomic<bool> checkpoint_active_{false};
+};
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_DENSE_MATRIX_H_

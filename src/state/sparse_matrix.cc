@@ -1,0 +1,263 @@
+#include "src/state/sparse_matrix.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/state/codec.h"
+
+namespace sdg::state {
+
+double SparseMatrix::Get(int64_t row, int64_t col) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    auto rit = dirty_.find(row);
+    if (rit != dirty_.end()) {
+      auto cit = rit->second.find(col);
+      if (cit != rit->second.end()) {
+        return cit->second;
+      }
+    }
+  }
+  auto rit = main_.find(row);
+  if (rit == main_.end()) {
+    return 0.0;
+  }
+  auto cit = rit->second.find(col);
+  return cit == rit->second.end() ? 0.0 : cit->second;
+}
+
+void SparseMatrix::Set(int64_t row, int64_t col, double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    dirty_[row][col] = v;
+  } else {
+    main_[row][col] = v;
+  }
+}
+
+void SparseMatrix::Add(int64_t row, int64_t col, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    auto rit = dirty_.find(row);
+    if (rit != dirty_.end()) {
+      auto cit = rit->second.find(col);
+      if (cit != rit->second.end()) {
+        cit->second += delta;
+        return;
+      }
+    }
+    double base = 0.0;
+    auto mit = main_.find(row);
+    if (mit != main_.end()) {
+      auto cit = mit->second.find(col);
+      if (cit != mit->second.end()) {
+        base = cit->second;
+      }
+    }
+    dirty_[row][col] = base + delta;
+  } else {
+    main_[row][col] += delta;
+  }
+}
+
+SparseMatrix::Row SparseMatrix::GetRow(int64_t row) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Row out;
+  auto mit = main_.find(row);
+  if (mit != main_.end()) {
+    out = mit->second;
+  }
+  if (checkpoint_active_) {
+    auto dit = dirty_.find(row);
+    if (dit != dirty_.end()) {
+      for (const auto& [col, v] : dit->second) {
+        out[col] = v;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::GetRowDense(int64_t row, size_t dim) const {
+  Row r = GetRow(row);
+  std::vector<double> out(dim, 0.0);
+  for (const auto& [col, v] : r) {
+    if (col >= 0 && static_cast<size_t>(col) < dim) {
+      out[static_cast<size_t>(col)] = v;
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::MultiplyDense(const std::vector<double>& x,
+                                                size_t dim) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out(dim, 0.0);
+  auto accumulate_row = [&](int64_t row, const Row& cols) {
+    if (row < 0 || static_cast<size_t>(row) >= dim) {
+      return;
+    }
+    double sum = 0.0;
+    for (const auto& [col, v] : cols) {
+      if (col >= 0 && static_cast<size_t>(col) < x.size()) {
+        sum += v * x[static_cast<size_t>(col)];
+      }
+    }
+    out[static_cast<size_t>(row)] = sum;
+  };
+  for (const auto& [row, cols] : main_) {
+    if (checkpoint_active_) {
+      auto dit = dirty_.find(row);
+      if (dit != dirty_.end()) {
+        // Merge dirty columns over the main row for this multiply.
+        Row merged = cols;
+        for (const auto& [c, v] : dit->second) {
+          merged[c] = v;
+        }
+        accumulate_row(row, merged);
+        continue;
+      }
+    }
+    accumulate_row(row, cols);
+  }
+  if (checkpoint_active_) {
+    for (const auto& [row, cols] : dirty_) {
+      if (main_.count(row) == 0) {
+        accumulate_row(row, cols);
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t SparseMatrix::RowCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = main_.size();
+  if (checkpoint_active_) {
+    for (const auto& [row, cols] : dirty_) {
+      if (main_.count(row) == 0) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+uint64_t SparseMatrix::NonZeroCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t n = 0;
+  for (const auto& [row, cols] : main_) {
+    n += cols.size();
+  }
+  if (checkpoint_active_) {
+    for (const auto& [row, cols] : dirty_) {
+      auto mit = main_.find(row);
+      for (const auto& [col, v] : cols) {
+        if (mit == main_.end() || mit->second.count(col) == 0) {
+          ++n;
+        }
+      }
+    }
+  }
+  return n;
+}
+
+size_t SparseMatrix::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t entries = 0;
+  for (const auto& [row, cols] : main_) {
+    entries += cols.size();
+  }
+  for (const auto& [row, cols] : dirty_) {
+    entries += cols.size();
+  }
+  return entries * 24 + (main_.size() + dirty_.size()) * 48;
+}
+
+void SparseMatrix::BeginCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on SparseMatrix";
+  checkpoint_active_ = true;
+}
+
+void SparseMatrix::EncodeRow(BinaryWriter& w, int64_t row, const Row& cols) {
+  w.Write<int64_t>(row);
+  w.Write<uint64_t>(cols.size());
+  for (const auto& [col, v] : cols) {
+    w.Write<int64_t>(col);
+    w.Write<double>(v);
+  }
+}
+
+void SparseMatrix::SerializeRecords(const RecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (const auto& [row, cols] : main_) {
+    BinaryWriter w;
+    EncodeRow(w, row, cols);
+    sink(Codec<int64_t>::Hash(row), w.buffer().data(), w.buffer().size());
+  }
+}
+
+uint64_t SparseMatrix::EndCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
+  uint64_t consolidated = 0;
+  for (auto& [row, cols] : dirty_) {
+    consolidated += cols.size();
+    auto& target = main_[row];
+    for (auto& [col, v] : cols) {
+      target[col] = v;
+    }
+  }
+  dirty_.clear();
+  checkpoint_active_ = false;
+  return consolidated;
+}
+
+void SparseMatrix::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  main_.clear();
+  dirty_.clear();
+}
+
+Status SparseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
+  BinaryReader r(payload, size);
+  SDG_ASSIGN_OR_RETURN(int64_t row, r.Read<int64_t>());
+  SDG_ASSIGN_OR_RETURN(uint64_t count, r.Read<uint64_t>());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& target = main_[row];
+  target.reserve(std::min<uint64_t>(count, r.remaining() / 16));
+  for (uint64_t i = 0; i < count; ++i) {
+    SDG_ASSIGN_OR_RETURN(int64_t col, r.Read<int64_t>());
+    SDG_ASSIGN_OR_RETURN(double v, r.Read<double>());
+    target[col] = v;
+  }
+  return Status::Ok();
+}
+
+Status SparseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
+                                      const RecordSink& sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    return FailedPreconditionError(
+        "cannot repartition SparseMatrix during an active checkpoint");
+  }
+  for (auto it = main_.begin(); it != main_.end();) {
+    uint64_t h = Codec<int64_t>::Hash(it->first);
+    if (h % num_parts == part) {
+      BinaryWriter w;
+      EncodeRow(w, it->first, it->second);
+      sink(h, w.buffer().data(), w.buffer().size());
+      it = main_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdg::state

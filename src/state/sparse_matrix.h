@@ -1,0 +1,77 @@
+// SparseMatrix: a row-indexed sparse double matrix SE.
+//
+// This is the Matrix type of the paper's CF algorithm (Alg. 1): `userItem`
+// uses it as a @Partitioned SE (row = user, hash-partitioned by row key) and
+// `coOcc` as a @Partial SE (replicated, updated independently, read globally
+// via multiply + merge). Rows are the unit of partitioning and of checkpoint
+// records; dirty state is a (row, col) -> value overlay.
+#ifndef SDG_STATE_SPARSE_MATRIX_H_
+#define SDG_STATE_SPARSE_MATRIX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::state {
+
+class SparseMatrix final : public StateBackend {
+ public:
+  using Row = std::unordered_map<int64_t, double>;
+
+  SparseMatrix() = default;
+
+  // --- Matrix operations ----------------------------------------------------
+
+  double Get(int64_t row, int64_t col) const;
+  void Set(int64_t row, int64_t col, double v);
+  void Add(int64_t row, int64_t col, double delta);
+
+  // Logical row contents (main overlaid with dirty).
+  Row GetRow(int64_t row) const;
+
+  // Logical row as a dense vector of length `dim` (missing entries are 0).
+  std::vector<double> GetRowDense(int64_t row, size_t dim) const;
+
+  // result[r] = sum_c M[r][c] * x[c] for every materialised row r < dim.
+  // This is CF's `coOcc.multiply(userRow)` (Alg. 1, line 16).
+  std::vector<double> MultiplyDense(const std::vector<double>& x,
+                                    size_t dim) const;
+
+  uint64_t RowCount() const;
+  uint64_t NonZeroCount() const;
+
+  // --- StateBackend ---------------------------------------------------------
+
+  std::string_view TypeName() const override { return "SparseMatrix"; }
+  size_t SizeBytes() const override;
+  uint64_t EntryCount() const override { return NonZeroCount(); }
+
+  void BeginCheckpoint() override;
+  void SerializeRecords(const RecordSink& sink) const override;
+  uint64_t EndCheckpoint() override;
+  bool checkpoint_active() const override {
+    return checkpoint_active_.load(std::memory_order_acquire);
+  }
+
+  void Clear() override;
+  Status RestoreRecord(const uint8_t* payload, size_t size) override;
+  Status ExtractPartition(uint32_t part, uint32_t num_parts,
+                          const RecordSink& sink) override;
+
+ private:
+  static void EncodeRow(BinaryWriter& w, int64_t row, const Row& cols);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<int64_t, Row> main_;
+  std::unordered_map<int64_t, Row> dirty_;
+  std::atomic<bool> checkpoint_active_{false};
+};
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_SPARSE_MATRIX_H_

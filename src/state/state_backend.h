@@ -1,0 +1,81 @@
+// StateBackend: the contract every state-element data structure implements.
+//
+// The paper (§3.2, §5) requires SE data structures to support
+//  (a) dynamic partitioning — so a partitioned SE can be split across nodes
+//      and re-split when the runtime adds instances, and
+//  (b) dirty state — so an asynchronous checkpoint can serialise a frozen
+//      consistent snapshot while processing continues against an overlay,
+//      with only a brief lock to consolidate the overlay afterwards.
+//
+// Checkpoint data is emitted as (key_hash, payload) records. Because the
+// partitioning hash travels with each record, checkpoint chunks can be
+// hash-split *without deserialising them* — which is exactly what the m-to-n
+// restore protocol needs when a backup node splits its chunk across n
+// recovering nodes (§5, step R1).
+#ifndef SDG_STATE_STATE_BACKEND_H_
+#define SDG_STATE_STATE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace sdg::state {
+
+// Receives one serialised state record. `payload` is only valid for the
+// duration of the call.
+using RecordSink =
+    std::function<void(uint64_t key_hash, const uint8_t* payload, size_t size)>;
+
+class StateBackend {
+ public:
+  virtual ~StateBackend() = default;
+
+  virtual std::string_view TypeName() const = 0;
+
+  // Approximate in-memory footprint, used by benches to size state and by the
+  // runtime to decide how many checkpoint chunks to cut.
+  virtual size_t SizeBytes() const = 0;
+  virtual uint64_t EntryCount() const = 0;
+
+  // --- Asynchronous checkpoint protocol (§5) -------------------------------
+  // Step 1: flag the SE dirty. After this call, writes divert to the dirty
+  // overlay and reads consult the overlay first.
+  virtual void BeginCheckpoint() = 0;
+  // Step 3: emit the frozen consistent state. Runs concurrently with
+  // processing; must only be called while a checkpoint is active (in which
+  // case the main structure is immutable) or from a quiesced backend.
+  virtual void SerializeRecords(const RecordSink& sink) const = 0;
+  // Step 5: lock briefly, fold the dirty overlay into the main structure and
+  // clear the dirty flag. Returns the number of overlay entries consolidated.
+  virtual uint64_t EndCheckpoint() = 0;
+
+  virtual bool checkpoint_active() const = 0;
+
+  // --- Restore --------------------------------------------------------------
+  virtual void Clear() = 0;
+  // Merges one record previously produced by SerializeRecords.
+  virtual Status RestoreRecord(const uint8_t* payload, size_t size) = 0;
+
+  // --- Dynamic partitioning (§3.2) -------------------------------------------
+  // Emits and removes every record whose key hash maps to `part` under
+  // hash % num_parts. Invalid while a checkpoint is active.
+  virtual Status ExtractPartition(uint32_t part, uint32_t num_parts,
+                                  const RecordSink& sink) = 0;
+};
+
+// Creates an empty instance of a concrete backend; the runtime uses this when
+// materialising SE instances on nodes and when re-creating them on recovery.
+using StateFactory = std::function<std::unique_ptr<StateBackend>()>;
+
+// Typed downcast for task-element code that knows its SE's concrete type.
+template <typename T>
+T* StateAs(StateBackend* backend) {
+  return dynamic_cast<T*>(backend);
+}
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_STATE_BACKEND_H_

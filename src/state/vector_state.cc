@@ -1,0 +1,183 @@
+#include "src/state/vector_state.h"
+
+#include <algorithm>
+
+namespace sdg::state {
+
+double VectorState::Get(size_t i) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    auto it = dirty_.find(i);
+    if (it != dirty_.end()) {
+      return it->second;
+    }
+  }
+  return i < data_.size() ? data_[i] : 0.0;
+}
+
+void VectorState::Set(size_t i, double v) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    dirty_[i] = v;
+    return;
+  }
+  if (i >= data_.size()) {
+    data_.resize(i + 1, 0.0);
+  }
+  data_[i] = v;
+}
+
+void VectorState::Add(size_t i, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    auto it = dirty_.find(i);
+    double base = it != dirty_.end()
+                      ? it->second
+                      : (i < data_.size() ? data_[i] : 0.0);
+    dirty_[i] = base + delta;
+    return;
+  }
+  if (i >= data_.size()) {
+    data_.resize(i + 1, 0.0);
+  }
+  data_[i] += delta;
+}
+
+void VectorState::Accumulate(const std::vector<double>& other) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    for (size_t i = 0; i < other.size(); ++i) {
+      auto it = dirty_.find(i);
+      double base = it != dirty_.end()
+                        ? it->second
+                        : (i < data_.size() ? data_[i] : 0.0);
+      dirty_[i] = base + other[i];
+    }
+    return;
+  }
+  if (other.size() > data_.size()) {
+    data_.resize(other.size(), 0.0);
+  }
+  for (size_t i = 0; i < other.size(); ++i) {
+    data_[i] += other[i];
+  }
+}
+
+std::vector<double> VectorState::ToDense() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<double> out = data_;
+  if (checkpoint_active_) {
+    for (const auto& [i, v] : dirty_) {
+      if (i >= out.size()) {
+        out.resize(i + 1, 0.0);
+      }
+      out[i] = v;
+    }
+  }
+  return out;
+}
+
+size_t VectorState::LogicalSize() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t n = data_.size();
+  if (checkpoint_active_) {
+    for (const auto& [i, v] : dirty_) {
+      n = std::max(n, i + 1);
+    }
+  }
+  return n;
+}
+
+size_t VectorState::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return data_.size() * sizeof(double) + dirty_.size() * 24;
+}
+
+void VectorState::BeginCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on VectorState";
+  checkpoint_active_ = true;
+}
+
+void VectorState::SerializeRecords(const RecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
+    size_t begin = block * kBlockSize;
+    size_t end = std::min(begin + kBlockSize, data_.size());
+    BinaryWriter w;
+    w.Write<uint64_t>(block);
+    w.Write<uint64_t>(end - begin);
+    w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
+    sink(MixHash64(block), w.buffer().data(), w.buffer().size());
+  }
+}
+
+uint64_t VectorState::EndCheckpoint() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
+  uint64_t consolidated = dirty_.size();
+  for (const auto& [i, v] : dirty_) {
+    if (i >= data_.size()) {
+      data_.resize(i + 1, 0.0);
+    }
+    data_[i] = v;
+  }
+  dirty_.clear();
+  checkpoint_active_ = false;
+  return consolidated;
+}
+
+void VectorState::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.clear();
+  dirty_.clear();
+}
+
+Status VectorState::RestoreRecord(const uint8_t* payload, size_t size) {
+  BinaryReader r(payload, size);
+  SDG_ASSIGN_OR_RETURN(uint64_t block, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(uint64_t count, r.Read<uint64_t>());
+  if (r.remaining() < count * sizeof(double)) {
+    return Status(StatusCode::kDataLoss, "short VectorState block record");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t begin = block * kBlockSize;
+  if (begin + count > data_.size()) {
+    data_.resize(begin + count, 0.0);
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    auto v = r.Read<double>();
+    data_[begin + i] = v.value();
+  }
+  return Status::Ok();
+}
+
+Status VectorState::ExtractPartition(uint32_t part, uint32_t num_parts,
+                                     const RecordSink& sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (checkpoint_active_) {
+    return FailedPreconditionError(
+        "cannot repartition VectorState during an active checkpoint");
+  }
+  for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
+    uint64_t h = MixHash64(block);
+    if (h % num_parts != part) {
+      continue;
+    }
+    size_t begin = block * kBlockSize;
+    size_t end = std::min(begin + kBlockSize, data_.size());
+    BinaryWriter w;
+    w.Write<uint64_t>(block);
+    w.Write<uint64_t>(end - begin);
+    w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
+    sink(h, w.buffer().data(), w.buffer().size());
+    std::fill(data_.begin() + static_cast<ptrdiff_t>(begin),
+              data_.begin() + static_cast<ptrdiff_t>(end), 0.0);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sdg::state

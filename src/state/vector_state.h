@@ -1,0 +1,70 @@
+// VectorState: a dense double vector SE, range-partitionable by index block.
+//
+// Used for logistic-regression weights (a @Partial SE in the paper's LR
+// application) and as the merge result type for partial recommendation
+// vectors in CF. Dirty state is an index->value overlay; checkpoint records
+// are fixed-size blocks so that chunking and range partitioning agree.
+#ifndef SDG_STATE_VECTOR_STATE_H_
+#define SDG_STATE_VECTOR_STATE_H_
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/serialize.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::state {
+
+class VectorState final : public StateBackend {
+ public:
+  static constexpr size_t kBlockSize = 1024;
+
+  VectorState() = default;
+  explicit VectorState(size_t size) : data_(size, 0.0) {}
+
+  // --- Vector operations ----------------------------------------------------
+
+  double Get(size_t i) const;
+  void Set(size_t i, double v);
+  void Add(size_t i, double delta);
+
+  // Adds `other` element-wise, growing if needed (merge of partials).
+  void Accumulate(const std::vector<double>& other);
+
+  // Snapshot of the logical contents (main overlaid with dirty).
+  std::vector<double> ToDense() const;
+
+  size_t LogicalSize() const;
+
+  // --- StateBackend ---------------------------------------------------------
+
+  std::string_view TypeName() const override { return "VectorState"; }
+  size_t SizeBytes() const override;
+  uint64_t EntryCount() const override { return LogicalSize(); }
+
+  void BeginCheckpoint() override;
+  void SerializeRecords(const RecordSink& sink) const override;
+  uint64_t EndCheckpoint() override;
+  bool checkpoint_active() const override {
+    return checkpoint_active_.load(std::memory_order_acquire);
+  }
+
+  void Clear() override;
+  Status RestoreRecord(const uint8_t* payload, size_t size) override;
+  Status ExtractPartition(uint32_t part, uint32_t num_parts,
+                          const RecordSink& sink) override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> data_;
+  std::unordered_map<size_t, double> dirty_;
+  std::atomic<bool> checkpoint_active_{false};
+};
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_VECTOR_STATE_H_

@@ -1,0 +1,105 @@
+// The imperative intermediate representation consumed by the translator.
+//
+// java2sdg (§4.2) analyses Jimple — a typed three-address IR produced from
+// Java bytecode. This module is that IR's analogue: an annotated imperative
+// program made of entry methods whose bodies are sequences of statements over
+// named local variables and annotated state fields. Control flow *within* a
+// statement (e.g. the co-occurrence update loop of Alg. 1 lines 7-12) lives
+// inside the statement's operation; statement-level structure is what the
+// translator analyses, exactly as java2sdg analyses Jimple statement lists.
+//
+// The four paper annotations map as:
+//   @Partitioned  -> FieldAnnotation::kPartitioned on a state field
+//   @Partial      -> FieldAnnotation::kPartial on a state field
+//   @Global       -> StateStmt::global = true (access applies to all partial
+//                    instances; the assigned local becomes multi-valued)
+//   @Collection   -> MergeStmt (reconciles the multi-valued local)
+#ifndef SDG_TRANSLATE_IR_H_
+#define SDG_TRANSLATE_IR_H_
+
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::translate {
+
+enum class FieldAnnotation {
+  kNone,         // plain field: one SE instance
+  kPartitioned,  // @Partitioned: disjoint splits by access key
+  kPartial,      // @Partial: independent replicas
+};
+
+// A mutable state field of the program (becomes a state element).
+struct StateField {
+  std::string name;
+  FieldAnnotation annotation = FieldAnnotation::kNone;
+  state::StateFactory factory;
+};
+
+// An operation that touches exactly one state field.
+struct StateStmt {
+  std::string field;
+  // @Global access: run on every partial instance; `output` becomes
+  // multi-valued (one value per instance) until reconciled by a MergeStmt.
+  bool global = false;
+  // For @Partitioned fields: the local variable holding the access key.
+  std::string key_var;
+  std::vector<std::string> inputs;
+  std::string output;  // empty for pure mutations
+  // The imperative code block: receives the (typed) state backend and the
+  // resolved input values, returns the produced value (ignored when `output`
+  // is empty).
+  std::function<Value(state::StateBackend*, const std::vector<Value>&)> op;
+  // Optional name for the task element cut at this statement.
+  std::string label;
+};
+
+// Pure computation on locals.
+struct LocalStmt {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::function<Value(const std::vector<Value>&)> op;
+  std::string label;
+};
+
+// @Collection reconciliation: consumes every instance's value of a
+// multi-valued local (produced under @Global) and computes one global value.
+// Introduces an all-to-one synchronisation barrier (§4.2 rule 5).
+struct MergeStmt {
+  std::string partial_var;
+  std::vector<std::string> extra_inputs;  // single-valued context
+  std::string output;
+  std::function<Value(const std::vector<Value>& partials,
+                      const std::vector<Value>& extras)>
+      op;
+  std::string label;
+};
+
+// Emits a result tuple to the program's output (the method's return value).
+struct OutputStmt {
+  std::vector<std::string> inputs;
+};
+
+using Stmt = std::variant<StateStmt, LocalStmt, MergeStmt, OutputStmt>;
+
+// One entry point of the program (rule 1 of §4.2 creates a TE per entry).
+struct Method {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<Stmt> body;
+};
+
+// A whole annotated program: the unit java2sdg translates.
+struct Program {
+  std::string name;
+  std::vector<StateField> fields;
+  std::vector<Method> methods;
+};
+
+}  // namespace sdg::translate
+
+#endif  // SDG_TRANSLATE_IR_H_

@@ -1,0 +1,569 @@
+#include "src/translate/translator.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace sdg::translate {
+namespace {
+
+using graph::AccessMode;
+using graph::Dispatch;
+
+// One task element's worth of statements, produced by the TE-partitioning
+// pass (Fig. 3 step 4).
+struct Slice {
+  std::string name;
+  bool is_entry = false;
+  bool is_collector = false;   // gathers an all-to-one barrier
+  bool has_merge = false;      // collector starting with a MergeStmt
+  int field = -1;              // index into program.fields, -1 = stateless
+  AccessMode access = AccessMode::kNone;
+  std::string key_var;         // for partitioned access
+  Dispatch in_dispatch = Dispatch::kOneToAny;  // edge into this slice
+  std::vector<Stmt> stmts;
+  // Filled by live-variable analysis:
+  std::vector<std::string> layout_in;
+};
+
+// Per-statement uses/defs for the live-variable pass (Fig. 3 step 5).
+void UsesAndDefs(const Stmt& stmt, std::vector<std::string>& uses,
+                 std::vector<std::string>& defs) {
+  if (const auto* s = std::get_if<StateStmt>(&stmt)) {
+    uses = s->inputs;
+    if (!s->key_var.empty()) {
+      uses.push_back(s->key_var);
+    }
+    if (!s->output.empty()) {
+      defs.push_back(s->output);
+    }
+  } else if (const auto* l = std::get_if<LocalStmt>(&stmt)) {
+    uses = l->inputs;
+    if (!l->output.empty()) {
+      defs.push_back(l->output);
+    }
+  } else if (const auto* m = std::get_if<MergeStmt>(&stmt)) {
+    uses = m->extra_inputs;
+    uses.push_back(m->partial_var);
+    if (!m->output.empty()) {
+      defs.push_back(m->output);
+    }
+  } else if (const auto* o = std::get_if<OutputStmt>(&stmt)) {
+    uses = o->inputs;
+  }
+}
+
+// The executable form of a slice, shared by the closure installed in the TE.
+struct SliceExec {
+  std::vector<Stmt> stmts;
+  std::vector<std::string> layout_in;
+  std::vector<std::string> layout_out;  // empty when there is no successor
+  bool has_next = false;
+  bool starts_with_merge = false;
+};
+
+using Locals = std::map<std::string, Value>;
+
+Value ResolveLocal(const Locals& locals, const std::string& name) {
+  auto it = locals.find(name);
+  SDG_CHECK(it != locals.end())
+      << "translated program referenced undefined local '" << name << "'";
+  return it->second;
+}
+
+std::vector<Value> ResolveAll(const Locals& locals,
+                              const std::vector<std::string>& names) {
+  std::vector<Value> out;
+  out.reserve(names.size());
+  for (const auto& n : names) {
+    out.push_back(ResolveLocal(locals, n));
+  }
+  return out;
+}
+
+// Interprets the slice body over `locals`, then forwards the live variables
+// to the successor TE (code-assembly contract of Fig. 3 steps 6-8).
+void RunSlice(const SliceExec& exec, Locals locals, graph::TaskContext& ctx,
+              size_t first_stmt) {
+  const size_t sink_index = exec.has_next ? 1 : 0;
+  for (size_t i = first_stmt; i < exec.stmts.size(); ++i) {
+    const Stmt& stmt = exec.stmts[i];
+    if (const auto* s = std::get_if<StateStmt>(&stmt)) {
+      Value out = s->op(ctx.state(), ResolveAll(locals, s->inputs));
+      if (!s->output.empty()) {
+        locals[s->output] = std::move(out);
+      }
+    } else if (const auto* l = std::get_if<LocalStmt>(&stmt)) {
+      Value out = l->op(ResolveAll(locals, l->inputs));
+      if (!l->output.empty()) {
+        locals[l->output] = std::move(out);
+      }
+    } else if (std::get_if<MergeStmt>(&stmt) != nullptr) {
+      SDG_CHECK(false) << "merge statement reached mid-slice";
+    } else if (const auto* o = std::get_if<OutputStmt>(&stmt)) {
+      Tuple t(ResolveAll(locals, o->inputs));
+      ctx.Emit(sink_index, std::move(t));
+    }
+  }
+  if (exec.has_next) {
+    Tuple t(ResolveAll(locals, exec.layout_out));
+    ctx.Emit(0, std::move(t));
+  }
+}
+
+Locals LocalsFromTuple(const std::vector<std::string>& layout,
+                       const Tuple& tuple) {
+  Locals locals;
+  SDG_CHECK(tuple.size() == layout.size())
+      << "tuple arity mismatch: expected " << layout.size() << " got "
+      << tuple.size();
+  for (size_t i = 0; i < layout.size(); ++i) {
+    locals[layout[i]] = tuple[i];
+  }
+  return locals;
+}
+
+graph::TaskFn MakeTaskFn(std::shared_ptr<SliceExec> exec) {
+  return [exec](const Tuple& input, graph::TaskContext& ctx) {
+    RunSlice(*exec, LocalsFromTuple(exec->layout_in, input), ctx, 0);
+  };
+}
+
+graph::CollectorFn MakeCollectorFn(std::shared_ptr<SliceExec> exec) {
+  return [exec](const std::vector<Tuple>& partials, graph::TaskContext& ctx) {
+    SDG_CHECK(!partials.empty()) << "collector invoked with no partials";
+    // Single-valued context is identical in every partial copy; take the
+    // first. The merge statement (if any) additionally reads the
+    // multi-valued variable from every partial.
+    Locals locals = LocalsFromTuple(exec->layout_in, partials[0]);
+    size_t first_stmt = 0;
+    if (exec->starts_with_merge) {
+      const auto& m = std::get<MergeStmt>(exec->stmts[0]);
+      size_t pv_index = 0;
+      for (; pv_index < exec->layout_in.size(); ++pv_index) {
+        if (exec->layout_in[pv_index] == m.partial_var) {
+          break;
+        }
+      }
+      SDG_CHECK(pv_index < exec->layout_in.size())
+          << "partial variable missing from collector layout";
+      std::vector<Value> partial_values;
+      partial_values.reserve(partials.size());
+      for (const auto& p : partials) {
+        partial_values.push_back(p[pv_index]);
+      }
+      Value merged = m.op(partial_values, ResolveAll(locals, m.extra_inputs));
+      if (!m.output.empty()) {
+        locals[m.output] = std::move(merged);
+      }
+      first_stmt = 1;
+    }
+    RunSlice(*exec, std::move(locals), ctx, first_stmt);
+  };
+}
+
+// Translation context for one method.
+class MethodTranslator {
+ public:
+  MethodTranslator(const Program& program, const Method& method,
+                   std::ostringstream& report)
+      : program_(program), method_(method), report_(report) {}
+
+  Result<std::vector<Slice>> Partition();
+
+ private:
+  int FieldIndex(const std::string& name) const {
+    for (size_t i = 0; i < program_.fields.size(); ++i) {
+      if (program_.fields[i].name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  // Starts a new slice reached via `dispatch` (rule 2/3/4/5 cut).
+  void Cut(Dispatch dispatch, const std::string& label, const char* rule) {
+    ++cut_index_;
+    Slice next;
+    next.name = !label.empty()
+                    ? label
+                    : method_.name + "@" + std::to_string(cut_index_);
+    next.in_dispatch = dispatch;
+    report_ << "  cut -> TE '" << next.name << "' (" << rule << ", "
+            << graph::DispatchName(dispatch) << " edge)\n";
+    slices_.push_back(std::move(next));
+  }
+
+  Slice& current() { return slices_.back(); }
+
+  const Program& program_;
+  const Method& method_;
+  std::ostringstream& report_;
+  std::vector<Slice> slices_;
+  std::set<std::string> multivalued_;
+  std::set<std::string> defined_;
+  int cut_index_ = 0;
+};
+
+Result<std::vector<Slice>> MethodTranslator::Partition() {
+  report_ << "method '" << method_.name << "':\n";
+  Slice entry;
+  entry.name = method_.name;
+  entry.is_entry = true;
+  slices_.push_back(std::move(entry));
+  defined_.insert(method_.params.begin(), method_.params.end());
+
+  for (const Stmt& stmt : method_.body) {
+    // Reject uses of undefined or stale multi-valued locals first.
+    std::vector<std::string> uses, defs;
+    UsesAndDefs(stmt, uses, defs);
+    for (const auto& u : uses) {
+      if (defined_.count(u) == 0) {
+        return InvalidArgumentError("method '" + method_.name +
+                                    "' uses undefined variable '" + u + "'");
+      }
+    }
+
+    if (const auto* s = std::get_if<StateStmt>(&stmt)) {
+      int field = FieldIndex(s->field);
+      if (field < 0) {
+        return InvalidArgumentError("unknown state field '" + s->field + "'");
+      }
+      const StateField& sf = program_.fields[field];
+
+      AccessMode access;
+      switch (sf.annotation) {
+        case FieldAnnotation::kPartitioned:
+          if (s->global) {
+            return InvalidArgumentError(
+                "@Global access to @Partitioned field '" + sf.name +
+                "' is not allowed");
+          }
+          if (s->key_var.empty()) {
+            return InvalidArgumentError("access to @Partitioned field '" +
+                                        sf.name + "' requires a key variable");
+          }
+          access = AccessMode::kPartitioned;
+          break;
+        case FieldAnnotation::kPartial:
+          access = s->global ? AccessMode::kGlobal : AccessMode::kLocal;
+          break;
+        case FieldAnnotation::kNone:
+          if (s->global) {
+            return InvalidArgumentError("@Global access to plain field '" +
+                                        sf.name + "' is meaningless");
+          }
+          access = AccessMode::kLocal;
+          break;
+      }
+
+      bool cut_needed;
+      const char* rule = "";
+      if (current().field == -1 && !current().has_merge) {
+        // Slice is stateless so far: try to attach here.
+        cut_needed = false;
+        if (access == AccessMode::kPartitioned && current().is_entry) {
+          // The entry TE can host partitioned access only if the key arrives
+          // with the injected tuple.
+          bool key_is_param = false;
+          for (const auto& p : method_.params) {
+            if (p == s->key_var) {
+              key_is_param = true;
+            }
+          }
+          if (!key_is_param) {
+            cut_needed = true;
+            rule = "rule 2: partitioned access, key computed after entry";
+          }
+        }
+        if (access == AccessMode::kGlobal && !cut_needed && current().is_entry) {
+          // Entry injection one-to-all is supported, but cutting keeps entry
+          // TEs cheap (they fan out the request).
+          cut_needed = true;
+          rule = "rule 3: global access to partial SE";
+        }
+      } else if (current().field == field &&
+                 current().access == access &&
+                 current().key_var == s->key_var && !s->global) {
+        cut_needed = false;  // same SE, same key, same mode: stay in this TE
+      } else if (current().field == field && current().access == access &&
+                 access == AccessMode::kGlobal) {
+        return InvalidArgumentError(
+            "consecutive @Global accesses require a merge between them");
+      } else {
+        cut_needed = true;
+        switch (access) {
+          case AccessMode::kPartitioned:
+            rule = "rule 2: partitioned access to new SE/key";
+            break;
+          case AccessMode::kGlobal:
+            if (current().access == AccessMode::kGlobal) {
+              return InvalidArgumentError(
+                  "global access immediately after global access; merge "
+                  "first");
+            }
+            rule = "rule 3: global access to partial SE";
+            break;
+          default:
+            rule = "rule 4: local access to new partial SE";
+            break;
+        }
+      }
+
+      // Multi-valued inputs may only feed statements that stay inside the
+      // global slice that produced them (§4.1 side-effect-free parallelism);
+      // crossing a cut — in particular the rule-4 barrier — requires an
+      // explicit @Collection merge.
+      {
+        bool stays_in_global =
+            !cut_needed && current().access == AccessMode::kGlobal;
+        for (const auto& u : uses) {
+          if (multivalued_.count(u) > 0 && !stays_in_global) {
+            return InvalidArgumentError(
+                "multi-valued variable '" + u +
+                "' used outside its @Global context; annotate with a merge");
+          }
+        }
+      }
+
+      if (cut_needed) {
+        Dispatch dispatch;
+        switch (access) {
+          case AccessMode::kPartitioned:
+            dispatch = Dispatch::kPartitioned;
+            break;
+          case AccessMode::kGlobal:
+            dispatch = Dispatch::kOneToAll;
+            break;
+          default:
+            dispatch = Dispatch::kOneToAny;
+            break;
+        }
+        // Rule 4 second half: local or partitioned access after a global
+        // slice needs a synchronisation barrier (all-to-one) first.
+        if (current().access == AccessMode::kGlobal) {
+          dispatch = Dispatch::kAllToOne;
+        }
+        Cut(dispatch, s->label, rule);
+        if (dispatch == Dispatch::kAllToOne) {
+          current().is_collector = true;
+          multivalued_.clear();  // per-instance values do not cross a barrier
+        }
+      }
+
+      current().field = field;
+      current().access = access;
+      current().key_var = s->key_var;
+      current().stmts.push_back(stmt);
+      if (!s->output.empty()) {
+        defined_.insert(s->output);
+        if (s->global) {
+          // §4.1: a local assigned under @Global becomes multi-valued.
+          multivalued_.insert(s->output);
+        } else if (current().access == AccessMode::kGlobal) {
+          multivalued_.insert(s->output);
+        }
+      }
+    } else if (const auto* l = std::get_if<LocalStmt>(&stmt)) {
+      bool in_global_slice = current().access == AccessMode::kGlobal;
+      for (const auto& u : uses) {
+        if (multivalued_.count(u) > 0 && !in_global_slice) {
+          return InvalidArgumentError(
+              "multi-valued variable '" + u +
+              "' used outside its @Global context; annotate with a merge");
+        }
+      }
+      current().stmts.push_back(stmt);
+      if (!l->output.empty()) {
+        defined_.insert(l->output);
+        if (in_global_slice) {
+          multivalued_.insert(l->output);
+        }
+      }
+    } else if (const auto* m = std::get_if<MergeStmt>(&stmt)) {
+      if (multivalued_.count(m->partial_var) == 0) {
+        return InvalidArgumentError(
+            "merge of '" + m->partial_var +
+            "' which is not multi-valued (no preceding @Global access)");
+      }
+      for (const auto& e : m->extra_inputs) {
+        if (multivalued_.count(e) > 0) {
+          return InvalidArgumentError("merge extra input '" + e +
+                                      "' must be single-valued");
+        }
+      }
+      Cut(Dispatch::kAllToOne, m->label, "rule 5: @Collection merge");
+      current().is_collector = true;
+      current().has_merge = true;
+      current().stmts.push_back(stmt);
+      multivalued_.clear();
+      if (!m->output.empty()) {
+        defined_.insert(m->output);
+      }
+    } else if (std::get_if<OutputStmt>(&stmt) != nullptr) {
+      current().stmts.push_back(stmt);
+    }
+  }
+  return slices_;
+}
+
+}  // namespace
+
+Result<Translation> TranslateToSdg(const Program& program,
+                                   const TranslateOptions& options) {
+  if (program.methods.empty()) {
+    return InvalidArgumentError("program has no entry methods");
+  }
+  std::ostringstream report;
+  report << "java2sdg translation of program '" << program.name << "'\n";
+
+  graph::SdgBuilder builder;
+
+  // Step 2: SE extraction.
+  std::vector<graph::StateId> state_ids;
+  for (const auto& field : program.fields) {
+    graph::StateDistribution dist;
+    switch (field.annotation) {
+      case FieldAnnotation::kPartitioned:
+        dist = graph::StateDistribution::kPartitioned;
+        break;
+      case FieldAnnotation::kPartial:
+        dist = graph::StateDistribution::kPartial;
+        break;
+      case FieldAnnotation::kNone:
+        dist = graph::StateDistribution::kSingle;
+        break;
+    }
+    if (!field.factory) {
+      return InvalidArgumentError("state field '" + field.name +
+                                  "' has no factory");
+    }
+    state_ids.push_back(builder.AddState(field.name, dist, field.factory));
+    report << "SE '" << field.name << "' ("
+           << graph::StateDistributionName(dist) << ")\n";
+  }
+
+  // Steps 3-4 per method, then 5 (liveness) and 6-8 (assembly).
+  for (const auto& method : program.methods) {
+    MethodTranslator mt(program, method, report);
+    SDG_ASSIGN_OR_RETURN(std::vector<Slice> slices, mt.Partition());
+
+    // Step 5: backward live-variable analysis over the slice chain.
+    std::set<std::string> live;
+    for (auto it = slices.rbegin(); it != slices.rend(); ++it) {
+      for (auto sit = it->stmts.rbegin(); sit != it->stmts.rend(); ++sit) {
+        std::vector<std::string> uses, defs;
+        UsesAndDefs(*sit, uses, defs);
+        for (const auto& d : defs) {
+          live.erase(d);
+        }
+        live.insert(uses.begin(), uses.end());
+      }
+      if (it->is_entry) {
+        // Entry tuples carry the method parameters, in declaration order.
+        for (const auto& v : live) {
+          bool is_param = false;
+          for (const auto& p : method.params) {
+            if (p == v) {
+              is_param = true;
+            }
+          }
+          if (!is_param) {
+            return InvalidArgumentError("method '" + method.name +
+                                        "': variable '" + v +
+                                        "' used before definition");
+          }
+        }
+        it->layout_in = method.params;
+      } else {
+        it->layout_in.assign(live.begin(), live.end());
+      }
+    }
+
+    // Steps 6-8: build TEs, wire edges, install interpreter closures.
+    graph::TaskId prev = 0;
+    for (size_t i = 0; i < slices.size(); ++i) {
+      Slice& slice = slices[i];
+      auto exec = std::make_shared<SliceExec>();
+      exec->stmts = slice.stmts;
+      exec->layout_in = slice.layout_in;
+      exec->has_next = i + 1 < slices.size();
+      if (exec->has_next) {
+        exec->layout_out = slices[i + 1].layout_in;
+      }
+      exec->starts_with_merge = slice.has_merge;
+
+      graph::TaskId te;
+      if (slice.is_entry) {
+        te = builder.AddEntryTask(slice.name, MakeTaskFn(exec));
+      } else if (slice.is_collector) {
+        te = builder.AddCollectorTask(slice.name, MakeCollectorFn(exec));
+      } else {
+        te = builder.AddTask(slice.name, MakeTaskFn(exec));
+      }
+
+      if (slice.field >= 0) {
+        SDG_RETURN_IF_ERROR(builder.SetAccess(
+            te, state_ids[slice.field], slice.access));
+        const auto& field = program.fields[slice.field];
+        uint32_t instances = 1;
+        if (field.annotation == FieldAnnotation::kPartitioned) {
+          instances = options.partitioned_instances;
+        } else if (field.annotation == FieldAnnotation::kPartial) {
+          instances = options.partial_instances;
+        }
+        builder.SetInitialInstances(te, instances);
+      }
+
+      if (slice.is_entry) {
+        if (slice.access == AccessMode::kPartitioned) {
+          int key_index = -1;
+          for (size_t k = 0; k < slice.layout_in.size(); ++k) {
+            if (slice.layout_in[k] == slice.key_var) {
+              key_index = static_cast<int>(k);
+            }
+          }
+          SDG_CHECK(key_index >= 0) << "entry key not in parameter list";
+          builder.SetEntryKeyField(te, key_index);
+        }
+      } else {
+        int key_index = -1;
+        if (slice.in_dispatch == Dispatch::kPartitioned) {
+          for (size_t k = 0; k < slice.layout_in.size(); ++k) {
+            if (slice.layout_in[k] == slice.key_var) {
+              key_index = static_cast<int>(k);
+            }
+          }
+          if (key_index < 0) {
+            return InternalError("partition key '" + slice.key_var +
+                                 "' missing from edge layout");
+          }
+        }
+        SDG_RETURN_IF_ERROR(
+            builder.Connect(prev, te, slice.in_dispatch, key_index));
+      }
+
+      report << "  TE '" << slice.name << "': "
+             << (slice.field >= 0
+                     ? program.fields[slice.field].name + " (" +
+                           std::string(graph::AccessModeName(slice.access)) + ")"
+                     : std::string("stateless"))
+             << ", layout_in = [";
+      for (size_t k = 0; k < slice.layout_in.size(); ++k) {
+        report << (k ? ", " : "") << slice.layout_in[k];
+      }
+      report << "]\n";
+      prev = te;
+    }
+  }
+
+  SDG_ASSIGN_OR_RETURN(graph::Sdg sdg, std::move(builder).Build());
+  Translation t{std::move(sdg), report.str()};
+  return t;
+}
+
+}  // namespace sdg::translate

@@ -1,0 +1,52 @@
+// TranslateToSdg: the java2sdg pipeline of Fig. 3 over the IR of ir.h.
+//
+// Steps (paper numbering):
+//   2. SE extraction        — annotated fields become state elements.
+//   3. SE access extraction — every StateStmt is classified as partitioned,
+//                             local or global access.
+//   4. TE & dataflow generation — methods are cut into task elements by the
+//      five rules of §4.2: (1) one TE per entry point; (2) cut on partitioned
+//      access to a new SE or a new access key; (3) cut on global access to a
+//      partial SE (one-to-all edge); (4) cut on local access to a new partial
+//      SE (one-to-any edge); (5) cut a collector TE for @Collection merges
+//      (all-to-one edge / synchronisation barrier).
+//   5. Live-variable analysis — the locals crossing each TE boundary define
+//      that dataflow edge's tuple layout (and the key field position for
+//      partitioned dispatch).
+//   6-8. Code assembly — each TE's function interprets its statement slice,
+//      reading the input tuple per the edge layout, invoking state ops
+//      against the runtime-managed SE instance, and emitting the live
+//      variables to the successor.
+#ifndef SDG_TRANSLATE_TRANSLATOR_H_
+#define SDG_TRANSLATE_TRANSLATOR_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+#include "src/translate/ir.h"
+
+namespace sdg::translate {
+
+struct TranslateOptions {
+  // Initial instance counts for TEs bound to distributed SEs.
+  uint32_t partitioned_instances = 1;
+  uint32_t partial_instances = 1;
+};
+
+struct Translation {
+  graph::Sdg sdg;
+  // Human-readable translation report: TE cuts, rules applied, edge layouts.
+  std::string report;
+};
+
+// Translates `program` into an executable SDG. Fails with INVALID_ARGUMENT on
+// programs that violate the §4.1 restrictions (e.g. a partitioned access
+// whose key variable is not available, or a merge of a variable that is not
+// multi-valued).
+Result<Translation> TranslateToSdg(const Program& program,
+                                   const TranslateOptions& options = {});
+
+}  // namespace sdg::translate
+
+#endif  // SDG_TRANSLATE_TRANSLATOR_H_

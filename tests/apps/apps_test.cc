@@ -1,0 +1,211 @@
+// Tests for the KV store, wordcount and logistic-regression applications and
+// the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <set>
+
+#include "src/apps/kv.h"
+#include "src/apps/lr.h"
+#include "src/apps/wordcount.h"
+#include "src/apps/workloads.h"
+#include "src/runtime/cluster.h"
+
+namespace sdg::apps {
+namespace {
+
+runtime::ClusterOptions SmallCluster(uint32_t nodes) {
+  runtime::ClusterOptions o;
+  o.num_nodes = nodes;
+  return o;
+}
+
+TEST(KvAppTest, PutGetDelete) {
+  KvOptions opt;
+  opt.partitions = 2;
+  auto g = BuildKvSdg(opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  runtime::Cluster cluster(SmallCluster(2));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value("v" + std::to_string(k))}).ok());
+  }
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->Inject("del", Tuple{Value(int64_t{50})}).ok());
+  (*d)->Drain();
+
+  std::mutex mu;
+  std::map<int64_t, std::string> results;
+  ASSERT_TRUE((*d)->OnOutput("get", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              results[t[0].AsInt()] = t[1].AsString();
+            }).ok());
+  for (int64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE((*d)->Inject("get", Tuple{Value(k)}).ok());
+  }
+  (*d)->Drain();
+  EXPECT_EQ(results[49], "v49");
+  EXPECT_EQ(results[50], "");  // deleted
+  EXPECT_EQ(results[99], "v99");
+}
+
+TEST(WordCountAppTest, CountsWordsAcrossPartitions) {
+  WordCountOptions opt;
+  opt.count_partitions = 2;
+  auto g = BuildWordCountSdg(opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  runtime::Cluster cluster(SmallCluster(2));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  ASSERT_TRUE((*d)->Inject("line", Tuple{Value("the cat sat on the mat")}).ok());
+  ASSERT_TRUE((*d)->Inject("line", Tuple{Value("the dog sat")}).ok());
+  (*d)->Drain();
+
+  std::mutex mu;
+  std::map<std::string, int64_t> counts;
+  ASSERT_TRUE((*d)->OnOutput("read", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              counts[t[0].AsString()] = t[1].AsInt();
+            }).ok());
+  for (const char* w : {"the", "sat", "cat", "missing"}) {
+    ASSERT_TRUE((*d)->Inject("snapshot", Tuple{Value(w)}).ok());
+  }
+  (*d)->Drain();
+  EXPECT_EQ(counts["the"], 3);
+  EXPECT_EQ(counts["sat"], 2);
+  EXPECT_EQ(counts["cat"], 1);
+  EXPECT_EQ(counts["missing"], 0);
+}
+
+TEST(WordCountAppTest, EmitUpdatesStreamsCounts) {
+  WordCountOptions opt;
+  opt.emit_updates = true;
+  auto g = BuildWordCountSdg(opt);
+  ASSERT_TRUE(g.ok());
+  runtime::Cluster cluster(SmallCluster(1));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  std::mutex mu;
+  std::vector<int64_t> updates;
+  ASSERT_TRUE((*d)->OnOutput("count", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              if (t[0].AsString() == "a") {
+                updates.push_back(t[1].AsInt());
+              }
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("line", Tuple{Value("a a a")}).ok());
+  (*d)->Drain();
+  EXPECT_EQ(updates, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(LrAppTest, LearnsSeparableData) {
+  LrOptions opt;
+  opt.dimensions = 5;
+  opt.learning_rate = 0.5;
+  opt.worker_replicas = 2;
+  auto g = BuildLrSdg(opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  runtime::Cluster cluster(SmallCluster(2));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  LrDataGenerator gen(opt.dimensions, /*seed=*/11);
+  for (int i = 0; i < 4000; ++i) {
+    auto ex = gen.Next();
+    ASSERT_TRUE((*d)->Inject("train", Tuple{Value(ex.x), Value(ex.y)}).ok());
+  }
+  (*d)->Drain();
+
+  std::mutex mu;
+  std::vector<double> model;
+  ASSERT_TRUE((*d)->OnOutput("mergeModel", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              model = t[0].AsDoubleVector();
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("readModel", Tuple{}).ok());
+  (*d)->Drain();
+  ASSERT_EQ(model.size(), opt.dimensions);
+
+  // The merged model must classify fresh data from the same distribution
+  // well above chance.
+  LrDataGenerator test_gen(opt.dimensions, /*seed=*/11);  // same true weights
+  for (int i = 0; i < 4000; ++i) {
+    test_gen.Next();  // skip training range
+  }
+  int correct = 0;
+  constexpr int kTest = 500;
+  for (int i = 0; i < kTest; ++i) {
+    auto ex = test_gen.Next();
+    double z = 0;
+    for (size_t j = 0; j < model.size(); ++j) {
+      z += model[j] * ex.x[j];
+    }
+    int64_t prediction = LrSigmoid(z) > 0.5 ? 1 : 0;
+    if (prediction == ex.y) {
+      ++correct;
+    }
+  }
+  EXPECT_GT(correct, kTest * 80 / 100)
+      << "model accuracy too low: " << correct << "/" << kTest;
+}
+
+TEST(WorkloadTest, RatingGeneratorInRangeAndSkewed) {
+  RatingGenerator gen(1000, 500, 7);
+  std::map<int64_t, int> user_counts;
+  for (int i = 0; i < 20000; ++i) {
+    auto r = gen.Next();
+    EXPECT_GE(r.user, 0);
+    EXPECT_LT(r.user, 1000);
+    EXPECT_GE(r.item, 0);
+    EXPECT_LT(r.item, 500);
+    EXPECT_GE(r.rating, 1);
+    EXPECT_LE(r.rating, 5);
+    user_counts[r.user]++;
+  }
+  EXPECT_GT(user_counts[0], user_counts[500] * 2);  // Zipf head dominates
+}
+
+TEST(WorkloadTest, TextGeneratorProducesLines) {
+  TextGenerator gen(100, 8, 3);
+  std::string line = gen.NextLine();
+  // 8 words separated by single spaces, each like "w<rank>".
+  EXPECT_EQ(std::count(line.begin(), line.end(), ' '), 7);
+  EXPECT_EQ(line[0], 'w');
+}
+
+TEST(WorkloadTest, KvWorkloadMixMatchesFraction) {
+  KvWorkload wl(1000, 64, 0.3, 5);
+  int reads = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    auto op = wl.Next();
+    if (op.type == KvWorkload::OpType::kRead) {
+      ++reads;
+      EXPECT_TRUE(op.value.empty());
+    } else {
+      EXPECT_EQ(op.value.size(), 64u);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.3, 0.03);
+}
+
+TEST(WorkloadTest, LrDataLabelsMatchTrueModel) {
+  LrDataGenerator gen(4, 9);
+  for (int i = 0; i < 100; ++i) {
+    auto ex = gen.Next();
+    double z = 0;
+    for (size_t j = 0; j < ex.x.size(); ++j) {
+      z += ex.x[j] * gen.true_weights()[j];
+    }
+    EXPECT_EQ(ex.y, z > 0 ? 1 : 0);
+  }
+}
+
+}  // namespace
+}  // namespace sdg::apps

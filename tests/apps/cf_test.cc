@@ -1,0 +1,135 @@
+// End-to-end execution of the translated collaborative-filtering SDG.
+#include "src/apps/cf.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "src/runtime/cluster.h"
+#include "src/state/sparse_matrix.h"
+
+namespace sdg::apps {
+namespace {
+
+TEST(CfEndToEndTest, RecommendationsReflectCoOccurrence) {
+  CfOptions opt;
+  opt.num_items = 8;
+  auto t = BuildCfSdg(opt);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  runtime::ClusterOptions copts;
+  copts.num_nodes = 3;
+  runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(t->sdg));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  // Users 1..3 rate items {1,2} together; user 4 rates item 3 alone.
+  for (int64_t user = 1; user <= 3; ++user) {
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(1), Value(5)}).ok());
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(2), Value(4)}).ok());
+  }
+  ASSERT_TRUE((*d)->Inject("addRating", Tuple{Value(4), Value(3), Value(5)}).ok());
+  (*d)->Drain();
+
+  std::mutex mu;
+  std::vector<double> rec;
+  int64_t rec_user = -1;
+  ASSERT_TRUE((*d)->OnOutput("merge", [&](const Tuple& out, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              rec_user = out[0].AsInt();
+              rec = out[1].AsDoubleVector();
+            }).ok());
+
+  // User 5 rates item 1; the co-occurrence model should recommend item 2
+  // (rated together with 1 by users 1..3) over item 3 (never co-rated).
+  ASSERT_TRUE((*d)->Inject("addRating", Tuple{Value(5), Value(1), Value(5)}).ok());
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->Inject("getRec", Tuple{Value(5)}).ok());
+  (*d)->Drain();
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(rec_user, 5);
+  ASSERT_EQ(rec.size(), opt.num_items);
+  EXPECT_GT(rec[2], rec[3]) << "co-rated item must outrank un-co-rated item";
+  EXPECT_GT(rec[2], 0.0);
+}
+
+TEST(CfEndToEndTest, PartialReplicasMergeToSameResultAsSingle) {
+  // The defining property of partial state (§3.2): with updates spread over
+  // R independent coOcc replicas, the *merged* recommendation equals the
+  // single-replica result.
+  auto run = [](uint32_t replicas) {
+    CfOptions opt;
+    opt.num_items = 6;
+    opt.cooc_replicas = replicas;
+    auto t = BuildCfSdg(opt);
+    EXPECT_TRUE(t.ok());
+    runtime::ClusterOptions copts;
+    copts.num_nodes = 3;
+    runtime::Cluster cluster(copts);
+    auto d = cluster.Deploy(std::move(t->sdg));
+    EXPECT_TRUE(d.ok());
+
+    for (int64_t user = 1; user <= 6; ++user) {
+      EXPECT_TRUE((*d)->Inject("addRating",
+                               Tuple{Value(user), Value(user % 3), Value(5)})
+                      .ok());
+      EXPECT_TRUE((*d)->Inject("addRating",
+                               Tuple{Value(user), Value(3 + user % 2), Value(4)})
+                      .ok());
+    }
+    (*d)->Drain();
+
+    std::mutex mu;
+    std::vector<double> rec;
+    EXPECT_TRUE((*d)->OnOutput("merge", [&](const Tuple& out, uint64_t) {
+                std::lock_guard<std::mutex> lock(mu);
+                rec = out[1].AsDoubleVector();
+              }).ok());
+    EXPECT_TRUE((*d)->Inject("getRec", Tuple{Value(2)}).ok());
+    (*d)->Drain();
+    std::lock_guard<std::mutex> lock(mu);
+    return rec;
+  };
+
+  auto single = run(1);
+  auto tripled = run(3);
+  ASSERT_EQ(single.size(), tripled.size());
+  for (size_t i = 0; i < single.size(); ++i) {
+    EXPECT_DOUBLE_EQ(single[i], tripled[i]) << "item " << i;
+  }
+}
+
+TEST(CfEndToEndTest, UserPartitionsIsolateUserRows) {
+  CfOptions opt;
+  opt.num_items = 4;
+  opt.user_partitions = 2;
+  auto t = BuildCfSdg(opt);
+  ASSERT_TRUE(t.ok());
+  runtime::ClusterOptions copts;
+  copts.num_nodes = 2;
+  runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(t->sdg));
+  ASSERT_TRUE(d.ok());
+
+  for (int64_t user = 0; user < 50; ++user) {
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(user % 4), Value(3)}).ok());
+  }
+  (*d)->Drain();
+
+  // Each userItem partition holds a strict subset of user rows.
+  auto* p0 = state::StateAs<state::SparseMatrix>((*d)->StateInstance("userItem", 0));
+  auto* p1 = state::StateAs<state::SparseMatrix>((*d)->StateInstance("userItem", 1));
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p0->RowCount() + p1->RowCount(), 50u);
+  EXPECT_GT(p0->RowCount(), 10u);
+  EXPECT_GT(p1->RowCount(), 10u);
+}
+
+}  // namespace
+}  // namespace sdg::apps

@@ -1,0 +1,140 @@
+// End-to-end k-means: iterative reconcile-and-redistribute over partial state.
+#include "src/apps/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+#include "src/state/dense_matrix.h"
+
+namespace sdg::apps {
+namespace {
+
+using state::DenseMatrix;
+using state::StateAs;
+
+TEST(KMeansTest, GraphShape) {
+  KMeansOptions opt;
+  opt.clusters = 3;
+  opt.dimensions = 2;
+  opt.replicas = 2;
+  auto g = BuildKMeansSdg(opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->states().size(), 2u);
+  EXPECT_EQ(g->tasks().size(), 7u);
+  auto merge = g->TaskByName("newModel");
+  ASSERT_TRUE(merge.ok());
+  EXPECT_TRUE(g->task(*merge).is_collector());
+  EXPECT_EQ(g->OutEdges(*merge).size(), 2u);
+}
+
+TEST(KMeansTest, RejectsDegenerateOptions) {
+  EXPECT_FALSE(BuildKMeansSdg({.clusters = 0}).ok());
+  KMeansOptions bad;
+  bad.clusters = 2;
+  bad.dimensions = 2;
+  bad.initial_centroids = {1.0};  // wrong arity
+  EXPECT_FALSE(BuildKMeansSdg(bad).ok());
+}
+
+TEST(KMeansTest, ConvergesOnSeparatedBlobs) {
+  KMeansOptions opt;
+  opt.clusters = 2;
+  opt.dimensions = 2;
+  opt.replicas = 2;
+  auto g = BuildKMeansSdg(opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  runtime::ClusterOptions copts;
+  copts.num_nodes = 2;
+  runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  std::mutex mu;
+  std::vector<double> centroids;
+  std::vector<double> counts;
+  ASSERT_TRUE((*d)->OnOutput("newModel", [&](const Tuple& out, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              centroids = out[0].AsDoubleVector();
+              counts = out[1].AsDoubleVector();
+            }).ok());
+
+  Rng rng(17);
+  for (int iter = 0; iter < 4; ++iter) {
+    for (int i = 0; i < 300; ++i) {
+      // Two well-separated blobs around (0,0) and (10,10).
+      double cx = (i % 2 == 0) ? 0.0 : 10.0;
+      std::vector<double> p{cx + rng.NextDoubleIn(-0.5, 0.5),
+                            cx + rng.NextDoubleIn(-0.5, 0.5)};
+      ASSERT_TRUE((*d)->Inject("assign", Tuple{Value(std::move(p))}).ok());
+    }
+    (*d)->Drain();  // assignments settled: the §3.1 iteration boundary
+    ASSERT_TRUE((*d)->Inject("step", Tuple{}).ok());
+    (*d)->Drain();
+  }
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(centroids.size(), 4u);
+  ASSERT_EQ(counts.size(), 2u);
+  // One centroid near each blob mean, in either order.
+  double d0 = std::hypot(centroids[0] - 0.0, centroids[1] - 0.0);
+  double d1 = std::hypot(centroids[2] - 10.0, centroids[3] - 10.0);
+  double swapped0 = std::hypot(centroids[0] - 10.0, centroids[1] - 10.0);
+  double swapped1 = std::hypot(centroids[2] - 0.0, centroids[3] - 0.0);
+  bool direct = d0 < 1.0 && d1 < 1.0;
+  bool swapped = swapped0 < 1.0 && swapped1 < 1.0;
+  EXPECT_TRUE(direct || swapped)
+      << "centroids: (" << centroids[0] << "," << centroids[1] << ") ("
+      << centroids[2] << "," << centroids[3] << ")";
+  EXPECT_DOUBLE_EQ(counts[0] + counts[1], 300.0);  // last iteration's points
+
+  // The reconciled model reached every replica.
+  for (uint32_t j = 0; j < 2; ++j) {
+    auto* m = StateAs<DenseMatrix>((*d)->StateInstance("model", j));
+    ASSERT_NE(m, nullptr);
+    EXPECT_DOUBLE_EQ(m->Get(0, 0), centroids[0]) << "replica " << j;
+    EXPECT_DOUBLE_EQ(m->Get(1, 0), centroids[2]) << "replica " << j;
+  }
+  // The sums were reset for the next iteration.
+  for (uint32_t j = 0; j < 2; ++j) {
+    auto* s = StateAs<DenseMatrix>((*d)->StateInstance("sums", j));
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->Get(0, 2), 0.0) << "replica " << j;
+    EXPECT_DOUBLE_EQ(s->Get(1, 2), 0.0) << "replica " << j;
+  }
+}
+
+TEST(KMeansTest, AssignSinkReportsClusters) {
+  KMeansOptions opt;
+  opt.clusters = 2;
+  opt.dimensions = 1;
+  opt.initial_centroids = {0.0, 10.0};
+  auto g = BuildKMeansSdg(opt);
+  ASSERT_TRUE(g.ok());
+  runtime::ClusterOptions copts;
+  copts.num_nodes = 1;
+  runtime::Cluster cluster(copts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  std::mutex mu;
+  std::map<int64_t, int64_t> assignments;  // point value -> cluster
+  ASSERT_TRUE((*d)->OnOutput("assign", [&](const Tuple& out, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              assignments[static_cast<int64_t>(out[1].AsDoubleVector()[0])] =
+                  out[0].AsInt();
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("assign", Tuple{Value(std::vector<double>{1.0})}).ok());
+  ASSERT_TRUE((*d)->Inject("assign", Tuple{Value(std::vector<double>{9.0})}).ok());
+  (*d)->Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(assignments[1], 0);
+  EXPECT_EQ(assignments[9], 1);
+}
+
+}  // namespace
+}  // namespace sdg::apps

@@ -1,0 +1,130 @@
+// Tests of the comparator engines (mini Streaming-Spark / mini Naiad).
+#include <gtest/gtest.h>
+
+#include "src/baseline/batched_stream.h"
+#include "src/baseline/iterative_batch.h"
+#include "src/baseline/sync_kv.h"
+
+namespace sdg::baseline {
+namespace {
+
+TEST(BatchedStreamTest, ProcessesAndCounts) {
+  apps::TextGenerator gen(100, 10, 42);
+  BatchedWordCountOptions opt;
+  opt.batch_size = 100;
+  opt.per_batch_overhead_s = 0;
+  opt.window_s = 0.05;
+  auto r = RunBatchedWordCount(opt, gen, 0.2);
+  EXPECT_GT(r.items_processed, 0u);
+  EXPECT_GT(r.batches, 0u);
+  EXPECT_GT(r.windows, 1u);
+  EXPECT_GT(r.distinct_words, 0u);
+  EXPECT_GT(r.throughput_items_s, 0.0);
+}
+
+TEST(BatchedStreamTest, OverheadReducesThroughput) {
+  apps::TextGenerator gen1(100, 10, 42);
+  apps::TextGenerator gen2(100, 10, 42);
+  BatchedWordCountOptions cheap;
+  cheap.batch_size = 200;
+  cheap.per_batch_overhead_s = 0;
+  cheap.window_s = 10;
+  BatchedWordCountOptions pricey = cheap;
+  pricey.per_batch_overhead_s = 0.005;
+  auto fast = RunBatchedWordCount(cheap, gen1, 0.3);
+  auto slow = RunBatchedWordCount(pricey, gen2, 0.3);
+  EXPECT_GT(fast.throughput_items_s, slow.throughput_items_s * 1.5);
+}
+
+TEST(BatchedStreamTest, SmallWindowsCollapseSparkStyle) {
+  // With per-window state regeneration, shrinking the window slashes
+  // throughput — the Fig. 8 collapse.
+  apps::TextGenerator gen1(20000, 10, 7);
+  apps::TextGenerator gen2(20000, 10, 7);
+  BatchedWordCountOptions wide;
+  wide.batch_size = 500;
+  wide.per_batch_overhead_s = 0.001;
+  wide.copy_state_per_window = true;
+  wide.window_s = 0.5;
+  BatchedWordCountOptions narrow = wide;
+  narrow.window_s = 0.005;
+  auto ok = RunBatchedWordCount(wide, gen1, 0.4);
+  auto collapsed = RunBatchedWordCount(narrow, gen2, 0.4);
+  EXPECT_GT(ok.throughput_items_s, collapsed.throughput_items_s);
+}
+
+TEST(SyncKvTest, ServesWorkloadAndCheckpoints) {
+  apps::KvWorkload wl(1000, 128, 0.5, 3);
+  SyncKvOptions opt;
+  opt.checkpoint_interval_s = 0.05;
+  opt.checkpoint_to_disk = false;
+  auto r = RunSyncCheckpointKv(opt, wl, /*preload_keys=*/5000,
+                               /*value_size=*/128, /*duration_s=*/0.3);
+  EXPECT_GT(r.throughput_ops_s, 0.0);
+  EXPECT_GT(r.checkpoints, 2u);
+  EXPECT_GT(r.state_bytes, 5000u * 128u);
+  EXPECT_GT(r.latency_ms.count, 0u);
+}
+
+TEST(SyncKvTest, LargerStateMeansLongerPauses) {
+  apps::KvWorkload wl1(1000, 64, 0.5, 3);
+  apps::KvWorkload wl2(1000, 64, 0.5, 3);
+  SyncKvOptions opt;
+  opt.checkpoint_interval_s = 0.05;
+  opt.checkpoint_to_disk = false;
+  auto small = RunSyncCheckpointKv(opt, wl1, 1000, 64, 0.3);
+  auto large = RunSyncCheckpointKv(opt, wl2, 200000, 64, 0.3);
+  EXPECT_GT(large.max_checkpoint_s, small.max_checkpoint_s);
+  // The stop-the-world pause shows up in tail latency.
+  EXPECT_GT(large.latency_ms.max, small.latency_ms.max);
+}
+
+TEST(IterativeLrTest, TrainsAndReportsThroughput) {
+  apps::LrDataGenerator gen(8, 21);
+  std::vector<apps::LrDataGenerator::Example> data;
+  for (int i = 0; i < 5000; ++i) {
+    data.push_back(gen.Next());
+  }
+  IterativeLrOptions opt;
+  opt.workers = 2;
+  opt.iterations = 5;
+  opt.task_launch_overhead_s = 0.0005;
+  opt.learning_rate = 2.0;
+  auto r = RunIterativeBatchLr(opt, data);
+  EXPECT_GT(r.throughput_examples_s, 0.0);
+  ASSERT_EQ(r.weights.size(), 8u);
+
+  // Direction of learned weights must correlate with the ground truth.
+  double dot = 0, norm_a = 0, norm_b = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    dot += r.weights[i] * gen.true_weights()[i];
+    norm_a += r.weights[i] * r.weights[i];
+    norm_b += gen.true_weights()[i] * gen.true_weights()[i];
+  }
+  EXPECT_GT(dot / std::sqrt(norm_a * norm_b), 0.7);
+}
+
+TEST(IterativeLrTest, TaskOverheadHurtsThroughput) {
+  apps::LrDataGenerator gen(4, 33);
+  std::vector<apps::LrDataGenerator::Example> data;
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(gen.Next());
+  }
+  IterativeLrOptions cheap;
+  cheap.iterations = 4;
+  cheap.task_launch_overhead_s = 0;
+  IterativeLrOptions pricey = cheap;
+  pricey.task_launch_overhead_s = 0.01;
+  auto fast = RunIterativeBatchLr(cheap, data);
+  auto slow = RunIterativeBatchLr(pricey, data);
+  EXPECT_GT(fast.throughput_examples_s, slow.throughput_examples_s);
+}
+
+TEST(IterativeLrTest, EmptyDataset) {
+  IterativeLrOptions opt;
+  auto r = RunIterativeBatchLr(opt, {});
+  EXPECT_EQ(r.throughput_examples_s, 0.0);
+}
+
+}  // namespace
+}  // namespace sdg::baseline

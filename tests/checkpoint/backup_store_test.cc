@@ -1,0 +1,172 @@
+#include "src/checkpoint/backup_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "src/common/clock.h"
+
+namespace sdg::checkpoint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BackupStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sdg_store_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  BackupStoreOptions Options(uint32_t backups, uint64_t throttle = 0) {
+    BackupStoreOptions o;
+    o.root = dir_;
+    o.num_backup_nodes = backups;
+    o.throttle_bytes_per_sec = throttle;
+    o.io_threads = 2;
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+std::vector<std::vector<uint8_t>> MakeChunks(int n, size_t size) {
+  std::vector<std::vector<uint8_t>> chunks;
+  for (int i = 0; i < n; ++i) {
+    chunks.emplace_back(size, static_cast<uint8_t>(i));
+  }
+  return chunks;
+}
+
+TEST_F(BackupStoreTest, WriteReadRoundTrip) {
+  BackupStore store(Options(2));
+  auto chunks = MakeChunks(4, 1024);
+  ASSERT_TRUE(store.WriteChunks(0, 1, "se0", chunks).ok());
+  auto back = store.ReadChunks(0, 1, "se0", 4);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back, chunks);
+}
+
+TEST_F(BackupStoreTest, ChunksSpreadAcrossBackupDirs) {
+  BackupStore store(Options(2));
+  ASSERT_TRUE(store.WriteChunks(0, 1, "se0", MakeChunks(4, 16)).ok());
+  size_t in_backup0 = 0, in_backup1 = 0;
+  for (const auto& e : fs::directory_iterator(dir_ / "backup0")) {
+    (void)e;
+    ++in_backup0;
+  }
+  for (const auto& e : fs::directory_iterator(dir_ / "backup1")) {
+    (void)e;
+    ++in_backup1;
+  }
+  EXPECT_EQ(in_backup0, 2u);  // chunks 0, 2
+  EXPECT_EQ(in_backup1, 2u);  // chunks 1, 3
+}
+
+TEST_F(BackupStoreTest, MetaRoundTripAndLatestEpoch) {
+  BackupStore store(Options(1));
+  CheckpointMeta meta;
+  meta.epoch = 3;
+  meta.tasks.push_back({/*task=*/1, /*instance=*/0, /*emit_clock=*/42,
+                        {{2, 0, 17}}});
+  meta.states.push_back({/*state=*/0, /*instance=*/0, /*num_chunks=*/4,
+                         /*record_count=*/100});
+  ASSERT_TRUE(store.WriteMeta(5, 3, meta).ok());
+
+  auto latest = store.LatestEpoch(5);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 3u);
+
+  auto back = store.ReadMeta(5, 3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 3u);
+  ASSERT_EQ(back->tasks.size(), 1u);
+  EXPECT_EQ(back->tasks[0].emit_clock, 42u);
+  ASSERT_EQ(back->tasks[0].last_seen.size(), 1u);
+  EXPECT_EQ(back->tasks[0].last_seen[0].ts, 17u);
+  ASSERT_EQ(back->states.size(), 1u);
+  EXPECT_EQ(back->states[0].record_count, 100u);
+}
+
+TEST_F(BackupStoreTest, LatestEpochPicksHighest) {
+  BackupStore store(Options(1));
+  CheckpointMeta meta;
+  for (uint64_t e : {1, 5, 3}) {
+    meta.epoch = e;
+    ASSERT_TRUE(store.WriteMeta(0, e, meta).ok());
+  }
+  auto latest = store.LatestEpoch(0);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, 5u);
+}
+
+TEST_F(BackupStoreTest, LatestEpochOfUnknownNodeFails) {
+  BackupStore store(Options(1));
+  EXPECT_FALSE(store.LatestEpoch(9).ok());
+}
+
+TEST_F(BackupStoreTest, ReadMissingChunkFails) {
+  BackupStore store(Options(1));
+  auto r = store.ReadChunks(0, 1, "ghost", 2);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BackupStoreTest, PruneRemovesOldEpochs) {
+  BackupStore store(Options(1));
+  CheckpointMeta meta;
+  for (uint64_t e : {1, 2, 3}) {
+    meta.epoch = e;
+    ASSERT_TRUE(store.WriteChunks(0, e, "se0", MakeChunks(1, 8)).ok());
+    ASSERT_TRUE(store.WriteMeta(0, e, meta).ok());
+  }
+  store.PruneBefore(0, 3);
+  EXPECT_FALSE(store.ReadMeta(0, 1).ok());
+  EXPECT_FALSE(store.ReadMeta(0, 2).ok());
+  EXPECT_TRUE(store.ReadMeta(0, 3).ok());
+  EXPECT_TRUE(store.ReadChunks(0, 3, "se0", 1).ok());
+  EXPECT_FALSE(store.ReadChunks(0, 1, "se0", 1).ok());
+}
+
+TEST_F(BackupStoreTest, PruneIsPerNode) {
+  BackupStore store(Options(1));
+  CheckpointMeta meta;
+  meta.epoch = 1;
+  ASSERT_TRUE(store.WriteMeta(0, 1, meta).ok());
+  ASSERT_TRUE(store.WriteMeta(1, 1, meta).ok());
+  store.PruneBefore(0, 2);
+  EXPECT_FALSE(store.ReadMeta(0, 1).ok());
+  EXPECT_TRUE(store.ReadMeta(1, 1).ok());
+}
+
+TEST_F(BackupStoreTest, ThrottleSlowsLargeWrites) {
+  // 1 MB at 4 MB/s must take at least ~200 ms; unthrottled is instant.
+  auto chunks = MakeChunks(1, 1 << 20);
+  Stopwatch fast_timer;
+  {
+    BackupStore store(Options(1));
+    ASSERT_TRUE(store.WriteChunks(0, 1, "se0", chunks).ok());
+  }
+  double fast = fast_timer.ElapsedSeconds();
+
+  Stopwatch slow_timer;
+  {
+    BackupStore store(Options(1, /*throttle=*/4 << 20));
+    ASSERT_TRUE(store.WriteChunks(0, 1, "se0", chunks).ok());
+  }
+  double slow = slow_timer.ElapsedSeconds();
+  EXPECT_GT(slow, fast);
+  EXPECT_GE(slow, 0.15);
+}
+
+TEST_F(BackupStoreTest, EmptyChunkListIsOk) {
+  BackupStore store(Options(2));
+  EXPECT_TRUE(store.WriteChunks(0, 1, "se0", {}).ok());
+}
+
+}  // namespace
+}  // namespace sdg::checkpoint

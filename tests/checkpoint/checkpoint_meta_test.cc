@@ -1,0 +1,63 @@
+#include "src/checkpoint/checkpoint_meta.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg::checkpoint {
+namespace {
+
+TEST(CheckpointMetaTest, EmptyRoundTrip) {
+  CheckpointMeta m;
+  m.epoch = 7;
+  auto back = CheckpointMeta::FromBytes(m.ToBytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->epoch, 7u);
+  EXPECT_TRUE(back->tasks.empty());
+  EXPECT_TRUE(back->states.empty());
+}
+
+TEST(CheckpointMetaTest, FullRoundTrip) {
+  CheckpointMeta m;
+  m.epoch = 12;
+  TaskInstanceMeta t1;
+  t1.task = 3;
+  t1.instance = 1;
+  t1.emit_clock = 999;
+  t1.last_seen = {{0, 0, 10}, {0xFFFFFFFFu, 3, 55}};
+  m.tasks.push_back(t1);
+  TaskInstanceMeta t2;
+  t2.task = 4;
+  m.tasks.push_back(t2);
+  m.states.push_back({2, 0, 8, 12345});
+
+  auto back = CheckpointMeta::FromBytes(m.ToBytes());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->tasks.size(), 2u);
+  EXPECT_EQ(back->tasks[0].task, 3u);
+  EXPECT_EQ(back->tasks[0].emit_clock, 999u);
+  ASSERT_EQ(back->tasks[0].last_seen.size(), 2u);
+  EXPECT_EQ(back->tasks[0].last_seen[1].task, 0xFFFFFFFFu);
+  EXPECT_EQ(back->tasks[0].last_seen[1].ts, 55u);
+  EXPECT_EQ(back->tasks[1].task, 4u);
+  ASSERT_EQ(back->states.size(), 1u);
+  EXPECT_EQ(back->states[0].num_chunks, 8u);
+  EXPECT_EQ(back->states[0].record_count, 12345u);
+}
+
+TEST(CheckpointMetaTest, TruncatedBytesFail) {
+  CheckpointMeta m;
+  m.epoch = 1;
+  m.states.push_back({1, 1, 1, 1});
+  auto bytes = m.ToBytes();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_FALSE(CheckpointMeta::FromBytes(bytes).ok());
+}
+
+TEST(CheckpointMetaTest, GarbageBytesFailGracefully) {
+  std::vector<uint8_t> garbage(16, 0xFF);
+  // A hostile count must not crash or over-allocate.
+  auto r = CheckpointMeta::FromBytes(garbage);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace sdg::checkpoint

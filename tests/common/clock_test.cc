@@ -1,0 +1,67 @@
+#include "src/common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace sdg {
+namespace {
+
+TEST(LogicalClockTest, MonotoneFromOne) {
+  LogicalClock c;
+  EXPECT_EQ(c.Next(), 1u);
+  EXPECT_EQ(c.Next(), 2u);
+  EXPECT_EQ(c.Peek(), 3u);
+  EXPECT_EQ(c.Next(), 3u);
+}
+
+TEST(LogicalClockTest, AdvanceToSkipsForward) {
+  LogicalClock c;
+  c.AdvanceTo(100);
+  EXPECT_EQ(c.Next(), 101u);
+  // Advancing backwards is a no-op.
+  c.AdvanceTo(5);
+  EXPECT_EQ(c.Next(), 102u);
+}
+
+TEST(LogicalClockTest, ConcurrentNextYieldsUniqueTimestamps) {
+  LogicalClock c;
+  std::mutex mu;
+  std::set<uint64_t> seen;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      std::vector<uint64_t> local;
+      for (int i = 0; i < 2500; ++i) {
+        local.push_back(c.Next());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double ms = sw.ElapsedMillis();
+  EXPECT_GE(ms, 15.0);
+  EXPECT_LT(ms, 2000.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 15.0);
+}
+
+TEST(StopwatchTest, NowNanosIsMonotone) {
+  int64_t a = Stopwatch::NowNanos();
+  int64_t b = Stopwatch::NowNanos();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace sdg

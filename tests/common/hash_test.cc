@@ -1,0 +1,61 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace sdg {
+namespace {
+
+TEST(HashTest, Fnv1a64KnownValues) {
+  // FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(HashTest, Fnv1a64Deterministic) {
+  EXPECT_EQ(Fnv1a64("stateful dataflow"), Fnv1a64("stateful dataflow"));
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, MixHash64SpreadsSequentialKeys) {
+  // Sequential integers must distribute roughly evenly mod small n — this is
+  // the property partitioned dispatch relies on.
+  constexpr int kParts = 4;
+  std::map<uint64_t, int> buckets;
+  constexpr int kN = 10000;
+  for (uint64_t i = 0; i < kN; ++i) {
+    buckets[MixHash64(i) % kParts]++;
+  }
+  for (int p = 0; p < kParts; ++p) {
+    EXPECT_GT(buckets[p], kN / kParts / 2) << "bucket " << p;
+    EXPECT_LT(buckets[p], kN / kParts * 2) << "bucket " << p;
+  }
+}
+
+TEST(HashTest, MixHash64IsInjectiveOnSmallRange) {
+  std::map<uint64_t, uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    uint64_t h = MixHash64(i);
+    auto [it, inserted] = seen.emplace(h, i);
+    EXPECT_TRUE(inserted) << i << " collides with " << it->second;
+  }
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  uint64_t ab = HashCombine(HashCombine(0, 1), 2);
+  uint64_t ba = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(ab, ba);
+}
+
+TEST(HashTest, ConstexprUsable) {
+  constexpr uint64_t h = Fnv1a64("compile-time");
+  static_assert(h != 0);
+  constexpr uint64_t m = MixHash64(7);
+  static_assert(m != 7);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdg

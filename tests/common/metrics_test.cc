@@ -1,0 +1,113 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sdg {
+namespace {
+
+TEST(CounterTest, IncrementsAtomically) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.value(), 40000u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(PercentileTest, ExactOnSmallSorted) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 25), 2.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenSamples) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted(v, 95), 9.5);
+}
+
+TEST(PercentileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(PercentileOfSorted({7.0}, 95), 7.0);
+}
+
+TEST(HistogramTest, SnapshotSummarises) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Record(i);
+  }
+  PercentileSummary s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 0.5);
+  EXPECT_NEAR(s.p95, 95.05, 0.5);
+  EXPECT_NEAR(s.p5, 5.95, 0.5);
+}
+
+TEST(HistogramTest, EmptySnapshotIsZero) {
+  Histogram h;
+  PercentileSummary s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(HistogramTest, RecordBatchAndReset) {
+  Histogram h;
+  h.RecordBatch({1.0, 2.0, 3.0});
+  EXPECT_EQ(h.count(), 3u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingIsSafe) {
+  Histogram h;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) {
+        h.Record(static_cast<double>(i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.count(), 4000u);
+}
+
+TEST(HistogramTest, SummaryToStringMentionsPercentiles) {
+  Histogram h;
+  h.Record(1.0);
+  std::string s = h.Snapshot().ToString();
+  EXPECT_NE(s.find("p50"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
+}
+
+TEST(ThroughputMeterTest, FirstCallPrimesThenRates) {
+  ThroughputMeter m;
+  m.Add(100);
+  EXPECT_DOUBLE_EQ(m.TakeRate(), 0.0);  // priming call
+  m.Add(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double rate = m.TakeRate();
+  EXPECT_GT(rate, 0.0);
+}
+
+}  // namespace
+}  // namespace sdg

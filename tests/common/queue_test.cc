@@ -1,0 +1,129 @@
+#include "src/common/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sdg {
+namespace {
+
+TEST(BoundedQueueTest, PushPopSingleThread) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, TryPopOnEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenReturnsNullopt) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: push fails
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, AbortDropsItems) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Abort();
+  EXPECT_FALSE(q.Pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, PopForTimesOut) {
+  BoundedQueue<int> q(4);
+  auto result = q.PopFor(std::chrono::milliseconds(10));
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(BoundedQueueTest, BlockingPushUnblocksOnPop) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::thread producer([&] { q.Push(2); });  // blocks until a pop
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_EQ(q.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, BlockingPushUnblocksOnClose) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result = q.Push(2); });
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+}
+
+TEST(BoundedQueueTest, MpmcDeliversAllItemsExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2500;
+  BoundedQueue<int> q(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = q.Pop()) {
+        sum += *item;
+        ++count;
+      }
+    });
+  }
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+
+  int total = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), total);
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(total) * (total - 1) / 2);
+}
+
+TEST(BoundedQueueTest, MoveOnlyItems) {
+  BoundedQueue<std::unique_ptr<int>> q(2);
+  q.Push(std::make_unique<int>(5));
+  auto item = q.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 5);
+}
+
+}  // namespace
+}  // namespace sdg

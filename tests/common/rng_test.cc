@@ -1,0 +1,101 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace sdg {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(RngTest, NextDoubleInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDoubleIn(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(RngTest, GaussianHasRoughlyZeroMeanUnitVariance) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / kN;
+  double var = sum_sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(ZipfTest, ValuesInRange) {
+  ZipfGenerator zipf(1000, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewFavoursLowRanks) {
+  ZipfGenerator zipf(10000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    counts[zipf.Next()]++;
+  }
+  // Rank 0 should dominate: with theta=0.99 and n=10000 it gets ~10% of mass.
+  EXPECT_GT(counts[0], kN / 20);
+  // And it should beat a mid-rank key by a large factor.
+  EXPECT_GT(counts[0], counts[5000] * 10);
+}
+
+TEST(ZipfTest, DeterministicForSameSeed) {
+  ZipfGenerator a(100, 0.8, 3);
+  ZipfGenerator b(100, 0.8, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+}  // namespace
+}  // namespace sdg

@@ -1,0 +1,77 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace sdg {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<bool> ran{false};
+  pool.Submit([&] { ran = true; });
+  pool.Wait();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = ++concurrent;
+      int prev = max_concurrent.load();
+      while (now > prev && !max_concurrent.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      --concurrent;
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(max_concurrent.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorCompletesQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    pool.Wait();
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, WaitCanBeCalledRepeatedly) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace sdg

@@ -1,0 +1,86 @@
+#include "src/common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{5}).AsInt(), 5);
+  EXPECT_EQ(Value(3).AsInt(), 3);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_EQ(Value(std::vector<double>{1, 2}).AsDoubleVector().size(), 2u);
+  EXPECT_EQ(Value(std::vector<int64_t>{1, 2, 3}).AsIntVector().size(), 3u);
+}
+
+TEST(ValueTest, ToDoubleCoercesInt) {
+  EXPECT_DOUBLE_EQ(Value(7).ToDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToDouble(), 2.5);
+}
+
+TEST(ValueTest, SerializeRoundTripsEveryType) {
+  std::vector<Value> values{
+      Value(),
+      Value(int64_t{-12345}),
+      Value(6.75),
+      Value(std::string("state")),
+      Value(std::vector<double>{1.0, -2.0, 3.5}),
+      Value(std::vector<int64_t>{9, 8, 7}),
+  };
+  for (const auto& v : values) {
+    BinaryWriter w;
+    v.Serialize(w);
+    BinaryReader r(w.buffer());
+    auto back = Value::Deserialize(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, v) << v.ToString();
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(ValueTest, EqualValuesHashEqually) {
+  EXPECT_EQ(Value(5).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("key").Hash(), Value(std::string("key")).Hash());
+  EXPECT_NE(Value(5).Hash(), Value(6).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+}
+
+TEST(TupleTest, BasicOperations) {
+  Tuple t{Value(1), Value("x"), Value(2.5)};
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].AsInt(), 1);
+  EXPECT_EQ(t.at(1).AsString(), "x");
+  t.Append(Value(9));
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Tuple t{Value(42), Value("user"), Value(std::vector<double>{0.5, 1.5})};
+  auto bytes = t.ToBytes();
+  auto back = Tuple::FromBytes(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleTest, EmptyTupleRoundTrip) {
+  Tuple t;
+  auto back = Tuple::FromBytes(t.ToBytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(TupleTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage{0xFF, 0xFF, 0xFF, 0xFF, 0x09};
+  auto r = Tuple::FromBytes(garbage);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TupleTest, ToStringIsReadable) {
+  Tuple t{Value(1), Value("a")};
+  EXPECT_EQ(t.ToString(), "(1, \"a\")");
+}
+
+}  // namespace
+}  // namespace sdg

@@ -1,0 +1,127 @@
+#include "src/graph/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "src/state/keyed_dict.h"
+
+namespace sdg::graph {
+namespace {
+
+state::StateFactory DictFactory() {
+  return [] { return std::make_unique<state::KeyedDict<int64_t, int64_t>>(); };
+}
+
+TaskFn Noop() {
+  return [](const Tuple&, TaskContext&) {};
+}
+
+TEST(AllocationTest, RejectsZeroNodes) {
+  SdgBuilder b;
+  b.AddEntryTask("t", Noop());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(AllocateSdg(*g, 0).ok());
+}
+
+TEST(AllocationTest, TasksColocateWithTheirState) {
+  // Step 3 of §3.3: every stateful TE lands on its SE's node.
+  SdgBuilder b;
+  auto s1 = b.AddState("s1", StateDistribution::kSingle, DictFactory());
+  auto s2 = b.AddState("s2", StateDistribution::kSingle, DictFactory());
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.SetAccess(t1, s1, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.SetAccess(t2, s2, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  auto a = AllocateSdg(*g, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->task_nodes[t1], a->state_nodes[s1]);
+  EXPECT_EQ(a->task_nodes[t2], a->state_nodes[s2]);
+}
+
+TEST(AllocationTest, SeparateStatesSpreadAcrossNodes) {
+  // Step 2: SEs that are not on cycles go to separate nodes.
+  SdgBuilder b;
+  auto s1 = b.AddState("s1", StateDistribution::kSingle, DictFactory());
+  auto s2 = b.AddState("s2", StateDistribution::kSingle, DictFactory());
+  auto t = b.AddEntryTask("t", Noop());
+  EXPECT_TRUE(b.SetAccess(t, s1, AccessMode::kLocal).ok());
+  (void)s2;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto a = AllocateSdg(*g, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NE(a->state_nodes[s1], a->state_nodes[s2]);
+}
+
+TEST(AllocationTest, CycleStatesColocate) {
+  // Step 1: SEs accessed inside a dataflow cycle share one node.
+  SdgBuilder b;
+  auto s1 = b.AddState("s1", StateDistribution::kSingle, DictFactory());
+  auto s2 = b.AddState("s2", StateDistribution::kSingle, DictFactory());
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.SetAccess(t1, s1, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.SetAccess(t2, s2, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  EXPECT_TRUE(b.Connect(t2, t1, Dispatch::kOneToAny).ok());  // cycle
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto a = AllocateSdg(*g, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->state_nodes[s1], a->state_nodes[s2]);
+  EXPECT_EQ(a->task_nodes[t1], a->task_nodes[t2]);
+}
+
+TEST(AllocationTest, StatelessTasksGetOwnNodes) {
+  // Step 4: a stateless TE must still receive a node.
+  SdgBuilder b;
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto a = AllocateSdg(*g, 4);
+  ASSERT_TRUE(a.ok());
+  EXPECT_LT(a->task_nodes[t1], 4u);
+  EXPECT_LT(a->task_nodes[t2], 4u);
+  EXPECT_NE(a->task_nodes[t1], a->task_nodes[t2]);
+}
+
+TEST(AllocationTest, WrapsRoundRobinWhenFewNodes) {
+  SdgBuilder b;
+  std::vector<StateId> states;
+  for (int i = 0; i < 5; ++i) {
+    states.push_back(
+        b.AddState("s" + std::to_string(i), StateDistribution::kSingle, DictFactory()));
+  }
+  auto t = b.AddEntryTask("t", Noop());
+  EXPECT_TRUE(b.SetAccess(t, states[0], AccessMode::kLocal).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto a = AllocateSdg(*g, 2);
+  ASSERT_TRUE(a.ok());
+  for (StateId s : states) {
+    EXPECT_LT(a->state_nodes[s], 2u);
+  }
+}
+
+TEST(AllocationTest, ToStringMentionsElements) {
+  SdgBuilder b;
+  auto s = b.AddState("mystate", StateDistribution::kSingle, DictFactory());
+  auto t = b.AddEntryTask("mytask", Noop());
+  EXPECT_TRUE(b.SetAccess(t, s, AccessMode::kLocal).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  auto a = AllocateSdg(*g, 2);
+  ASSERT_TRUE(a.ok());
+  std::string str = a->ToString(*g);
+  EXPECT_NE(str.find("mystate"), std::string::npos);
+  EXPECT_NE(str.find("mytask"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdg::graph

@@ -1,0 +1,211 @@
+#include "src/graph/sdg.h"
+
+#include <gtest/gtest.h>
+
+#include "src/state/keyed_dict.h"
+#include "src/state/sparse_matrix.h"
+
+namespace sdg::graph {
+namespace {
+
+state::StateFactory DictFactory() {
+  return [] { return std::make_unique<state::KeyedDict<int64_t, int64_t>>(); };
+}
+
+TaskFn Noop() {
+  return [](const Tuple&, TaskContext&) {};
+}
+
+CollectorFn NoopCollector() {
+  return [](const std::vector<Tuple>&, TaskContext&) {};
+}
+
+// Builds the Fig. 1 collaborative-filtering SDG shape: five TEs, two SEs.
+Result<Sdg> BuildCfShape() {
+  SdgBuilder b;
+  auto user_item = b.AddState("userItem", StateDistribution::kPartitioned,
+                              [] { return std::make_unique<state::SparseMatrix>(); });
+  auto co_occ = b.AddState("coOcc", StateDistribution::kPartial,
+                           [] { return std::make_unique<state::SparseMatrix>(); });
+
+  auto update_user = b.AddEntryTask("updateUserItem", Noop());
+  auto update_co = b.AddTask("updateCoOcc", Noop());
+  auto get_user_vec = b.AddEntryTask("getUserVec", Noop());
+  auto get_rec_vec = b.AddTask("getRecVec", Noop());
+  auto merge = b.AddCollectorTask("merge", NoopCollector());
+
+  EXPECT_TRUE(b.SetAccess(update_user, user_item, AccessMode::kPartitioned).ok());
+  EXPECT_TRUE(b.SetAccess(update_co, co_occ, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.SetAccess(get_user_vec, user_item, AccessMode::kPartitioned).ok());
+  EXPECT_TRUE(b.SetAccess(get_rec_vec, co_occ, AccessMode::kGlobal).ok());
+
+  EXPECT_TRUE(b.Connect(update_user, update_co, Dispatch::kOneToAny).ok());
+  EXPECT_TRUE(b.Connect(get_user_vec, get_rec_vec, Dispatch::kOneToAll).ok());
+  EXPECT_TRUE(b.Connect(get_rec_vec, merge, Dispatch::kAllToOne).ok());
+  return std::move(b).Build();
+}
+
+TEST(SdgBuilderTest, BuildsCfGraph) {
+  auto g = BuildCfShape();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->tasks().size(), 5u);
+  EXPECT_EQ(g->states().size(), 2u);
+  EXPECT_EQ(g->edges().size(), 3u);
+}
+
+TEST(SdgBuilderTest, LookupByName) {
+  auto g = BuildCfShape();
+  ASSERT_TRUE(g.ok());
+  auto t = g->TaskByName("merge");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(g->task(*t).is_collector());
+  EXPECT_FALSE(g->TaskByName("nope").ok());
+  auto s = g->StateByName("coOcc");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(g->state(*s).distribution, StateDistribution::kPartial);
+  EXPECT_FALSE(g->StateByName("nope").ok());
+}
+
+TEST(SdgBuilderTest, OutAndInEdges) {
+  auto g = BuildCfShape();
+  ASSERT_TRUE(g.ok());
+  auto get_user_vec = g->TaskByName("getUserVec").value();
+  auto get_rec_vec = g->TaskByName("getRecVec").value();
+  EXPECT_EQ(g->OutEdges(get_user_vec).size(), 1u);
+  EXPECT_EQ(g->InEdges(get_rec_vec).size(), 1u);
+  EXPECT_EQ(g->OutEdges(get_user_vec)[0]->dispatch, Dispatch::kOneToAll);
+}
+
+TEST(SdgBuilderTest, TaskMayAccessOnlyOneSe) {
+  SdgBuilder b;
+  auto s1 = b.AddState("s1", StateDistribution::kSingle, DictFactory());
+  auto s2 = b.AddState("s2", StateDistribution::kSingle, DictFactory());
+  auto t = b.AddEntryTask("t", Noop());
+  EXPECT_TRUE(b.SetAccess(t, s1, AccessMode::kLocal).ok());
+  Status second = b.SetAccess(t, s2, AccessMode::kLocal);
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition);
+  // Re-declaring the same SE is fine (e.g. refining the mode).
+  EXPECT_TRUE(b.SetAccess(t, s1, AccessMode::kLocal).ok());
+}
+
+TEST(SdgValidationTest, RejectsEmptyGraph) {
+  SdgBuilder b;
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsGraphWithoutEntry) {
+  SdgBuilder b;
+  b.AddTask("t", Noop());
+  auto g = std::move(b).Build();
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("entry"), std::string::npos);
+}
+
+TEST(SdgValidationTest, RejectsPartitionedDispatchWithoutKey) {
+  SdgBuilder b;
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kPartitioned).ok());  // key_field -1
+  auto g = std::move(b).Build();
+  ASSERT_FALSE(g.ok());
+  EXPECT_NE(g.status().message().find("key"), std::string::npos);
+}
+
+TEST(SdgValidationTest, RejectsPartitionedAccessWithMismatchedDispatch) {
+  // §3.2: dataflow partitioning must match the state access pattern.
+  SdgBuilder b;
+  auto s = b.AddState("s", StateDistribution::kPartitioned, DictFactory());
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.SetAccess(t2, s, AccessMode::kPartitioned).ok());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsGlobalAccessToNonPartialState) {
+  SdgBuilder b;
+  auto s = b.AddState("s", StateDistribution::kSingle, DictFactory());
+  auto t = b.AddEntryTask("t", Noop());
+  EXPECT_TRUE(b.SetAccess(t, s, AccessMode::kGlobal).ok());
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsLocalAccessToPartitionedState) {
+  SdgBuilder b;
+  auto s = b.AddState("s", StateDistribution::kPartitioned, DictFactory());
+  auto t = b.AddEntryTask("t", Noop());
+  EXPECT_TRUE(b.SetAccess(t, s, AccessMode::kLocal).ok());
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsAllToOneIntoNonCollector) {
+  SdgBuilder b;
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kAllToOne).ok());
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsCollectorWithoutAllToOne) {
+  SdgBuilder b;
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddCollectorTask("t2", NoopCollector());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgValidationTest, RejectsZeroInstances) {
+  SdgBuilder b;
+  auto t = b.AddEntryTask("t", Noop());
+  b.SetInitialInstances(t, 0);
+  auto g = std::move(b).Build();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(SdgCycleTest, DetectsCycles) {
+  SdgBuilder b;
+  auto t1 = b.AddEntryTask("t1", Noop());
+  auto t2 = b.AddTask("t2", Noop());
+  auto t3 = b.AddTask("t3", Noop());
+  EXPECT_TRUE(b.Connect(t1, t2, Dispatch::kOneToAny).ok());
+  EXPECT_TRUE(b.Connect(t2, t3, Dispatch::kOneToAny).ok());
+  EXPECT_TRUE(b.Connect(t3, t2, Dispatch::kOneToAny).ok());  // cycle t2<->t3
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  auto cyclic = g->TasksOnCycles();
+  EXPECT_EQ(cyclic.size(), 2u);
+  EXPECT_TRUE(std::find(cyclic.begin(), cyclic.end(), t2) != cyclic.end());
+  EXPECT_TRUE(std::find(cyclic.begin(), cyclic.end(), t3) != cyclic.end());
+  EXPECT_TRUE(std::find(cyclic.begin(), cyclic.end(), t1) == cyclic.end());
+}
+
+TEST(SdgCycleTest, AcyclicGraphHasNoCycles) {
+  auto g = BuildCfShape();
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->TasksOnCycles().empty());
+}
+
+TEST(SdgDotTest, RendersAllElements) {
+  auto g = BuildCfShape();
+  ASSERT_TRUE(g.ok());
+  std::string dot = g->ToDot();
+  EXPECT_NE(dot.find("updateUserItem"), std::string::npos);
+  EXPECT_NE(dot.find("coOcc"), std::string::npos);
+  EXPECT_NE(dot.find("partial"), std::string::npos);
+  EXPECT_NE(dot.find("all-to-one"), std::string::npos);
+}
+
+TEST(SdgNamesTest, EnumNamesAreStable) {
+  EXPECT_EQ(StateDistributionName(StateDistribution::kPartial), "partial");
+  EXPECT_EQ(AccessModeName(AccessMode::kGlobal), "global");
+  EXPECT_EQ(DispatchName(Dispatch::kOneToAll), "one-to-all");
+}
+
+}  // namespace
+}  // namespace sdg::graph

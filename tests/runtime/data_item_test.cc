@@ -1,0 +1,58 @@
+#include "src/runtime/data_item.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg::runtime {
+namespace {
+
+TEST(SourceIdTest, OrderingAndEquality) {
+  SourceId a{1, 0}, b{1, 1}, c{2, 0};
+  EXPECT_TRUE(a == a);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_FALSE(c < a);
+}
+
+TEST(DataItemTest, RoundTripAllFields) {
+  DataItem item;
+  item.from = SourceId{7, 3};
+  item.ts = 0xDEADBEEFull;
+  item.barrier_id = 42;
+  item.expected_partials = 5;
+  item.user_tag = 0x1234567890ull;
+  item.replayed = true;
+  item.payload = Tuple{Value(1), Value("two"), Value(3.0)};
+
+  auto back = DataItem::FromBytes(item.ToBytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->from.task, 7u);
+  EXPECT_EQ(back->from.instance, 3u);
+  EXPECT_EQ(back->ts, 0xDEADBEEFull);
+  EXPECT_EQ(back->barrier_id, 42u);
+  EXPECT_EQ(back->expected_partials, 5u);
+  EXPECT_EQ(back->user_tag, 0x1234567890ull);
+  EXPECT_TRUE(back->replayed);
+  EXPECT_EQ(back->payload, item.payload);
+}
+
+TEST(DataItemTest, DefaultsRoundTrip) {
+  DataItem item;
+  auto back = DataItem::FromBytes(item.ToBytes());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ts, 0u);
+  EXPECT_EQ(back->barrier_id, 0u);
+  EXPECT_FALSE(back->replayed);
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(DataItemTest, TruncatedBytesFail) {
+  DataItem item;
+  item.payload = Tuple{Value("payload")};
+  auto bytes = item.ToBytes();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DataItem::FromBytes(bytes).ok());
+}
+
+}  // namespace
+}  // namespace sdg::runtime

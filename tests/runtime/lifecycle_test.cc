@@ -1,0 +1,138 @@
+// Deployment lifecycle edge cases: double start, inject-after-shutdown,
+// abort with items in flight, and deployments at the topology extremes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "src/graph/sdg.h"
+#include "src/runtime/cluster.h"
+#include "src/state/keyed_dict.h"
+
+namespace sdg::runtime {
+namespace {
+
+using state::KeyedDict;
+using state::StateAs;
+using IntDict = KeyedDict<int64_t, int64_t>;
+
+graph::Sdg EchoGraph() {
+  graph::SdgBuilder b;
+  auto echo = b.AddEntryTask("echo", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  (void)echo;
+  return std::move(b).Build().value();
+}
+
+TEST(LifecycleTest, DoubleStartFails) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Deployment d(EchoGraph(), o);
+  ASSERT_TRUE(d.Start().ok());
+  EXPECT_EQ(d.Start().code(), StatusCode::kFailedPrecondition);
+  d.Shutdown();
+}
+
+TEST(LifecycleTest, InjectBeforeStartFails) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Deployment d(EchoGraph(), o);
+  EXPECT_FALSE(d.Inject("echo", Tuple{Value(1)}).ok());
+}
+
+TEST(LifecycleTest, InjectAfterShutdownFails) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Deployment d(EchoGraph(), o);
+  ASSERT_TRUE(d.Start().ok());
+  d.Shutdown();
+  EXPECT_FALSE(d.Inject("echo", Tuple{Value(1)}).ok());
+}
+
+TEST(LifecycleTest, ShutdownIsIdempotent) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Deployment d(EchoGraph(), o);
+  ASSERT_TRUE(d.Start().ok());
+  d.Shutdown();
+  d.Shutdown();  // must not hang or crash
+}
+
+TEST(LifecycleTest, DestructorWithItemsInFlightDoesNotHang) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  o.mailbox_capacity = 1 << 12;
+  auto d = std::make_unique<Deployment>(EchoGraph(), o);
+  ASSERT_TRUE(d->Start().ok());
+  for (int i = 0; i < 1000; ++i) {
+    (void)d->Inject("echo", Tuple{Value(i)});
+  }
+  d.reset();  // aborts outstanding items; must terminate promptly
+}
+
+TEST(LifecycleTest, SingleNodeHostsEverything) {
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  auto fwd = b.AddTask("fwd", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  ASSERT_TRUE(b.SetAccess(put, dict, graph::AccessMode::kPartitioned).ok());
+  ASSERT_TRUE(b.Connect(fwd, put, graph::Dispatch::kPartitioned, 0).ok());
+  // fwd is unreachable from an entry but must still deploy.
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE((*d)->Inject("put", Tuple{Value(1), Value(2)}).ok());
+  (*d)->Drain();
+  EXPECT_EQ(StateAs<IntDict>((*d)->StateInstance("d", 0))->Get(1), 2);
+}
+
+TEST(LifecycleTest, ManyInstancesOnFewNodes) {
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  ASSERT_TRUE(b.SetAccess(put, dict, graph::AccessMode::kPartitioned).ok());
+  b.SetInitialInstances(put, 8);  // 8 partitions on 2 nodes
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ClusterOptions o;
+  o.num_nodes = 2;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->NumInstancesOf("put"), 8u);
+  EXPECT_EQ((*d)->NumStateInstances("d"), 8u);
+  for (int64_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k)}).ok());
+  }
+  (*d)->Drain();
+  uint64_t total = 0;
+  for (uint32_t j = 0; j < 8; ++j) {
+    total += StateAs<IntDict>((*d)->StateInstance("d", j))->Size();
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(LifecycleTest, DrainWithNoTrafficReturnsImmediately) {
+  ClusterOptions o;
+  o.num_nodes = 1;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(EchoGraph());
+  ASSERT_TRUE(d.ok());
+  (*d)->Drain();  // must not block
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdg::runtime

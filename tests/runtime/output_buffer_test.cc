@@ -1,0 +1,87 @@
+#include "src/runtime/output_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg::runtime {
+namespace {
+
+DataItem Item(uint64_t ts, uint64_t tag = 0) {
+  DataItem i;
+  i.from = SourceId{1, 0};
+  i.ts = ts;
+  i.user_tag = tag;
+  i.payload = Tuple{Value(static_cast<int64_t>(ts))};
+  return i;
+}
+
+TEST(OutputBufferTest, AppendAndItemsAfter) {
+  OutputBuffer b;
+  b.Append(Item(1), 0);
+  b.Append(Item(2), 1);
+  b.Append(Item(3), 0);
+  EXPECT_EQ(b.size(), 3u);
+
+  auto replay = b.ItemsAfter(/*dest_instance=*/0, /*from_ts=*/1);
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay[0].ts, 3u);
+
+  auto all0 = b.ItemsAfter(0, 0);
+  EXPECT_EQ(all0.size(), 2u);
+  auto none = b.ItemsAfter(0, 10);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(OutputBufferTest, AckTrimsCoveredPrefix) {
+  OutputBuffer b;
+  for (uint64_t ts = 1; ts <= 6; ++ts) {
+    b.Append(Item(ts), ts % 2);  // alternating destinations
+  }
+  // Covering dest 1 up to ts 3 trims only the head entry (ts 1, dest 1);
+  // the dest-0 entry at ts 2 blocks further trimming (FIFO).
+  b.Ack(1, 3);
+  EXPECT_EQ(b.size(), 5u);
+  // Covering dest 0 up to ts 4 releases ts 2, 3, 4.
+  b.Ack(0, 4);
+  EXPECT_EQ(b.size(), 2u);
+  auto rest = b.ItemsAfter(1, 0);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].ts, 5u);
+}
+
+TEST(OutputBufferTest, AckKeepsMaximum) {
+  OutputBuffer b;
+  b.Append(Item(5), 0);
+  b.Ack(0, 10);
+  b.Ack(0, 2);  // lower ack must not resurrect trimming threshold
+  b.Append(Item(7), 0);
+  b.Ack(0, 2);
+  // ts 7 <= max ack 10: trimmed immediately.
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(OutputBufferTest, SnapshotAndRestore) {
+  OutputBuffer b;
+  b.Append(Item(1, 100), 2);
+  b.Append(Item(2, 200), 3);
+  auto snap = b.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].item.user_tag, 100u);
+  EXPECT_EQ(snap[0].dest_instance, 2u);
+
+  OutputBuffer restored;
+  for (const auto& e : snap) {
+    restored.RestoreEntry(e.item, e.dest_instance);
+  }
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(restored.ItemsAfter(3, 0).size(), 1u);
+}
+
+TEST(OutputBufferTest, ClearEmpties) {
+  OutputBuffer b;
+  b.Append(Item(1), 0);
+  b.Clear();
+  EXPECT_EQ(b.size(), 0u);
+}
+
+}  // namespace
+}  // namespace sdg::runtime

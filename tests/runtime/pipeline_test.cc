@@ -1,0 +1,368 @@
+// End-to-end tests of the materialised SDG runtime: pipelines, partitioned
+// and partial state, barriers, and scaling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/graph/sdg.h"
+#include "src/runtime/cluster.h"
+#include "src/state/keyed_dict.h"
+
+namespace sdg::runtime {
+namespace {
+
+using graph::AccessMode;
+using graph::Dispatch;
+using graph::SdgBuilder;
+using graph::StateDistribution;
+using state::KeyedDict;
+using state::StateAs;
+
+using IntDict = KeyedDict<int64_t, int64_t>;
+
+state::StateFactory IntDictFactory() {
+  return [] { return std::make_unique<IntDict>(); };
+}
+
+ClusterOptions SmallCluster(uint32_t nodes = 2) {
+  ClusterOptions o;
+  o.num_nodes = nodes;
+  o.mailbox_capacity = 4096;
+  return o;
+}
+
+TEST(PipelineTest, StatelessPassThrough) {
+  SdgBuilder b;
+  auto src = b.AddEntryTask("src", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, Tuple{Value(in[0].AsInt() * 2)});
+  });
+  auto next = b.AddTask("double", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, Tuple{Value(in[0].AsInt() + 1)});
+  });
+  ASSERT_TRUE(b.Connect(src, next, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  Cluster cluster(SmallCluster());
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+  ASSERT_TRUE((*d)->OnOutput("double", [&](const Tuple& t, uint64_t) {
+              sum += t[0].AsInt();
+              ++count;
+            }).ok());
+
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*d)->Inject("src", Tuple{Value(i)}).ok());
+  }
+  (*d)->Drain();
+  EXPECT_EQ(count.load(), 100);
+  // sum of (2i + 1) for i in 0..99 = 2*4950 + 100.
+  EXPECT_EQ(sum.load(), 2 * 4950 + 100);
+  (*d)->Shutdown();
+}
+
+TEST(PipelineTest, UserTagPropagatesToSink) {
+  SdgBuilder b;
+  auto src = b.AddEntryTask("src", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  (void)src;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  Cluster cluster(SmallCluster(1));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  std::atomic<uint64_t> tag{0};
+  ASSERT_TRUE((*d)->OnOutput("src", [&](const Tuple&, uint64_t user_tag) {
+              tag = user_tag;
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("src", Tuple{Value(1)}, /*user_tag=*/777).ok());
+  (*d)->Drain();
+  EXPECT_EQ(tag.load(), 777u);
+}
+
+// A minimal partitioned key/value store: put and get entries sharing one
+// partitioned KeyedDict.
+Result<graph::Sdg> BuildKvGraph(uint32_t instances = 1) {
+  SdgBuilder b;
+  auto dict = b.AddState("dict", StateDistribution::kPartitioned,
+                         IntDictFactory());
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    auto* d = StateAs<IntDict>(ctx.state());
+    d->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  auto get = b.AddEntryTask("get", [](const Tuple& in, graph::TaskContext& ctx) {
+    auto* d = StateAs<IntDict>(ctx.state());
+    auto v = d->Get(in[0].AsInt());
+    ctx.Emit(0, Tuple{in[0], Value(v.value_or(-1))});
+  });
+  EXPECT_TRUE(b.SetAccess(put, dict, AccessMode::kPartitioned).ok());
+  EXPECT_TRUE(b.SetAccess(get, dict, AccessMode::kPartitioned).ok());
+  b.SetInitialInstances(put, instances);
+  b.SetInitialInstances(get, instances);
+  return std::move(b).Build();
+}
+
+TEST(PipelineTest, PartitionedStateServesPutsAndGets) {
+  auto g = BuildKvGraph(2);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  Cluster cluster(SmallCluster(2));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k * 10)}).ok());
+  }
+  (*d)->Drain();
+
+  std::mutex mu;
+  std::map<int64_t, int64_t> results;
+  ASSERT_TRUE((*d)->OnOutput("get", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              results[t[0].AsInt()] = t[1].AsInt();
+            }).ok());
+  for (int64_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE((*d)->Inject("get", Tuple{Value(k)}).ok());
+  }
+  (*d)->Drain();
+
+  ASSERT_EQ(results.size(), 200u);
+  for (int64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(results[k], k * 10) << "key " << k;
+  }
+  // The two partitions must both hold a fair share of keys.
+  auto* p0 = StateAs<IntDict>((*d)->StateInstance("dict", 0));
+  auto* p1 = StateAs<IntDict>((*d)->StateInstance("dict", 1));
+  ASSERT_NE(p0, nullptr);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p0->Size() + p1->Size(), 200u);
+  EXPECT_GT(p0->Size(), 50u);
+  EXPECT_GT(p1->Size(), 50u);
+}
+
+// Partial state with global read access: updates go to one replica
+// (one-to-any); queries broadcast (one-to-all), each replica reports its
+// local value, and a merge collector sums the partials (§3.2).
+Result<graph::Sdg> BuildPartialSumGraph(uint32_t replicas) {
+  SdgBuilder b;
+  auto acc = b.AddState("acc", StateDistribution::kPartial, IntDictFactory());
+  auto update =
+      b.AddEntryTask("update", [](const Tuple& in, graph::TaskContext& ctx) {
+        auto* d = StateAs<IntDict>(ctx.state());
+        d->Update(in[0].AsInt(),
+                  [&](int64_t v) { return v + in[1].AsInt(); });
+      });
+  auto query = b.AddEntryTask("query", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  auto read = b.AddTask("read", [](const Tuple& in, graph::TaskContext& ctx) {
+    auto* d = StateAs<IntDict>(ctx.state());
+    ctx.Emit(0, Tuple{in[0], Value(d->Get(in[0].AsInt()).value_or(0))});
+  });
+  auto merge = b.AddCollectorTask(
+      "merge", [](const std::vector<Tuple>& partials, graph::TaskContext& ctx) {
+        int64_t total = 0;
+        for (const auto& p : partials) {
+          total += p[1].AsInt();
+        }
+        ctx.Emit(0, Tuple{partials[0][0], Value(total)});
+      });
+  EXPECT_TRUE(b.SetAccess(update, acc, AccessMode::kLocal).ok());
+  EXPECT_TRUE(b.SetAccess(read, acc, AccessMode::kGlobal).ok());
+  b.SetInitialInstances(update, replicas);
+  EXPECT_TRUE(b.Connect(query, read, Dispatch::kOneToAll).ok());
+  EXPECT_TRUE(b.Connect(read, merge, Dispatch::kAllToOne).ok());
+  return std::move(b).Build();
+}
+
+TEST(PipelineTest, PartialStateMergesGlobalReads) {
+  auto g = BuildPartialSumGraph(3);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  Cluster cluster(SmallCluster(3));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  EXPECT_EQ((*d)->NumInstancesOf("update"), 3u);
+  EXPECT_EQ((*d)->NumInstancesOf("read"), 3u);
+  EXPECT_EQ((*d)->NumStateInstances("acc"), 3u);
+
+  // 90 updates of +1 on the same key scatter across the three replicas.
+  for (int i = 0; i < 90; ++i) {
+    ASSERT_TRUE((*d)->Inject("update", Tuple{Value(7), Value(1)}).ok());
+  }
+  (*d)->Drain();
+
+  std::atomic<int64_t> total{-1};
+  ASSERT_TRUE((*d)->OnOutput("merge", [&](const Tuple& t, uint64_t) {
+              total = t[1].AsInt();
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("query", Tuple{Value(7)}).ok());
+  (*d)->Drain();
+  EXPECT_EQ(total.load(), 90);
+
+  // No single replica should have absorbed all updates (one-to-any spread).
+  int64_t max_local = 0;
+  for (uint32_t j = 0; j < 3; ++j) {
+    auto* replica = StateAs<IntDict>((*d)->StateInstance("acc", j));
+    ASSERT_NE(replica, nullptr);
+    max_local = std::max(max_local, replica->Get(7).value_or(0));
+  }
+  EXPECT_LT(max_local, 90);
+}
+
+TEST(PipelineTest, IterationCycleConverges) {
+  // A counter loops through two TEs until it reaches 5, then exits to the
+  // sink — the dataflow-cycle form of iteration (§3.1).
+  SdgBuilder b;
+  auto start = b.AddEntryTask("start", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  auto step = b.AddTask("step", [](const Tuple& in, graph::TaskContext& ctx) {
+    int64_t v = in[0].AsInt() + 1;
+    if (v >= 5) {
+      ctx.Emit(1, Tuple{Value(v)});  // exit edge to sink
+    } else {
+      ctx.Emit(0, Tuple{Value(v)});  // loop edge
+    }
+  });
+  auto loop = b.AddTask("loop", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  ASSERT_TRUE(b.Connect(start, step, Dispatch::kOneToAny).ok());
+  ASSERT_TRUE(b.Connect(step, loop, Dispatch::kOneToAny).ok());
+  ASSERT_TRUE(b.Connect(loop, step, Dispatch::kOneToAny).ok());
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_FALSE(g->TasksOnCycles().empty());
+
+  Cluster cluster(SmallCluster(2));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  std::atomic<int64_t> result{0};
+  ASSERT_TRUE((*d)->OnOutput("step", [&](const Tuple& t, uint64_t) {
+              result = t[0].AsInt();
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("start", Tuple{Value(0)}).ok());
+  (*d)->Drain();
+  EXPECT_EQ(result.load(), 5);
+}
+
+TEST(ScalingTest, AddStatelessInstance) {
+  SdgBuilder b;
+  auto src = b.AddEntryTask("src", [](const Tuple& in, graph::TaskContext& ctx) {
+    ctx.Emit(0, in);
+  });
+  (void)src;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(SmallCluster(3));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ((*d)->NumInstancesOf("src"), 1u);
+  ASSERT_TRUE((*d)->AddTaskInstance("src").ok());
+  EXPECT_EQ((*d)->NumInstancesOf("src"), 2u);
+}
+
+TEST(ScalingTest, PartitionedGroupScaleOutPreservesState) {
+  auto g = BuildKvGraph(1);
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(SmallCluster(3));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  for (int64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k + 1)}).ok());
+  }
+  (*d)->Drain();
+
+  // Scale the state-bound group 1 -> 2 -> 3; repartitioning must keep every
+  // key readable.
+  ASSERT_TRUE((*d)->AddTaskInstance("put").ok());
+  EXPECT_EQ((*d)->NumInstancesOf("put"), 2u);
+  EXPECT_EQ((*d)->NumInstancesOf("get"), 2u);
+  EXPECT_EQ((*d)->NumStateInstances("dict"), 2u);
+  ASSERT_TRUE((*d)->AddTaskInstance("get").ok());
+  EXPECT_EQ((*d)->NumStateInstances("dict"), 3u);
+
+  std::mutex mu;
+  std::map<int64_t, int64_t> results;
+  ASSERT_TRUE((*d)->OnOutput("get", [&](const Tuple& t, uint64_t) {
+              std::lock_guard<std::mutex> lock(mu);
+              results[t[0].AsInt()] = t[1].AsInt();
+            }).ok());
+  for (int64_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE((*d)->Inject("get", Tuple{Value(k)}).ok());
+  }
+  (*d)->Drain();
+  ASSERT_EQ(results.size(), 300u);
+  for (int64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(results[k], k + 1) << "key " << k << " lost in re-sharding";
+  }
+}
+
+TEST(ScalingTest, PartialGroupScaleOutAddsEmptyReplica) {
+  auto g = BuildPartialSumGraph(2);
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(SmallCluster(3));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE((*d)->Inject("update", Tuple{Value(1), Value(1)}).ok());
+  }
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->AddTaskInstance("update").ok());
+  EXPECT_EQ((*d)->NumStateInstances("acc"), 3u);
+
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*d)->Inject("update", Tuple{Value(1), Value(1)}).ok());
+  }
+  (*d)->Drain();
+
+  std::atomic<int64_t> total{-1};
+  ASSERT_TRUE((*d)->OnOutput("merge", [&](const Tuple& t, uint64_t) {
+              total = t[1].AsInt();
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("query", Tuple{Value(1)}).ok());
+  (*d)->Drain();
+  // All 60 updates remain visible through the merged global read.
+  EXPECT_EQ(total.load(), 60);
+}
+
+TEST(RuntimeIntrospectionTest, CountersAndDepths) {
+  auto g = BuildKvGraph(1);
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(SmallCluster(1));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  for (int64_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k)}).ok());
+  }
+  (*d)->Drain();
+  EXPECT_GE((*d)->TotalProcessed(), 50u);
+  EXPECT_EQ((*d)->TotalQueueDepth(), 0u);
+  EXPECT_GT((*d)->StateSizeBytes("dict"), 0u);
+  EXPECT_TRUE((*d)->NodeAlive(0));
+  EXPECT_EQ((*d)->QueueDepthOf("put"), 0u);
+}
+
+TEST(RuntimeErrorsTest, RejectsBadInjection) {
+  auto g = BuildKvGraph(1);
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(SmallCluster(1));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE((*d)->Inject("nonexistent", Tuple{Value(1)}).ok());
+  EXPECT_FALSE((*d)->OnOutput("nonexistent", [](const Tuple&, uint64_t) {}).ok());
+  EXPECT_FALSE((*d)->AddTaskInstance("nonexistent").ok());
+}
+
+}  // namespace
+}  // namespace sdg::runtime

@@ -1,0 +1,200 @@
+// End-to-end tests of the reactive scaling monitor (§3.3/§6.3): bottleneck
+// detection adds TE instances, and recovery integrates with a live
+// application (CF) built through the translator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "src/apps/cf.h"
+#include "src/graph/sdg.h"
+#include "src/runtime/cluster.h"
+#include "src/state/keyed_dict.h"
+
+namespace sdg::runtime {
+namespace {
+
+using state::KeyedDict;
+using state::StateAs;
+using IntDict = KeyedDict<int64_t, int64_t>;
+
+TEST(ScalingMonitorTest, BottleneckTriggersInstanceAdd) {
+  graph::SdgBuilder b;
+  auto slow = b.AddEntryTask("slow", [](const Tuple&, graph::TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  });
+  (void)slow;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  ClusterOptions o;
+  o.num_nodes = 2;
+  o.mailbox_capacity = 256;
+  o.scaling.enabled = true;
+  o.scaling.sample_interval_ms = 50;
+  o.scaling.queue_high_watermark = 0.3;
+  o.scaling.samples_to_trigger = 2;
+  o.scaling.cooldown_ms = 200;
+  o.scaling.max_instances_per_task = 3;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  // Flood the slow task; the monitor must react within a few seconds.
+  std::atomic<bool> stop{false};
+  std::thread injector([&] {
+    while (!stop.load()) {
+      if ((*d)->TotalQueueDepth() < 200) {
+        (void)(*d)->Inject("slow", Tuple{Value(1)});
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+  });
+
+  bool scaled = false;
+  for (int i = 0; i < 100 && !scaled; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    scaled = (*d)->NumInstancesOf("slow") > 1;
+  }
+  stop = true;
+  injector.join();
+  EXPECT_TRUE(scaled) << "monitor never added an instance";
+  (*d)->Drain();
+  (*d)->Shutdown();
+}
+
+TEST(ScalingMonitorTest, DisabledMonitorNeverScales) {
+  graph::SdgBuilder b;
+  auto t = b.AddEntryTask("t", [](const Tuple&, graph::TaskContext&) {});
+  (void)t;
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ClusterOptions o;
+  o.num_nodes = 2;
+  Cluster cluster(o);  // scaling.enabled defaults to false
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE((*d)->Inject("t", Tuple{Value(i)}).ok());
+  }
+  (*d)->Drain();
+  EXPECT_EQ((*d)->NumInstancesOf("t"), 1u);
+}
+
+TEST(CfIntegrationTest, SurvivesKillAndRecovery) {
+  // The translated CF application, checkpointed, killed and recovered: the
+  // model must keep answering recommendation queries afterwards.
+  auto dir = std::filesystem::temp_directory_path() / "sdg_cf_recovery_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  apps::CfOptions opt;
+  opt.num_items = 10;
+  auto t = apps::BuildCfSdg(opt);
+  ASSERT_TRUE(t.ok());
+
+  ClusterOptions o;
+  o.num_nodes = 4;
+  o.fault_tolerance.mode = FtMode::kAsyncLocal;
+  o.fault_tolerance.checkpoint_interval_s = 0;
+  o.fault_tolerance.store.root = dir;
+  o.fault_tolerance.store.num_backup_nodes = 2;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(t->sdg));
+  ASSERT_TRUE(d.ok());
+
+  for (int64_t user = 0; user < 50; ++user) {
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(user % 5), Value(5)}).ok());
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(5 + user % 5), Value(4)})
+                    .ok());
+  }
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->CheckpointAllNodes().ok());
+
+  // Post-checkpoint ratings (recovered via replay).
+  for (int64_t user = 50; user < 60; ++user) {
+    ASSERT_TRUE((*d)->Inject("addRating",
+                             Tuple{Value(user), Value(0), Value(5)}).ok());
+  }
+  (*d)->Drain();
+
+  // Find and kill the node hosting the userItem SE.
+  auto* user_item = (*d)->StateInstance("userItem", 0);
+  ASSERT_NE(user_item, nullptr);
+  uint64_t rows_before = user_item->EntryCount();
+  ASSERT_GT(rows_before, 0u);
+
+  // userItem instance 0 lives on some node; the allocation put it on node 0.
+  ASSERT_TRUE((*d)->KillNode(0).ok());
+  ASSERT_TRUE((*d)->RecoverNode(0, {3}).ok());
+  (*d)->Drain();
+
+  std::atomic<bool> got_rec{false};
+  std::atomic<double> rec_score{0};
+  ASSERT_TRUE((*d)->OnOutput("merge", [&](const Tuple& out, uint64_t) {
+              const auto& rec = out[1].AsDoubleVector();
+              rec_score = rec[5];  // item 5 co-rated with item 0 by users 0,5,10,…
+              got_rec = true;
+            }).ok());
+  ASSERT_TRUE((*d)->Inject("getRec", Tuple{Value(int64_t{0})}).ok());
+  (*d)->Drain();
+
+  EXPECT_TRUE(got_rec.load());
+  EXPECT_GT(rec_score.load(), 0.0)
+      << "recovered co-occurrence model lost its mass";
+  (*d)->Shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SyncGlobalTest, CheckpointUnderLoadCompletes) {
+  auto dir = std::filesystem::temp_directory_path() / "sdg_syncglobal_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  ASSERT_TRUE(b.SetAccess(put, dict, graph::AccessMode::kPartitioned).ok());
+  b.SetInitialInstances(put, 2);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  ClusterOptions o;
+  o.num_nodes = 2;
+  o.fault_tolerance.mode = FtMode::kSyncGlobal;
+  o.fault_tolerance.checkpoint_interval_s = 0;
+  o.fault_tolerance.store.root = dir;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread injector([&] {
+    int64_t k = 0;
+    while (!stop.load()) {
+      (void)(*d)->Inject("put", Tuple{Value(k % 1000), Value(k)});
+      ++k;
+    }
+  });
+  // Stop-the-world checkpoints must complete while load is flowing.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*d)->CheckpointAllNodes().ok()) << "round " << i;
+  }
+  stop = true;
+  injector.join();
+  (*d)->Drain();
+  EXPECT_GE((*d)->CheckpointsCompleted(), 6u);
+  (*d)->Shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace sdg::runtime

@@ -1,0 +1,157 @@
+#include "src/state/chunk.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/state/keyed_dict.h"
+
+namespace sdg::state {
+namespace {
+
+TEST(ChunkTest, BuildAndRead) {
+  ChunkBuilder b("mystate");
+  std::vector<uint8_t> p1{1, 2, 3};
+  std::vector<uint8_t> p2{4, 5};
+  b.AddRecord(100, p1.data(), p1.size());
+  b.AddRecord(200, p2.data(), p2.size());
+  EXPECT_EQ(b.record_count(), 2u);
+  auto chunk = std::move(b).Finish();
+
+  auto reader = ChunkReader::Open(chunk);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->se_name(), "mystate");
+  EXPECT_EQ(reader->record_count(), 2u);
+
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> records;
+  ASSERT_TRUE(reader->ForEachRecord([&](uint64_t h, const uint8_t* p, size_t n) {
+              records.emplace_back(h, std::vector<uint8_t>(p, p + n));
+            }).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].first, 100u);
+  EXPECT_EQ(records[0].second, p1);
+  EXPECT_EQ(records[1].first, 200u);
+  EXPECT_EQ(records[1].second, p2);
+}
+
+TEST(ChunkTest, EmptyChunkRoundTrips) {
+  auto chunk = ChunkBuilder("empty").Finish();
+  auto reader = ChunkReader::Open(chunk);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), 0u);
+}
+
+TEST(ChunkTest, OpenRejectsBadMagic) {
+  std::vector<uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  auto reader = ChunkReader::Open(garbage);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ChunkTest, SinkForwardsIntoBuilder) {
+  ChunkBuilder b("s");
+  RecordSink sink = b.AsSink();
+  uint8_t byte = 42;
+  sink(7, &byte, 1);
+  EXPECT_EQ(b.record_count(), 1u);
+}
+
+TEST(ChunkTest, SplitPreservesAllRecordsDisjointly) {
+  ChunkBuilder b("s");
+  for (uint64_t h = 0; h < 100; ++h) {
+    uint8_t payload = static_cast<uint8_t>(h);
+    b.AddRecord(h * 7919, &payload, 1);  // spread hashes
+  }
+  auto chunk = std::move(b).Finish();
+  auto parts = SplitChunk(chunk, 3);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 3u);
+
+  uint64_t total = 0;
+  std::set<uint8_t> seen;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto reader = ChunkReader::Open((*parts)[i]);
+    ASSERT_TRUE(reader.ok());
+    total += reader->record_count();
+    ASSERT_TRUE(reader->ForEachRecord([&](uint64_t h, const uint8_t* p, size_t n) {
+                EXPECT_EQ(h % 3, i);  // routed to the right sub-chunk
+                ASSERT_EQ(n, 1u);
+                seen.insert(p[0]);
+              }).ok());
+  }
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(ChunkTest, FilterKeepsOnlyOnePartition) {
+  ChunkBuilder b("s");
+  for (uint64_t h = 0; h < 50; ++h) {
+    uint8_t payload = 0;
+    b.AddRecord(h, &payload, 1);
+  }
+  auto chunk = std::move(b).Finish();
+  auto filtered = FilterChunk(chunk, 1, 4);
+  ASSERT_TRUE(filtered.ok());
+  auto reader = ChunkReader::Open(*filtered);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader->ForEachRecord([&](uint64_t h, const uint8_t*, size_t) {
+              EXPECT_EQ(h % 4, 1u);
+            }).ok());
+  EXPECT_EQ(reader->record_count(), 13u);  // hashes 1,5,9,...,49
+}
+
+TEST(ChunkTest, SerializeToChunksAndRestoreEndToEnd) {
+  KeyedDict<int64_t, int64_t> source;
+  for (int64_t i = 0; i < 1000; ++i) {
+    source.Put(i, i * i);
+  }
+  auto chunks = SerializeToChunks(source, "kv", 4);
+  ASSERT_EQ(chunks.size(), 4u);
+
+  KeyedDict<int64_t, int64_t> restored;
+  for (const auto& chunk : chunks) {
+    ASSERT_TRUE(RestoreChunk(restored, chunk).ok());
+  }
+  EXPECT_EQ(restored.Size(), 1000u);
+  EXPECT_EQ(restored.Get(31), 961);
+}
+
+TEST(ChunkTest, MToNRoundTrip) {
+  // The full Fig. 4 pattern: serialise to m=2 backup chunks, split each for
+  // n=3 recovering nodes, restore, and verify the union is complete and the
+  // partitions are disjoint.
+  KeyedDict<int64_t, int64_t> source;
+  for (int64_t i = 0; i < 500; ++i) {
+    source.Put(i, i + 1);
+  }
+  auto backup_chunks = SerializeToChunks(source, "kv", 2);
+
+  constexpr uint32_t kN = 3;
+  std::vector<KeyedDict<int64_t, int64_t>> recovered(kN);
+  for (const auto& chunk : backup_chunks) {
+    auto split = SplitChunk(chunk, kN);
+    ASSERT_TRUE(split.ok());
+    for (uint32_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(RestoreChunk(recovered[i], (*split)[i]).ok());
+    }
+  }
+
+  uint64_t total = 0;
+  for (auto& r : recovered) {
+    total += r.Size();
+  }
+  EXPECT_EQ(total, 500u);
+  for (int64_t i = 0; i < 500; ++i) {
+    int found = 0;
+    for (auto& r : recovered) {
+      if (r.Contains(i)) {
+        ++found;
+        EXPECT_EQ(r.Get(i), i + 1);
+      }
+    }
+    EXPECT_EQ(found, 1) << "key " << i << " must live on exactly one node";
+  }
+}
+
+}  // namespace
+}  // namespace sdg::state

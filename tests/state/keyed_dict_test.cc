@@ -1,0 +1,221 @@
+#include "src/state/keyed_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/state/chunk.h"
+
+namespace sdg::state {
+namespace {
+
+TEST(KeyedDictTest, PutGetErase) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 10);
+  d.Put(2, 20);
+  EXPECT_EQ(d.Get(1), 10);
+  EXPECT_EQ(d.Get(2), 20);
+  EXPECT_FALSE(d.Get(3).has_value());
+  d.Erase(1);
+  EXPECT_FALSE(d.Get(1).has_value());
+  EXPECT_EQ(d.Size(), 1u);
+}
+
+TEST(KeyedDictTest, StringKeysAndValues) {
+  KeyedDict<std::string, std::string> d;
+  d.Put("hello", "world");
+  EXPECT_EQ(d.Get("hello"), "world");
+  EXPECT_TRUE(d.Contains("hello"));
+  EXPECT_FALSE(d.Contains("nope"));
+}
+
+TEST(KeyedDictTest, UpdateReadModifyWrite) {
+  KeyedDict<std::string, int64_t> counts;
+  for (int i = 0; i < 3; ++i) {
+    counts.Update("word", [](int64_t v) { return v + 1; });
+  }
+  EXPECT_EQ(counts.Get("word"), 3);
+}
+
+TEST(KeyedDictTest, DirtyOverlayDivertsWritesDuringCheckpoint) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 100);
+  d.BeginCheckpoint();
+  EXPECT_TRUE(d.checkpoint_active());
+
+  d.Put(1, 200);    // diverted to overlay
+  d.Put(2, 300);    // new key in overlay
+  EXPECT_EQ(d.DirtySize(), 2u);
+
+  // Reads see the overlay (dirty-first semantics of §5 step 2).
+  EXPECT_EQ(d.Get(1), 200);
+  EXPECT_EQ(d.Get(2), 300);
+
+  // The consistent snapshot still holds the pre-checkpoint value.
+  int64_t snapshot_value = -1;
+  uint64_t snapshot_records = 0;
+  d.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ++snapshot_records;
+    BinaryReader r(p, n);
+    int64_t k = r.Read<int64_t>().value();
+    int64_t v = r.Read<int64_t>().value();
+    if (k == 1) {
+      snapshot_value = v;
+    }
+  });
+  EXPECT_EQ(snapshot_records, 1u);  // key 2 not yet in the snapshot
+  EXPECT_EQ(snapshot_value, 100);
+
+  uint64_t consolidated = d.EndCheckpoint();
+  EXPECT_EQ(consolidated, 2u);
+  EXPECT_FALSE(d.checkpoint_active());
+  EXPECT_EQ(d.Get(1), 200);
+  EXPECT_EQ(d.Get(2), 300);
+  EXPECT_EQ(d.DirtySize(), 0u);
+}
+
+TEST(KeyedDictTest, EraseDuringCheckpointIsTombstone) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 10);
+  d.Put(2, 20);
+  d.BeginCheckpoint();
+  d.Erase(1);
+  EXPECT_FALSE(d.Get(1).has_value());
+  EXPECT_EQ(d.Size(), 1u);
+  d.EndCheckpoint();
+  EXPECT_FALSE(d.Get(1).has_value());
+  EXPECT_EQ(d.Get(2), 20);
+}
+
+TEST(KeyedDictTest, UpdateDuringCheckpointSeesMainThenOverlays) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(5, 7);
+  d.BeginCheckpoint();
+  d.Update(5, [](int64_t v) { return v + 1; });  // reads 7 from main
+  EXPECT_EQ(d.Get(5), 8);
+  d.Update(5, [](int64_t v) { return v + 1; });  // reads 8 from overlay
+  EXPECT_EQ(d.Get(5), 9);
+  d.EndCheckpoint();
+  EXPECT_EQ(d.Get(5), 9);
+}
+
+TEST(KeyedDictTest, ForEachMergesOverlay) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 1);
+  d.Put(2, 2);
+  d.BeginCheckpoint();
+  d.Put(2, 22);
+  d.Put(3, 3);
+  d.Erase(1);
+  std::unordered_map<int64_t, int64_t> seen;
+  d.ForEach([&](int64_t k, int64_t v) { seen[k] = v; });
+  d.EndCheckpoint();
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[2], 22);
+  EXPECT_EQ(seen[3], 3);
+}
+
+TEST(KeyedDictTest, SerializeRestoreRoundTrip) {
+  KeyedDict<std::string, int64_t> d;
+  for (int i = 0; i < 100; ++i) {
+    d.Put("key" + std::to_string(i), i);
+  }
+  KeyedDict<std::string, int64_t> restored;
+  d.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_EQ(restored.Size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(restored.Get("key" + std::to_string(i)), i);
+  }
+}
+
+TEST(KeyedDictTest, ExtractPartitionMovesDisjointSubsets) {
+  KeyedDict<int64_t, int64_t> d;
+  for (int64_t i = 0; i < 1000; ++i) {
+    d.Put(i, i * 2);
+  }
+  KeyedDict<int64_t, int64_t> other;
+  ASSERT_TRUE(d.ExtractPartition(1, 2, [&](uint64_t, const uint8_t* p, size_t n) {
+              ASSERT_TRUE(other.RestoreRecord(p, n).ok());
+            }).ok());
+  EXPECT_EQ(d.Size() + other.Size(), 1000u);
+  EXPECT_GT(other.Size(), 300u);  // hash split should be roughly even
+  EXPECT_GT(d.Size(), 300u);
+  // No key is in both.
+  other.ForEach([&](int64_t k, int64_t) { EXPECT_FALSE(d.Contains(k)); });
+  // Values survived the move.
+  other.ForEach([&](int64_t k, int64_t v) { EXPECT_EQ(v, k * 2); });
+}
+
+TEST(KeyedDictTest, ExtractPartitionRejectedDuringCheckpoint) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 1);
+  d.BeginCheckpoint();
+  Status s = d.ExtractPartition(0, 2, [](uint64_t, const uint8_t*, size_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  d.EndCheckpoint();
+}
+
+TEST(KeyedDictTest, ConcurrentWritesDuringCheckpointDoNotCorruptSnapshot) {
+  KeyedDict<int64_t, int64_t> d;
+  constexpr int64_t kKeys = 10000;
+  for (int64_t i = 0; i < kKeys; ++i) {
+    d.Put(i, 1);
+  }
+  d.BeginCheckpoint();
+  std::thread writer([&] {
+    for (int64_t i = 0; i < kKeys; ++i) {
+      d.Put(i, 2);
+    }
+  });
+  // Serialise the frozen snapshot concurrently with the writer.
+  int64_t sum = 0;
+  uint64_t records = 0;
+  d.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    BinaryReader r(p, n);
+    (void)r.Read<int64_t>();
+    sum += r.Read<int64_t>().value();
+    ++records;
+  });
+  writer.join();
+  EXPECT_EQ(records, static_cast<uint64_t>(kKeys));
+  EXPECT_EQ(sum, kKeys);  // every snapshot value is the pre-checkpoint 1
+  d.EndCheckpoint();
+  EXPECT_EQ(d.Get(0), 2);
+  EXPECT_EQ(d.Get(kKeys - 1), 2);
+}
+
+TEST(KeyedDictTest, ClearEmptiesEverything) {
+  KeyedDict<int64_t, int64_t> d;
+  d.Put(1, 1);
+  d.Clear();
+  EXPECT_EQ(d.Size(), 0u);
+  EXPECT_EQ(d.EntryCount(), 0u);
+}
+
+TEST(KeyedDictTest, TypeNameAndSizeBytes) {
+  KeyedDict<int64_t, int64_t> d;
+  EXPECT_EQ(d.TypeName(), "KeyedDict");
+  d.Put(1, 1);
+  EXPECT_GT(d.SizeBytes(), 0u);
+}
+
+TEST(KeyedDictTest, VectorValues) {
+  KeyedDict<int64_t, std::vector<double>> d;
+  d.Put(1, {1.0, 2.0, 3.0});
+  auto v = d.Get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 3u);
+  // Round-trip through serialisation too.
+  KeyedDict<int64_t, std::vector<double>> restored;
+  d.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_EQ(restored.Get(1), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace sdg::state

@@ -1,0 +1,163 @@
+#include "src/state/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg::state {
+namespace {
+
+TEST(SparseMatrixTest, SetGetAdd) {
+  SparseMatrix m;
+  m.Set(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 3), 0.0);
+  EXPECT_DOUBLE_EQ(m.Get(9, 9), 0.0);
+  m.Add(1, 2, 1.5);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 4.5);
+  m.Add(7, 7, 2.0);  // add on empty cell
+  EXPECT_DOUBLE_EQ(m.Get(7, 7), 2.0);
+  EXPECT_EQ(m.RowCount(), 2u);
+  EXPECT_EQ(m.NonZeroCount(), 2u);
+}
+
+TEST(SparseMatrixTest, GetRowDense) {
+  SparseMatrix m;
+  m.Set(0, 1, 5.0);
+  m.Set(0, 3, 7.0);
+  auto row = m.GetRowDense(0, 5);
+  EXPECT_EQ(row, (std::vector<double>{0, 5, 0, 7, 0}));
+  EXPECT_EQ(m.GetRowDense(42, 3), (std::vector<double>{0, 0, 0}));
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesManual) {
+  // M = [[1,2],[3,4]] as sparse; x = [5,6].
+  SparseMatrix m;
+  m.Set(0, 0, 1);
+  m.Set(0, 1, 2);
+  m.Set(1, 0, 3);
+  m.Set(1, 1, 4);
+  auto y = m.MultiplyDense({5, 6}, 2);
+  EXPECT_EQ(y, (std::vector<double>{17, 39}));
+}
+
+TEST(SparseMatrixTest, MultiplySkipsOutOfDimRows) {
+  SparseMatrix m;
+  m.Set(0, 0, 1);
+  m.Set(5, 0, 99);  // outside dim=2 result
+  auto y = m.MultiplyDense({2.0}, 2);
+  EXPECT_EQ(y, (std::vector<double>{2.0, 0.0}));
+}
+
+TEST(SparseMatrixTest, DirtyOverlayDuringCheckpoint) {
+  SparseMatrix m;
+  m.Set(1, 1, 10.0);
+  m.BeginCheckpoint();
+  m.Set(1, 1, 20.0);
+  m.Add(1, 2, 5.0);
+  m.Set(3, 0, 7.0);  // whole new row in the overlay
+  EXPECT_DOUBLE_EQ(m.Get(1, 1), 20.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Get(3, 0), 7.0);
+
+  // Snapshot sees only the pre-checkpoint cell.
+  SparseMatrix restored;
+  m.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_DOUBLE_EQ(restored.Get(1, 1), 10.0);
+  EXPECT_DOUBLE_EQ(restored.Get(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(restored.Get(3, 0), 0.0);
+
+  m.EndCheckpoint();
+  EXPECT_DOUBLE_EQ(m.Get(1, 1), 20.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m.Get(3, 0), 7.0);
+}
+
+TEST(SparseMatrixTest, AddTwiceDuringCheckpointAccumulatesInOverlay) {
+  SparseMatrix m;
+  m.Set(0, 0, 1.0);
+  m.BeginCheckpoint();
+  m.Add(0, 0, 1.0);
+  m.Add(0, 0, 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 3.0);
+  m.EndCheckpoint();
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 3.0);
+}
+
+TEST(SparseMatrixTest, GetRowMergesOverlay) {
+  SparseMatrix m;
+  m.Set(2, 0, 1.0);
+  m.Set(2, 1, 2.0);
+  m.BeginCheckpoint();
+  m.Set(2, 1, 9.0);
+  m.Set(2, 5, 3.0);
+  auto row = m.GetRow(2);
+  m.EndCheckpoint();
+  EXPECT_DOUBLE_EQ(row[0], 1.0);
+  EXPECT_DOUBLE_EQ(row[1], 9.0);
+  EXPECT_DOUBLE_EQ(row[5], 3.0);
+}
+
+TEST(SparseMatrixTest, MultiplySeesOverlayDuringCheckpoint) {
+  SparseMatrix m;
+  m.Set(0, 0, 1.0);
+  m.BeginCheckpoint();
+  m.Set(0, 0, 2.0);   // overlay on an existing row
+  m.Set(1, 0, 10.0);  // overlay-only row
+  auto y = m.MultiplyDense({3.0}, 2);
+  m.EndCheckpoint();
+  EXPECT_EQ(y, (std::vector<double>{6.0, 30.0}));
+}
+
+TEST(SparseMatrixTest, SerializeRestoreRoundTrip) {
+  SparseMatrix m;
+  for (int64_t r = 0; r < 50; ++r) {
+    for (int64_t c = 0; c < 10; ++c) {
+      m.Set(r, c, static_cast<double>(r * 10 + c));
+    }
+  }
+  SparseMatrix restored;
+  m.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_EQ(restored.NonZeroCount(), 500u);
+  EXPECT_DOUBLE_EQ(restored.Get(49, 9), 499.0);
+}
+
+TEST(SparseMatrixTest, ExtractPartitionSplitsRows) {
+  SparseMatrix m;
+  for (int64_t r = 0; r < 200; ++r) {
+    m.Set(r, 0, static_cast<double>(r));
+  }
+  SparseMatrix other;
+  ASSERT_TRUE(m.ExtractPartition(0, 2, [&](uint64_t, const uint8_t* p, size_t n) {
+              ASSERT_TRUE(other.RestoreRecord(p, n).ok());
+            }).ok());
+  EXPECT_EQ(m.RowCount() + other.RowCount(), 200u);
+  EXPECT_GT(other.RowCount(), 50u);
+  EXPECT_GT(m.RowCount(), 50u);
+  for (int64_t r = 0; r < 200; ++r) {
+    EXPECT_DOUBLE_EQ(m.Get(r, 0) + other.Get(r, 0), static_cast<double>(r));
+  }
+}
+
+TEST(SparseMatrixTest, ExtractPartitionRejectedDuringCheckpoint) {
+  SparseMatrix m;
+  m.Set(0, 0, 1);
+  m.BeginCheckpoint();
+  Status s = m.ExtractPartition(0, 2, [](uint64_t, const uint8_t*, size_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  m.EndCheckpoint();
+}
+
+TEST(SparseMatrixTest, BackendMetadata) {
+  SparseMatrix m;
+  EXPECT_EQ(m.TypeName(), "SparseMatrix");
+  m.Set(0, 0, 1);
+  EXPECT_GT(m.SizeBytes(), 0u);
+  m.Clear();
+  EXPECT_EQ(m.NonZeroCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sdg::state

@@ -1,0 +1,127 @@
+#include "src/state/vector_state.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg::state {
+namespace {
+
+TEST(VectorStateTest, SetGetGrow) {
+  VectorState v;
+  v.Set(0, 1.5);
+  v.Set(10, 2.5);
+  EXPECT_DOUBLE_EQ(v.Get(0), 1.5);
+  EXPECT_DOUBLE_EQ(v.Get(10), 2.5);
+  EXPECT_DOUBLE_EQ(v.Get(5), 0.0);   // implicit zero fill
+  EXPECT_DOUBLE_EQ(v.Get(99), 0.0);  // out of range reads as zero
+  EXPECT_EQ(v.LogicalSize(), 11u);
+}
+
+TEST(VectorStateTest, PresizedConstruction) {
+  VectorState v(100);
+  EXPECT_EQ(v.LogicalSize(), 100u);
+  EXPECT_DOUBLE_EQ(v.Get(50), 0.0);
+}
+
+TEST(VectorStateTest, AddAccumulates) {
+  VectorState v;
+  v.Add(3, 1.0);
+  v.Add(3, 2.0);
+  EXPECT_DOUBLE_EQ(v.Get(3), 3.0);
+}
+
+TEST(VectorStateTest, AccumulateVector) {
+  VectorState v(3);
+  v.Set(0, 1.0);
+  v.Accumulate({10.0, 20.0, 30.0, 40.0});
+  EXPECT_EQ(v.ToDense(), (std::vector<double>{11.0, 20.0, 30.0, 40.0}));
+}
+
+TEST(VectorStateTest, DirtyOverlayDuringCheckpoint) {
+  VectorState v(4);
+  v.Set(0, 1.0);
+  v.BeginCheckpoint();
+  v.Set(0, 9.0);
+  v.Add(1, 5.0);
+  EXPECT_DOUBLE_EQ(v.Get(0), 9.0);  // read sees overlay
+  EXPECT_DOUBLE_EQ(v.Get(1), 5.0);
+
+  // Snapshot is the pre-checkpoint content.
+  VectorState restored;
+  v.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_DOUBLE_EQ(restored.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(restored.Get(1), 0.0);
+
+  EXPECT_EQ(v.EndCheckpoint(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(0), 9.0);
+  EXPECT_DOUBLE_EQ(v.Get(1), 5.0);
+}
+
+TEST(VectorStateTest, GrowthDuringCheckpointViaOverlay) {
+  VectorState v(2);
+  v.BeginCheckpoint();
+  v.Set(100, 7.0);
+  EXPECT_EQ(v.LogicalSize(), 101u);
+  EXPECT_DOUBLE_EQ(v.Get(100), 7.0);
+  v.EndCheckpoint();
+  EXPECT_EQ(v.LogicalSize(), 101u);
+  EXPECT_DOUBLE_EQ(v.Get(100), 7.0);
+}
+
+TEST(VectorStateTest, SerializeRestoreLargeVector) {
+  VectorState v;
+  constexpr size_t kN = 5000;  // spans multiple blocks
+  for (size_t i = 0; i < kN; ++i) {
+    v.Set(i, static_cast<double>(i) * 0.5);
+  }
+  VectorState restored;
+  v.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(restored.RestoreRecord(p, n).ok());
+  });
+  EXPECT_EQ(restored.LogicalSize(), kN);
+  for (size_t i = 0; i < kN; i += 377) {
+    EXPECT_DOUBLE_EQ(restored.Get(i), static_cast<double>(i) * 0.5);
+  }
+}
+
+TEST(VectorStateTest, ExtractPartitionZeroesMovedBlocks) {
+  VectorState v;
+  constexpr size_t kN = 4096;
+  for (size_t i = 0; i < kN; ++i) {
+    v.Set(i, 1.0);
+  }
+  VectorState other;
+  ASSERT_TRUE(v.ExtractPartition(0, 2, [&](uint64_t, const uint8_t* p, size_t n) {
+              ASSERT_TRUE(other.RestoreRecord(p, n).ok());
+            }).ok());
+  double total = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    total += v.Get(i) + other.Get(i);
+    // Each element lives in exactly one of the two instances.
+    EXPECT_DOUBLE_EQ(v.Get(i) + other.Get(i), 1.0) << i;
+  }
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(kN));
+}
+
+TEST(VectorStateTest, RestoreRejectsShortRecord) {
+  VectorState v;
+  BinaryWriter w;
+  w.Write<uint64_t>(0);    // block
+  w.Write<uint64_t>(100);  // claims 100 doubles
+  w.Write<double>(1.0);    // only one present
+  Status s = v.RestoreRecord(w.buffer().data(), w.buffer().size());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(VectorStateTest, BackendMetadata) {
+  VectorState v(10);
+  EXPECT_EQ(v.TypeName(), "VectorState");
+  EXPECT_EQ(v.EntryCount(), 10u);
+  EXPECT_GE(v.SizeBytes(), 10 * sizeof(double));
+  v.Clear();
+  EXPECT_EQ(v.EntryCount(), 0u);
+}
+
+}  // namespace
+}  // namespace sdg::state

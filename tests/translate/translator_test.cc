@@ -1,0 +1,296 @@
+// Tests of the java2sdg translation pipeline (Fig. 3), including the
+// flagship check: Alg. 1 translates to the Fig. 1 SDG shape.
+#include "src/translate/translator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/cf.h"
+#include "src/state/keyed_dict.h"
+
+namespace sdg::translate {
+namespace {
+
+using graph::AccessMode;
+using graph::Dispatch;
+using state::KeyedDict;
+
+using IntDict = KeyedDict<int64_t, int64_t>;
+
+state::StateFactory DictFactory() {
+  return [] { return std::make_unique<IntDict>(); };
+}
+
+TEST(TranslatorTest, CfProgramYieldsFig1Shape) {
+  apps::CfOptions opt;
+  opt.num_items = 10;
+  auto t = apps::BuildCfSdg(opt);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  const graph::Sdg& g = t->sdg;
+
+  // Two SEs: partitioned userItem, partial coOcc.
+  ASSERT_EQ(g.states().size(), 2u);
+  EXPECT_EQ(g.state(g.StateByName("userItem").value()).distribution,
+            graph::StateDistribution::kPartitioned);
+  EXPECT_EQ(g.state(g.StateByName("coOcc").value()).distribution,
+            graph::StateDistribution::kPartial);
+
+  // Five TEs: addRating (hosting updateUserItem), updateCoOcc, getRec
+  // (hosting getUserVec), getRecVec, merge.
+  ASSERT_EQ(g.tasks().size(), 5u);
+  auto add_rating = g.TaskByName("addRating");
+  auto update_cooc = g.TaskByName("updateCoOcc");
+  auto get_rec = g.TaskByName("getRec");
+  auto get_rec_vec = g.TaskByName("getRecVec");
+  auto merge = g.TaskByName("merge");
+  ASSERT_TRUE(add_rating.ok());
+  ASSERT_TRUE(update_cooc.ok());
+  ASSERT_TRUE(get_rec.ok());
+  ASSERT_TRUE(get_rec_vec.ok());
+  ASSERT_TRUE(merge.ok());
+
+  // Access edges and modes.
+  EXPECT_EQ(g.task(*add_rating).access, AccessMode::kPartitioned);
+  EXPECT_EQ(g.task(*update_cooc).access, AccessMode::kLocal);
+  EXPECT_EQ(g.task(*get_rec).access, AccessMode::kPartitioned);
+  EXPECT_EQ(g.task(*get_rec_vec).access, AccessMode::kGlobal);
+  EXPECT_TRUE(g.task(*merge).is_collector());
+
+  // Dataflow dispatch semantics per the §4.2 rules.
+  auto out_add = g.OutEdges(*add_rating);
+  ASSERT_EQ(out_add.size(), 1u);
+  EXPECT_EQ(out_add[0]->dispatch, Dispatch::kOneToAny);  // rule 4
+
+  auto out_get = g.OutEdges(*get_rec);
+  ASSERT_EQ(out_get.size(), 1u);
+  EXPECT_EQ(out_get[0]->dispatch, Dispatch::kOneToAll);  // rule 3
+
+  auto out_vec = g.OutEdges(*get_rec_vec);
+  ASSERT_EQ(out_vec.size(), 1u);
+  EXPECT_EQ(out_vec[0]->dispatch, Dispatch::kAllToOne);  // rule 5
+
+  // The translation report documents the cuts.
+  EXPECT_NE(t->report.find("rule 3"), std::string::npos);
+  EXPECT_NE(t->report.find("rule 4"), std::string::npos);
+  EXPECT_NE(t->report.find("rule 5"), std::string::npos);
+}
+
+Program MinimalProgram() {
+  Program p;
+  p.name = "minimal";
+  Method m;
+  m.name = "go";
+  m.params = {"x"};
+  LocalStmt twice;
+  twice.inputs = {"x"};
+  twice.output = "y";
+  twice.op = [](const std::vector<Value>& in) {
+    return Value(in[0].AsInt() * 2);
+  };
+  m.body.push_back(twice);
+  OutputStmt out;
+  out.inputs = {"y"};
+  m.body.push_back(out);
+  p.methods.push_back(std::move(m));
+  return p;
+}
+
+TEST(TranslatorTest, StatelessMethodBecomesSingleEntryTe) {
+  auto t = TranslateToSdg(MinimalProgram());
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->sdg.tasks().size(), 1u);
+  EXPECT_TRUE(t->sdg.tasks()[0].is_entry);
+  EXPECT_TRUE(t->sdg.states().empty());
+}
+
+TEST(TranslatorTest, RejectsEmptyProgram) {
+  Program p;
+  EXPECT_FALSE(TranslateToSdg(p).ok());
+}
+
+TEST(TranslatorTest, RejectsUndefinedVariable) {
+  Program p = MinimalProgram();
+  std::get<LocalStmt>(p.methods[0].body[0]).inputs = {"nope"};
+  auto t = TranslateToSdg(p);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("undefined"), std::string::npos);
+}
+
+TEST(TranslatorTest, RejectsGlobalAccessToPartitionedField) {
+  Program p;
+  p.name = "bad";
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartitioned, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"k"};
+  StateStmt s;
+  s.field = "f";
+  s.global = true;
+  s.key_var = "k";
+  s.op = [](state::StateBackend*, const std::vector<Value>&) { return Value(); };
+  m.body.push_back(s);
+  p.methods.push_back(std::move(m));
+  EXPECT_FALSE(TranslateToSdg(p).ok());
+}
+
+TEST(TranslatorTest, RejectsPartitionedAccessWithoutKey) {
+  Program p;
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartitioned, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"k"};
+  StateStmt s;
+  s.field = "f";
+  s.op = [](state::StateBackend*, const std::vector<Value>&) { return Value(); };
+  m.body.push_back(s);
+  p.methods.push_back(std::move(m));
+  EXPECT_FALSE(TranslateToSdg(p).ok());
+}
+
+TEST(TranslatorTest, RejectsUnknownField) {
+  Program p = MinimalProgram();
+  StateStmt s;
+  s.field = "ghost";
+  s.inputs = {"x"};
+  s.op = [](state::StateBackend*, const std::vector<Value>&) { return Value(); };
+  p.methods[0].body.insert(p.methods[0].body.begin(), s);
+  EXPECT_FALSE(TranslateToSdg(p).ok());
+}
+
+TEST(TranslatorTest, RejectsMergeOfSingleValuedVariable) {
+  Program p = MinimalProgram();
+  MergeStmt m;
+  m.partial_var = "y";
+  m.output = "z";
+  m.op = [](const std::vector<Value>&, const std::vector<Value>&) {
+    return Value();
+  };
+  p.methods[0].body.push_back(m);
+  auto t = TranslateToSdg(p);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("multi-valued"), std::string::npos);
+}
+
+TEST(TranslatorTest, RejectsMultiValuedEscapeWithoutMerge) {
+  // A variable assigned under @Global must not be consumed by a later
+  // single-valued statement (§4.1 side-effect-free parallelism).
+  Program p;
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartial, DictFactory()});
+  p.fields.push_back(StateField{"g", FieldAnnotation::kNone, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"k"};
+  StateStmt global;
+  global.field = "f";
+  global.global = true;
+  global.inputs = {"k"};
+  global.output = "pv";
+  global.op = [](state::StateBackend*, const std::vector<Value>&) {
+    return Value(int64_t{1});
+  };
+  m.body.push_back(global);
+  StateStmt use;
+  use.field = "g";
+  use.inputs = {"pv"};  // escapes the global context
+  use.op = [](state::StateBackend*, const std::vector<Value>&) { return Value(); };
+  m.body.push_back(use);
+  p.methods.push_back(std::move(m));
+  auto t = TranslateToSdg(p);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.status().message().find("multi-valued"), std::string::npos);
+}
+
+TEST(TranslatorTest, RejectsConsecutiveGlobalAccessesWithoutMerge) {
+  Program p;
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartial, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"k"};
+  for (int i = 0; i < 2; ++i) {
+    StateStmt s;
+    s.field = "f";
+    s.global = true;
+    s.inputs = {"k"};
+    s.output = i == 0 ? "a" : "b";
+    s.op = [](state::StateBackend*, const std::vector<Value>&) {
+      return Value(int64_t{0});
+    };
+    m.body.push_back(s);
+  }
+  p.methods.push_back(std::move(m));
+  EXPECT_FALSE(TranslateToSdg(p).ok());
+}
+
+TEST(TranslatorTest, PartitionedKeyComputedAfterEntryForcesCut) {
+  // If the access key is derived (not a parameter), the entry TE cannot host
+  // the partitioned access — rule 2 forces a cut with a key-partitioned edge.
+  Program p;
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartitioned, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"x"};
+  LocalStmt derive;
+  derive.inputs = {"x"};
+  derive.output = "key";
+  derive.op = [](const std::vector<Value>& in) {
+    return Value(in[0].AsInt() / 2);
+  };
+  m.body.push_back(derive);
+  StateStmt s;
+  s.field = "f";
+  s.key_var = "key";
+  s.inputs = {"key", "x"};
+  s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
+    state::StateAs<IntDict>(b)->Put(in[0].AsInt(), in[1].AsInt());
+    return Value();
+  };
+  m.body.push_back(s);
+  p.methods.push_back(std::move(m));
+
+  auto t = TranslateToSdg(p);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  ASSERT_EQ(t->sdg.tasks().size(), 2u);
+  const auto& edges = t->sdg.edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].dispatch, Dispatch::kPartitioned);
+  EXPECT_GE(edges[0].key_field, 0);
+}
+
+TEST(TranslatorTest, SameSeSameKeyStaysInOneTe) {
+  // Two partitioned accesses with the same key fuse into one TE (no cut).
+  Program p;
+  p.fields.push_back(StateField{"f", FieldAnnotation::kPartitioned, DictFactory()});
+  Method m;
+  m.name = "go";
+  m.params = {"k", "v"};
+  for (int i = 0; i < 2; ++i) {
+    StateStmt s;
+    s.field = "f";
+    s.key_var = "k";
+    s.inputs = {"k", "v"};
+    s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
+      state::StateAs<IntDict>(b)->Put(in[0].AsInt(), in[1].AsInt());
+      return Value();
+    };
+    m.body.push_back(s);
+  }
+  p.methods.push_back(std::move(m));
+  auto t = TranslateToSdg(p);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->sdg.tasks().size(), 1u);
+}
+
+TEST(TranslatorTest, InstanceOptionsPropagate) {
+  apps::CfOptions opt;
+  opt.num_items = 10;
+  opt.user_partitions = 3;
+  opt.cooc_replicas = 2;
+  auto t = apps::BuildCfSdg(opt);
+  ASSERT_TRUE(t.ok());
+  auto add_rating = t->sdg.TaskByName("addRating").value();
+  auto update_cooc = t->sdg.TaskByName("updateCoOcc").value();
+  EXPECT_EQ(t->sdg.task(add_rating).initial_instances, 3u);
+  EXPECT_EQ(t->sdg.task(update_cooc).initial_instances, 2u);
+}
+
+}  // namespace
+}  // namespace sdg::translate
