@@ -11,9 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -79,6 +82,53 @@ inline bool Backpressure(runtime::Deployment& d, size_t limit = 4096) {
   }
   return false;
 }
+
+// Accumulates rows of (key, value) pairs and writes them as a JSON array of
+// objects — the machine-readable sibling of the printed tables, consumed by
+// perf-trajectory tooling (e.g. BENCH_hotpath.json).
+class BenchJson {
+ public:
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f", value);
+    rows_.back().emplace_back(key, buf);
+  }
+
+  void Add(const std::string& key, uint64_t value) {
+    rows_.back().emplace_back(key, std::to_string(value));
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + value + "\"");
+  }
+
+  bool WriteFile(const std::string& path) const {
+    std::ostringstream os;
+    os << "[\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      os << "  {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        os << "\"" << rows_[r][f].first << "\": " << rows_[r][f].second;
+        if (f + 1 < rows_[r].size()) {
+          os << ", ";
+        }
+      }
+      os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "]\n";
+    std::ofstream out(path);
+    if (!out) {
+      return false;
+    }
+    out << os.str();
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 // Drives `inject` from `threads` threads as fast as possible for
 // `duration_s`; returns the number of successful injections.

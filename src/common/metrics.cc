@@ -17,6 +17,16 @@ std::string PercentileSummary::ToString() const {
   return buf;
 }
 
+std::string PercentileSummary::ToJson() const {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\": %llu, \"mean\": %.3f, \"p5\": %.3f, \"p25\": %.3f,"
+                " \"p50\": %.3f, \"p75\": %.3f, \"p95\": %.3f, \"p99\": %.3f}",
+                static_cast<unsigned long long>(count), mean, p5, p25, p50, p75,
+                p95, p99);
+  return buf;
+}
+
 double PercentileOfSorted(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) {
     return 0.0;

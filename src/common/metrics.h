@@ -27,6 +27,21 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+// Cache-line-padded up/down counter for hot-path accounting (e.g. the
+// deployment's in-flight item count). alignas keeps the atomic on its own
+// line so unrelated neighbours don't false-share with per-item updates.
+// Add returns the post-update value so callers can detect the 1->0 edge.
+class alignas(64) Gauge {
+ public:
+  int64_t Add(int64_t delta) {
+    return value_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  }
+  int64_t value() const { return value_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 // Summary of a histogram at the paper's candlestick percentiles.
 struct PercentileSummary {
   uint64_t count = 0;
@@ -42,6 +57,10 @@ struct PercentileSummary {
 
   // e.g. "n=1000 mean=1.2 p5=0.3 p25=0.8 p50=1.1 p75=1.5 p95=2.2".
   std::string ToString() const;
+
+  // The same summary as a JSON object fragment, for machine-readable bench
+  // output files.
+  std::string ToJson() const;
 };
 
 // Records raw samples and computes exact percentiles on demand. Recording is

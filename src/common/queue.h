@@ -2,15 +2,23 @@
 //
 // A queue can be closed (no more producers) and drained, which lets node
 // shutdown and failure injection propagate cleanly through a pipeline.
+//
+// The hot path is batch-oriented: PushAll/PopAll move whole batches under a
+// single lock acquisition with a single condvar notification, and size() is
+// a relaxed-atomic mirror maintained under the lock — load probes (JSQ
+// routing, the scaling monitor, backpressure checks) never contend with
+// producers and consumers.
 #ifndef SDG_COMMON_QUEUE_H_
 #define SDG_COMMON_QUEUE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace sdg {
 
@@ -30,9 +38,33 @@ class BoundedQueue {
       return false;
     }
     items_.push_back(std::move(item));
+    PublishSize();
     lock.unlock();
     not_empty_.notify_one();
     return true;
+  }
+
+  // Moves all of `items` into the queue, blocking while full; each chunk
+  // that fits is enqueued under one lock hold with one notification.
+  // Returns the number enqueued — less than items.size() only if the queue
+  // was closed mid-push (the remainder is dropped, matching Push).
+  size_t PushAll(std::vector<T>&& items) {
+    size_t pushed = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (pushed < items.size()) {
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) {
+        break;
+      }
+      while (pushed < items.size() && items_.size() < capacity_) {
+        items_.push_back(std::move(items[pushed]));
+        ++pushed;
+      }
+      PublishSize();
+      not_empty_.notify_one();
+    }
+    return pushed;
   }
 
   // Non-blocking push; returns false when full or closed.
@@ -43,6 +75,7 @@ class BoundedQueue {
         return false;
       }
       items_.push_back(std::move(item));
+      PublishSize();
     }
     not_empty_.notify_one();
     return true;
@@ -57,9 +90,29 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PublishSize();
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  // Blocks while empty, then moves up to `max` items into `out` under one
+  // lock acquisition. Returns the number moved; 0 means closed-and-drained.
+  size_t PopAll(std::deque<T>& out, size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    size_t n = std::min(max, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    PublishSize();
+    lock.unlock();
+    if (n > 0) {
+      // n slots freed: wake every producer blocked on capacity.
+      not_full_.notify_all();
+    }
+    return n;
   }
 
   // Pop with a timeout; nullopt on timeout or on closed-and-drained.
@@ -74,6 +127,7 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PublishSize();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -86,6 +140,7 @@ class BoundedQueue {
     }
     T item = std::move(items_.front());
     items_.pop_front();
+    PublishSize();
     lock.unlock();
     not_full_.notify_one();
     return item;
@@ -107,6 +162,7 @@ class BoundedQueue {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       items_.clear();
+      PublishSize();
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -118,21 +174,27 @@ class BoundedQueue {
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return items_.size();
-  }
+  // Approximate size: a relaxed mirror of the exact size, written only under
+  // the queue lock, so it is never negative and never stale by more than the
+  // in-progress operation. Load probes pay no lock.
+  size_t size() const { return approx_size_.load(std::memory_order_relaxed); }
 
   size_t capacity() const { return capacity_; }
 
   bool Empty() const { return size() == 0; }
 
  private:
+  // Requires mutex_ held.
+  void PublishSize() {
+    approx_size_.store(items_.size(), std::memory_order_relaxed);
+  }
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::atomic<size_t> approx_size_{0};
   bool closed_ = false;
 };
 

@@ -70,7 +70,12 @@ class BinaryWriter {
     }
   }
 
+  // Resets the writer for reuse while keeping the allocated capacity — the
+  // basis of thread-local scratch writers on serialisation hot paths.
+  void Clear() { buffer_.clear(); }
+
   size_t size() const { return buffer_.size(); }
+  const uint8_t* data() const { return buffer_.data(); }
   const std::vector<uint8_t>& buffer() const { return buffer_; }
   std::vector<uint8_t> TakeBuffer() && { return std::move(buffer_); }
 

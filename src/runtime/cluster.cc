@@ -59,6 +59,43 @@ std::string BufferChunkName(graph::TaskId task, uint32_t instance) {
   return "outbuf" + std::to_string(task) + "_" + std::to_string(instance);
 }
 
+// Serialise/deserialise round trip for items crossing a node boundary. The
+// writer is a thread-local scratch whose capacity is reused across items, and
+// the reader decodes straight out of it — no per-item byte-buffer allocation.
+DataItem SerializedRoundTrip(DataItem item) {
+  thread_local BinaryWriter scratch;
+  scratch.Clear();
+  item.Serialize(scratch);
+  auto back = DataItem::FromBytes(scratch.data(), scratch.size());
+  SDG_CHECK(back.ok()) << "node-boundary round-trip failed";
+  return std::move(*back);
+}
+
+// One delivery group a worker thread has routed but not yet pushed: items for
+// one (downstream task, destination instance) pair, in emit order. Groups
+// hold no instance pointer — destinations are re-resolved under the topology
+// lock at flush time, so a group may safely outlive a kill/recover cycle of
+// its destination. `ti` is transient flush-local scratch.
+struct StagedGroup {
+  graph::TaskId task = 0;
+  uint32_t dest = 0;
+  uint32_t src_node = 0;
+  TaskInstance* ti = nullptr;
+  std::vector<DataItem> items;
+};
+
+// Per-worker-thread staging area. A worker thread belongs to exactly one
+// TaskInstance of one Deployment, RouteEmits stages into it, and
+// FlushStagedDeliveries empties it — per input item when upstream backup is
+// on, per drained mailbox batch otherwise — so entries never cross
+// deployments. Thread-local reuse keeps the steady-state emit path free of
+// per-item allocations.
+thread_local std::vector<StagedGroup> tl_staged;
+
+// Scratch for tuples emitted past the last out-edge (sink deliveries);
+// cleared at the end of every RouteEmits call.
+thread_local std::vector<Tuple> tl_sink_tuples;
+
 }  // namespace
 
 std::string_view FtModeName(FtMode mode) {
@@ -140,13 +177,13 @@ Status Deployment::Start() {
       for (uint32_t j = 0; j < group.instances.size(); ++j) {
         slots.push_back(std::make_unique<TaskInstance>(
             te, j, group.instance_nodes[j], group.instances[j].get(), this,
-            options_.mailbox_capacity));
+            options_.mailbox_capacity, options_.max_batch));
       }
     } else {
       for (uint32_t j = 0; j < te.initial_instances; ++j) {
         uint32_t node = (alloc.task_nodes[te.id] + j) % options_.num_nodes;
         slots.push_back(std::make_unique<TaskInstance>(
-            te, j, node, nullptr, this, options_.mailbox_capacity));
+            te, j, node, nullptr, this, options_.mailbox_capacity, options_.max_batch));
       }
     }
     if (te.is_entry) {
@@ -246,21 +283,132 @@ Status Deployment::Inject(std::string_view entry, Tuple tuple,
   topo.unlock();
 
   for (auto& [ti, it] : pushes) {
-    {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
-      ++in_flight_;
+    // Injection crosses the client/cluster boundary: always serialise.
+    if (options_.serialize_cross_node) {
+      it = SerializedRoundTrip(std::move(it));
+    }
+    AccountDelivered(1);
+    if (!ti->Deliver(std::move(it))) {
+      AccountDone(1);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Deployment::InjectAll(std::string_view entry, std::vector<Tuple> tuples,
+                             uint64_t user_tag) {
+  if (tuples.empty()) {
+    return Status::Ok();
+  }
+  if (!started_.load() || shut_down_.load()) {
+    return FailedPreconditionError("deployment is not running");
+  }
+  std::shared_lock ingest(ingest_gate_);
+  SDG_ASSIGN_OR_RETURN(graph::TaskId task, sdg_.TaskByName(entry));
+  const auto& te = sdg_.task(task);
+  if (!te.is_entry) {
+    return InvalidArgumentError("task '" + std::string(entry) +
+                                "' is not an entry point");
+  }
+  if (te.access == graph::AccessMode::kPartitioned) {
+    // Validate before ticking the clock so a malformed tuple cannot leave a
+    // partial batch behind.
+    int key_field = te.entry_key_field;
+    for (const auto& tuple : tuples) {
+      if (key_field < 0 || static_cast<size_t>(key_field) >= tuple.size()) {
+        return InvalidArgumentError("entry tuple lacks the partition key field");
+      }
+    }
+  }
+
+  // The per-entry lock makes (timestamps, buffer appends, dispatch) atomic
+  // for the whole batch, so per-source FIFO timestamps stay monotone at
+  // every destination.
+  std::lock_guard<std::mutex> entry_lock(*external_locks_.at(task));
+  LogicalClock& clock = *external_clocks_.at(task);
+  OutputBuffer* ext_buffer =
+      buffering_enabled_ ? external_buffers_.at(task).get() : nullptr;
+
+  // Delivery groups, one per destination instance, built under a single
+  // topology-lock scope and pushed with one mailbox batch each.
+  struct Group {
+    uint32_t dest = 0;
+    TaskInstance* ti = nullptr;
+    std::vector<DataItem> items;
+  };
+  std::vector<Group> groups;
+  auto stage = [&](uint32_t dest, TaskInstance* ti, DataItem item) {
+    for (auto& g : groups) {
+      if (g.dest == dest) {
+        g.items.push_back(std::move(item));
+        return;
+      }
+    }
+    groups.push_back(Group{dest, ti, {}});
+    groups.back().items.push_back(std::move(item));
+  };
+
+  {
+    std::shared_lock topo(topo_mutex_);
+    const auto& slots = task_instances_[task];
+    uint32_t n = static_cast<uint32_t>(slots.size());
+    if (n == 0) {
+      return UnavailableError("entry task has no instances");
+    }
+    for (auto& tuple : tuples) {
+      DataItem item;
+      item.from = SourceId{kExternalTask, task};
+      item.ts = clock.Next();
+      item.user_tag = user_tag;
+      item.payload = std::move(tuple);
+
+      if (te.access == graph::AccessMode::kPartitioned) {
+        uint32_t dest = static_cast<uint32_t>(
+            item.payload[te.entry_key_field].Hash() % n);
+        if (ext_buffer != nullptr) {
+          ext_buffer->Append(item, dest);
+        }
+        stage(dest, slots[dest] ? slots[dest].get() : nullptr, std::move(item));
+      } else if (te.access == graph::AccessMode::kGlobal) {
+        item.barrier_id = barrier_seq_.fetch_add(1);
+        item.expected_partials = n;
+        for (uint32_t j = 0; j < n; ++j) {
+          if (ext_buffer != nullptr) {
+            ext_buffer->Append(item, j);
+          }
+          TaskInstance* ti = slots[j] ? slots[j].get() : nullptr;
+          if (j + 1 < n) {
+            stage(j, ti, item);
+          } else {
+            stage(j, ti, std::move(item));
+          }
+        }
+      } else {
+        // Local / stateless entries load-balance (one-to-any).
+        uint32_t dest = static_cast<uint32_t>(item.ts % n);
+        if (ext_buffer != nullptr) {
+          ext_buffer->Append(item, dest);
+        }
+        stage(dest, slots[dest] ? slots[dest].get() : nullptr, std::move(item));
+      }
+    }
+  }
+
+  for (auto& g : groups) {
+    if (g.ti == nullptr) {
+      continue;  // lost instance: the buffer retains the items for replay
     }
     // Injection crosses the client/cluster boundary: always serialise.
     if (options_.serialize_cross_node) {
-      auto bytes = it.ToBytes();
-      auto back = DataItem::FromBytes(bytes);
-      SDG_CHECK(back.ok()) << "self round-trip failed";
-      it = std::move(*back);
+      for (auto& item : g.items) {
+        item = SerializedRoundTrip(std::move(item));
+      }
     }
-    if (!ti->Deliver(std::move(it))) {
-      std::lock_guard<std::mutex> lock(inflight_mutex_);
-      --in_flight_;
-      inflight_cv_.notify_all();
+    const size_t count = g.items.size();
+    AccountDelivered(count);
+    size_t accepted = g.ti->DeliverAll(std::move(g.items));
+    if (accepted < count) {
+      AccountDone(count - accepted);  // closed mailbox rejected the tail
     }
   }
   return Status::Ok();
@@ -274,8 +422,24 @@ Status Deployment::OnOutput(std::string_view task, SinkFn fn) {
 }
 
 void Deployment::Drain() {
+  // AccountDone serialises on inflight_mutex_ before notifying, so checking
+  // the atomic under the lock cannot miss the 1->0 wakeup.
   std::unique_lock<std::mutex> lock(inflight_mutex_);
-  inflight_cv_.wait(lock, [&] { return in_flight_ <= 0; });
+  inflight_cv_.wait(lock, [&] { return in_flight_.value() <= 0; });
+}
+
+void Deployment::AccountDelivered(size_t count) {
+  in_flight_.Add(static_cast<int64_t>(count));
+}
+
+void Deployment::AccountDone(size_t count) {
+  if (in_flight_.Add(-static_cast<int64_t>(count)) <= 0) {
+    // Taking (and immediately dropping) the lock orders this notification
+    // after any Drain() caller's predicate check, closing the lost-wakeup
+    // window. Only the transition to zero pays it.
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_cv_.notify_all();
+  }
 }
 
 void Deployment::Shutdown() {
@@ -313,128 +477,220 @@ void Deployment::Shutdown() {
 
 // --- Routing -----------------------------------------------------------------
 
-void Deployment::RouteEmit(TaskInstance& src, size_t output, Tuple tuple,
-                           const DataItem& cause) {
+void Deployment::RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
+                            const DataItem& cause) {
   const auto& outs = out_edges_[src.task_id()];
-  if (output >= outs.size()) {
-    DeliverToSink(src.task_id(), tuple, cause.user_tag);
-    return;
-  }
-  DataItem item;
-  item.from = SourceId{src.task_id(), src.instance_id()};
-  item.ts = src.emit_clock().Next();
-  item.barrier_id = cause.barrier_id;
-  item.expected_partials = cause.expected_partials;
-  item.user_tag = cause.user_tag;
-  item.replayed = cause.replayed;  // derived items of replayed inputs dedupe too
-  item.payload = std::move(tuple);
-  RouteItem(*outs[output], &src, std::move(item));
-}
+  const uint32_t src_node = src.node();
 
-void Deployment::RouteItem(const graph::DataflowEdge& edge, TaskInstance* src,
-                           DataItem item) {
-  std::vector<std::pair<TaskInstance*, DataItem>> pushes;
-  uint32_t src_node = src != nullptr ? src->node() : UINT32_MAX;
+  // Items are staged into the calling worker's per-(downstream task,
+  // destination instance) delivery groups. A TE fans out to a handful of
+  // destinations at most, so a flat vector with a linear scan beats a map.
+  // Items stay in emit order within a group, which preserves per-(source,
+  // destination) FIFO delivery: a group's items are pushed as one contiguous
+  // batch, and only this worker thread emits for this source.
+  std::vector<StagedGroup>& groups = tl_staged;
+  std::vector<Tuple>& sinks = tl_sink_tuples;
+  size_t staged_count = 0;
+
+  auto stage = [&](graph::TaskId task, uint32_t dest, DataItem item) {
+    ++staged_count;
+    for (auto& g : groups) {
+      if (g.task == task && g.dest == dest) {
+        g.items.push_back(std::move(item));
+        return;
+      }
+    }
+    groups.push_back(StagedGroup{task, dest, src_node, nullptr, {}});
+    groups.back().items.push_back(std::move(item));
+  };
+
+  // Mailbox depth a destination would have once this worker's staged items
+  // land; keeps join-shortest-queue decisions honest while deliveries are
+  // deferred to the end of the drained batch.
+  auto staged_depth = [&](graph::TaskId task, uint32_t dest) -> size_t {
+    for (const auto& g : groups) {
+      if (g.task == task && g.dest == dest) {
+        return g.items.size();
+      }
+    }
+    return 0;
+  };
+
+  // One shared topology-lock scope covers routing decisions for every emit
+  // of this input item; mailbox pushes happen after release.
   {
     std::shared_lock topo(topo_mutex_);
-    const auto& slots = task_instances_[edge.to];
-    uint32_t n = static_cast<uint32_t>(slots.size());
-    if (n == 0) {
-      return;
-    }
-    auto log_and_stage = [&](uint32_t dest, DataItem it) {
-      if (src != nullptr && buffering_enabled_) {
-        src->BufferFor(edge.to).Append(it, dest);
+    for (auto& emit : emits) {
+      if (emit.output >= outs.size()) {
+        sinks.push_back(std::move(emit.tuple));
+        continue;
       }
-      if (slots[dest]) {
-        pushes.emplace_back(slots[dest].get(), std::move(it));
+      const graph::DataflowEdge& edge = *outs[emit.output];
+      const auto& slots = task_instances_[edge.to];
+      uint32_t n = static_cast<uint32_t>(slots.size());
+      if (n == 0) {
+        continue;
       }
-    };
-    switch (edge.dispatch) {
-      case graph::Dispatch::kPartitioned: {
-        uint32_t dest = static_cast<uint32_t>(
-            item.payload[edge.key_field].Hash() % n);
-        log_and_stage(dest, std::move(item));
-        break;
-      }
-      case graph::Dispatch::kOneToAny: {
-        size_t edge_index = static_cast<size_t>(&edge - edges_.data());
-        uint32_t start = static_cast<uint32_t>(
-            rr_counters_[edge_index]->fetch_add(1) % n);
-        uint32_t dest = start;
-        if (options_.one_to_any == OneToAnyPolicy::kRoundRobin) {
-          // Strict fair share; skip dead instances only.
-          for (uint32_t tries = 0; tries < n && !slots[dest]; ++tries) {
-            dest = (dest + 1) % n;
-          }
-        } else {
-          // Join-shortest-queue with round-robin tie-breaking: a straggling
-          // instance naturally receives less work instead of its fair share
-          // (reactive load balancing, §3.3).
-          size_t min_depth = SIZE_MAX;
-          for (uint32_t j = 0; j < n; ++j) {
-            if (slots[j]) {
-              min_depth = std::min(min_depth, slots[j]->QueueDepth());
+      DataItem item;
+      item.from = SourceId{src.task_id(), src.instance_id()};
+      item.ts = src.emit_clock().Next();
+      item.barrier_id = cause.barrier_id;
+      item.expected_partials = cause.expected_partials;
+      item.user_tag = cause.user_tag;
+      item.replayed = cause.replayed;  // derived items of replayed inputs dedupe too
+      item.payload = std::move(emit.tuple);
+
+      switch (edge.dispatch) {
+        case graph::Dispatch::kPartitioned: {
+          uint32_t dest = static_cast<uint32_t>(
+              item.payload[edge.key_field].Hash() % n);
+          stage(edge.to, dest, std::move(item));
+          break;
+        }
+        case graph::Dispatch::kOneToAny: {
+          size_t edge_index = static_cast<size_t>(&edge - edges_.data());
+          uint32_t start = static_cast<uint32_t>(
+              rr_counters_[edge_index]->fetch_add(1) % n);
+          uint32_t dest = start;
+          if (options_.one_to_any == OneToAnyPolicy::kRoundRobin) {
+            // Strict fair share; skip dead instances only.
+            for (uint32_t tries = 0; tries < n && !slots[dest]; ++tries) {
+              dest = (dest + 1) % n;
+            }
+          } else {
+            // Join-shortest-queue with round-robin tie-breaking: a straggling
+            // instance naturally receives less work instead of its fair share
+            // (reactive load balancing, §3.3). Depth probes read the queues'
+            // relaxed size mirror — no lock taken per probe — plus this
+            // worker's own staged-but-unpushed items.
+            size_t min_depth = SIZE_MAX;
+            for (uint32_t j = 0; j < n; ++j) {
+              if (slots[j]) {
+                min_depth = std::min(
+                    min_depth, slots[j]->QueueDepth() + staged_depth(edge.to, j));
+              }
+            }
+            if (min_depth == SIZE_MAX) {
+              break;  // no alive instance
+            }
+            for (uint32_t tries = 0; tries < n; ++tries) {
+              uint32_t candidate = (start + tries) % n;
+              if (slots[candidate] &&
+                  slots[candidate]->QueueDepth() +
+                          staged_depth(edge.to, candidate) <=
+                      min_depth) {
+                dest = candidate;
+                break;
+              }
             }
           }
-          if (min_depth == SIZE_MAX) {
-            break;  // no alive instance
+          stage(edge.to, dest, std::move(item));
+          break;
+        }
+        case graph::Dispatch::kOneToAll: {
+          // A broadcast over partial instances opens a barrier (§4.2 rule 3).
+          item.barrier_id = barrier_seq_.fetch_add(1);
+          uint32_t alive = 0;
+          for (uint32_t j = 0; j < n; ++j) {
+            if (slots[j]) {
+              ++alive;
+            }
           }
-          for (uint32_t tries = 0; tries < n; ++tries) {
-            uint32_t candidate = (start + tries) % n;
-            if (slots[candidate] &&
-                slots[candidate]->QueueDepth() <= min_depth) {
-              dest = candidate;
+          item.expected_partials = alive;
+          uint32_t fanned = 0;
+          for (uint32_t j = 0; j < n; ++j) {
+            if (slots[j]) {
+              ++fanned;
+              if (fanned < alive) {
+                stage(edge.to, j, item);
+              } else {
+                stage(edge.to, j, std::move(item));
+              }
+            }
+          }
+          break;
+        }
+        case graph::Dispatch::kAllToOne: {
+          // Gather at the collector's first alive instance.
+          uint32_t dest = 0;
+          for (uint32_t j = 0; j < n; ++j) {
+            if (slots[j]) {
+              dest = j;
               break;
             }
           }
+          stage(edge.to, dest, std::move(item));
+          break;
         }
-        log_and_stage(dest, std::move(item));
-        break;
-      }
-      case graph::Dispatch::kOneToAll: {
-        // A broadcast over partial instances opens a barrier (§4.2 rule 3).
-        item.barrier_id = barrier_seq_.fetch_add(1);
-        uint32_t alive = 0;
-        for (uint32_t j = 0; j < n; ++j) {
-          if (slots[j]) {
-            ++alive;
-          }
-        }
-        item.expected_partials = alive;
-        uint32_t staged = 0;
-        for (uint32_t j = 0; j < n; ++j) {
-          if (slots[j]) {
-            ++staged;
-            if (staged < alive) {
-              log_and_stage(j, item);
-            } else {
-              log_and_stage(j, std::move(item));
-            }
-          }
-        }
-        break;
-      }
-      case graph::Dispatch::kAllToOne: {
-        // Gather at the collector's first alive instance.
-        uint32_t dest = 0;
-        for (uint32_t j = 0; j < n; ++j) {
-          if (slots[j]) {
-            dest = j;
-            break;
-          }
-        }
-        log_and_stage(dest, std::move(item));
-        break;
       }
     }
   }
 
-  for (auto& [ti, it] : pushes) {
-    DeliverTo(edge.to, ti->instance_id(), std::move(it), src_node);
-    // DeliverTo resolves the instance again; pass-through kept simple.
-    (void)ti;
+  // Staged items count as in flight from here: the causing input item is
+  // only released (OnItemsDone) after they are flushed, so Drain() cannot
+  // observe a moment where they are invisible.
+  AccountDelivered(staged_count);
+
+  if (buffering_enabled_) {
+    // Upstream-backup log first — an item must be in its source's buffer
+    // before any downstream effect of it can be checkpointed — then flush
+    // inside this item's step-lock scope. Deferring delivery past the step
+    // lock would let a checkpoint cover the item while its outputs sit
+    // undelivered in this thread; a downstream replay plus the late original
+    // push would then double-deliver (originals carry replayed=false and
+    // bypass dedup). With buffering off no replay exists, so OnItemsDone
+    // flushes once per drained batch instead.
+    for (auto& g : groups) {
+      src.BufferFor(g.task).AppendAll(g.items, g.dest);
+    }
+    FlushStagedDeliveries();
   }
+  for (auto& tuple : sinks) {
+    DeliverToSink(src.task_id(), tuple, cause.user_tag);
+  }
+  sinks.clear();
+}
+
+void Deployment::FlushStagedDeliveries() {
+  std::vector<StagedGroup>& groups = tl_staged;
+  if (groups.empty()) {
+    return;
+  }
+  // Resolve every destination under one shared topology-lock scope; pushes
+  // happen after release (a blocking push under the topology lock could
+  // stall writers, and readers behind them, on a full mailbox). The resolved
+  // pointers stay valid past the unlock: killed instances move to the
+  // graveyard and are only reclaimed by later recovery/shutdown.
+  {
+    std::shared_lock topo(topo_mutex_);
+    for (auto& g : groups) {
+      const auto& slots = task_instances_[g.task];
+      g.ti = (g.dest < slots.size() && slots[g.dest]) ? slots[g.dest].get()
+                                                      : nullptr;
+    }
+  }
+  for (auto& g : groups) {
+    if (g.ti == nullptr) {
+      // Destination lost between staging and flush. When buffering, the
+      // upstream log already retains the items for replay; either way they
+      // leave the in-flight count.
+      AccountDone(g.items.size());
+      continue;
+    }
+    // Items crossing a node boundary are serialised to keep the location-
+    // independence contract honest (§4.1).
+    if (options_.serialize_cross_node && g.ti->node() != g.src_node) {
+      for (auto& item : g.items) {
+        item = SerializedRoundTrip(std::move(item));
+      }
+    }
+    const size_t count = g.items.size();
+    size_t accepted = g.ti->DeliverAll(std::move(g.items));
+    if (accepted < count) {
+      AccountDone(count - accepted);  // closed mailbox rejected the tail
+    }
+  }
+  groups.clear();
 }
 
 void Deployment::DeliverTo(graph::TaskId task, uint32_t dest, DataItem item,
@@ -451,19 +707,13 @@ void Deployment::DeliverTo(graph::TaskId task, uint32_t dest, DataItem item,
   // Items crossing a node boundary are serialised to keep the location-
   // independence contract honest (§4.1).
   if (options_.serialize_cross_node && ti->node() != src_node) {
-    auto bytes = item.ToBytes();
-    auto back = DataItem::FromBytes(bytes);
-    SDG_CHECK(back.ok()) << "cross-node round-trip failed";
-    item = std::move(*back);
+    item = SerializedRoundTrip(std::move(item));
   }
-  {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    ++in_flight_;
-  }
+  AccountDelivered(1);
   if (!ti->Deliver(std::move(item))) {
-    std::lock_guard<std::mutex> lock(inflight_mutex_);
-    --in_flight_;
-    inflight_cv_.notify_all();
+    // A closed mailbox rejected the item: release it through the same
+    // accounting helper the success path uses.
+    AccountDone(1);
   }
 }
 
@@ -481,11 +731,12 @@ void Deployment::DeliverToSink(graph::TaskId task, const Tuple& tuple,
   fn(tuple, user_tag);
 }
 
-void Deployment::OnItemDone() {
-  std::lock_guard<std::mutex> lock(inflight_mutex_);
-  if (--in_flight_ <= 0) {
-    inflight_cv_.notify_all();
-  }
+void Deployment::OnItemsDone(size_t count) {
+  // Push everything this worker staged during the batch before releasing the
+  // batch's own in-flight count — staged items were accounted at staging
+  // time, so in_flight_ never dips to zero while they are pending.
+  FlushStagedDeliveries();
+  AccountDone(count);
 }
 
 double Deployment::NodeSpeed(uint32_t node) const {
@@ -702,7 +953,7 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
     uint32_t j = static_cast<uint32_t>(slots.size());
     uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
     slots.push_back(std::make_unique<TaskInstance>(
-        te, j, node, nullptr, this, options_.mailbox_capacity));
+        te, j, node, nullptr, this, options_.mailbox_capacity, options_.max_batch));
     slots.back()->Start();
     return Status::Ok();
   }
@@ -737,13 +988,20 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
         if (i == j || !group.instances[i]) {
           continue;
         }
-        state::StateBackend* target = group.instances[j].get();
+        // Collect the moving records first, restore after ExtractPartition
+        // returns: restoring from inside the extraction callback would hold
+        // two SE-instance locks at once, in both (i, j) orders across the
+        // pairwise loop — a lock-order inversion.
+        std::vector<std::vector<uint8_t>> moving;
         Status s = group.instances[i]->ExtractPartition(
-            j, new_k, [target](uint64_t, const uint8_t* p, size_t n) {
-              Status rs = target->RestoreRecord(p, n);
-              SDG_CHECK(rs.ok()) << "re-shard restore failed: " << rs.ToString();
+            j, new_k, [&moving](uint64_t, const uint8_t* p, size_t n) {
+              moving.emplace_back(p, p + n);
             });
         SDG_RETURN_IF_ERROR(s);
+        for (const auto& rec : moving) {
+          Status rs = group.instances[j]->RestoreRecord(rec.data(), rec.size());
+          SDG_CHECK(rs.ok()) << "re-shard restore failed: " << rs.ToString();
+        }
       }
     }
   } else {
@@ -761,7 +1019,7 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
     SDG_CHECK(slots.size() == j) << "group instance counts diverged";
     slots.push_back(std::make_unique<TaskInstance>(
         sdg_.task(accessor), j, node, group.instances[j].get(), this,
-        options_.mailbox_capacity));
+        options_.mailbox_capacity, options_.max_batch));
     slots.back()->Start();
   }
   return Status::Ok();
@@ -1190,7 +1448,8 @@ Status Deployment::RecoverNode(uint32_t failed,
           slots.resize(inst + 1);
         }
         slots[inst] = std::make_unique<TaskInstance>(
-            te, inst, node, backend, this, options_.mailbox_capacity);
+            te, inst, node, backend, this, options_.mailbox_capacity,
+            options_.max_batch);
         slots[inst]->emit_clock().AdvanceTo(tm.emit_clock);
         slots[inst]->RestoreLastSeen(seen);
         new_instances.push_back(slots[inst].get());
@@ -1215,13 +1474,22 @@ Status Deployment::RecoverNode(uint32_t failed,
   // (downstream dedups by timestamp), then ask upstreams to replay inputs
   // past the checkpoint's vector timestamp.
   for (auto* ti : new_instances) {
+    // Snapshot under the buffer lock, deliver after: DeliverTo takes the
+    // topology lock, which elsewhere (RestoreBuffers under the exclusive
+    // scope above) is held while buffer locks are taken — delivering from
+    // inside ForEachBuffer would invert that order.
+    std::vector<std::pair<graph::TaskId, std::vector<OutputBuffer::Entry>>>
+        logged;
     ti->ForEachBuffer([&](graph::TaskId downstream, OutputBuffer& buffer) {
-      for (auto& entry : buffer.Snapshot()) {
-        DataItem item = entry.item;
+      logged.emplace_back(downstream, buffer.Snapshot());
+    });
+    for (auto& [downstream, entries] : logged) {
+      for (auto& entry : entries) {
+        DataItem item = std::move(entry.item);
         item.replayed = true;
         DeliverTo(downstream, entry.dest_instance, std::move(item), UINT32_MAX);
       }
-    });
+    }
   }
 
   for (auto* ti : new_instances) {

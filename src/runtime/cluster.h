@@ -86,6 +86,11 @@ enum class OneToAnyPolicy {
 struct ClusterOptions {
   uint32_t num_nodes = 4;
   size_t mailbox_capacity = 1 << 16;
+  // Maximum items a worker drains from its mailbox per wakeup. Larger
+  // batches amortise the mailbox lock, condvar wakeup and in-flight report;
+  // 1 reproduces strict item-at-a-time processing. Per-source FIFO order is
+  // unaffected either way.
+  size_t max_batch = 256;
   OneToAnyPolicy one_to_any = OneToAnyPolicy::kJoinShortestQueue;
   // Serialise/deserialise items that cross node boundaries (realistic cost;
   // disable only for microbenchmarks of pure processing).
@@ -113,6 +118,15 @@ class Deployment final : public RuntimeHooks {
 
   // Feeds one data item into the named entry TE. Thread-safe.
   Status Inject(std::string_view entry, Tuple tuple, uint64_t user_tag = 0);
+
+  // Feeds a batch of data items into the named entry TE under one
+  // (clock, dispatch) critical section, delivering per destination instance
+  // with one mailbox push per group. Equivalent to calling Inject for each
+  // tuple in order (same per-source FIFO timestamps), but amortises the
+  // ingest-gate, topology-lock and mailbox synchronisation over the batch.
+  // Thread-safe.
+  Status InjectAll(std::string_view entry, std::vector<Tuple> tuples,
+                   uint64_t user_tag = 0);
 
   // Registers the sink for tuples `task` emits beyond its out-edges.
   Status OnOutput(std::string_view task, SinkFn fn);
@@ -179,11 +193,11 @@ class Deployment final : public RuntimeHooks {
   std::string DescribeTopology() const;
 
   // --- RuntimeHooks ----------------------------------------------------------
-  void RouteEmit(TaskInstance& src, size_t output, Tuple tuple,
-                 const DataItem& cause) override;
+  void RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
+                  const DataItem& cause) override;
   void DeliverToSink(graph::TaskId task, const Tuple& tuple,
                      uint64_t user_tag) override;
-  void OnItemDone() override;
+  void OnItemsDone(size_t count) override;
   double NodeSpeed(uint32_t node) const override;
   uint32_t NumInstances(graph::TaskId task) const override;
 
@@ -200,12 +214,25 @@ class Deployment final : public RuntimeHooks {
   // instance = entry TE id.
   static constexpr uint32_t kExternalTask = 0xFFFFFFFFu;
 
-  // Requires shared topo lock.
-  void RouteItem(const graph::DataflowEdge& edge, TaskInstance* src,
-                 DataItem item);
   void DeliverTo(graph::TaskId task, uint32_t dest, DataItem item,
                  uint32_t src_node);
   uint32_t PickLeastLoadedNode(bool avoid_stragglers) const;
+
+  // In-flight accounting: every delivered item is counted before its mailbox
+  // push and released exactly once — after processing, or immediately when a
+  // closed mailbox rejects it or its destination instance is lost. All paths
+  // go through these two helpers.
+  void AccountDelivered(size_t count);
+  void AccountDone(size_t count);
+
+  // Delivers every group the calling worker thread staged in RouteEmits:
+  // destination instances are re-resolved under the topology lock (staged
+  // groups hold no instance pointers), items crossing a node boundary are
+  // serialised, and each group lands with one mailbox push. Groups whose
+  // destination is gone are dropped and released from in-flight accounting.
+  // Called per input item when upstream backup is on, per drained mailbox
+  // batch otherwise.
+  void FlushStagedDeliveries();
 
   Status CheckpointNodeLocked(uint32_t node);
   void CheckpointDriverLoop();
@@ -243,10 +270,12 @@ class Deployment final : public RuntimeHooks {
   std::atomic<uint64_t> barrier_seq_{1};
   std::vector<std::unique_ptr<std::atomic<uint64_t>>> rr_counters_;  // per edge
 
-  // In-flight accounting for Drain().
+  // In-flight accounting for Drain(): a padded atomic keeps the per-item
+  // (per-batch) hot path lock-free; the mutex/condvar pair exists only to
+  // park Drain() callers and is touched solely on the 1->0 transition.
+  Gauge in_flight_;
   std::mutex inflight_mutex_;
   std::condition_variable inflight_cv_;
-  int64_t in_flight_ = 0;
 
   // Fault tolerance.
   // Upstream-backup logging only pays off when checkpoints exist to trim it;

@@ -76,7 +76,13 @@ struct DataItem {
   }
 
   static Result<DataItem> FromBytes(const std::vector<uint8_t>& bytes) {
-    BinaryReader r(bytes);
+    return FromBytes(bytes.data(), bytes.size());
+  }
+
+  // Zero-copy span path: reads directly out of caller-owned bytes (e.g. a
+  // reused thread-local scratch buffer) without materialising a vector.
+  static Result<DataItem> FromBytes(const uint8_t* data, size_t size) {
+    BinaryReader r(data, size);
     return Deserialize(r);
   }
 };

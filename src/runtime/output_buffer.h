@@ -31,6 +31,15 @@ class OutputBuffer {
     entries_.push_back(Entry{item, dest_instance});
   }
 
+  // Logs a whole batch destined to one instance under a single lock hold
+  // (the batch-delivery path appends per destination group).
+  void AppendAll(const std::vector<DataItem>& items, uint32_t dest_instance) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& item : items) {
+      entries_.push_back(Entry{item, dest_instance});
+    }
+  }
+
   // Records that `dest_instance` has durably checkpointed items from this
   // source up to `acked_ts`, then drops every entry covered by the
   // acknowledgements seen so far.

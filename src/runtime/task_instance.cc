@@ -6,17 +6,31 @@
 
 namespace sdg::runtime {
 
-// TaskContext implementation bound to one (instance, input item) pair.
+// TaskContext implementation bound to one (instance, input item) pair. Emits
+// are coalesced into a scratch vector owned by the worker loop and routed as
+// one batch after the task function returns — one routing pass (one
+// topology-lock scope) per input item instead of one per emit, and no
+// per-item allocation once the scratch capacity has warmed up.
 class InstanceTaskContext final : public graph::TaskContext {
  public:
   InstanceTaskContext(TaskInstance& ti, const DataItem& cause,
-                      uint32_t num_instances)
-      : ti_(ti), cause_(cause), num_instances_(num_instances) {}
+                      uint32_t num_instances, std::vector<PendingEmit>& emits)
+      : ti_(ti), cause_(cause), num_instances_(num_instances), emits_(emits) {}
 
   state::StateBackend* state() override { return ti_.state_; }
 
   void Emit(size_t output, Tuple tuple) override {
-    ti_.hooks_->RouteEmit(ti_, output, std::move(tuple), cause_);
+    emits_.push_back(PendingEmit{output, std::move(tuple)});
+  }
+
+  // Routes everything emitted so far. Called under the worker's step lock,
+  // so emitted timestamps stay consistent with the checkpoint cut.
+  void Flush() {
+    if (emits_.empty()) {
+      return;
+    }
+    ti_.hooks_->RouteEmits(ti_, emits_, cause_);
+    emits_.clear();
   }
 
   uint32_t instance_id() const override { return ti_.instance_; }
@@ -26,17 +40,20 @@ class InstanceTaskContext final : public graph::TaskContext {
   TaskInstance& ti_;
   const DataItem& cause_;
   uint32_t num_instances_;
+  std::vector<PendingEmit>& emits_;
 };
 
 TaskInstance::TaskInstance(const graph::TaskElement& te, uint32_t instance,
                            uint32_t node, state::StateBackend* state,
-                           RuntimeHooks* hooks, size_t mailbox_capacity)
+                           RuntimeHooks* hooks, size_t mailbox_capacity,
+                           size_t max_batch)
     : te_(te),
       instance_(instance),
       node_(node),
       state_(state),
       hooks_(hooks),
-      mailbox_(mailbox_capacity) {}
+      mailbox_(mailbox_capacity),
+      max_batch_(max_batch < 1 ? 1 : max_batch) {}
 
 TaskInstance::~TaskInstance() {
   Abort();
@@ -60,6 +77,10 @@ void TaskInstance::Join() {
 
 bool TaskInstance::Deliver(DataItem item) {
   return mailbox_.Push(std::move(item));
+}
+
+size_t TaskInstance::DeliverAll(std::vector<DataItem>&& items) {
+  return mailbox_.PushAll(std::move(items));
 }
 
 std::map<SourceId, uint64_t> TaskInstance::LastSeenSnapshot() const {
@@ -96,19 +117,24 @@ void TaskInstance::ForEachBuffer(
 }
 
 void TaskInstance::WorkerLoop() {
+  std::deque<DataItem> batch;
+  std::vector<PendingEmit> emit_scratch;
   while (true) {
-    auto item = mailbox_.Pop();
-    if (!item.has_value()) {
+    size_t drained = mailbox_.PopAll(batch, max_batch_);
+    if (drained == 0) {
       return;  // closed and drained, or aborted
     }
     int64_t start_ns = Stopwatch::NowNanos();
-    {
+    // The step lock is re-acquired per item so a checkpoint can still cut in
+    // between any two items of a batch (§5's "minimal interruption").
+    for (const auto& item : batch) {
       std::lock_guard<std::mutex> step(step_mutex_);
-      ProcessItem(*item);
+      ProcessItem(item, emit_scratch);
     }
-    hooks_->OnItemDone();
+    batch.clear();
+    hooks_->OnItemsDone(drained);
     // Straggler simulation: a node with speed s < 1 takes 1/s times as long
-    // per item; pad the difference.
+    // per item; pad the batch by the difference.
     double speed = hooks_->NodeSpeed(node_);
     if (speed < 1.0 && speed > 0.0) {
       int64_t took = Stopwatch::NowNanos() - start_ns;
@@ -120,7 +146,8 @@ void TaskInstance::WorkerLoop() {
   }
 }
 
-void TaskInstance::ProcessItem(const DataItem& item) {
+void TaskInstance::ProcessItem(const DataItem& item,
+                               std::vector<PendingEmit>& emit_scratch) {
   // Duplicate detection (§5): only replayed items are checked — in normal
   // operation per-source FIFO delivery makes duplicates impossible, and
   // checking would mis-drop items rerouted by repartitioning.
@@ -130,11 +157,12 @@ void TaskInstance::ProcessItem(const DataItem& item) {
   }
 
   uint32_t num_instances = hooks_->NumInstances(te_.id);
+  emit_scratch.clear();
+  InstanceTaskContext ctx(*this, item, num_instances, emit_scratch);
   if (te_.is_collector()) {
     // All-to-one barrier: gather the partials of this item's barrier until
     // all expected instances have reported, then run the merge logic (§3.2).
     if (item.barrier_id == 0) {
-      InstanceTaskContext ctx(*this, item, num_instances);
       te_.collector({item.payload}, ctx);
     } else {
       auto& pending = pending_barriers_[item.barrier_id];
@@ -144,14 +172,13 @@ void TaskInstance::ProcessItem(const DataItem& item) {
       if (pending.partials.size() >= pending.expected) {
         PendingBarrier done = std::move(pending);
         pending_barriers_.erase(item.barrier_id);
-        InstanceTaskContext ctx(*this, item, num_instances);
         te_.collector(done.partials, ctx);
       }
     }
   } else {
-    InstanceTaskContext ctx(*this, item, num_instances);
     te_.fn(item.payload, ctx);
   }
+  ctx.Flush();
 
   {
     std::lock_guard<std::mutex> lock(seen_mutex_);

@@ -1,9 +1,12 @@
 // TaskInstance: one materialised instance of a task element on a node.
 //
 // TEs are not scheduled; the whole SDG is materialised (§3.1). Every instance
-// owns a mailbox and a worker thread that pops one data item at a time,
-// processes it against the instance's local SE, and emits results downstream
-// — a fully pipelined execution with no scheduling overhead.
+// owns a mailbox and a worker thread that drains a batch of data items per
+// wakeup, processes them one at a time against the instance's local SE, and
+// emits results downstream — a fully pipelined execution with no scheduling
+// overhead. Batching changes only how often the worker touches shared
+// synchronisation (one mailbox lock and one in-flight report per batch, not
+// per item); items are still processed strictly in per-source FIFO order.
 //
 // The instance also carries the recovery protocol's per-instance state (§5):
 // the emit clock issuing outgoing timestamps, the vector of last-seen
@@ -14,6 +17,7 @@
 #define SDG_RUNTIME_TASK_INSTANCE_H_
 
 #include <atomic>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -32,23 +36,36 @@ namespace sdg::runtime {
 
 class TaskInstance;
 
+// One tuple emitted by task code, tagged with the out-edge index it was
+// emitted on. Emits are coalesced per input item and routed as one batch.
+struct PendingEmit {
+  size_t output = 0;
+  Tuple tuple;
+};
+
 // Callbacks a TaskInstance needs from the deployment. Implemented by
 // Deployment; kept abstract so TaskInstance has no dependency on it.
 class RuntimeHooks {
  public:
   virtual ~RuntimeHooks() = default;
 
-  // Routes `tuple` along the `output`-th out-edge of src's TE. `cause` is the
-  // input item being processed (propagates barrier id and user tag).
-  virtual void RouteEmit(TaskInstance& src, size_t output, Tuple tuple,
-                         const DataItem& cause) = 0;
+  // Routes every tuple `src` emitted while processing one input item, in
+  // emit order. Each emit travels the `output`-th out-edge of src's TE (or
+  // to the TE's sink when past the last out-edge). `cause` is the input item
+  // being processed (propagates barrier id and user tag). The vector is
+  // scratch owned by the worker loop: implementations may move tuples out of
+  // it but must leave the vector itself reusable (the caller clears it after
+  // the call, retaining capacity across items).
+  virtual void RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
+                          const DataItem& cause) = 0;
 
   // Delivers a tuple emitted past the last out-edge to the TE's sink.
   virtual void DeliverToSink(graph::TaskId task, const Tuple& tuple,
                              uint64_t user_tag) = 0;
 
-  // Called once per item after processing completes (in-flight accounting).
-  virtual void OnItemDone() = 0;
+  // Called once per drained mailbox batch, after all `count` items have been
+  // processed (in-flight accounting).
+  virtual void OnItemsDone(size_t count) = 0;
 
   // Speed factor of `node` (1.0 = nominal; <1 simulates a straggler).
   virtual double NodeSpeed(uint32_t node) const = 0;
@@ -61,7 +78,7 @@ class TaskInstance {
  public:
   TaskInstance(const graph::TaskElement& te, uint32_t instance, uint32_t node,
                state::StateBackend* state, RuntimeHooks* hooks,
-               size_t mailbox_capacity);
+               size_t mailbox_capacity, size_t max_batch);
   ~TaskInstance();
 
   TaskInstance(const TaskInstance&) = delete;
@@ -76,6 +93,9 @@ class TaskInstance {
 
   // Enqueues an item; returns false if the mailbox is closed.
   bool Deliver(DataItem item);
+  // Enqueues a batch under one mailbox lock acquisition; returns the number
+  // accepted (< items.size() only if the mailbox closed mid-push).
+  size_t DeliverAll(std::vector<DataItem>&& items);
 
   const graph::TaskElement& te() const { return te_; }
   graph::TaskId task_id() const { return te_.id; }
@@ -93,7 +113,8 @@ class TaskInstance {
 
   // --- Recovery protocol state ----------------------------------------------
 
-  // The step lock is held by the worker while processing one item; the
+  // The step lock is held by the worker while processing one item (it is
+  // re-acquired per item even when the worker drains a batch); the
   // checkpointer takes it to capture a consistent (SE, meta) cut with only a
   // brief interruption (§5).
   std::mutex& step_mutex() { return step_mutex_; }
@@ -114,7 +135,7 @@ class TaskInstance {
   friend class InstanceTaskContext;
 
   void WorkerLoop();
-  void ProcessItem(const DataItem& item);
+  void ProcessItem(const DataItem& item, std::vector<PendingEmit>& emit_scratch);
 
   const graph::TaskElement te_;  // copy: survives graph changes & rescaling
   const uint32_t instance_;
@@ -123,6 +144,7 @@ class TaskInstance {
   RuntimeHooks* const hooks_;
 
   BoundedQueue<DataItem> mailbox_;
+  const size_t max_batch_;
   std::thread worker_;
   std::atomic<bool> started_{false};
 

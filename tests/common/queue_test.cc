@@ -125,5 +125,155 @@ TEST(BoundedQueueTest, MoveOnlyItems) {
   EXPECT_EQ(**item, 5);
 }
 
+TEST(BoundedQueueTest, PushAllPopAllRoundTripInOrder) {
+  BoundedQueue<int> q(8);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(q.PushAll(std::move(in)), 5u);
+  EXPECT_EQ(q.size(), 5u);
+
+  std::deque<int> out;
+  EXPECT_EQ(q.PopAll(out, 3), 3u);  // bounded by max
+  EXPECT_EQ(q.PopAll(out, 100), 2u);  // bounded by contents
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i], i + 1);  // FIFO preserved across batch pops
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(BoundedQueueTest, PushAllLargerThanCapacityChunksThrough) {
+  BoundedQueue<int> q(4);
+  std::vector<int> in(64);
+  for (int i = 0; i < 64; ++i) {
+    in[i] = i;
+  }
+  std::thread producer([&] { EXPECT_EQ(q.PushAll(std::move(in)), 64u); });
+
+  std::deque<int> out;
+  int expected = 0;
+  while (expected < 64) {
+    std::deque<int> batch;
+    size_t n = q.PopAll(batch, 16);
+    ASSERT_GT(n, 0u);
+    for (int v : batch) {
+      EXPECT_EQ(v, expected++);  // chunking never reorders
+    }
+  }
+  producer.join();
+}
+
+TEST(BoundedQueueTest, PopAllAfterCloseDrainsThenReportsZero) {
+  BoundedQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  std::deque<int> out;
+  EXPECT_EQ(q.PopAll(out, 100), 2u);  // close drains remaining items first
+  EXPECT_EQ(q.PopAll(out, 100), 0u);  // then reports closed-and-drained
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(BoundedQueueTest, PushAllOnClosedQueueEnqueuesNothing) {
+  BoundedQueue<int> q(8);
+  q.Close();
+  std::vector<int> in = {1, 2, 3};
+  EXPECT_EQ(q.PushAll(std::move(in)), 0u);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, AbortDropsItemsAndUnblocksBatchConsumers) {
+  BoundedQueue<int> q(8);
+  q.Push(1);
+  q.Push(2);
+
+  std::deque<int> out;
+  std::atomic<size_t> popped{1};
+  std::thread consumer([&] {
+    std::deque<int> ignored;
+    q.PopAll(ignored, 100);      // drains the two queued items...
+    popped = q.PopAll(out, 100);  // ...then blocks until the abort
+  });
+  while (q.size() > 0) {
+    std::this_thread::yield();
+  }
+  q.Abort();
+  consumer.join();
+  EXPECT_EQ(popped.load(), 0u);  // abort discards, never hands out items
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(BoundedQueueTest, TryPushFailsOnFullThenSucceedsAfterPopAll) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full
+  std::deque<int> out;
+  EXPECT_EQ(q.PopAll(out, 100), 2u);
+  EXPECT_TRUE(q.TryPush(3));  // batch pop freed capacity
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueTest, ApproxSizeStaysInRangeUnderConcurrency) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 4000;
+  BoundedQueue<int> q(32);
+
+  std::atomic<bool> stop{false};
+  // The probe hammers size() while producers and consumers mutate the queue:
+  // the relaxed mirror must always stay within [0, capacity] (size_t
+  // underflow would show up as a huge value).
+  std::thread probe([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t s = q.size();
+      EXPECT_LE(s, q.capacity());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      std::vector<int> chunk;
+      for (int i = 0; i < kPerProducer; ++i) {
+        chunk.push_back(i);
+        if (chunk.size() == 16) {
+          ASSERT_EQ(q.PushAll(std::move(chunk)), 16u);
+          chunk = {};
+        }
+      }
+      if (!chunk.empty()) {
+        size_t n = chunk.size();
+        ASSERT_EQ(q.PushAll(std::move(chunk)), n);
+      }
+    });
+  }
+  std::atomic<int> consumed{0};
+  std::thread consumer([&] {
+    std::deque<int> batch;
+    while (true) {
+      batch.clear();
+      size_t n = q.PopAll(batch, 24);
+      if (n == 0) {
+        return;
+      }
+      consumed += static_cast<int>(n);
+    }
+  });
+
+  for (auto& t : producers) {
+    t.join();
+  }
+  q.Close();
+  consumer.join();
+  stop = true;
+  probe.join();
+
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace sdg
