@@ -1,0 +1,142 @@
+#include "src/apps/reference_models.h"
+
+#include <limits>
+
+namespace sdg::apps {
+
+std::optional<std::string> KvReferenceModel::Get(int64_t key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void WordCountReferenceModel::AddLine(const std::string& text) {
+  // Same split rule as the "line" TE: single-space separators, empty
+  // segments skipped.
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find(' ', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (end > start) {
+      ++counts_[text.substr(start, end - start)];
+    }
+    start = end + 1;
+  }
+}
+
+int64_t WordCountReferenceModel::CountOf(const std::string& word) const {
+  auto it = counts_.find(word);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+LrReferenceModel::LrReferenceModel(const LrOptions& options)
+    : options_(options), weights_(options.dimensions, 0.0) {}
+
+void LrReferenceModel::Train(const std::vector<double>& x, int64_t y) {
+  const size_t dims = options_.dimensions;
+  const double lr = options_.learning_rate;
+  double z = 0;
+  for (size_t i = 0; i < dims && i < x.size(); ++i) {
+    z += weights_[i] * x[i];
+  }
+  double err = LrSigmoid(z) - static_cast<double>(y);
+  for (size_t i = 0; i < dims && i < x.size(); ++i) {
+    weights_[i] += -lr * err * x[i];
+  }
+}
+
+KMeansReferenceModel::KMeansReferenceModel(const KMeansOptions& options)
+    : k_(options.clusters), d_(options.dimensions) {
+  centroids_ = options.initial_centroids;
+  if (centroids_.empty()) {
+    centroids_.assign(static_cast<size_t>(k_) * d_, 0.0);
+    for (uint32_t i = 0; i < k_; ++i) {
+      centroids_[i * d_ + i % d_] = 1.0 + static_cast<double>(i / d_);
+    }
+  }
+  sums_.assign(static_cast<size_t>(k_) * (d_ + 1), 0.0);
+}
+
+uint32_t KMeansReferenceModel::Assign(const std::vector<double>& x) {
+  uint32_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (uint32_t c = 0; c < k_; ++c) {
+    double dist = 0;
+    for (size_t j = 0; j < d_ && j < x.size(); ++j) {
+      double diff = centroids_[c * d_ + j] - x[j];
+      dist += diff * diff;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  for (size_t j = 0; j < d_ && j < x.size(); ++j) {
+    sums_[best * (d_ + 1) + j] += x[j];
+  }
+  sums_[best * (d_ + 1) + d_] += 1.0;
+  return best;
+}
+
+void KMeansReferenceModel::Step() {
+  for (uint32_t c = 0; c < k_; ++c) {
+    double count = sums_[c * (d_ + 1) + d_];
+    if (count <= 0) {
+      continue;  // empty clusters keep their previous position (applyModel)
+    }
+    for (size_t j = 0; j < d_; ++j) {
+      centroids_[c * d_ + j] = sums_[c * (d_ + 1) + j] / count;
+    }
+  }
+  sums_.assign(sums_.size(), 0.0);
+}
+
+CfReferenceModel::CfReferenceModel(const CfOptions& options)
+    : num_items_(options.num_items) {}
+
+void CfReferenceModel::AddRating(int64_t user, int64_t item, double rating) {
+  auto& row = user_item_[user];
+  row[item] = rating;
+  // updateCoOcc: for every item the user rated positively, bump
+  // coOcc[item][i] and, off the diagonal, coOcc[i][item].
+  for (const auto& [i, v] : row) {
+    if (v > 0) {
+      co_occ_[item][i] += 1.0;
+      if (i != item) {
+        co_occ_[i][item] += 1.0;
+      }
+    }
+  }
+}
+
+std::vector<double> CfReferenceModel::GetRec(int64_t user) const {
+  std::vector<double> x(num_items_, 0.0);
+  auto uit = user_item_.find(user);
+  if (uit != user_item_.end()) {
+    for (const auto& [col, v] : uit->second) {
+      if (col >= 0 && static_cast<size_t>(col) < num_items_) {
+        x[static_cast<size_t>(col)] = v;
+      }
+    }
+  }
+  std::vector<double> rec(num_items_, 0.0);
+  for (const auto& [row, cols] : co_occ_) {
+    if (row < 0 || static_cast<size_t>(row) >= num_items_) {
+      continue;
+    }
+    double sum = 0.0;
+    for (const auto& [col, v] : cols) {
+      if (col >= 0 && static_cast<size_t>(col) < x.size()) {
+        sum += v * x[static_cast<size_t>(col)];
+      }
+    }
+    rec[static_cast<size_t>(row)] = sum;
+  }
+  return rec;
+}
+
+}  // namespace sdg::apps

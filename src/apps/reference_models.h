@@ -1,0 +1,97 @@
+// Single-threaded reference models for the SDG applications.
+//
+// Each model mirrors the state logic of one app exactly — same split rules,
+// same floating-point operation order where a single replica makes the
+// runtime deterministic — so a differential chaos harness can feed the same
+// seeded op stream to both the deployed SDG and the model and compare end
+// states after checkpoints, kills, recoveries and injected faults
+// (tests/harness/). The models hold no runtime dependency: verification
+// against a live Deployment lives in the harness.
+#ifndef SDG_APPS_REFERENCE_MODELS_H_
+#define SDG_APPS_REFERENCE_MODELS_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/apps/cf.h"
+#include "src/apps/kmeans.h"
+#include "src/apps/lr.h"
+
+namespace sdg::apps {
+
+// KV store (BuildKvSdg): put / get / del on a partitioned KeyedDict.
+class KvReferenceModel {
+ public:
+  void Put(int64_t key, std::string value) { entries_[key] = std::move(value); }
+  void Del(int64_t key) { entries_.erase(key); }
+  std::optional<std::string> Get(int64_t key) const;
+  const std::map<int64_t, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<int64_t, std::string> entries_;
+};
+
+// Wordcount (BuildWordCountSdg): space-split lines into per-word counts.
+class WordCountReferenceModel {
+ public:
+  void AddLine(const std::string& text);
+  int64_t CountOf(const std::string& word) const;
+  const std::map<std::string, int64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<std::string, int64_t> counts_;
+};
+
+// Logistic regression (BuildLrSdg with worker_replicas = 1): one SGD step
+// per Train call, float-op order identical to the "train" entry TE.
+class LrReferenceModel {
+ public:
+  explicit LrReferenceModel(const LrOptions& options);
+  void Train(const std::vector<double>& x, int64_t y);
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  LrOptions options_;
+  std::vector<double> weights_;
+};
+
+// K-means (BuildKMeansSdg with replicas = 1): Assign folds a point into the
+// sums, Step reconciles the sums into new centroids and resets them —
+// mirroring assign/accumulate/newModel/applyModel/resetSums.
+class KMeansReferenceModel {
+ public:
+  explicit KMeansReferenceModel(const KMeansOptions& options);
+  // Returns the chosen cluster (same tie-breaking as the app).
+  uint32_t Assign(const std::vector<double>& x);
+  void Step();
+  // Row-major clusters x dimensions, like DenseMatrix.
+  const std::vector<double>& centroids() const { return centroids_; }
+
+ private:
+  uint32_t k_;
+  size_t d_;
+  std::vector<double> centroids_;  // k x d
+  std::vector<double> sums_;       // k x (d+1); last column counts
+};
+
+// Collaborative filtering (BuildCfSdg with user_partitions = 1,
+// cooc_replicas = 1): AddRating mirrors updateUserItem + updateCoOcc,
+// GetRec mirrors getUserVec + getRecVec + merge.
+class CfReferenceModel {
+ public:
+  explicit CfReferenceModel(const CfOptions& options);
+  void AddRating(int64_t user, int64_t item, double rating);
+  std::vector<double> GetRec(int64_t user) const;
+
+ private:
+  size_t num_items_;
+  std::map<int64_t, std::map<int64_t, double>> user_item_;
+  std::map<int64_t, std::map<int64_t, double>> co_occ_;
+};
+
+}  // namespace sdg::apps
+
+#endif  // SDG_APPS_REFERENCE_MODELS_H_

@@ -98,6 +98,16 @@ Status BackupStore::WriteChunks(uint32_t node, uint64_t epoch,
   std::mutex status_mutex;
   Status first_error;
   for (uint32_t i = 0; i < chunks.size(); ++i) {
+    // The fault hook runs in this sequential issue loop (not in the pool) so
+    // "crash after chunk k" is deterministic: chunks before the failure point
+    // are flushed by the Wait below, chunks after it are never issued.
+    if (options_.fault_hook) {
+      Status s = options_.fault_hook("write_chunk", i, /*before=*/true);
+      if (!s.ok()) {
+        pool_.Wait();
+        return s;
+      }
+    }
     // Round-robin placement over the m backup nodes (step B3 of Fig. 4).
     uint32_t backup = i % options_.num_backup_nodes;
     const auto& chunk = chunks[i];
@@ -112,6 +122,13 @@ Status BackupStore::WriteChunks(uint32_t node, uint64_t epoch,
         }
       }
     });
+    if (options_.fault_hook) {
+      Status s = options_.fault_hook("write_chunk", i, /*before=*/false);
+      if (!s.ok()) {
+        pool_.Wait();
+        return s;
+      }
+    }
   }
   pool_.Wait();
   return first_error;
@@ -124,6 +141,13 @@ Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
   std::mutex status_mutex;
   Status first_error;
   for (uint32_t i = 0; i < num_chunks; ++i) {
+    if (options_.fault_hook) {
+      Status s = options_.fault_hook("read_chunk", i, /*before=*/true);
+      if (!s.ok()) {
+        pool_.Wait();
+        return s;
+      }
+    }
     uint32_t backup = i % options_.num_backup_nodes;
     fs::path path = ChunkPath(backup, node, epoch, name, i);
     pool_.Submit([this, backup, path, i, &chunks, &status_mutex, &first_error] {
@@ -138,6 +162,13 @@ Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
         }
       }
     });
+    if (options_.fault_hook) {
+      Status s = options_.fault_hook("read_chunk", i, /*before=*/false);
+      if (!s.ok()) {
+        pool_.Wait();
+        return s;
+      }
+    }
   }
   pool_.Wait();
   if (!first_error.ok()) {
@@ -148,7 +179,16 @@ Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
 
 Status BackupStore::WriteMeta(uint32_t node, uint64_t epoch,
                               const CheckpointMeta& meta) {
-  return WriteFile(MetaPath(node, epoch), meta.ToBytes());
+  if (options_.fault_hook) {
+    SDG_RETURN_IF_ERROR(options_.fault_hook("write_meta", 0, /*before=*/true));
+  }
+  SDG_RETURN_IF_ERROR(WriteFile(MetaPath(node, epoch), meta.ToBytes()));
+  // A failure here reports an error although the meta record is durable: the
+  // checkpoint is complete but the checkpointing node never learns it.
+  if (options_.fault_hook) {
+    SDG_RETURN_IF_ERROR(options_.fault_hook("write_meta", 0, /*before=*/false));
+  }
+  return Status::Ok();
 }
 
 Result<CheckpointMeta> BackupStore::ReadMeta(uint32_t node, uint64_t epoch) {

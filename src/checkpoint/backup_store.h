@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,13 @@ struct BackupStoreOptions {
   uint64_t throttle_bytes_per_sec = 0;
   // Threads serialising/writing chunks in parallel (step B2).
   size_t io_threads = 4;
+  // Test-only fault hook, called around each chunk/meta I/O with the
+  // operation ("write_chunk", "read_chunk", "write_meta"), the chunk index
+  // (0 for meta), and whether the call is before or after the I/O. A non-OK
+  // status makes the store operation fail at exactly that point — chunks
+  // already issued are still written, everything later is not — which is how
+  // the fault injector simulates "node dies after chunk k is backed up".
+  std::function<Status(const char* op, uint32_t index, bool before)> fault_hook;
 };
 
 class BackupStore {

@@ -19,12 +19,24 @@ class LogicalClock {
   uint64_t Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
   uint64_t Peek() const { return next_.load(std::memory_order_relaxed); }
 
-  // Fast-forward past `ts`; used when a recovered task resumes emitting so
-  // its timestamps stay monotone across the failure.
+  // Fast-forward past `ts` (a last-issued timestamp): the next issue will be
+  // at least ts + 1. Used for monotonicity across repartitioning.
   void AdvanceTo(uint64_t ts) {
     uint64_t current = next_.load(std::memory_order_relaxed);
     while (current <= ts && !next_.compare_exchange_weak(
                                 current, ts + 1, std::memory_order_relaxed)) {
+    }
+  }
+
+  // Resume issuing exactly at `next` (a Peek() value captured by a
+  // checkpoint). Distinct from AdvanceTo: a recovered task must re-issue the
+  // same timestamps for its re-processed post-checkpoint inputs, otherwise
+  // the replayed stream shifts by one and the last re-emitted item escapes
+  // the surviving downstreams' dedup watermark (double application).
+  void ResumeAt(uint64_t next) {
+    uint64_t current = next_.load(std::memory_order_relaxed);
+    while (current < next && !next_.compare_exchange_weak(
+                                 current, next, std::memory_order_relaxed)) {
     }
   }
 

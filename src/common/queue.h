@@ -157,16 +157,21 @@ class BoundedQueue {
     not_full_.notify_all();
   }
 
-  // Drops queued items and closes; used for failure injection.
-  void Abort() {
+  // Drops queued items and closes; used for failure injection. Returns the
+  // number of items discarded so callers can settle any per-item accounting
+  // (a second Abort returns 0).
+  size_t Abort() {
+    size_t dropped = 0;
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      dropped = items_.size();
       items_.clear();
       PublishSize();
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
+    return dropped;
   }
 
   bool closed() const {

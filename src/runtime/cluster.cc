@@ -80,6 +80,7 @@ struct StagedGroup {
   graph::TaskId task = 0;
   uint32_t dest = 0;
   uint32_t src_node = 0;
+  graph::TaskId src_task = 0;  // emitting TE, for edge-fault rule matching
   TaskInstance* ti = nullptr;
   std::vector<DataItem> items;
 };
@@ -129,9 +130,19 @@ Deployment::Deployment(graph::Sdg g, ClusterOptions options)
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
     node_ckpt_mutex_.push_back(std::make_unique<std::mutex>());
   }
+  if (options_.fault_injection.enabled) {
+    fault_injector_ = std::make_unique<FaultInjector>(options_.fault_injection);
+  }
   if (options_.fault_tolerance.mode != FtMode::kNone) {
-    store_ = std::make_unique<checkpoint::BackupStore>(
-        options_.fault_tolerance.store);
+    auto store_opts = options_.fault_tolerance.store;
+    if (fault_injector_ != nullptr) {
+      FaultInjector* inj = fault_injector_.get();
+      store_opts.fault_hook = [inj](const char* op, uint32_t index,
+                                    bool before) {
+        return inj->OnStoreOp(op, index, before);
+      };
+    }
+    store_ = std::make_unique<checkpoint::BackupStore>(std::move(store_opts));
     buffering_enabled_ = true;
   }
 }
@@ -144,6 +155,9 @@ Status Deployment::Start() {
   }
   SDG_ASSIGN_OR_RETURN(graph::Allocation alloc,
                        graph::AllocateSdg(sdg_, options_.num_nodes));
+  if (fault_injector_ != nullptr) {
+    SDG_RETURN_IF_ERROR(fault_injector_->Resolve(sdg_));
+  }
 
   task_instances_.resize(sdg_.tasks().size());
   state_groups_.resize(sdg_.states().size());
@@ -283,6 +297,28 @@ Status Deployment::Inject(std::string_view entry, Tuple tuple,
   topo.unlock();
 
   for (auto& [ti, it] : pushes) {
+    if (fault_injector_ != nullptr) {
+      // Faults apply after the buffer append above: a dropped item is a lost
+      // network delivery that replay can still restore from the buffer.
+      std::vector<DataItem> group;
+      group.push_back(std::move(it));
+      fault_injector_->ApplyToGroup(kExternalTask, task, group);
+      if (options_.serialize_cross_node) {
+        for (auto& item : group) {
+          item = SerializedRoundTrip(std::move(item));
+        }
+      }
+      const size_t count = group.size();
+      if (count == 0) {
+        continue;
+      }
+      AccountDelivered(count);
+      size_t accepted = ti->DeliverAll(std::move(group));
+      if (accepted < count) {
+        AccountDone(count - accepted);
+      }
+      continue;
+    }
     // Injection crosses the client/cluster boundary: always serialise.
     if (options_.serialize_cross_node) {
       it = SerializedRoundTrip(std::move(it));
@@ -398,6 +434,14 @@ Status Deployment::InjectAll(std::string_view entry, std::vector<Tuple> tuples,
     if (g.ti == nullptr) {
       continue;  // lost instance: the buffer retains the items for replay
     }
+    if (fault_injector_ != nullptr) {
+      // After the buffer appends, before accounting: the group size below
+      // already reflects drops and duplicates.
+      fault_injector_->ApplyToGroup(kExternalTask, task, g.items);
+      if (g.items.empty()) {
+        continue;
+      }
+    }
     // Injection crosses the client/cluster boundary: always serialise.
     if (options_.serialize_cross_node) {
       for (auto& item : g.items) {
@@ -500,7 +544,7 @@ void Deployment::RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
         return;
       }
     }
-    groups.push_back(StagedGroup{task, dest, src_node, nullptr, {}});
+    groups.push_back(StagedGroup{task, dest, src_node, src.task_id(), nullptr, {}});
     groups.back().items.push_back(std::move(item));
   };
 
@@ -677,6 +721,21 @@ void Deployment::FlushStagedDeliveries() {
       AccountDone(g.items.size());
       continue;
     }
+    if (fault_injector_ != nullptr) {
+      // The upstream-backup log (RouteEmits) already holds the originals, so
+      // a drop here models a lost network delivery that replay can restore.
+      // Staged items were accounted in RouteEmits: settle the difference.
+      auto eff = fault_injector_->ApplyToGroup(g.src_task, g.task, g.items);
+      if (eff.dropped > 0) {
+        AccountDone(eff.dropped);
+      }
+      if (eff.duplicated > 0) {
+        AccountDelivered(eff.duplicated);
+      }
+      if (g.items.empty()) {
+        continue;
+      }
+    }
     // Items crossing a node boundary are serialised to keep the location-
     // independence contract honest (§4.1).
     if (options_.serialize_cross_node && g.ti->node() != g.src_node) {
@@ -851,6 +910,20 @@ uint32_t Deployment::NumStateInstances(std::string_view state_name) const {
   }
   std::shared_lock topo(topo_mutex_);
   return static_cast<uint32_t>(state_groups_[*id].instances.size());
+}
+
+uint32_t Deployment::NodeOfStateInstance(std::string_view state_name,
+                                         uint32_t instance) const {
+  auto id = sdg_.StateByName(state_name);
+  if (!id.ok()) {
+    return UINT32_MAX;
+  }
+  std::shared_lock topo(topo_mutex_);
+  const auto& group = state_groups_[*id];
+  if (instance >= group.instance_nodes.size() || !group.instances[instance]) {
+    return UINT32_MAX;
+  }
+  return group.instance_nodes[instance];
 }
 
 uint32_t Deployment::NumInstancesOf(std::string_view task_name) const {
@@ -1136,6 +1209,10 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
   // Serialise + persist. For the synchronous modes, processing is paused for
   // this entire phase; for async-local the dirty overlays absorb writes.
   auto persist = [&]() -> Status {
+    if (fault_injector_ != nullptr) {
+      SDG_RETURN_IF_ERROR(
+          fault_injector_->CheckCrash("checkpoint.persist", CrashPhase::kBefore));
+    }
     for (auto& cs : captured_states) {
       auto chunks = state::SerializeToChunks(*cs.backend, cs.name, num_chunks);
       SDG_RETURN_IF_ERROR(store_->WriteChunks(node, meta.epoch, cs.name, chunks));
@@ -1178,6 +1255,12 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
     cs.backend->EndCheckpoint();
   }
   SDG_RETURN_IF_ERROR(persist_status);
+  if (fault_injector_ != nullptr) {
+    // Fires between persist and the meta write: state chunks are durable but
+    // the completeness marker is missing, so the checkpoint never counts.
+    SDG_RETURN_IF_ERROR(
+        fault_injector_->CheckCrash("checkpoint.persist", CrashPhase::kAfter));
+  }
   SDG_RETURN_IF_ERROR(store_->WriteMeta(node, meta.epoch, meta));
 
   // Acknowledge upstream buffers: everything at or below the checkpointed
@@ -1283,10 +1366,15 @@ Status Deployment::KillNode(uint32_t node) {
     return FailedPreconditionError("node already dead");
   }
   node_alive_[node] = false;
+  size_t items_lost = 0;
   for (auto& slots : task_instances_) {
     for (auto& ti : slots) {
       if (ti && ti->node() == node) {
-        ti->Abort();  // drops queued items; worker exits asynchronously
+        // Drops queued items; the worker exits asynchronously. The dropped
+        // items were counted as in flight when delivered and will never reach
+        // OnItemsDone, so they are released here — otherwise a concurrent or
+        // later Drain() would wait on them forever.
+        items_lost += ti->Abort();
         dead_instances_.push_back(std::move(ti));
       }
     }
@@ -1301,6 +1389,9 @@ Status Deployment::KillNode(uint32_t node) {
       }
     }
   }
+  if (items_lost > 0) {
+    AccountDone(items_lost);
+  }
   return Status::Ok();
 }
 
@@ -1312,7 +1403,16 @@ Status Deployment::RecoverNode(uint32_t failed,
   if (replacements.empty()) {
     return InvalidArgumentError("need at least one replacement node");
   }
+  if (failed >= options_.num_nodes || NodeAlive(failed)) {
+    // Recovering a live node would install a second copy of every one of its
+    // task instances next to the running ones.
+    return FailedPreconditionError("node to recover must exist and be dead");
+  }
   for (uint32_t r : replacements) {
+    if (r == failed) {
+      return InvalidArgumentError(
+          "replacement list contains the failed node itself");
+    }
     if (r >= options_.num_nodes || !NodeAlive(r)) {
       return InvalidArgumentError("replacement node not alive");
     }
@@ -1323,6 +1423,12 @@ Status Deployment::RecoverNode(uint32_t failed,
   // into the graveyard must stay valid while it persists.
   std::lock_guard<std::mutex> ckpt_lock(*node_ckpt_mutex_[failed]);
 
+  if (fault_injector_ != nullptr) {
+    // Fires before any checkpoint data is read; nothing has been mutated, so
+    // a failed recovery here can simply be retried.
+    SDG_RETURN_IF_ERROR(
+        fault_injector_->CheckCrash("restore.meta", CrashPhase::kBefore));
+  }
   SDG_ASSIGN_OR_RETURN(uint64_t epoch, store_->LatestEpoch(failed));
   SDG_ASSIGN_OR_RETURN(checkpoint::CheckpointMeta meta,
                        store_->ReadMeta(failed, epoch));
@@ -1397,6 +1503,12 @@ Status Deployment::RecoverNode(uint32_t failed,
   }
 
   // Phase 2: install under the topology lock.
+  if (fault_injector_ != nullptr) {
+    // Fires after every chunk was read but before the topology is mutated:
+    // the restore work is wasted, the deployment is untouched, a retry works.
+    SDG_RETURN_IF_ERROR(
+        fault_injector_->CheckCrash("restore.install", CrashPhase::kBefore));
+  }
   std::vector<TaskInstance*> new_instances;
   std::set<graph::TaskId> split_tasks;  // re-instantiated n-way (old dest = 0)
   {
@@ -1450,7 +1562,18 @@ Status Deployment::RecoverNode(uint32_t failed,
         slots[inst] = std::make_unique<TaskInstance>(
             te, inst, node, backend, this, options_.mailbox_capacity,
             options_.max_batch);
-        slots[inst]->emit_clock().AdvanceTo(tm.emit_clock);
+        // tm.emit_clock is the checkpointed Peek() — the next ts to issue.
+        // ResumeAt (not AdvanceTo) so re-processed inputs re-issue the same
+        // timestamps and stay inside downstream dedup watermarks.
+        slots[inst]->emit_clock().ResumeAt(tm.emit_clock);
+        // Chaos-debug trace (docs/testing.md) — marks installs so a
+        // SDG_DEBUG_TASK item trace can be segmented by recovery epoch.
+        static const char* const dbg = getenv("SDG_DEBUG_TASK");
+        if (dbg != nullptr && te.name == dbg) {
+          fprintf(stderr, "DBG RESTORE %s inst=%u node=%u clock=%llu\n",
+                  te.name.c_str(), inst, node,
+                  (unsigned long long)tm.emit_clock);
+        }
         slots[inst]->RestoreLastSeen(seen);
         new_instances.push_back(slots[inst].get());
       }
@@ -1472,7 +1595,10 @@ Status Deployment::RecoverNode(uint32_t failed,
 
   // Phase 3: replay. First re-send the recovered node's own buffered outputs
   // (downstream dedups by timestamp), then ask upstreams to replay inputs
-  // past the checkpoint's vector timestamp.
+  // past the checkpoint's vector timestamp. The whole phase is idempotent —
+  // every replayed item carries replayed=true and dedups by timestamp — which
+  // the "replay.repeat" crash point exercises by running it twice.
+  auto run_replay = [&]() {
   for (auto* ti : new_instances) {
     // Snapshot under the buffer lock, deliver after: DeliverTo takes the
     // topology lock, which elsewhere (RestoreBuffers under the exclusive
@@ -1556,6 +1682,12 @@ Status Deployment::RecoverNode(uint32_t failed,
         }
       }
     }
+  }
+  };
+  run_replay();
+  if (fault_injector_ != nullptr &&
+      fault_injector_->FireIfArmed("replay.repeat", CrashPhase::kAfter)) {
+    run_replay();
   }
   return Status::Ok();
 }

@@ -40,6 +40,7 @@
 #include "src/graph/allocation.h"
 #include "src/graph/sdg.h"
 #include "src/runtime/data_item.h"
+#include "src/runtime/fault_injector.h"
 #include "src/runtime/task_instance.h"
 
 namespace sdg::runtime {
@@ -99,6 +100,9 @@ struct ClusterOptions {
   std::vector<double> node_speed;
   FaultToleranceOptions fault_tolerance;
   ScalingOptions scaling;
+  // Seeded deterministic fault injection (edge faults + crash points); see
+  // fault_injector.h and docs/testing.md.
+  FaultInjectionOptions fault_injection;
 };
 
 // Receives tuples a TE emits past its last out-edge. user_tag is the value
@@ -184,7 +188,12 @@ class Deployment final : public RuntimeHooks {
   state::StateBackend* StateInstance(std::string_view state_name,
                                      uint32_t instance);
   uint32_t NumStateInstances(std::string_view state_name) const;
+  // Node hosting instance `instance` of `state_name`; UINT32_MAX if unknown.
+  uint32_t NodeOfStateInstance(std::string_view state_name,
+                               uint32_t instance) const;
   bool NodeAlive(uint32_t node) const;
+  // Non-null only when options.fault_injection.enabled.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
   uint64_t CheckpointsCompleted() const { return checkpoints_done_.value(); }
 
   // Human-readable snapshot of the materialised topology: per node, the TE
@@ -282,6 +291,7 @@ class Deployment final : public RuntimeHooks {
   // without fault tolerance the buffers would grow without bound.
   bool buffering_enabled_ = false;
 
+  std::unique_ptr<FaultInjector> fault_injector_;
   std::unique_ptr<checkpoint::BackupStore> store_;
   std::vector<uint64_t> node_epoch_;
   std::vector<std::unique_ptr<std::mutex>> node_ckpt_mutex_;

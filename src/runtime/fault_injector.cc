@@ -1,0 +1,236 @@
+#include "src/runtime/fault_injector.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace sdg::runtime {
+namespace {
+
+// Bounded so a long chaos run can't grow the log without limit; the fault
+// counter keeps counting past the cap.
+constexpr size_t kMaxLogEntries = 4096;
+constexpr uint32_t kMaxDelayUs = 5000;
+
+// SplitMix64 finalizer (same mixing constants as src/common/rng.h).
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+const char* PhaseName(CrashPhase phase) {
+  return phase == CrashPhase::kBefore ? "before" : "after";
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectionOptions options)
+    : options_(std::move(options)) {}
+
+Status FaultInjector::Resolve(const graph::Sdg& sdg) {
+  resolved_.clear();
+  task_names_.clear();
+  for (const auto& te : sdg.tasks()) task_names_.push_back(te.name);
+  for (const auto& rule : options_.edges) {
+    ResolvedRule r;
+    r.rule = &rule;
+    if (rule.from_task == "external") {
+      r.from = kExternalTask;
+    } else if (!rule.from_task.empty()) {
+      auto id = sdg.TaskByName(rule.from_task);
+      if (!id.ok()) {
+        return InvalidArgumentError("fault rule references unknown from_task '" +
+                                    rule.from_task + "'");
+      }
+      r.from = *id;
+    }
+    if (!rule.to_task.empty()) {
+      auto id = sdg.TaskByName(rule.to_task);
+      if (!id.ok()) {
+        return InvalidArgumentError("fault rule references unknown to_task '" +
+                                    rule.to_task + "'");
+      }
+      r.to = *id;
+    }
+    resolved_.push_back(r);
+  }
+  return Status::Ok();
+}
+
+double FaultInjector::Roll(const SourceId& from, uint64_t ts, uint32_t to_task,
+                           uint32_t kind) const {
+  uint64_t h = Mix(options_.seed ^ (uint64_t{from.task} << 32 | from.instance));
+  h = Mix(h ^ ts);
+  h = Mix(h ^ (uint64_t{to_task} << 8 | kind));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+const FaultInjector::ResolvedRule* FaultInjector::RuleFor(uint32_t from,
+                                                          uint32_t to) const {
+  for (const auto& r : resolved_) {
+    if ((r.from == kAnyTask || r.from == from) &&
+        (r.to == kAnyTask || r.to == to)) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+const std::string& FaultInjector::NameOf(uint32_t task) const {
+  static const std::string kExternal = "external";
+  static const std::string kUnknown = "?";
+  if (task == kExternalTask) return kExternal;
+  if (task < task_names_.size()) return task_names_[task];
+  return kUnknown;
+}
+
+void FaultInjector::Record(std::string what) {
+  const uint64_t seq = fault_count_.fetch_add(1, std::memory_order_relaxed);
+  SDG_LOG(kDebug) << "[fault #" << seq << " seed=" << options_.seed << "] "
+                  << what;
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (log_.size() < kMaxLogEntries) log_.push_back(std::move(what));
+}
+
+FaultInjector::GroupEffect FaultInjector::ApplyToGroup(
+    uint32_t from_task, uint32_t to_task, std::vector<DataItem>& items) {
+  GroupEffect eff;
+  if (!options_.enabled || items.empty() ||
+      paused_.load(std::memory_order_relaxed)) {
+    return eff;
+  }
+  const ResolvedRule* resolved = RuleFor(from_task, to_task);
+  if (resolved == nullptr) return eff;
+  const EdgeFaultRule& rule = *resolved->rule;
+
+  // Group-level decisions key off the first item so they are stable no
+  // matter how per-item faults reshape the group.
+  const SourceId group_from = items[0].from;
+  const uint64_t group_ts = items[0].ts;
+
+  // Replayed items are exempt from drop/dup/reorder: they model the recovery
+  // protocol's ordered re-send over a reliable channel (§5), not first-time
+  // network traffic. Timestamp-watermark dedup at the receiver requires
+  // per-source FIFO — reordering a replayed group would advance the watermark
+  // past still-undelivered replayed items and silently discard them.
+  bool any_replayed = false;
+  std::vector<DataItem> kept;
+  std::vector<DataItem> dups;
+  kept.reserve(items.size());
+  for (auto& item : items) {
+    if (item.replayed) {
+      any_replayed = true;
+      kept.push_back(std::move(item));
+      continue;
+    }
+    if (rule.drop_p > 0.0 && Roll(item.from, item.ts, to_task, 0) < rule.drop_p) {
+      ++eff.dropped;
+      std::ostringstream os;
+      os << "drop " << NameOf(from_task) << "->" << NameOf(to_task)
+         << " from=(" << item.from.task << "," << item.from.instance
+         << ") ts=" << item.ts;
+      Record(os.str());
+      continue;
+    }
+    if (rule.dup_p > 0.0 && Roll(item.from, item.ts, to_task, 1) < rule.dup_p) {
+      DataItem copy = item;
+      copy.replayed = true;  // receiver-side dedup absorbs the duplicate
+      dups.push_back(std::move(copy));
+      ++eff.duplicated;
+      std::ostringstream os;
+      os << "dup " << NameOf(from_task) << "->" << NameOf(to_task) << " from=("
+         << item.from.task << "," << item.from.instance << ") ts=" << item.ts;
+      Record(os.str());
+    }
+    kept.push_back(std::move(item));
+  }
+  if (rule.reorder_p > 0.0 && kept.size() > 1 && !any_replayed &&
+      Roll(group_from, group_ts, to_task, 2) < rule.reorder_p) {
+    std::reverse(kept.begin(), kept.end());
+    eff.reordered = true;
+    std::ostringstream os;
+    os << "reorder " << NameOf(from_task) << "->" << NameOf(to_task)
+       << " group_ts=" << group_ts << " n=" << kept.size();
+    Record(os.str());
+  }
+  // Duplicates go after every original so the original always updates the
+  // receiver's last-seen timestamp first.
+  for (auto& d : dups) kept.push_back(std::move(d));
+  items = std::move(kept);
+
+  if (rule.delay_p > 0.0 &&
+      Roll(group_from, group_ts, to_task, 3) < rule.delay_p) {
+    eff.delayed = true;
+    const uint32_t us = std::min(rule.delay_us, kMaxDelayUs);
+    std::ostringstream os;
+    os << "delay " << NameOf(from_task) << "->" << NameOf(to_task)
+       << " group_ts=" << group_ts << " us=" << us;
+    Record(os.str());
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+  }
+  return eff;
+}
+
+void FaultInjector::ArmCrash(std::string_view point, CrashPhase phase,
+                             uint32_t on_hit) {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  armed_.push_back(
+      ArmedCrash{std::string(point), phase, on_hit == 0 ? 1u : on_hit});
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(crash_mutex_);
+  armed_.clear();
+}
+
+bool FaultInjector::FireIfArmed(std::string_view point, CrashPhase phase) {
+  bool fired = false;
+  {
+    std::lock_guard<std::mutex> lock(crash_mutex_);
+    for (auto it = armed_.begin(); it != armed_.end(); ++it) {
+      if (it->point == point && it->phase == phase) {
+        if (--it->countdown == 0) {
+          armed_.erase(it);
+          fired = true;
+        }
+        break;
+      }
+    }
+  }
+  if (fired) {
+    std::ostringstream os;
+    os << "crash " << point << " (" << PhaseName(phase) << ")";
+    Record(os.str());
+  }
+  return fired;
+}
+
+Status FaultInjector::CheckCrash(std::string_view point, CrashPhase phase) {
+  if (!FireIfArmed(point, phase)) return Status::Ok();
+  std::ostringstream os;
+  os << "injected crash at '" << point << "' (" << PhaseName(phase)
+     << "), seed " << options_.seed;
+  return AbortedError(os.str());
+}
+
+Status FaultInjector::OnStoreOp(const char* op, uint32_t index, bool before) {
+  const CrashPhase phase = before ? CrashPhase::kBefore : CrashPhase::kAfter;
+  (void)index;  // the countdown encodes "after chunk N"; index is for logs
+  return CheckCrash(std::string("backup.") + op, phase);
+}
+
+uint64_t FaultInjector::FaultCount() const {
+  return fault_count_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> FaultInjector::Log() const {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  return log_;
+}
+
+}  // namespace sdg::runtime

@@ -1,0 +1,149 @@
+#ifndef SDG_RUNTIME_FAULT_INJECTOR_H_
+#define SDG_RUNTIME_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/graph/sdg.h"
+#include "src/runtime/data_item.h"
+
+namespace sdg::runtime {
+
+// Which side of a crash point an armed crash fires on.
+enum class CrashPhase { kBefore, kAfter };
+
+// One fault rule for a dataflow edge. Task names are matched against the
+// SDG at Deployment::Start(); "" matches any task and "external" matches the
+// client injection boundary (Deployment::Inject / InjectAll).
+//
+// Only first-time deliveries are faulted. Replayed items (recovery re-sends
+// and their derived re-emissions) ride the recovery protocol's ordered,
+// reliable channel (§5): the receiver's timestamp-watermark dedup assumes
+// per-source FIFO, so dropping or reordering them would not model a network
+// fault — it would silently lose acknowledged state updates.
+struct EdgeFaultRule {
+  std::string from_task;
+  std::string to_task;
+  double drop_p = 0.0;     // per item: silently discard
+  double dup_p = 0.0;      // per item: deliver a second, replay-marked copy
+  double delay_p = 0.0;    // per group: sleep before delivery
+  double reorder_p = 0.0;  // per group: reverse the delivery group
+  uint32_t delay_us = 200; // sleep length when a delay fires (capped at 5ms)
+};
+
+struct FaultInjectionOptions {
+  bool enabled = false;
+  uint64_t seed = 1;
+  std::vector<EdgeFaultRule> edges;
+};
+
+// Seeded deterministic fault injector. Edge-fault decisions are pure hashes
+// of (seed, source id, timestamp, destination task, fault kind) — never a
+// shared sequential RNG — so the same seed yields the same fault schedule
+// regardless of thread interleaving. Crash points are armed explicitly by
+// tests and fire on the Nth hit of a named (point, phase) pair.
+//
+// Crash points planted in the runtime and backup store:
+//   backup.write_chunk   before/after each chunk submitted during checkpoint
+//   backup.read_chunk    before/after each chunk read during restore
+//   backup.write_meta    before/after the meta (completeness marker) write
+//   checkpoint.persist   before/after the node checkpoint persist step
+//   restore.meta         before the restore reads the latest checkpoint meta
+//   restore.install      before restored state is installed in the topology
+//   replay.repeat        after replay: runs the whole replay a second time
+class FaultInjector {
+ public:
+  // Matches Deployment::kExternalTask (source id of injected items).
+  static constexpr uint32_t kExternalTask = 0xFFFFFFFFu;
+  static constexpr uint32_t kAnyTask = 0xFFFFFFFEu;
+
+  explicit FaultInjector(FaultInjectionOptions options);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Resolves rule task names against the SDG. Called once at Start().
+  Status Resolve(const graph::Sdg& sdg);
+
+  struct GroupEffect {
+    size_t dropped = 0;
+    size_t duplicated = 0;
+    bool reordered = false;
+    bool delayed = false;
+  };
+
+  // Applies edge faults to a delivery group travelling from `from_task`
+  // (kExternalTask for injected items) to `to_task`, mutating `items` in
+  // place: dropped items are removed, duplicates are appended after the
+  // originals with `replayed = true` (so receiver-side dedup absorbs them),
+  // reorder reverses the group, delay sleeps on the calling thread.
+  GroupEffect ApplyToGroup(uint32_t from_task, uint32_t to_task,
+                           std::vector<DataItem>& items);
+
+  // Arms a one-shot crash: the `on_hit`-th call to FireIfArmed/CheckCrash
+  // with this (point, phase) fires it.
+  void ArmCrash(std::string_view point, CrashPhase phase, uint32_t on_hit = 1);
+  void DisarmAll();
+
+  // Consumes a hit; true exactly when an armed countdown reaches zero.
+  bool FireIfArmed(std::string_view point, CrashPhase phase);
+
+  // FireIfArmed, packaged as the error the runtime propagates.
+  Status CheckCrash(std::string_view point, CrashPhase phase);
+
+  // Adapter for the backup store's layering-neutral fault hook; maps
+  // ("write_chunk", before) to ("backup.write_chunk", kBefore) etc.
+  Status OnStoreOp(const char* op, uint32_t index, bool before);
+
+  // Pauses/resumes edge faults (crash points stay armed). Verification
+  // sweeps run paused so injected faults can't masquerade as divergence.
+  void Pause() { paused_.store(true, std::memory_order_relaxed); }
+  void Resume() { paused_.store(false, std::memory_order_relaxed); }
+  bool paused() const { return paused_.load(std::memory_order_relaxed); }
+
+  uint64_t seed() const { return options_.seed; }
+
+  // Total faults fired (edge + crash) and a bounded log of descriptions.
+  uint64_t FaultCount() const;
+  std::vector<std::string> Log() const;
+
+ private:
+  struct ResolvedRule {
+    uint32_t from = kAnyTask;
+    uint32_t to = kAnyTask;
+    const EdgeFaultRule* rule = nullptr;
+  };
+  struct ArmedCrash {
+    std::string point;
+    CrashPhase phase;
+    uint32_t countdown;
+  };
+
+  // Pure decision hash in [0, 1).
+  double Roll(const SourceId& from, uint64_t ts, uint32_t to_task,
+              uint32_t kind) const;
+  const ResolvedRule* RuleFor(uint32_t from, uint32_t to) const;
+  const std::string& NameOf(uint32_t task) const;
+  void Record(std::string what);
+
+  FaultInjectionOptions options_;
+  std::vector<ResolvedRule> resolved_;
+  std::vector<std::string> task_names_;
+  std::atomic<bool> paused_{false};
+  std::atomic<uint64_t> fault_count_{0};
+
+  mutable std::mutex log_mutex_;
+  std::vector<std::string> log_;
+
+  std::mutex crash_mutex_;
+  std::vector<ArmedCrash> armed_;
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_FAULT_INJECTOR_H_

@@ -67,7 +67,7 @@ void TaskInstance::Start() {
 
 void TaskInstance::StopWhenDrained() { mailbox_.Close(); }
 
-void TaskInstance::Abort() { mailbox_.Abort(); }
+size_t TaskInstance::Abort() { return mailbox_.Abort(); }
 
 void TaskInstance::Join() {
   if (worker_.joinable()) {
@@ -151,6 +151,23 @@ void TaskInstance::ProcessItem(const DataItem& item,
   // Duplicate detection (§5): only replayed items are checked — in normal
   // operation per-source FIFO delivery makes duplicates impossible, and
   // checking would mis-drop items rerouted by repartitioning.
+  // Chaos-debug trace (docs/testing.md): SDG_DEBUG_TASK=<te name> prints
+  // every apply/dedup decision for that task. One pointer check when unset.
+  static const char* const dbg = getenv("SDG_DEBUG_TASK");
+  if (dbg != nullptr && te_.name == dbg) {
+    static const bool print_key = getenv("SDG_DEBUG_PAYLOAD0_STR") != nullptr;
+    const char* key =
+        print_key && !item.payload.empty() ? item.payload[0].AsString().c_str()
+                                           : "";
+    fprintf(stderr,
+            "DBG %s inst=%u from=(%u,%u) ts=%llu replayed=%d seen=%llu %s %s\n",
+            te_.name.c_str(), instance_, item.from.task, item.from.instance,
+            (unsigned long long)item.ts, item.replayed ? 1 : 0,
+            (unsigned long long)LastSeenFrom(item.from),
+            (item.replayed && item.ts <= LastSeenFrom(item.from)) ? "DEDUP"
+                                                                  : "APPLY",
+            key);
+  }
   if (item.replayed && item.ts <= LastSeenFrom(item.from)) {
     processed_.Increment();
     return;

@@ -88,7 +88,9 @@ class TaskInstance {
   // Stops the worker after the mailbox drains (graceful shutdown).
   void StopWhenDrained();
   // Kills the worker immediately, dropping queued items (failure injection).
-  void Abort();
+  // Returns the number of queued items dropped so the deployment can settle
+  // its in-flight accounting for them.
+  size_t Abort();
   void Join();
 
   // Enqueues an item; returns false if the mailbox is closed.

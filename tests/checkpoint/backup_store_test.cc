@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "src/common/clock.h"
+#include "tests/common/scoped_test_dir.h"
 
 namespace sdg::checkpoint {
 namespace {
@@ -14,25 +15,17 @@ namespace fs = std::filesystem;
 
 class BackupStoreTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = fs::temp_directory_path() /
-           ("sdg_store_test_" + std::to_string(::getpid()) + "_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name());
-    fs::remove_all(dir_);
-    fs::create_directories(dir_);
-  }
-  void TearDown() override { fs::remove_all(dir_); }
-
   BackupStoreOptions Options(uint32_t backups, uint64_t throttle = 0) {
     BackupStoreOptions o;
-    o.root = dir_;
+    o.root = dir_.path();
     o.num_backup_nodes = backups;
     o.throttle_bytes_per_sec = throttle;
     o.io_threads = 2;
     return o;
   }
 
-  fs::path dir_;
+  // RAII: the directory disappears even when a test fails mid-way.
+  ScopedTestDir dir_{"store_test"};
 };
 
 std::vector<std::vector<uint8_t>> MakeChunks(int n, size_t size) {
@@ -56,11 +49,11 @@ TEST_F(BackupStoreTest, ChunksSpreadAcrossBackupDirs) {
   BackupStore store(Options(2));
   ASSERT_TRUE(store.WriteChunks(0, 1, "se0", MakeChunks(4, 16)).ok());
   size_t in_backup0 = 0, in_backup1 = 0;
-  for (const auto& e : fs::directory_iterator(dir_ / "backup0")) {
+  for (const auto& e : fs::directory_iterator(dir_.path() / "backup0")) {
     (void)e;
     ++in_backup0;
   }
-  for (const auto& e : fs::directory_iterator(dir_ / "backup1")) {
+  for (const auto& e : fs::directory_iterator(dir_.path() / "backup1")) {
     (void)e;
     ++in_backup1;
   }

@@ -1,0 +1,47 @@
+// ScopedTestDir: RAII temp directory for tests.
+//
+// Creates a unique directory under the system temp path and removes it on
+// destruction — including when the test fails or throws. The previous
+// per-test setup/teardown in chaos_test, recovery_test and backup_store_test
+// only cleaned up on success, leaking sdg_chaos_* dirs in /tmp on failure.
+#ifndef SDG_TESTS_COMMON_SCOPED_TEST_DIR_H_
+#define SDG_TESTS_COMMON_SCOPED_TEST_DIR_H_
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+namespace sdg {
+
+class ScopedTestDir {
+ public:
+  explicit ScopedTestDir(std::string_view tag) {
+    static std::atomic<uint64_t> counter{0};
+    path_ = std::filesystem::temp_directory_path() /
+            ("sdg_" + std::string(tag) + "_" + std::to_string(::getpid()) +
+             "_" + std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+
+  ~ScopedTestDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);  // best effort, never throws
+  }
+
+  ScopedTestDir(const ScopedTestDir&) = delete;
+  ScopedTestDir& operator=(const ScopedTestDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  operator const std::filesystem::path&() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_TESTS_COMMON_SCOPED_TEST_DIR_H_

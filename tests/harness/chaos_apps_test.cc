@@ -1,0 +1,41 @@
+// Differential chaos suites: one parameterised suite per application, each
+// seed driving a fully deterministic schedule of ops, edge faults,
+// checkpoints, crashes and recoveries (see chaos_harness.h). Run a specific
+// seed with --gtest_filter=...seedN or widen the sweep with
+// SDG_CHAOS_SEED_RANGE="lo-hi".
+#include <gtest/gtest.h>
+
+#include "tests/harness/chaos_harness.h"
+
+namespace sdg::harness {
+namespace {
+
+class KvChaosTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(KvChaosTest, MatchesReferenceModel) { RunKvChaos(GetParam()); }
+INSTANTIATE_TEST_SUITE_P(Seeds, KvChaosTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class WordCountChaosTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(WordCountChaosTest, MatchesReferenceModel) {
+  RunWordCountChaos(GetParam());
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, WordCountChaosTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class LrChaosTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(LrChaosTest, MatchesReferenceModel) { RunLrChaos(GetParam()); }
+INSTANTIATE_TEST_SUITE_P(Seeds, LrChaosTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class KMeansChaosTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(KMeansChaosTest, MatchesReferenceModel) { RunKMeansChaos(GetParam()); }
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansChaosTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class CfChaosTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(CfChaosTest, MatchesReferenceModel) { RunCfChaos(GetParam()); }
+INSTANTIATE_TEST_SUITE_P(Seeds, CfChaosTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+}  // namespace
+}  // namespace sdg::harness

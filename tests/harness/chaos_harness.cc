@@ -1,0 +1,760 @@
+#include "tests/harness/chaos_harness.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "src/apps/cf.h"
+#include "src/apps/kmeans.h"
+#include "src/apps/kv.h"
+#include "src/apps/lr.h"
+#include "src/apps/reference_models.h"
+#include "src/apps/wordcount.h"
+#include "src/common/value.h"
+#include "src/runtime/fault_injector.h"
+#include "src/state/dense_matrix.h"
+#include "src/state/keyed_dict.h"
+#include "src/state/state_backend.h"
+#include "src/state/vector_state.h"
+#include "tests/common/scoped_test_dir.h"
+
+namespace sdg::harness {
+namespace {
+
+using apps::CfReferenceModel;
+using apps::KMeansReferenceModel;
+using apps::KvReferenceModel;
+using apps::LrReferenceModel;
+using apps::WordCountReferenceModel;
+using runtime::CrashPhase;
+using runtime::Deployment;
+using runtime::EdgeFaultRule;
+using runtime::FaultInjector;
+
+runtime::ClusterOptions ChaosClusterOptions(const std::filesystem::path& dir,
+                                            uint64_t seed,
+                                            std::vector<EdgeFaultRule> rules) {
+  runtime::ClusterOptions o;
+  o.num_nodes = 3;
+  o.mailbox_capacity = 8192;
+  o.fault_tolerance.mode = runtime::FtMode::kAsyncLocal;
+  o.fault_tolerance.checkpoint_interval_s = 0;  // harness-driven only
+  o.fault_tolerance.chunks_per_state = 4;
+  o.fault_tolerance.store.root = dir.string();
+  o.fault_tolerance.store.num_backup_nodes = 2;
+  o.fault_tolerance.store.io_threads = 2;
+  o.fault_injection.enabled = true;
+  o.fault_injection.seed = seed;
+  o.fault_injection.edges = std::move(rules);
+  return o;
+}
+
+std::string VecToStr(const std::vector<double>& v) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    os << (i ? " " : "") << v[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<uint64_t> ChaosSeeds() {
+  const char* range = std::getenv("SDG_CHAOS_SEED_RANGE");
+  if (range != nullptr) {
+    uint64_t lo = 0, hi = 0;
+    char dash = 0;
+    std::istringstream is(range);
+    if ((is >> lo >> dash >> hi) && dash == '-' && lo <= hi &&
+        hi - lo < 10000) {
+      std::vector<uint64_t> seeds;
+      for (uint64_t s = lo; s <= hi; ++s) {
+        seeds.push_back(s);
+      }
+      return seeds;
+    }
+  }
+  return {7, 21, 42};
+}
+
+std::string SeedTestName(const ::testing::TestParamInfo<uint64_t>& info) {
+  return "seed" + std::to_string(info.param);
+}
+
+std::string OpLog::Dump() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    os << "  #" << i << " " << ops_[i] << "\n";
+  }
+  return os.str();
+}
+
+std::string FailureBanner(uint64_t seed, const OpLog& log,
+                          const std::vector<std::string>& violations,
+                          const std::vector<std::string>& fault_log) {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::ostringstream os;
+  os << "\n=== chaos divergence (seed " << seed << ") ===\n";
+  for (const auto& v : violations) {
+    os << "  " << v << "\n";
+  }
+  os << "reproduce with:\n  SDG_CHAOS_SEED_RANGE=" << seed << "-" << seed
+     << " ./build/tests/harness_test --gtest_filter=";
+  if (info != nullptr) {
+    os << info->test_suite_name() << "." << info->name();
+  } else {
+    os << "'*'";
+  }
+  os << "\nop log (" << log.size() << " ops):\n" << log.Dump();
+  if (!fault_log.empty()) {
+    os << "injected faults (" << fault_log.size() << "):\n";
+    for (const auto& f : fault_log) {
+      os << "  " << f << "\n";
+    }
+  }
+  return os.str();
+}
+
+void RunChaosRounds(ChaosContext& ctx) {
+  Deployment& d = *ctx.deployment;
+  FaultInjector* inj = d.fault_injector();
+  ASSERT_NE(inj, nullptr) << "harness requires fault_injection.enabled";
+  Rng& rng = *ctx.rng;
+  OpLog& log = *ctx.log;
+
+  std::set<uint32_t> live;
+  for (uint32_t n = 0; n < ctx.num_nodes; ++n) {
+    live.insert(n);
+  }
+  bool have_checkpoint = false;
+
+  for (int round = 0; round < ctx.rounds && !::testing::Test::HasFailure();
+       ++round) {
+    ctx.mutate(ctx.burst + static_cast<int>(rng.NextBounded(
+                               static_cast<uint64_t>(ctx.burst))));
+    d.Drain();
+
+    const uint32_t target = d.NodeOfStateInstance(ctx.primary_state, 0);
+    ASSERT_NE(target, UINT32_MAX) << ctx.primary_state << " instance 0 lost";
+    const uint64_t roll = rng.NextBounded(100);
+
+    if (roll < 25) {
+      // Plain checkpoint of the primary node.
+      log.Record("checkpoint node " + std::to_string(target));
+      Status s = d.CheckpointNode(target);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+      have_checkpoint = have_checkpoint || s.ok();
+    } else if (roll < 45) {
+      // Checkpoint that dies at an armed crash point. write_meta/after is the
+      // interesting half-open case: the completeness marker is durable, so
+      // the checkpoint is complete even though the driver reported an error.
+      struct Scenario {
+        const char* point;
+        CrashPhase phase;
+        uint32_t on_hit;
+        bool checkpoint_completes;
+      };
+      static constexpr Scenario kScenarios[] = {
+          {"backup.write_chunk", CrashPhase::kAfter, 2, false},
+          {"checkpoint.persist", CrashPhase::kBefore, 1, false},
+          {"checkpoint.persist", CrashPhase::kAfter, 1, false},
+          {"backup.write_meta", CrashPhase::kBefore, 1, false},
+          {"backup.write_meta", CrashPhase::kAfter, 1, true},
+      };
+      const Scenario& sc = kScenarios[rng.NextBounded(5)];
+      log.Record("checkpoint node " + std::to_string(target) +
+                 " crashing at " + sc.point +
+                 (sc.phase == CrashPhase::kBefore ? " (before" : " (after") +
+                 ", hit " + std::to_string(sc.on_hit) + ")");
+      inj->ArmCrash(sc.point, sc.phase, sc.on_hit);
+      Status s = d.CheckpointNode(target);
+      EXPECT_FALSE(s.ok()) << "armed crash at " << sc.point << " never fired";
+      inj->DisarmAll();
+      have_checkpoint = have_checkpoint || sc.checkpoint_completes;
+    } else if (roll < 80 && have_checkpoint && live.size() >= 2) {
+      // Checkpoint, mutate past it, kill the node, recover — sometimes
+      // through an injected restore failure and a clean retry, sometimes
+      // with the buffer replay run twice (must be absorbed by dedup).
+      Status cs = d.CheckpointNode(target);
+      EXPECT_TRUE(cs.ok()) << cs.ToString();
+      // Covered only by upstream-backup replay.
+      (ctx.mutate_replay ? ctx.mutate_replay : ctx.mutate)(ctx.burst / 2);
+      d.Drain();
+      // Bisection aid (docs/testing.md): verify against the model right
+      // before the kill, so a failure can be attributed to either the faulty
+      // steady-state path or the kill/recover path.
+      if (getenv("SDG_CHAOS_DEBUG_PREKILL_VERIFY") != nullptr) {
+        inj->Pause();
+        log.Record("pre-kill debug verify");
+        ctx.verify();
+        inj->Resume();
+      }
+
+      std::vector<uint32_t> others(live.begin(), live.end());
+      others.erase(std::remove(others.begin(), others.end(), target),
+                   others.end());
+      const uint32_t replacement =
+          others[rng.NextBounded(others.size())];
+      const uint64_t rroll = rng.NextBounded(100);
+
+      EXPECT_TRUE(d.KillNode(target).ok());
+      const char* restore_crash = nullptr;
+      uint32_t restore_hit = 1;
+      if (rroll < 18) {
+        restore_crash = "restore.meta";
+      } else if (rroll < 36) {
+        restore_crash = "restore.install";
+      } else if (rroll < 54) {
+        restore_crash = "backup.read_chunk";
+        restore_hit = 2;
+      }
+      if (restore_crash != nullptr) {
+        log.Record("kill node " + std::to_string(target) +
+                   "; recovery onto node " + std::to_string(replacement) +
+                   " crashing at " + restore_crash + ", then retried");
+        inj->ArmCrash(restore_crash, CrashPhase::kBefore, restore_hit);
+        Status fail = d.RecoverNode(target, {replacement});
+        EXPECT_FALSE(fail.ok())
+            << "armed crash at " << restore_crash << " never fired";
+        inj->DisarmAll();
+      } else if (rroll < 72) {
+        log.Record("kill node " + std::to_string(target) +
+                   "; recovery onto node " + std::to_string(replacement) +
+                   " with replay run twice");
+        inj->ArmCrash("replay.repeat", CrashPhase::kAfter);
+      } else {
+        log.Record("kill node " + std::to_string(target) +
+                   "; recovery onto node " + std::to_string(replacement));
+      }
+      Status rs = d.RecoverNode(target, {replacement});
+      EXPECT_TRUE(rs.ok()) << rs.ToString();
+      inj->DisarmAll();
+      live.erase(target);
+    }
+    d.Drain();
+
+    // Differential verification runs fault-free: injected faults must never
+    // masquerade as (or mask) a real divergence.
+    inj->Pause();
+    inj->DisarmAll();
+    ctx.verify();
+    inj->Resume();
+  }
+}
+
+// --- KV ---------------------------------------------------------------------
+
+void RunKvChaos(uint64_t seed) {
+  ScopedTestDir dir("chaos_kv");
+  Rng rng(seed);
+  OpLog log;
+  KvReferenceModel model;
+
+  apps::KvOptions kv_opt;
+  kv_opt.partitions = 2;
+  auto g = apps::BuildKvSdg(kv_opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  auto opts = ChaosClusterOptions(
+      dir.path(), seed,
+      {
+          {"external", "put", /*drop=*/0.0, /*dup=*/0.15, /*delay=*/0.05,
+           /*reorder=*/0.0, /*delay_us=*/300},
+          {"external", "del", 0.0, 0.15, 0.05, 0.0, 300},
+          {"external", "get", 0.10, 0.15, 0.05, 0.25, 300},
+      });
+  runtime::Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  constexpr int64_t kKeySpace = 200;
+  std::mutex mu;
+  std::map<int64_t, std::string> observed;
+  std::atomic<bool> collecting{false};
+  ASSERT_TRUE((*d)
+                  ->OnOutput("get",
+                             [&](const Tuple& out, uint64_t) {
+                               if (!collecting.load()) {
+                                 return;
+                               }
+                               std::lock_guard<std::mutex> lock(mu);
+                               if (!out[1].AsString().empty()) {
+                                 observed[out[0].AsInt()] = out[1].AsString();
+                               }
+                             })
+                  .ok());
+
+  ChaosContext ctx;
+  ctx.deployment = d->get();
+  ctx.rng = &rng;
+  ctx.log = &log;
+  ctx.seed = seed;
+  ctx.primary_state = "store";
+  auto put_or_get = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      const int64_t key = static_cast<int64_t>(rng.NextBounded(kKeySpace));
+      if (rng.NextBounded(100) < 75) {
+        std::string value = "v" + std::to_string(rng.Next() % 100000);
+        model.Put(key, value);
+        log.Record("put " + std::to_string(key) + " " + value);
+        EXPECT_TRUE(
+            (*d)->Inject("put", Tuple{Value(key), Value(value)}).ok());
+      } else {
+        // Unverified read under faults; the verify sweep re-reads everything.
+        log.Record("get " + std::to_string(key));
+        EXPECT_TRUE((*d)->Inject("get", Tuple{Value(key)}).ok());
+      }
+    }
+  };
+  // put and del are different entry TEs with separate mailboxes and workers,
+  // so the runtime leaves cross-entry per-key ordering undefined (the seed
+  // chaos test documents the same caveat). Phase each burst — all deletes,
+  // drain, then puts and gets — so last-write-wins per key is deterministic.
+  ctx.mutate = [&](int count) {
+    const int dels = count / 5;
+    for (int i = 0; i < dels; ++i) {
+      const int64_t key = static_cast<int64_t>(rng.NextBounded(kKeySpace));
+      model.Del(key);
+      log.Record("del " + std::to_string(key));
+      EXPECT_TRUE((*d)->Inject("del", Tuple{Value(key)}).ok());
+    }
+    (*d)->Drain();
+    put_or_get(count - dels);
+  };
+  // Replay re-delivers each restored entry TE's external stream concurrently,
+  // so the del-then-put phasing above cannot be preserved across a recovery:
+  // the window sticks to puts and gets (single entry => per-key FIFO).
+  ctx.mutate_replay = put_or_get;
+  ctx.verify = [&]() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      observed.clear();
+    }
+    collecting.store(true);
+    for (int64_t k = 0; k < kKeySpace; ++k) {
+      EXPECT_TRUE((*d)->Inject("get", Tuple{Value(k)}).ok());
+    }
+    (*d)->Drain();
+    collecting.store(false);
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> violations;
+    for (const auto& [k, v] : model.entries()) {
+      auto it = observed.find(k);
+      if (it == observed.end()) {
+        violations.push_back("lost write: key " + std::to_string(k) +
+                             " expected '" + v + "', got nothing");
+      } else if (it->second != v) {
+        violations.push_back("corrupted value: key " + std::to_string(k) +
+                             " expected '" + v + "', got '" + it->second +
+                             "'");
+      }
+    }
+    for (const auto& [k, v] : observed) {
+      if (!model.Get(k).has_value()) {
+        violations.push_back("resurrected delete: key " + std::to_string(k) +
+                             " should be absent, got '" + v + "'");
+      }
+    }
+    EXPECT_TRUE(violations.empty()) << FailureBanner(
+        seed, log, violations, (*d)->fault_injector()->Log());
+  };
+
+  RunChaosRounds(ctx);
+  (*d)->Shutdown();
+}
+
+// --- Wordcount --------------------------------------------------------------
+
+void RunWordCountChaos(uint64_t seed) {
+  ScopedTestDir dir("chaos_wc");
+  Rng rng(seed);
+  OpLog log;
+  WordCountReferenceModel model;
+
+  apps::WordCountOptions wc_opt;
+  wc_opt.count_partitions = 2;
+  auto g = apps::BuildWordCountSdg(wc_opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  // line->count is an internal partitioned hop: int64 counting commutes, so
+  // reorder is safe to inject there on top of dup and delay.
+  auto opts = ChaosClusterOptions(dir.path(), seed,
+                                  {
+                                      {"external", "line", 0.0, 0.15, 0.05,
+                                       0.0, 300},
+                                      {"line", "count", 0.0, 0.15, 0.05,
+                                       0.25, 300},
+                                      {"external", "snapshot", 0.10, 0.15,
+                                       0.05, 0.25, 300},
+                                  });
+  runtime::Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  constexpr int kVocab = 30;
+  auto word = [](uint64_t i) { return "w" + std::to_string(i); };
+
+  ChaosContext ctx;
+  ctx.deployment = d->get();
+  ctx.rng = &rng;
+  ctx.log = &log;
+  ctx.seed = seed;
+  ctx.primary_state = "counts";
+  ctx.mutate = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      if (rng.NextBounded(100) < 85) {
+        std::string line;
+        const uint64_t words = 1 + rng.NextBounded(5);
+        for (uint64_t w = 0; w < words; ++w) {
+          if (!line.empty()) {
+            line += ' ';
+          }
+          line += word(rng.NextBounded(kVocab));
+        }
+        model.AddLine(line);
+        log.Record("line \"" + line + "\"");
+        EXPECT_TRUE((*d)->Inject("line", Tuple{Value(line)}).ok());
+      } else {
+        // Unverified snapshot query under faults.
+        std::string w = word(rng.NextBounded(kVocab));
+        log.Record("snapshot " + w);
+        EXPECT_TRUE((*d)->Inject("snapshot", Tuple{Value(w)}).ok());
+      }
+    }
+  };
+  ctx.verify = [&]() {
+    // Direct end-state comparison across all count partitions: catches lost
+    // words, duplicate side-effects (count too high) and phantom words.
+    std::map<std::string, int64_t> observed;
+    const uint32_t parts = (*d)->NumStateInstances("counts");
+    for (uint32_t p = 0; p < parts; ++p) {
+      auto* dict = state::StateAs<state::KeyedDict<std::string, int64_t>>(
+          (*d)->StateInstance("counts", p));
+      ASSERT_NE(dict, nullptr);
+      dict->ForEach([&](const std::string& w, const int64_t& c) {
+        observed[w] += c;
+      });
+    }
+    std::vector<std::string> violations;
+    for (const auto& [w, c] : model.counts()) {
+      auto it = observed.find(w);
+      const int64_t got = it == observed.end() ? 0 : it->second;
+      if (got < c) {
+        violations.push_back("lost write: word '" + w + "' expected " +
+                             std::to_string(c) + ", got " +
+                             std::to_string(got));
+      } else if (got > c) {
+        violations.push_back("duplicate side effect: word '" + w +
+                             "' expected " + std::to_string(c) + ", got " +
+                             std::to_string(got));
+      }
+    }
+    for (const auto& [w, c] : observed) {
+      if (model.counts().find(w) == model.counts().end()) {
+        violations.push_back("phantom word '" + w + "' with count " +
+                             std::to_string(c));
+      }
+    }
+    EXPECT_TRUE(violations.empty()) << FailureBanner(
+        seed, log, violations, (*d)->fault_injector()->Log());
+  };
+
+  RunChaosRounds(ctx);
+  (*d)->Shutdown();
+}
+
+// --- Logistic regression ----------------------------------------------------
+
+void RunLrChaos(uint64_t seed) {
+  ScopedTestDir dir("chaos_lr");
+  Rng rng(seed);
+  OpLog log;
+
+  apps::LrOptions lr_opt;
+  lr_opt.dimensions = 8;
+  lr_opt.learning_rate = 0.05;
+  lr_opt.worker_replicas = 1;  // single replica => deterministic float order
+  LrReferenceModel model(lr_opt);
+  auto g = apps::BuildLrSdg(lr_opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  auto opts = ChaosClusterOptions(dir.path(), seed,
+                                  {
+                                      {"external", "train", 0.0, 0.15, 0.05,
+                                       0.0, 300},
+                                      {"external", "readModel", 0.10, 0.15,
+                                       0.05, 0.0, 300},
+                                  });
+  runtime::Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  ChaosContext ctx;
+  ctx.deployment = d->get();
+  ctx.rng = &rng;
+  ctx.log = &log;
+  ctx.seed = seed;
+  ctx.primary_state = "weights";
+  ctx.mutate = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      if (rng.NextBounded(100) < 90) {
+        std::vector<double> x(lr_opt.dimensions);
+        for (double& xi : x) {
+          xi = rng.NextDoubleIn(-1.0, 1.0);
+        }
+        const int64_t y = static_cast<int64_t>(rng.NextBounded(2));
+        model.Train(x, y);
+        log.Record("train y=" + std::to_string(y) + " x=" + VecToStr(x));
+        EXPECT_TRUE(
+            (*d)->Inject("train", Tuple{Value(x), Value(y)}).ok());
+      } else {
+        // Unverified global read under faults.
+        log.Record("readModel");
+        EXPECT_TRUE((*d)->Inject("readModel", Tuple{}).ok());
+      }
+    }
+  };
+  ctx.verify = [&]() {
+    auto* w = state::StateAs<state::VectorState>(
+        (*d)->StateInstance("weights", 0));
+    ASSERT_NE(w, nullptr);
+    const std::vector<double> got = w->ToDense();
+    const std::vector<double>& want = model.weights();
+    ASSERT_EQ(got.size(), want.size());
+    std::vector<std::string> violations;
+    for (size_t i = 0; i < want.size(); ++i) {
+      if (std::abs(got[i] - want[i]) > 1e-9) {
+        violations.push_back("weight " + std::to_string(i) + " diverged: " +
+                             std::to_string(want[i]) + " vs " +
+                             std::to_string(got[i]));
+      }
+    }
+    EXPECT_TRUE(violations.empty()) << FailureBanner(
+        seed, log, violations, (*d)->fault_injector()->Log());
+  };
+
+  RunChaosRounds(ctx);
+  (*d)->Shutdown();
+}
+
+// --- k-means ----------------------------------------------------------------
+
+void RunKMeansChaos(uint64_t seed) {
+  ScopedTestDir dir("chaos_kmeans");
+  Rng rng(seed);
+  OpLog log;
+
+  apps::KMeansOptions km_opt;
+  km_opt.clusters = 3;
+  km_opt.dimensions = 2;
+  km_opt.replicas = 1;  // single replica => deterministic assignments
+  KMeansReferenceModel model(km_opt);
+  auto g = apps::BuildKMeansSdg(km_opt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+  // assign->accumulate folds commutative additions, so reorder is safe; the
+  // step/merge edges stay fault-free (the app requires a drained pipeline at
+  // the synchronisation point).
+  auto opts = ChaosClusterOptions(dir.path(), seed,
+                                  {
+                                      {"external", "assign", 0.0, 0.15, 0.05,
+                                       0.0, 300},
+                                      {"assign", "accumulate", 0.0, 0.15,
+                                       0.05, 0.25, 300},
+                                  });
+  runtime::Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  ChaosContext ctx;
+  ctx.deployment = d->get();
+  ctx.rng = &rng;
+  ctx.log = &log;
+  ctx.seed = seed;
+  ctx.primary_state = "model";
+  ctx.mutate = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      if (rng.NextBounded(100) < 92) {
+        std::vector<double> x(km_opt.dimensions);
+        for (double& xi : x) {
+          xi = rng.NextDoubleIn(0.0, 10.0);
+        }
+        model.Assign(x);
+        log.Record("assign " + VecToStr(x));
+        EXPECT_TRUE((*d)->Inject("assign", Tuple{Value(x)}).ok());
+      } else {
+        // Close the iteration: drain assignments first (the app's contract),
+        // then merge sums into new centroids on both sides.
+        (*d)->Drain();
+        model.Step();
+        log.Record("step");
+        EXPECT_TRUE((*d)->Inject("step", Tuple{}).ok());
+        (*d)->Drain();
+      }
+    }
+  };
+  // The iteration-closing step is a global sync and not replay-safe (see
+  // ChaosContext::mutate_replay); the replay window streams assignments only.
+  ctx.mutate_replay = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<double> x(km_opt.dimensions);
+      for (double& xi : x) {
+        xi = rng.NextDoubleIn(0.0, 10.0);
+      }
+      model.Assign(x);
+      log.Record("assign " + VecToStr(x));
+      EXPECT_TRUE((*d)->Inject("assign", Tuple{Value(x)}).ok());
+    }
+  };
+  ctx.verify = [&]() {
+    auto* m = state::StateAs<state::DenseMatrix>(
+        (*d)->StateInstance("model", 0));
+    ASSERT_NE(m, nullptr);
+    std::vector<std::string> violations;
+    for (uint32_t c = 0; c < km_opt.clusters; ++c) {
+      for (size_t j = 0; j < km_opt.dimensions; ++j) {
+        const double want = model.centroids()[c * km_opt.dimensions + j];
+        const double got = m->Get(c, j);
+        // Reorder faults permute the (commutative) sum accumulation order,
+        // so centroids compare modulo float rounding.
+        if (std::abs(got - want) > 1e-6) {
+          violations.push_back(
+              "centroid (" + std::to_string(c) + "," + std::to_string(j) +
+              ") diverged: " + std::to_string(want) + " vs " +
+              std::to_string(got));
+        }
+      }
+    }
+    EXPECT_TRUE(violations.empty()) << FailureBanner(
+        seed, log, violations, (*d)->fault_injector()->Log());
+  };
+
+  RunChaosRounds(ctx);
+  (*d)->Shutdown();
+}
+
+// --- Collaborative filtering ------------------------------------------------
+
+void RunCfChaos(uint64_t seed) {
+  ScopedTestDir dir("chaos_cf");
+  Rng rng(seed);
+  OpLog log;
+
+  apps::CfOptions cf_opt;
+  cf_opt.num_items = 40;
+  cf_opt.user_partitions = 1;
+  cf_opt.cooc_replicas = 1;  // single replica => exact integer co-occurrence
+  CfReferenceModel model(cf_opt);
+  auto t = apps::BuildCfSdg(cf_opt);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  auto opts = ChaosClusterOptions(dir.path(), seed,
+                                  {
+                                      {"external", "addRating", 0.0, 0.15,
+                                       0.05, 0.0, 300},
+                                      {"external", "getRec", 0.10, 0.15,
+                                       0.05, 0.0, 300},
+                                  });
+  runtime::Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(t->sdg));
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+
+  constexpr int64_t kUsers = 12;
+  std::mutex mu;
+  std::map<int64_t, std::vector<double>> observed;
+  std::atomic<bool> collecting{false};
+  ASSERT_TRUE((*d)
+                  ->OnOutput("merge",
+                             [&](const Tuple& out, uint64_t) {
+                               if (!collecting.load()) {
+                                 return;
+                               }
+                               std::lock_guard<std::mutex> lock(mu);
+                               observed[out[0].AsInt()] =
+                                   out[1].AsDoubleVector();
+                             })
+                  .ok());
+
+  ChaosContext ctx;
+  ctx.deployment = d->get();
+  ctx.rng = &rng;
+  ctx.log = &log;
+  ctx.seed = seed;
+  ctx.primary_state = "userItem";
+  ctx.mutate = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      if (rng.NextBounded(100) < 85) {
+        const int64_t user = static_cast<int64_t>(rng.NextBounded(kUsers));
+        const int64_t item = static_cast<int64_t>(
+            rng.NextBounded(static_cast<uint64_t>(cf_opt.num_items)));
+        // Integer ratings keep the co-occurrence sums exact.
+        const double rating = static_cast<double>(1 + rng.NextBounded(5));
+        model.AddRating(user, item, rating);
+        log.Record("addRating user=" + std::to_string(user) +
+                   " item=" + std::to_string(item) +
+                   " rating=" + std::to_string(rating));
+        EXPECT_TRUE(
+            (*d)->Inject("addRating",
+                         Tuple{Value(user), Value(item), Value(rating)})
+                .ok());
+      } else {
+        // Unverified recommendation query under faults.
+        const int64_t user = static_cast<int64_t>(rng.NextBounded(kUsers));
+        log.Record("getRec user=" + std::to_string(user));
+        EXPECT_TRUE((*d)->Inject("getRec", Tuple{Value(user)}).ok());
+      }
+    }
+  };
+  ctx.verify = [&]() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      observed.clear();
+    }
+    collecting.store(true);
+    for (int64_t u = 0; u < kUsers; ++u) {
+      EXPECT_TRUE((*d)->Inject("getRec", Tuple{Value(u)}).ok());
+    }
+    (*d)->Drain();
+    collecting.store(false);
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> violations;
+    for (int64_t u = 0; u < kUsers; ++u) {
+      auto it = observed.find(u);
+      if (it == observed.end()) {
+        violations.push_back("lost query: no recommendation for user " +
+                             std::to_string(u));
+        continue;
+      }
+      const std::vector<double> want = model.GetRec(u);
+      if (it->second.size() != want.size()) {
+        violations.push_back("recommendation for user " + std::to_string(u) +
+                             " has wrong length");
+        continue;
+      }
+      for (size_t i = 0; i < want.size(); ++i) {
+        if (std::abs(it->second[i] - want[i]) > 1e-9) {
+          violations.push_back(
+              "recommendation diverged: user " + std::to_string(u) +
+              " item " + std::to_string(i) + ": " + std::to_string(want[i]) +
+              " vs " + std::to_string(it->second[i]));
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(violations.empty()) << FailureBanner(
+        seed, log, violations, (*d)->fault_injector()->Log());
+  };
+
+  RunChaosRounds(ctx);
+  (*d)->Shutdown();
+}
+
+}  // namespace sdg::harness

@@ -1,0 +1,92 @@
+// Differential chaos harness: every app runs against its single-threaded
+// reference model (src/apps/reference_models.h) under seeded edge faults
+// (drop/dup/delay/reorder) and armed crash points in the checkpoint, backup
+// store, restore and replay paths. One seed determines the op stream, the
+// fault schedule and the checkpoint/kill/recover interleaving, so any
+// failure reproduces from the seed alone. See docs/testing.md.
+#ifndef SDG_TESTS_HARNESS_CHAOS_HARNESS_H_
+#define SDG_TESTS_HARNESS_CHAOS_HARNESS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/runtime/cluster.h"
+
+namespace sdg::harness {
+
+// Seeds to run each app's chaos suite with. Defaults to a small fixed set;
+// SDG_CHAOS_SEED_RANGE="lo-hi" (inclusive) substitutes an extended range —
+// CI exposes it behind a workflow-dispatch input.
+std::vector<uint64_t> ChaosSeeds();
+
+// Test-name generator so a seed pins directly into --gtest_filter
+// (".../seed42" instead of ".../3").
+std::string SeedTestName(const ::testing::TestParamInfo<uint64_t>& info);
+
+// Chronological op/event log for one chaos run; dumped on divergence.
+class OpLog {
+ public:
+  void Record(std::string op) { ops_.push_back(std::move(op)); }
+  size_t size() const { return ops_.size(); }
+  std::string Dump() const;
+
+ private:
+  std::vector<std::string> ops_;
+};
+
+// Failure report: the violations, the seed, a ready-to-paste repro line, the
+// full op log and (when provided) the injector's record of every fired fault.
+std::string FailureBanner(uint64_t seed, const OpLog& log,
+                          const std::vector<std::string>& violations,
+                          const std::vector<std::string>& fault_log = {});
+
+// One app's hookup to the generic chaos protocol.
+struct ChaosContext {
+  runtime::Deployment* deployment = nullptr;
+  Rng* rng = nullptr;
+  OpLog* log = nullptr;
+  uint64_t seed = 0;
+  uint32_t num_nodes = 3;
+  // State element whose instance-0 node is checkpointed / killed / recovered.
+  std::string primary_state;
+  // Injects `count` seeded ops, mirrors them into the reference model and
+  // records them in the log. Runs with edge faults active.
+  std::function<void(int count)> mutate;
+  // Ops injected between a checkpoint and a kill, i.e. covered only by
+  // upstream-backup replay. Defaults to `mutate`. Apps whose op set includes
+  // a global synchronisation (k-means step) must exclude it here: replaying
+  // a sync whose downstream effects survived on other nodes is absorbed by
+  // dedup there, so the restored node never sees the sync re-applied.
+  std::function<void(int count)> mutate_replay;
+  // Compares deployment end state against the model with GTest expectations.
+  // Runs with the injector paused and all crash points disarmed.
+  std::function<void()> verify;
+  int rounds = 4;
+  int burst = 40;
+};
+
+// The seeded chaos protocol: per round, an op burst, a drain, a seeded
+// fault-tolerance event (checkpoint; checkpoint dying at an armed crash
+// point; or checkpoint + post-checkpoint burst + kill + recover, sometimes
+// through an injected restore failure and retry, or with replay run twice),
+// a drain, then differential verification.
+void RunChaosRounds(ChaosContext& ctx);
+
+// Per-app drivers (tests/harness/chaos_apps_test.cc instantiates these over
+// ChaosSeeds()). Each builds the app with fault injection enabled, runs
+// RunChaosRounds and reports divergences via FailureBanner.
+void RunKvChaos(uint64_t seed);
+void RunWordCountChaos(uint64_t seed);
+void RunLrChaos(uint64_t seed);
+void RunKMeansChaos(uint64_t seed);
+void RunCfChaos(uint64_t seed);
+
+}  // namespace sdg::harness
+
+#endif  // SDG_TESTS_HARNESS_CHAOS_HARNESS_H_

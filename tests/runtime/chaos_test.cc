@@ -5,30 +5,73 @@
 // operations. After every recovery and at the end, the store must agree with
 // the model exactly — puts before the last checkpoint come back from chunks,
 // puts after it from upstream-buffer replay, and deletes must not resurrect.
+//
+// On divergence the failure message carries the seed, a ready-to-paste
+// --gtest_filter repro line and the full op log, so any run reproduces from
+// the test output alone (tests/harness/ applies the same reporting pattern
+// across all apps).
 #include <gtest/gtest.h>
 
 #include <cstdlib>
-#include <filesystem>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/apps/kv.h"
 #include "src/common/rng.h"
 #include "src/runtime/cluster.h"
+#include "tests/common/scoped_test_dir.h"
 
 namespace sdg::runtime {
 namespace {
 
 class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
 
+// Names instantiations "seed101" instead of "0" so the repro line below can
+// be pasted into --gtest_filter directly.
+std::string ChaosSeedName(const ::testing::TestParamInfo<uint64_t>& info) {
+  return "seed" + std::to_string(info.param);
+}
+
+// The divergence report for one failed round: seed, repro, diff, op log.
+std::string DivergenceReport(uint64_t seed, int round,
+                             const std::map<int64_t, std::string>& model,
+                             const std::map<int64_t, std::string>& observed,
+                             const std::vector<std::string>& ops) {
+  std::ostringstream os;
+  os << "=== chaos divergence (seed " << seed << ", round " << round
+     << ") ===\n";
+  for (const auto& [k, v] : model) {
+    auto it = observed.find(k);
+    if (it == observed.end()) {
+      os << "  lost write: key " << k << " expected '" << v
+         << "', got nothing\n";
+    } else if (it->second != v) {
+      os << "  corrupted value: key " << k << " expected '" << v << "', got '"
+         << it->second << "'\n";
+    }
+  }
+  for (const auto& [k, v] : observed) {
+    if (model.find(k) == model.end()) {
+      os << "  resurrected delete: key " << k << " should be absent, got '"
+         << v << "'\n";
+    }
+  }
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  os << "reproduce with:\n  ./build/tests/runtime_test --gtest_filter="
+     << info->test_suite_name() << "." << info->name() << "\n";
+  os << "op log (" << ops.size() << " ops):\n";
+  for (const auto& op : ops) {
+    os << "  " << op << "\n";
+  }
+  return os.str();
+}
+
 TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
   Rng rng(GetParam());
-  auto dir = std::filesystem::temp_directory_path() /
-             ("sdg_chaos_" + std::to_string(::getpid()) + "_" +
-              std::to_string(GetParam()));
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
+  ScopedTestDir dir("chaos_kv_seed");
 
   auto g = apps::BuildKvSdg(apps::KvOptions{});
   ASSERT_TRUE(g.ok());
@@ -37,13 +80,14 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
   o.mailbox_capacity = 4096;
   o.fault_tolerance.mode = FtMode::kAsyncLocal;
   o.fault_tolerance.checkpoint_interval_s = 0;  // chaos drives checkpoints
-  o.fault_tolerance.store.root = dir;
+  o.fault_tolerance.store.root = dir.path();
   o.fault_tolerance.store.num_backup_nodes = 1 + rng.NextBounded(2);
   Cluster cluster(o);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
 
   std::map<int64_t, std::string> model;
+  std::vector<std::string> ops;
   constexpr int64_t kKeySpace = 400;
 
   // One sink with test-lifetime storage: replayed gets may fire it at any
@@ -72,6 +116,7 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
       auto key = static_cast<int64_t>(rng.NextBounded(kKeySpace));
       ASSERT_TRUE((*d)->Inject("del", Tuple{Value(key)}).ok());
       model.erase(key);
+      ops.push_back("del " + std::to_string(key));
     }
     (*d)->Drain();
     int puts = 100 + static_cast<int>(rng.NextBounded(200));
@@ -81,6 +126,7 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
                           std::to_string(rng.NextBounded(1000));
       ASSERT_TRUE((*d)->Inject("put", Tuple{Value(key), Value(value)}).ok());
       model[key] = value;
+      ops.push_back("put " + std::to_string(key) + " " + value);
     }
     (*d)->Drain();
 
@@ -89,11 +135,13 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
     if (roll < 40) {
       ASSERT_TRUE((*d)->CheckpointNode(store_node).ok()) << "round " << round;
       have_checkpoint = true;
+      ops.push_back("checkpoint node " + std::to_string(store_node));
     } else if (roll < 70 && have_checkpoint && live.size() >= 2) {
       // Checkpoint, then kill and recover onto a random other live node
       // (1-to-1). Checkpointing first keeps the scenario recoverable; the
       // post-checkpoint burst of the *next* round exercises replay.
       ASSERT_TRUE((*d)->CheckpointNode(store_node).ok());
+      ops.push_back("checkpoint node " + std::to_string(store_node));
       // A few extra post-checkpoint ops that must survive via replay.
       for (int i = 0; i < 30; ++i) {
         auto key = static_cast<int64_t>(rng.NextBounded(kKeySpace));
@@ -101,6 +149,7 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
                             std::to_string(i);
         ASSERT_TRUE((*d)->Inject("put", Tuple{Value(key), Value(value)}).ok());
         model[key] = value;
+        ops.push_back("put " + std::to_string(key) + " " + value);
       }
       (*d)->Drain();
       ASSERT_TRUE((*d)->KillNode(store_node).ok()) << "round " << round;
@@ -114,6 +163,8 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
       ASSERT_TRUE((*d)->RecoverNode(store_node, {target}).ok())
           << "round " << round;
       (*d)->Drain();
+      ops.push_back("kill node " + std::to_string(store_node) +
+                    "; recover onto node " + std::to_string(target));
       // The killed node is gone for good.
       live.erase(std::find(live.begin(), live.end(), store_node));
       store_node = target;
@@ -130,19 +181,19 @@ TEST_P(ChaosTest, RandomOpsFailuresAndRecoveriesMatchModel) {
     }
     (*d)->Drain();
     std::lock_guard<std::mutex> lock(observed_mu);
-    EXPECT_EQ(observed, model) << "divergence in round " << round << " (seed "
-                               << GetParam() << ")";
+    EXPECT_TRUE(observed == model)
+        << DivergenceReport(GetParam(), round, model, observed, ops);
     if (observed != model) {
       break;  // no point compounding the failure across rounds
     }
   }
 
   (*d)->Shutdown();
-  std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
-                         ::testing::Values(101, 202, 303, 404, 505, 606));
+                         ::testing::Values(101, 202, 303, 404, 505, 606),
+                         ChaosSeedName);
 
 }  // namespace
 }  // namespace sdg::runtime

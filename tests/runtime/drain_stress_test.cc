@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "src/graph/sdg.h"
 #include "src/runtime/cluster.h"
 #include "src/state/keyed_dict.h"
+#include "tests/common/scoped_test_dir.h"
 
 namespace sdg::runtime {
 namespace {
@@ -26,14 +28,6 @@ using state::KeyedDict;
 using state::StateAs;
 
 using IntDict = KeyedDict<int64_t, int64_t>;
-
-std::filesystem::path FreshDir(const std::string& tag) {
-  auto dir = std::filesystem::temp_directory_path() /
-             ("sdg_test_" + tag + "_" + std::to_string(::getpid()));
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir;
-}
 
 // feed (entry) --kPartitioned--> count (stateful): every injected item takes
 // one emit hop, so both the ingest and the emit delivery paths are in play.
@@ -141,7 +135,7 @@ TEST(DrainStressTest, DrainWithUpstreamBackupEnabled) {
   // With fault tolerance on, deliveries flush per input item inside the step
   // lock (the replay protocol forbids deferral); the accounting protocol
   // must hold on that path too.
-  auto dir = FreshDir("drain_stress_ft");
+  ScopedTestDir dir("drain_stress_ft");
   ClusterOptions o;
   o.num_nodes = 2;
   o.serialize_cross_node = true;
@@ -149,7 +143,7 @@ TEST(DrainStressTest, DrainWithUpstreamBackupEnabled) {
   o.mailbox_capacity = 4096;
   o.fault_tolerance.mode = FtMode::kAsyncLocal;
   o.fault_tolerance.checkpoint_interval_s = 0;  // manual checkpoints only
-  o.fault_tolerance.store.root = dir;
+  o.fault_tolerance.store.root = dir.path();
   o.fault_tolerance.store.num_backup_nodes = 1;
   Deployment d(PipelineGraph(), o);
   ASSERT_TRUE(d.Start().ok());
@@ -158,7 +152,37 @@ TEST(DrainStressTest, DrainWithUpstreamBackupEnabled) {
   StressRounds(d, 10, &total);
   EXPECT_GT(total, 0u);
   d.Shutdown();
-  std::filesystem::remove_all(dir);
+}
+
+TEST(DrainStressTest, DrainRacesConcurrentKillNode) {
+  // KillNode() aborts every mailbox on the node; the items it discards were
+  // counted into the in-flight gauge at delivery and must be released, or a
+  // Drain() parked on the gauge waits for deliveries that will never finish.
+  // Each trial parks the drainer at a different queue depth; a regression
+  // shows up as a hang, which the per-test ctest timeout converts into a
+  // fast failure.
+  for (int trial = 0; trial < 8; ++trial) {
+    ClusterOptions o;
+    o.num_nodes = 4;
+    o.serialize_cross_node = true;
+    o.max_batch = 8;
+    o.mailbox_capacity = 4096;
+    Deployment d(PipelineGraph(), o);
+    ASSERT_TRUE(d.Start().ok());
+
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(d.Inject("feed", Tuple{Value(i % 17), Value(i)}).ok());
+    }
+    std::thread drainer([&] { d.Drain(); });
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * trial));
+    ASSERT_TRUE(d.KillNode(trial % 3).ok());
+    drainer.join();
+
+    // The degraded deployment must still drain instantly and repeatedly.
+    d.Drain();
+    d.Drain();
+    d.Shutdown();
+  }
 }
 
 TEST(DrainStressTest, ConcurrentDrainCallers) {

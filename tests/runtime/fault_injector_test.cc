@@ -1,0 +1,301 @@
+// Unit tests for the seeded deterministic fault injector: decision hashing,
+// crash-point arming/countdowns, rule resolution and the backup-store hook.
+#include "src/runtime/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/apps/kv.h"
+#include "src/checkpoint/backup_store.h"
+#include "tests/common/scoped_test_dir.h"
+
+namespace sdg::runtime {
+namespace {
+
+std::vector<DataItem> MakeGroup(uint32_t src_task, uint32_t src_instance,
+                                uint64_t first_ts, size_t n) {
+  std::vector<DataItem> items;
+  for (size_t i = 0; i < n; ++i) {
+    DataItem item;
+    item.from = SourceId{src_task, src_instance};
+    item.ts = first_ts + i;
+    item.payload = Tuple{Value(static_cast<int64_t>(first_ts + i))};
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+FaultInjectionOptions AnyEdgeOptions(uint64_t seed) {
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = seed;
+  opt.edges.push_back(EdgeFaultRule{"", "", /*drop=*/0.3, /*dup=*/0.3,
+                                    /*delay=*/0.0, /*reorder=*/0.2, 200});
+  return opt;
+}
+
+// Summarises the fault decisions over a fixed item stream so two runs can be
+// compared exactly.
+std::string Schedule(FaultInjector& inj) {
+  std::string out;
+  for (uint64_t g = 0; g < 50; ++g) {
+    auto items = MakeGroup(/*task=*/3, /*instance=*/1, g * 10, 8);
+    auto eff = inj.ApplyToGroup(3, 7, items);
+    out += std::to_string(eff.dropped) + "/" + std::to_string(eff.duplicated) +
+           (eff.reordered ? "r" : "-") + ";";
+    for (const auto& item : items) {
+      out += std::to_string(item.ts) + (item.replayed ? "d" : "") + ",";
+    }
+    out += "|";
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector a(AnyEdgeOptions(42));
+  FaultInjector b(AnyEdgeOptions(42));
+  ASSERT_TRUE(a.Resolve(graph::Sdg()).ok());
+  ASSERT_TRUE(b.Resolve(graph::Sdg()).ok());
+  EXPECT_EQ(Schedule(a), Schedule(b));
+  EXPECT_EQ(a.FaultCount(), b.FaultCount());
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  FaultInjector a(AnyEdgeOptions(42));
+  FaultInjector b(AnyEdgeOptions(43));
+  ASSERT_TRUE(a.Resolve(graph::Sdg()).ok());
+  ASSERT_TRUE(b.Resolve(graph::Sdg()).ok());
+  // 400 independent per-item decisions; identical schedules would mean the
+  // seed is ignored.
+  EXPECT_NE(Schedule(a), Schedule(b));
+}
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfItemIdentity) {
+  // The same item must get the same fate regardless of processing order or
+  // what was rolled before it — the property that makes schedules replayable
+  // across thread interleavings.
+  FaultInjector a(AnyEdgeOptions(7));
+  FaultInjector b(AnyEdgeOptions(7));
+  ASSERT_TRUE(a.Resolve(graph::Sdg()).ok());
+  ASSERT_TRUE(b.Resolve(graph::Sdg()).ok());
+
+  auto forward = MakeGroup(1, 0, 100, 1);
+  a.ApplyToGroup(1, 2, forward);  // warm up `a` with an unrelated group
+  auto probe_a = MakeGroup(5, 2, 777, 1);
+  auto probe_b = MakeGroup(5, 2, 777, 1);
+  a.ApplyToGroup(5, 6, probe_a);
+  b.ApplyToGroup(5, 6, probe_b);
+  ASSERT_EQ(probe_a.size(), probe_b.size());
+  for (size_t i = 0; i < probe_a.size(); ++i) {
+    EXPECT_EQ(probe_a[i].ts, probe_b[i].ts);
+    EXPECT_EQ(probe_a[i].replayed, probe_b[i].replayed);
+  }
+}
+
+TEST(FaultInjectorTest, ReplayedItemsAreExemptFromFaults) {
+  // Recovery re-sends ride an ordered, reliable channel: the receiver's
+  // timestamp-watermark dedup requires per-source FIFO, so replayed items
+  // must never be dropped, duplicated, or reordered (a reordered replay group
+  // advances the watermark past undelivered items and loses them silently).
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 11;
+  opt.edges.push_back(
+      EdgeFaultRule{"", "", /*drop=*/1.0, /*dup=*/1.0, /*delay=*/0.0,
+                    /*reorder=*/1.0, 200});
+  FaultInjector inj(opt);
+  ASSERT_TRUE(inj.Resolve(graph::Sdg()).ok());
+
+  auto items = MakeGroup(/*task=*/3, /*instance=*/0, /*first_ts=*/100, 4);
+  for (auto& item : items) {
+    item.replayed = true;
+  }
+  auto eff = inj.ApplyToGroup(3, 7, items);
+  EXPECT_EQ(eff.dropped, 0u);
+  EXPECT_EQ(eff.duplicated, 0u);
+  EXPECT_FALSE(eff.reordered);
+  ASSERT_EQ(items.size(), 4u);
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].ts, 100 + i);
+  }
+
+  // A single replayed item in the group pins the whole group's order; the
+  // fresh items around it still take per-item faults.
+  auto mixed = MakeGroup(3, 0, 200, 4);
+  mixed[2].replayed = true;
+  eff = inj.ApplyToGroup(3, 7, mixed);
+  EXPECT_FALSE(eff.reordered);
+  bool survivor = false;
+  for (const auto& item : mixed) {
+    survivor = survivor || item.ts == 202;
+  }
+  EXPECT_TRUE(survivor) << "replayed item must never be dropped";
+}
+
+TEST(FaultInjectorTest, DisabledOrPausedInjectsNothing) {
+  FaultInjectionOptions opt = AnyEdgeOptions(42);
+  opt.enabled = false;
+  FaultInjector off(opt);
+  ASSERT_TRUE(off.Resolve(graph::Sdg()).ok());
+  auto items = MakeGroup(3, 1, 0, 8);
+  auto eff = off.ApplyToGroup(3, 7, items);
+  EXPECT_EQ(eff.dropped + eff.duplicated, 0u);
+  EXPECT_EQ(items.size(), 8u);
+
+  FaultInjector paused(AnyEdgeOptions(42));
+  ASSERT_TRUE(paused.Resolve(graph::Sdg()).ok());
+  paused.Pause();
+  items = MakeGroup(3, 1, 0, 8);
+  eff = paused.ApplyToGroup(3, 7, items);
+  EXPECT_EQ(eff.dropped + eff.duplicated, 0u);
+  EXPECT_EQ(items.size(), 8u);
+  paused.Resume();
+  items = MakeGroup(3, 1, 0, 64);
+  eff = paused.ApplyToGroup(3, 7, items);
+  EXPECT_GT(eff.dropped + eff.duplicated, 0u);
+}
+
+TEST(FaultInjectorTest, DuplicatesFollowOriginalsAndAreReplayMarked) {
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 11;
+  opt.edges.push_back(EdgeFaultRule{"", "", 0.0, /*dup=*/1.0, 0.0, 0.0, 200});
+  FaultInjector inj(opt);
+  ASSERT_TRUE(inj.Resolve(graph::Sdg()).ok());
+  auto items = MakeGroup(2, 0, 10, 4);
+  auto eff = inj.ApplyToGroup(2, 3, items);
+  EXPECT_EQ(eff.duplicated, 4u);
+  ASSERT_EQ(items.size(), 8u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(items[i].replayed) << i;  // originals first, unmarked
+    EXPECT_TRUE(items[4 + i].replayed) << i;
+  }
+}
+
+TEST(FaultInjectorTest, ResolveMatchesTaskNamesAndRejectsUnknown) {
+  auto g = apps::BuildKvSdg(apps::KvOptions{});
+  ASSERT_TRUE(g.ok());
+
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 1;
+  opt.edges.push_back(EdgeFaultRule{"external", "put", /*drop=*/1.0, 0.0, 0.0,
+                                    0.0, 200});
+  FaultInjector inj(opt);
+  ASSERT_TRUE(inj.Resolve(*g).ok());
+
+  auto put_id = g->TaskByName("put");
+  auto get_id = g->TaskByName("get");
+  ASSERT_TRUE(put_id.ok());
+  ASSERT_TRUE(get_id.ok());
+
+  // external -> put matches; external -> get and put -> put do not.
+  auto items = MakeGroup(FaultInjector::kExternalTask, *put_id, 0, 4);
+  EXPECT_EQ(inj.ApplyToGroup(FaultInjector::kExternalTask, *put_id, items)
+                .dropped,
+            4u);
+  items = MakeGroup(FaultInjector::kExternalTask, *get_id, 0, 4);
+  EXPECT_EQ(inj.ApplyToGroup(FaultInjector::kExternalTask, *get_id, items)
+                .dropped,
+            0u);
+  items = MakeGroup(*put_id, 0, 0, 4);
+  EXPECT_EQ(inj.ApplyToGroup(*put_id, *put_id, items).dropped, 0u);
+
+  opt.edges[0].to_task = "no_such_task";
+  FaultInjector bad(opt);
+  Status s = bad.Resolve(*g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("no_such_task"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, CrashCountdownFiresOnNthHit) {
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 5;
+  FaultInjector inj(opt);
+  inj.ArmCrash("backup.write_chunk", CrashPhase::kAfter, /*on_hit=*/3);
+
+  EXPECT_FALSE(inj.FireIfArmed("backup.write_chunk", CrashPhase::kBefore));
+  EXPECT_FALSE(inj.FireIfArmed("backup.write_chunk", CrashPhase::kAfter));
+  EXPECT_FALSE(inj.FireIfArmed("backup.write_chunk", CrashPhase::kAfter));
+  EXPECT_TRUE(inj.FireIfArmed("backup.write_chunk", CrashPhase::kAfter));
+  // One-shot: consumed once fired.
+  EXPECT_FALSE(inj.FireIfArmed("backup.write_chunk", CrashPhase::kAfter));
+}
+
+TEST(FaultInjectorTest, CheckCrashReportsPointPhaseAndSeed) {
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 1234;
+  FaultInjector inj(opt);
+  inj.ArmCrash("restore.meta", CrashPhase::kBefore);
+  Status s = inj.CheckCrash("restore.meta", CrashPhase::kBefore);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("restore.meta"), std::string::npos);
+  EXPECT_NE(s.ToString().find("1234"), std::string::npos);
+  EXPECT_TRUE(inj.CheckCrash("restore.meta", CrashPhase::kBefore).ok());
+
+  inj.ArmCrash("restore.install", CrashPhase::kBefore);
+  inj.DisarmAll();
+  EXPECT_TRUE(inj.CheckCrash("restore.install", CrashPhase::kBefore).ok());
+}
+
+TEST(FaultInjectorTest, StoreHookDiesAfterNthChunk) {
+  // End to end through the real BackupStore: arm "after chunk 2 is backed
+  // up" and observe the write fail exactly there, with earlier chunks on
+  // disk and later ones absent.
+  ScopedTestDir dir("fault_store");
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 9;
+  auto inj = std::make_shared<FaultInjector>(opt);
+
+  checkpoint::BackupStoreOptions store_opt;
+  store_opt.root = dir.path();
+  store_opt.num_backup_nodes = 2;
+  store_opt.io_threads = 1;
+  store_opt.fault_hook = [inj](const char* op, uint32_t index, bool before) {
+    return inj->OnStoreOp(op, index, before);
+  };
+  checkpoint::BackupStore store(std::move(store_opt));
+
+  std::vector<std::vector<uint8_t>> chunks(4, std::vector<uint8_t>{1, 2, 3});
+  ASSERT_TRUE(store.WriteChunks(0, 1, "se", chunks).ok());
+
+  inj->ArmCrash("backup.write_chunk", CrashPhase::kAfter, /*on_hit=*/2);
+  Status s = store.WriteChunks(0, 2, "se", chunks);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("backup.write_chunk"), std::string::npos);
+
+  // Epoch 1 fully written and readable; epoch 2 has no meta and must not be
+  // reported as the latest complete checkpoint.
+  auto read = store.ReadChunks(0, 1, "se", 4);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 4u);
+  auto partial = store.ReadChunks(0, 2, "se", 4);
+  EXPECT_FALSE(partial.ok());
+}
+
+TEST(FaultInjectorTest, FaultLogIncludesSeedContext) {
+  FaultInjectionOptions opt;
+  opt.enabled = true;
+  opt.seed = 77;
+  opt.edges.push_back(EdgeFaultRule{"", "", /*drop=*/1.0, 0.0, 0.0, 0.0, 200});
+  FaultInjector inj(opt);
+  ASSERT_TRUE(inj.Resolve(graph::Sdg()).ok());
+  auto items = MakeGroup(1, 0, 5, 2);
+  inj.ApplyToGroup(1, 2, items);
+  EXPECT_TRUE(items.empty());
+  EXPECT_EQ(inj.FaultCount(), 2u);
+  auto log = inj.Log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("drop"), std::string::npos);
+  EXPECT_NE(log[0].find("ts=5"), std::string::npos);
+  EXPECT_EQ(inj.seed(), 77u);
+}
+
+}  // namespace
+}  // namespace sdg::runtime

@@ -10,6 +10,7 @@
 #include "src/graph/sdg.h"
 #include "src/runtime/cluster.h"
 #include "src/state/keyed_dict.h"
+#include "tests/common/scoped_test_dir.h"
 
 namespace sdg::runtime {
 namespace {
@@ -21,14 +22,6 @@ using state::KeyedDict;
 using state::StateAs;
 
 using IntDict = KeyedDict<int64_t, int64_t>;
-
-std::filesystem::path FreshDir(const std::string& tag) {
-  auto dir = std::filesystem::temp_directory_path() /
-             ("sdg_test_" + tag + "_" + std::to_string(::getpid()));
-  std::filesystem::remove_all(dir);
-  std::filesystem::create_directories(dir);
-  return dir;
-}
 
 Result<graph::Sdg> BuildKvGraph() {
   SdgBuilder b;
@@ -75,10 +68,10 @@ std::map<int64_t, int64_t> ReadAll(Deployment& d, int64_t num_keys) {
 }
 
 TEST(CheckpointTest, ManualCheckpointCompletes) {
-  auto dir = FreshDir("ckpt_basic");
+  ScopedTestDir dir("ckpt_basic");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
 
@@ -92,7 +85,6 @@ TEST(CheckpointTest, ManualCheckpointCompletes) {
   auto* dict = StateAs<IntDict>((*d)->StateInstance("dict", 0));
   ASSERT_NE(dict, nullptr);
   EXPECT_FALSE(dict->checkpoint_active());
-  std::filesystem::remove_all(dir);
 }
 
 TEST(CheckpointTest, DisabledModeRejectsCheckpoint) {
@@ -107,10 +99,10 @@ TEST(CheckpointTest, DisabledModeRejectsCheckpoint) {
 }
 
 TEST(CheckpointTest, ProcessingContinuesDuringAsyncCheckpoint) {
-  auto dir = FreshDir("ckpt_async");
+  ScopedTestDir dir("ckpt_async");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/1));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/1));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
 
@@ -131,18 +123,17 @@ TEST(CheckpointTest, ProcessingContinuesDuringAsyncCheckpoint) {
   for (int64_t k = 0; k < 5000; ++k) {
     EXPECT_EQ(all[k], 2);
   }
-  std::filesystem::remove_all(dir);
 }
 
 class RecoveryModeTest : public ::testing::TestWithParam<FtMode> {};
 
 TEST_P(RecoveryModeTest, KillAndRecoverOneToOne) {
-  auto dir = FreshDir(std::string("rec_") +
+  ScopedTestDir dir(std::string("rec_") +
                       std::string(FtModeName(GetParam())));
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
   // Single-node KV plus two spares.
-  auto opts = FtCluster(dir, GetParam(), /*nodes=*/3);
+  auto opts = FtCluster(dir.path(), GetParam(), /*nodes=*/3);
   Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
@@ -170,7 +161,6 @@ TEST_P(RecoveryModeTest, KillAndRecoverOneToOne) {
   for (int64_t k = 0; k < kKeys; ++k) {
     EXPECT_EQ(all[k], k + 1000) << "key " << k << " lost post-checkpoint update";
   }
-  std::filesystem::remove_all(dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModes, RecoveryModeTest,
@@ -186,10 +176,10 @@ INSTANTIATE_TEST_SUITE_P(AllModes, RecoveryModeTest,
                          });
 
 TEST(RecoveryTest, OneToTwoSplitRecovery) {
-  auto dir = FreshDir("rec_split");
+  ScopedTestDir dir("rec_split");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/3));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/3));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
 
@@ -222,26 +212,24 @@ TEST(RecoveryTest, OneToTwoSplitRecovery) {
   ASSERT_NE(p1, nullptr);
   EXPECT_GT(p0->Size(), 100u);
   EXPECT_GT(p1->Size(), 100u);
-  std::filesystem::remove_all(dir);
 }
 
 TEST(RecoveryTest, RecoveryWithoutCheckpointFails) {
-  auto dir = FreshDir("rec_nockpt");
+  ScopedTestDir dir("rec_nockpt");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/2));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/2));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
   ASSERT_TRUE((*d)->KillNode(0).ok());
   EXPECT_FALSE((*d)->RecoverNode(0, {1}).ok());
-  std::filesystem::remove_all(dir);
 }
 
 TEST(RecoveryTest, PeriodicCheckpointDriverRuns) {
-  auto dir = FreshDir("rec_periodic");
+  ScopedTestDir dir("rec_periodic");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  auto opts = FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/1);
+  auto opts = FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/1);
   opts.fault_tolerance.checkpoint_interval_s = 0.05;
   Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
@@ -253,14 +241,13 @@ TEST(RecoveryTest, PeriodicCheckpointDriverRuns) {
   std::this_thread::sleep_for(std::chrono::milliseconds(500));
   EXPECT_GT((*d)->CheckpointsCompleted(), 1u);
   (*d)->Shutdown();
-  std::filesystem::remove_all(dir);
 }
 
 TEST(RecoveryTest, MigrateNodeMovesStateAndKeepsServing) {
-  auto dir = FreshDir("rec_migrate");
+  ScopedTestDir dir("rec_migrate");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/3));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/3));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
 
@@ -288,20 +275,57 @@ TEST(RecoveryTest, MigrateNodeMovesStateAndKeepsServing) {
     EXPECT_EQ(all[k], k * 7) << "key " << k;
   }
   EXPECT_FALSE((*d)->MigrateNode(1, {1}).ok());  // self-migration rejected
-  std::filesystem::remove_all(dir);
+}
+
+TEST(RecoveryTest, RecoverNodeRejectsBadReplacementLists) {
+  ScopedTestDir dir("rec_badargs");
+  auto g = BuildKvGraph();
+  ASSERT_TRUE(g.ok());
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/3));
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  constexpr int64_t kKeys = 100;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k)}).ok());
+  }
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->CheckpointNode(0).ok());
+  ASSERT_TRUE((*d)->KillNode(0).ok());
+
+  // The failed node cannot host its own replacement, alone or in a split
+  // list; the rejection must not consume the checkpoint or mutate topology.
+  auto s = (*d)->RecoverNode(0, {0});
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("failed node"), std::string::npos)
+      << s.ToString();
+  EXPECT_FALSE((*d)->RecoverNode(0, {1, 0}).ok());
+  EXPECT_FALSE((*d)->RecoverNode(0, {}).ok());
+  EXPECT_FALSE((*d)->RecoverNode(0, {7}).ok());  // unknown node
+
+  // A live node is not recoverable, even onto a valid replacement.
+  EXPECT_FALSE((*d)->RecoverNode(1, {2}).ok());
+
+  // After every rejection, a well-formed recovery still succeeds intact.
+  ASSERT_TRUE((*d)->RecoverNode(0, {1}).ok());
+  (*d)->Drain();
+  auto all = ReadAll(**d, kKeys);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kKeys));
+  for (int64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(all[k], k) << "key " << k;
+  }
 }
 
 TEST(RecoveryTest, KillingDeadNodeFails) {
-  auto dir = FreshDir("rec_dead");
+  ScopedTestDir dir("rec_dead");
   auto g = BuildKvGraph();
   ASSERT_TRUE(g.ok());
-  Cluster cluster(FtCluster(dir, FtMode::kAsyncLocal, /*nodes=*/2));
+  Cluster cluster(FtCluster(dir.path(), FtMode::kAsyncLocal, /*nodes=*/2));
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok());
   ASSERT_TRUE((*d)->KillNode(0).ok());
   EXPECT_FALSE((*d)->KillNode(0).ok());
   EXPECT_FALSE((*d)->RecoverNode(0, {0}).ok());  // dead replacement
-  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
