@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Build and run the perf-trajectory benches, leaving their BENCH_*.json next
+# to the binaries (copy into the repo root to update the checked-in
+# trajectory).
+#
+#   scripts/run_bench.sh [hotpath|ckpt|all] [--short]
+#
+# --short runs the CI smoke configuration (tiny scale / window, 1 rep) —
+# seconds instead of minutes, shape-check only; numbers are not comparable
+# to the checked-in artifacts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+target="${1:-all}"
+short=0
+for arg in "$@"; do
+  [[ "$arg" == "--short" ]] && short=1
+done
+
+if [[ $short -eq 1 ]]; then
+  export SDG_BENCH_SECONDS="${SDG_BENCH_SECONDS:-0.2}"
+  export SDG_BENCH_SCALE="${SDG_BENCH_SCALE:-0.05}"
+  export SDG_BENCH_REPS="${SDG_BENCH_REPS:-1}"
+fi
+
+cmake -B build -S . >/dev/null
+case "$target" in
+  hotpath)
+    cmake --build build -j "$(nproc)" --target micro_hotpath >/dev/null
+    (cd build/bench && ./micro_hotpath)
+    ;;
+  ckpt)
+    cmake --build build -j "$(nproc)" --target micro_ckpt >/dev/null
+    (cd build/bench && ./micro_ckpt)
+    ;;
+  all)
+    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt >/dev/null
+    (cd build/bench && ./micro_hotpath && ./micro_ckpt)
+    ;;
+  *)
+    echo "usage: $0 [hotpath|ckpt|all] [--short]" >&2
+    exit 2
+    ;;
+esac

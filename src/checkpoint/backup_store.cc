@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/clock.h"
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 
 namespace sdg::checkpoint {
@@ -23,7 +24,23 @@ BackupStore::BackupStore(BackupStoreOptions options)
   fs::create_directories(options_.root / "meta", ec);
 }
 
-BackupStore::~BackupStore() { pool_.Wait(); }
+BackupStore::~BackupStore() {
+  pool_.Wait();
+  for (auto& [id, st] : streams_) {
+    if (st->file != nullptr) {
+      std::fclose(st->file);  // leaked stream: partial file, meta never written
+    }
+  }
+}
+
+uint32_t BackupStore::PlaceBackup(const std::string& name,
+                                  uint32_t chunk_index) const {
+  // Offsetting the round-robin by a name hash spreads single-chunk blobs
+  // (every TE output buffer) across the m backup nodes instead of piling
+  // them all on backup 0.
+  return static_cast<uint32_t>((chunk_index + Fnv1a64(name)) %
+                               options_.num_backup_nodes);
+}
 
 fs::path BackupStore::ChunkPath(uint32_t backup, uint32_t node, uint64_t epoch,
                                 const std::string& name,
@@ -108,8 +125,8 @@ Status BackupStore::WriteChunks(uint32_t node, uint64_t epoch,
         return s;
       }
     }
-    // Round-robin placement over the m backup nodes (step B3 of Fig. 4).
-    uint32_t backup = i % options_.num_backup_nodes;
+    // Hash-offset round-robin over the m backup nodes (step B3 of Fig. 4).
+    uint32_t backup = PlaceBackup(name, i);
     const auto& chunk = chunks[i];
     fs::path path = ChunkPath(backup, node, epoch, name, i);
     pool_.Submit([this, backup, path, &chunk, &status_mutex, &first_error] {
@@ -134,6 +151,107 @@ Status BackupStore::WriteChunks(uint32_t node, uint64_t epoch,
   return first_error;
 }
 
+Result<uint64_t> BackupStore::BeginChunkStream(uint32_t node, uint64_t epoch,
+                                               const std::string& name,
+                                               uint32_t chunk_index) {
+  if (options_.fault_hook) {
+    SDG_RETURN_IF_ERROR(
+        options_.fault_hook("write_chunk", chunk_index, /*before=*/true));
+  }
+  auto st = std::make_unique<ChunkStreamState>();
+  st->backup = PlaceBackup(name, chunk_index);
+  st->chunk_index = chunk_index;
+  st->path = ChunkPath(st->backup, node, epoch, name, chunk_index);
+  st->file = std::fopen(st->path.c_str(), "wb");
+  if (st->file == nullptr) {
+    return UnavailableError("cannot open " + st->path.string() +
+                            " for streaming");
+  }
+  std::lock_guard<std::mutex> lock(streams_mutex_);
+  uint64_t id = next_stream_id_++;
+  streams_[id] = std::move(st);
+  return id;
+}
+
+Status BackupStore::AppendChunkStream(uint64_t stream,
+                                      std::vector<uint8_t> segment) {
+  if (segment.empty()) {
+    return Status::Ok();
+  }
+  std::unique_lock<std::mutex> lock(streams_mutex_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) {
+    return InvalidArgumentError("unknown chunk stream");
+  }
+  ChunkStreamState* st = it->second.get();
+  if (!st->error.ok()) {
+    return st->error;
+  }
+  // Backpressure: bound the serialised-but-unwritten bytes across all open
+  // streams so a fast serializer cannot re-materialise the state in memory.
+  streams_cv_.wait(lock, [this] {
+    return stream_backlog_bytes_ < options_.max_stream_backlog_bytes;
+  });
+  stream_backlog_bytes_ += segment.size();
+  st->pending.push_back(std::move(segment));
+  if (!st->writer_active) {
+    st->writer_active = true;
+    pool_.Submit([this, st] { DrainStream(st); });
+  }
+  return Status::Ok();
+}
+
+void BackupStore::DrainStream(ChunkStreamState* st) {
+  std::unique_lock<std::mutex> lock(streams_mutex_);
+  while (!st->pending.empty()) {
+    std::vector<uint8_t> segment = std::move(st->pending.front());
+    st->pending.pop_front();
+    lock.unlock();
+    Throttle(st->backup, segment.size());
+    size_t written =
+        std::fwrite(segment.data(), 1, segment.size(), st->file);
+    lock.lock();
+    stream_backlog_bytes_ -= segment.size();
+    if (written != segment.size() && st->error.ok()) {
+      st->error = DataLossError("short write to " + st->path.string());
+    }
+    st->bytes_written += written;
+    streams_cv_.notify_all();
+  }
+  st->writer_active = false;
+  streams_cv_.notify_all();
+}
+
+Status BackupStore::FinishChunkStream(uint64_t stream) {
+  std::unique_ptr<ChunkStreamState> st;
+  {
+    std::unique_lock<std::mutex> lock(streams_mutex_);
+    auto it = streams_.find(stream);
+    if (it == streams_.end()) {
+      return InvalidArgumentError("unknown chunk stream");
+    }
+    ChunkStreamState* raw = it->second.get();
+    streams_cv_.wait(lock, [raw] {
+      return !raw->writer_active && raw->pending.empty();
+    });
+    st = std::move(it->second);
+    streams_.erase(it);
+  }
+  int rc = std::fclose(st->file);
+  st->file = nullptr;
+  if (!st->error.ok()) {
+    return st->error;
+  }
+  if (rc != 0) {
+    return DataLossError("close failed for " + st->path.string());
+  }
+  if (options_.fault_hook) {
+    SDG_RETURN_IF_ERROR(
+        options_.fault_hook("write_chunk", st->chunk_index, /*before=*/false));
+  }
+  return Status::Ok();
+}
+
 Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
     uint32_t node, uint64_t epoch, const std::string& name,
     uint32_t num_chunks) {
@@ -148,7 +266,7 @@ Result<std::vector<std::vector<uint8_t>>> BackupStore::ReadChunks(
         return s;
       }
     }
-    uint32_t backup = i % options_.num_backup_nodes;
+    uint32_t backup = PlaceBackup(name, i);
     fs::path path = ChunkPath(backup, node, epoch, name, i);
     pool_.Submit([this, backup, path, i, &chunks, &status_mutex, &first_error] {
       auto bytes = ReadFile(path);

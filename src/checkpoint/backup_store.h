@@ -9,12 +9,16 @@
 #ifndef SDG_CHECKPOINT_BACKUP_STORE_H_
 #define SDG_CHECKPOINT_BACKUP_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <cstdio>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -32,6 +36,10 @@ struct BackupStoreOptions {
   uint64_t throttle_bytes_per_sec = 0;
   // Threads serialising/writing chunks in parallel (step B2).
   size_t io_threads = 4;
+  // Streaming writes: total bytes of queued-but-unwritten segments across all
+  // open chunk streams before AppendChunkStream blocks. This bounds the
+  // checkpoint path's memory overhead (the paper's no-2x-RSS property).
+  uint64_t max_stream_backlog_bytes = 4 * 1024 * 1024;
   // Test-only fault hook, called around each chunk/meta I/O with the
   // operation ("write_chunk", "read_chunk", "write_meta"), the chunk index
   // (0 for meta), and whether the call is before or after the I/O. A non-OK
@@ -50,9 +58,27 @@ class BackupStore {
   BackupStore& operator=(const BackupStore&) = delete;
 
   // Persists the chunks of one SE instance under (node, epoch, name).
-  // Chunk i goes to backup node i % m; writes proceed in parallel.
+  // Chunk i goes to backup node (i + hash(name)) % m — the hash offset keeps
+  // single-chunk blobs (TE output buffers) from all landing on backup 0 —
+  // and writes proceed in parallel.
   Status WriteChunks(uint32_t node, uint64_t epoch, const std::string& name,
                      const std::vector<std::vector<uint8_t>>& chunks);
+
+  // --- Streaming chunk writes (pipelined checkpoint path) -------------------
+  // A chunk stream appends segments to one chunk file, in order, while the
+  // serializer keeps producing — overlapping serialization with backup I/O.
+  // Segments are drained by the I/O pool; AppendChunkStream blocks once the
+  // total backlog across open streams exceeds max_stream_backlog_bytes.
+  // Placement matches WriteChunks, so ReadChunks reads streamed chunks back
+  // transparently. The fault hook sees "write_chunk" before at Begin and
+  // after at Finish, bracketing the chunk exactly like the batch path.
+  Result<uint64_t> BeginChunkStream(uint32_t node, uint64_t epoch,
+                                    const std::string& name,
+                                    uint32_t chunk_index);
+  Status AppendChunkStream(uint64_t stream, std::vector<uint8_t> segment);
+  // Drains the stream, closes the file and returns the first error seen on
+  // the stream (the partial file is harmless: meta is written last).
+  Status FinishChunkStream(uint64_t stream);
 
   // Reads back all chunks of (node, epoch, name), in chunk order. Chunks are
   // fetched from the m backup directories in parallel.
@@ -74,10 +100,27 @@ class BackupStore {
   uint32_t num_backup_nodes() const { return options_.num_backup_nodes; }
 
  private:
+  struct ChunkStreamState {
+    std::FILE* file = nullptr;
+    uint32_t backup = 0;
+    uint32_t chunk_index = 0;
+    std::filesystem::path path;
+    std::deque<std::vector<uint8_t>> pending;
+    bool writer_active = false;  // a pool task is draining this stream
+    Status error;
+    uint64_t bytes_written = 0;
+  };
+
+  // Backup directory for chunk `chunk_index` of SE instance `name`.
+  uint32_t PlaceBackup(const std::string& name, uint32_t chunk_index) const;
+
   std::filesystem::path ChunkPath(uint32_t backup, uint32_t node,
                                   uint64_t epoch, const std::string& name,
                                   uint32_t chunk_index) const;
   std::filesystem::path MetaPath(uint32_t node, uint64_t epoch) const;
+
+  // Writes queued segments of `st` until its queue drains (I/O pool).
+  void DrainStream(ChunkStreamState* st);
 
   // Applies the per-backup-node bandwidth throttle for `bytes` of traffic.
   void Throttle(uint32_t backup, size_t bytes);
@@ -94,6 +137,14 @@ class BackupStore {
     int64_t next_free_ns = 0;
   };
   std::vector<std::unique_ptr<BucketState>> buckets_;
+
+  // Streaming state: all guarded by streams_mutex_ except ChunkStreamState
+  // fields the draining task owns while writer_active.
+  std::mutex streams_mutex_;
+  std::condition_variable streams_cv_;
+  uint64_t stream_backlog_bytes_ = 0;
+  uint64_t next_stream_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<ChunkStreamState>> streams_;
 };
 
 }  // namespace sdg::checkpoint

@@ -30,17 +30,44 @@ struct TaskInstanceMeta {
   std::vector<SourceTimestamp> last_seen;
 };
 
+// v2 meta frame marker. v1 metas start directly with the epoch u64; epochs
+// never reach 0x5344474D, so the first u32 disambiguates the two framings.
+inline constexpr uint32_t kMetaMagic = 0x5344474D;  // "SDGM"
+inline constexpr uint32_t kMetaVersion2 = 2;
+
+// Whether an epoch's chunks for an SE instance hold the full state or only
+// the records changed/erased since the previous epoch.
+enum class EpochKind : uint8_t { kFull = 0, kDelta = 1 };
+
+// One epoch of a base+delta chain: where to find an SE instance's chunks and
+// how to apply them. Chains are applied strictly in order (base first).
+struct ChainLink {
+  uint64_t epoch = 0;
+  uint32_t num_chunks = 0;
+  EpochKind kind = EpochKind::kFull;
+};
+
 struct StateInstanceMeta {
   uint32_t state = 0;
   uint32_t instance = 0;
   uint32_t num_chunks = 0;
   uint64_t record_count = 0;
+  // v2: this epoch's kind, the epoch of the chain's full base, and the full
+  // restore chain ending with this epoch. v1 metas deserialize with a
+  // synthesized single-link full chain, so restore code never branches.
+  EpochKind kind = EpochKind::kFull;
+  uint64_t base_epoch = 0;
+  std::vector<ChainLink> chain;
 };
 
 struct CheckpointMeta {
   uint64_t epoch = 0;
   std::vector<TaskInstanceMeta> tasks;
   std::vector<StateInstanceMeta> states;
+
+  // Earliest epoch any state's chain reaches back to; pruning below this
+  // would break restore. Equals `epoch` when every state is a full base.
+  uint64_t MinChainEpoch() const;
 
   void Serialize(BinaryWriter& w) const;
   static Result<CheckpointMeta> Deserialize(BinaryReader& r);

@@ -1,0 +1,103 @@
+#include "src/checkpoint/chunk_stream.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/state/codec.h"
+
+namespace sdg::checkpoint {
+
+ChunkStreamWriter::ChunkStreamWriter(BackupStore& store, uint32_t node,
+                                     uint64_t epoch, std::string name,
+                                     Options options)
+    : store_(store),
+      node_(node),
+      epoch_(epoch),
+      name_(std::move(name)),
+      options_(options) {
+  SDG_CHECK(options_.num_chunks > 0) << "chunk stream needs >= 1 chunk";
+  SDG_CHECK(options_.segment_bytes > 0) << "chunk stream needs a segment size";
+  // Streamed chunks need the v2 frame: the header record count is the
+  // kStreamedRecordCount sentinel, unknown until the stream closes.
+  chunk_options_.version = state::kChunkVersion2;
+  chunk_options_.codec = options_.codec;
+  chunk_options_.delta = options_.delta;
+}
+
+Status ChunkStreamWriter::Begin() {
+  SDG_CHECK(!begun_) << "chunk stream writer already begun";
+  begun_ = true;
+  chunks_.resize(options_.num_chunks);
+  for (uint32_t i = 0; i < options_.num_chunks; ++i) {
+    SDG_ASSIGN_OR_RETURN(chunks_[i].stream_id,
+                         store_.BeginChunkStream(node_, epoch_, name_, i));
+    chunks_[i].buffer = state::BuildChunkHeader(chunk_options_, name_,
+                                                state::kStreamedRecordCount);
+    stats_.bytes += chunks_[i].buffer.size();
+    chunks_[i].buffer.reserve(options_.segment_bytes + 1024);
+  }
+  return Status::Ok();
+}
+
+void ChunkStreamWriter::Add(uint64_t key_hash, const uint8_t* payload,
+                            size_t size, bool tombstone) {
+  if (!error_.ok()) {
+    return;
+  }
+  PerChunk& chunk = chunks_[key_hash % options_.num_chunks];
+  size_t before = chunk.buffer.size();
+  state::AppendRecordFrame(chunk_options_, key_hash, payload, size, tombstone,
+                           chunk.buffer, chunk.prev_payload);
+  stats_.bytes += chunk.buffer.size() - before;
+  ++stats_.records;
+  if (tombstone) {
+    ++stats_.tombstones;
+  }
+  if (chunk.buffer.size() >= options_.segment_bytes) {
+    FlushChunk(chunk);
+  }
+}
+
+void ChunkStreamWriter::FlushChunk(PerChunk& chunk) {
+  if (chunk.buffer.empty()) {
+    return;
+  }
+  std::vector<uint8_t> segment = std::move(chunk.buffer);
+  chunk.buffer.clear();
+  chunk.buffer.reserve(options_.segment_bytes + 1024);
+  Status s = store_.AppendChunkStream(chunk.stream_id, std::move(segment));
+  if (!s.ok() && error_.ok()) {
+    error_ = s;
+  }
+}
+
+state::RecordSink ChunkStreamWriter::AsSink() {
+  return [this](uint64_t key_hash, const uint8_t* payload, size_t size) {
+    Add(key_hash, payload, size, /*tombstone=*/false);
+  };
+}
+
+state::DeltaRecordSink ChunkStreamWriter::AsDeltaSink() {
+  return [this](uint64_t key_hash, const uint8_t* payload, size_t size,
+                bool tombstone) { Add(key_hash, payload, size, tombstone); };
+}
+
+Result<ChunkStreamWriter::Stats> ChunkStreamWriter::Finish() {
+  SDG_CHECK(begun_) << "Finish before Begin on chunk stream writer";
+  for (PerChunk& chunk : chunks_) {
+    FlushChunk(chunk);
+  }
+  // Close every stream even after an error so no stream handles leak.
+  for (PerChunk& chunk : chunks_) {
+    Status s = store_.FinishChunkStream(chunk.stream_id);
+    if (!s.ok() && error_.ok()) {
+      error_ = s;
+    }
+  }
+  if (!error_.ok()) {
+    return error_;
+  }
+  return stats_;
+}
+
+}  // namespace sdg::checkpoint

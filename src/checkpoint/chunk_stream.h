@@ -1,0 +1,89 @@
+// ChunkStreamWriter: the pipelined serialize→write checkpoint data path.
+//
+// The materialise-then-write baseline (state::SerializeToChunks followed by
+// BackupStore::WriteChunks) holds a full serialised copy of the state in
+// memory — 2x state RSS at checkpoint time — and starts backup I/O only
+// after the last record is encoded. This writer instead frames records into
+// fixed-size segments as SerializeRecords produces them and hands each full
+// segment to the BackupStore streaming API, overlapping serialization with
+// backup I/O under the store's bounded backlog budget.
+//
+// Streamed chunks use the v2 frame with a kStreamedRecordCount header (the
+// exact count is unknown until the stream closes); readers walk the body to
+// the end, and checkpoint completeness is still guaranteed by the epoch meta
+// record being written last.
+#ifndef SDG_CHECKPOINT_CHUNK_STREAM_H_
+#define SDG_CHECKPOINT_CHUNK_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/checkpoint/backup_store.h"
+#include "src/state/chunk.h"
+#include "src/state/state_backend.h"
+
+namespace sdg::checkpoint {
+
+class ChunkStreamWriter {
+ public:
+  struct Options {
+    uint32_t num_chunks = 1;
+    uint8_t codec = 0;   // state::kChunkCodec*
+    bool delta = false;  // emit a delta chunk (tombstones allowed)
+    // Segment handed to the backup store once a chunk's buffer reaches this
+    // size. Small enough to keep the pipeline busy, large enough to amortise
+    // the per-append queue hop.
+    size_t segment_bytes = 256 * 1024;
+  };
+
+  struct Stats {
+    uint64_t records = 0;
+    uint64_t tombstones = 0;
+    uint64_t bytes = 0;  // framed bytes across all chunks, headers included
+  };
+
+  ChunkStreamWriter(BackupStore& store, uint32_t node, uint64_t epoch,
+                    std::string name, Options options);
+
+  // Opens the per-chunk streams and writes their headers. Must be called
+  // (and succeed) before Add.
+  Status Begin();
+
+  // Routes one record to its chunk (key_hash % num_chunks) and flushes the
+  // chunk's segment when full. Errors are latched and surfaced by Finish —
+  // the record sinks of the state backends cannot fail mid-iteration.
+  void Add(uint64_t key_hash, const uint8_t* payload, size_t size,
+           bool tombstone);
+
+  state::RecordSink AsSink();
+  state::DeltaRecordSink AsDeltaSink();
+
+  // Flushes the tail segments and closes every stream.
+  Result<Stats> Finish();
+
+ private:
+  struct PerChunk {
+    uint64_t stream_id = 0;
+    std::vector<uint8_t> buffer;
+    std::vector<uint8_t> prev_payload;  // prefix-dedup context
+  };
+
+  void FlushChunk(PerChunk& chunk);
+
+  BackupStore& store_;
+  uint32_t node_;
+  uint64_t epoch_;
+  std::string name_;
+  Options options_;
+  state::ChunkOptions chunk_options_;
+  std::vector<PerChunk> chunks_;
+  Stats stats_;
+  Status error_;
+  bool begun_ = false;
+};
+
+}  // namespace sdg::checkpoint
+
+#endif  // SDG_CHECKPOINT_CHUNK_STREAM_H_

@@ -6,9 +6,12 @@
 #include <sstream>
 #include <thread>
 
+#include "src/checkpoint/chunk_stream.h"
+#include "src/common/clock.h"
 #include "src/common/logging.h"
 #include "src/common/thread_pool.h"
 #include "src/state/chunk.h"
+#include "src/state/codec.h"
 
 namespace sdg::runtime {
 
@@ -127,6 +130,7 @@ Deployment::Deployment(graph::Sdg g, ClusterOptions options)
   node_alive_.assign(options_.num_nodes, true);
   node_straggler_.assign(options_.num_nodes, false);
   node_epoch_.assign(options_.num_nodes, 0);
+  ckpt_chains_.resize(options_.num_nodes);
   for (uint32_t i = 0; i < options_.num_nodes; ++i) {
     node_ckpt_mutex_.push_back(std::make_unique<std::mutex>());
   }
@@ -148,6 +152,15 @@ Deployment::Deployment(graph::Sdg g, ClusterOptions options)
 }
 
 Deployment::~Deployment() { Shutdown(); }
+
+std::unique_ptr<state::StateBackend> Deployment::MakeStateBackend(
+    const graph::StateElement& se) const {
+  auto backend = se.factory();
+  if (options_.fault_tolerance.delta_epoch_interval > 0) {
+    backend->EnableDeltaTracking();
+  }
+  return backend;
+}
 
 Status Deployment::Start() {
   if (started_.exchange(true)) {
@@ -175,7 +188,7 @@ Status Deployment::Start() {
       }
     }
     for (uint32_t j = 0; j < count; ++j) {
-      group.instances.push_back(se.factory());
+      group.instances.push_back(MakeStateBackend(se));
       // Instance 0 at the allocated home node; extras spread round-robin.
       uint32_t node = (alloc.state_nodes[se.id] + j) % options_.num_nodes;
       group.instance_nodes.push_back(node);
@@ -1046,7 +1059,7 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
   }
 
   uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
-  auto fresh = se.factory();
+  auto fresh = MakeStateBackend(se);
 
   if (se.distribution == graph::StateDistribution::kPartitioned) {
     // Re-shard every existing instance under the new modulus k+1: records
@@ -1113,8 +1126,9 @@ Status Deployment::CheckpointNode(uint32_t node) {
 
 Status Deployment::CheckpointNodeLocked(uint32_t node) {
   const FtMode mode = options_.fault_tolerance.mode;
-  const uint32_t num_chunks =
-      std::max<uint32_t>(1, options_.fault_tolerance.chunks_per_state);
+  const auto& ft = options_.fault_tolerance;
+  const uint32_t num_chunks = std::max<uint32_t>(1, ft.chunks_per_state);
+  Stopwatch ckpt_timer;
 
   checkpoint::CheckpointMeta meta;
   struct CapturedState {
@@ -1206,19 +1220,122 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
     }
   }
 
+  // Decide full base vs delta per captured SE, now that BeginCheckpoint has
+  // frozen each backend's change set. meta.states[i] corresponds to
+  // captured_states[i] (both were pushed per backend unit in pass 2). A delta
+  // needs a committed chain to extend (headed by a full base, shorter than the
+  // interval cap) and a backend with a frozen baseline; anything else writes a
+  // fresh full base. ckpt_chains_[node] is guarded by node_ckpt_mutex_[node],
+  // held by our caller.
+  auto& chains = ckpt_chains_[node];
+  for (size_t i = 0; i < captured_states.size(); ++i) {
+    auto& sm = meta.states[i];
+    auto& cs = captured_states[i];
+    auto chain_it = chains.find(cs.name);
+    const bool use_delta =
+        ft.delta_epoch_interval > 0 && chain_it != chains.end() &&
+        !chain_it->second.empty() &&
+        chain_it->second.front().kind == checkpoint::EpochKind::kFull &&
+        chain_it->second.size() < ft.delta_epoch_interval &&
+        cs.backend->DeltaReady();
+    sm.kind = use_delta ? checkpoint::EpochKind::kDelta
+                        : checkpoint::EpochKind::kFull;
+    if (use_delta) {
+      sm.chain = chain_it->second;
+    }
+    sm.chain.push_back({meta.epoch, num_chunks, sm.kind});
+    sm.base_epoch = sm.chain.front().epoch;
+  }
+
   // Serialise + persist. For the synchronous modes, processing is paused for
   // this entire phase; for async-local the dirty overlays absorb writes.
+  // Streaming hands fixed-size segments to the backup store as records are
+  // serialised (bounded memory, I/O overlapped); the batch path materialises
+  // every chunk first (baseline).
   auto persist = [&]() -> Status {
     if (fault_injector_ != nullptr) {
       SDG_RETURN_IF_ERROR(
           fault_injector_->CheckCrash("checkpoint.persist", CrashPhase::kBefore));
     }
-    for (auto& cs : captured_states) {
-      auto chunks = state::SerializeToChunks(*cs.backend, cs.name, num_chunks);
-      SDG_RETURN_IF_ERROR(store_->WriteChunks(node, meta.epoch, cs.name, chunks));
+    for (size_t i = 0; i < captured_states.size(); ++i) {
+      auto& cs = captured_states[i];
+      const bool use_delta =
+          meta.states[i].kind == checkpoint::EpochKind::kDelta;
+      uint64_t records = 0;
+      uint64_t tombstones = 0;
+      uint64_t bytes = 0;
+      if (ft.streaming_checkpoint) {
+        checkpoint::ChunkStreamWriter::Options wo;
+        wo.num_chunks = num_chunks;
+        wo.codec = ft.chunk_codec;
+        wo.delta = use_delta;
+        wo.segment_bytes = ft.ckpt_segment_bytes;
+        checkpoint::ChunkStreamWriter writer(*store_, node, meta.epoch,
+                                             cs.name, wo);
+        SDG_RETURN_IF_ERROR(writer.Begin());
+        if (use_delta) {
+          cs.backend->SerializeDirtyRecords(writer.AsDeltaSink());
+        } else {
+          cs.backend->SerializeRecords(writer.AsSink());
+        }
+        SDG_ASSIGN_OR_RETURN(auto wstats, writer.Finish());
+        records = wstats.records;
+        tombstones = wstats.tombstones;
+        bytes = wstats.bytes;
+      } else {
+        state::ChunkOptions copts;
+        if (use_delta || ft.chunk_codec != state::kChunkCodecNone) {
+          copts.version = state::kChunkVersion2;
+          copts.codec = ft.chunk_codec;
+          copts.delta = use_delta;
+        }
+        std::vector<std::vector<uint8_t>> chunks;
+        if (use_delta) {
+          std::vector<state::ChunkBuilder> builders;
+          builders.reserve(num_chunks);
+          for (uint32_t c = 0; c < num_chunks; ++c) {
+            builders.emplace_back(cs.name, copts);
+          }
+          cs.backend->SerializeDirtyRecords(
+              [&](uint64_t key_hash, const uint8_t* payload, size_t size,
+                  bool tombstone) {
+                auto& b = builders[key_hash % num_chunks];
+                if (tombstone) {
+                  b.AddTombstone(key_hash, payload, size);
+                  ++tombstones;
+                } else {
+                  b.AddRecord(key_hash, payload, size);
+                }
+                ++records;
+              });
+          chunks.reserve(num_chunks);
+          for (auto& b : builders) {
+            chunks.push_back(std::move(b).Finish());
+          }
+        } else {
+          chunks =
+              state::SerializeToChunks(*cs.backend, cs.name, num_chunks, copts);
+          records = cs.backend->EntryCount();
+        }
+        for (const auto& c : chunks) {
+          bytes += c.size();
+        }
+        SDG_RETURN_IF_ERROR(
+            store_->WriteChunks(node, meta.epoch, cs.name, chunks));
+      }
+      ckpt_bytes_.Increment(bytes);
+      ckpt_tombstones_.Increment(tombstones);
+      if (use_delta) {
+        ckpt_delta_se_.Increment();
+        ckpt_records_delta_.Increment(records);
+      } else {
+        ckpt_full_se_.Increment();
+        ckpt_records_full_.Increment(records);
+      }
     }
     for (auto* ti : captured_tasks) {
       std::vector<uint8_t> blob = SerializeBuffers(*ti);
+      ckpt_bytes_.Increment(blob.size());
       SDG_RETURN_IF_ERROR(store_->WriteChunks(
           node, meta.epoch, BufferChunkName(ti->task_id(), ti->instance_id()),
           {blob}));
@@ -1251,17 +1368,33 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
   }
 
   // Consolidate dirty overlays (brief per-SE lock inside EndCheckpoint).
+  uint64_t consolidated = 0;
   for (auto& cs : captured_states) {
-    cs.backend->EndCheckpoint();
+    consolidated += cs.backend->EndCheckpoint();
   }
-  SDG_RETURN_IF_ERROR(persist_status);
-  if (fault_injector_ != nullptr) {
+  ckpt_overlay_.Increment(consolidated);
+
+  Status final_status = persist_status;
+  if (final_status.ok() && fault_injector_ != nullptr) {
     // Fires between persist and the meta write: state chunks are durable but
     // the completeness marker is missing, so the checkpoint never counts.
-    SDG_RETURN_IF_ERROR(
-        fault_injector_->CheckCrash("checkpoint.persist", CrashPhase::kAfter));
+    final_status =
+        fault_injector_->CheckCrash("checkpoint.persist", CrashPhase::kAfter);
   }
-  SDG_RETURN_IF_ERROR(store_->WriteMeta(node, meta.epoch, meta));
+  if (final_status.ok()) {
+    final_status = store_->WriteMeta(node, meta.epoch, meta);
+  }
+  // Epoch durability is decided: commit the frozen change sets as the new
+  // delta baseline, or merge them forward so the next epoch's delta is a
+  // superset (restore-equivalent, which also makes an uncertain WriteMeta —
+  // durable but reported failed — safe). Must run on every path.
+  for (auto& cs : captured_states) {
+    cs.backend->ResolveEpoch(final_status.ok());
+  }
+  SDG_RETURN_IF_ERROR(final_status);
+  for (size_t i = 0; i < captured_states.size(); ++i) {
+    chains[captured_states[i].name] = meta.states[i].chain;
+  }
 
   // Acknowledge upstream buffers: everything at or below the checkpointed
   // vector timestamp is now recoverable from this checkpoint (§5 trimming).
@@ -1283,9 +1416,30 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
       }
     }
   }
-  store_->PruneBefore(node, meta.epoch);
+  // Epochs below the oldest chain base are unreachable from any chain in
+  // this meta and safe to drop.
+  store_->PruneBefore(node, meta.MinChainEpoch());
   checkpoints_done_.Increment();
+  const uint64_t us =
+      static_cast<uint64_t>(ckpt_timer.ElapsedSeconds() * 1e6);
+  ckpt_last_us_.store(us, std::memory_order_relaxed);
+  ckpt_total_us_.Increment(us);
   return Status::Ok();
+}
+
+Deployment::CheckpointStats Deployment::CheckpointStatsSnapshot() const {
+  CheckpointStats s;
+  s.checkpoints = checkpoints_done_.value();
+  s.full_serializations = ckpt_full_se_.value();
+  s.delta_serializations = ckpt_delta_se_.value();
+  s.records_full = ckpt_records_full_.value();
+  s.records_delta = ckpt_records_delta_.value();
+  s.tombstones = ckpt_tombstones_.value();
+  s.bytes_written = ckpt_bytes_.value();
+  s.overlay_consolidated = ckpt_overlay_.value();
+  s.last_duration_us = ckpt_last_us_.load(std::memory_order_relaxed);
+  s.total_duration_us = ckpt_total_us_.value();
+  return s;
 }
 
 Status Deployment::CheckpointAllNodes() {
@@ -1315,6 +1469,16 @@ void Deployment::CheckpointDriverLoop() {
         }
       }
     }
+    const CheckpointStats st = CheckpointStatsSnapshot();
+    SDG_LOG(kInfo) << "checkpoint sweep done: " << st.checkpoints
+                   << " checkpoints, " << st.full_serializations << " full / "
+                   << st.delta_serializations << " delta serialisations, "
+                   << st.bytes_written << " bytes written, "
+                   << st.records_full << "+" << st.records_delta
+                   << " records (full+delta), " << st.tombstones
+                   << " tombstones, " << st.overlay_consolidated
+                   << " overlay entries consolidated, last "
+                   << st.last_duration_us << "us";
   }
 }
 
@@ -1443,17 +1607,14 @@ Status Deployment::RecoverNode(uint32_t failed,
   std::vector<RestoredState> restored_states;
 
   for (const auto& sm : meta.states) {
-    SDG_ASSIGN_OR_RETURN(
-        auto chunks,
-        store_->ReadChunks(failed, epoch, StateChunkName(sm.state, sm.instance),
-                           sm.num_chunks));
     RestoredState rs;
     rs.state = sm.state;
     rs.old_instance = sm.instance;
     const auto& se = sdg_.state(sm.state);
     for (uint32_t i = 0; i < n; ++i) {
-      rs.backends.push_back(se.factory());
+      rs.backends.push_back(MakeStateBackend(se));
     }
+    const std::string name = StateChunkName(sm.state, sm.instance);
     // Per-node ingest pacing: each recovering node can only absorb restore
     // traffic at a bounded rate, so splitting across n nodes divides the
     // per-node ingest time (the sleeps below overlap across threads).
@@ -1466,38 +1627,49 @@ Status Deployment::RecoverNode(uint32_t failed,
                                  static_cast<double>(ingest_bw))));
       }
     };
-    if (n == 1) {
-      // Plain 1-to-1 (or m-to-1) restore.
-      for (const auto& chunk : chunks) {
-        ingest_throttle(chunk.size());
-        SDG_RETURN_IF_ERROR(state::RestoreChunk(*rs.backends[0], chunk));
-      }
-    } else {
-      // Step R1/R2 of Fig. 4: split each chunk into n partitions and
-      // reconstruct the n new instances in parallel.
-      ThreadPool pool(n);
-      std::mutex status_mutex;
-      Status first_error;
-      for (const auto& chunk : chunks) {
-        SDG_ASSIGN_OR_RETURN(auto parts, state::SplitChunk(chunk, n));
-        for (uint32_t i = 0; i < n; ++i) {
-          auto part = std::make_shared<std::vector<uint8_t>>(std::move(parts[i]));
-          state::StateBackend* target = rs.backends[i].get();
-          pool.Submit([part, target, &status_mutex, &first_error,
-                       &ingest_throttle] {
-            ingest_throttle(part->size());
-            Status s = state::RestoreChunk(*target, *part);
-            if (!s.ok()) {
-              std::lock_guard<std::mutex> lock(status_mutex);
-              if (first_error.ok()) {
-                first_error = s;
-              }
-            }
-          });
+    // Apply the base+delta chain strictly in order: the full base first, then
+    // each delta epoch's changed records and tombstones on top. v1 metas
+    // deserialize with a synthesized single-link full chain, so this loop is
+    // the only restore path. The per-link barrier (pool.Wait) keeps later
+    // epochs from overtaking earlier ones.
+    for (const auto& link : sm.chain) {
+      SDG_ASSIGN_OR_RETURN(
+          auto chunks,
+          store_->ReadChunks(failed, link.epoch, name, link.num_chunks));
+      if (n == 1) {
+        // Plain 1-to-1 (or m-to-1) restore.
+        for (const auto& chunk : chunks) {
+          ingest_throttle(chunk.size());
+          SDG_RETURN_IF_ERROR(state::RestoreChunk(*rs.backends[0], chunk));
         }
+      } else {
+        // Step R1/R2 of Fig. 4: split each chunk into n partitions and
+        // reconstruct the n new instances in parallel.
+        ThreadPool pool(n);
+        std::mutex status_mutex;
+        Status first_error;
+        for (const auto& chunk : chunks) {
+          SDG_ASSIGN_OR_RETURN(auto parts, state::SplitChunk(chunk, n));
+          for (uint32_t i = 0; i < n; ++i) {
+            auto part =
+                std::make_shared<std::vector<uint8_t>>(std::move(parts[i]));
+            state::StateBackend* target = rs.backends[i].get();
+            pool.Submit([part, target, &status_mutex, &first_error,
+                         &ingest_throttle] {
+              ingest_throttle(part->size());
+              Status s = state::RestoreChunk(*target, *part);
+              if (!s.ok()) {
+                std::lock_guard<std::mutex> lock(status_mutex);
+                if (first_error.ok()) {
+                  first_error = s;
+                }
+              }
+            });
+          }
+        }
+        pool.Wait();
+        SDG_RETURN_IF_ERROR(first_error);
       }
-      pool.Wait();
-      SDG_RETURN_IF_ERROR(first_error);
     }
     restored_states.push_back(std::move(rs));
   }

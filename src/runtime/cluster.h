@@ -61,6 +61,20 @@ struct FaultToleranceOptions {
   // each node's NIC/memory bandwidth during restore: splitting a failed SE
   // across n nodes divides the bytes each must ingest (Fig. 4 / Fig. 11).
   uint64_t recovery_ingest_bytes_per_sec = 0;
+  // Streaming pipeline: hand fixed-size chunk segments to the backup store
+  // as SerializeRecords produces them, overlapping serialization with backup
+  // I/O under the store's backlog budget. false = materialise every chunk in
+  // memory, then write (the 2x-RSS baseline).
+  bool streaming_checkpoint = true;
+  // Delta epochs: 0 = every epoch persists the full state. k > 0 caps each
+  // base+delta chain at k epochs — a full base, then up to k-1 delta epochs
+  // persisting only records changed/erased since the previous epoch.
+  uint32_t delta_epoch_interval = 0;
+  // Chunk compression codec (state::kChunkCodec*), carried per chunk and
+  // decoded transparently on restore.
+  uint8_t chunk_codec = 0;
+  // Segment size of the streaming pipeline.
+  size_t ckpt_segment_bytes = 256 * 1024;
   checkpoint::BackupStoreOptions store;
 };
 
@@ -196,6 +210,24 @@ class Deployment final : public RuntimeHooks {
   FaultInjector* fault_injector() { return fault_injector_.get(); }
   uint64_t CheckpointsCompleted() const { return checkpoints_done_.value(); }
 
+  // Cumulative checkpoint observability counters (satellite of the streaming
+  // data path): what the periodic driver logs and tests assert against.
+  struct CheckpointStats {
+    uint64_t checkpoints = 0;            // node checkpoints completed
+    uint64_t full_serializations = 0;    // SE instances persisted as full bases
+    uint64_t delta_serializations = 0;   // SE instances persisted as deltas
+    uint64_t records_full = 0;           // records written by full bases
+    uint64_t records_delta = 0;          // records written by delta epochs
+    uint64_t tombstones = 0;             // erasures persisted in delta epochs
+    uint64_t bytes_written = 0;          // chunk + buffer-blob bytes handed to
+                                         // the backup store
+    uint64_t overlay_consolidated = 0;   // dirty-overlay entries folded back by
+                                         // EndCheckpoint
+    uint64_t last_duration_us = 0;       // wall time of the latest checkpoint
+    uint64_t total_duration_us = 0;
+  };
+  CheckpointStats CheckpointStatsSnapshot() const;
+
   // Human-readable snapshot of the materialised topology: per node, the TE
   // instances (with queue depth and processed count) and SE instances (with
   // size) it hosts.
@@ -247,6 +279,12 @@ class Deployment final : public RuntimeHooks {
   void CheckpointDriverLoop();
   void ScalingMonitorLoop();
 
+  // Creates an SE instance from its factory, enabling epoch-dirty tracking
+  // when delta checkpoints are configured. Every factory call site (Start,
+  // AddTaskInstance, RecoverNode) must go through this.
+  std::unique_ptr<state::StateBackend> MakeStateBackend(
+      const graph::StateElement& se) const;
+
   // Serialises one instance's output buffers into a chunk blob.
   std::vector<uint8_t> SerializeBuffers(TaskInstance& ti);
   Status RestoreBuffers(TaskInstance& ti, const std::vector<uint8_t>& blob);
@@ -295,7 +333,21 @@ class Deployment final : public RuntimeHooks {
   std::unique_ptr<checkpoint::BackupStore> store_;
   std::vector<uint64_t> node_epoch_;
   std::vector<std::unique_ptr<std::mutex>> node_ckpt_mutex_;
+  // Per node, the committed base+delta chain of each SE instance hosted there
+  // (keyed by chunk name). Guarded by node_ckpt_mutex_[node]; an entry is only
+  // updated after WriteMeta succeeds, so it always names a restorable chain.
+  std::vector<std::map<std::string, std::vector<checkpoint::ChainLink>>>
+      ckpt_chains_;
   Counter checkpoints_done_;
+  Counter ckpt_full_se_;
+  Counter ckpt_delta_se_;
+  Counter ckpt_records_full_;
+  Counter ckpt_records_delta_;
+  Counter ckpt_tombstones_;
+  Counter ckpt_bytes_;
+  Counter ckpt_overlay_;
+  Counter ckpt_total_us_;
+  std::atomic<uint64_t> ckpt_last_us_{0};
   std::thread ckpt_driver_;
   std::thread scaling_monitor_;
   std::atomic<bool> services_running_{false};

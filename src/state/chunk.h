@@ -7,8 +7,22 @@
 // restore (step R1) *without* knowing the state's type or deserialising
 // payloads.
 //
-// Layout: [magic u32][version u32][se_name string][record_count u64]
-//         then per record: [key_hash u64][payload_len u64][payload bytes]
+// v1 layout: [magic u32][version=1 u32][se_name string][record_count u64]
+//            then per record: [key_hash u64][payload_len u64][payload]
+//
+// v2 layout: [magic u32][version=2 u32][se_name string][record_count u64]
+//            [codec u8][flags u8]
+//            then per record: [key_hash u64][record_flags u8]
+//                             [varint payload_len][payload bytes]
+//            With kChunkCodecPrefix the payload bytes are replaced by
+//            [varint shared_prefix_len][suffix]: the longest common prefix
+//            with the previous record's payload in the same chunk is elided.
+//            record_flags bit0 marks a tombstone — a record erased since the
+//            previous epoch, whose payload encodes only the key. A header
+//            record_count of kStreamedRecordCount means the chunk was
+//            streamed segment-by-segment and readers iterate to the end of
+//            the body instead of counting (checkpoint completeness is
+//            guaranteed by the epoch's meta record, which is written last).
 #ifndef SDG_STATE_CHUNK_H_
 #define SDG_STATE_CHUNK_H_
 
@@ -24,13 +38,57 @@ namespace sdg::state {
 
 inline constexpr uint32_t kChunkMagic = 0x53444743;  // "SDGC"
 inline constexpr uint32_t kChunkVersion = 1;
+inline constexpr uint32_t kChunkVersion2 = 2;
+
+// v2 header record_count for streamed chunks (exact count unknown until the
+// stream closes); readers walk the body to the end instead.
+inline constexpr uint64_t kStreamedRecordCount = ~0ull;
+
+// v2 header flags.
+inline constexpr uint8_t kChunkFlagDelta = 1;  // delta epoch: apply over a base
+// v2 per-record flags.
+inline constexpr uint8_t kRecordFlagTombstone = 1;
+
+// Frame parameters of one chunk. Defaults produce the v1 frame, byte-for-byte
+// what pre-delta checkpoints wrote; any v2 feature needs version 2.
+struct ChunkOptions {
+  uint32_t version = kChunkVersion;
+  uint8_t codec = 0;   // kChunkCodec*; v2 only
+  bool delta = false;  // v2 only
+};
+
+// One parsed record, including delta-only attributes. `payload` is valid only
+// for the duration of the visiting call (it may point into decode scratch).
+struct ChunkRecordView {
+  uint64_t key_hash = 0;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+  bool tombstone = false;
+};
+using ChunkRecordFn = std::function<void(const ChunkRecordView&)>;
+
+// Serialised header for `options`; record frames follow directly.
+std::vector<uint8_t> BuildChunkHeader(const ChunkOptions& options,
+                                      std::string_view se_name,
+                                      uint64_t record_count);
+
+// Appends one record frame to `out`. `prev_payload` is the running
+// prefix-dedup context of the destination chunk (kChunkCodecPrefix); it is
+// updated to this record's payload. Shared by ChunkBuilder and the streaming
+// checkpoint writer, which frames straight into fixed-size segments.
+void AppendRecordFrame(const ChunkOptions& options, uint64_t key_hash,
+                       const uint8_t* payload, size_t size, bool tombstone,
+                       std::vector<uint8_t>& out,
+                       std::vector<uint8_t>& prev_payload);
 
 // Accumulates records into one chunk blob.
 class ChunkBuilder {
  public:
-  explicit ChunkBuilder(std::string se_name);
+  explicit ChunkBuilder(std::string se_name, ChunkOptions options = {});
 
   void AddRecord(uint64_t key_hash, const uint8_t* payload, size_t size);
+  // v2 only: records an erase (payload = encoded key) for a delta chunk.
+  void AddTombstone(uint64_t key_hash, const uint8_t* payload, size_t size);
 
   // A RecordSink forwarding into this builder.
   RecordSink AsSink();
@@ -43,7 +101,9 @@ class ChunkBuilder {
 
  private:
   std::string se_name_;
+  ChunkOptions options_;
   std::vector<uint8_t> body_;
+  std::vector<uint8_t> prev_payload_;  // prefix-dedup context
   uint64_t record_count_ = 0;
 };
 
@@ -53,27 +113,43 @@ class ChunkReader {
   static Result<ChunkReader> Open(const std::vector<uint8_t>& chunk);
 
   const std::string& se_name() const { return se_name_; }
+  // Exact for v1 and materialised v2 chunks; kStreamedRecordCount for
+  // streamed chunks.
   uint64_t record_count() const { return record_count_; }
+  uint32_t version() const { return options_.version; }
+  uint8_t codec() const { return options_.codec; }
+  bool is_delta() const { return options_.delta; }
+  // Frame parameters, for re-encoding records into equivalent chunks
+  // (SplitChunk / FilterChunk).
+  const ChunkOptions& options() const { return options_; }
 
-  // Calls `fn(key_hash, payload, size)` for every record.
+  // Calls `fn` for every record, tombstones included. Compressed payloads are
+  // materialised into internal scratch valid only during the call.
+  Status ForEach(const ChunkRecordFn& fn) const;
+
+  // Legacy walk: calls `fn(key_hash, payload, size)` for every record. Fails
+  // on tombstones — pre-delta callers cannot represent an erase.
   Status ForEachRecord(const RecordSink& fn) const;
 
  private:
-  ChunkReader(std::string se_name, uint64_t record_count, const uint8_t* body,
-              size_t body_size)
+  ChunkReader(std::string se_name, uint64_t record_count, ChunkOptions options,
+              const uint8_t* body, size_t body_size)
       : se_name_(std::move(se_name)),
         record_count_(record_count),
+        options_(options),
         body_(body),
         body_size_(body_size) {}
 
   std::string se_name_;
   uint64_t record_count_;
+  ChunkOptions options_;
   const uint8_t* body_;  // points into the caller's chunk buffer
   size_t body_size_;
 };
 
 // Splits `chunk` into `n` chunks, assigning each record by key_hash % n.
-// Payloads are copied verbatim; no state type knowledge required.
+// Frame version, codec and the delta flag are preserved, so a delta chunk
+// splits into n delta chunks whose tombstones survive the split.
 Result<std::vector<std::vector<uint8_t>>> SplitChunk(
     const std::vector<uint8_t>& chunk, uint32_t n);
 
@@ -82,14 +158,18 @@ Result<std::vector<std::vector<uint8_t>>> SplitChunk(
 Result<std::vector<uint8_t>> FilterChunk(const std::vector<uint8_t>& chunk,
                                          uint32_t part, uint32_t num_parts);
 
-// Feeds every record of `chunk` into `backend` via RestoreRecord.
+// Feeds every record of `chunk` into `backend`: RestoreRecord for live
+// records, RestoreErase for tombstones (delta chunks).
 Status RestoreChunk(StateBackend& backend, const std::vector<uint8_t>& chunk);
 
-// Serialises `backend` into `m` chunks, records distributed by key_hash % m
-// (step B1 of the backup protocol).
+// Serialises `backend` into `m` fully materialised chunks, records
+// distributed by key_hash % m (step B1 of the backup protocol). This is the
+// non-streaming baseline path; the checkpoint runtime streams via
+// checkpoint::ChunkStreamWriter instead.
 std::vector<std::vector<uint8_t>> SerializeToChunks(const StateBackend& backend,
                                                     std::string_view se_name,
-                                                    uint32_t m);
+                                                    uint32_t m,
+                                                    ChunkOptions options = {});
 
 }  // namespace sdg::state
 

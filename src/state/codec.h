@@ -15,6 +15,43 @@
 
 namespace sdg::state {
 
+// --- Chunk compression codecs -----------------------------------------------
+// The v2 chunk frame carries a per-chunk codec byte; writers pick a codec,
+// ChunkReader decodes transparently, and SplitChunk/FilterChunk re-encode
+// with the source chunk's codec. Negotiation is by this byte alone — an
+// unknown codec is a data-loss error, never a silent misread.
+inline constexpr uint8_t kChunkCodecNone = 0;
+// Varint record lengths plus longest-common-prefix dedup against the
+// previous record payload of the same chunk. Keyed records (length-prefixed
+// key then value) share encoded prefixes often enough to make this the
+// cheap, dependency-free default compressor.
+inline constexpr uint8_t kChunkCodecPrefix = 1;
+
+inline constexpr bool ChunkCodecKnown(uint8_t codec) {
+  return codec == kChunkCodecNone || codec == kChunkCodecPrefix;
+}
+
+// LEB128 varint, used by the v2 chunk frame for record lengths.
+inline void AppendVarint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+inline Result<uint64_t> ReadVarint(BinaryReader& r) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    SDG_ASSIGN_OR_RETURN(uint8_t byte, r.Read<uint8_t>());
+    v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      return v;
+    }
+  }
+  return Status(StatusCode::kDataLoss, "varint overruns 64 bits");
+}
+
 template <typename T>
 struct Codec;
 

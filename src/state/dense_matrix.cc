@@ -23,6 +23,7 @@ double DenseMatrix::Get(size_t row, size_t col) const {
 void DenseMatrix::Set(size_t row, size_t col, double v) {
   std::lock_guard<std::mutex> lock(mutex_);
   SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+  delta_.Touch(row);
   if (checkpoint_active_) {
     dirty_[Index(row, col)] = v;
   } else {
@@ -33,6 +34,7 @@ void DenseMatrix::Set(size_t row, size_t col, double v) {
 void DenseMatrix::Add(size_t row, size_t col, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+  delta_.Touch(row);
   size_t idx = Index(row, col);
   if (checkpoint_active_) {
     auto it = dirty_.find(idx);
@@ -45,6 +47,9 @@ void DenseMatrix::Add(size_t row, size_t col, double delta) {
 
 void DenseMatrix::Fill(double v) {
   std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t r = 0; r < rows_; ++r) {
+    delta_.Touch(r);
+  }
   if (checkpoint_active_) {
     for (size_t i = 0; i < data_.size(); ++i) {
       dirty_[i] = v;
@@ -101,6 +106,7 @@ void DenseMatrix::BeginCheckpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
   SDG_CHECK(!checkpoint_active_) << "checkpoint already active on DenseMatrix";
   checkpoint_active_ = true;
+  delta_.Freeze();
 }
 
 void DenseMatrix::SerializeRecords(const RecordSink& sink) const {
@@ -133,6 +139,40 @@ uint64_t DenseMatrix::EndCheckpoint() {
   return consolidated;
 }
 
+void DenseMatrix::EnableDeltaTracking() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Enable();
+}
+
+bool DenseMatrix::DeltaReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_.Ready();
+}
+
+void DenseMatrix::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (size_t r : delta_.frozen()) {
+    if (r >= rows_ || (r < row_extracted_.size() && row_extracted_[r])) {
+      continue;
+    }
+    BinaryWriter w;
+    w.Write<uint64_t>(rows_);
+    w.Write<uint64_t>(cols_);
+    w.Write<uint64_t>(r);
+    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
+    sink(MixHash64(r), w.buffer().data(), w.buffer().size(),
+         /*tombstone=*/false);
+  }
+}
+
+void DenseMatrix::ResolveEpoch(bool committed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Resolve(committed);
+}
+
 void DenseMatrix::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   rows_ = 0;
@@ -140,6 +180,7 @@ void DenseMatrix::Clear() {
   data_.clear();
   dirty_.clear();
   row_extracted_.clear();
+  delta_.Invalidate();
 }
 
 Status DenseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
@@ -165,6 +206,7 @@ Status DenseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
   if (row < row_extracted_.size()) {
     row_extracted_[row] = false;
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 
@@ -196,6 +238,7 @@ Status DenseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
               data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_), 0.0);
     row_extracted_[r] = true;
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 

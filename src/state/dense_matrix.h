@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/state/delta_tracker.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -53,6 +54,11 @@ class DenseMatrix final : public StateBackend {
     return checkpoint_active_.load(std::memory_order_acquire);
   }
 
+  void EnableDeltaTracking() override;
+  bool DeltaReady() const override;
+  void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
+  void ResolveEpoch(bool committed) override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
@@ -66,6 +72,7 @@ class DenseMatrix final : public StateBackend {
   size_t cols_ = 0;
   std::vector<double> data_;
   std::unordered_map<size_t, double> dirty_;  // flat index -> value
+  DeltaTracker<size_t> delta_;                // delta granularity: rows
   // Rows zeroed out by ExtractPartition are no longer owned by this instance;
   // they are skipped when serialising so restore does not resurrect them.
   std::vector<bool> row_extracted_;

@@ -21,6 +21,7 @@
 
 #include "src/common/logging.h"
 #include "src/state/codec.h"
+#include "src/state/delta_tracker.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -34,6 +35,7 @@ class KeyedDict final : public StateBackend {
 
   void Put(const K& key, V value) {
     std::lock_guard<std::mutex> lock(mutex_);
+    delta_.Touch(key);
     if (checkpoint_active_) {
       dirty_[key] = std::move(value);
     } else {
@@ -60,6 +62,7 @@ class KeyedDict final : public StateBackend {
 
   void Erase(const K& key) {
     std::lock_guard<std::mutex> lock(mutex_);
+    delta_.Touch(key);
     if (checkpoint_active_) {
       dirty_[key] = std::nullopt;  // tombstone
     } else {
@@ -72,6 +75,7 @@ class KeyedDict final : public StateBackend {
   template <typename Fn>
   void Update(const K& key, Fn&& fn) {
     std::lock_guard<std::mutex> lock(mutex_);
+    delta_.Touch(key);
     V current{};
     if (checkpoint_active_) {
       auto it = dirty_.find(key);
@@ -153,6 +157,7 @@ class KeyedDict final : public StateBackend {
     std::lock_guard<std::mutex> lock(mutex_);
     SDG_CHECK(!checkpoint_active_) << "checkpoint already active on KeyedDict";
     checkpoint_active_ = true;
+    delta_.Freeze();
   }
 
   void SerializeRecords(const RecordSink& sink) const override {
@@ -192,10 +197,52 @@ class KeyedDict final : public StateBackend {
     return checkpoint_active_.load(std::memory_order_acquire);
   }
 
+  // --- Delta epochs ----------------------------------------------------------
+
+  void EnableDeltaTracking() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    delta_.Enable();
+  }
+
+  bool DeltaReady() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delta_.Ready();
+  }
+
+  void SerializeDirtyRecords(const DeltaRecordSink& sink) const override {
+    // Same concurrency contract as SerializeRecords: main_ and the frozen
+    // change set are immutable while a checkpoint is active.
+    std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+    if (!checkpoint_active()) {
+      lock.lock();
+    }
+    BinaryWriter w;
+    for (const K& k : delta_.frozen()) {
+      auto it = main_.find(k);
+      w = BinaryWriter();
+      Codec<K>::Encode(w, k);
+      if (it == main_.end()) {
+        // Erased since the previous epoch: tombstone, payload = key only.
+        sink(Codec<K>::Hash(k), w.buffer().data(), w.buffer().size(),
+             /*tombstone=*/true);
+      } else {
+        Codec<V>::Encode(w, it->second);
+        sink(Codec<K>::Hash(k), w.buffer().data(), w.buffer().size(),
+             /*tombstone=*/false);
+      }
+    }
+  }
+
+  void ResolveEpoch(bool committed) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    delta_.Resolve(committed);
+  }
+
   void Clear() override {
     std::lock_guard<std::mutex> lock(mutex_);
     main_.clear();
     dirty_.clear();
+    delta_.Invalidate();
   }
 
   Status RestoreRecord(const uint8_t* payload, size_t size) override {
@@ -204,6 +251,16 @@ class KeyedDict final : public StateBackend {
     SDG_ASSIGN_OR_RETURN(V value, Codec<V>::Decode(r));
     std::lock_guard<std::mutex> lock(mutex_);
     main_[std::move(key)] = std::move(value);
+    delta_.Invalidate();
+    return Status::Ok();
+  }
+
+  Status RestoreErase(const uint8_t* payload, size_t size) override {
+    BinaryReader r(payload, size);
+    SDG_ASSIGN_OR_RETURN(K key, Codec<K>::Decode(r));
+    std::lock_guard<std::mutex> lock(mutex_);
+    main_.erase(key);  // absent is fine: the base may predate the key
+    delta_.Invalidate();
     return Status::Ok();
   }
 
@@ -227,6 +284,7 @@ class KeyedDict final : public StateBackend {
         ++it;
       }
     }
+    delta_.Invalidate();
     return Status::Ok();
   }
 
@@ -234,6 +292,12 @@ class KeyedDict final : public StateBackend {
   uint64_t DirtySize() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return dirty_.size();
+  }
+
+  // Entries the next delta epoch would cover (for tests and metrics).
+  uint64_t DeltaChangedCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return delta_.ChangedCount();
   }
 
  private:
@@ -253,6 +317,7 @@ class KeyedDict final : public StateBackend {
   mutable std::mutex mutex_;
   std::unordered_map<K, V> main_;
   std::unordered_map<K, std::optional<V>> dirty_;
+  DeltaTracker<K> delta_;  // delta granularity: keys
   // Written only under mutex_; atomic so the checkpoint thread can observe it
   // without taking the state lock.
   std::atomic<bool> checkpoint_active_{false};

@@ -29,6 +29,7 @@ double SparseMatrix::Get(int64_t row, int64_t col) const {
 
 void SparseMatrix::Set(int64_t row, int64_t col, double v) {
   std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Touch(row);
   if (checkpoint_active_) {
     dirty_[row][col] = v;
   } else {
@@ -38,6 +39,7 @@ void SparseMatrix::Set(int64_t row, int64_t col, double v) {
 
 void SparseMatrix::Add(int64_t row, int64_t col, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Touch(row);
   if (checkpoint_active_) {
     auto rit = dirty_.find(row);
     if (rit != dirty_.end()) {
@@ -179,6 +181,7 @@ void SparseMatrix::BeginCheckpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
   SDG_CHECK(!checkpoint_active_) << "checkpoint already active on SparseMatrix";
   checkpoint_active_ = true;
+  delta_.Freeze();
 }
 
 void SparseMatrix::EncodeRow(BinaryWriter& w, int64_t row, const Row& cols) {
@@ -218,10 +221,43 @@ uint64_t SparseMatrix::EndCheckpoint() {
   return consolidated;
 }
 
+void SparseMatrix::EnableDeltaTracking() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Enable();
+}
+
+bool SparseMatrix::DeltaReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_.Ready();
+}
+
+void SparseMatrix::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (int64_t row : delta_.frozen()) {
+    auto it = main_.find(row);
+    if (it == main_.end()) {
+      continue;  // first touched while diverted to the overlay; folded later
+    }
+    BinaryWriter w;
+    EncodeRow(w, row, it->second);
+    sink(Codec<int64_t>::Hash(row), w.buffer().data(), w.buffer().size(),
+         /*tombstone=*/false);
+  }
+}
+
+void SparseMatrix::ResolveEpoch(bool committed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Resolve(committed);
+}
+
 void SparseMatrix::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   main_.clear();
   dirty_.clear();
+  delta_.Invalidate();
 }
 
 Status SparseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
@@ -236,6 +272,7 @@ Status SparseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
     SDG_ASSIGN_OR_RETURN(double v, r.Read<double>());
     target[col] = v;
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 
@@ -257,6 +294,7 @@ Status SparseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
       ++it;
     }
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 

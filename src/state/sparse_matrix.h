@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/serialize.h"
+#include "src/state/delta_tracker.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -58,6 +59,11 @@ class SparseMatrix final : public StateBackend {
     return checkpoint_active_.load(std::memory_order_acquire);
   }
 
+  void EnableDeltaTracking() override;
+  bool DeltaReady() const override;
+  void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
+  void ResolveEpoch(bool committed) override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
@@ -69,6 +75,7 @@ class SparseMatrix final : public StateBackend {
   mutable std::mutex mutex_;
   std::unordered_map<int64_t, Row> main_;
   std::unordered_map<int64_t, Row> dirty_;
+  DeltaTracker<int64_t> delta_;  // delta granularity: rows
   std::atomic<bool> checkpoint_active_{false};
 };
 

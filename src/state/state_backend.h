@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "src/common/status.h"
@@ -28,6 +29,11 @@ namespace sdg::state {
 // duration of the call.
 using RecordSink =
     std::function<void(uint64_t key_hash, const uint8_t* payload, size_t size)>;
+
+// Delta-epoch variant: `tombstone` marks a record erased since the previous
+// epoch; its payload encodes only enough to name the erased entry (the key).
+using DeltaRecordSink = std::function<void(
+    uint64_t key_hash, const uint8_t* payload, size_t size, bool tombstone)>;
 
 class StateBackend {
  public:
@@ -54,10 +60,46 @@ class StateBackend {
 
   virtual bool checkpoint_active() const = 0;
 
+  // --- Delta epochs ----------------------------------------------------------
+  // Between periodic full bases, an epoch may persist only the records
+  // changed or erased since the previous committed epoch. The protocol:
+  //   EnableDeltaTracking() once; then per epoch, after BeginCheckpoint():
+  //   if DeltaReady(), SerializeDirtyRecords() emits the changed records and
+  //   tombstones of the frozen snapshot; otherwise SerializeRecords() emits a
+  //   full base. Once the epoch's durability is decided (meta written or
+  //   abandoned), ResolveEpoch(committed) either commits the new baseline or
+  //   merges the frozen change set back so the next delta is a superset.
+  // Defaults make every backend a valid (always-full) participant.
+  virtual void EnableDeltaTracking() {}
+  // True when this backend has a committed baseline and a tracked change set,
+  // i.e. SerializeDirtyRecords() would reconstruct the state when applied
+  // over the previous committed epoch.
+  virtual bool DeltaReady() const { return false; }
+  // Emits the records changed and the erases performed since the previous
+  // committed epoch. Same concurrency contract as SerializeRecords. Must only
+  // be called when DeltaReady().
+  virtual void SerializeDirtyRecords(const DeltaRecordSink& sink) const {
+    SerializeRecords(
+        [&sink](uint64_t key_hash, const uint8_t* payload, size_t size) {
+          sink(key_hash, payload, size, /*tombstone=*/false);
+        });
+  }
+  // Commits (true) or abandons (false) the epoch whose serialisation started
+  // at the last BeginCheckpoint. Call after EndCheckpoint.
+  virtual void ResolveEpoch(bool committed) { (void)committed; }
+
   // --- Restore --------------------------------------------------------------
   virtual void Clear() = 0;
   // Merges one record previously produced by SerializeRecords.
   virtual Status RestoreRecord(const uint8_t* payload, size_t size) = 0;
+  // Applies a tombstone from a delta chunk: erases the entry the payload
+  // names. Erasing an absent entry is a no-op (the base may predate it).
+  virtual Status RestoreErase(const uint8_t* payload, size_t size) {
+    (void)payload;
+    (void)size;
+    return Status(StatusCode::kUnimplemented,
+                  std::string(TypeName()) + " cannot apply tombstones");
+  }
 
   // --- Dynamic partitioning (§3.2) -------------------------------------------
   // Emits and removes every record whose key hash maps to `part` under

@@ -17,6 +17,7 @@ double VectorState::Get(size_t i) const {
 
 void VectorState::Set(size_t i, double v) {
   std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Touch(i / kBlockSize);
   if (checkpoint_active_) {
     dirty_[i] = v;
     return;
@@ -29,6 +30,7 @@ void VectorState::Set(size_t i, double v) {
 
 void VectorState::Add(size_t i, double delta) {
   std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Touch(i / kBlockSize);
   if (checkpoint_active_) {
     auto it = dirty_.find(i);
     double base = it != dirty_.end()
@@ -45,6 +47,9 @@ void VectorState::Add(size_t i, double delta) {
 
 void VectorState::Accumulate(const std::vector<double>& other) {
   std::lock_guard<std::mutex> lock(mutex_);
+  for (size_t block = 0; block * kBlockSize < other.size(); ++block) {
+    delta_.Touch(block);
+  }
   if (checkpoint_active_) {
     for (size_t i = 0; i < other.size(); ++i) {
       auto it = dirty_.find(i);
@@ -97,6 +102,7 @@ void VectorState::BeginCheckpoint() {
   std::lock_guard<std::mutex> lock(mutex_);
   SDG_CHECK(!checkpoint_active_) << "checkpoint already active on VectorState";
   checkpoint_active_ = true;
+  delta_.Freeze();
 }
 
 void VectorState::SerializeRecords(const RecordSink& sink) const {
@@ -130,10 +136,46 @@ uint64_t VectorState::EndCheckpoint() {
   return consolidated;
 }
 
+void VectorState::EnableDeltaTracking() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Enable();
+}
+
+bool VectorState::DeltaReady() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return delta_.Ready();
+}
+
+void VectorState::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
+  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
+  if (!checkpoint_active()) {
+    lock.lock();
+  }
+  for (size_t block : delta_.frozen()) {
+    size_t begin = block * kBlockSize;
+    if (begin >= data_.size()) {
+      continue;  // touched while diverted to the overlay; folded later
+    }
+    size_t end = std::min(begin + kBlockSize, data_.size());
+    BinaryWriter w;
+    w.Write<uint64_t>(block);
+    w.Write<uint64_t>(end - begin);
+    w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
+    sink(MixHash64(block), w.buffer().data(), w.buffer().size(),
+         /*tombstone=*/false);
+  }
+}
+
+void VectorState::ResolveEpoch(bool committed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  delta_.Resolve(committed);
+}
+
 void VectorState::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   data_.clear();
   dirty_.clear();
+  delta_.Invalidate();
 }
 
 Status VectorState::RestoreRecord(const uint8_t* payload, size_t size) {
@@ -152,6 +194,7 @@ Status VectorState::RestoreRecord(const uint8_t* payload, size_t size) {
     auto v = r.Read<double>();
     data_[begin + i] = v.value();
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 
@@ -177,6 +220,7 @@ Status VectorState::ExtractPartition(uint32_t part, uint32_t num_parts,
     std::fill(data_.begin() + static_cast<ptrdiff_t>(begin),
               data_.begin() + static_cast<ptrdiff_t>(end), 0.0);
   }
+  delta_.Invalidate();
   return Status::Ok();
 }
 

@@ -15,6 +15,7 @@
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
+#include "src/state/delta_tracker.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -53,6 +54,11 @@ class VectorState final : public StateBackend {
     return checkpoint_active_.load(std::memory_order_acquire);
   }
 
+  void EnableDeltaTracking() override;
+  bool DeltaReady() const override;
+  void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
+  void ResolveEpoch(bool committed) override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
@@ -62,6 +68,7 @@ class VectorState final : public StateBackend {
   mutable std::mutex mutex_;
   std::vector<double> data_;
   std::unordered_map<size_t, double> dirty_;
+  DeltaTracker<size_t> delta_;  // delta granularity: kBlockSize index blocks
   std::atomic<bool> checkpoint_active_{false};
 };
 

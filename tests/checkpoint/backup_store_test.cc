@@ -161,5 +161,93 @@ TEST_F(BackupStoreTest, EmptyChunkListIsOk) {
   EXPECT_TRUE(store.WriteChunks(0, 1, "se0", {}).ok());
 }
 
+// --- Streaming chunk writes + hash-offset placement --------------------------
+
+TEST_F(BackupStoreTest, StreamedChunksReadBackAsWritten) {
+  BackupStore store(Options(2));
+  auto stream = store.BeginChunkStream(0, 1, "se0", 0);
+  ASSERT_TRUE(stream.ok());
+  std::vector<uint8_t> expect;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<uint8_t> seg(1000 + i, static_cast<uint8_t>(i));
+    expect.insert(expect.end(), seg.begin(), seg.end());
+    ASSERT_TRUE(store.AppendChunkStream(*stream, std::move(seg)).ok());
+  }
+  ASSERT_TRUE(store.FinishChunkStream(*stream).ok());
+
+  auto back = store.ReadChunks(0, 1, "se0", 1);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1u);
+  EXPECT_EQ((*back)[0], expect);
+}
+
+TEST_F(BackupStoreTest, StreamingSurvivesTinyBacklogBudget) {
+  // A backlog budget smaller than one segment forces the appender to wait on
+  // the drainer every time; ordering and content must be unaffected.
+  auto opts = Options(1);
+  opts.max_stream_backlog_bytes = 512;
+  BackupStore store(opts);
+  auto stream = store.BeginChunkStream(0, 7, "kv", 0);
+  ASSERT_TRUE(stream.ok());
+  std::vector<uint8_t> expect;
+  for (int i = 0; i < 50; ++i) {
+    std::vector<uint8_t> seg(1024, static_cast<uint8_t>(i));
+    expect.insert(expect.end(), seg.begin(), seg.end());
+    ASSERT_TRUE(store.AppendChunkStream(*stream, std::move(seg)).ok());
+  }
+  ASSERT_TRUE(store.FinishChunkStream(*stream).ok());
+  auto back = store.ReadChunks(0, 7, "kv", 1);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ((*back)[0], expect);
+}
+
+TEST_F(BackupStoreTest, InterleavedStreamsStayIndependent) {
+  BackupStore store(Options(2));
+  auto s0 = store.BeginChunkStream(0, 1, "a", 0);
+  auto s1 = store.BeginChunkStream(0, 1, "a", 1);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store.AppendChunkStream(*s0, std::vector<uint8_t>(64, 0xA0))
+                    .ok());
+    ASSERT_TRUE(store.AppendChunkStream(*s1, std::vector<uint8_t>(32, 0xB1))
+                    .ok());
+  }
+  ASSERT_TRUE(store.FinishChunkStream(*s0).ok());
+  ASSERT_TRUE(store.FinishChunkStream(*s1).ok());
+  auto back = store.ReadChunks(0, 1, "a", 2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)[0], std::vector<uint8_t>(640, 0xA0));
+  EXPECT_EQ((*back)[1], std::vector<uint8_t>(320, 0xB1));
+}
+
+TEST_F(BackupStoreTest, AppendToUnknownStreamFails) {
+  BackupStore store(Options(1));
+  EXPECT_FALSE(store.AppendChunkStream(999, {1, 2, 3}).ok());
+  EXPECT_FALSE(store.FinishChunkStream(999).ok());
+}
+
+TEST_F(BackupStoreTest, SingleChunkNamesSpreadAcrossBackupDirs) {
+  // The i % m placement is offset by hash(name): single-chunk blobs of
+  // different names (TE output buffers) must not all pile onto backup 0.
+  BackupStore store(Options(2));
+  for (int i = 0; i < 8; ++i) {
+    std::string name = "outbuf" + std::to_string(i) + "_0";
+    ASSERT_TRUE(store.WriteChunks(0, 1, name, MakeChunks(1, 16)).ok());
+  }
+  size_t in_backup0 = 0, in_backup1 = 0;
+  for (const auto& e : fs::directory_iterator(dir_.path() / "backup0")) {
+    (void)e;
+    ++in_backup0;
+  }
+  for (const auto& e : fs::directory_iterator(dir_.path() / "backup1")) {
+    (void)e;
+    ++in_backup1;
+  }
+  EXPECT_EQ(in_backup0 + in_backup1, 8u);
+  EXPECT_GT(in_backup0, 0u);
+  EXPECT_GT(in_backup1, 0u);
+}
+
 }  // namespace
 }  // namespace sdg::checkpoint

@@ -59,5 +59,81 @@ TEST(CheckpointMetaTest, GarbageBytesFailGracefully) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(CheckpointMetaTest, DeltaChainRoundTrips) {
+  CheckpointMeta m;
+  m.epoch = 9;
+  StateInstanceMeta s;
+  s.state = 1;
+  s.instance = 0;
+  s.num_chunks = 4;
+  s.record_count = 10;
+  s.kind = EpochKind::kDelta;
+  s.base_epoch = 6;
+  s.chain = {{6, 4, EpochKind::kFull},
+             {7, 4, EpochKind::kDelta},
+             {9, 4, EpochKind::kDelta}};
+  m.states.push_back(s);
+
+  auto back = CheckpointMeta::FromBytes(m.ToBytes());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->states.size(), 1u);
+  const auto& bs = back->states[0];
+  EXPECT_EQ(bs.kind, EpochKind::kDelta);
+  EXPECT_EQ(bs.base_epoch, 6u);
+  ASSERT_EQ(bs.chain.size(), 3u);
+  EXPECT_EQ(bs.chain[0].epoch, 6u);
+  EXPECT_EQ(bs.chain[0].kind, EpochKind::kFull);
+  EXPECT_EQ(bs.chain[2].epoch, 9u);
+  EXPECT_EQ(bs.chain[2].kind, EpochKind::kDelta);
+  EXPECT_EQ(back->MinChainEpoch(), 6u);
+}
+
+TEST(CheckpointMetaTest, MinChainEpochDefaultsToOwnEpoch) {
+  CheckpointMeta m;
+  m.epoch = 11;
+  m.states.push_back({1, 0, 2, 5});
+  m.states.back().chain = {{11, 2, EpochKind::kFull}};
+  EXPECT_EQ(m.MinChainEpoch(), 11u);
+}
+
+TEST(CheckpointMetaTest, V1BytesDeserializeWithSynthesizedChain) {
+  // A pre-v2 meta: no magic, the frame starts directly with the epoch and
+  // state entries carry no kind/base/chain fields.
+  BinaryWriter w;
+  w.Write<uint64_t>(42);  // epoch
+  w.Write<uint32_t>(0);   // no tasks
+  w.Write<uint32_t>(1);   // one state
+  w.Write<uint32_t>(3);   // state id
+  w.Write<uint32_t>(0);   // instance
+  w.Write<uint32_t>(4);   // num_chunks
+  w.Write<uint64_t>(77);  // record_count
+  auto bytes = std::move(w).TakeBuffer();
+
+  auto m = CheckpointMeta::FromBytes(bytes);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m->epoch, 42u);
+  ASSERT_EQ(m->states.size(), 1u);
+  const auto& s = m->states[0];
+  EXPECT_EQ(s.record_count, 77u);
+  // Restore never branches on meta version: v1 states get a one-link full
+  // chain at their own epoch.
+  EXPECT_EQ(s.kind, EpochKind::kFull);
+  EXPECT_EQ(s.base_epoch, 42u);
+  ASSERT_EQ(s.chain.size(), 1u);
+  EXPECT_EQ(s.chain[0].epoch, 42u);
+  EXPECT_EQ(s.chain[0].num_chunks, 4u);
+  EXPECT_EQ(s.chain[0].kind, EpochKind::kFull);
+}
+
+TEST(CheckpointMetaTest, BadEpochKindFails) {
+  CheckpointMeta m;
+  m.epoch = 1;
+  m.states.push_back({1, 0, 1, 1});
+  m.states.back().chain = {{1, 1, EpochKind::kFull}};
+  auto bytes = m.ToBytes();
+  bytes.back() = 0x7F;  // the trailing chain-link kind byte
+  EXPECT_FALSE(CheckpointMeta::FromBytes(bytes).ok());
+}
+
 }  // namespace
 }  // namespace sdg::checkpoint

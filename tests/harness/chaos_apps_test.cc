@@ -37,5 +37,45 @@ TEST_P(CfChaosTest, MatchesReferenceModel) { RunCfChaos(GetParam()); }
 INSTANTIATE_TEST_SUITE_P(Seeds, CfChaosTest,
                          ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
 
+// Delta-epoch variants: same apps, same seeds, but checkpoints write
+// base+delta chains of compressed v2 chunks through the streaming path, so
+// every recovery replays a chain in order and every armed crash between a
+// base and its deltas must fall back to the last complete chain.
+
+class KvChaosDeltaTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(KvChaosDeltaTest, MatchesReferenceModel) {
+  RunKvChaos(GetParam(), /*delta_epochs=*/true);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, KvChaosDeltaTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class WordCountChaosDeltaTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(WordCountChaosDeltaTest, MatchesReferenceModel) {
+  RunWordCountChaos(GetParam(), /*delta_epochs=*/true);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, WordCountChaosDeltaTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class LrChaosDeltaTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(LrChaosDeltaTest, MatchesReferenceModel) {
+  RunLrChaos(GetParam(), /*delta_epochs=*/true);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, LrChaosDeltaTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class KMeansChaosDeltaTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(KMeansChaosDeltaTest, MatchesReferenceModel) {
+  RunKMeansChaos(GetParam(), /*delta_epochs=*/true);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansChaosDeltaTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
+class CfChaosDeltaTest : public ::testing::TestWithParam<uint64_t> {};
+TEST_P(CfChaosDeltaTest, MatchesReferenceModel) {
+  RunCfChaos(GetParam(), /*delta_epochs=*/true);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, CfChaosDeltaTest,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
+
 }  // namespace
 }  // namespace sdg::harness

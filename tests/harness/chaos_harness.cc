@@ -18,6 +18,7 @@
 #include "src/apps/wordcount.h"
 #include "src/common/value.h"
 #include "src/runtime/fault_injector.h"
+#include "src/state/codec.h"
 #include "src/state/dense_matrix.h"
 #include "src/state/keyed_dict.h"
 #include "src/state/state_backend.h"
@@ -39,7 +40,8 @@ using runtime::FaultInjector;
 
 runtime::ClusterOptions ChaosClusterOptions(const std::filesystem::path& dir,
                                             uint64_t seed,
-                                            std::vector<EdgeFaultRule> rules) {
+                                            std::vector<EdgeFaultRule> rules,
+                                            bool delta_epochs) {
   runtime::ClusterOptions o;
   o.num_nodes = 3;
   o.mailbox_capacity = 8192;
@@ -49,6 +51,12 @@ runtime::ClusterOptions ChaosClusterOptions(const std::filesystem::path& dir,
   o.fault_tolerance.store.root = dir.string();
   o.fault_tolerance.store.num_backup_nodes = 2;
   o.fault_tolerance.store.io_threads = 2;
+  if (delta_epochs) {
+    // Exercise the incremental data path: base+delta chains capped at 3
+    // epochs, prefix-compressed v2 chunks, streamed segment-by-segment.
+    o.fault_tolerance.delta_epoch_interval = 3;
+    o.fault_tolerance.chunk_codec = state::kChunkCodecPrefix;
+  }
   o.fault_injection.enabled = true;
   o.fault_injection.seed = seed;
   o.fault_injection.edges = std::move(rules);
@@ -252,7 +260,7 @@ void RunChaosRounds(ChaosContext& ctx) {
 
 // --- KV ---------------------------------------------------------------------
 
-void RunKvChaos(uint64_t seed) {
+void RunKvChaos(uint64_t seed, bool delta_epochs) {
   ScopedTestDir dir("chaos_kv");
   Rng rng(seed);
   OpLog log;
@@ -270,7 +278,8 @@ void RunKvChaos(uint64_t seed) {
            /*reorder=*/0.0, /*delay_us=*/300},
           {"external", "del", 0.0, 0.15, 0.05, 0.0, 300},
           {"external", "get", 0.10, 0.15, 0.05, 0.25, 300},
-      });
+      },
+      delta_epochs);
   runtime::Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok()) << d.status().ToString();
@@ -373,7 +382,7 @@ void RunKvChaos(uint64_t seed) {
 
 // --- Wordcount --------------------------------------------------------------
 
-void RunWordCountChaos(uint64_t seed) {
+void RunWordCountChaos(uint64_t seed, bool delta_epochs) {
   ScopedTestDir dir("chaos_wc");
   Rng rng(seed);
   OpLog log;
@@ -394,7 +403,8 @@ void RunWordCountChaos(uint64_t seed) {
                                        0.25, 300},
                                       {"external", "snapshot", 0.10, 0.15,
                                        0.05, 0.25, 300},
-                                  });
+                                  },
+                                  delta_epochs);
   runtime::Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok()) << d.status().ToString();
@@ -473,7 +483,7 @@ void RunWordCountChaos(uint64_t seed) {
 
 // --- Logistic regression ----------------------------------------------------
 
-void RunLrChaos(uint64_t seed) {
+void RunLrChaos(uint64_t seed, bool delta_epochs) {
   ScopedTestDir dir("chaos_lr");
   Rng rng(seed);
   OpLog log;
@@ -492,7 +502,8 @@ void RunLrChaos(uint64_t seed) {
                                        0.0, 300},
                                       {"external", "readModel", 0.10, 0.15,
                                        0.05, 0.0, 300},
-                                  });
+                                  },
+                                  delta_epochs);
   runtime::Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok()) << d.status().ToString();
@@ -547,7 +558,7 @@ void RunLrChaos(uint64_t seed) {
 
 // --- k-means ----------------------------------------------------------------
 
-void RunKMeansChaos(uint64_t seed) {
+void RunKMeansChaos(uint64_t seed, bool delta_epochs) {
   ScopedTestDir dir("chaos_kmeans");
   Rng rng(seed);
   OpLog log;
@@ -569,7 +580,8 @@ void RunKMeansChaos(uint64_t seed) {
                                        0.0, 300},
                                       {"assign", "accumulate", 0.0, 0.15,
                                        0.05, 0.25, 300},
-                                  });
+                                  },
+                                  delta_epochs);
   runtime::Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(*g));
   ASSERT_TRUE(d.ok()) << d.status().ToString();
@@ -643,7 +655,7 @@ void RunKMeansChaos(uint64_t seed) {
 
 // --- Collaborative filtering ------------------------------------------------
 
-void RunCfChaos(uint64_t seed) {
+void RunCfChaos(uint64_t seed, bool delta_epochs) {
   ScopedTestDir dir("chaos_cf");
   Rng rng(seed);
   OpLog log;
@@ -662,7 +674,8 @@ void RunCfChaos(uint64_t seed) {
                                        0.05, 0.0, 300},
                                       {"external", "getRec", 0.10, 0.15,
                                        0.05, 0.0, 300},
-                                  });
+                                  },
+                                  delta_epochs);
   runtime::Cluster cluster(opts);
   auto d = cluster.Deploy(std::move(t->sdg));
   ASSERT_TRUE(d.ok()) << d.status().ToString();

@@ -80,12 +80,16 @@ void RunChaosRounds(ChaosContext& ctx);
 
 // Per-app drivers (tests/harness/chaos_apps_test.cc instantiates these over
 // ChaosSeeds()). Each builds the app with fault injection enabled, runs
-// RunChaosRounds and reports divergences via FailureBanner.
-void RunKvChaos(uint64_t seed);
-void RunWordCountChaos(uint64_t seed);
-void RunLrChaos(uint64_t seed);
-void RunKMeansChaos(uint64_t seed);
-void RunCfChaos(uint64_t seed);
+// RunChaosRounds and reports divergences via FailureBanner. With
+// `delta_epochs` the deployment checkpoints incrementally (base+delta chains,
+// compressed v2 chunks), so recoveries exercise chain-ordered restore and
+// crash points between a base and its deltas must fall back to the last
+// complete chain.
+void RunKvChaos(uint64_t seed, bool delta_epochs = false);
+void RunWordCountChaos(uint64_t seed, bool delta_epochs = false);
+void RunLrChaos(uint64_t seed, bool delta_epochs = false);
+void RunKMeansChaos(uint64_t seed, bool delta_epochs = false);
+void RunCfChaos(uint64_t seed, bool delta_epochs = false);
 
 }  // namespace sdg::harness
 

@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "src/state/codec.h"
 #include "src/state/keyed_dict.h"
 
 namespace sdg::state {
@@ -151,6 +152,219 @@ TEST(ChunkTest, MToNRoundTrip) {
     }
     EXPECT_EQ(found, 1) << "key " << i << " must live on exactly one node";
   }
+}
+
+// --- v2 frame: codec, tombstones, streamed chunks ---------------------------
+
+ChunkOptions V2Options(uint8_t codec, bool delta) {
+  ChunkOptions o;
+  o.version = kChunkVersion2;
+  o.codec = codec;
+  o.delta = delta;
+  return o;
+}
+
+TEST(ChunkV2Test, PrefixCodecRoundTripsAndShrinksSharedPrefixes) {
+  // Records sharing a long common prefix: the codec should elide it.
+  std::vector<std::vector<uint8_t>> payloads;
+  for (int i = 0; i < 64; ++i) {
+    std::vector<uint8_t> p(100, 0xAB);  // 100 identical leading bytes
+    p.push_back(static_cast<uint8_t>(i));
+    payloads.push_back(std::move(p));
+  }
+
+  ChunkBuilder plain("s", V2Options(kChunkCodecNone, false));
+  ChunkBuilder packed("s", V2Options(kChunkCodecPrefix, false));
+  for (uint64_t i = 0; i < payloads.size(); ++i) {
+    plain.AddRecord(i, payloads[i].data(), payloads[i].size());
+    packed.AddRecord(i, payloads[i].data(), payloads[i].size());
+  }
+  auto plain_chunk = std::move(plain).Finish();
+  auto packed_chunk = std::move(packed).Finish();
+  EXPECT_LT(packed_chunk.size(), plain_chunk.size() / 2);
+
+  auto reader = ChunkReader::Open(packed_chunk);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->version(), kChunkVersion2);
+  EXPECT_EQ(reader->codec(), kChunkCodecPrefix);
+  size_t i = 0;
+  ASSERT_TRUE(reader->ForEach([&](const ChunkRecordView& rec) {
+                EXPECT_EQ(rec.key_hash, i);
+                ASSERT_EQ(rec.size, payloads[i].size());
+                EXPECT_EQ(std::vector<uint8_t>(rec.payload, rec.payload + rec.size),
+                          payloads[i]);
+                ++i;
+              }).ok());
+  EXPECT_EQ(i, payloads.size());
+}
+
+TEST(ChunkV2Test, TombstonesRoundTripAndRejectLegacyWalk) {
+  ChunkBuilder b("s", V2Options(kChunkCodecNone, /*delta=*/true));
+  uint8_t live = 1, dead = 2;
+  b.AddRecord(10, &live, 1);
+  b.AddTombstone(20, &dead, 1);
+  auto chunk = std::move(b).Finish();
+
+  auto reader = ChunkReader::Open(chunk);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->is_delta());
+  std::vector<std::pair<uint64_t, bool>> seen;
+  ASSERT_TRUE(reader->ForEach([&](const ChunkRecordView& rec) {
+                seen.emplace_back(rec.key_hash, rec.tombstone);
+              }).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<uint64_t, bool>{10, false}));
+  EXPECT_EQ(seen[1], (std::pair<uint64_t, bool>{20, true}));
+
+  // Pre-delta callers cannot represent an erase.
+  Status s = reader->ForEachRecord([](uint64_t, const uint8_t*, size_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkV2Test, SplitPreservesOptionsAndTombstones) {
+  ChunkBuilder b("s", V2Options(kChunkCodecPrefix, /*delta=*/true));
+  for (uint64_t h = 0; h < 60; ++h) {
+    std::vector<uint8_t> p(20, 0x11);
+    p.push_back(static_cast<uint8_t>(h));
+    if (h % 5 == 0) {
+      b.AddTombstone(h, p.data(), p.size());
+    } else {
+      b.AddRecord(h, p.data(), p.size());
+    }
+  }
+  auto chunk = std::move(b).Finish();
+  auto parts = SplitChunk(chunk, 3);
+  ASSERT_TRUE(parts.ok());
+
+  size_t total = 0, tombstones = 0;
+  for (uint32_t i = 0; i < 3; ++i) {
+    auto reader = ChunkReader::Open((*parts)[i]);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader->version(), kChunkVersion2);
+    EXPECT_EQ(reader->codec(), kChunkCodecPrefix);
+    EXPECT_TRUE(reader->is_delta());
+    ASSERT_TRUE(reader->ForEach([&](const ChunkRecordView& rec) {
+                  EXPECT_EQ(rec.key_hash % 3, i);
+                  ASSERT_EQ(rec.size, 21u);
+                  EXPECT_EQ(rec.payload[20], static_cast<uint8_t>(rec.key_hash));
+                  ++total;
+                  if (rec.tombstone) {
+                    ++tombstones;
+                  }
+                }).ok());
+  }
+  EXPECT_EQ(total, 60u);
+  EXPECT_EQ(tombstones, 12u);  // hashes 0,5,...,55
+}
+
+TEST(ChunkV2Test, FilterKeepsPartitionTombstones) {
+  ChunkBuilder b("s", V2Options(kChunkCodecNone, /*delta=*/true));
+  uint8_t p = 0;
+  for (uint64_t h = 0; h < 40; ++h) {
+    if (h % 2 == 0) {
+      b.AddTombstone(h, &p, 1);
+    } else {
+      b.AddRecord(h, &p, 1);
+    }
+  }
+  auto chunk = std::move(b).Finish();
+  auto filtered = FilterChunk(chunk, 2, 4);
+  ASSERT_TRUE(filtered.ok());
+  auto reader = ChunkReader::Open(*filtered);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_TRUE(reader->is_delta());
+  size_t count = 0;
+  ASSERT_TRUE(reader->ForEach([&](const ChunkRecordView& rec) {
+                EXPECT_EQ(rec.key_hash % 4, 2u);
+                EXPECT_TRUE(rec.tombstone);  // partition 2 of 4 = even hashes
+                ++count;
+              }).ok());
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(ChunkV2Test, StreamedSentinelWalksBodyToEnd) {
+  // A streamed chunk is framed segment-by-segment: header first (count
+  // unknown), record frames appended after.
+  ChunkOptions opts = V2Options(kChunkCodecPrefix, false);
+  auto chunk = BuildChunkHeader(opts, "s", kStreamedRecordCount);
+  std::vector<uint8_t> prev;
+  std::vector<std::vector<uint8_t>> payloads;
+  for (uint64_t i = 0; i < 10; ++i) {
+    std::vector<uint8_t> p(8, 0x7F);
+    p.push_back(static_cast<uint8_t>(i));
+    AppendRecordFrame(opts, i, p.data(), p.size(), /*tombstone=*/false, chunk,
+                      prev);
+    payloads.push_back(std::move(p));
+  }
+  auto reader = ChunkReader::Open(chunk);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->record_count(), kStreamedRecordCount);
+  size_t i = 0;
+  ASSERT_TRUE(reader->ForEach([&](const ChunkRecordView& rec) {
+                ASSERT_LT(i, payloads.size());
+                EXPECT_EQ(rec.key_hash, i);
+                EXPECT_EQ(std::vector<uint8_t>(rec.payload, rec.payload + rec.size),
+                          payloads[i]);
+                ++i;
+              }).ok());
+  EXPECT_EQ(i, payloads.size());
+}
+
+TEST(ChunkV2Test, TruncatedV2BodyFailsCleanly) {
+  ChunkBuilder b("s", V2Options(kChunkCodecPrefix, false));
+  std::vector<uint8_t> p(32, 0x42);
+  b.AddRecord(1, p.data(), p.size());
+  b.AddRecord(2, p.data(), p.size());
+  auto chunk = std::move(b).Finish();
+  chunk.resize(chunk.size() - 5);
+  auto reader = ChunkReader::Open(chunk);
+  ASSERT_TRUE(reader.ok());  // header intact
+  Status s = reader->ForEach([](const ChunkRecordView&) {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(ChunkV2Test, MixedV1V2RestoreAppliesTombstones) {
+  // A v1 full base followed by a v2 delta epoch: the delta's tombstone erases
+  // a base key and its record overwrites another.
+  KeyedDict<int64_t, int64_t> base;
+  for (int64_t i = 0; i < 100; ++i) {
+    base.Put(i, i);
+  }
+  auto base_chunks = SerializeToChunks(base, "kv", 2);  // v1 frame
+
+  KeyedDict<int64_t, int64_t> next;
+  next.EnableDeltaTracking();
+  for (int64_t i = 0; i < 100; ++i) {
+    next.Put(i, i);
+  }
+  next.BeginCheckpoint();
+  next.EndCheckpoint();
+  next.ResolveEpoch(true);  // baseline committed; tracking live
+  next.Put(7, 700);
+  next.Erase(13);
+  next.BeginCheckpoint();
+  ChunkBuilder delta("kv", V2Options(kChunkCodecPrefix, /*delta=*/true));
+  next.SerializeDirtyRecords([&](uint64_t h, const uint8_t* pl, size_t n,
+                                 bool tomb) {
+    if (tomb) {
+      delta.AddTombstone(h, pl, n);
+    } else {
+      delta.AddRecord(h, pl, n);
+    }
+  });
+  next.EndCheckpoint();
+  next.ResolveEpoch(true);
+  auto delta_chunk = std::move(delta).Finish();
+
+  KeyedDict<int64_t, int64_t> restored;
+  for (const auto& c : base_chunks) {
+    ASSERT_TRUE(RestoreChunk(restored, c).ok());
+  }
+  ASSERT_TRUE(RestoreChunk(restored, delta_chunk).ok());
+  EXPECT_EQ(restored.Size(), 99u);
+  EXPECT_EQ(restored.Get(7), 700);
+  EXPECT_FALSE(restored.Contains(13));
+  EXPECT_EQ(restored.Get(42), 42);
 }
 
 }  // namespace

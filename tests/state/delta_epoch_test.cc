@@ -1,0 +1,240 @@
+// Delta epoch protocol (state_backend.h): per backend, dirty tracking freezes
+// at BeginCheckpoint, SerializeDirtyRecords emits only the frozen change set,
+// and ResolveEpoch either commits the baseline or rolls the set forward so an
+// abandoned epoch's next delta is a superset.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/state/dense_matrix.h"
+#include "src/state/keyed_dict.h"
+#include "src/state/sparse_matrix.h"
+#include "src/state/vector_state.h"
+
+namespace sdg::state {
+namespace {
+
+struct DeltaRecord {
+  uint64_t key_hash;
+  std::vector<uint8_t> payload;
+  bool tombstone;
+};
+
+// Runs one full epoch cycle: freeze, collect the dirty records, consolidate,
+// resolve.
+std::vector<DeltaRecord> RunEpoch(StateBackend& backend, bool commit = true) {
+  backend.BeginCheckpoint();
+  std::vector<DeltaRecord> out;
+  backend.SerializeDirtyRecords(
+      [&](uint64_t h, const uint8_t* p, size_t n, bool tomb) {
+        out.push_back({h, std::vector<uint8_t>(p, p + n), tomb});
+      });
+  backend.EndCheckpoint();
+  backend.ResolveEpoch(commit);
+  return out;
+}
+
+TEST(DeltaEpochTest, NotReadyUntilBaseCommitted) {
+  KeyedDict<int64_t, int64_t> d;
+  EXPECT_FALSE(d.DeltaReady());
+  d.EnableDeltaTracking();
+  d.Put(1, 1);
+  // No committed baseline yet: the first epoch must be a full base.
+  EXPECT_FALSE(d.DeltaReady());
+  RunEpoch(d);
+  EXPECT_TRUE(d.DeltaReady());
+}
+
+TEST(DeltaEpochTest, KeyedDictEmitsOnlyChangedKeysAndTombstones) {
+  KeyedDict<int64_t, int64_t> d;
+  d.EnableDeltaTracking();
+  for (int64_t i = 0; i < 100; ++i) {
+    d.Put(i, i);
+  }
+  RunEpoch(d);  // base committed
+
+  d.Put(3, 33);
+  d.Erase(9);
+  auto delta = RunEpoch(d);
+  ASSERT_EQ(delta.size(), 2u);
+  size_t tombs = 0;
+  for (const auto& r : delta) {
+    tombs += r.tombstone;
+  }
+  EXPECT_EQ(tombs, 1u);
+  EXPECT_EQ(d.DeltaChangedCount(), 0u);
+
+  // Delta-restoring onto a copy of the base reproduces the current state.
+  KeyedDict<int64_t, int64_t> copy;
+  for (int64_t i = 0; i < 100; ++i) {
+    copy.Put(i, i);
+  }
+  for (const auto& r : delta) {
+    if (r.tombstone) {
+      ASSERT_TRUE(copy.RestoreErase(r.payload.data(), r.payload.size()).ok());
+    } else {
+      ASSERT_TRUE(copy.RestoreRecord(r.payload.data(), r.payload.size()).ok());
+    }
+  }
+  EXPECT_EQ(copy.Size(), 99u);
+  EXPECT_EQ(copy.Get(3), 33);
+  EXPECT_FALSE(copy.Contains(9));
+}
+
+TEST(DeltaEpochTest, AbandonedEpochMergesIntoNextDelta) {
+  KeyedDict<int64_t, int64_t> d;
+  d.EnableDeltaTracking();
+  d.Put(1, 1);
+  d.Put(2, 2);
+  RunEpoch(d);
+
+  d.Put(1, 10);
+  auto abandoned = RunEpoch(d, /*commit=*/false);
+  EXPECT_EQ(abandoned.size(), 1u);
+
+  // The abandoned change must reappear alongside the new one: a superset
+  // delta restores correctly even if the abandoned epoch was secretly
+  // durable (WriteMeta crash-after).
+  d.Put(2, 20);
+  auto next = RunEpoch(d);
+  EXPECT_EQ(next.size(), 2u);
+}
+
+TEST(DeltaEpochTest, WritesDuringActiveCheckpointLandInNextEpoch) {
+  KeyedDict<int64_t, int64_t> d;
+  d.EnableDeltaTracking();
+  d.Put(1, 1);
+  RunEpoch(d);
+
+  d.Put(2, 2);
+  d.BeginCheckpoint();
+  d.Put(3, 3);  // diverted to the overlay; dirty for the NEXT epoch
+  std::vector<DeltaRecord> now;
+  d.SerializeDirtyRecords([&](uint64_t h, const uint8_t* p, size_t n,
+                              bool tomb) {
+    now.push_back({h, std::vector<uint8_t>(p, p + n), tomb});
+  });
+  EXPECT_EQ(now.size(), 1u);  // only key 2
+  d.EndCheckpoint();
+  d.ResolveEpoch(true);
+
+  auto next = RunEpoch(d);
+  EXPECT_EQ(next.size(), 1u);  // only key 3
+}
+
+TEST(DeltaEpochTest, RestoreInvalidatesBaseline) {
+  KeyedDict<int64_t, int64_t> d;
+  d.EnableDeltaTracking();
+  d.Put(1, 1);
+  RunEpoch(d);
+  EXPECT_TRUE(d.DeltaReady());
+
+  // Restoring records (recovery) makes the tracked baseline meaningless: the
+  // next epoch must be a full base again.
+  KeyedDict<int64_t, int64_t> donor;
+  donor.Put(5, 5);
+  donor.SerializeRecords([&](uint64_t, const uint8_t* p, size_t n) {
+    ASSERT_TRUE(d.RestoreRecord(p, n).ok());
+  });
+  EXPECT_FALSE(d.DeltaReady());
+  RunEpoch(d);
+  EXPECT_TRUE(d.DeltaReady());
+
+  d.Clear();
+  EXPECT_FALSE(d.DeltaReady());
+}
+
+TEST(DeltaEpochTest, VectorStateTracksBlocks) {
+  VectorState v(4 * VectorState::kBlockSize);
+  v.EnableDeltaTracking();
+  v.Set(1, 1.0);
+  RunEpoch(v);
+
+  // One write -> exactly one block record in the delta.
+  v.Set(2 * VectorState::kBlockSize + 5, 42.0);
+  auto delta = RunEpoch(v);
+  ASSERT_EQ(delta.size(), 1u);
+
+  VectorState copy(4 * VectorState::kBlockSize);
+  copy.Set(1, 1.0);
+  for (const auto& r : delta) {
+    ASSERT_TRUE(copy.RestoreRecord(r.payload.data(), r.payload.size()).ok());
+  }
+  EXPECT_EQ(copy.Get(2 * VectorState::kBlockSize + 5), 42.0);
+  EXPECT_EQ(copy.Get(1), 1.0);
+}
+
+TEST(DeltaEpochTest, DenseMatrixTracksRows) {
+  DenseMatrix m(8, 4);
+  m.EnableDeltaTracking();
+  m.Fill(1.0);
+  RunEpoch(m);
+
+  m.Set(5, 2, 9.0);
+  m.Add(5, 3, 1.0);
+  auto delta = RunEpoch(m);
+  ASSERT_EQ(delta.size(), 1u);  // both writes hit row 5
+
+  DenseMatrix copy(8, 4);
+  copy.Fill(1.0);
+  ASSERT_TRUE(copy.RestoreRecord(delta[0].payload.data(),
+                                 delta[0].payload.size()).ok());
+  EXPECT_EQ(copy.Get(5, 2), 9.0);
+  EXPECT_EQ(copy.Get(5, 3), 2.0);
+  EXPECT_EQ(copy.Get(4, 2), 1.0);
+}
+
+TEST(DeltaEpochTest, SparseMatrixTracksRows) {
+  SparseMatrix m;
+  m.EnableDeltaTracking();
+  m.Set(10, 1, 1.0);
+  m.Set(20, 1, 2.0);
+  RunEpoch(m);
+
+  m.Set(10, 2, 3.0);
+  auto delta = RunEpoch(m);
+  ASSERT_EQ(delta.size(), 1u);  // only row 10
+
+  SparseMatrix copy;
+  copy.Set(10, 1, 1.0);
+  copy.Set(20, 1, 2.0);
+  ASSERT_TRUE(copy.RestoreRecord(delta[0].payload.data(),
+                                 delta[0].payload.size()).ok());
+  EXPECT_EQ(copy.Get(10, 1), 1.0);
+  EXPECT_EQ(copy.Get(10, 2), 3.0);
+  EXPECT_EQ(copy.Get(20, 1), 2.0);
+}
+
+TEST(DeltaEpochTest, ExtractPartitionRejectedDuringCheckpointAndInvalidates) {
+  KeyedDict<int64_t, int64_t> d;
+  d.EnableDeltaTracking();
+  d.Put(1, 1);
+  d.Put(2, 2);
+  RunEpoch(d);
+  EXPECT_TRUE(d.DeltaReady());
+
+  d.BeginCheckpoint();
+  Status s =
+      d.ExtractPartition(0, 2, [](uint64_t, const uint8_t*, size_t) {});
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  d.EndCheckpoint();
+  d.ResolveEpoch(true);
+
+  // A successful repartition moves records out from under the tracked
+  // baseline: the next epoch must fall back to a full base.
+  ASSERT_TRUE(
+      d.ExtractPartition(0, 1, [](uint64_t, const uint8_t*, size_t) {}).ok());
+  EXPECT_FALSE(d.DeltaReady());
+}
+
+TEST(DeltaEpochTest, DefaultSerializeDirtyFallsBackToFull) {
+  // A backend without delta support serves SerializeDirtyRecords as a full
+  // pass with no tombstones (state_backend.h default).
+  KeyedDict<int64_t, int64_t> d;  // tracking never enabled
+  d.Put(1, 1);
+  d.Put(2, 2);
+  EXPECT_FALSE(d.DeltaReady());
+}
+
+}  // namespace
+}  // namespace sdg::state
