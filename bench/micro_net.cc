@@ -1,0 +1,164 @@
+// TCP transport microbench (BENCH_net.json).
+//
+// Single process, loopback: a ChannelServer receiver and a RemoteChannel
+// sender backed by an upstream-backup OutputBuffer — the exact data path of
+// the two-process cluster mode, minus the process boundary. Sweeps the batch
+// size and payload size and reports items/s and MiB/s per config, plus the
+// per-DeliverAll latency distribution (via Histogram::BatchRecorder, so the
+// measurement itself stays off the hot path's lock).
+//
+// The receiver acks every kAckEveryItems items, which is what bounds the
+// sender's log: the bench also reports the peak unacked count it observed so
+// a regression in ack trimming shows up as unbounded memory, not silence.
+//
+// Short mode: SDG_BENCH_SECONDS=0.2 (CI smoke).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/metrics.h"
+#include "src/net/channel_server.h"
+#include "src/net/remote_channel.h"
+#include "src/runtime/delivery.h"
+#include "src/runtime/output_buffer.h"
+
+namespace sdg::bench {
+namespace {
+
+constexpr uint64_t kAckEveryItems = 4096;
+
+struct NetRun {
+  double items_per_sec = 0;
+  double mib_per_sec = 0;
+  double send_p50_us = 0;
+  double send_p99_us = 0;
+  uint64_t items = 0;
+  uint64_t peak_unacked = 0;
+};
+
+NetRun MeasureConfig(double duration_s, size_t batch_items,
+                     size_t payload_bytes) {
+  std::atomic<uint64_t> received{0};
+  std::atomic<uint64_t> last_ts{0};
+
+  net::ChannelServer server(net::ChannelServerOptions{});
+  net::ChannelServer* server_ptr = &server;
+  Status started = server.Start(
+      [](const net::Handshake&) -> Result<uint64_t> { return 0; },
+      [&received, &last_ts, server_ptr](const net::Handshake&,
+                                        std::vector<runtime::DataItem> items) {
+        uint64_t before = received.fetch_add(items.size());
+        last_ts.store(items.back().ts, std::memory_order_relaxed);
+        // Ack on batch boundaries crossing the interval; coarse acks model a
+        // checkpoint-driven watermark, not per-item chatter.
+        if (before / kAckEveryItems !=
+            (before + items.size()) / kAckEveryItems) {
+          server_ptr->Ack(items.back().ts);
+        }
+      });
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(1);
+  }
+
+  runtime::OutputBuffer log;
+  net::RemoteChannelOptions copts;
+  copts.port = server.port();
+  copts.entry = "bench";
+  net::RemoteChannel chan(copts, &log);
+  if (Status s = chan.Connect(); !s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+
+  Histogram send_us;
+  Histogram::BatchRecorder send_rec(&send_us);
+  const std::string payload(payload_bytes, 'x');
+  LogicalClock clock;
+
+  NetRun run;
+  Stopwatch timer;
+  while (timer.ElapsedSeconds() < duration_s) {
+    std::vector<runtime::DataItem> batch;
+    batch.reserve(batch_items);
+    for (size_t i = 0; i < batch_items; ++i) {
+      runtime::DataItem item;
+      item.from = {runtime::kRemoteSourceTask, 0};
+      item.ts = clock.Next();
+      item.payload = Tuple{Value(payload)};
+      batch.push_back(std::move(item));
+    }
+    Stopwatch send_timer;
+    size_t accepted = chan.DeliverAll(std::move(batch));
+    send_rec.Record(send_timer.ElapsedSeconds() * 1e6);
+    run.items += accepted;
+    run.peak_unacked = std::max<uint64_t>(run.peak_unacked, chan.UnackedCount());
+    if (accepted != batch_items) {
+      std::fprintf(stderr, "delivery rejected mid-bench\n");
+      std::exit(1);
+    }
+  }
+  double wall_s = timer.ElapsedSeconds();
+
+  // Wait for the receiver to have seen everything before tearing down, so
+  // items/s reflects received (durable-side) throughput, not queued frames.
+  while (received.load() < run.items) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  send_rec.Flush();
+  auto snap = send_us.Snapshot();
+
+  run.items_per_sec = run.items / wall_s;
+  run.mib_per_sec =
+      (static_cast<double>(run.items) * payload_bytes) / wall_s / (1 << 20);
+  run.send_p50_us = snap.p50;
+  run.send_p99_us = snap.p99;
+
+  chan.Close();
+  server.Stop();
+  return run;
+}
+
+}  // namespace
+}  // namespace sdg::bench
+
+int main() {
+  using namespace sdg::bench;
+
+  const double duration_s = MeasureSeconds(1.0);
+
+  PrintHeader("micro_net", "loopback TCP channel: batch/payload sweep");
+  std::printf("  %-22s %12s %10s %10s %10s %12s\n", "config", "items/s",
+              "MiB/s", "p50 us", "p99 us", "peak unackd");
+
+  BenchJson json;
+  for (size_t batch : {1, 64, 512}) {
+    for (size_t payload : {16, 256}) {
+      NetRun r = MeasureConfig(duration_s, batch, payload);
+      char tag[64];
+      std::snprintf(tag, sizeof(tag), "batch=%zu payload=%zuB", batch,
+                    payload);
+      std::printf("  %-22s %12.0f %10.1f %10.1f %10.1f %12llu\n", tag,
+                  r.items_per_sec, r.mib_per_sec, r.send_p50_us, r.send_p99_us,
+                  static_cast<unsigned long long>(r.peak_unacked));
+      json.BeginRow();
+      json.Add("batch_items", static_cast<uint64_t>(batch));
+      json.Add("payload_bytes", static_cast<uint64_t>(payload));
+      json.Add("items_per_sec", r.items_per_sec);
+      json.Add("mib_per_sec", r.mib_per_sec);
+      json.Add("send_p50_us", r.send_p50_us);
+      json.Add("send_p99_us", r.send_p99_us);
+      json.Add("items", r.items);
+      json.Add("peak_unacked", r.peak_unacked);
+    }
+  }
+
+  if (json.WriteFile("BENCH_net.json")) {
+    PrintNote("wrote BENCH_net.json");
+  }
+  return 0;
+}

@@ -80,6 +80,44 @@ class Histogram {
 
   PercentileSummary Snapshot() const;
 
+  // Amortises Record's mutex for hot paths: samples accumulate in a private
+  // (single-threaded) buffer and reach the histogram via one RecordBatch per
+  // flush — on capacity, explicitly, or at destruction. Percentiles stay
+  // exact: every sample still lands in samples_, just later. Give each
+  // recording thread its own BatchRecorder; Flush before reading a Snapshot
+  // that must include the pending tail.
+  class BatchRecorder {
+   public:
+    explicit BatchRecorder(Histogram* hist, size_t flush_at = 1024)
+        : hist_(hist), flush_at_(flush_at < 1 ? 1 : flush_at) {
+      buffer_.reserve(flush_at_);
+    }
+    ~BatchRecorder() { Flush(); }
+    BatchRecorder(const BatchRecorder&) = delete;
+    BatchRecorder& operator=(const BatchRecorder&) = delete;
+
+    void Record(double sample) {
+      buffer_.push_back(sample);
+      if (buffer_.size() >= flush_at_) {
+        Flush();
+      }
+    }
+
+    void Flush() {
+      if (!buffer_.empty()) {
+        hist_->RecordBatch(buffer_);
+        buffer_.clear();
+      }
+    }
+
+    size_t pending() const { return buffer_.size(); }
+
+   private:
+    Histogram* hist_;
+    const size_t flush_at_;
+    std::vector<double> buffer_;
+  };
+
   uint64_t count() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return samples_.size();

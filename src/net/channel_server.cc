@@ -1,0 +1,168 @@
+#include "src/net/channel_server.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace sdg::net {
+
+ChannelServer::ChannelServer(ChannelServerOptions options)
+    : options_(options) {}
+
+ChannelServer::~ChannelServer() { Stop(); }
+
+Status ChannelServer::Start(HandshakeFn on_handshake, BatchFn on_batch) {
+  if (running_.exchange(true)) {
+    return FailedPreconditionError("channel server already started");
+  }
+  on_handshake_ = std::move(on_handshake);
+  on_batch_ = std::move(on_batch);
+  SDG_ASSIGN_OR_RETURN(listener_, Listener::Bind(options_.port));
+  port_ = listener_.port();
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void ChannelServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto sock = listener_.Accept();
+    if (!sock.ok()) {
+      return;  // listener closed (Stop) or fatal accept error
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    // Handshakes run off the acceptor so one slow client cannot delay the
+    // next accept.
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    setup_threads_.emplace_back(
+        [this, s = std::make_shared<Socket>(std::move(*sock))]() mutable {
+          SetupPeer(std::move(*s));
+        });
+  }
+}
+
+void ChannelServer::SetupPeer(Socket socket) {
+  // Bound the handshake so a silent client cannot pin this thread (and
+  // therefore Stop) indefinitely. Cleared before the threaded regime, where
+  // an idle-but-healthy peer is normal.
+  socket.SetRecvTimeout(5000);
+  FrameDecoder carry;
+  auto first = ReadFrameBlocking(socket, carry);
+  if (!first.ok() || first->type != FrameType::kHandshake) {
+    SDG_LOG(kWarning) << "connection dropped before handshake";
+    return;
+  }
+  auto hs = Handshake::Decode(first->payload);
+  if (!hs.ok()) {
+    SDG_LOG(kWarning) << "malformed handshake: " << hs.status().ToString();
+    return;
+  }
+
+  HandshakeAck ack;
+  if (hs->protocol != kProtocolVersion) {
+    ack.accepted = false;
+    ack.message = "protocol version mismatch";
+  } else {
+    auto watermark = on_handshake_(*hs);
+    if (watermark.ok()) {
+      ack.accepted = true;
+      ack.acked_ts = *watermark;
+    } else {
+      ack.accepted = false;
+      ack.message = watermark.status().message();
+    }
+  }
+  Status sent = WriteFrameBlocking(socket, FrameType::kHandshakeAck,
+                                   ack.Encode());
+  if (!sent.ok() || !ack.accepted) {
+    return;
+  }
+
+  socket.SetRecvTimeout(0);
+  auto peer = std::make_shared<Peer>();
+  peer->handshake = std::move(*hs);
+  Peer* raw = peer.get();
+  Connection::Options copts;
+  copts.send_queue_frames = options_.send_queue_frames;
+  peer->conn = std::make_unique<Connection>(
+      std::move(socket), copts,
+      [this, raw](Frame frame) {
+        if (frame.type != FrameType::kData) {
+          return;
+        }
+        auto batch = DataBatch::Decode(frame.payload);
+        if (!batch.ok()) {
+          SDG_LOG(kWarning) << "dropping malformed data batch: "
+                            << batch.status().ToString();
+          return;
+        }
+        on_batch_(raw->handshake, std::move(batch->items));
+      },
+      [](const Status&) {
+        // A broken inbound connection is routine (sender failover or
+        // restart); the peer is reaped on the next Ack/Stop.
+      });
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    peer->conn->Close();  // raced with Stop — do not install
+    return;
+  }
+  ReapBrokenPeersLocked();
+  peers_.push_back(std::move(peer));
+}
+
+void ChannelServer::ReapBrokenPeersLocked() {
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if ((*it)->conn->broken()) {
+      (*it)->conn->Close();
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ChannelServer::Ack(uint64_t watermark) {
+  AckMsg msg;
+  msg.acked_ts = watermark;
+  auto payload = msg.Encode();
+  BinaryWriter frame;
+  EncodeFrame(frame, FrameType::kAck, payload.data(), payload.size());
+  const std::vector<uint8_t>& bytes = frame.buffer();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  ReapBrokenPeersLocked();
+  for (auto& peer : peers_) {
+    // Best-effort: a dropped ack is repaired by the watermark in the next
+    // handshake, so never block the checkpoint path on a wedged peer.
+    (void)peer->conn->TrySend(bytes);
+  }
+}
+
+void ChannelServer::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  listener_.Close();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  std::vector<std::thread> setups;
+  std::list<std::shared_ptr<Peer>> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    setups.swap(setup_threads_);
+    peers.swap(peers_);
+  }
+  for (auto& peer : peers) {
+    peer->conn->Close();
+  }
+  for (auto& t : setups) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+}  // namespace sdg::net

@@ -1,0 +1,99 @@
+// ChannelServer: the receiver half of inter-node dataflow edges over TCP.
+//
+// Listens on one port per node process. Each accepted connection performs the
+// synchronous handshake (the on_handshake callback validates the peer and
+// returns this node's durable watermark for that source), then streams kData
+// frames whose batches are handed to on_batch in wire order — typically
+// straight into Deployment::InjectRemote, which routes them through the same
+// batched dispatch as local traffic.
+//
+// Ack(watermark) broadcasts a kAck on every live connection after the node
+// has made the watermark durable (checkpoint persisted); senders trim their
+// upstream-backup logs on it. Acks are at-least-once: a lost ack is repaired
+// by the watermark carried in the next handshake.
+#ifndef SDG_NET_CHANNEL_SERVER_H_
+#define SDG_NET_CHANNEL_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/connection.h"
+#include "src/net/frame.h"
+#include "src/runtime/data_item.h"
+
+namespace sdg::net {
+
+struct ChannelServerOptions {
+  uint16_t port = 0;  // 0 = ephemeral; see port()
+  size_t send_queue_frames = 16;
+};
+
+class ChannelServer {
+ public:
+  // Returns the durable watermark for the handshaking source (0 if never
+  // seen); an error Status rejects the connection with its message.
+  using HandshakeFn = std::function<Result<uint64_t>(const Handshake& hs)>;
+  // One decoded batch, in wire order, from the connection identified by the
+  // handshake. Called on that connection's reader thread; per-source FIFO
+  // order is therefore preserved, and blocking here backpressures the wire.
+  using BatchFn =
+      std::function<void(const Handshake& hs,
+                         std::vector<runtime::DataItem> items)>;
+
+  explicit ChannelServer(ChannelServerOptions options);
+  ~ChannelServer();
+
+  ChannelServer(const ChannelServer&) = delete;
+  ChannelServer& operator=(const ChannelServer&) = delete;
+
+  Status Start(HandshakeFn on_handshake, BatchFn on_batch);
+
+  // Broadcasts the durable watermark to every live sender.
+  void Ack(uint64_t watermark);
+
+  // Stops accepting, closes every connection, joins all threads.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Peer {
+    Handshake handshake;
+    std::unique_ptr<Connection> conn;
+  };
+
+  void AcceptLoop();
+  // Performs the handshake on a fresh socket and installs the peer; runs on
+  // a short-lived setup thread so a slow client cannot stall the acceptor.
+  void SetupPeer(Socket socket);
+  void ReapBrokenPeersLocked();
+
+  const ChannelServerOptions options_;
+  HandshakeFn on_handshake_;
+  BatchFn on_batch_;
+
+  Listener listener_;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> accepted_{0};
+
+  std::mutex peers_mutex_;
+  std::list<std::shared_ptr<Peer>> peers_;
+  std::vector<std::thread> setup_threads_;
+};
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_CHANNEL_SERVER_H_

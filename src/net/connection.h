@@ -1,0 +1,103 @@
+// Connection: one framed, full-duplex TCP connection between nodes.
+//
+// A connection owns its socket and two threads:
+//   - a writer thread draining a BOUNDED frame queue (Send blocks while the
+//     queue is full — the same backpressure contract as BoundedQueue mailbox
+//     pushes, extended across the wire), and
+//   - a reader thread feeding a FrameDecoder and dispatching complete frames
+//     to the on_frame callback.
+//
+// On any socket or codec error the connection turns `broken`: queued frames
+// are dropped (the sender's OutputBuffer log retains every unacked item, so
+// the reconnect-replay path re-sends them; see remote_channel.h), both
+// threads exit, and on_error fires exactly once. A Connection never repairs
+// itself — RemoteChannel dials a fresh one.
+#ifndef SDG_NET_CONNECTION_H_
+#define SDG_NET_CONNECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/queue.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace sdg::net {
+
+class Connection {
+ public:
+  struct Options {
+    // Frames the writer may buffer before Send blocks. Each data frame is one
+    // delivery batch, so this bounds in-flight bytes the same way a mailbox
+    // capacity bounds queued items.
+    size_t send_queue_frames = 64;
+    // Reader chunk size.
+    size_t read_buffer_bytes = 64 * 1024;
+  };
+
+  // Called from the reader thread, one complete frame at a time.
+  using FrameFn = std::function<void(Frame frame)>;
+  // Called once, from whichever thread hits the failure first.
+  using ErrorFn = std::function<void(const Status& status)>;
+
+  // Takes ownership of a connected socket and any bytes `carry` already read
+  // past the synchronous handshake exchange.
+  Connection(Socket socket, Options options, FrameFn on_frame,
+             ErrorFn on_error, FrameDecoder carry = {});
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  // Enqueues one encoded frame, blocking while the send queue is full
+  // (backpressure). Returns false if the connection is broken or closed —
+  // the frame is NOT sent and the caller's log keeps it replayable.
+  bool Send(std::vector<uint8_t> frame_bytes);
+
+  // Non-blocking variant for best-effort traffic (acks): false when the
+  // queue is full, broken, or closed. Never waits.
+  bool TrySend(const std::vector<uint8_t>& frame_bytes);
+
+  // Shuts the socket down (unblocking both threads) and joins them.
+  // Idempotent; safe to call concurrently with a failing connection.
+  void Close();
+
+  bool broken() const { return broken_.load(std::memory_order_acquire); }
+
+ private:
+  void WriterLoop();
+  void ReaderLoop();
+  void Fail(const Status& status);
+
+  Socket socket_;
+  const Options options_;
+  FrameFn on_frame_;
+  ErrorFn on_error_;
+  FrameDecoder decoder_;
+
+  BoundedQueue<std::vector<uint8_t>> send_queue_;
+  std::thread writer_;
+  std::thread reader_;
+  std::atomic<bool> broken_{false};
+  std::atomic<bool> error_fired_{false};
+  std::atomic<bool> closed_{false};
+};
+
+// Blocking helper for the synchronous handshake exchange that precedes the
+// threaded regime: reads whole frames through `decoder` until one is
+// complete. Bytes read past the frame stay buffered in `decoder` — hand it
+// to the Connection afterwards.
+Result<Frame> ReadFrameBlocking(Socket& socket, FrameDecoder& decoder);
+
+// Encodes and writes one frame synchronously (handshake path only; the data
+// path goes through Connection::Send).
+Status WriteFrameBlocking(Socket& socket, FrameType type,
+                          const std::vector<uint8_t>& payload);
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_CONNECTION_H_

@@ -1,0 +1,165 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+namespace sdg::net {
+
+namespace {
+
+Status FrameError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+
+// Decode must consume the payload exactly: trailing bytes mean the sender
+// and receiver disagree about the message layout.
+Status RequireAtEnd(const BinaryReader& r, const char* what) {
+  if (!r.AtEnd()) {
+    return FrameError(std::string(what) + ": trailing bytes in payload");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+void EncodeFrame(BinaryWriter& w, FrameType type, const uint8_t* payload,
+                 size_t size) {
+  w.Write<uint32_t>(kFrameMagic);
+  w.Write<uint8_t>(static_cast<uint8_t>(type));
+  w.Write<uint32_t>(static_cast<uint32_t>(size));
+  w.WriteBytes(payload, size);
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t size) {
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state feeding does not memmove per frame.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+Result<bool> FrameDecoder::Next(Frame* out) {
+  if (!poisoned_.ok()) {
+    return poisoned_;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) {
+    return false;
+  }
+  const uint8_t* p = buffer_.data() + consumed_;
+  uint32_t magic;
+  std::memcpy(&magic, p, sizeof(magic));
+  if (magic != kFrameMagic) {
+    poisoned_ = FrameError("bad frame magic: stream desynchronised");
+    return poisoned_;
+  }
+  const uint8_t type = p[4];
+  uint32_t length;
+  std::memcpy(&length, p + 5, sizeof(length));
+  if (length > kMaxFramePayload) {
+    poisoned_ = FrameError("frame payload length " + std::to_string(length) +
+                           " exceeds limit");
+    return poisoned_;
+  }
+  if (type < static_cast<uint8_t>(FrameType::kHandshake) ||
+      type > static_cast<uint8_t>(FrameType::kAck)) {
+    poisoned_ = FrameError("unknown frame type " + std::to_string(type));
+    return poisoned_;
+  }
+  if (avail < kFrameHeaderBytes + length) {
+    return false;  // payload still in flight
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(p + kFrameHeaderBytes, p + kFrameHeaderBytes + length);
+  consumed_ += kFrameHeaderBytes + length;
+  return true;
+}
+
+// --- Handshake ----------------------------------------------------------------
+
+std::vector<uint8_t> Handshake::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(protocol);
+  w.Write<uint64_t>(deployment_id);
+  w.Write<uint32_t>(source_task);
+  w.Write<uint32_t>(source_instance);
+  w.WriteString(entry);
+  w.Write<uint64_t>(emit_clock);
+  return std::move(w).TakeBuffer();
+}
+
+Result<Handshake> Handshake::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  Handshake h;
+  SDG_ASSIGN_OR_RETURN(h.protocol, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(h.deployment_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(h.source_task, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(h.source_instance, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(h.entry, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(h.emit_clock, r.Read<uint64_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "handshake"));
+  return h;
+}
+
+std::vector<uint8_t> HandshakeAck::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(accepted ? 1 : 0);
+  w.Write<uint64_t>(acked_ts);
+  w.WriteString(message);
+  return std::move(w).TakeBuffer();
+}
+
+Result<HandshakeAck> HandshakeAck::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  HandshakeAck a;
+  SDG_ASSIGN_OR_RETURN(uint8_t accepted, r.Read<uint8_t>());
+  a.accepted = accepted != 0;
+  SDG_ASSIGN_OR_RETURN(a.acked_ts, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(a.message, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "handshake-ack"));
+  return a;
+}
+
+// --- DataBatch ----------------------------------------------------------------
+
+void DataBatch::EncodeTo(BinaryWriter& w) const {
+  w.Clear();
+  w.Write<uint32_t>(static_cast<uint32_t>(items.size()));
+  for (const auto& item : items) {
+    item.Serialize(w);
+  }
+}
+
+Result<DataBatch> DataBatch::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  DataBatch b;
+  SDG_ASSIGN_OR_RETURN(uint32_t count, r.Read<uint32_t>());
+  b.items.reserve(std::min<size_t>(count, r.remaining()));
+  for (uint32_t i = 0; i < count; ++i) {
+    SDG_ASSIGN_OR_RETURN(runtime::DataItem item,
+                         runtime::DataItem::Deserialize(r));
+    b.items.push_back(std::move(item));
+  }
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "data batch"));
+  return b;
+}
+
+// --- AckMsg -------------------------------------------------------------------
+
+std::vector<uint8_t> AckMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint64_t>(acked_ts);
+  return std::move(w).TakeBuffer();
+}
+
+Result<AckMsg> AckMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  AckMsg a;
+  SDG_ASSIGN_OR_RETURN(a.acked_ts, r.Read<uint64_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "ack"));
+  return a;
+}
+
+}  // namespace sdg::net

@@ -1,0 +1,127 @@
+// Length-prefixed frame codec for the inter-node TCP transport.
+//
+// Every message on a node-to-node connection is one frame:
+//
+//   magic   u32  (kFrameMagic, rejects desynchronised/garbage streams)
+//   type    u8   (FrameType)
+//   length  u32  (payload bytes; bounded by kMaxFramePayload)
+//   payload length bytes
+//
+// Frames reuse the BinaryWriter/BinaryReader encoding of src/common, so a
+// DataItem crossing a real socket is byte-identical to one crossing the
+// simulated node boundary. Encoding writes into a caller-owned BinaryWriter
+// (the PR-1 thread-local scratch-reuse scheme); decoding is incremental —
+// FrameDecoder::Feed accepts arbitrary read() slices and surfaces complete
+// frames one at a time, returning Status (never crashing) on corrupt input.
+#ifndef SDG_NET_FRAME_H_
+#define SDG_NET_FRAME_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/serialize.h"
+#include "src/common/status.h"
+#include "src/runtime/data_item.h"
+
+namespace sdg::net {
+
+inline constexpr uint32_t kFrameMagic = 0x53444746;  // "SDGF"
+inline constexpr uint32_t kProtocolVersion = 1;
+// A frame carries at most one delivery batch; 64 MiB bounds decoder memory
+// against corrupt or hostile length fields.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+
+enum class FrameType : uint8_t {
+  kHandshake = 1,     // sender -> receiver, once per connection
+  kHandshakeAck = 2,  // receiver -> sender, carries the acked watermark
+  kData = 3,          // batch of DataItems for the handshaken entry
+  kAck = 4,           // receiver -> sender: durable watermark advanced
+};
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::vector<uint8_t> payload;
+};
+
+// Appends one whole frame (header + payload) to `w`.
+void EncodeFrame(BinaryWriter& w, FrameType type, const uint8_t* payload,
+                 size_t size);
+
+// Incremental decoder. Feed() buffers raw bytes; Next() pops the next
+// complete frame. A magic/length violation poisons the decoder (the stream
+// cannot be resynchronised) and every later call returns the same error.
+class FrameDecoder {
+ public:
+  // Appends raw bytes read from the transport.
+  void Feed(const uint8_t* data, size_t size);
+
+  // True  -> *out holds the next frame.
+  // False -> no complete frame buffered yet (read more).
+  // Error -> kDataLoss: bad magic, oversized length, or unknown type.
+  Result<bool> Next(Frame* out);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  Status poisoned_;
+};
+
+// --- Message payloads ---------------------------------------------------------
+//
+// Each message (de)serialises through BinaryWriter/BinaryReader; Decode
+// rejects truncated or trailing bytes with a Status.
+
+// Opens a channel: which deployment the sender belongs to, which TE instance
+// is talking (the remote SourceId downstream dedup keys on), which entry TE
+// of the receiving deployment the items are for, and the sender's emit-clock
+// position (diagnostics: the receiver can bound the replay window).
+struct Handshake {
+  uint32_t protocol = kProtocolVersion;
+  uint64_t deployment_id = 0;
+  uint32_t source_task = 0;
+  uint32_t source_instance = 0;
+  std::string entry;
+  uint64_t emit_clock = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<Handshake> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Handshake reply. `acked_ts` is the receiver's durable watermark for this
+// source: the sender replays every logged entry past it (§5 as the
+// transport's reconnect path).
+struct HandshakeAck {
+  bool accepted = false;
+  uint64_t acked_ts = 0;
+  std::string message;  // reject reason
+
+  std::vector<uint8_t> Encode() const;
+  static Result<HandshakeAck> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Batch of data items, in sender FIFO order.
+struct DataBatch {
+  std::vector<runtime::DataItem> items;
+
+  // Encodes straight into `w` (cleared first), so the per-batch hot path can
+  // reuse a thread-local scratch writer.
+  void EncodeTo(BinaryWriter& w) const;
+  static Result<DataBatch> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Advances the sender's trim watermark for this connection's source.
+struct AckMsg {
+  uint64_t acked_ts = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<AckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_FRAME_H_

@@ -1,0 +1,111 @@
+// RemoteChannel: the sender half of an inter-node dataflow edge over TCP.
+//
+// Implements runtime::DeliveryTarget, so the deployment's batching hot path
+// (RouteEmits / InjectAll delivery groups) works unchanged whether the
+// destination TE instance is a local mailbox or a process away.
+//
+// Protocol (§5 as the transport's error path):
+//   1. Dial + handshake (deployment id, source TE id/instance, destination
+//      entry name, emit-clock). The HandshakeAck carries the receiver's
+//      durable watermark for this source.
+//   2. Every delivered item is appended to the attached OutputBuffer (the
+//      upstream-backup log) BEFORE it is framed, then sent as a kData batch
+//      through a bounded send queue (backpressure).
+//   3. kAck frames trim the log: entries at or below the watermark are
+//      durable at the receiver and will never be replayed.
+//   4. On connection loss, Deliver* transparently redials; after the fresh
+//      handshake the channel replays every logged entry past the receiver's
+//      acked watermark, marked replayed=true so downstream dedup applies.
+//
+// Thread safety: Deliver/DeliverAll may be called from one sender thread at a
+// time (the per-source FIFO contract); acks arrive on the connection's
+// reader thread and only touch the OutputBuffer, which locks internally.
+#ifndef SDG_NET_REMOTE_CHANNEL_H_
+#define SDG_NET_REMOTE_CHANNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/connection.h"
+#include "src/net/frame.h"
+#include "src/runtime/delivery.h"
+#include "src/runtime/output_buffer.h"
+
+namespace sdg::net {
+
+struct RemoteChannelOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  uint64_t deployment_id = 0;
+  // SourceId the receiver sees on every item (keys its dedup watermarks).
+  uint32_t source_task = runtime::kRemoteSourceTask;
+  uint32_t source_instance = 0;
+  // Entry TE of the receiving deployment.
+  std::string entry;
+  // Bounded send queue (frames) — the wire's backpressure window.
+  size_t send_queue_frames = 64;
+  // Reconnect policy: attempts * backoff bounds how long a receiver restart
+  // may take before Deliver* gives up and reports the channel broken.
+  int reconnect_attempts = 100;
+  int reconnect_backoff_ms = 100;
+};
+
+class RemoteChannel final : public runtime::DeliveryTarget {
+ public:
+  // `log` is the upstream-backup buffer for this edge; the channel appends
+  // every item (dest_instance 0 — the remote endpoint is one destination)
+  // and trims it on acks. Caller keeps ownership; the log may be shared with
+  // the deployment's checkpoint machinery.
+  RemoteChannel(RemoteChannelOptions options, runtime::OutputBuffer* log);
+  ~RemoteChannel() override;
+
+  // Dials and handshakes; replays anything already in the log past the
+  // receiver's watermark (crash-restart of the *sender* process with a
+  // restored log works the same as a reconnect).
+  Status Connect();
+
+  // DeliveryTarget. Items must carry monotone per-source timestamps (the
+  // caller stamps them; see LogicalClock). Blocks on backpressure; on a
+  // broken wire, reconnects and replays before accepting new items. Returns
+  // false / 0 only when reconnecting exhausts its budget BEFORE the items
+  // were logged — once logged they count as accepted (replay delivers them),
+  // so the caller must never resend a batch that was accepted.
+  bool Deliver(runtime::DataItem item) override;
+  size_t DeliverAll(std::vector<runtime::DataItem>&& items) override;
+
+  // Entries not yet acked by the receiver (0 once everything sent is
+  // durable remotely).
+  size_t UnackedCount() const { return log_->size(); }
+
+  uint64_t acked_watermark() const;
+
+  // Closes the connection without touching the log.
+  void Close();
+
+  bool connected() const;
+
+ private:
+  // Dial + handshake + replay; called under send_mutex_.
+  Status ConnectLocked();
+  // Ensures a live connection, redialing with backoff; under send_mutex_.
+  Status EnsureConnectedLocked();
+  // Frames and sends one batch; false on wire failure. Under send_mutex_.
+  bool SendBatchLocked(const std::vector<runtime::DataItem>& items);
+  void HandleFrame(Frame frame);
+
+  const RemoteChannelOptions options_;
+  runtime::OutputBuffer* const log_;
+
+  mutable std::mutex send_mutex_;
+  std::unique_ptr<Connection> conn_;
+  mutable std::mutex ack_mutex_;
+  uint64_t acked_watermark_ = 0;
+};
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_REMOTE_CHANNEL_H_

@@ -1,0 +1,100 @@
+// Minimal RAII wrappers over POSIX TCP sockets.
+//
+// Blocking sockets only: the transport uses one reader and one writer thread
+// per connection (see connection.h), so nothing here needs readiness
+// notification. All failures surface as Status — a dropped peer is an
+// expected event the reconnect path handles, never a crash.
+#ifndef SDG_NET_SOCKET_H_
+#define SDG_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace sdg::net {
+
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  // Dials host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  // Reads up to `size` bytes; returns 0 on orderly EOF. EINTR is retried.
+  Result<size_t> ReadSome(uint8_t* buf, size_t size);
+
+  // Writes all `size` bytes or returns the first error (EPIPE surfaces as a
+  // Status, never a signal: sends use MSG_NOSIGNAL).
+  Status WriteAll(const uint8_t* buf, size_t size);
+
+  // Bounds how long ReadSome may block (0 restores indefinite blocking).
+  // Used for the handshake phase so a silent client cannot pin a thread.
+  void SetRecvTimeout(int millis);
+
+  // Wakes any thread blocked in ReadSome/WriteAll with EOF/EPIPE.
+  void ShutdownBoth();
+
+  void Close();
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  Listener& operator=(Listener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      port_ = other.port_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds 0.0.0.0:`port` with SO_REUSEADDR; port 0 picks an ephemeral port
+  // (readable via port()).
+  static Result<Listener> Bind(uint16_t port);
+
+  // Blocks for the next connection; kAborted once Close() was called.
+  Result<Socket> Accept();
+
+  // Unblocks Accept and releases the port. Idempotent.
+  void Close();
+
+  uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_SOCKET_H_

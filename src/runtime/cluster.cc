@@ -471,6 +471,94 @@ Status Deployment::InjectAll(std::string_view entry, std::vector<Tuple> tuples,
   return Status::Ok();
 }
 
+Status Deployment::InjectRemote(std::string_view entry,
+                                std::vector<DataItem> items) {
+  if (items.empty()) {
+    return Status::Ok();
+  }
+  if (!started_.load() || shut_down_.load()) {
+    return FailedPreconditionError("deployment is not running");
+  }
+  std::shared_lock ingest(ingest_gate_);
+  SDG_ASSIGN_OR_RETURN(graph::TaskId task, sdg_.TaskByName(entry));
+  const auto& te = sdg_.task(task);
+  if (!te.is_entry) {
+    return InvalidArgumentError("task '" + std::string(entry) +
+                                "' is not an entry point");
+  }
+  if (te.access == graph::AccessMode::kGlobal) {
+    return UnimplementedError(
+        "global entry TEs are not supported for remote injection");
+  }
+  if (te.access == graph::AccessMode::kPartitioned) {
+    int key_field = te.entry_key_field;
+    for (const auto& item : items) {
+      if (key_field < 0 ||
+          static_cast<size_t>(key_field) >= item.payload.size()) {
+        return InvalidArgumentError("entry item lacks the partition key field");
+      }
+    }
+  }
+
+  // No entry lock, clock tick or local buffer append: the items carry the
+  // sender's timestamps, and the sender's OutputBuffer is their log. Two
+  // connections delivering concurrently are two independent sources — each
+  // is FIFO per its own source id, which is all the dedup filter needs.
+  struct Group {
+    uint32_t dest = 0;
+    TaskInstance* ti = nullptr;
+    std::vector<DataItem> items;
+  };
+  std::vector<Group> groups;
+  auto stage = [&](uint32_t dest, TaskInstance* ti, DataItem item) {
+    for (auto& g : groups) {
+      if (g.dest == dest) {
+        g.items.push_back(std::move(item));
+        return;
+      }
+    }
+    groups.push_back(Group{dest, ti, {}});
+    groups.back().items.push_back(std::move(item));
+  };
+
+  {
+    std::shared_lock topo(topo_mutex_);
+    const auto& slots = task_instances_[task];
+    uint32_t n = static_cast<uint32_t>(slots.size());
+    if (n == 0) {
+      return UnavailableError("entry task has no instances");
+    }
+    for (auto& item : items) {
+      uint32_t dest;
+      if (te.access == graph::AccessMode::kPartitioned) {
+        dest = static_cast<uint32_t>(
+            item.payload[te.entry_key_field].Hash() % n);
+      } else {
+        // One-to-any: ts modulo n, NOT load-based — a replayed item must
+        // reach the instance that saw (or would have seen) the original.
+        dest = static_cast<uint32_t>(item.ts % n);
+      }
+      stage(dest, slots[dest] ? slots[dest].get() : nullptr, std::move(item));
+    }
+  }
+
+  for (auto& g : groups) {
+    if (g.ti == nullptr) {
+      // Lost instance: drop here; the REMOTE sender's buffer still holds the
+      // items (they are unacked until the next durable watermark), so a
+      // later replay re-delivers them once the instance is restored.
+      continue;
+    }
+    const size_t count = g.items.size();
+    AccountDelivered(count);
+    size_t accepted = g.ti->DeliverAll(std::move(g.items));
+    if (accepted < count) {
+      AccountDone(count - accepted);
+    }
+  }
+  return Status::Ok();
+}
+
 Status Deployment::OnOutput(std::string_view task, SinkFn fn) {
   SDG_ASSIGN_OR_RETURN(graph::TaskId id, sdg_.TaskByName(task));
   std::lock_guard<std::mutex> lock(sinks_mutex_);
@@ -999,29 +1087,52 @@ uint32_t Deployment::PickLeastLoadedNode(bool avoid_stragglers) const {
       }
     }
   }
-  uint32_t best = 0;
-  size_t best_load = SIZE_MAX;
-  for (uint32_t n = 0; n < options_.num_nodes; ++n) {
-    if (!node_alive_[n]) {
-      continue;
-    }
-    if (avoid_stragglers && node_straggler_[n]) {
-      continue;
-    }
-    if (load[n] < best_load) {
-      best = n;
-      best_load = load[n];
-    }
-  }
-  if (best_load == SIZE_MAX) {
-    // All candidates excluded; fall back to any alive node.
+  auto least_loaded = [&](bool skip_stragglers) {
+    uint32_t best = kNoNode;
+    size_t best_load = SIZE_MAX;
     for (uint32_t n = 0; n < options_.num_nodes; ++n) {
-      if (node_alive_[n]) {
-        return n;
+      if (!node_alive_[n]) {
+        continue;
+      }
+      if (skip_stragglers && node_straggler_[n]) {
+        continue;
+      }
+      if (load[n] < best_load) {
+        best = n;
+        best_load = load[n];
       }
     }
+    return best;
+  };
+  uint32_t best = least_loaded(avoid_stragglers);
+  if (best == kNoNode && avoid_stragglers) {
+    // Every alive node is flagged as a straggler: still balance by load
+    // among them instead of dog-piling the first alive node (the previous
+    // fallback), which was typically the straggler that triggered scaling.
+    best = least_loaded(false);
   }
-  return best;
+  return best;  // kNoNode when no node is alive at all
+}
+
+void Deployment::MarkNodeStraggler(uint32_t node) {
+  std::unique_lock topo(topo_mutex_);
+  if (node < node_straggler_.size()) {
+    node_straggler_[node] = true;
+  }
+}
+
+uint32_t Deployment::NodeOfTaskInstance(std::string_view task_name,
+                                        uint32_t instance) const {
+  auto task = sdg_.TaskByName(task_name);
+  if (!task.ok()) {
+    return kNoNode;
+  }
+  std::shared_lock topo(topo_mutex_);
+  const auto& slots = task_instances_[*task];
+  if (instance >= slots.size() || !slots[instance]) {
+    return kNoNode;
+  }
+  return slots[instance]->node();
 }
 
 Status Deployment::AddTaskInstance(std::string_view task_name) {
@@ -1038,6 +1149,9 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
     auto& slots = task_instances_[task];
     uint32_t j = static_cast<uint32_t>(slots.size());
     uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
+    if (node == kNoNode) {
+      return UnavailableError("no alive node to place the new instance on");
+    }
     slots.push_back(std::make_unique<TaskInstance>(
         te, j, node, nullptr, this, options_.mailbox_capacity, options_.max_batch));
     slots.back()->Start();
@@ -1059,6 +1173,9 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
   }
 
   uint32_t node = PickLeastLoadedNode(/*avoid_stragglers=*/true);
+  if (node == kNoNode) {
+    return UnavailableError("no alive node to place the new instance on");
+  }
   auto fresh = MakeStateBackend(se);
 
   if (se.distribution == graph::StateDistribution::kPartitioned) {
@@ -1407,6 +1524,12 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
           if (it != external_buffers_.end()) {
             it->second->Ack(tm.instance, seen.ts);
           }
+          continue;
+        }
+        if (seen.task >= task_instances_.size()) {
+          // Remote-origin source ids (kRemoteSourceTask and friends) have no
+          // local upstream buffer — the sending process trims its own log
+          // from the watermark acks the channel server issues.
           continue;
         }
         auto& slots = task_instances_[seen.task];

@@ -146,6 +146,16 @@ class Deployment final : public RuntimeHooks {
   Status InjectAll(std::string_view entry, std::vector<Tuple> tuples,
                    uint64_t user_tag = 0);
 
+  // Feeds items that arrived from a REMOTE deployment (net::ChannelServer)
+  // into the named entry TE. Unlike InjectAll, the items keep the sender's
+  // source id, timestamps and replayed flags — the remote OutputBuffer is
+  // their authoritative log, so this deployment neither ticks an external
+  // clock nor buffers them. Dispatch is deterministic in the item (partition
+  // hash, or ts modulo instance count for one-to-any) so a reconnect replay
+  // lands on the same instance, whose last-seen filter drops duplicates.
+  // Thread-safe. Global entry TEs are not yet supported over the wire.
+  Status InjectRemote(std::string_view entry, std::vector<DataItem> items);
+
   // Registers the sink for tuples `task` emits beyond its out-edges.
   Status OnOutput(std::string_view task, SinkFn fn);
 
@@ -165,6 +175,17 @@ class Deployment final : public RuntimeHooks {
   Status AddTaskInstance(std::string_view task_name);
 
   uint32_t NumInstancesOf(std::string_view task_name) const;
+
+  // Sentinel returned by placement when no node qualifies (nothing alive).
+  static constexpr uint32_t kNoNode = 0xFFFFFFFFu;
+
+  // Flags `node` so placement avoids it, exactly as the scaling monitor's
+  // straggler detector would (exposed for tests and external monitors).
+  void MarkNodeStraggler(uint32_t node);
+
+  // Node hosting instance `instance` of `task_name`; kNoNode if unknown.
+  uint32_t NodeOfTaskInstance(std::string_view task_name,
+                              uint32_t instance) const;
 
   // --- Failure injection & recovery (§5) ------------------------------------
 

@@ -1,0 +1,39 @@
+// DeliveryTarget: the mailbox-delivery interface of the dataflow hot path.
+//
+// RouteEmits/InjectAll deliver per-destination batches through exactly this
+// surface: a blocking single-item push and a batched push that applies
+// backpressure while the destination is full. A local TaskInstance mailbox
+// and a net::RemoteChannel (TCP to another deployment process) both
+// implement it, so the batching hot path is transport-agnostic — whether the
+// destination TE instance is a thread in this process or a socket away.
+#ifndef SDG_RUNTIME_DELIVERY_H_
+#define SDG_RUNTIME_DELIVERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/data_item.h"
+
+namespace sdg::runtime {
+
+// Reserved SourceId::task value marking an item that entered this deployment
+// from a remote process. Deployment-local bookkeeping (checkpoint ack sweeps)
+// must not index local task tables with it; the remote sender's OutputBuffer
+// is the authoritative log for such items.
+inline constexpr uint32_t kRemoteSourceTask = 0xFFFFFFFEu;
+
+class DeliveryTarget {
+ public:
+  virtual ~DeliveryTarget() = default;
+
+  // Blocking push of one item; false if the target is closed/broken.
+  virtual bool Deliver(DataItem item) = 0;
+
+  // Blocking push of a batch in FIFO order; returns the number accepted
+  // (< items.size() only if the target closed mid-push).
+  virtual size_t DeliverAll(std::vector<DataItem>&& items) = 0;
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_DELIVERY_H_

@@ -29,6 +29,7 @@
 #include "src/common/queue.h"
 #include "src/graph/sdg.h"
 #include "src/runtime/data_item.h"
+#include "src/runtime/delivery.h"
 #include "src/runtime/output_buffer.h"
 #include "src/state/state_backend.h"
 
@@ -74,12 +75,12 @@ class RuntimeHooks {
   virtual uint32_t NumInstances(graph::TaskId task) const = 0;
 };
 
-class TaskInstance {
+class TaskInstance : public DeliveryTarget {
  public:
   TaskInstance(const graph::TaskElement& te, uint32_t instance, uint32_t node,
                state::StateBackend* state, RuntimeHooks* hooks,
                size_t mailbox_capacity, size_t max_batch);
-  ~TaskInstance();
+  ~TaskInstance() override;
 
   TaskInstance(const TaskInstance&) = delete;
   TaskInstance& operator=(const TaskInstance&) = delete;
@@ -94,10 +95,10 @@ class TaskInstance {
   void Join();
 
   // Enqueues an item; returns false if the mailbox is closed.
-  bool Deliver(DataItem item);
+  bool Deliver(DataItem item) override;
   // Enqueues a batch under one mailbox lock acquisition; returns the number
   // accepted (< items.size() only if the mailbox closed mid-push).
-  size_t DeliverAll(std::vector<DataItem>&& items);
+  size_t DeliverAll(std::vector<DataItem>&& items) override;
 
   const graph::TaskElement& te() const { return te_; }
   graph::TaskId task_id() const { return te_.id; }

@@ -75,6 +75,46 @@ TEST(HistogramTest, RecordBatchAndReset) {
   EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(HistogramTest, BatchRecorderPreservesExactPercentiles) {
+  // Buffered recording must be observationally identical to direct Record
+  // calls once flushed: same count, same exact percentiles.
+  Histogram direct;
+  Histogram buffered;
+  {
+    Histogram::BatchRecorder rec(&buffered, /*flush_at=*/64);
+    for (int i = 1; i <= 1000; ++i) {
+      direct.Record(i);
+      rec.Record(i);
+    }
+    // 1000 % 64 != 0, so a tail is still pending in the recorder.
+    EXPECT_LT(buffered.count(), 1000u);
+    EXPECT_EQ(buffered.count() + rec.pending(), 1000u);
+  }  // destructor flushes the tail
+  EXPECT_EQ(buffered.count(), 1000u);
+  PercentileSummary a = direct.Snapshot();
+  PercentileSummary b = buffered.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p5, b.p5);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(HistogramTest, BatchRecorderExplicitFlush) {
+  Histogram h;
+  Histogram::BatchRecorder rec(&h, /*flush_at=*/1024);
+  rec.Record(1.0);
+  rec.Record(2.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(rec.pending(), 2u);
+  rec.Flush();
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(rec.pending(), 0u);
+}
+
 TEST(HistogramTest, ConcurrentRecordingIsSafe) {
   Histogram h;
   std::vector<std::thread> threads;

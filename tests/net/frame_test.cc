@@ -1,0 +1,249 @@
+// Frame codec tests: round-trips, rejection of malformed input as Status
+// (never a crash), and incremental decoding across arbitrary read() splits.
+#include "src/net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace sdg::net {
+namespace {
+
+runtime::DataItem MakeItem(uint64_t ts) {
+  runtime::DataItem item;
+  item.from = runtime::SourceId{7, 3};
+  item.ts = ts;
+  item.user_tag = ts * 10;
+  item.replayed = (ts % 2) == 0;
+  item.payload = Tuple{Value(static_cast<int64_t>(ts)), Value("payload")};
+  return item;
+}
+
+std::vector<uint8_t> EncodeOne(FrameType type,
+                               const std::vector<uint8_t>& payload) {
+  BinaryWriter w;
+  EncodeFrame(w, type, payload.data(), payload.size());
+  return std::move(w).TakeBuffer();
+}
+
+TEST(FrameCodecTest, RoundTripSingleFrame) {
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  auto bytes = EncodeOne(FrameType::kData, payload);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  auto ready = dec.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(frame.type, FrameType::kData);
+  EXPECT_EQ(frame.payload, payload);
+  // Exactly one frame; the decoder is drained.
+  auto more = dec.Next(&frame);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, EmptyPayloadFrame) {
+  auto bytes = EncodeOne(FrameType::kAck, {});
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  auto ready = dec.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(frame.type, FrameType::kAck);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameCodecTest, TruncatedFrameIsIncompleteNotError) {
+  auto bytes = EncodeOne(FrameType::kData, {9, 9, 9, 9});
+  FrameDecoder dec;
+  Frame frame;
+  // Feed everything but the last byte, one byte at a time: never an error,
+  // never a frame.
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    dec.Feed(&bytes[i], 1);
+    auto ready = dec.Next(&frame);
+    ASSERT_TRUE(ready.ok()) << "offset " << i;
+    EXPECT_FALSE(*ready) << "offset " << i;
+  }
+  dec.Feed(&bytes[bytes.size() - 1], 1);
+  auto ready = dec.Next(&frame);
+  ASSERT_TRUE(ready.ok());
+  ASSERT_TRUE(*ready);
+  EXPECT_EQ(frame.payload.size(), 4u);
+}
+
+TEST(FrameCodecTest, CorruptMagicPoisonsDecoder) {
+  auto bytes = EncodeOne(FrameType::kData, {1});
+  bytes[0] ^= 0xFF;
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  auto ready = dec.Next(&frame);
+  ASSERT_FALSE(ready.ok());
+  EXPECT_EQ(ready.status().code(), StatusCode::kDataLoss);
+  // Poisoned: even fresh valid bytes cannot resynchronise the stream.
+  auto good = EncodeOne(FrameType::kData, {2});
+  dec.Feed(good.data(), good.size());
+  auto again = dec.Next(&frame);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, OversizedLengthRejected) {
+  BinaryWriter w;
+  w.Write<uint32_t>(kFrameMagic);
+  w.Write<uint8_t>(static_cast<uint8_t>(FrameType::kData));
+  w.Write<uint32_t>(kMaxFramePayload + 1);
+  auto bytes = std::move(w).TakeBuffer();
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  auto ready = dec.Next(&frame);
+  ASSERT_FALSE(ready.ok());
+  EXPECT_EQ(ready.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, UnknownTypeRejected) {
+  BinaryWriter w;
+  w.Write<uint32_t>(kFrameMagic);
+  w.Write<uint8_t>(200);
+  w.Write<uint32_t>(0);
+  auto bytes = std::move(w).TakeBuffer();
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  auto ready = dec.Next(&frame);
+  ASSERT_FALSE(ready.ok());
+  EXPECT_EQ(ready.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FrameCodecTest, RandomSplitFeedDecodesEveryFrame) {
+  // Many frames of varying sizes, fed in random read()-sized slices: the
+  // incremental decoder must produce the exact frame sequence regardless of
+  // where the slices fall.
+  std::vector<std::vector<uint8_t>> payloads;
+  std::vector<uint8_t> stream;
+  Rng rng(42);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint8_t> p(rng.NextBounded(300));
+    for (auto& b : p) {
+      b = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    auto bytes = EncodeOne(FrameType::kData, p);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    payloads.push_back(std::move(p));
+  }
+
+  FrameDecoder dec;
+  size_t fed = 0;
+  size_t decoded = 0;
+  Frame frame;
+  while (fed < stream.size()) {
+    size_t n = std::min<size_t>(1 + rng.NextBounded(97), stream.size() - fed);
+    dec.Feed(stream.data() + fed, n);
+    fed += n;
+    for (;;) {
+      auto ready = dec.Next(&frame);
+      ASSERT_TRUE(ready.ok());
+      if (!*ready) {
+        break;
+      }
+      ASSERT_LT(decoded, payloads.size());
+      EXPECT_EQ(frame.payload, payloads[decoded]);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, payloads.size());
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
+TEST(FrameMessageTest, HandshakeRoundTrip) {
+  Handshake hs;
+  hs.deployment_id = 0xDEADBEEF12345678ull;
+  hs.source_task = 11;
+  hs.source_instance = 2;
+  hs.entry = "line";
+  hs.emit_clock = 991;
+  auto decoded = Handshake::Decode(hs.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->protocol, kProtocolVersion);
+  EXPECT_EQ(decoded->deployment_id, hs.deployment_id);
+  EXPECT_EQ(decoded->source_task, 11u);
+  EXPECT_EQ(decoded->source_instance, 2u);
+  EXPECT_EQ(decoded->entry, "line");
+  EXPECT_EQ(decoded->emit_clock, 991u);
+}
+
+TEST(FrameMessageTest, HandshakeAckRoundTrip) {
+  HandshakeAck ack;
+  ack.accepted = true;
+  ack.acked_ts = 77;
+  auto decoded = HandshakeAck::Decode(ack.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->accepted);
+  EXPECT_EQ(decoded->acked_ts, 77u);
+
+  HandshakeAck nak;
+  nak.accepted = false;
+  nak.message = "wrong protocol";
+  auto d2 = HandshakeAck::Decode(nak.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(d2->accepted);
+  EXPECT_EQ(d2->message, "wrong protocol");
+}
+
+TEST(FrameMessageTest, DataBatchRoundTrip) {
+  DataBatch batch;
+  for (uint64_t ts = 1; ts <= 5; ++ts) {
+    batch.items.push_back(MakeItem(ts));
+  }
+  BinaryWriter w;
+  batch.EncodeTo(w);
+  auto decoded = DataBatch::Decode(w.buffer());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->items.size(), 5u);
+  for (uint64_t ts = 1; ts <= 5; ++ts) {
+    const auto& item = decoded->items[ts - 1];
+    EXPECT_EQ(item.ts, ts);
+    EXPECT_EQ(item.from.task, 7u);
+    EXPECT_EQ(item.user_tag, ts * 10);
+    EXPECT_EQ(item.replayed, (ts % 2) == 0);
+    EXPECT_EQ(item.payload[0].AsInt(), static_cast<int64_t>(ts));
+    EXPECT_EQ(item.payload[1].AsString(), "payload");
+  }
+}
+
+TEST(FrameMessageTest, TruncatedMessagesRejected) {
+  Handshake hs;
+  hs.entry = "counts";
+  auto bytes = hs.Encode();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<uint8_t> partial(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(Handshake::Decode(partial).ok()) << "cut at " << cut;
+  }
+  DataBatch batch;
+  batch.items.push_back(MakeItem(1));
+  BinaryWriter w;
+  batch.EncodeTo(w);
+  const auto& full = w.buffer();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<uint8_t> partial(full.begin(), full.begin() + cut);
+    EXPECT_FALSE(DataBatch::Decode(partial).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameMessageTest, TrailingBytesRejected) {
+  AckMsg msg;
+  msg.acked_ts = 5;
+  auto bytes = msg.Encode();
+  bytes.push_back(0);
+  EXPECT_FALSE(AckMsg::Decode(bytes).ok());
+}
+
+}  // namespace
+}  // namespace sdg::net

@@ -36,16 +36,48 @@ TEST(OutputBufferTest, AckTrimsCoveredPrefix) {
   for (uint64_t ts = 1; ts <= 6; ++ts) {
     b.Append(Item(ts), ts % 2);  // alternating destinations
   }
-  // Covering dest 1 up to ts 3 trims only the head entry (ts 1, dest 1);
-  // the dest-0 entry at ts 2 blocks further trimming (FIFO).
+  // Covering dest 1 up to ts 3 trims its entries ts 1 and ts 3 — dest 0's
+  // interleaved entries no longer pin them (per-destination logs).
   b.Ack(1, 3);
-  EXPECT_EQ(b.size(), 5u);
-  // Covering dest 0 up to ts 4 releases ts 2, 3, 4.
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.SizeFor(1), 1u);
+  // Covering dest 0 up to ts 4 releases ts 2 and ts 4.
   b.Ack(0, 4);
   EXPECT_EQ(b.size(), 2u);
   auto rest = b.ItemsAfter(1, 0);
   ASSERT_EQ(rest.size(), 1u);
   EXPECT_EQ(rest[0].ts, 5u);
+  auto rest0 = b.ItemsAfter(0, 0);
+  ASSERT_EQ(rest0.size(), 1u);
+  EXPECT_EQ(rest0[0].ts, 6u);
+}
+
+TEST(OutputBufferTest, SlowDestinationDoesNotPinAckedSiblings) {
+  // Regression: with one FIFO shared by all destinations, a never-acking
+  // head entry (a slow or failed instance) pinned every acknowledged entry
+  // queued behind it, so the buffer grew without bound even though all
+  // other destinations kept up. Per-destination logs keep each destination's
+  // retained set equal to exactly its own unacked suffix.
+  OutputBuffer b;
+  b.Append(Item(1), /*dest=*/9);  // dest 9 never acks
+  constexpr uint64_t kRounds = 1000;
+  for (uint64_t ts = 2; ts < 2 + kRounds; ++ts) {
+    b.Append(Item(ts), ts % 2);
+    if (ts % 10 == 0) {
+      b.Ack(0, ts);  // both healthy destinations ack promptly
+      b.Ack(1, ts);
+    }
+  }
+  b.Ack(0, 2 + kRounds);
+  b.Ack(1, 2 + kRounds);
+  EXPECT_EQ(b.SizeFor(0), 0u);
+  EXPECT_EQ(b.SizeFor(1), 0u);
+  EXPECT_EQ(b.SizeFor(9), 1u);
+  EXPECT_EQ(b.size(), 1u);  // only the genuinely unacked entry is retained
+  // The straggler's entry is still replayable.
+  auto replay = b.ItemsAfter(9, 0);
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay[0].ts, 1u);
 }
 
 TEST(OutputBufferTest, AckKeepsMaximum) {

@@ -84,6 +84,62 @@ TEST(ScalingMonitorTest, DisabledMonitorNeverScales) {
   EXPECT_EQ((*d)->NumInstancesOf("t"), 1u);
 }
 
+TEST(StragglerPlacementTest, AvoidsFlaggedNode) {
+  graph::SdgBuilder b;
+  (void)b.AddEntryTask("t", [](const Tuple&, graph::TaskContext&) {});
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ClusterOptions o;
+  o.num_nodes = 3;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  // Instance 0 occupies some node; of the two empty nodes, flag one as a
+  // straggler — the new instance must land on the other.
+  uint32_t occupied = (*d)->NodeOfTaskInstance("t", 0);
+  ASSERT_NE(occupied, Deployment::kNoNode);
+  uint32_t flagged = (occupied + 1) % 3;
+  uint32_t expected = (occupied + 2) % 3;
+  (*d)->MarkNodeStraggler(flagged);
+  ASSERT_TRUE((*d)->AddTaskInstance("t").ok());
+  EXPECT_EQ((*d)->NodeOfTaskInstance("t", 1), expected);
+  (*d)->Shutdown();
+}
+
+TEST(StragglerPlacementTest, AllStragglersFallBackToLeastLoaded) {
+  // Regression: when EVERY alive node was flagged, the fallback returned the
+  // first alive node unconditionally — typically node 0, the most loaded one
+  // (and often the very straggler that triggered scaling). It must instead
+  // balance by load across the (uniformly straggling) alive nodes.
+  graph::SdgBuilder b;
+  (void)b.AddEntryTask("t", [](const Tuple&, graph::TaskContext&) {});
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+  ClusterOptions o;
+  o.num_nodes = 3;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  uint32_t occupied = (*d)->NodeOfTaskInstance("t", 0);
+  ASSERT_NE(occupied, Deployment::kNoNode);
+  for (uint32_t n = 0; n < 3; ++n) {
+    (*d)->MarkNodeStraggler(n);
+  }
+  ASSERT_TRUE((*d)->AddTaskInstance("t").ok());
+  uint32_t placed = (*d)->NodeOfTaskInstance("t", 1);
+  ASSERT_NE(placed, Deployment::kNoNode);
+  EXPECT_NE(placed, occupied) << "fallback dog-piled the occupied node";
+
+  // And a third instance fills the remaining empty node before any doubles up.
+  ASSERT_TRUE((*d)->AddTaskInstance("t").ok());
+  uint32_t third = (*d)->NodeOfTaskInstance("t", 2);
+  EXPECT_NE(third, occupied);
+  EXPECT_NE(third, placed);
+  (*d)->Shutdown();
+}
+
 TEST(CfIntegrationTest, SurvivesKillAndRecovery) {
   // The translated CF application, checkpointed, killed and recovered: the
   // model must keep answering recommendation queries afterwards.
