@@ -47,6 +47,13 @@ inline double Scale() {
   return 1.0;
 }
 
+// Core count stamped into every BENCH_*.json row: scripts/diff_bench.py only
+// compares rows measured on same-shape hardware.
+inline uint64_t HwThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
 inline std::filesystem::path FreshBenchDir(const std::string& tag) {
   auto dir = std::filesystem::temp_directory_path() / ("sdg_bench_" + tag);
   std::filesystem::remove_all(dir);

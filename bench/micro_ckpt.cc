@@ -221,6 +221,7 @@ int main() {
   json.BeginRow();
   json.Add("config", std::string("full_epoch"));
   json.Add("keys", static_cast<uint64_t>(keys));
+  json.Add("hw_threads", HwThreads());
   json.Add("bytes_per_epoch", full.bytes_per_epoch);
   json.Add("records_per_epoch", full.records_per_epoch);
   json.Add("wall_ms", full.wall_ms);
@@ -240,6 +241,7 @@ int main() {
              "delta_epoch_" + std::to_string(static_cast<int>(rate * 100)) +
                  "pct");
     json.Add("keys", static_cast<uint64_t>(keys));
+    json.Add("hw_threads", HwThreads());
     json.Add("update_rate", rate);
     json.Add("bytes_per_epoch", delta.bytes_per_epoch);
     json.Add("records_per_epoch", delta.records_per_epoch);
@@ -260,12 +262,14 @@ int main() {
   json.BeginRow();
   json.Add("config", std::string("materialize_ckpt"));
   json.Add("keys", static_cast<uint64_t>(keys));
+  json.Add("hw_threads", HwThreads());
   json.Add("throttle_mib_s", static_cast<uint64_t>(throttle >> 20));
   json.Add("wall_ms", batch.wall_ms);
   json.Add("items_per_sec_during", batch.items_per_sec_during);
   json.BeginRow();
   json.Add("config", std::string("streaming_ckpt"));
   json.Add("keys", static_cast<uint64_t>(keys));
+  json.Add("hw_threads", HwThreads());
   json.Add("throttle_mib_s", static_cast<uint64_t>(throttle >> 20));
   json.Add("wall_ms", stream.wall_ms);
   json.Add("items_per_sec_during", stream.items_per_sec_during);

@@ -133,6 +133,7 @@ int main() {
     json.Add("serialize", std::string(cfg.serialize ? "on" : "off"));
     json.Add("max_batch", static_cast<uint64_t>(cfg.max_batch));
     json.Add("reps", static_cast<uint64_t>(reps));
+    json.Add("hw_threads", HwThreads());
     json.Add("items_per_sec", rate);
   }
   if (!json.WriteFile("BENCH_hotpath.json")) {

@@ -1,155 +1,279 @@
-// Microbenchmarks of the state layer (google-benchmark): dirty-overlay cost,
-// serialisation, chunk split, and tuple round-trips. These quantify the
-// primitives behind the figure-level results (e.g. why async checkpoints are
-// cheap: a write during a checkpoint is one extra hash-map insert).
-#include <benchmark/benchmark.h>
+// State-layer microbench (BENCH_state.json): what lock striping buys.
+//
+// Rows, all on KeyedDict (the backend every app's hot TE hits):
+//
+//  1. Read scaling: Get/View throughput at 1 thread vs kThreads threads, on
+//     the striped dict and on a num_shards=1 dict (the pre-striping layout —
+//     one shared_mutex everyone serialises through). On multi-core hardware
+//     the striped multi-thread row is the ≥3× headline; the unstriped row is
+//     the contention baseline it is measured against.
+//  2. Write scaling: Put throughput, same thread/striping matrix, writers on
+//     disjoint key ranges (the partitioned-TE access pattern).
+//  3. Checkpoint-active overhead: Put throughput while a checkpoint is
+//     active, i.e. every write diverts to the stripe's dirty overlay.
+//  4. Serialize wall: SerializeRecords over all stripes serially vs fanned
+//     across a ThreadPool via SerializeShardRecords — the same fan-out the
+//     checkpoint driver runs on the streaming path.
+//
+// Every row carries hw_threads (std::thread::hardware_concurrency at run
+// time): thread-scaling ratios are only meaningful when it is >= the row's
+// thread count. items_per_sec fields are diffed by scripts/diff_bench.py in
+// CI against the committed BENCH_state.json.
+//
+// Short mode: SDG_BENCH_SECONDS=0.2 SDG_BENCH_SCALE=0.05 (CI smoke).
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
 
-#include "src/common/value.h"
-#include "src/state/chunk.h"
+#include "bench/bench_common.h"
+#include "src/common/thread_pool.h"
 #include "src/state/keyed_dict.h"
-#include "src/state/sparse_matrix.h"
-#include "src/state/vector_state.h"
 
-namespace sdg {
+namespace sdg::bench {
 namespace {
 
-void BM_DictPut(benchmark::State& state) {
-  state::KeyedDict<int64_t, int64_t> dict;
-  int64_t k = 0;
-  for (auto _ : state) {
-    dict.Put(k++ % 100000, 1);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_DictPut);
+using IntDict = state::KeyedDict<int64_t, int64_t>;
+using StrDict = state::KeyedDict<int64_t, std::string>;
 
-void BM_DictPutDuringCheckpoint(benchmark::State& state) {
-  state::KeyedDict<int64_t, int64_t> dict;
-  for (int64_t i = 0; i < 100000; ++i) {
-    dict.Put(i, 1);
-  }
-  dict.BeginCheckpoint();
-  int64_t k = 0;
-  for (auto _ : state) {
-    dict.Put(k++ % 100000, 2);  // diverted to the dirty overlay
-  }
-  dict.EndCheckpoint();
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_DictPutDuringCheckpoint);
+constexpr int kThreads = 8;
+constexpr uint32_t kUnstriped = 1;
+constexpr size_t kCursorStride = 16;  // one cache line between thread cursors
 
-void BM_DictGet(benchmark::State& state) {
-  state::KeyedDict<int64_t, int64_t> dict;
-  for (int64_t i = 0; i < 100000; ++i) {
-    dict.Put(i, i);
-  }
-  int64_t k = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dict.Get(k++ % 100000));
-  }
-  state.SetItemsProcessed(state.iterations());
+size_t ScaledKeys() {
+  double n = 100000.0 * Scale();
+  return n < 1024 ? 1024 : static_cast<size_t>(n);
 }
-BENCHMARK(BM_DictGet);
 
-void BM_DictSerialize(benchmark::State& state) {
-  state::KeyedDict<int64_t, int64_t> dict;
-  const int64_t n = state.range(0);
-  for (int64_t i = 0; i < n; ++i) {
-    dict.Put(i, i);
-  }
-  for (auto _ : state) {
-    size_t bytes = 0;
-    dict.SerializeRecords([&](uint64_t, const uint8_t*, size_t size) {
-      bytes += size;
-    });
-    benchmark::DoNotOptimize(bytes);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+// Aggregate ops/sec of `op(thread_id, op_index)` driven from `threads`
+// threads for the measurement window.
+template <typename Op>
+double Drive(int threads, double secs, Op&& op) {
+  std::vector<uint64_t> cursors(static_cast<size_t>(threads) * kCursorStride,
+                                0);
+  uint64_t ops = DriveLoad(secs, threads, [&](int t) {
+    uint64_t& k = cursors[static_cast<size_t>(t) * kCursorStride];
+    op(t, k++);
+    return true;
+  });
+  return static_cast<double>(ops) / secs;
 }
-BENCHMARK(BM_DictSerialize)->Arg(1000)->Arg(100000);
 
-void BM_EndCheckpointConsolidate(benchmark::State& state) {
-  const int64_t dirty = state.range(0);
-  for (auto _ : state) {
-    state.PauseTiming();
-    state::KeyedDict<int64_t, int64_t> dict;
-    for (int64_t i = 0; i < 100000; ++i) {
-      dict.Put(i, 1);
+double ReadRow(IntDict& dict, size_t keys, int threads, double secs) {
+  std::atomic<int64_t> sink{0};
+  return Drive(threads, secs, [&](int t, uint64_t k) {
+    // Pseudo-random walk so stripes are hit uniformly, not in lockstep.
+    int64_t key = static_cast<int64_t>(
+        (k * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(t) * 7919) % keys);
+    int64_t v = 0;
+    dict.View(key, [&v](const int64_t& x) { v = x; });
+    if (v < 0) {
+      sink.fetch_add(v, std::memory_order_relaxed);  // never taken; keeps v live
     }
-    dict.BeginCheckpoint();
-    for (int64_t i = 0; i < dirty; ++i) {
-      dict.Put(i, 2);
-    }
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(dict.EndCheckpoint());
-  }
+  });
 }
-BENCHMARK(BM_EndCheckpointConsolidate)->Arg(100)->Arg(10000);
 
-void BM_SparseMatrixAdd(benchmark::State& state) {
-  state::SparseMatrix m;
-  int64_t k = 0;
-  for (auto _ : state) {
-    m.Add(k % 1000, (k * 7) % 1000, 1.0);
-    ++k;
-  }
-  state.SetItemsProcessed(state.iterations());
+double WriteRow(IntDict& dict, size_t keys, int threads, double secs) {
+  const size_t per_thread = keys / static_cast<size_t>(threads);
+  return Drive(threads, secs, [&](int t, uint64_t k) {
+    int64_t key = static_cast<int64_t>(static_cast<size_t>(t) * per_thread +
+                                       k % per_thread);
+    dict.Put(key, static_cast<int64_t>(k));
+  });
 }
-BENCHMARK(BM_SparseMatrixAdd);
 
-void BM_SparseMatrixMultiply(benchmark::State& state) {
-  state::SparseMatrix m;
-  const size_t dim = state.range(0);
-  for (size_t r = 0; r < dim; ++r) {
-    for (size_t c = 0; c < 16; ++c) {
-      m.Set(static_cast<int64_t>(r), static_cast<int64_t>((r * 31 + c) % dim),
-            1.0);
-    }
+void AddThroughputRow(BenchJson& json, const std::string& config, int threads,
+                      uint32_t shards, double items_per_sec,
+                      double baseline_1t) {
+  json.BeginRow();
+  json.Add("config", config);
+  json.Add("threads", static_cast<uint64_t>(threads));
+  json.Add("shards", static_cast<uint64_t>(shards));
+  json.Add("hw_threads", HwThreads());
+  json.Add("items_per_sec", items_per_sec);
+  if (baseline_1t > 0) {
+    json.Add("speedup_vs_1t", items_per_sec / baseline_1t);
   }
-  std::vector<double> x(dim, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(m.MultiplyDense(x, dim));
-  }
+  std::printf("  %-24s threads=%d shards=%-3u %12.0f items/s\n",
+              config.c_str(), threads, shards, items_per_sec);
 }
-BENCHMARK(BM_SparseMatrixMultiply)->Arg(256)->Arg(1024);
-
-void BM_VectorStateAdd(benchmark::State& state) {
-  state::VectorState v(4096);
-  size_t i = 0;
-  for (auto _ : state) {
-    v.Add(i++ % 4096, 1.0);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_VectorStateAdd);
-
-void BM_ChunkSplit(benchmark::State& state) {
-  state::KeyedDict<int64_t, int64_t> dict;
-  for (int64_t i = 0; i < state.range(0); ++i) {
-    dict.Put(i, i);
-  }
-  auto chunks = state::SerializeToChunks(dict, "bench", 1);
-  for (auto _ : state) {
-    auto parts = state::SplitChunk(chunks[0], 4);
-    benchmark::DoNotOptimize(parts);
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ChunkSplit)->Arg(10000);
-
-void BM_TupleRoundTrip(benchmark::State& state) {
-  Tuple t{Value(int64_t{42}), Value(std::string(64, 'x')),
-          Value(std::vector<double>(16, 1.5))};
-  for (auto _ : state) {
-    auto bytes = t.ToBytes();
-    auto back = Tuple::FromBytes(bytes);
-    benchmark::DoNotOptimize(back);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_TupleRoundTrip);
 
 }  // namespace
-}  // namespace sdg
+}  // namespace sdg::bench
 
-BENCHMARK_MAIN();
+int main() {
+  using namespace sdg::bench;
+  const double secs = MeasureSeconds(0.5);
+  const size_t keys = ScaledKeys();
+  const int hw = static_cast<int>(HwThreads());
+  BenchJson json;
+
+  PrintHeader("micro_state", "striped state backends");
+  std::printf("  keys=%zu window=%.2fs hw_threads=%d\n", keys, secs, hw);
+  if (hw < kThreads) {
+    PrintNote("hardware_concurrency < 8: multi-thread rows are contention "
+              "tests, not scaling measurements");
+  }
+
+  // --- Read scaling ---------------------------------------------------------
+  double read_1t = 0;
+  {
+    IntDict dict;
+    for (size_t i = 0; i < keys; ++i) {
+      dict.Put(static_cast<int64_t>(i), static_cast<int64_t>(i));
+    }
+    read_1t = ReadRow(dict, keys, 1, secs);
+    AddThroughputRow(json, "dict_get_1t", 1, sdg::state::kDefaultStateShards,
+                     read_1t, 0);
+    double read_8t = ReadRow(dict, keys, kThreads, secs);
+    AddThroughputRow(json, "dict_get_8t", kThreads,
+                     sdg::state::kDefaultStateShards, read_8t, read_1t);
+  }
+  {
+    IntDict dict(kUnstriped);
+    for (size_t i = 0; i < keys; ++i) {
+      dict.Put(static_cast<int64_t>(i), static_cast<int64_t>(i));
+    }
+    double read_8t_u = ReadRow(dict, keys, kThreads, secs);
+    AddThroughputRow(json, "dict_get_8t_unstriped", kThreads, kUnstriped,
+                     read_8t_u, read_1t);
+  }
+
+  // --- Write scaling --------------------------------------------------------
+  double put_1t = 0;
+  {
+    IntDict dict;
+    put_1t = WriteRow(dict, keys, 1, secs);
+    AddThroughputRow(json, "dict_put_1t", 1, sdg::state::kDefaultStateShards,
+                     put_1t, 0);
+  }
+  {
+    IntDict dict;
+    double put_8t = WriteRow(dict, keys, kThreads, secs);
+    AddThroughputRow(json, "dict_put_8t", kThreads,
+                     sdg::state::kDefaultStateShards, put_8t, put_1t);
+  }
+  {
+    IntDict dict(kUnstriped);
+    double put_8t_u = WriteRow(dict, keys, kThreads, secs);
+    AddThroughputRow(json, "dict_put_8t_unstriped", kThreads, kUnstriped,
+                     put_8t_u, put_1t);
+  }
+
+  // --- Checkpoint-active overhead ------------------------------------------
+  {
+    IntDict dict;
+    for (size_t i = 0; i < keys; ++i) {
+      dict.Put(static_cast<int64_t>(i), 1);
+    }
+    dict.BeginCheckpoint();
+    double put_ckpt = WriteRow(dict, keys, 1, secs);
+    dict.EndCheckpoint();
+    json.BeginRow();
+    json.Add("config", std::string("dict_put_1t_ckpt_active"));
+    json.Add("threads", uint64_t{1});
+    json.Add("shards", static_cast<uint64_t>(sdg::state::kDefaultStateShards));
+    json.Add("hw_threads", HwThreads());
+    json.Add("items_per_sec", put_ckpt);
+    json.Add("overhead_vs_put_1t", put_1t > 0 ? put_1t / put_ckpt : 0.0);
+    std::printf("  %-24s threads=1 shards=%-3u %12.0f items/s (%.2fx put_1t)\n",
+                "dict_put_1t_ckpt_active", sdg::state::kDefaultStateShards,
+                put_ckpt, put_1t > 0 ? put_1t / put_ckpt : 0.0);
+  }
+
+  // --- Serialize wall: serial vs shard fan-out ------------------------------
+  {
+    StrDict dict;
+    const std::string value(64, 'v');
+    for (size_t i = 0; i < keys; ++i) {
+      dict.Put(static_cast<int64_t>(i), value);
+    }
+    const int reps = 3;
+    auto serial_pass = [&] {
+      std::atomic<uint64_t> bytes{0};
+      for (uint32_t s = 0; s < dict.SerializeShardCount(); ++s) {
+        dict.SerializeShardRecords(
+            s, [&](uint64_t, const uint8_t*, size_t n) {
+              bytes.fetch_add(n, std::memory_order_relaxed);
+            });
+      }
+      return bytes.load();
+    };
+    double serial_ms = 0;
+    uint64_t bytes = 0;
+    for (int r = 0; r < reps; ++r) {
+      sdg::Stopwatch sw;
+      bytes = serial_pass();
+      serial_ms += sw.ElapsedMillis();
+    }
+    serial_ms /= reps;
+    json.BeginRow();
+    json.Add("config", std::string("serialize_serial"));
+    json.Add("threads", uint64_t{1});
+    json.Add("keys", static_cast<uint64_t>(keys));
+    json.Add("hw_threads", HwThreads());
+    json.Add("bytes", bytes);
+    json.Add("wall_ms", serial_ms);
+    std::printf("  %-24s %.2f ms (%llu bytes)\n", "serialize_serial",
+                serial_ms, static_cast<unsigned long long>(bytes));
+
+    // Whole-backend SerializeRecords: the round-robin cross-stripe walk the
+    // driver uses when ckpt_parallelism is 1. Visits nodes in near allocation
+    // order, unlike the stripe-at-a-time loop above.
+    double interleaved_ms = 0;
+    for (int r = 0; r < reps; ++r) {
+      sdg::Stopwatch sw;
+      uint64_t ibytes = 0;
+      dict.SerializeRecords([&](uint64_t, const uint8_t*, size_t n) {
+        ibytes += n;
+      });
+      interleaved_ms += sw.ElapsedMillis();
+    }
+    interleaved_ms /= reps;
+    json.BeginRow();
+    json.Add("config", std::string("serialize_interleaved"));
+    json.Add("threads", uint64_t{1});
+    json.Add("keys", static_cast<uint64_t>(keys));
+    json.Add("hw_threads", HwThreads());
+    json.Add("wall_ms", interleaved_ms);
+    json.Add("speedup_vs_serial",
+             interleaved_ms > 0 ? serial_ms / interleaved_ms : 0.0);
+    std::printf("  %-24s %.2f ms (%.2fx shard-serial)\n",
+                "serialize_interleaved", interleaved_ms,
+                interleaved_ms > 0 ? serial_ms / interleaved_ms : 0.0);
+
+    double parallel_ms = 0;
+    for (int r = 0; r < reps; ++r) {
+      sdg::Stopwatch sw;
+      std::atomic<uint64_t> pbytes{0};
+      sdg::ThreadPool pool(kThreads);
+      for (uint32_t s = 0; s < dict.SerializeShardCount(); ++s) {
+        pool.Submit([&, s] {
+          dict.SerializeShardRecords(
+              s, [&](uint64_t, const uint8_t*, size_t n) {
+                pbytes.fetch_add(n, std::memory_order_relaxed);
+              });
+        });
+      }
+      pool.Wait();
+      parallel_ms += sw.ElapsedMillis();
+    }
+    parallel_ms /= reps;
+    json.BeginRow();
+    json.Add("config", std::string("serialize_parallel"));
+    json.Add("threads", static_cast<uint64_t>(kThreads));
+    json.Add("keys", static_cast<uint64_t>(keys));
+    json.Add("hw_threads", HwThreads());
+    json.Add("wall_ms", parallel_ms);
+    json.Add("speedup_vs_serial", parallel_ms > 0 ? serial_ms / parallel_ms
+                                                  : 0.0);
+    std::printf("  %-24s %.2f ms (%.2fx serial)\n", "serialize_parallel",
+                parallel_ms, parallel_ms > 0 ? serial_ms / parallel_ms : 0.0);
+  }
+
+  if (json.WriteFile("BENCH_state.json")) {
+    PrintNote("wrote BENCH_state.json");
+  }
+  return 0;
+}

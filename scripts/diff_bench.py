@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Diff freshly produced BENCH_*.json against the committed trajectory.
+
+For every BENCH_*.json present in --current that also exists in --committed,
+rows are matched by their "config" value and every field whose name starts
+with "items_per_sec" is compared. A field that dropped by more than
+--tolerance (default 0.2, i.e. >20% regression) fails the run; improvements
+and new rows/files are fine.
+
+Rows are only comparable when they were measured under the same shape: any
+field that is not a measured metric (keys, nodes, reps, hw_threads, ...) must
+match on both sides, otherwise the row is skipped with a note. This is what
+makes the CI smoke runs (SDG_BENCH_SCALE / different core counts) safe to
+diff against the full-run numbers committed from the dev box — mismatched
+rows are reported as skipped, never as regressions.
+
+Usage: scripts/diff_bench.py [--committed DIR] [--current DIR] [--tolerance F]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Fields with one of these prefixes are measurements; everything else in a row
+# describes the workload shape and must match for the row to be comparable.
+METRIC_PREFIXES = (
+    "items_per_sec",
+    "wall_ms",
+    "bytes_per_epoch",
+    "records_per_epoch",
+    "full_over",
+    "speedup",
+    "overhead",
+    "mib_per_sec",
+    "send_p",
+)
+
+
+def is_metric(field):
+    return any(field.startswith(p) for p in METRIC_PREFIXES)
+
+
+def load_rows(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {row["config"]: row for row in data if "config" in row}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--committed", default=".", help="dir with committed BENCH_*.json")
+    ap.add_argument("--current", default="build/bench", help="dir with fresh BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="max allowed fractional drop in items_per_sec fields")
+    args = ap.parse_args()
+
+    current_files = sorted(glob.glob(os.path.join(args.current, "BENCH_*.json")))
+    if not current_files:
+        print(f"diff_bench: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for cur_path in current_files:
+        name = os.path.basename(cur_path)
+        ref_path = os.path.join(args.committed, name)
+        if not os.path.exists(ref_path):
+            print(f"  {name}: no committed baseline, skipped")
+            continue
+        ref_rows = load_rows(ref_path)
+        cur_rows = load_rows(cur_path)
+        for config, ref in ref_rows.items():
+            cur = cur_rows.get(config)
+            if cur is None:
+                print(f"  {name}:{config}: row missing from current run")
+                failures.append(f"{name}:{config} disappeared")
+                continue
+            mismatch = [
+                f"{k} {ref[k]} -> {cur[k]}"
+                for k in sorted(set(ref) & set(cur))
+                if k != "config" and not is_metric(k) and ref[k] != cur[k]
+            ]
+            if mismatch:
+                print(f"  {name}:{config}: shape mismatch "
+                      f"({', '.join(mismatch)}), not comparable, skipped")
+                continue
+            for field, ref_val in ref.items():
+                if not field.startswith("items_per_sec"):
+                    continue
+                cur_val = cur.get(field)
+                if not isinstance(cur_val, (int, float)) or ref_val <= 0:
+                    continue
+                ratio = cur_val / ref_val
+                compared += 1
+                status = "ok"
+                if ratio < 1.0 - args.tolerance:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{name}:{config}.{field} {ref_val:.0f} -> {cur_val:.0f} "
+                        f"({ratio:.2f}x)")
+                print(f"  {name}:{config}.{field}: {ref_val:.0f} -> "
+                      f"{cur_val:.0f} ({ratio:.2f}x) {status}")
+
+    print(f"diff_bench: {compared} fields compared, {len(failures)} regressions "
+          f"(tolerance {args.tolerance:.0%})")
+    for f in failures:
+        print(f"  FAIL {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,7 +3,7 @@
 # to the binaries (copy into the repo root to update the checked-in
 # trajectory).
 #
-#   scripts/run_bench.sh [hotpath|ckpt|all] [--short]
+#   scripts/run_bench.sh [hotpath|ckpt|state|all] [--short]
 #
 # --short runs the CI smoke configuration (tiny scale / window, 1 rep) —
 # seconds instead of minutes, shape-check only; numbers are not comparable
@@ -33,12 +33,21 @@ case "$target" in
     cmake --build build -j "$(nproc)" --target micro_ckpt >/dev/null
     (cd build/bench && ./micro_ckpt)
     ;;
+  state)
+    cmake --build build -j "$(nproc)" --target micro_state >/dev/null
+    (cd build/bench && ./micro_state)
+    ;;
   all)
-    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt >/dev/null
-    (cd build/bench && ./micro_hotpath && ./micro_ckpt)
+    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state >/dev/null
+    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state)
     ;;
   *)
-    echo "usage: $0 [hotpath|ckpt|all] [--short]" >&2
+    echo "usage: $0 [hotpath|ckpt|state|all] [--short]" >&2
     exit 2
     ;;
 esac
+
+# Compare the fresh artifacts against the committed trajectory (>20%
+# items_per_sec regression fails; see scripts/diff_bench.py). Short-mode
+# numbers use tiny windows, so treat local failures as a hint, not a verdict.
+python3 scripts/diff_bench.py --committed . --current build/bench

@@ -23,8 +23,12 @@ Result<graph::Sdg> BuildKvSdg(const KvOptions& options) {
     StateAs<StoreDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsString());
   });
   auto get = b.AddEntryTask("get", [](const Tuple& in, graph::TaskContext& ctx) {
-    auto v = StateAs<StoreDict>(ctx.state())->Get(in[0].AsInt());
-    ctx.Emit(0, Tuple{in[0], Value(v.value_or(std::string()))});
+    // View copies the value once straight into the output tuple instead of
+    // materialising an optional<string> and copying again on emit.
+    std::string out;
+    StateAs<StoreDict>(ctx.state())
+        ->View(in[0].AsInt(), [&out](const std::string& v) { out = v; });
+    ctx.Emit(0, Tuple{in[0], Value(std::move(out))});
   });
   auto del = b.AddEntryTask("del", [](const Tuple& in, graph::TaskContext& ctx) {
     StateAs<StoreDict>(ctx.state())->Erase(in[0].AsInt());
@@ -76,8 +80,10 @@ translate::Program BuildKvProgram() {
     s.inputs = {"key"};
     s.output = "value";
     s.op = [](state::StateBackend* b, const std::vector<Value>& in) {
-      return Value(
-          StateAs<StoreDict>(b)->Get(in[0].AsInt()).value_or(std::string()));
+      std::string out;
+      StateAs<StoreDict>(b)->View(in[0].AsInt(),
+                                  [&out](const std::string& v) { out = v; });
+      return Value(std::move(out));
     };
     m.body.push_back(std::move(s));
     OutputStmt out;

@@ -28,10 +28,14 @@ Result<graph::Sdg> BuildLrSdg(const LrOptions& options) {
     auto* w = StateAs<VectorState>(ctx.state());
     const auto& x = in[0].AsDoubleVector();
     double y = static_cast<double>(in[1].AsInt());
+    // One shared-locked View over the weights instead of a per-dimension
+    // Get (which would take the stripe lock dims times per example).
     double z = 0;
-    for (size_t i = 0; i < dims && i < x.size(); ++i) {
-      z += w->Get(i) * x[i];
-    }
+    w->View([&](const double* wv, size_t wn) {
+      for (size_t i = 0; i < dims && i < x.size() && i < wn; ++i) {
+        z += wv[i] * x[i];
+      }
+    });
     double err = LrSigmoid(z) - y;
     for (size_t i = 0; i < dims && i < x.size(); ++i) {
       w->Add(i, -lr * err * x[i]);

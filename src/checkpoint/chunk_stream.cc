@@ -27,47 +27,64 @@ ChunkStreamWriter::ChunkStreamWriter(BackupStore& store, uint32_t node,
 Status ChunkStreamWriter::Begin() {
   SDG_CHECK(!begun_) << "chunk stream writer already begun";
   begun_ = true;
-  chunks_.resize(options_.num_chunks);
+  chunks_.reserve(options_.num_chunks);
   for (uint32_t i = 0; i < options_.num_chunks; ++i) {
-    SDG_ASSIGN_OR_RETURN(chunks_[i].stream_id,
+    chunks_.push_back(std::make_unique<PerChunk>());
+    PerChunk& chunk = *chunks_.back();
+    SDG_ASSIGN_OR_RETURN(chunk.stream_id,
                          store_.BeginChunkStream(node_, epoch_, name_, i));
-    chunks_[i].buffer = state::BuildChunkHeader(chunk_options_, name_,
-                                                state::kStreamedRecordCount);
-    stats_.bytes += chunks_[i].buffer.size();
-    chunks_[i].buffer.reserve(options_.segment_bytes + 1024);
+    chunk.buffer = state::BuildChunkHeader(chunk_options_, name_,
+                                           state::kStreamedRecordCount);
+    chunk.bytes += chunk.buffer.size();
+    chunk.buffer.reserve(options_.segment_bytes + 1024);
   }
   return Status::Ok();
 }
 
 void ChunkStreamWriter::Add(uint64_t key_hash, const uint8_t* payload,
                             size_t size, bool tombstone) {
-  if (!error_.ok()) {
+  if (has_error_.load(std::memory_order_relaxed)) {
     return;
   }
-  PerChunk& chunk = chunks_[key_hash % options_.num_chunks];
+  PerChunk& chunk = *chunks_[key_hash % options_.num_chunks];
+  std::unique_lock<std::mutex> lock(chunk.mutex, std::defer_lock);
+  if (options_.concurrent) {
+    lock.lock();
+  }
   size_t before = chunk.buffer.size();
   state::AppendRecordFrame(chunk_options_, key_hash, payload, size, tombstone,
                            chunk.buffer, chunk.prev_payload);
-  stats_.bytes += chunk.buffer.size() - before;
-  ++stats_.records;
+  chunk.bytes += chunk.buffer.size() - before;
+  ++chunk.records;
   if (tombstone) {
-    ++stats_.tombstones;
+    ++chunk.tombstones;
   }
   if (chunk.buffer.size() >= options_.segment_bytes) {
-    FlushChunk(chunk);
+    FlushChunkLocked(chunk);
   }
 }
 
-void ChunkStreamWriter::FlushChunk(PerChunk& chunk) {
+void ChunkStreamWriter::FlushChunkLocked(PerChunk& chunk) {
   if (chunk.buffer.empty()) {
     return;
   }
   std::vector<uint8_t> segment = std::move(chunk.buffer);
   chunk.buffer.clear();
   chunk.buffer.reserve(options_.segment_bytes + 1024);
+  // AppendChunkStream is thread-safe and may block on the store's backlog
+  // budget; holding this chunk's mutex only stalls records routed to the
+  // same chunk, the rest of the fan-out keeps serialising.
   Status s = store_.AppendChunkStream(chunk.stream_id, std::move(segment));
-  if (!s.ok() && error_.ok()) {
+  if (!s.ok()) {
+    LatchError(s);
+  }
+}
+
+void ChunkStreamWriter::LatchError(const Status& s) {
+  std::lock_guard<std::mutex> lock(error_mutex_);
+  if (error_.ok()) {
     error_ = s;
+    has_error_.store(true, std::memory_order_relaxed);
   }
 }
 
@@ -84,20 +101,26 @@ state::DeltaRecordSink ChunkStreamWriter::AsDeltaSink() {
 
 Result<ChunkStreamWriter::Stats> ChunkStreamWriter::Finish() {
   SDG_CHECK(begun_) << "Finish before Begin on chunk stream writer";
-  for (PerChunk& chunk : chunks_) {
-    FlushChunk(chunk);
+  Stats stats;
+  for (auto& chunk : chunks_) {
+    std::lock_guard<std::mutex> lock(chunk->mutex);
+    FlushChunkLocked(*chunk);
+    stats.records += chunk->records;
+    stats.tombstones += chunk->tombstones;
+    stats.bytes += chunk->bytes;
   }
   // Close every stream even after an error so no stream handles leak.
-  for (PerChunk& chunk : chunks_) {
-    Status s = store_.FinishChunkStream(chunk.stream_id);
-    if (!s.ok() && error_.ok()) {
-      error_ = s;
+  for (auto& chunk : chunks_) {
+    Status s = store_.FinishChunkStream(chunk->stream_id);
+    if (!s.ok()) {
+      LatchError(s);
     }
   }
-  if (!error_.ok()) {
+  if (has_error_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(error_mutex_);
     return error_;
   }
-  return stats_;
+  return stats;
 }
 
 }  // namespace sdg::checkpoint

@@ -12,10 +12,22 @@
 // exact count is unknown until the stream closes); readers walk the body to
 // the end, and checkpoint completeness is still guaranteed by the epoch meta
 // record being written last.
+//
+// With Options::concurrent set, Add is thread-safe: each chunk owns a
+// mutex, so per-shard serialize tasks running on a thread pool can feed the
+// same writer concurrently (serial callers skip the per-record lock). Record
+// order within a chunk is not semantically meaningful — full chunks are
+// keyed records restored into a map, delta chunks contain each key at most
+// once per epoch, and the prefix-dedup codec is an order-agnostic
+// prev-record context on both sides — so any interleaving produces a valid
+// (byte-different, state-identical) chunk.
 #ifndef SDG_CHECKPOINT_CHUNK_STREAM_H_
 #define SDG_CHECKPOINT_CHUNK_STREAM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -36,6 +48,10 @@ class ChunkStreamWriter {
     // size. Small enough to keep the pipeline busy, large enough to amortise
     // the per-append queue hop.
     size_t segment_bytes = 256 * 1024;
+    // Whether Add may be called from multiple threads (the per-shard
+    // serialize fan-out). Serial callers keep this false and skip the
+    // per-record chunk mutex.
+    bool concurrent = false;
   };
 
   struct Stats {
@@ -48,29 +64,38 @@ class ChunkStreamWriter {
                     std::string name, Options options);
 
   // Opens the per-chunk streams and writes their headers. Must be called
-  // (and succeed) before Add.
+  // (and succeed) before Add. Not thread-safe (call before fanning out).
   Status Begin();
 
   // Routes one record to its chunk (key_hash % num_chunks) and flushes the
-  // chunk's segment when full. Errors are latched and surfaced by Finish —
-  // the record sinks of the state backends cannot fail mid-iteration.
+  // chunk's segment when full. Thread-safe when Options::concurrent is set.
+  // Errors are latched and surfaced by Finish — the record sinks of the
+  // state backends cannot fail mid-iteration.
   void Add(uint64_t key_hash, const uint8_t* payload, size_t size,
            bool tombstone);
 
   state::RecordSink AsSink();
   state::DeltaRecordSink AsDeltaSink();
 
-  // Flushes the tail segments and closes every stream.
+  // Flushes the tail segments and closes every stream. Not thread-safe (call
+  // after the fan-out has joined).
   Result<Stats> Finish();
 
  private:
   struct PerChunk {
+    std::mutex mutex;
     uint64_t stream_id = 0;
     std::vector<uint8_t> buffer;
     std::vector<uint8_t> prev_payload;  // prefix-dedup context
+    // Chunk-local stats, summed by Finish — no shared counters on the path.
+    uint64_t records = 0;
+    uint64_t tombstones = 0;
+    uint64_t bytes = 0;
   };
 
-  void FlushChunk(PerChunk& chunk);
+  // Caller holds chunk.mutex.
+  void FlushChunkLocked(PerChunk& chunk);
+  void LatchError(const Status& s);
 
   BackupStore& store_;
   uint32_t node_;
@@ -78,8 +103,9 @@ class ChunkStreamWriter {
   std::string name_;
   Options options_;
   state::ChunkOptions chunk_options_;
-  std::vector<PerChunk> chunks_;
-  Stats stats_;
+  std::vector<std::unique_ptr<PerChunk>> chunks_;
+  std::atomic<bool> has_error_{false};
+  std::mutex error_mutex_;
   Status error_;
   bool begun_ = false;
 };

@@ -62,6 +62,17 @@ std::string BufferChunkName(graph::TaskId task, uint32_t instance) {
   return "outbuf" + std::to_string(task) + "_" + std::to_string(instance);
 }
 
+// Threads for fanning serialisation across state shards and chunk restores
+// across chunks. 0 = auto: hardware concurrency capped at 8 (past that the
+// backup store's I/O pool is the bottleneck, not serialisation).
+uint32_t CkptParallelism(const FaultToleranceOptions& ft) {
+  if (ft.ckpt_parallelism > 0) {
+    return ft.ckpt_parallelism;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::min<uint32_t>(hw == 0 ? 1 : hw, 8);
+}
+
 // Serialise/deserialise round trip for items crossing a node boundary. The
 // writer is a thread-local scratch whose capacity is reused across items, and
 // the reader decodes straight out of it — no per-item byte-buffer allocation.
@@ -1201,9 +1212,44 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
               moving.emplace_back(p, p + n);
             });
         SDG_RETURN_IF_ERROR(s);
-        for (const auto& rec : moving) {
-          Status rs = group.instances[j]->RestoreRecord(rec.data(), rec.size());
-          SDG_CHECK(rs.ok()) << "re-shard restore failed: " << rs.ToString();
+        // Stripe-locked backends take concurrent RestoreRecord calls, so a
+        // large migration is ingested by a slice-per-thread fan-out.
+        const uint32_t fanout =
+            std::min<uint32_t>(CkptParallelism(options_.fault_tolerance),
+                               static_cast<uint32_t>(moving.size() / 64));
+        if (fanout > 1) {
+          ThreadPool pool(fanout);
+          std::mutex status_mutex;
+          Status first_error;
+          state::StateBackend* target = group.instances[j].get();
+          const size_t stride = (moving.size() + fanout - 1) / fanout;
+          for (uint32_t t = 0; t < fanout; ++t) {
+            const size_t begin = t * stride;
+            const size_t end = std::min(moving.size(), begin + stride);
+            pool.Submit([&moving, target, begin, end, &status_mutex,
+                         &first_error] {
+              for (size_t r = begin; r < end; ++r) {
+                Status rs = target->RestoreRecord(moving[r].data(),
+                                                  moving[r].size());
+                if (!rs.ok()) {
+                  std::lock_guard<std::mutex> lock(status_mutex);
+                  if (first_error.ok()) {
+                    first_error = rs;
+                  }
+                  return;
+                }
+              }
+            });
+          }
+          pool.Wait();
+          SDG_CHECK(first_error.ok())
+              << "re-shard restore failed: " << first_error.ToString();
+        } else {
+          for (const auto& rec : moving) {
+            Status rs =
+                group.instances[j]->RestoreRecord(rec.data(), rec.size());
+            SDG_CHECK(rs.ok()) << "re-shard restore failed: " << rs.ToString();
+          }
         }
       }
     }
@@ -1387,10 +1433,32 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
         wo.codec = ft.chunk_codec;
         wo.delta = use_delta;
         wo.segment_bytes = ft.ckpt_segment_bytes;
+        // Fan serialisation across the backend's shards: each stripe's
+        // records are disjoint and the writer's Add is thread-safe when
+        // concurrent, so the shards feed the same segment streams while the
+        // store overlaps I/O. Unsharded backends report one shard and stay
+        // serial.
+        const uint32_t nshards = cs.backend->SerializeShardCount();
+        const uint32_t fanout = std::min(CkptParallelism(ft), nshards);
+        wo.concurrent = fanout > 1;
         checkpoint::ChunkStreamWriter writer(*store_, node, meta.epoch,
                                              cs.name, wo);
         SDG_RETURN_IF_ERROR(writer.Begin());
-        if (use_delta) {
+        if (fanout > 1) {
+          ThreadPool pool(fanout);
+          auto sink = writer.AsSink();
+          auto delta_sink = writer.AsDeltaSink();
+          for (uint32_t s = 0; s < nshards; ++s) {
+            pool.Submit([&, s] {
+              if (use_delta) {
+                cs.backend->SerializeShardDirtyRecords(s, delta_sink);
+              } else {
+                cs.backend->SerializeShardRecords(s, sink);
+              }
+            });
+          }
+          pool.Wait();
+        } else if (use_delta) {
           cs.backend->SerializeDirtyRecords(writer.AsDeltaSink());
         } else {
           cs.backend->SerializeRecords(writer.AsSink());
@@ -1760,10 +1828,39 @@ Status Deployment::RecoverNode(uint32_t failed,
           auto chunks,
           store_->ReadChunks(failed, link.epoch, name, link.num_chunks));
       if (n == 1) {
-        // Plain 1-to-1 (or m-to-1) restore.
-        for (const auto& chunk : chunks) {
-          ingest_throttle(chunk.size());
-          SDG_RETURN_IF_ERROR(state::RestoreChunk(*rs.backends[0], chunk));
+        // Plain 1-to-1 (or m-to-1) restore. Stripe-locked backends accept
+        // concurrent RestoreChunk calls (records route to per-stripe locks),
+        // so one link's chunks are ingested in parallel; the per-link barrier
+        // still keeps delta epochs ordered.
+        const uint32_t fanout =
+            std::min<uint32_t>(CkptParallelism(options_.fault_tolerance),
+                               static_cast<uint32_t>(chunks.size()));
+        if (fanout > 1) {
+          ThreadPool pool(fanout);
+          std::mutex status_mutex;
+          Status first_error;
+          for (const auto& chunk : chunks) {
+            const std::vector<uint8_t>* chunk_ptr = &chunk;
+            state::StateBackend* target = rs.backends[0].get();
+            pool.Submit([chunk_ptr, target, &status_mutex, &first_error,
+                         &ingest_throttle] {
+              ingest_throttle(chunk_ptr->size());
+              Status s = state::RestoreChunk(*target, *chunk_ptr);
+              if (!s.ok()) {
+                std::lock_guard<std::mutex> lock(status_mutex);
+                if (first_error.ok()) {
+                  first_error = s;
+                }
+              }
+            });
+          }
+          pool.Wait();
+          SDG_RETURN_IF_ERROR(first_error);
+        } else {
+          for (const auto& chunk : chunks) {
+            ingest_throttle(chunk.size());
+            SDG_RETURN_IF_ERROR(state::RestoreChunk(*rs.backends[0], chunk));
+          }
         }
       } else {
         // Step R1/R2 of Fig. 4: split each chunk into n partitions and

@@ -75,6 +75,11 @@ struct FaultToleranceOptions {
   uint8_t chunk_codec = 0;
   // Segment size of the streaming pipeline.
   size_t ckpt_segment_bytes = 256 * 1024;
+  // Threads fanning SerializeRecords across state shards on the streaming
+  // path (and chunk restores on recovery). 0 = auto (hardware concurrency,
+  // capped at 8); 1 = serial. Sharded backends emit disjoint shards, so the
+  // fan-out is safe for any value.
+  uint32_t ckpt_parallelism = 0;
   checkpoint::BackupStoreOptions store;
 };
 

@@ -2,185 +2,223 @@
 
 #include <algorithm>
 
-#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
 
 namespace sdg::state {
 
 double DenseMatrix::Get(size_t row, size_t col) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
-  if (checkpoint_active_) {
-    auto it = dirty_.find(Index(row, col));
-    if (it != dirty_.end()) {
-      return it->second;
+  return shards_.Read(RowHash(row), [&](const RowShard& sh, bool active) {
+    SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
+    if (active) {
+      auto it = sh.dirty.find(Index(row, col));
+      if (it != sh.dirty.end()) {
+        return it->second;
+      }
     }
-  }
-  return data_[Index(row, col)];
+    return data_[Index(row, col)];
+  });
 }
 
 void DenseMatrix::Set(size_t row, size_t col, double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
-  delta_.Touch(row);
-  if (checkpoint_active_) {
-    dirty_[Index(row, col)] = v;
-  } else {
-    data_[Index(row, col)] = v;
-  }
+  shards_.Write(RowHash(row),
+                [&](RowShard& sh, DeltaTracker<size_t>& delta, bool active) {
+                  SDG_CHECK(row < rows_ && col < cols_)
+                      << "DenseMatrix index out of range";
+                  if (delta.enabled()) {
+                    delta.Touch(row);
+                  }
+                  if (active) {
+                    sh.dirty[Index(row, col)] = v;
+                  } else {
+                    data_[Index(row, col)] = v;
+                  }
+                });
 }
 
-void DenseMatrix::Add(size_t row, size_t col, double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(row < rows_ && col < cols_) << "DenseMatrix index out of range";
-  delta_.Touch(row);
-  size_t idx = Index(row, col);
-  if (checkpoint_active_) {
-    auto it = dirty_.find(idx);
-    double base = it != dirty_.end() ? it->second : data_[idx];
-    dirty_[idx] = base + delta;
-  } else {
-    data_[idx] += delta;
-  }
+void DenseMatrix::Add(size_t row, size_t col, double delta_v) {
+  shards_.Write(RowHash(row),
+                [&](RowShard& sh, DeltaTracker<size_t>& delta, bool active) {
+                  SDG_CHECK(row < rows_ && col < cols_)
+                      << "DenseMatrix index out of range";
+                  if (delta.enabled()) {
+                    delta.Touch(row);
+                  }
+                  size_t idx = Index(row, col);
+                  if (active) {
+                    auto it = sh.dirty.find(idx);
+                    double base = it != sh.dirty.end() ? it->second : data_[idx];
+                    sh.dirty[idx] = base + delta_v;
+                  } else {
+                    data_[idx] += delta_v;
+                  }
+                });
 }
 
 void DenseMatrix::Fill(double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t r = 0; r < rows_; ++r) {
-    delta_.Touch(r);
-  }
-  if (checkpoint_active_) {
-    for (size_t i = 0; i < data_.size(); ++i) {
-      dirty_[i] = v;
+  shards_.WriteAll([&](bool active) {
+    for (size_t r = 0; r < rows_; ++r) {
+      auto& delta = shards_.stripe(shards_.ShardOf(RowHash(r))).delta;
+      if (delta.enabled()) {
+        delta.Touch(r);
+      }
     }
-    return;
-  }
-  std::fill(data_.begin(), data_.end(), v);
+    if (active) {
+      for (size_t i = 0; i < data_.size(); ++i) {
+        shards_.stripe(shards_.ShardOf(RowHash(i / cols_))).data.dirty[i] = v;
+      }
+      return;
+    }
+    std::fill(data_.begin(), data_.end(), v);
+  });
 }
 
 std::vector<double> DenseMatrix::GetRowDense(size_t row) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(row < rows_) << "DenseMatrix row out of range";
-  std::vector<double> out(data_.begin() + static_cast<ptrdiff_t>(row * cols_),
-                          data_.begin() + static_cast<ptrdiff_t>((row + 1) * cols_));
-  if (checkpoint_active_) {
-    for (const auto& [idx, v] : dirty_) {
-      if (idx / cols_ == row) {
-        out[idx % cols_] = v;
+  // A row lives entirely in one stripe (the overlay is keyed by flat index,
+  // the stripe by row hash), so the stripe's shared lock covers the read.
+  return shards_.Read(RowHash(row), [&](const RowShard& sh, bool active) {
+    SDG_CHECK(row < rows_) << "DenseMatrix row out of range";
+    std::vector<double> out(
+        data_.begin() + static_cast<ptrdiff_t>(row * cols_),
+        data_.begin() + static_cast<ptrdiff_t>((row + 1) * cols_));
+    if (active) {
+      for (const auto& [idx, v] : sh.dirty) {
+        if (idx / cols_ == row) {
+          out[idx % cols_] = v;
+        }
       }
     }
-  }
-  return out;
+    return out;
+  });
 }
 
-std::vector<double> DenseMatrix::MultiplyDense(const std::vector<double>& x) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(x.size() == cols_) << "DenseMatrix multiply dimension mismatch";
-  std::vector<double> out(rows_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    double sum = 0.0;
-    const double* row = data_.data() + r * cols_;
-    for (size_t c = 0; c < cols_; ++c) {
-      sum += row[c] * x[c];
+std::vector<double> DenseMatrix::MultiplyDense(
+    const std::vector<double>& x) const {
+  return shards_.ReadAll([&](bool active) {
+    SDG_CHECK(x.size() == cols_) << "DenseMatrix multiply dimension mismatch";
+    std::vector<double> out(rows_, 0.0);
+    for (size_t r = 0; r < rows_; ++r) {
+      double sum = 0.0;
+      const double* row = data_.data() + r * cols_;
+      for (size_t c = 0; c < cols_; ++c) {
+        sum += row[c] * x[c];
+      }
+      out[r] = sum;
     }
-    out[r] = sum;
-  }
-  if (checkpoint_active_) {
-    // Correct rows touched by the dirty overlay.
-    for (const auto& [idx, v] : dirty_) {
-      size_t r = idx / cols_;
-      size_t c = idx % cols_;
-      out[r] += (v - data_[idx]) * x[c];
+    if (active) {
+      // Correct rows touched by the dirty overlays.
+      for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+        for (const auto& [idx, v] : shards_.stripe(s).data.dirty) {
+          size_t r = idx / cols_;
+          size_t c = idx % cols_;
+          out[r] += (v - data_[idx]) * x[c];
+        }
+      }
     }
-  }
-  return out;
+    return out;
+  });
 }
 
 size_t DenseMatrix::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return data_.size() * sizeof(double) + dirty_.size() * 24;
+  return shards_.ReadAll([&](bool) {
+    size_t n = data_.size() * sizeof(double);
+    for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+      n += shards_.stripe(s).data.dirty.size() * 24;
+    }
+    return n;
+  });
 }
 
-void DenseMatrix::BeginCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on DenseMatrix";
-  checkpoint_active_ = true;
-  delta_.Freeze();
+void DenseMatrix::BeginCheckpoint() { shards_.BeginCheckpoint("DenseMatrix"); }
+
+void DenseMatrix::EncodeRowLocked(size_t row, BinaryWriter& w) const {
+  w.Clear();
+  w.Write<uint64_t>(rows_);
+  w.Write<uint64_t>(cols_);
+  w.Write<uint64_t>(row);
+  w.WriteBytes(data_.data() + row * cols_, cols_ * sizeof(double));
 }
 
 void DenseMatrix::SerializeRecords(const RecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
-  }
+  // Whole-backend serialise sweeps the row-major array once in row order —
+  // one sequential pass instead of num_shards passes skipping foreign rows.
+  auto all = shards_.SerializeLockAll();
+  BinaryWriter w;
   for (size_t r = 0; r < rows_; ++r) {
     if (r < row_extracted_.size() && row_extracted_[r]) {
       continue;
     }
-    BinaryWriter w;
-    w.Write<uint64_t>(rows_);
-    w.Write<uint64_t>(cols_);
-    w.Write<uint64_t>(r);
-    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
-    sink(MixHash64(r), w.buffer().data(), w.buffer().size());
+    EncodeRowLocked(r, w);
+    sink(RowHash(r), w.buffer().data(), w.buffer().size());
+  }
+}
+
+void DenseMatrix::SerializeShardRecords(uint32_t shard,
+                                        const RecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  BinaryWriter w;
+  for (size_t r = 0; r < rows_; ++r) {
+    uint64_t h = RowHash(r);
+    if (shards_.ShardOf(h) != shard) {
+      continue;
+    }
+    if (r < row_extracted_.size() && row_extracted_[r]) {
+      continue;
+    }
+    EncodeRowLocked(r, w);
+    sink(h, w.buffer().data(), w.buffer().size());
   }
 }
 
 uint64_t DenseMatrix::EndCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
-  uint64_t consolidated = dirty_.size();
-  for (const auto& [idx, v] : dirty_) {
-    data_[idx] = v;
-  }
-  dirty_.clear();
-  checkpoint_active_ = false;
-  return consolidated;
+  return shards_.EndCheckpoint("DenseMatrix", [&](uint32_t, RowShard& sh) {
+    uint64_t consolidated = sh.dirty.size();
+    for (const auto& [idx, v] : sh.dirty) {
+      data_[idx] = v;
+    }
+    sh.dirty.clear();
+    return consolidated;
+  });
 }
 
-void DenseMatrix::EnableDeltaTracking() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Enable();
-}
+void DenseMatrix::EnableDeltaTracking() { shards_.EnableDeltaTracking(); }
 
-bool DenseMatrix::DeltaReady() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return delta_.Ready();
-}
+bool DenseMatrix::DeltaReady() const { return shards_.DeltaReady(); }
 
 void DenseMatrix::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
+  for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+    SerializeShardDirtyRecords(s, sink);
   }
-  for (size_t r : delta_.frozen()) {
+}
+
+void DenseMatrix::SerializeShardDirtyRecords(
+    uint32_t shard, const DeltaRecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  BinaryWriter w;
+  for (size_t r : shards_.stripe(shard).delta.frozen()) {
     if (r >= rows_ || (r < row_extracted_.size() && row_extracted_[r])) {
       continue;
     }
-    BinaryWriter w;
-    w.Write<uint64_t>(rows_);
-    w.Write<uint64_t>(cols_);
-    w.Write<uint64_t>(r);
-    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
-    sink(MixHash64(r), w.buffer().data(), w.buffer().size(),
+    EncodeRowLocked(r, w);
+    sink(RowHash(r), w.buffer().data(), w.buffer().size(),
          /*tombstone=*/false);
   }
 }
 
 void DenseMatrix::ResolveEpoch(bool committed) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Resolve(committed);
+  shards_.ResolveEpoch(committed);
 }
 
 void DenseMatrix::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  rows_ = 0;
-  cols_ = 0;
-  data_.clear();
-  dirty_.clear();
-  row_extracted_.clear();
-  delta_.Invalidate();
+  shards_.ClearAll([&](uint32_t s, RowShard& sh) {
+    if (s == 0) {
+      rows_ = 0;
+      cols_ = 0;
+      data_.clear();
+      row_extracted_.clear();
+    }
+    sh.dirty.clear();
+  });
 }
 
 Status DenseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
@@ -188,58 +226,80 @@ Status DenseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
   SDG_ASSIGN_OR_RETURN(uint64_t rows, r.Read<uint64_t>());
   SDG_ASSIGN_OR_RETURN(uint64_t cols, r.Read<uint64_t>());
   SDG_ASSIGN_OR_RETURN(uint64_t row, r.Read<uint64_t>());
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (rows_ == 0 && cols_ == 0) {
-    rows_ = rows;
-    cols_ = cols;
-    data_.assign(rows_ * cols_, 0.0);
+  const uint64_t h = RowHash(row);
+  Status status = Status::Ok();
+  auto install = [&](DeltaTracker<size_t>& delta) {
+    if (rows != rows_ || cols != cols_ || row >= rows_) {
+      status =
+          Status(StatusCode::kDataLoss, "DenseMatrix record shape mismatch");
+      return;
+    }
+    if (r.remaining() < cols_ * sizeof(double)) {
+      status = Status(StatusCode::kDataLoss, "short DenseMatrix row record");
+      return;
+    }
+    for (size_t c = 0; c < cols_; ++c) {
+      data_[Index(row, c)] = r.Read<double>().value();
+    }
+    if (row < row_extracted_.size()) {
+      row_extracted_[row] = 0;  // one byte per row: stripe-local write is safe
+    }
+    delta.Invalidate();
+  };
+  // Parallel chunk ingestion lands here concurrently: once the shape is set,
+  // each row restore takes only its stripe's lock. The first record of an
+  // empty matrix initialises the shape under the all-stripe guard.
+  bool done = shards_.Write(h, [&](RowShard&, DeltaTracker<size_t>& delta,
+                                   bool) {
+    if (rows_ == 0 && cols_ == 0) {
+      return false;  // shape-initialising path: escalate
+    }
+    install(delta);
+    return true;
+  });
+  if (!done) {
+    shards_.WriteAll([&](bool) {
+      if (rows_ == 0 && cols_ == 0) {
+        rows_ = rows;
+        cols_ = cols;
+        data_.assign(rows_ * cols_, 0.0);
+      }
+      install(shards_.stripe(shards_.ShardOf(h)).delta);
+    });
   }
-  if (rows != rows_ || cols != cols_ || row >= rows_) {
-    return Status(StatusCode::kDataLoss, "DenseMatrix record shape mismatch");
-  }
-  if (r.remaining() < cols_ * sizeof(double)) {
-    return Status(StatusCode::kDataLoss, "short DenseMatrix row record");
-  }
-  for (size_t c = 0; c < cols_; ++c) {
-    data_[Index(row, c)] = r.Read<double>().value();
-  }
-  if (row < row_extracted_.size()) {
-    row_extracted_[row] = false;
-  }
-  delta_.Invalidate();
-  return Status::Ok();
+  return status;
 }
 
 Status DenseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
                                      const RecordSink& sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (checkpoint_active_) {
-    return FailedPreconditionError(
-        "cannot repartition DenseMatrix during an active checkpoint");
-  }
-  if (row_extracted_.size() < rows_) {
-    row_extracted_.resize(rows_, false);
-  }
-  for (size_t r = 0; r < rows_; ++r) {
-    if (row_extracted_[r]) {
-      continue;
+  return shards_.WriteAll([&](bool active) -> Status {
+    if (active) {
+      return FailedPreconditionError(
+          "cannot repartition DenseMatrix during an active checkpoint");
     }
-    uint64_t h = MixHash64(r);
-    if (h % num_parts != part) {
-      continue;
+    if (row_extracted_.size() < rows_) {
+      row_extracted_.resize(rows_, 0);
     }
     BinaryWriter w;
-    w.Write<uint64_t>(rows_);
-    w.Write<uint64_t>(cols_);
-    w.Write<uint64_t>(r);
-    w.WriteBytes(data_.data() + r * cols_, cols_ * sizeof(double));
-    sink(h, w.buffer().data(), w.buffer().size());
-    std::fill(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
-              data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_), 0.0);
-    row_extracted_[r] = true;
-  }
-  delta_.Invalidate();
-  return Status::Ok();
+    for (size_t r = 0; r < rows_; ++r) {
+      if (row_extracted_[r]) {
+        continue;
+      }
+      uint64_t h = RowHash(r);
+      if (h % num_parts != part) {
+        continue;
+      }
+      EncodeRowLocked(r, w);
+      sink(h, w.buffer().data(), w.buffer().size());
+      std::fill(data_.begin() + static_cast<ptrdiff_t>(r * cols_),
+                data_.begin() + static_cast<ptrdiff_t>((r + 1) * cols_), 0.0);
+      row_extracted_[r] = 1;
+    }
+    for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+      shards_.stripe(s).delta.Invalidate();
+    }
+    return Status::Ok();
+  });
 }
 
 }  // namespace sdg::state

@@ -3,25 +3,31 @@
 // One of the paper's predefined SE classes (§3.2). Checkpoint records and
 // partition units are whole rows; dirty state is a flat (row*cols + col)
 // overlay so fine-grained element updates stay cheap during a checkpoint.
+//
+// Striping: rows are owned by the stripe their row hash selects — element
+// reads/writes take only that stripe's lock, while shape changes (Clear,
+// shape-initialising restore), Fill, MultiplyDense and the checkpoint
+// transitions go through ShardedState's all-stripe guards.
 #ifndef SDG_STATE_DENSE_MATRIX_H_
 #define SDG_STATE_DENSE_MATRIX_H_
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
-#include "src/state/delta_tracker.h"
+#include "src/common/hash.h"
+#include "src/common/serialize.h"
+#include "src/state/sharded_state.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
 
 class DenseMatrix final : public StateBackend {
  public:
-  DenseMatrix() = default;
-  DenseMatrix(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  DenseMatrix() : shards_(kDefaultStateShards) {}
+  DenseMatrix(size_t rows, size_t cols,
+              uint32_t num_shards = kDefaultStateShards)
+      : shards_(num_shards), rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
   // --- Matrix operations ----------------------------------------------------
 
@@ -51,7 +57,7 @@ class DenseMatrix final : public StateBackend {
   void SerializeRecords(const RecordSink& sink) const override;
   uint64_t EndCheckpoint() override;
   bool checkpoint_active() const override {
-    return checkpoint_active_.load(std::memory_order_acquire);
+    return shards_.checkpoint_active();
   }
 
   void EnableDeltaTracking() override;
@@ -59,24 +65,43 @@ class DenseMatrix final : public StateBackend {
   void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
   void ResolveEpoch(bool committed) override;
 
+  uint32_t SerializeShardCount() const override {
+    return shards_.num_shards();
+  }
+  void SerializeShardRecords(uint32_t shard,
+                             const RecordSink& sink) const override;
+  void SerializeShardDirtyRecords(uint32_t shard,
+                                  const DeltaRecordSink& sink) const override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
  private:
+  // One stripe's slice: the checkpoint overlay (flat index -> value) for the
+  // rows this stripe owns.
+  struct RowShard {
+    using DeltaId = size_t;  // delta granularity: rows
+    std::unordered_map<size_t, double> dirty;
+  };
+
+  static uint64_t RowHash(size_t row) { return MixHash64(row); }
   size_t Index(size_t row, size_t col) const { return row * cols_ + col; }
 
-  mutable std::mutex mutex_;
+  void EncodeRowLocked(size_t row, BinaryWriter& w) const;
+
+  ShardedState<RowShard> shards_;
+  // Shape and array resized/reset only with all stripes held exclusive;
+  // elements of row r written only under r's stripe (or the all-stripe guard).
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<double> data_;
-  std::unordered_map<size_t, double> dirty_;  // flat index -> value
-  DeltaTracker<size_t> delta_;                // delta granularity: rows
   // Rows zeroed out by ExtractPartition are no longer owned by this instance;
   // they are skipped when serialising so restore does not resurrect them.
-  std::vector<bool> row_extracted_;
-  std::atomic<bool> checkpoint_active_{false};
+  // One byte per row (not vector<bool>: per-row writes under different stripe
+  // locks must touch distinct memory locations).
+  std::vector<uint8_t> row_extracted_;
 };
 
 }  // namespace sdg::state

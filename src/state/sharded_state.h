@@ -1,0 +1,308 @@
+// ShardedState<Shard>: the lock-striping core shared by every state backend.
+//
+// A backend splits its containers into N power-of-two stripes keyed by the
+// same partitioning hash that travels with every checkpoint record
+// (`Codec<K>::Hash` for dictionaries, `MixHash64(block)` / `MixHash64(row)`
+// for the numeric backends). Each stripe owns
+//   - a `std::shared_mutex` (readers share, writers exclude — the read-heavy
+//     paths like @Global partial-state reads scale across cores),
+//   - the backend-specific shard of the main structure and its dirty overlay
+//     (the `Shard` template parameter — a plain data struct), and
+//   - a `DeltaTracker` over the backend's delta granularity, so delta epochs
+//     freeze and resolve shard-by-shard.
+//
+// The helper centralises the whole §5 dirty-state protocol — the checkpoint
+// flag, Begin/End consolidation, delta epoch transitions, and the locking
+// discipline — so the four backends keep only their container-specific code.
+//
+// Locking discipline (also documented in docs/runtime.md):
+//   - single-stripe ops take that stripe's lock (shared for reads, exclusive
+//     for writes); a thread holding a stripe lock never acquires another;
+//   - whole-backend ops (resize, Fill, ExtractPartition, checkpoint
+//     transitions) take every stripe exclusively in index order — the only
+//     multi-lock pattern, so there is no deadlock cycle;
+//   - `checkpoint_active_` only flips while ALL stripes are held exclusively,
+//     so any thread holding any stripe lock (even shared) sees a stable flag
+//     and a relaxed load inside a locked region is race-free;
+//   - serialisation while a checkpoint is active takes no locks at all: the
+//     main structure and the frozen delta sets are immutable until
+//     EndCheckpoint/Resolve, which is what lets SerializeShardRecords run on
+//     a thread pool concurrently with processing (writes go to the overlay
+//     under the stripe locks).
+#ifndef SDG_STATE_SHARDED_STATE_H_
+#define SDG_STATE_SHARDED_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/state/delta_tracker.h"
+
+namespace sdg::state {
+
+// Default stripe count. Enough that 8 threads rarely collide on a stripe
+// (collision probability ~1 - 16!/(8! * 16^8) ≈ 0.9 for *any* pair, but the
+// expected waiters per stripe stays ≪ 1), small enough that all-stripe
+// operations and per-stripe iteration overhead stay negligible.
+inline constexpr uint32_t kDefaultStateShards = 16;
+
+// Prefetches the element an iterator points at, plus — when the mapped value
+// owns out-of-line storage (std::string, etc.) — its payload. The serialize
+// walks rotate across num_shards pointer-chased node streams, which is more
+// than the hardware prefetcher tracks; chaining a one-ahead software
+// prefetch keeps two misses in flight and roughly halves the walk's wall
+// time for out-of-line values (measured on 200-byte strings).
+template <typename It>
+inline void PrefetchRecord(It it) {
+  __builtin_prefetch(std::addressof(*it));
+  if constexpr (requires { it->second.data(); }) {
+    __builtin_prefetch(it->second.data());
+  }
+}
+
+template <typename Shard>
+class ShardedState {
+ public:
+  using DeltaId = typename Shard::DeltaId;
+
+  struct Stripe {
+    mutable std::shared_mutex mutex;
+    Shard data;
+    DeltaTracker<DeltaId> delta;
+  };
+
+  explicit ShardedState(uint32_t num_shards = kDefaultStateShards) {
+    uint32_t n = 1;
+    while (n < num_shards && n < 1024) {
+      n <<= 1;  // round up to a power of two so routing is a mask
+    }
+    num_shards_ = n;
+    mask_ = n - 1;
+    stripes_ = std::make_unique<Stripe[]>(n);
+  }
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t ShardOf(uint64_t hash) const {
+    return static_cast<uint32_t>(hash & mask_);
+  }
+
+  Stripe& stripe(uint32_t s) { return stripes_[s]; }
+  const Stripe& stripe(uint32_t s) const { return stripes_[s]; }
+
+  bool checkpoint_active() const {
+    return checkpoint_active_.load(std::memory_order_acquire);
+  }
+
+  // --- Single-stripe access -------------------------------------------------
+  // fn(Shard&, DeltaTracker<DeltaId>&, bool checkpoint_active) under the
+  // owning stripe's exclusive lock.
+  template <typename Fn>
+  decltype(auto) Write(uint64_t hash, Fn&& fn) {
+    Stripe& st = stripes_[ShardOf(hash)];
+    std::unique_lock<std::shared_mutex> lock(st.mutex);
+    return fn(st.data, st.delta,
+              checkpoint_active_.load(std::memory_order_relaxed));
+  }
+
+  // fn(const Shard&, bool checkpoint_active) under the owning stripe's shared
+  // lock.
+  template <typename Fn>
+  decltype(auto) Read(uint64_t hash, Fn&& fn) const {
+    const Stripe& st = stripes_[ShardOf(hash)];
+    std::shared_lock<std::shared_mutex> lock(st.mutex);
+    return fn(st.data, checkpoint_active_.load(std::memory_order_relaxed));
+  }
+
+  // --- Sequential all-stripe visitors --------------------------------------
+  // One stripe locked at a time: shard-locally consistent, no global cut.
+  // fn(const Shard&, bool checkpoint_active) per stripe.
+  template <typename Fn>
+  void ReadEach(Fn&& fn) const {
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      const Stripe& st = stripes_[s];
+      std::shared_lock<std::shared_mutex> lock(st.mutex);
+      fn(st.data, checkpoint_active_.load(std::memory_order_relaxed));
+    }
+  }
+
+  // Whole-backend mutation: `fn(bool checkpoint_active)` runs once with every
+  // stripe held exclusively; the body may touch any stripe via stripe(s).
+  // The flag is sampled under the guard, so active-checkpoint precondition
+  // checks made inside fn are race-free.
+  template <typename Fn>
+  decltype(auto) WriteAll(Fn&& fn) {
+    AllWriteGuard guard(*this);
+    return fn(checkpoint_active_.load(std::memory_order_relaxed));
+  }
+
+  // Whole-backend read: `fn(bool checkpoint_active)` with every stripe held
+  // shared — a consistent cut for cross-stripe reads (ToDense, Multiply).
+  template <typename Fn>
+  decltype(auto) ReadAll(Fn&& fn) const {
+    AllReadGuard guard(*this);
+    return fn(checkpoint_active_.load(std::memory_order_relaxed));
+  }
+
+  // --- Whole-backend guards -------------------------------------------------
+  // Every stripe locked simultaneously, acquired in index order.
+  class AllWriteGuard {
+   public:
+    explicit AllWriteGuard(ShardedState& owner) : owner_(owner) {
+      for (uint32_t s = 0; s < owner_.num_shards_; ++s) {
+        owner_.stripes_[s].mutex.lock();
+      }
+    }
+    ~AllWriteGuard() {
+      for (uint32_t s = owner_.num_shards_; s > 0; --s) {
+        owner_.stripes_[s - 1].mutex.unlock();
+      }
+    }
+    AllWriteGuard(const AllWriteGuard&) = delete;
+    AllWriteGuard& operator=(const AllWriteGuard&) = delete;
+
+   private:
+    ShardedState& owner_;
+  };
+
+  class AllReadGuard {
+   public:
+    explicit AllReadGuard(const ShardedState& owner) : owner_(owner) {
+      for (uint32_t s = 0; s < owner_.num_shards_; ++s) {
+        owner_.stripes_[s].mutex.lock_shared();
+      }
+    }
+    ~AllReadGuard() {
+      for (uint32_t s = owner_.num_shards_; s > 0; --s) {
+        owner_.stripes_[s - 1].mutex.unlock_shared();
+      }
+    }
+    AllReadGuard(const AllReadGuard&) = delete;
+    AllReadGuard& operator=(const AllReadGuard&) = delete;
+
+   private:
+    const ShardedState& owner_;
+  };
+
+  // --- Checkpoint protocol (§5) --------------------------------------------
+  // All stripes held exclusively: the snapshot is an atomic cut, exactly the
+  // semantics the single-mutex backends had.
+  void BeginCheckpoint(const char* type_name) {
+    AllWriteGuard guard(*this);
+    SDG_CHECK(!checkpoint_active_.load(std::memory_order_relaxed))
+        << "checkpoint already active on " << type_name;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      stripes_[s].delta.Freeze();
+    }
+    checkpoint_active_.store(true, std::memory_order_release);
+  }
+
+  // fn(uint32_t stripe, Shard&) folds that stripe's overlay into its main
+  // structure and returns the number of entries consolidated.
+  template <typename Fn>
+  uint64_t EndCheckpoint(const char* type_name, Fn&& consolidate) {
+    AllWriteGuard guard(*this);
+    SDG_CHECK(checkpoint_active_.load(std::memory_order_relaxed))
+        << "EndCheckpoint without BeginCheckpoint on " << type_name;
+    uint64_t total = 0;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      total += consolidate(s, stripes_[s].data);
+    }
+    checkpoint_active_.store(false, std::memory_order_release);
+    return total;
+  }
+
+  // Serialise-time lock for one stripe: none while a checkpoint is active
+  // (main and the frozen delta set are immutable — and taking even a shared
+  // lock would contend with overlay writers), shared otherwise.
+  std::shared_lock<std::shared_mutex> SerializeLock(uint32_t s) const {
+    if (checkpoint_active()) {
+      return std::shared_lock<std::shared_mutex>(stripes_[s].mutex,
+                                                 std::defer_lock);
+    }
+    return std::shared_lock<std::shared_mutex>(stripes_[s].mutex);
+  }
+
+  // Serialise-time lock for a whole-backend walk (e.g. an interleaved
+  // cross-stripe iteration): every stripe shared while quiesced, nothing
+  // while a checkpoint is active — holding stripe locks across the full walk
+  // would stall overlay writers and break the async-checkpoint contract.
+  class SerializeAllLock {
+   public:
+    explicit SerializeAllLock(const ShardedState& owner) {
+      if (!owner.checkpoint_active()) {
+        guard_.emplace(owner);
+      }
+    }
+
+   private:
+    std::optional<AllReadGuard> guard_;
+  };
+
+  SerializeAllLock SerializeLockAll() const { return SerializeAllLock(*this); }
+
+  // --- Delta epochs ---------------------------------------------------------
+  void EnableDeltaTracking() {
+    AllWriteGuard guard(*this);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      stripes_[s].delta.Enable();
+    }
+  }
+
+  // Stripe trackers transition in lockstep under the all-stripe guard except
+  // for restore/repartition invalidation, which is per-stripe — so the
+  // backend is delta-ready only when every stripe still has its baseline.
+  bool DeltaReady() const {
+    AllReadGuard guard(*this);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      if (!stripes_[s].delta.Ready()) {
+        return false;
+      }
+    }
+    return num_shards_ > 0;
+  }
+
+  void ResolveEpoch(bool committed) {
+    AllWriteGuard guard(*this);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      stripes_[s].delta.Resolve(committed);
+    }
+  }
+
+  // fn(uint32_t stripe, Shard&) clears that stripe's containers. Also
+  // invalidates every delta tracker. Leaves the checkpoint flag untouched
+  // (matching the historical Clear semantics).
+  template <typename Fn>
+  void ClearAll(Fn&& clear) {
+    AllWriteGuard guard(*this);
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      clear(s, stripes_[s].data);
+      stripes_[s].delta.Invalidate();
+    }
+  }
+
+  size_t DeltaChangedCount() const {
+    AllReadGuard guard(*this);
+    size_t n = 0;
+    for (uint32_t s = 0; s < num_shards_; ++s) {
+      n += stripes_[s].delta.ChangedCount();
+    }
+    return n;
+  }
+
+ private:
+  uint32_t num_shards_ = 0;
+  uint64_t mask_ = 0;
+  std::unique_ptr<Stripe[]> stripes_;
+  // Flips only under AllWriteGuard; atomic so checkpoint_active() can be
+  // observed without any stripe lock.
+  std::atomic<bool> checkpoint_active_{false};
+};
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_SHARDED_STATE_H_

@@ -1,5 +1,6 @@
 #include "src/state/sparse_matrix.h"
 
+#include <iterator>
 #include <algorithm>
 
 #include "src/common/hash.h"
@@ -9,76 +10,90 @@
 namespace sdg::state {
 
 double SparseMatrix::Get(int64_t row, int64_t col) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (checkpoint_active_) {
-    auto rit = dirty_.find(row);
-    if (rit != dirty_.end()) {
-      auto cit = rit->second.find(col);
-      if (cit != rit->second.end()) {
-        return cit->second;
-      }
-    }
-  }
-  auto rit = main_.find(row);
-  if (rit == main_.end()) {
-    return 0.0;
-  }
-  auto cit = rit->second.find(col);
-  return cit == rit->second.end() ? 0.0 : cit->second;
+  return shards_.Read(
+      Codec<int64_t>::Hash(row), [&](const SparseShard& sh, bool active) {
+        if (active) {
+          auto rit = sh.dirty.find(row);
+          if (rit != sh.dirty.end()) {
+            auto cit = rit->second.find(col);
+            if (cit != rit->second.end()) {
+              return cit->second;
+            }
+          }
+        }
+        auto rit = sh.main.find(row);
+        if (rit == sh.main.end()) {
+          return 0.0;
+        }
+        auto cit = rit->second.find(col);
+        return cit == rit->second.end() ? 0.0 : cit->second;
+      });
 }
 
 void SparseMatrix::Set(int64_t row, int64_t col, double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Touch(row);
-  if (checkpoint_active_) {
-    dirty_[row][col] = v;
-  } else {
-    main_[row][col] = v;
-  }
+  shards_.Write(Codec<int64_t>::Hash(row),
+                [&](SparseShard& sh, DeltaTracker<int64_t>& delta,
+                    bool active) {
+                  if (delta.enabled()) {
+                    delta.Touch(row);
+                  }
+                  if (active) {
+                    sh.dirty[row][col] = v;
+                  } else {
+                    sh.main[row][col] = v;
+                  }
+                });
 }
 
-void SparseMatrix::Add(int64_t row, int64_t col, double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Touch(row);
-  if (checkpoint_active_) {
-    auto rit = dirty_.find(row);
-    if (rit != dirty_.end()) {
-      auto cit = rit->second.find(col);
-      if (cit != rit->second.end()) {
-        cit->second += delta;
-        return;
-      }
-    }
-    double base = 0.0;
-    auto mit = main_.find(row);
-    if (mit != main_.end()) {
-      auto cit = mit->second.find(col);
-      if (cit != mit->second.end()) {
-        base = cit->second;
-      }
-    }
-    dirty_[row][col] = base + delta;
-  } else {
-    main_[row][col] += delta;
-  }
+void SparseMatrix::Add(int64_t row, int64_t col, double delta_v) {
+  shards_.Write(
+      Codec<int64_t>::Hash(row),
+      [&](SparseShard& sh, DeltaTracker<int64_t>& delta, bool active) {
+        if (delta.enabled()) {
+          delta.Touch(row);
+        }
+        if (active) {
+          auto rit = sh.dirty.find(row);
+          if (rit != sh.dirty.end()) {
+            auto cit = rit->second.find(col);
+            if (cit != rit->second.end()) {
+              cit->second += delta_v;
+              return;
+            }
+          }
+          double base = 0.0;
+          auto mit = sh.main.find(row);
+          if (mit != sh.main.end()) {
+            auto cit = mit->second.find(col);
+            if (cit != mit->second.end()) {
+              base = cit->second;
+            }
+          }
+          sh.dirty[row][col] = base + delta_v;
+        } else {
+          sh.main[row][col] += delta_v;
+        }
+      });
 }
 
 SparseMatrix::Row SparseMatrix::GetRow(int64_t row) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  Row out;
-  auto mit = main_.find(row);
-  if (mit != main_.end()) {
-    out = mit->second;
-  }
-  if (checkpoint_active_) {
-    auto dit = dirty_.find(row);
-    if (dit != dirty_.end()) {
-      for (const auto& [col, v] : dit->second) {
-        out[col] = v;
-      }
-    }
-  }
-  return out;
+  return shards_.Read(Codec<int64_t>::Hash(row),
+                      [&](const SparseShard& sh, bool active) {
+                        Row out;
+                        auto mit = sh.main.find(row);
+                        if (mit != sh.main.end()) {
+                          out = mit->second;
+                        }
+                        if (active) {
+                          auto dit = sh.dirty.find(row);
+                          if (dit != sh.dirty.end()) {
+                            for (const auto& [col, v] : dit->second) {
+                              out[col] = v;
+                            }
+                          }
+                        }
+                        return out;
+                      });
 }
 
 std::vector<double> SparseMatrix::GetRowDense(int64_t row, size_t dim) const {
@@ -94,7 +109,6 @@ std::vector<double> SparseMatrix::GetRowDense(int64_t row, size_t dim) const {
 
 std::vector<double> SparseMatrix::MultiplyDense(const std::vector<double>& x,
                                                 size_t dim) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<double> out(dim, 0.0);
   auto accumulate_row = [&](int64_t row, const Row& cols) {
     if (row < 0 || static_cast<size_t>(row) >= dim) {
@@ -108,80 +122,87 @@ std::vector<double> SparseMatrix::MultiplyDense(const std::vector<double>& x,
     }
     out[static_cast<size_t>(row)] = sum;
   };
-  for (const auto& [row, cols] : main_) {
-    if (checkpoint_active_) {
-      auto dit = dirty_.find(row);
-      if (dit != dirty_.end()) {
-        // Merge dirty columns over the main row for this multiply.
-        Row merged = cols;
-        for (const auto& [c, v] : dit->second) {
-          merged[c] = v;
+  // Rows are disjoint across stripes, so a stripe-at-a-time walk fills
+  // disjoint slots of `out`.
+  shards_.ReadEach([&](const SparseShard& sh, bool active) {
+    for (const auto& [row, cols] : sh.main) {
+      if (active) {
+        auto dit = sh.dirty.find(row);
+        if (dit != sh.dirty.end()) {
+          // Merge dirty columns over the main row for this multiply.
+          Row merged = cols;
+          for (const auto& [c, v] : dit->second) {
+            merged[c] = v;
+          }
+          accumulate_row(row, merged);
+          continue;
         }
-        accumulate_row(row, merged);
-        continue;
+      }
+      accumulate_row(row, cols);
+    }
+    if (active) {
+      for (const auto& [row, cols] : sh.dirty) {
+        if (sh.main.count(row) == 0) {
+          accumulate_row(row, cols);
+        }
       }
     }
-    accumulate_row(row, cols);
-  }
-  if (checkpoint_active_) {
-    for (const auto& [row, cols] : dirty_) {
-      if (main_.count(row) == 0) {
-        accumulate_row(row, cols);
-      }
-    }
-  }
+  });
   return out;
 }
 
 uint64_t SparseMatrix::RowCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  uint64_t n = main_.size();
-  if (checkpoint_active_) {
-    for (const auto& [row, cols] : dirty_) {
-      if (main_.count(row) == 0) {
-        ++n;
-      }
-    }
-  }
-  return n;
-}
-
-uint64_t SparseMatrix::NonZeroCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   uint64_t n = 0;
-  for (const auto& [row, cols] : main_) {
-    n += cols.size();
-  }
-  if (checkpoint_active_) {
-    for (const auto& [row, cols] : dirty_) {
-      auto mit = main_.find(row);
-      for (const auto& [col, v] : cols) {
-        if (mit == main_.end() || mit->second.count(col) == 0) {
+  shards_.ReadEach([&](const SparseShard& sh, bool active) {
+    n += sh.main.size();
+    if (active) {
+      for (const auto& [row, cols] : sh.dirty) {
+        if (sh.main.count(row) == 0) {
           ++n;
         }
       }
     }
-  }
+  });
+  return n;
+}
+
+uint64_t SparseMatrix::NonZeroCount() const {
+  uint64_t n = 0;
+  shards_.ReadEach([&](const SparseShard& sh, bool active) {
+    for (const auto& [row, cols] : sh.main) {
+      n += cols.size();
+    }
+    if (active) {
+      for (const auto& [row, cols] : sh.dirty) {
+        auto mit = sh.main.find(row);
+        for (const auto& [col, v] : cols) {
+          if (mit == sh.main.end() || mit->second.count(col) == 0) {
+            ++n;
+          }
+        }
+      }
+    }
+  });
   return n;
 }
 
 size_t SparseMatrix::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   size_t entries = 0;
-  for (const auto& [row, cols] : main_) {
-    entries += cols.size();
-  }
-  for (const auto& [row, cols] : dirty_) {
-    entries += cols.size();
-  }
-  return entries * 24 + (main_.size() + dirty_.size()) * 48;
+  size_t rows = 0;
+  shards_.ReadEach([&](const SparseShard& sh, bool) {
+    for (const auto& [row, cols] : sh.main) {
+      entries += cols.size();
+    }
+    for (const auto& [row, cols] : sh.dirty) {
+      entries += cols.size();
+    }
+    rows += sh.main.size() + sh.dirty.size();
+  });
+  return entries * 24 + rows * 48;
 }
 
 void SparseMatrix::BeginCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on SparseMatrix";
-  checkpoint_active_ = true;
-  delta_.Freeze();
+  shards_.BeginCheckpoint("SparseMatrix");
 }
 
 void SparseMatrix::EncodeRow(BinaryWriter& w, int64_t row, const Row& cols) {
@@ -194,54 +215,85 @@ void SparseMatrix::EncodeRow(BinaryWriter& w, int64_t row, const Row& cols) {
 }
 
 void SparseMatrix::SerializeRecords(const RecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
+  // Interleaved cross-stripe walk: stripe assignment is hash-random, so a
+  // round-robin pass visits row nodes in near allocation order instead of
+  // num_shards scattered passes (see KeyedDict::SerializeRecords).
+  auto all = shards_.SerializeLockAll();
+  const uint32_t n = shards_.num_shards();
+  std::vector<RowMap::const_iterator> it(n);
+  std::vector<RowMap::const_iterator> end(n);
+  for (uint32_t s = 0; s < n; ++s) {
+    it[s] = shards_.stripe(s).data.main.begin();
+    end[s] = shards_.stripe(s).data.main.end();
   }
-  for (const auto& [row, cols] : main_) {
-    BinaryWriter w;
+  BinaryWriter w;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t s = 0; s < n; ++s) {
+      if (it[s] == end[s]) {
+        continue;
+      }
+      if (auto next = std::next(it[s]); next != end[s]) {
+        PrefetchRecord(next);  // one rotation of lead time per stripe
+      }
+      const auto& [row, cols] = *it[s];
+      w.Clear();
+      EncodeRow(w, row, cols);
+      sink(Codec<int64_t>::Hash(row), w.buffer().data(), w.buffer().size());
+      ++it[s];
+      progress = true;
+    }
+  }
+}
+
+void SparseMatrix::SerializeShardRecords(uint32_t shard,
+                                         const RecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  BinaryWriter w;
+  for (const auto& [row, cols] : shards_.stripe(shard).data.main) {
+    w.Clear();
     EncodeRow(w, row, cols);
     sink(Codec<int64_t>::Hash(row), w.buffer().data(), w.buffer().size());
   }
 }
 
 uint64_t SparseMatrix::EndCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
-  uint64_t consolidated = 0;
-  for (auto& [row, cols] : dirty_) {
-    consolidated += cols.size();
-    auto& target = main_[row];
-    for (auto& [col, v] : cols) {
-      target[col] = v;
+  return shards_.EndCheckpoint("SparseMatrix", [](uint32_t, SparseShard& sh) {
+    uint64_t consolidated = 0;
+    for (auto& [row, cols] : sh.dirty) {
+      consolidated += cols.size();
+      auto& target = sh.main[row];
+      for (auto& [col, v] : cols) {
+        target[col] = v;
+      }
     }
-  }
-  dirty_.clear();
-  checkpoint_active_ = false;
-  return consolidated;
+    sh.dirty.clear();
+    return consolidated;
+  });
 }
 
-void SparseMatrix::EnableDeltaTracking() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Enable();
-}
+void SparseMatrix::EnableDeltaTracking() { shards_.EnableDeltaTracking(); }
 
-bool SparseMatrix::DeltaReady() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return delta_.Ready();
-}
+bool SparseMatrix::DeltaReady() const { return shards_.DeltaReady(); }
 
 void SparseMatrix::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
+  for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+    SerializeShardDirtyRecords(s, sink);
   }
-  for (int64_t row : delta_.frozen()) {
-    auto it = main_.find(row);
-    if (it == main_.end()) {
+}
+
+void SparseMatrix::SerializeShardDirtyRecords(
+    uint32_t shard, const DeltaRecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  const auto& stripe = shards_.stripe(shard);
+  BinaryWriter w;
+  for (int64_t row : stripe.delta.frozen()) {
+    auto it = stripe.data.main.find(row);
+    if (it == stripe.data.main.end()) {
       continue;  // first touched while diverted to the overlay; folded later
     }
-    BinaryWriter w;
+    w.Clear();
     EncodeRow(w, row, it->second);
     sink(Codec<int64_t>::Hash(row), w.buffer().data(), w.buffer().size(),
          /*tombstone=*/false);
@@ -249,53 +301,67 @@ void SparseMatrix::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
 }
 
 void SparseMatrix::ResolveEpoch(bool committed) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Resolve(committed);
+  shards_.ResolveEpoch(committed);
 }
 
 void SparseMatrix::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  main_.clear();
-  dirty_.clear();
-  delta_.Invalidate();
+  shards_.ClearAll([](uint32_t, SparseShard& sh) {
+    sh.main.clear();
+    sh.dirty.clear();
+  });
 }
 
 Status SparseMatrix::RestoreRecord(const uint8_t* payload, size_t size) {
   BinaryReader r(payload, size);
   SDG_ASSIGN_OR_RETURN(int64_t row, r.Read<int64_t>());
   SDG_ASSIGN_OR_RETURN(uint64_t count, r.Read<uint64_t>());
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& target = main_[row];
-  target.reserve(std::min<uint64_t>(count, r.remaining() / 16));
-  for (uint64_t i = 0; i < count; ++i) {
-    SDG_ASSIGN_OR_RETURN(int64_t col, r.Read<int64_t>());
-    SDG_ASSIGN_OR_RETURN(double v, r.Read<double>());
-    target[col] = v;
-  }
-  delta_.Invalidate();
-  return Status::Ok();
+  Status status = Status::Ok();
+  shards_.Write(
+      Codec<int64_t>::Hash(row),
+      [&](SparseShard& sh, DeltaTracker<int64_t>& delta, bool) {
+        auto& target = sh.main[row];
+        target.reserve(std::min<uint64_t>(count, r.remaining() / 16));
+        for (uint64_t i = 0; i < count; ++i) {
+          auto col = r.Read<int64_t>();
+          auto v = r.Read<double>();
+          if (!col.ok() || !v.ok()) {
+            status = Status(StatusCode::kDataLoss,
+                            "short SparseMatrix row record");
+            return;
+          }
+          target[col.value()] = v.value();
+        }
+        delta.Invalidate();
+      });
+  return status;
 }
 
 Status SparseMatrix::ExtractPartition(uint32_t part, uint32_t num_parts,
                                       const RecordSink& sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (checkpoint_active_) {
-    return FailedPreconditionError(
-        "cannot repartition SparseMatrix during an active checkpoint");
-  }
-  for (auto it = main_.begin(); it != main_.end();) {
-    uint64_t h = Codec<int64_t>::Hash(it->first);
-    if (h % num_parts == part) {
-      BinaryWriter w;
-      EncodeRow(w, it->first, it->second);
-      sink(h, w.buffer().data(), w.buffer().size());
-      it = main_.erase(it);
-    } else {
-      ++it;
+  return shards_.WriteAll([&](bool active) -> Status {
+    if (active) {
+      return FailedPreconditionError(
+          "cannot repartition SparseMatrix during an active checkpoint");
     }
-  }
-  delta_.Invalidate();
-  return Status::Ok();
+    BinaryWriter w;
+    for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+      auto& stripe = shards_.stripe(s);
+      for (auto it = stripe.data.main.begin();
+           it != stripe.data.main.end();) {
+        uint64_t h = Codec<int64_t>::Hash(it->first);
+        if (h % num_parts == part) {
+          w.Clear();
+          EncodeRow(w, it->first, it->second);
+          sink(h, w.buffer().data(), w.buffer().size());
+          it = stripe.data.main.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      stripe.delta.Invalidate();
+    }
+    return Status::Ok();
+  });
 }
 
 }  // namespace sdg::state

@@ -5,17 +5,19 @@
 // `coOcc` as a @Partial SE (replicated, updated independently, read globally
 // via multiply + merge). Rows are the unit of partitioning and of checkpoint
 // records; dirty state is a (row, col) -> value overlay.
+//
+// Striping: rows are distributed over ShardedState stripes by their row-key
+// hash (the same hash every checkpoint record carries), so single-row
+// operations take only one stripe lock and serialisation fans out per shard.
 #ifndef SDG_STATE_SPARSE_MATRIX_H_
 #define SDG_STATE_SPARSE_MATRIX_H_
 
-#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/serialize.h"
-#include "src/state/delta_tracker.h"
+#include "src/state/sharded_state.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -23,8 +25,10 @@ namespace sdg::state {
 class SparseMatrix final : public StateBackend {
  public:
   using Row = std::unordered_map<int64_t, double>;
+  using RowMap = std::unordered_map<int64_t, Row>;
 
-  SparseMatrix() = default;
+  explicit SparseMatrix(uint32_t num_shards = kDefaultStateShards)
+      : shards_(num_shards) {}
 
   // --- Matrix operations ----------------------------------------------------
 
@@ -56,7 +60,7 @@ class SparseMatrix final : public StateBackend {
   void SerializeRecords(const RecordSink& sink) const override;
   uint64_t EndCheckpoint() override;
   bool checkpoint_active() const override {
-    return checkpoint_active_.load(std::memory_order_acquire);
+    return shards_.checkpoint_active();
   }
 
   void EnableDeltaTracking() override;
@@ -64,19 +68,31 @@ class SparseMatrix final : public StateBackend {
   void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
   void ResolveEpoch(bool committed) override;
 
+  uint32_t SerializeShardCount() const override {
+    return shards_.num_shards();
+  }
+  void SerializeShardRecords(uint32_t shard,
+                             const RecordSink& sink) const override;
+  void SerializeShardDirtyRecords(uint32_t shard,
+                                  const DeltaRecordSink& sink) const override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
  private:
+  // One stripe's slice of the row maps: main rows plus the checkpoint
+  // overlay, both keyed to this stripe by the row hash.
+  struct SparseShard {
+    using DeltaId = int64_t;  // delta granularity: rows
+    std::unordered_map<int64_t, Row> main;
+    std::unordered_map<int64_t, Row> dirty;
+  };
+
   static void EncodeRow(BinaryWriter& w, int64_t row, const Row& cols);
 
-  mutable std::mutex mutex_;
-  std::unordered_map<int64_t, Row> main_;
-  std::unordered_map<int64_t, Row> dirty_;
-  DeltaTracker<int64_t> delta_;  // delta granularity: rows
-  std::atomic<bool> checkpoint_active_{false};
+  ShardedState<SparseShard> shards_;
 };
 
 }  // namespace sdg::state

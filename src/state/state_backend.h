@@ -88,6 +88,29 @@ class StateBackend {
   // at the last BeginCheckpoint. Call after EndCheckpoint.
   virtual void ResolveEpoch(bool committed) { (void)committed; }
 
+  // --- Sharded serialisation -------------------------------------------------
+  // Backends striped with ShardedState expose their stripes so the checkpoint
+  // driver can fan SerializeRecords out across a thread pool: shard s emits
+  // exactly the records whose routing hash maps to stripe s, and the shards
+  // partition the state, so any interleaving of the per-shard emissions
+  // reconstructs the same state (chunk routing stays hash-based and record
+  // order within a chunk is not meaningful). Same concurrency contract as
+  // SerializeRecords. Defaults make unsharded backends valid single-shard
+  // participants.
+  virtual uint32_t SerializeShardCount() const { return 1; }
+  virtual void SerializeShardRecords(uint32_t shard,
+                                     const RecordSink& sink) const {
+    if (shard == 0) {
+      SerializeRecords(sink);
+    }
+  }
+  virtual void SerializeShardDirtyRecords(uint32_t shard,
+                                          const DeltaRecordSink& sink) const {
+    if (shard == 0) {
+      SerializeDirtyRecords(sink);
+    }
+  }
+
   // --- Restore --------------------------------------------------------------
   virtual void Clear() = 0;
   // Merges one record previously produced by SerializeRecords.

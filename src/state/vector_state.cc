@@ -5,74 +5,125 @@
 namespace sdg::state {
 
 double VectorState::Get(size_t i) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (checkpoint_active_) {
-    auto it = dirty_.find(i);
-    if (it != dirty_.end()) {
-      return it->second;
+  return shards_.Read(HashOfIndex(i), [&](const VecShard& sh, bool active) {
+    if (active) {
+      auto it = sh.dirty.find(i);
+      if (it != sh.dirty.end()) {
+        return it->second;
+      }
     }
-  }
-  return i < data_.size() ? data_[i] : 0.0;
+    // data_ resizes only with every stripe exclusive, so size and element
+    // reads under this stripe's shared lock are race-free.
+    return i < data_.size() ? data_[i] : 0.0;
+  });
 }
 
 void VectorState::Set(size_t i, double v) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Touch(i / kBlockSize);
-  if (checkpoint_active_) {
-    dirty_[i] = v;
+  const uint64_t h = HashOfIndex(i);
+  bool done = shards_.Write(
+      h, [&](VecShard& sh, DeltaTracker<size_t>& delta, bool active) {
+        if (delta.enabled()) {
+          delta.Touch(i / kBlockSize);
+        }
+        if (active) {
+          sh.dirty[i] = v;  // writes beyond size stay in the overlay
+          return true;
+        }
+        if (i < data_.size()) {
+          data_[i] = v;
+          return true;
+        }
+        return false;  // needs growth: escalate to the all-stripe lock
+      });
+  if (done) {
     return;
   }
-  if (i >= data_.size()) {
-    data_.resize(i + 1, 0.0);
-  }
-  data_[i] = v;
+  shards_.WriteAll([&](bool active) {
+    auto& stripe = shards_.stripe(shards_.ShardOf(h));
+    if (active) {  // a checkpoint began between the two lock scopes
+      stripe.data.dirty[i] = v;
+      return;
+    }
+    if (i >= data_.size()) {
+      data_.resize(i + 1, 0.0);
+    }
+    data_[i] = v;
+  });
 }
 
-void VectorState::Add(size_t i, double delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Touch(i / kBlockSize);
-  if (checkpoint_active_) {
-    auto it = dirty_.find(i);
-    double base = it != dirty_.end()
-                      ? it->second
-                      : (i < data_.size() ? data_[i] : 0.0);
-    dirty_[i] = base + delta;
+void VectorState::Add(size_t i, double delta_v) {
+  const uint64_t h = HashOfIndex(i);
+  bool done = shards_.Write(
+      h, [&](VecShard& sh, DeltaTracker<size_t>& delta, bool active) {
+        if (delta.enabled()) {
+          delta.Touch(i / kBlockSize);
+        }
+        if (active) {
+          auto it = sh.dirty.find(i);
+          double base = it != sh.dirty.end()
+                            ? it->second
+                            : (i < data_.size() ? data_[i] : 0.0);
+          sh.dirty[i] = base + delta_v;
+          return true;
+        }
+        if (i < data_.size()) {
+          data_[i] += delta_v;
+          return true;
+        }
+        return false;
+      });
+  if (done) {
     return;
   }
-  if (i >= data_.size()) {
-    data_.resize(i + 1, 0.0);
-  }
-  data_[i] += delta;
+  shards_.WriteAll([&](bool active) {
+    auto& stripe = shards_.stripe(shards_.ShardOf(h));
+    if (active) {
+      auto it = stripe.data.dirty.find(i);
+      double base = it != stripe.data.dirty.end()
+                        ? it->second
+                        : (i < data_.size() ? data_[i] : 0.0);
+      stripe.data.dirty[i] = base + delta_v;
+      return;
+    }
+    if (i >= data_.size()) {
+      data_.resize(i + 1, 0.0);
+    }
+    data_[i] += delta_v;
+  });
 }
 
 void VectorState::Accumulate(const std::vector<double>& other) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (size_t block = 0; block * kBlockSize < other.size(); ++block) {
-    delta_.Touch(block);
-  }
-  if (checkpoint_active_) {
-    for (size_t i = 0; i < other.size(); ++i) {
-      auto it = dirty_.find(i);
-      double base = it != dirty_.end()
-                        ? it->second
-                        : (i < data_.size() ? data_[i] : 0.0);
-      dirty_[i] = base + other[i];
+  shards_.WriteAll([&](bool active) {
+    for (size_t block = 0; block * kBlockSize < other.size(); ++block) {
+      auto& delta = shards_.stripe(shards_.ShardOf(BlockHash(block))).delta;
+      if (delta.enabled()) {
+        delta.Touch(block);
+      }
     }
-    return;
-  }
-  if (other.size() > data_.size()) {
-    data_.resize(other.size(), 0.0);
-  }
-  for (size_t i = 0; i < other.size(); ++i) {
-    data_[i] += other[i];
-  }
+    if (active) {
+      for (size_t i = 0; i < other.size(); ++i) {
+        auto& dirty = shards_.stripe(shards_.ShardOf(HashOfIndex(i))).data.dirty;
+        auto it = dirty.find(i);
+        double base = it != dirty.end()
+                          ? it->second
+                          : (i < data_.size() ? data_[i] : 0.0);
+        dirty[i] = base + other[i];
+      }
+      return;
+    }
+    if (other.size() > data_.size()) {
+      data_.resize(other.size(), 0.0);
+    }
+    for (size_t i = 0; i < other.size(); ++i) {
+      data_[i] += other[i];
+    }
+  });
 }
 
-std::vector<double> VectorState::ToDense() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::vector<double> VectorState::MergedLocked() const {
   std::vector<double> out = data_;
-  if (checkpoint_active_) {
-    for (const auto& [i, v] : dirty_) {
+  for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+    for (const auto& [i, v] : shards_.stripe(s).data.dirty) {
       if (i >= out.size()) {
         out.resize(i + 1, 0.0);
       }
@@ -82,100 +133,131 @@ std::vector<double> VectorState::ToDense() const {
   return out;
 }
 
-size_t VectorState::LogicalSize() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t n = data_.size();
-  if (checkpoint_active_) {
-    for (const auto& [i, v] : dirty_) {
-      n = std::max(n, i + 1);
+std::vector<double> VectorState::ToDense() const {
+  return shards_.ReadAll([&](bool active) {
+    if (!active) {
+      return data_;
     }
-  }
-  return n;
+    return MergedLocked();
+  });
+}
+
+size_t VectorState::LogicalSize() const {
+  return shards_.ReadAll([&](bool active) {
+    size_t n = data_.size();
+    if (active) {
+      for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+        for (const auto& [i, v] : shards_.stripe(s).data.dirty) {
+          n = std::max(n, i + 1);
+        }
+      }
+    }
+    return n;
+  });
 }
 
 size_t VectorState::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return data_.size() * sizeof(double) + dirty_.size() * 24;
+  return shards_.ReadAll([&](bool) {
+    size_t n = data_.size() * sizeof(double);
+    for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+      n += shards_.stripe(s).data.dirty.size() * 24;
+    }
+    return n;
+  });
 }
 
-void VectorState::BeginCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(!checkpoint_active_) << "checkpoint already active on VectorState";
-  checkpoint_active_ = true;
-  delta_.Freeze();
-}
+void VectorState::BeginCheckpoint() { shards_.BeginCheckpoint("VectorState"); }
 
 void VectorState::SerializeRecords(const RecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
-  }
+  // Whole-backend serialise walks the dense array once in block order — one
+  // sequential sweep instead of num_shards passes each skipping the blocks
+  // the other stripes own.
+  auto all = shards_.SerializeLockAll();
+  BinaryWriter w;
   for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
     size_t begin = block * kBlockSize;
     size_t end = std::min(begin + kBlockSize, data_.size());
-    BinaryWriter w;
+    w.Clear();
     w.Write<uint64_t>(block);
     w.Write<uint64_t>(end - begin);
     w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
-    sink(MixHash64(block), w.buffer().data(), w.buffer().size());
+    sink(BlockHash(block), w.buffer().data(), w.buffer().size());
+  }
+}
+
+void VectorState::SerializeShardRecords(uint32_t shard,
+                                        const RecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  BinaryWriter w;
+  for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
+    uint64_t h = BlockHash(block);
+    if (shards_.ShardOf(h) != shard) {
+      continue;
+    }
+    size_t begin = block * kBlockSize;
+    size_t end = std::min(begin + kBlockSize, data_.size());
+    w.Clear();
+    w.Write<uint64_t>(block);
+    w.Write<uint64_t>(end - begin);
+    w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
+    sink(h, w.buffer().data(), w.buffer().size());
   }
 }
 
 uint64_t VectorState::EndCheckpoint() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  SDG_CHECK(checkpoint_active_) << "EndCheckpoint without BeginCheckpoint";
-  uint64_t consolidated = dirty_.size();
-  for (const auto& [i, v] : dirty_) {
-    if (i >= data_.size()) {
-      data_.resize(i + 1, 0.0);
+  return shards_.EndCheckpoint("VectorState", [&](uint32_t, VecShard& sh) {
+    uint64_t consolidated = sh.dirty.size();
+    for (const auto& [i, v] : sh.dirty) {
+      if (i >= data_.size()) {
+        data_.resize(i + 1, 0.0);
+      }
+      data_[i] = v;
     }
-    data_[i] = v;
-  }
-  dirty_.clear();
-  checkpoint_active_ = false;
-  return consolidated;
+    sh.dirty.clear();
+    return consolidated;
+  });
 }
 
-void VectorState::EnableDeltaTracking() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Enable();
-}
+void VectorState::EnableDeltaTracking() { shards_.EnableDeltaTracking(); }
 
-bool VectorState::DeltaReady() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return delta_.Ready();
-}
+bool VectorState::DeltaReady() const { return shards_.DeltaReady(); }
 
 void VectorState::SerializeDirtyRecords(const DeltaRecordSink& sink) const {
-  std::unique_lock<std::mutex> lock(mutex_, std::defer_lock);
-  if (!checkpoint_active()) {
-    lock.lock();
+  for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+    SerializeShardDirtyRecords(s, sink);
   }
-  for (size_t block : delta_.frozen()) {
+}
+
+void VectorState::SerializeShardDirtyRecords(
+    uint32_t shard, const DeltaRecordSink& sink) const {
+  auto lock = shards_.SerializeLock(shard);
+  BinaryWriter w;
+  for (size_t block : shards_.stripe(shard).delta.frozen()) {
     size_t begin = block * kBlockSize;
     if (begin >= data_.size()) {
       continue;  // touched while diverted to the overlay; folded later
     }
     size_t end = std::min(begin + kBlockSize, data_.size());
-    BinaryWriter w;
+    w.Clear();
     w.Write<uint64_t>(block);
     w.Write<uint64_t>(end - begin);
     w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
-    sink(MixHash64(block), w.buffer().data(), w.buffer().size(),
+    sink(BlockHash(block), w.buffer().data(), w.buffer().size(),
          /*tombstone=*/false);
   }
 }
 
 void VectorState::ResolveEpoch(bool committed) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  delta_.Resolve(committed);
+  shards_.ResolveEpoch(committed);
 }
 
 void VectorState::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  data_.clear();
-  dirty_.clear();
-  delta_.Invalidate();
+  shards_.ClearAll([&](uint32_t s, VecShard& sh) {
+    if (s == 0) {
+      data_.clear();
+    }
+    sh.dirty.clear();
+  });
 }
 
 Status VectorState::RestoreRecord(const uint8_t* payload, size_t size) {
@@ -185,43 +267,64 @@ Status VectorState::RestoreRecord(const uint8_t* payload, size_t size) {
   if (r.remaining() < count * sizeof(double)) {
     return Status(StatusCode::kDataLoss, "short VectorState block record");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t begin = block * kBlockSize;
-  if (begin + count > data_.size()) {
-    data_.resize(begin + count, 0.0);
+  const uint64_t h = BlockHash(block);
+  const size_t begin = block * kBlockSize;
+  auto install = [&](DeltaTracker<size_t>& delta) {
+    for (uint64_t i = 0; i < count; ++i) {
+      auto v = r.Read<double>();
+      data_[begin + i] = v.value();
+    }
+    delta.Invalidate();
+  };
+  // Restores from parallel chunk ingestion land here concurrently: the fast
+  // path takes only the owning stripe's lock; growth escalates.
+  bool done =
+      shards_.Write(h, [&](VecShard&, DeltaTracker<size_t>& delta, bool) {
+        if (begin + count > data_.size()) {
+          return false;
+        }
+        install(delta);
+        return true;
+      });
+  if (!done) {
+    shards_.WriteAll([&](bool) {
+      if (begin + count > data_.size()) {
+        data_.resize(begin + count, 0.0);
+      }
+      install(shards_.stripe(shards_.ShardOf(h)).delta);
+    });
   }
-  for (uint64_t i = 0; i < count; ++i) {
-    auto v = r.Read<double>();
-    data_[begin + i] = v.value();
-  }
-  delta_.Invalidate();
   return Status::Ok();
 }
 
 Status VectorState::ExtractPartition(uint32_t part, uint32_t num_parts,
                                      const RecordSink& sink) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (checkpoint_active_) {
-    return FailedPreconditionError(
-        "cannot repartition VectorState during an active checkpoint");
-  }
-  for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
-    uint64_t h = MixHash64(block);
-    if (h % num_parts != part) {
-      continue;
+  return shards_.WriteAll([&](bool active) -> Status {
+    if (active) {
+      return FailedPreconditionError(
+          "cannot repartition VectorState during an active checkpoint");
     }
-    size_t begin = block * kBlockSize;
-    size_t end = std::min(begin + kBlockSize, data_.size());
     BinaryWriter w;
-    w.Write<uint64_t>(block);
-    w.Write<uint64_t>(end - begin);
-    w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
-    sink(h, w.buffer().data(), w.buffer().size());
-    std::fill(data_.begin() + static_cast<ptrdiff_t>(begin),
-              data_.begin() + static_cast<ptrdiff_t>(end), 0.0);
-  }
-  delta_.Invalidate();
-  return Status::Ok();
+    for (size_t block = 0; block * kBlockSize < data_.size(); ++block) {
+      uint64_t h = BlockHash(block);
+      if (h % num_parts != part) {
+        continue;
+      }
+      size_t begin = block * kBlockSize;
+      size_t end = std::min(begin + kBlockSize, data_.size());
+      w.Clear();
+      w.Write<uint64_t>(block);
+      w.Write<uint64_t>(end - begin);
+      w.WriteBytes(data_.data() + begin, (end - begin) * sizeof(double));
+      sink(h, w.buffer().data(), w.buffer().size());
+      std::fill(data_.begin() + static_cast<ptrdiff_t>(begin),
+                data_.begin() + static_cast<ptrdiff_t>(end), 0.0);
+    }
+    for (uint32_t s = 0; s < shards_.num_shards(); ++s) {
+      shards_.stripe(s).delta.Invalidate();
+    }
+    return Status::Ok();
+  });
 }
 
 }  // namespace sdg::state

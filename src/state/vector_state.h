@@ -4,18 +4,22 @@
 // application) and as the merge result type for partial recommendation
 // vectors in CF. Dirty state is an index->value overlay; checkpoint records
 // are fixed-size blocks so that chunking and range partitioning agree.
+//
+// Striping: the vector stays one contiguous array, but each index block is
+// owned by the stripe its block hash selects — element reads/writes take only
+// that stripe's lock (distinct elements are distinct memory locations, so
+// this is race-free), while growth, Accumulate, Fill-style ops, and the
+// checkpoint transitions take every stripe exclusively via ShardedState.
 #ifndef SDG_STATE_VECTOR_STATE_H_
 #define SDG_STATE_VECTOR_STATE_H_
 
-#include <atomic>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/serialize.h"
-#include "src/state/delta_tracker.h"
+#include "src/state/sharded_state.h"
 #include "src/state/state_backend.h"
 
 namespace sdg::state {
@@ -24,8 +28,9 @@ class VectorState final : public StateBackend {
  public:
   static constexpr size_t kBlockSize = 1024;
 
-  VectorState() = default;
-  explicit VectorState(size_t size) : data_(size, 0.0) {}
+  VectorState() : shards_(kDefaultStateShards) {}
+  explicit VectorState(size_t size, uint32_t num_shards = kDefaultStateShards)
+      : shards_(num_shards), data_(size, 0.0) {}
 
   // --- Vector operations ----------------------------------------------------
 
@@ -39,6 +44,22 @@ class VectorState final : public StateBackend {
   // Snapshot of the logical contents (main overlaid with dirty).
   std::vector<double> ToDense() const;
 
+  // Zero-copy read of the whole vector: `fn(const double*, size_t)` runs with
+  // every stripe held shared. When a checkpoint is active the overlay may
+  // shadow the frozen array, so fn receives a merged temporary instead — the
+  // fast path is the common no-checkpoint case.
+  template <typename Fn>
+  void View(Fn&& fn) const {
+    shards_.ReadAll([&](bool active) {
+      if (!active) {
+        fn(data_.data(), data_.size());
+        return;
+      }
+      std::vector<double> merged = MergedLocked();
+      fn(merged.data(), merged.size());
+    });
+  }
+
   size_t LogicalSize() const;
 
   // --- StateBackend ---------------------------------------------------------
@@ -51,7 +72,7 @@ class VectorState final : public StateBackend {
   void SerializeRecords(const RecordSink& sink) const override;
   uint64_t EndCheckpoint() override;
   bool checkpoint_active() const override {
-    return checkpoint_active_.load(std::memory_order_acquire);
+    return shards_.checkpoint_active();
   }
 
   void EnableDeltaTracking() override;
@@ -59,17 +80,35 @@ class VectorState final : public StateBackend {
   void SerializeDirtyRecords(const DeltaRecordSink& sink) const override;
   void ResolveEpoch(bool committed) override;
 
+  uint32_t SerializeShardCount() const override {
+    return shards_.num_shards();
+  }
+  void SerializeShardRecords(uint32_t shard,
+                             const RecordSink& sink) const override;
+  void SerializeShardDirtyRecords(uint32_t shard,
+                                  const DeltaRecordSink& sink) const override;
+
   void Clear() override;
   Status RestoreRecord(const uint8_t* payload, size_t size) override;
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<double> data_;
-  std::unordered_map<size_t, double> dirty_;
-  DeltaTracker<size_t> delta_;  // delta granularity: kBlockSize index blocks
-  std::atomic<bool> checkpoint_active_{false};
+  // One stripe's slice: the checkpoint overlay for the index blocks this
+  // stripe owns (the dense array itself is shared, element-owned by stripe).
+  struct VecShard {
+    using DeltaId = size_t;  // delta granularity: kBlockSize index blocks
+    std::unordered_map<size_t, double> dirty;
+  };
+
+  static uint64_t BlockHash(size_t block) { return MixHash64(block); }
+  uint64_t HashOfIndex(size_t i) const { return BlockHash(i / kBlockSize); }
+
+  // Merged main+overlay snapshot; caller must hold all stripes (any mode).
+  std::vector<double> MergedLocked() const;
+
+  ShardedState<VecShard> shards_;
+  std::vector<double> data_;  // resized only with all stripes held exclusive
 };
 
 }  // namespace sdg::state

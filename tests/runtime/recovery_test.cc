@@ -125,6 +125,37 @@ TEST(CheckpointTest, ProcessingContinuesDuringAsyncCheckpoint) {
   }
 }
 
+TEST(CheckpointTest, ParallelSerializeFanoutRoundTrip) {
+  // Forces the per-shard serialize fan-out (ckpt_parallelism > 1) plus the
+  // concurrent ChunkStreamWriter, which auto-parallelism would leave off on
+  // a single-core machine, and proves the bytes it writes restore a node.
+  ScopedTestDir dir("ckpt_fanout");
+  auto g = BuildKvGraph();
+  ASSERT_TRUE(g.ok());
+  auto opts = FtCluster(dir.path(), FtMode::kAsyncLocal);
+  opts.fault_tolerance.ckpt_parallelism = 4;
+  Cluster cluster(opts);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+
+  constexpr int64_t kKeys = 2000;
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_TRUE((*d)->Inject("put", Tuple{Value(k), Value(k * 3)}).ok());
+  }
+  (*d)->Drain();
+  ASSERT_TRUE((*d)->CheckpointAllNodes().ok());
+
+  ASSERT_TRUE((*d)->KillNode(0).ok());
+  ASSERT_TRUE((*d)->RecoverNode(0, {1}).ok());
+  (*d)->Drain();
+
+  auto all = ReadAll(**d, kKeys);
+  ASSERT_EQ(all.size(), static_cast<size_t>(kKeys));
+  for (int64_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(all[k], k * 3) << "key " << k << " lost through fan-out ckpt";
+  }
+}
+
 class RecoveryModeTest : public ::testing::TestWithParam<FtMode> {};
 
 TEST_P(RecoveryModeTest, KillAndRecoverOneToOne) {

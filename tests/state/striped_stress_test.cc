@@ -1,0 +1,436 @@
+// Concurrent reader / writer / checkpoint stress over the striped backends.
+//
+// Each test runs writer threads that own disjoint key ranges (so a local,
+// unsynchronised reference model is exact), reader threads hammering the
+// shared-lock paths, and a checkpoint driver that repeatedly:
+//   1. pauses the writers at an op boundary,
+//   2. snapshots the logical contents (the pre-BeginCheckpoint reference),
+//   3. calls BeginCheckpoint and resumes the writers,
+//   4. fans SerializeShardRecords across threads WHILE the writers mutate,
+//   5. restores the collected records into a fresh backend and asserts it
+//      equals the step-2 snapshot (the frozen cut saw none of the overlay),
+//   6. calls EndCheckpoint.
+// After the writers join, the final contents must equal the merged per-writer
+// models — no lost updates across stripes, overlays, or consolidation.
+//
+// Op counts are sized for the TSan CI job (state_test runs under -fsanitize=
+// thread there); the interesting schedules come from the concurrency shape,
+// not volume.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/state/dense_matrix.h"
+#include "src/state/keyed_dict.h"
+#include "src/state/sparse_matrix.h"
+#include "src/state/vector_state.h"
+
+namespace sdg::state {
+namespace {
+
+constexpr int kWriters = 4;
+constexpr int kReaders = 2;
+constexpr int kCheckpointRounds = 3;
+
+// Op-boundary pause gate. A writer calls MaybePause() between state ops; the
+// driver's Pause() returns only once every writer is parked inside it, i.e.
+// no state op is in flight and none can start until Resume().
+class PauseGate {
+ public:
+  void MaybePause() {
+    if (!pause_.load(std::memory_order_acquire)) {
+      return;
+    }
+    paused_.fetch_add(1, std::memory_order_acq_rel);
+    while (pause_.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    paused_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void Pause() {
+    pause_.store(true, std::memory_order_release);
+    while (paused_.load(std::memory_order_acquire) < kWriters) {
+      std::this_thread::yield();
+    }
+  }
+
+  void Resume() {
+    pause_.store(false, std::memory_order_release);
+    while (paused_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  }
+
+ private:
+  std::atomic<bool> pause_{false};
+  std::atomic<int> paused_{0};
+};
+
+struct RawRecord {
+  std::vector<uint8_t> payload;
+};
+
+// Runs backend.SerializeShardRecords across `threads` threads (shards dealt
+// round-robin) and returns every emitted record. Called while a checkpoint is
+// active and writers are mutating the overlay — the whole point.
+template <typename Backend>
+std::vector<RawRecord> ParallelSerialize(const Backend& backend, int threads) {
+  std::mutex mu;
+  std::vector<RawRecord> records;
+  const uint32_t shards = backend.SerializeShardCount();
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      std::vector<RawRecord> local;
+      for (uint32_t s = t; s < shards; s += threads) {
+        backend.SerializeShardRecords(
+            s, [&local](uint64_t, const uint8_t* payload, size_t size) {
+              local.push_back(RawRecord{{payload, payload + size}});
+            });
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& r : local) {
+        records.push_back(std::move(r));
+      }
+    });
+  }
+  for (auto& t : pool) {
+    t.join();
+  }
+  return records;
+}
+
+template <typename Backend>
+void RestoreInto(Backend& backend, const std::vector<RawRecord>& records) {
+  for (const auto& r : records) {
+    ASSERT_TRUE(backend.RestoreRecord(r.payload.data(), r.payload.size()).ok());
+  }
+}
+
+TEST(StripedStressTest, KeyedDictConcurrentCheckpoint) {
+  constexpr int64_t kKeysPerWriter = 64;
+  KeyedDict<int64_t, int64_t> dict;
+  PauseGate gate;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  std::vector<std::map<int64_t, int64_t>> models(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        gate.MaybePause();
+        int64_t key = w * kKeysPerWriter + (i % kKeysPerWriter);
+        dict.Update(key, [](int64_t v) { return v + 1; });
+        ++models[w][key];
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t i = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        int64_t key = i++ % (kWriters * kKeysPerWriter);
+        int64_t seen = 0;
+        dict.View(key, [&seen](const int64_t& v) { seen = v; });
+        ASSERT_GE(seen, 0);
+      }
+    });
+  }
+
+  uint64_t consolidated = 0;
+  for (int round = 0; round < kCheckpointRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.Pause();
+    std::map<int64_t, int64_t> reference;
+    dict.ForEach([&](int64_t k, const int64_t& v) { reference[k] = v; });
+    dict.BeginCheckpoint();
+    gate.Resume();
+
+    // Let writers pile changes into the overlay while we serialise.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto records = ParallelSerialize(dict, /*threads=*/4);
+
+    KeyedDict<int64_t, int64_t> restored;
+    RestoreInto(restored, records);
+    EXPECT_EQ(restored.Size(), reference.size());
+    std::map<int64_t, int64_t> got;
+    restored.ForEach([&](int64_t k, const int64_t& v) { got[k] = v; });
+    EXPECT_EQ(got, reference) << "mid-checkpoint snapshot drifted from the "
+                                 "pre-BeginCheckpoint state in round "
+                              << round;
+    consolidated += dict.EndCheckpoint();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(consolidated, 0u) << "no write ever hit the dirty overlay";
+
+  std::map<int64_t, int64_t> expected;
+  for (const auto& m : models) {
+    for (const auto& [k, v] : m) {
+      expected[k] = v;
+    }
+  }
+  EXPECT_EQ(dict.Size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    EXPECT_EQ(dict.Get(k), v) << "lost update on key " << k;
+  }
+}
+
+TEST(StripedStressTest, VectorStateConcurrentCheckpoint) {
+  constexpr size_t kDims = 2048;
+  VectorState vec(kDims);
+  PauseGate gate;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  std::vector<std::vector<double>> models(kWriters,
+                                          std::vector<double>(kDims, 0.0));
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      size_t i = w;
+      while (!stop.load(std::memory_order_acquire)) {
+        gate.MaybePause();
+        size_t idx = i % kDims;
+        vec.Add(idx, 1.0);
+        models[w][idx] += 1.0;
+        i += kWriters;  // disjoint index sets across writers
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        double sum = 0;
+        vec.View([&sum](const double* d, size_t n) {
+          for (size_t i = 0; i < n; i += 97) {
+            sum += d[i];
+          }
+        });
+        ASSERT_GE(sum, 0.0);
+      }
+    });
+  }
+
+  uint64_t consolidated = 0;
+  for (int round = 0; round < kCheckpointRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.Pause();
+    std::vector<double> reference = vec.ToDense();
+    vec.BeginCheckpoint();
+    gate.Resume();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto records = ParallelSerialize(vec, /*threads=*/4);
+
+    VectorState restored;
+    RestoreInto(restored, records);
+    std::vector<double> got = restored.ToDense();
+    got.resize(reference.size(), 0.0);
+    EXPECT_EQ(got, reference) << "round " << round;
+    consolidated += vec.EndCheckpoint();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(consolidated, 0u);
+
+  std::vector<double> expected(kDims, 0.0);
+  for (const auto& m : models) {
+    for (size_t i = 0; i < kDims; ++i) {
+      expected[i] += m[i];
+    }
+  }
+  std::vector<double> final = vec.ToDense();
+  final.resize(kDims, 0.0);
+  EXPECT_EQ(final, expected) << "lost vector updates";
+}
+
+TEST(StripedStressTest, DenseMatrixConcurrentCheckpoint) {
+  constexpr size_t kRows = 64;
+  constexpr size_t kCols = 16;
+  DenseMatrix mat(kRows, kCols);
+  PauseGate gate;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  std::vector<std::vector<double>> models(
+      kWriters, std::vector<double>(kRows * kCols, 0.0));
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        gate.MaybePause();
+        size_t row = w + kWriters * (i % (kRows / kWriters));  // disjoint rows
+        size_t col = i % kCols;
+        mat.Add(row, col, 1.0);
+        models[w][row * kCols + col] += 1.0;
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      size_t i = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        std::vector<double> row = mat.GetRowDense(i++ % kRows);
+        ASSERT_EQ(row.size(), kCols);
+      }
+    });
+  }
+
+  uint64_t consolidated = 0;
+  for (int round = 0; round < kCheckpointRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.Pause();
+    std::vector<double> reference;
+    for (size_t row = 0; row < kRows; ++row) {
+      auto r = mat.GetRowDense(row);
+      reference.insert(reference.end(), r.begin(), r.end());
+    }
+    mat.BeginCheckpoint();
+    gate.Resume();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto records = ParallelSerialize(mat, /*threads=*/4);
+
+    DenseMatrix restored;
+    RestoreInto(restored, records);
+    ASSERT_EQ(restored.rows(), kRows);
+    ASSERT_EQ(restored.cols(), kCols);
+    std::vector<double> got;
+    for (size_t row = 0; row < kRows; ++row) {
+      auto r = restored.GetRowDense(row);
+      got.insert(got.end(), r.begin(), r.end());
+    }
+    EXPECT_EQ(got, reference) << "round " << round;
+    consolidated += mat.EndCheckpoint();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(consolidated, 0u);
+
+  for (size_t row = 0; row < kRows; ++row) {
+    for (size_t col = 0; col < kCols; ++col) {
+      double expected = 0;
+      for (const auto& m : models) {
+        expected += m[row * kCols + col];
+      }
+      EXPECT_EQ(mat.Get(row, col), expected)
+          << "lost update at (" << row << "," << col << ")";
+    }
+  }
+}
+
+TEST(StripedStressTest, SparseMatrixConcurrentCheckpoint) {
+  constexpr int64_t kRows = 96;
+  constexpr int64_t kCols = 12;
+  SparseMatrix mat;
+  PauseGate gate;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  std::vector<std::map<std::pair<int64_t, int64_t>, double>> models(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        gate.MaybePause();
+        int64_t row = w + kWriters * (i % (kRows / kWriters));  // disjoint rows
+        int64_t col = i % kCols;
+        mat.Add(row, col, 1.0);
+        models[w][{row, col}] += 1.0;
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t i = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        double v = mat.Get(i % kRows, i % kCols);
+        ASSERT_GE(v, 0.0);
+        ++i;
+      }
+    });
+  }
+
+  uint64_t consolidated = 0;
+  for (int round = 0; round < kCheckpointRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.Pause();
+    std::vector<double> reference;
+    for (int64_t row = 0; row < kRows; ++row) {
+      for (int64_t col = 0; col < kCols; ++col) {
+        reference.push_back(mat.Get(row, col));
+      }
+    }
+    mat.BeginCheckpoint();
+    gate.Resume();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto records = ParallelSerialize(mat, /*threads=*/4);
+
+    SparseMatrix restored;
+    RestoreInto(restored, records);
+    std::vector<double> got;
+    for (int64_t row = 0; row < kRows; ++row) {
+      for (int64_t col = 0; col < kCols; ++col) {
+        got.push_back(restored.Get(row, col));
+      }
+    }
+    EXPECT_EQ(got, reference) << "round " << round;
+    consolidated += mat.EndCheckpoint();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(consolidated, 0u);
+
+  for (int64_t row = 0; row < kRows; ++row) {
+    for (int64_t col = 0; col < kCols; ++col) {
+      double expected = 0;
+      for (const auto& m : models) {
+        auto it = m.find({row, col});
+        if (it != m.end()) {
+          expected += it->second;
+        }
+      }
+      EXPECT_EQ(mat.Get(row, col), expected)
+          << "lost update at (" << row << "," << col << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdg::state
