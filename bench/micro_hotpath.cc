@@ -31,6 +31,7 @@ struct Config {
   bool serialize = false;
   size_t max_batch = 256;    // worker mailbox drain limit
   size_t inject_chunk = 64;  // tuples per InjectAll call
+  uint32_t instances = 4;    // materialised `count` instances
 };
 
 int Reps() {
@@ -58,7 +59,7 @@ double RunPipeline(const Config& cfg, double seconds) {
     StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
   });
   (void)b.SetAccess(count, dict, graph::AccessMode::kPartitioned);
-  b.SetInitialInstances(count, 4);
+  b.SetInitialInstances(count, cfg.instances);
   (void)b.Connect(feed, count, graph::Dispatch::kPartitioned, 0);
   auto g = std::move(b).Build();
 
@@ -118,20 +119,30 @@ int main() {
       {"4node_ser_b1", 4, true, /*max_batch=*/1, /*inject_chunk=*/1},
       {"4node_ser_b8", 4, true, /*max_batch=*/8, /*inject_chunk=*/8},
       {"4node_ser_b64", 4, true, /*max_batch=*/64, /*inject_chunk=*/64},
+      // Instance scaling on the shared fixed pool: the same two-hop pipeline
+      // with the stateful stage materialised 64/256/1024-wide. Before the
+      // executor this sweep was unrunnable (one thread per instance); now the
+      // instances multiplex over hw_threads workers and the rows track the
+      // scheduling overhead of an oversubscribed ready set.
+      {"4node_ser_inst64", 4, true, 256, 64, /*instances=*/64},
+      {"4node_ser_inst256", 4, true, 256, 64, /*instances=*/256},
+      {"4node_ser_inst1024", 4, true, 256, 64, /*instances=*/1024},
   };
 
   BenchJson json;
-  std::printf("%-22s %8s %10s %10s %16s\n", "config", "nodes", "serialize",
-              "max_batch", "items/sec");
+  std::printf("%-22s %8s %10s %10s %10s %16s\n", "config", "nodes",
+              "serialize", "max_batch", "instances", "items/sec");
   for (const auto& cfg : configs) {
     double rate = BestOf(reps, cfg, seconds);
-    std::printf("%-22s %8u %10s %10zu %16.0f\n", cfg.name.c_str(), cfg.nodes,
-                cfg.serialize ? "on" : "off", cfg.max_batch, rate);
+    std::printf("%-22s %8u %10s %10zu %10u %16.0f\n", cfg.name.c_str(),
+                cfg.nodes, cfg.serialize ? "on" : "off", cfg.max_batch,
+                cfg.instances, rate);
     json.BeginRow();
     json.Add("config", cfg.name);
     json.Add("nodes", static_cast<uint64_t>(cfg.nodes));
     json.Add("serialize", std::string(cfg.serialize ? "on" : "off"));
     json.Add("max_batch", static_cast<uint64_t>(cfg.max_batch));
+    json.Add("instances", static_cast<uint64_t>(cfg.instances));
     json.Add("reps", static_cast<uint64_t>(reps));
     json.Add("hw_threads", HwThreads());
     json.Add("items_per_sec", rate);

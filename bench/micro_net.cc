@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,19 @@ namespace {
 
 constexpr uint64_t kAckEveryItems = 4096;
 
+// Best-of-reps, as in micro_hotpath: on a shared machine the peak is the
+// stable statistic for the regression gate, the mean measures noise.
+int Reps() {
+  const char* env = std::getenv("SDG_BENCH_REPS");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v > 0) {
+      return v;
+    }
+  }
+  return 3;
+}
+
 struct NetRun {
   double items_per_sec = 0;
   double mib_per_sec = 0;
@@ -40,11 +54,14 @@ struct NetRun {
 };
 
 NetRun MeasureConfig(double duration_s, size_t batch_items,
-                     size_t payload_bytes) {
+                     size_t payload_bytes, bool use_event_loop) {
   std::atomic<uint64_t> received{0};
   std::atomic<uint64_t> last_ts{0};
 
-  net::ChannelServer server(net::ChannelServerOptions{});
+  net::ChannelServerOptions sopts;
+  sopts.mode =
+      use_event_loop ? net::NetMode::kEventLoop : net::NetMode::kThreads;
+  net::ChannelServer server(sopts);
   net::ChannelServer* server_ptr = &server;
   Status started = server.Start(
       [](const net::Handshake&) -> Result<uint64_t> { return 0; },
@@ -69,6 +86,7 @@ NetRun MeasureConfig(double duration_s, size_t batch_items,
   net::RemoteChannelOptions copts;
   copts.port = server.port();
   copts.entry = "bench";
+  copts.use_event_loop = use_event_loop;
   net::RemoteChannel chan(copts, &log);
   if (Status s = chan.Connect(); !s.ok()) {
     std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
@@ -131,29 +149,45 @@ int main() {
 
   const double duration_s = MeasureSeconds(1.0);
 
-  PrintHeader("micro_net", "loopback TCP channel: batch/payload sweep");
-  std::printf("  %-22s %12s %10s %10s %10s %12s\n", "config", "items/s",
+  PrintHeader("micro_net", "loopback TCP channel: mode/batch/payload sweep");
+  std::printf("  %-30s %12s %10s %10s %10s %12s\n", "config", "items/s",
               "MiB/s", "p50 us", "p99 us", "peak unackd");
 
+  // "epoll" is the deployment default (shared event loop + executor
+  // dispatch); "threads" keeps the writer/reader-thread-per-connection
+  // design alive as the measured baseline the tentpole replaced.
   BenchJson json;
-  for (size_t batch : {1, 64, 512}) {
-    for (size_t payload : {16, 256}) {
-      NetRun r = MeasureConfig(duration_s, batch, payload);
-      char tag[64];
-      std::snprintf(tag, sizeof(tag), "batch=%zu payload=%zuB", batch,
-                    payload);
-      std::printf("  %-22s %12.0f %10.1f %10.1f %10.1f %12llu\n", tag,
-                  r.items_per_sec, r.mib_per_sec, r.send_p50_us, r.send_p99_us,
-                  static_cast<unsigned long long>(r.peak_unacked));
-      json.BeginRow();
-      json.Add("batch_items", static_cast<uint64_t>(batch));
-      json.Add("payload_bytes", static_cast<uint64_t>(payload));
-      json.Add("items_per_sec", r.items_per_sec);
-      json.Add("mib_per_sec", r.mib_per_sec);
-      json.Add("send_p50_us", r.send_p50_us);
-      json.Add("send_p99_us", r.send_p99_us);
-      json.Add("items", r.items);
-      json.Add("peak_unacked", r.peak_unacked);
+  for (bool use_event_loop : {true, false}) {
+    for (size_t batch : {1, 64, 512}) {
+      for (size_t payload : {16, 256}) {
+        NetRun r;
+        for (int rep = 0; rep < Reps(); ++rep) {
+          NetRun attempt =
+              MeasureConfig(duration_s, batch, payload, use_event_loop);
+          if (attempt.items_per_sec > r.items_per_sec) {
+            r = attempt;
+          }
+        }
+        char tag[64];
+        std::snprintf(tag, sizeof(tag), "%s_batch%zu_payload%zuB",
+                      use_event_loop ? "epoll" : "threads", batch, payload);
+        std::printf("  %-30s %12.0f %10.1f %10.1f %10.1f %12llu\n", tag,
+                    r.items_per_sec, r.mib_per_sec, r.send_p50_us,
+                    r.send_p99_us,
+                    static_cast<unsigned long long>(r.peak_unacked));
+        json.BeginRow();
+        json.Add("config", std::string(tag));
+        json.Add("mode", std::string(use_event_loop ? "epoll" : "threads"));
+        json.Add("batch_items", static_cast<uint64_t>(batch));
+        json.Add("payload_bytes", static_cast<uint64_t>(payload));
+        json.Add("hw_threads", HwThreads());
+        json.Add("items_per_sec", r.items_per_sec);
+        json.Add("mib_per_sec", r.mib_per_sec);
+        json.Add("send_p50_us", r.send_p50_us);
+        json.Add("send_p99_us", r.send_p99_us);
+        json.Add("items", r.items);
+        json.Add("peak_unacked", r.peak_unacked);
+      }
     }
   }
 

@@ -87,6 +87,36 @@ void BM_PartitionedPut(benchmark::State& state) {
 }
 BENCHMARK(BM_PartitionedPut)->Arg(1)->Arg(2)->Arg(4);
 
+void BM_InstanceScaling(benchmark::State& state) {
+  // §3.3-3.4 at executor scale: the same partitioned put pipeline with the
+  // stateful stage materialised `instances` wide, multiplexed over the fixed
+  // shared pool. Thread-per-instance could not run the 1024 point at all;
+  // here the cost is ready-set scheduling, not thread creation.
+  const auto instances = static_cast<uint32_t>(state.range(0));
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+  });
+  (void)b.SetAccess(put, dict, graph::AccessMode::kPartitioned);
+  b.SetInitialInstances(put, instances);
+  auto g = std::move(b).Build();
+  ClusterOptions o;
+  o.num_nodes = 4;
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+
+  int64_t k = 0;
+  for (auto _ : state) {
+    (void)(*d)->Inject("put", Tuple{Value(k++ % 100003), Value(k)});
+  }
+  (*d)->Drain();
+  state.SetItemsProcessed(state.iterations());
+  (*d)->Shutdown();
+}
+BENCHMARK(BM_InstanceScaling)->Arg(64)->Arg(256)->Arg(1024);
+
 void BM_PartialBarrierMerge(benchmark::State& state) {
   // One global read: broadcast to k replicas, gather k partials, merge.
   const auto replicas = static_cast<uint32_t>(state.range(0));

@@ -124,11 +124,11 @@ int main() {
       dict.Put(static_cast<int64_t>(i), static_cast<int64_t>(i));
     }
     read_1t = ReadRow(dict, keys, 1, secs);
-    AddThroughputRow(json, "dict_get_1t", 1, sdg::state::kDefaultStateShards,
+    AddThroughputRow(json, "dict_get_1t", 1, sdg::state::DefaultStateShards(),
                      read_1t, 0);
     double read_8t = ReadRow(dict, keys, kThreads, secs);
     AddThroughputRow(json, "dict_get_8t", kThreads,
-                     sdg::state::kDefaultStateShards, read_8t, read_1t);
+                     sdg::state::DefaultStateShards(), read_8t, read_1t);
   }
   {
     IntDict dict(kUnstriped);
@@ -145,20 +145,32 @@ int main() {
   {
     IntDict dict;
     put_1t = WriteRow(dict, keys, 1, secs);
-    AddThroughputRow(json, "dict_put_1t", 1, sdg::state::kDefaultStateShards,
+    AddThroughputRow(json, "dict_put_1t", 1, sdg::state::DefaultStateShards(),
                      put_1t, 0);
   }
   {
     IntDict dict;
     double put_8t = WriteRow(dict, keys, kThreads, secs);
     AddThroughputRow(json, "dict_put_8t", kThreads,
-                     sdg::state::kDefaultStateShards, put_8t, put_1t);
+                     sdg::state::DefaultStateShards(), put_8t, put_1t);
   }
   {
     IntDict dict(kUnstriped);
     double put_8t_u = WriteRow(dict, keys, kThreads, secs);
     AddThroughputRow(json, "dict_put_8t_unstriped", kThreads, kUnstriped,
                      put_8t_u, put_1t);
+  }
+
+  // --- Stripe sweep at the pool's real width --------------------------------
+  // DefaultStateShards() is tuned from this grid: `hw` writers (the executor
+  // never runs more) against 1/4/16/64 stripes. The knee sits at ~2x the
+  // writer count; rows carry threads=hw so runs from different machines are
+  // never diffed against each other.
+  for (uint32_t shards : {1u, 4u, 16u, 64u}) {
+    IntDict dict(shards);
+    double rate = WriteRow(dict, keys, hw, secs);
+    AddThroughputRow(json, "dict_put_hw_s" + std::to_string(shards), hw,
+                     shards, rate, put_1t);
   }
 
   // --- Checkpoint-active overhead ------------------------------------------
@@ -173,12 +185,12 @@ int main() {
     json.BeginRow();
     json.Add("config", std::string("dict_put_1t_ckpt_active"));
     json.Add("threads", uint64_t{1});
-    json.Add("shards", static_cast<uint64_t>(sdg::state::kDefaultStateShards));
+    json.Add("shards", static_cast<uint64_t>(sdg::state::DefaultStateShards()));
     json.Add("hw_threads", HwThreads());
     json.Add("items_per_sec", put_ckpt);
     json.Add("overhead_vs_put_1t", put_1t > 0 ? put_1t / put_ckpt : 0.0);
     std::printf("  %-24s threads=1 shards=%-3u %12.0f items/s (%.2fx put_1t)\n",
-                "dict_put_1t_ckpt_active", sdg::state::kDefaultStateShards,
+                "dict_put_1t_ckpt_active", sdg::state::DefaultStateShards(),
                 put_ckpt, put_1t > 0 ? put_1t / put_ckpt : 0.0);
   }
 

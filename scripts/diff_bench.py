@@ -35,6 +35,9 @@ METRIC_PREFIXES = (
     "overhead",
     "mib_per_sec",
     "send_p",
+    "items",        # raw items moved (covers items_per_sec too)
+    "peak_unacked",
+    "bytes",
 )
 
 

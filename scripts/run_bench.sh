@@ -3,7 +3,7 @@
 # to the binaries (copy into the repo root to update the checked-in
 # trajectory).
 #
-#   scripts/run_bench.sh [hotpath|ckpt|state|all] [--short]
+#   scripts/run_bench.sh [hotpath|ckpt|state|net|all] [--short]
 #
 # --short runs the CI smoke configuration (tiny scale / window, 1 rep) —
 # seconds instead of minutes, shape-check only; numbers are not comparable
@@ -37,12 +37,16 @@ case "$target" in
     cmake --build build -j "$(nproc)" --target micro_state >/dev/null
     (cd build/bench && ./micro_state)
     ;;
+  net)
+    cmake --build build -j "$(nproc)" --target micro_net >/dev/null
+    (cd build/bench && ./micro_net)
+    ;;
   all)
-    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state >/dev/null
-    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state)
+    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state micro_net >/dev/null
+    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state && ./micro_net)
     ;;
   *)
-    echo "usage: $0 [hotpath|ckpt|state|all] [--short]" >&2
+    echo "usage: $0 [hotpath|ckpt|state|net|all] [--short]" >&2
     exit 2
     ;;
 esac

@@ -66,6 +66,24 @@ PercentileSummary Histogram::Snapshot() const {
   return s;
 }
 
+std::string ExecutorStats::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "workers=%zu tasks=%llu steals=%llu ready=%llu",
+                per_worker.size(), static_cast<unsigned long long>(tasks_run),
+                static_cast<unsigned long long>(steals),
+                static_cast<unsigned long long>(ready_queue_depth));
+  std::string out = buf;
+  out += " [";
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    std::snprintf(buf, sizeof(buf), "%sw%zu %llu/%llu", w == 0 ? "" : " ", w,
+                  static_cast<unsigned long long>(per_worker[w].tasks_run),
+                  static_cast<unsigned long long>(per_worker[w].steals));
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
 double ThroughputMeter::TakeRate() {
   int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now().time_since_epoch())

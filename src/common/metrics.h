@@ -137,6 +137,28 @@ class Histogram {
 // interpolation. Exposed for tests and for one-shot percentile math.
 double PercentileOfSorted(const std::vector<double>& sorted, double p);
 
+// --- Executor observability --------------------------------------------------
+// Snapshot of the shared work-stealing executor (runtime/executor.h): how many
+// schedulable slices each worker ran, how many of those it had to steal from
+// a sibling's run queue, and the instantaneous ready-queue depth. The
+// deployment's checkpoint driver logs this next to the checkpoint counters so
+// a starved pool (depth growing, steals pegged) is visible in the same place
+// as a slow checkpoint.
+struct ExecutorWorkerStats {
+  uint64_t tasks_run = 0;
+  uint64_t steals = 0;
+};
+
+struct ExecutorStats {
+  std::vector<ExecutorWorkerStats> per_worker;
+  uint64_t tasks_run = 0;  // sum over workers
+  uint64_t steals = 0;     // sum over workers
+  uint64_t ready_queue_depth = 0;
+
+  // e.g. "workers=4 tasks=1234 steals=56 ready=2 [w0 600/10 w1 634/46]".
+  std::string ToString() const;
+};
+
 // Throughput meter: windowed rate of events over wall-clock time.
 class ThroughputMeter {
  public:

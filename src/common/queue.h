@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <utility>
@@ -30,6 +31,16 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  // Installs a callback invoked UNDER the queue lock every time items are
+  // added. Because Close()/Abort() take the same lock, once either returns no
+  // further callback invocation can start — which is what makes it safe for
+  // the callback to mark a schedulable consumer ready (executor.h) without a
+  // notify-after-push use-after-free. Set before the first producer runs.
+  void SetReadyCallback(std::function<void()> fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    on_ready_ = std::move(fn);
+  }
+
   // Blocks while full. Returns false if the queue was closed.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -39,6 +50,7 @@ class BoundedQueue {
     }
     items_.push_back(std::move(item));
     PublishSize();
+    NotifyReadyLocked();
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -62,6 +74,7 @@ class BoundedQueue {
         ++pushed;
       }
       PublishSize();
+      NotifyReadyLocked();
       not_empty_.notify_one();
     }
     return pushed;
@@ -76,9 +89,44 @@ class BoundedQueue {
       }
       items_.push_back(std::move(item));
       PublishSize();
+      NotifyReadyLocked();
     }
     not_empty_.notify_one();
     return true;
+  }
+
+  // Non-blocking batch push: moves items starting at `offset` until the queue
+  // is full, returning the new offset. Never waits; a closed queue returns
+  // `items.size()` with `*closed` set so callers can stop retrying (the
+  // remainder is dropped, matching Push/PushAll semantics on close).
+  size_t TryPushSome(std::vector<T>& items, size_t offset, bool* closed) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+      *closed = true;
+      return offset;
+    }
+    *closed = false;
+    size_t before = offset;
+    while (offset < items.size() && items_.size() < capacity_) {
+      items_.push_back(std::move(items[offset]));
+      ++offset;
+    }
+    if (offset != before) {
+      PublishSize();
+      NotifyReadyLocked();
+      lock.unlock();
+      not_empty_.notify_one();
+    }
+    return offset;
+  }
+
+  // Bounded wait for free capacity (or close); used by producers that help
+  // drain the consumer instead of parking indefinitely. Returns true when a
+  // slot is (momentarily) free or the queue is closed.
+  bool WaitNotFullFor(std::chrono::microseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return not_full_.wait_for(
+        lock, timeout, [&] { return items_.size() < capacity_ || closed_; });
   }
 
   // Blocks while empty. Returns nullopt once the queue is closed AND drained.
@@ -94,6 +142,24 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  // Non-blocking batch pop: moves up to `max` items into `out` under one lock
+  // acquisition, returning the number moved (0 when momentarily empty —
+  // unlike PopAll this never waits, which is what an executor slice needs).
+  size_t TryPopAll(std::deque<T>& out, size_t max) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    size_t n = std::min(max, items_.size());
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    PublishSize();
+    lock.unlock();
+    if (n > 0) {
+      not_full_.notify_all();
+    }
+    return n;
   }
 
   // Blocks while empty, then moves up to `max` items into `out` under one
@@ -194,12 +260,20 @@ class BoundedQueue {
     approx_size_.store(items_.size(), std::memory_order_relaxed);
   }
 
+  // Requires mutex_ held; fires after items were added.
+  void NotifyReadyLocked() {
+    if (on_ready_) {
+      on_ready_();
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   std::atomic<size_t> approx_size_{0};
+  std::function<void()> on_ready_;
   bool closed_ = false;
 };
 

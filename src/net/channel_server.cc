@@ -6,6 +6,90 @@
 
 namespace sdg::net {
 
+// ---------------------------------------------------------------------------
+// PeerDispatch
+
+ChannelServer::PeerDispatch::PeerDispatch(ChannelServer* server, Peer* peer,
+                                          runtime::Executor* executor)
+    : server_(server), peer_(peer) {
+  BindExecutor(executor);
+}
+
+void ChannelServer::PeerDispatch::PushFrame(Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return;
+    }
+    frames_.push_back(std::move(frame));
+    if (!paused_ && frames_.size() >= kPauseFrames) {
+      paused_ = true;
+      // Backlog over the high watermark: stop reading this socket. The
+      // kernel buffer fills, TCP flow control reaches the sender — wire
+      // backpressure. Applied under mu_ so the epoll update can never land
+      // after a concurrent RunSlice's resume: reads-off with paused_==false
+      // would wedge the peer forever, since only a paused slice resumes.
+      // (Safe lock order: Connection never calls into the dispatch while
+      // holding its send lock, and UpdateEvents is a non-blocking
+      // epoll_ctl.)
+      if (Connection* c = conn_.load(std::memory_order_acquire)) {
+        c->SetReadInterest(false);
+      }
+    }
+  }
+  Ready();
+}
+
+bool ChannelServer::PeerDispatch::RunSlice() {
+  std::vector<Frame> batch;
+  bool more;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = std::min(kFramesPerSlice, frames_.size());
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(frames_.front()));
+      frames_.pop_front();
+    }
+    if (paused_ && frames_.size() <= kResumeFrames) {
+      paused_ = false;
+      // Under mu_ for the same reason as the pause in PushFrame: the
+      // interest change must be ordered with the paused_ flip it reflects.
+      if (Connection* c = conn_.load(std::memory_order_acquire)) {
+        c->SetReadInterest(true);
+      }
+    }
+    more = !frames_.empty();
+  }
+  for (auto& frame : batch) {
+    if (frame.type != FrameType::kData) {
+      continue;
+    }
+    auto decoded = DataBatch::Decode(frame.payload);
+    if (!decoded.ok()) {
+      SDG_LOG(kWarning) << "dropping malformed data batch: "
+                        << decoded.status().ToString();
+      continue;
+    }
+    server_->on_batch_(peer_->handshake, std::move(decoded->items));
+  }
+  return more;
+}
+
+void ChannelServer::PeerDispatch::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  // Frames already handed over are still dispatched (parity with the
+  // threaded reader, which delivers what it decoded before the socket cut);
+  // anything beyond that is unacked and will be replayed by the sender.
+  AwaitIdle();
+}
+
+// ---------------------------------------------------------------------------
+// ChannelServer
+
 ChannelServer::ChannelServer(ChannelServerOptions options)
     : options_(options) {}
 
@@ -19,8 +103,43 @@ Status ChannelServer::Start(HandshakeFn on_handshake, BatchFn on_batch) {
   on_batch_ = std::move(on_batch);
   SDG_ASSIGN_OR_RETURN(listener_, Listener::Bind(options_.port));
   port_ = listener_.port();
-  acceptor_ = std::thread([this] { AcceptLoop(); });
+  if (options_.mode == NetMode::kEventLoop) {
+    executor_ = options_.executor != nullptr ? options_.executor
+                                             : runtime::Executor::Shared();
+    loop_ = options_.loop != nullptr ? options_.loop : EventLoop::Shared();
+    SDG_RETURN_IF_ERROR(listener_.SetNonBlocking(true));
+    SDG_RETURN_IF_ERROR(loop_->Register(listener_.fd(), this,
+                                        /*want_read=*/true,
+                                        /*want_write=*/false));
+  } else {
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+  }
   return Status::Ok();
+}
+
+// Listener readiness (event-loop mode, loop thread): accept everything
+// pending, then hand each handshake to a short-lived setup thread. The
+// handshake is deliberately NOT an executor task: it blocks waiting on the
+// client, and the client side of a reconnect may itself be an executor task
+// blocked waiting on this ack — on a small pool that is a circular wait.
+// Setup threads exist only during connection churn, so the steady-state
+// thread count stays O(pool size).
+void ChannelServer::OnReadable() {
+  for (;;) {
+    auto sock = listener_.TryAccept();
+    if (!sock.ok() || !sock->valid()) {
+      return;  // drained (EAGAIN) or listener closed by Stop
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      return;
+    }
+    setup_threads_.emplace_back(
+        [this, s = std::make_shared<Socket>(std::move(*sock))]() mutable {
+          SetupPeer(std::move(*s));
+        });
+  }
 }
 
 void ChannelServer::AcceptLoop() {
@@ -45,7 +164,7 @@ void ChannelServer::AcceptLoop() {
 
 void ChannelServer::SetupPeer(Socket socket) {
   // Bound the handshake so a silent client cannot pin this thread (and
-  // therefore Stop) indefinitely. Cleared before the threaded regime, where
+  // therefore Stop) indefinitely. Cleared before the data-path regime, where
   // an idle-but-healthy peer is normal.
   socket.SetRecvTimeout(5000);
   FrameDecoder carry;
@@ -86,37 +205,61 @@ void ChannelServer::SetupPeer(Socket socket) {
   Peer* raw = peer.get();
   Connection::Options copts;
   copts.send_queue_frames = options_.send_queue_frames;
-  peer->conn = std::make_unique<Connection>(
-      std::move(socket), copts,
-      [this, raw](Frame frame) {
-        if (frame.type != FrameType::kData) {
-          return;
-        }
-        auto batch = DataBatch::Decode(frame.payload);
-        if (!batch.ok()) {
-          SDG_LOG(kWarning) << "dropping malformed data batch: "
-                            << batch.status().ToString();
-          return;
-        }
-        on_batch_(raw->handshake, std::move(batch->items));
-      },
-      [](const Status&) {
-        // A broken inbound connection is routine (sender failover or
-        // restart); the peer is reaped on the next Ack/Stop.
-      });
+  if (options_.mode == NetMode::kEventLoop) {
+    peer->dispatch = std::make_unique<PeerDispatch>(this, raw, executor_);
+    PeerDispatch* dispatch = peer->dispatch.get();
+    copts.loop = loop_;
+    peer->conn = std::make_unique<Connection>(
+        std::move(socket), copts,
+        [dispatch](Frame frame) { dispatch->PushFrame(std::move(frame)); },
+        [](const Status&) {
+          // A broken inbound connection is routine (sender failover or
+          // restart); the peer is reaped on the next Ack/Stop.
+        },
+        std::move(carry));
+    dispatch->SetConnection(peer->conn.get());
+  } else {
+    peer->conn = std::make_unique<Connection>(
+        std::move(socket), copts,
+        [this, raw](Frame frame) {
+          if (frame.type != FrameType::kData) {
+            return;
+          }
+          auto batch = DataBatch::Decode(frame.payload);
+          if (!batch.ok()) {
+            SDG_LOG(kWarning) << "dropping malformed data batch: "
+                              << batch.status().ToString();
+            return;
+          }
+          on_batch_(raw->handshake, std::move(batch->items));
+        },
+        [](const Status&) {
+          // Reaped on the next Ack/Stop, as above.
+        },
+        std::move(carry));
+  }
   std::lock_guard<std::mutex> lock(peers_mutex_);
   if (!running_.load(std::memory_order_acquire)) {
-    peer->conn->Close();  // raced with Stop — do not install
+    ClosePeer(*peer);  // raced with Stop — do not install
     return;
   }
   ReapBrokenPeersLocked();
   peers_.push_back(std::move(peer));
 }
 
+void ChannelServer::ClosePeer(Peer& peer) {
+  if (peer.conn != nullptr) {
+    peer.conn->Close();  // deregisters: no further PushFrame after this
+  }
+  if (peer.dispatch != nullptr) {
+    peer.dispatch->Drain();
+  }
+}
+
 void ChannelServer::ReapBrokenPeersLocked() {
   for (auto it = peers_.begin(); it != peers_.end();) {
     if ((*it)->conn->broken()) {
-      (*it)->conn->Close();
+      ClosePeer(**it);
       it = peers_.erase(it);
     } else {
       ++it;
@@ -144,6 +287,9 @@ void ChannelServer::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
+  if (options_.mode == NetMode::kEventLoop && loop_ != nullptr) {
+    loop_->Deregister(listener_.fd());  // waits out an in-flight accept burst
+  }
   listener_.Close();
   if (acceptor_.joinable()) {
     acceptor_.join();
@@ -156,7 +302,7 @@ void ChannelServer::Stop() {
     peers.swap(peers_);
   }
   for (auto& peer : peers) {
-    peer->conn->Close();
+    ClosePeer(*peer);
   }
   for (auto& t : setups) {
     if (t.joinable()) {

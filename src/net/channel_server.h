@@ -7,6 +7,19 @@
 // straight into Deployment::InjectRemote, which routes them through the same
 // batched dispatch as local traffic.
 //
+// Threading model (NetMode::kEventLoop, the default): the listening fd and
+// every peer socket live on one shared epoll loop; handshakes run on
+// short-lived setup threads (they block on the client, and the client side
+// may be an executor task — on a small pool, a handshake-as-task would be a
+// circular wait); and each peer owns a Schedulable dispatch entity — the
+// loop thread only enqueues raw frames, the executor decodes batches and
+// runs on_batch. When
+// a peer's frame backlog crosses a high watermark the server drops read
+// interest on that socket; the kernel receive buffer fills and TCP flow
+// control backpressures the sender — the wire-level equivalent of a full
+// mailbox. NetMode::kThreads keeps the original acceptor + setup-thread +
+// thread-per-connection design as a measured baseline.
+//
 // Ack(watermark) broadcasts a kAck on every live connection after the node
 // has made the watermark durable (checkpoint persisted); senders trim their
 // upstream-backup logs on it. Acks are at-least-once: a lost ack is repaired
@@ -15,7 +28,9 @@
 #define SDG_NET_CHANNEL_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <list>
 #include <memory>
@@ -26,30 +41,43 @@
 
 #include "src/common/status.h"
 #include "src/net/connection.h"
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/runtime/data_item.h"
+#include "src/runtime/executor.h"
 
 namespace sdg::net {
+
+enum class NetMode {
+  kEventLoop,  // shared epoll loop + executor dispatch (default)
+  kThreads,    // thread-per-connection baseline
+};
 
 struct ChannelServerOptions {
   uint16_t port = 0;  // 0 = ephemeral; see port()
   size_t send_queue_frames = 16;
+  NetMode mode = NetMode::kEventLoop;
+  // Event-loop mode collaborators; nullptr = the process-wide shared ones.
+  runtime::Executor* executor = nullptr;
+  EventLoop* loop = nullptr;
 };
 
-class ChannelServer {
+class ChannelServer : private EventLoop::Handler {
  public:
   // Returns the durable watermark for the handshaking source (0 if never
   // seen); an error Status rejects the connection with its message.
   using HandshakeFn = std::function<Result<uint64_t>(const Handshake& hs)>;
   // One decoded batch, in wire order, from the connection identified by the
-  // handshake. Called on that connection's reader thread; per-source FIFO
-  // order is therefore preserved, and blocking here backpressures the wire.
+  // handshake. Runs on the peer's executor entity (event-loop mode) or its
+  // reader thread (threaded mode); per-source FIFO order is preserved either
+  // way, and a slow on_batch backpressures that peer's wire without stalling
+  // others.
   using BatchFn =
       std::function<void(const Handshake& hs,
                          std::vector<runtime::DataItem> items)>;
 
   explicit ChannelServer(ChannelServerOptions options);
-  ~ChannelServer();
+  ~ChannelServer() override;
 
   ChannelServer(const ChannelServer&) = delete;
   ChannelServer& operator=(const ChannelServer&) = delete;
@@ -59,7 +87,8 @@ class ChannelServer {
   // Broadcasts the durable watermark to every live sender.
   void Ack(uint64_t watermark);
 
-  // Stops accepting, closes every connection, joins all threads.
+  // Stops accepting, closes every connection, waits out in-flight handshakes
+  // and dispatch slices.
   void Stop();
 
   uint16_t port() const { return port_; }
@@ -68,20 +97,64 @@ class ChannelServer {
   }
 
  private:
+  struct Peer;
+
+  // Per-peer frame dispatch: the loop thread pushes raw frames, the executor
+  // decodes and delivers. Crossing kPauseFrames frames pauses the socket's
+  // read interest; draining below kResumeFrames resumes it.
+  class PeerDispatch : public runtime::Schedulable {
+   public:
+    PeerDispatch(ChannelServer* server, Peer* peer,
+                 runtime::Executor* executor);
+    // Published after the Connection exists (frames can already be arriving
+    // by then — pause/resume is just skipped until the pointer lands).
+    void SetConnection(Connection* conn) {
+      conn_.store(conn, std::memory_order_release);
+    }
+    void PushFrame(Frame frame);  // loop thread
+    void Drain();                 // close frames source, then AwaitIdle
+
+   protected:
+    bool RunSlice() override;
+
+   private:
+    static constexpr size_t kPauseFrames = 32;
+    static constexpr size_t kResumeFrames = 8;
+    static constexpr size_t kFramesPerSlice = 8;
+
+    ChannelServer* const server_;
+    Peer* const peer_;
+    std::atomic<Connection*> conn_{nullptr};
+    std::mutex mu_;
+    std::deque<Frame> frames_;
+    bool paused_ = false;
+    bool closed_ = false;
+  };
+
   struct Peer {
     Handshake handshake;
+    std::unique_ptr<PeerDispatch> dispatch;  // event-loop mode only
     std::unique_ptr<Connection> conn;
   };
 
-  void AcceptLoop();
+  // Event-loop mode: listener readiness (accept until EAGAIN).
+  void OnReadable() override;
+
+  void AcceptLoop();  // threaded mode
   // Performs the handshake on a fresh socket and installs the peer; runs on
-  // a short-lived setup thread so a slow client cannot stall the acceptor.
+  // a short-lived setup thread so a slow client cannot stall the acceptor
+  // (or, event-loop mode, the loop).
   void SetupPeer(Socket socket);
+  // Closes the connection, then drains the dispatch entity. Safe with or
+  // without peers_mutex_ held (touches only the peer).
+  void ClosePeer(Peer& peer);
   void ReapBrokenPeersLocked();
 
   const ChannelServerOptions options_;
   HandshakeFn on_handshake_;
   BatchFn on_batch_;
+  runtime::Executor* executor_ = nullptr;
+  EventLoop* loop_ = nullptr;
 
   Listener listener_;
   uint16_t port_ = 0;

@@ -1,48 +1,219 @@
 #include "src/net/connection.h"
 
+#include <chrono>
 #include <utility>
 
 namespace sdg::net {
 
+namespace {
+// Bound on the Close() drain wait. A healthy link flushes a full send buffer
+// in far less; a peer that stopped reading should not wedge shutdown.
+constexpr auto kCloseDrainDeadline = std::chrono::seconds(5);
+}  // namespace
+
 Connection::Connection(Socket socket, Options options, FrameFn on_frame,
                        ErrorFn on_error, FrameDecoder carry)
     : socket_(std::move(socket)),
+      fd_(socket_.fd()),
       options_(options),
       on_frame_(std::move(on_frame)),
       on_error_(std::move(on_error)),
       decoder_(std::move(carry)),
+      read_buf_(options.read_buffer_bytes < 512 ? 512
+                                                : options.read_buffer_bytes),
       send_queue_(options.send_queue_frames < 1 ? 1
                                                 : options.send_queue_frames) {
-  writer_ = std::thread([this] { WriterLoop(); });
-  reader_ = std::thread([this] { ReaderLoop(); });
+  if (options_.loop != nullptr) {
+    Status s = socket_.SetNonBlocking(true);
+    if (s.ok()) {
+      s = options_.loop->Register(fd_, this, /*want_read=*/true,
+                                  /*want_write=*/false);
+    }
+    if (!s.ok()) {
+      Fail(s);
+    }
+  } else {
+    writer_ = std::thread([this] { WriterLoop(); });
+    reader_ = std::thread([this] { ReaderLoop(); });
+  }
 }
 
 Connection::~Connection() { Close(); }
 
 bool Connection::Send(std::vector<uint8_t> frame_bytes) {
-  if (broken_.load(std::memory_order_acquire)) {
+  if (broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
     return false;
   }
-  return send_queue_.Push(std::move(frame_bytes));
+  if (options_.loop != nullptr) {
+    std::unique_lock<std::mutex> lock(send_mu_);
+    send_cv_.wait(lock, [&] {
+      return send_q_.size() < options_.send_queue_frames ||
+             broken_.load(std::memory_order_acquire) ||
+             closed_.load(std::memory_order_acquire);
+    });
+    if (broken_.load(std::memory_order_acquire) ||
+        closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    send_q_.push_back(std::move(frame_bytes));
+    if (!write_armed_) {
+      write_armed_ = true;
+      options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/true);
+    }
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    ++pending_frames_;
+  }
+  if (!send_queue_.Push(std::move(frame_bytes))) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    --pending_frames_;
+    flush_cv_.notify_all();
+    return false;
+  }
+  return true;
 }
 
 bool Connection::TrySend(const std::vector<uint8_t>& frame_bytes) {
-  if (broken_.load(std::memory_order_acquire)) {
+  if (broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
     return false;
   }
-  return send_queue_.TryPush(frame_bytes);
+  if (options_.loop != nullptr) {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    if (send_q_.size() >= options_.send_queue_frames ||
+        broken_.load(std::memory_order_acquire) ||
+        closed_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    send_q_.push_back(frame_bytes);
+    if (!write_armed_) {
+      write_armed_ = true;
+      options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/true);
+    }
+    return true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    ++pending_frames_;
+  }
+  if (!send_queue_.TryPush(frame_bytes)) {
+    std::lock_guard<std::mutex> lock(flush_mu_);
+    --pending_frames_;
+    flush_cv_.notify_all();
+    return false;
+  }
+  return true;
+}
+
+void Connection::SetReadInterest(bool want_read) {
+  if (options_.loop == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (want_read_ == want_read || broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  want_read_ = want_read;
+  options_.loop->UpdateEvents(fd_, want_read_, write_armed_);
 }
 
 void Connection::Fail(const Status& status) {
   broken_.store(true, std::memory_order_release);
-  // Drop queued frames and unblock Send callers; unacked items live on in
-  // the sender's OutputBuffer, so nothing is lost by discarding the queue.
-  send_queue_.Abort();
+  if (options_.loop != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(send_mu_);
+      send_q_.clear();
+      send_offset_ = 0;
+    }
+    send_cv_.notify_all();
+  } else {
+    // Drop queued frames and unblock Send callers; unacked items live on in
+    // the sender's OutputBuffer, so nothing is lost by discarding the queue.
+    size_t dropped = send_queue_.Abort();
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      pending_frames_ -= dropped;
+    }
+  }
+  flush_cv_.notify_all();  // Close's drain wait also watches broken_
   socket_.ShutdownBoth();
   if (!error_fired_.exchange(true) && on_error_) {
     on_error_(status);
   }
 }
+
+void Connection::DispatchDecoded() {
+  for (;;) {
+    Frame frame;
+    auto more = decoder_.Next(&frame);
+    if (!more.ok()) {
+      Fail(more.status());
+      return;
+    }
+    if (!*more) {
+      return;
+    }
+    if (on_frame_) {
+      on_frame_(std::move(frame));
+    }
+  }
+}
+
+void Connection::OnReadable() {
+  for (;;) {
+    auto n = socket_.TryRead(read_buf_.data(), read_buf_.size());
+    if (!n.ok()) {
+      Fail(n.status());
+      return;
+    }
+    if (*n == Socket::kWouldBlock) {
+      return;
+    }
+    if (*n == 0) {
+      Fail(UnavailableError("peer closed the connection"));
+      return;
+    }
+    decoder_.Feed(read_buf_.data(), *n);
+    DispatchDecoded();
+    if (broken_.load(std::memory_order_acquire)) {
+      return;
+    }
+  }
+}
+
+void Connection::OnWritable() {
+  std::unique_lock<std::mutex> lock(send_mu_);
+  while (!send_q_.empty()) {
+    const auto& front = send_q_.front();
+    auto n = socket_.TryWrite(front.data() + send_offset_,
+                              front.size() - send_offset_);
+    if (!n.ok()) {
+      lock.unlock();
+      Fail(n.status());
+      return;
+    }
+    if (*n == 0) {
+      return;  // kernel buffer full; EPOLLOUT stays armed
+    }
+    send_offset_ += *n;
+    if (send_offset_ == front.size()) {
+      send_q_.pop_front();
+      send_offset_ = 0;
+    }
+  }
+  if (write_armed_) {
+    write_armed_ = false;
+    options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/false);
+  }
+  lock.unlock();
+  send_cv_.notify_all();
+}
+
+void Connection::OnError() { Fail(UnavailableError("socket error (EPOLLERR)")); }
 
 void Connection::WriterLoop() {
   for (;;) {
@@ -51,6 +222,11 @@ void Connection::WriterLoop() {
       return;  // closed (orderly) or aborted (failure)
     }
     Status s = socket_.WriteAll(frame->data(), frame->size());
+    {
+      std::lock_guard<std::mutex> lock(flush_mu_);
+      --pending_frames_;
+    }
+    flush_cv_.notify_all();
     if (!s.ok()) {
       Fail(s);
       return;
@@ -71,33 +247,43 @@ void Connection::ReaderLoop() {
       return;
     }
     decoder_.Feed(buf.data(), *n);
-    for (;;) {
-      Frame frame;
-      auto more = decoder_.Next(&frame);
-      if (!more.ok()) {
-        Fail(more.status());
-        return;
-      }
-      if (!*more) {
-        break;
-      }
-      if (on_frame_) {
-        on_frame_(std::move(frame));
-      }
+    DispatchDecoded();
+    if (broken_.load(std::memory_order_acquire)) {
+      return;
     }
   }
 }
 
 void Connection::Close() {
   if (closed_.exchange(true)) {
-    // Another closer already ran; still make join idempotent for that first
-    // caller only (threads joined below exactly once).
     return;
   }
-  // Mark broken first so no new Send enqueues after the queue closes, then
-  // let the writer drain what it already accepted before cutting the socket?
-  // No: Close is also the failure path's last resort — cut immediately. A
-  // caller wanting a clean flush sends, waits for acks, then closes.
+  if (options_.loop != nullptr) {
+    // Drain: let the loop flush frames Send already accepted. A broken link
+    // (or a peer that stopped reading, bounded by the deadline) skips ahead.
+    {
+      std::unique_lock<std::mutex> lock(send_mu_);
+      send_cv_.wait_for(lock, kCloseDrainDeadline, [&] {
+        return send_q_.empty() || broken_.load(std::memory_order_acquire);
+      });
+    }
+    send_cv_.notify_all();  // release Send callers blocked on capacity
+    options_.loop->Deregister(fd_);  // waits out any in-flight callback
+    broken_.store(true, std::memory_order_release);
+    socket_.ShutdownBoth();
+    socket_.Close();
+    return;
+  }
+  // Threaded mode: wait for the writer to put accepted frames on the wire
+  // before cutting — a sender that calls Close right after its last Send
+  // must not lose it. Failure paths (broken_) cut immediately, and the
+  // deadline bounds a peer that stopped reading.
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait_for(lock, kCloseDrainDeadline, [&] {
+      return pending_frames_ == 0 || broken_.load(std::memory_order_acquire);
+    });
+  }
   broken_.store(true, std::memory_order_release);
   send_queue_.Abort();
   socket_.ShutdownBoth();

@@ -1,45 +1,70 @@
 // Connection: one framed, full-duplex TCP connection between nodes.
 //
-// A connection owns its socket and two threads:
-//   - a writer thread draining a BOUNDED frame queue (Send blocks while the
-//     queue is full — the same backpressure contract as BoundedQueue mailbox
-//     pushes, extended across the wire), and
-//   - a reader thread feeding a FrameDecoder and dispatching complete frames
-//     to the on_frame callback.
+// Two operating modes, selected by Options::loop:
 //
-// On any socket or codec error the connection turns `broken`: queued frames
-// are dropped (the sender's OutputBuffer log retains every unacked item, so
-// the reconnect-replay path re-sends them; see remote_channel.h), both
-// threads exit, and on_error fires exactly once. A Connection never repairs
-// itself — RemoteChannel dials a fresh one.
+//  - Event-loop mode (loop != nullptr, the default deployment path): the
+//    socket is nonblocking and registered on a shared epoll loop. Reads feed
+//    the FrameDecoder and dispatch complete frames from the loop thread;
+//    writes drain a bounded send deque on EPOLLOUT, armed only while frames
+//    are pending. No threads are owned — a process with hundreds of
+//    connections pays for one IO thread total.
+//
+//  - Threaded mode (loop == nullptr, kept as the measured baseline and for
+//    callers that want blocking isolation): a writer thread drains a BOUNDED
+//    frame queue and a reader thread feeds the decoder, exactly the pre-epoll
+//    design.
+//
+// Both modes share the backpressure contract: Send blocks while the send
+// buffer holds `send_queue_frames` frames — the same discipline as
+// BoundedQueue mailbox pushes, extended across the wire.
+//
+// On any socket or codec error the connection turns `broken`: buffered
+// frames are dropped (the sender's OutputBuffer log retains every unacked
+// item, so the reconnect-replay path re-sends them; see remote_channel.h),
+// and on_error fires exactly once. A Connection never repairs itself —
+// RemoteChannel dials a fresh one.
+//
+// Close() drains first: frames already accepted into the send buffer are
+// flushed (bounded by a few seconds) before the socket is cut, so
+// send-then-immediately-stop loses nothing on a healthy link. A broken
+// connection closes immediately.
 #ifndef SDG_NET_CONNECTION_H_
 #define SDG_NET_CONNECTION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/queue.h"
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/net/socket.h"
 
 namespace sdg::net {
 
-class Connection {
+class Connection : private EventLoop::Handler {
  public:
   struct Options {
-    // Frames the writer may buffer before Send blocks. Each data frame is one
-    // delivery batch, so this bounds in-flight bytes the same way a mailbox
-    // capacity bounds queued items.
+    // Frames the connection may buffer before Send blocks. Each data frame is
+    // one delivery batch, so this bounds in-flight bytes the same way a
+    // mailbox capacity bounds queued items.
     size_t send_queue_frames = 64;
-    // Reader chunk size.
+    // Read chunk size.
     size_t read_buffer_bytes = 64 * 1024;
+    // Event loop driving the socket; nullptr selects threaded mode.
+    EventLoop* loop = nullptr;
   };
 
-  // Called from the reader thread, one complete frame at a time.
+  // Called one complete frame at a time — from the loop thread in event-loop
+  // mode, from the reader thread in threaded mode. Must not block for long in
+  // loop mode (it stalls every connection on the loop): hand heavy work to
+  // the executor.
   using FrameFn = std::function<void(Frame frame)>;
   // Called once, from whichever thread hits the failure first.
   using ErrorFn = std::function<void(const Status& status)>;
@@ -48,47 +73,79 @@ class Connection {
   // past the synchronous handshake exchange.
   Connection(Socket socket, Options options, FrameFn on_frame,
              ErrorFn on_error, FrameDecoder carry = {});
-  ~Connection();
+  ~Connection() override;
 
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  // Enqueues one encoded frame, blocking while the send queue is full
+  // Enqueues one encoded frame, blocking while the send buffer is full
   // (backpressure). Returns false if the connection is broken or closed —
   // the frame is NOT sent and the caller's log keeps it replayable.
   bool Send(std::vector<uint8_t> frame_bytes);
 
   // Non-blocking variant for best-effort traffic (acks): false when the
-  // queue is full, broken, or closed. Never waits.
+  // buffer is full, broken, or closed. Never waits.
   bool TrySend(const std::vector<uint8_t>& frame_bytes);
 
-  // Shuts the socket down (unblocking both threads) and joins them.
-  // Idempotent; safe to call concurrently with a failing connection.
+  // Pauses/resumes read-side dispatch (event-loop mode only; no-op in
+  // threaded mode). While paused the kernel receive buffer fills and TCP
+  // flow control pushes back on the sender — wire-level backpressure for a
+  // receiver whose executor entity is behind.
+  void SetReadInterest(bool want_read);
+
+  // Flushes frames already accepted (unless broken; bounded wait), then cuts
+  // the socket and releases loop registrations / joins threads. Idempotent.
   void Close();
 
   bool broken() const { return broken_.load(std::memory_order_acquire); }
 
  private:
+  // Event-loop mode callbacks (loop thread).
+  void OnReadable() override;
+  void OnWritable() override;
+  void OnError() override;
+
+  // Threaded mode.
   void WriterLoop();
   void ReaderLoop();
+
   void Fail(const Status& status);
+  void DispatchDecoded();  // drains decoder_ into on_frame_; Fails on codec error
 
   Socket socket_;
+  int fd_ = -1;  // cached: Deregister needs it while socket_ is being torn down
   const Options options_;
   FrameFn on_frame_;
   ErrorFn on_error_;
   FrameDecoder decoder_;
+  std::vector<uint8_t> read_buf_;
 
-  BoundedQueue<std::vector<uint8_t>> send_queue_;
-  std::thread writer_;
-  std::thread reader_;
   std::atomic<bool> broken_{false};
   std::atomic<bool> error_fired_{false};
   std::atomic<bool> closed_{false};
+
+  // --- threaded mode ---
+  BoundedQueue<std::vector<uint8_t>> send_queue_;
+  std::thread writer_;
+  std::thread reader_;
+  // Frames accepted by Send/TrySend and not yet written to the socket (or
+  // dropped by a failure). Close waits for this to hit zero so a sender that
+  // stops right after its last Send still gets the frame onto the wire.
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  size_t pending_frames_ = 0;
+
+  // --- event-loop mode ---
+  std::mutex send_mu_;
+  std::condition_variable send_cv_;
+  std::deque<std::vector<uint8_t>> send_q_;
+  size_t send_offset_ = 0;     // bytes of send_q_.front() already written
+  bool write_armed_ = false;   // EPOLLOUT currently requested
+  bool want_read_ = true;      // EPOLLIN currently requested
 };
 
 // Blocking helper for the synchronous handshake exchange that precedes the
-// threaded regime: reads whole frames through `decoder` until one is
+// data-path regime: reads whole frames through `decoder` until one is
 // complete. Bytes read past the frame stay buffered in `decoder` — hand it
 // to the Connection afterwards.
 Result<Frame> ReadFrameBlocking(Socket& socket, FrameDecoder& decoder);

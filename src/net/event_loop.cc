@@ -1,0 +1,176 @@
+#include "src/net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace sdg::net {
+
+namespace {
+
+uint32_t EpollMask(bool want_read, bool want_write) {
+  uint32_t ev = 0;
+  if (want_read) {
+    ev |= EPOLLIN;
+  }
+  if (want_write) {
+    ev |= EPOLLOUT;
+  }
+  return ev;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  SDG_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << std::strerror(errno);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  SDG_CHECK(wake_fd_ >= 0) << "eventfd: " << std::strerror(errno);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  SDG_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0)
+      << "epoll_ctl(wake): " << std::strerror(errno);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+EventLoop::~EventLoop() {
+  stop_.store(true, std::memory_order_release);
+  Wake();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+EventLoop* EventLoop::Shared() {
+  // Leaked intentionally: outlives static destruction order so late teardown
+  // (e.g. a Connection closed from a static destructor) stays safe.
+  static EventLoop* loop = new EventLoop();
+  return loop;
+}
+
+Status EventLoop::Register(int fd, Handler* handler, bool want_read,
+                           bool want_write) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[fd] = handler;
+  }
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_.erase(fd);
+    return Status(StatusCode::kUnavailable,
+                  std::string("epoll_ctl(add): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Status EventLoop::UpdateEvents(int fd, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = EpollMask(want_read, want_write);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("epoll_ctl(mod): ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void EventLoop::Deregister(int fd) {
+  // Best-effort: the fd may already be gone (peer closed + kernel reaped).
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  std::unique_lock<std::mutex> lock(mutex_);
+  handlers_.erase(fd);
+  if (!InLoopThread()) {
+    cv_.wait(lock, [this, fd] { return dispatching_fd_ != fd; });
+  }
+}
+
+void EventLoop::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+void EventLoop::Loop() {
+  std::vector<epoll_event> events(64);
+  while (!stop_.load(std::memory_order_acquire)) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SDG_LOG(kError) << "epoll_wait: " << std::strerror(errno);
+      return;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t ev = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drain;
+        while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+        }
+        std::deque<std::function<void()>> run;
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          run.swap(posted_);
+        }
+        for (auto& fn : run) {
+          fn();
+        }
+        continue;
+      }
+      Handler* h;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = handlers_.find(fd);
+        if (it == handlers_.end()) {
+          continue;  // deregistered between epoll_wait and dispatch
+        }
+        h = it->second;
+        dispatching_fd_ = fd;
+      }
+      // EPOLLHUP is folded into the read path (read sees EOF); only a true
+      // error condition takes the OnError shortcut.
+      if (ev & EPOLLERR) {
+        h->OnError();
+      } else {
+        if (ev & (EPOLLIN | EPOLLHUP)) {
+          h->OnReadable();
+        }
+        if (ev & EPOLLOUT) {
+          h->OnWritable();
+        }
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dispatching_fd_ = -1;
+      }
+      cv_.notify_all();
+    }
+    if (n == static_cast<int>(events.size())) {
+      events.resize(events.size() * 2);
+    }
+  }
+}
+
+}  // namespace sdg::net

@@ -1,0 +1,102 @@
+// EventLoop: one epoll(7) readiness loop multiplexing every nonblocking
+// socket in the process — the transport-side counterpart of the runtime
+// Executor. Instead of two threads per Connection (reader + writer) and one
+// per in-flight accept, a single loop thread waits on all fds at once and
+// dispatches readiness callbacks; actual work (frame decode, batch delivery)
+// is handed off to the executor so the loop never blocks on user code for
+// long.
+//
+// Threading contract:
+//  - All Handler callbacks run on the loop thread, one at a time per fd.
+//  - Register/UpdateEvents/Post are safe from any thread.
+//  - Deregister blocks until no callback for that fd is in flight (so the
+//    caller may free the handler right after), unless called from the loop
+//    thread itself — i.e. from inside a callback — where it returns
+//    immediately (the in-flight callback is the caller).
+//  - Level-triggered: a handler that leaves data unread or a full send queue
+//    unarmed will simply be called again on the next epoll_wait.
+//
+// Spurious wakeups are part of the contract: the fd table is keyed by fd, and
+// an fd number can be reused between epoll_wait returning and dispatch, so a
+// handler may see OnReadable with nothing to read. TryRead/TryWrite returning
+// would-block makes that harmless.
+#ifndef SDG_NET_EVENT_LOOP_H_
+#define SDG_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace sdg::net {
+
+class EventLoop {
+ public:
+  // Readiness callbacks. Default-empty so handlers only override what they
+  // subscribe to. OnError fires on EPOLLERR; EPOLLHUP is surfaced through
+  // OnReadable (the read path sees EOF and tears down).
+  class Handler {
+   public:
+    virtual ~Handler() = default;
+    virtual void OnReadable() {}
+    virtual void OnWritable() {}
+    virtual void OnError() {}
+  };
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Process-wide loop (never destroyed). Connections and channel servers
+  // default to it so the whole deployment pays for exactly one IO thread.
+  static EventLoop* Shared();
+
+  // Adds `fd` to the epoll set. The handler must outlive the registration
+  // (i.e. stay valid until Deregister returns).
+  Status Register(int fd, Handler* handler, bool want_read, bool want_write);
+
+  // Re-arms the interest set (e.g. enable EPOLLOUT while the send queue is
+  // non-empty, drop read interest for backpressure).
+  Status UpdateEvents(int fd, bool want_read, bool want_write);
+
+  // Removes `fd` and waits out any in-flight callback for it (no wait when
+  // called from the loop thread). After this returns the handler is never
+  // called again for this registration.
+  void Deregister(int fd);
+
+  // Runs `fn` on the loop thread soon. Used for state only the loop may
+  // touch without races.
+  void Post(std::function<void()> fn);
+
+  bool InLoopThread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+ private:
+  void Loop();
+  void Wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<int, Handler*> handlers_;
+  int dispatching_fd_ = -1;  // fd whose callback is running right now
+  std::deque<std::function<void()>> posted_;
+
+  std::thread thread_;  // last member: starts in ctor after the fds exist
+};
+
+}  // namespace sdg::net
+
+#endif  // SDG_NET_EVENT_LOOP_H_

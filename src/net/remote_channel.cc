@@ -17,7 +17,10 @@ constexpr size_t kReplayBatch = 512;
 
 RemoteChannel::RemoteChannel(RemoteChannelOptions options,
                              runtime::OutputBuffer* log)
-    : options_(std::move(options)), log_(log) {}
+    : options_(std::move(options)),
+      log_(log),
+      executor_(options_.executor != nullptr ? options_.executor
+                                             : runtime::Executor::Shared()) {}
 
 RemoteChannel::~RemoteChannel() { Close(); }
 
@@ -29,6 +32,9 @@ Status RemoteChannel::Connect() {
 Status RemoteChannel::ConnectLocked() {
   SDG_ASSIGN_OR_RETURN(Socket sock,
                        Socket::Connect(options_.host, options_.port));
+  // Bound the handshake so a wedged receiver cannot pin this thread (which
+  // may be an executor worker) indefinitely; cleared before the data path.
+  sock.SetRecvTimeout(5000);
 
   Handshake hs;
   hs.deployment_id = options_.deployment_id;
@@ -57,13 +63,22 @@ Status RemoteChannel::ConnectLocked() {
     acked_watermark_ = std::max(acked_watermark_, ack.acked_ts);
   }
 
+  sock.SetRecvTimeout(0);
   Connection::Options copts;
   copts.send_queue_frames = options_.send_queue_frames;
+  if (options_.use_event_loop) {
+    copts.loop = options_.loop != nullptr ? options_.loop : EventLoop::Shared();
+  }
   conn_ = std::make_unique<Connection>(
       std::move(sock), copts, [this](Frame f) { HandleFrame(std::move(f)); },
-      [](const Status& s) {
+      [this](const Status& s) {
         SDG_LOG(kWarning) << "remote channel connection failed: "
                           << s.ToString();
+        // Heal in the background so an idle sender does not pay the redial
+        // on its next Deliver. Deliver's own synchronous repair remains the
+        // authoritative path; whichever runs first wins (both serialize on
+        // send_mutex_ and the loser sees a healthy connection).
+        StartBackgroundReconnect();
       },
       std::move(carry));
 
@@ -87,6 +102,9 @@ Status RemoteChannel::ConnectLocked() {
 }
 
 Status RemoteChannel::EnsureConnectedLocked() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return FailedPreconditionError("channel closed");
+  }
   if (conn_ != nullptr && !conn_->broken()) {
     return Status::Ok();
   }
@@ -172,9 +190,70 @@ uint64_t RemoteChannel::acked_watermark() const {
   return acked_watermark_;
 }
 
+void RemoteChannel::StartBackgroundReconnect() {
+  if (closed_.load(std::memory_order_acquire)) {
+    return;
+  }
+  if (reconnecting_.exchange(true)) {
+    return;  // one round in flight already
+  }
+  {
+    std::lock_guard<std::mutex> lock(reconnect_mutex_);
+    ++reconnect_inflight_;
+  }
+  executor_->Submit([this] { BackgroundReconnect(0); });
+}
+
+// One redial attempt per executor task, re-submitted up to the round's
+// attempt budget and never beyond it. Each attempt is its own task so the
+// worker is RELEASED between attempts — other work (including the receiver's
+// own setup, on a shared pool) interleaves, and a permanently-down receiver
+// costs bounded worker time rather than pinning a slot for the whole round.
+// After the round, the synchronous path in Deliver* owns repair.
+void RemoteChannel::BackgroundReconnect(int attempt) {
+  bool done = true;
+  if (!closed_.load(std::memory_order_acquire)) {
+    if (attempt > 0) {
+      // Pace redials. Sleeping here briefly occupies the worker; the release
+      // point between attempts is what matters for interleaving.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.reconnect_backoff_ms));
+    }
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (!closed_.load(std::memory_order_acquire) &&
+        (conn_ == nullptr || conn_->broken())) {
+      conn_.reset();
+      Status s = ConnectLocked();
+      if (s.ok()) {
+        if (closed_.load(std::memory_order_acquire)) {
+          conn_.reset();  // raced with Close: do not leave a live socket
+        }
+      } else {
+        conn_.reset();
+        done = attempt + 1 >= std::max(1, options_.reconnect_attempts);
+      }
+    }
+  }
+  if (!done) {
+    executor_->Submit([this, attempt] { BackgroundReconnect(attempt + 1); });
+    return;
+  }
+  reconnecting_.store(false, std::memory_order_release);
+  // Notify under the lock: once Close observes zero it may destroy the
+  // channel, so the cv must not be touched after unlock.
+  std::lock_guard<std::mutex> lock(reconnect_mutex_);
+  --reconnect_inflight_;
+  reconnect_cv_.notify_all();
+}
+
 void RemoteChannel::Close() {
-  std::lock_guard<std::mutex> lock(send_mutex_);
-  conn_.reset();
+  closed_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    conn_.reset();
+  }
+  std::unique_lock<std::mutex> lock(reconnect_mutex_);
+  reconnect_cv_.wait(lock, [this] { return reconnect_inflight_ == 0; });
 }
 
 bool RemoteChannel::connected() const {

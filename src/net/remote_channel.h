@@ -18,11 +18,23 @@
 //      acked watermark, marked replayed=true so downstream dedup applies.
 //
 // Thread safety: Deliver/DeliverAll may be called from one sender thread at a
-// time (the per-source FIFO contract); acks arrive on the connection's
-// reader thread and only touch the OutputBuffer, which locks internally.
+// time (the per-source FIFO contract); acks arrive on the connection's IO
+// thread (event loop or reader) and only touch the OutputBuffer, which locks
+// internally.
+//
+// Repair runs on two tracks. Deliver* keeps the synchronous
+// reconnect-and-replay (the authoritative path — a caller with data in hand
+// always gets the full retry budget). Additionally, the moment a connection
+// reports broken, a background reconnect task is submitted to the executor:
+// one bounded round of redial attempts, so an idle sender's channel heals
+// before the next Deliver instead of paying the redial latency then. The
+// task never reschedules itself — a permanently-down receiver must not pin a
+// shared pool worker.
 #ifndef SDG_NET_REMOTE_CHANNEL_H_
 #define SDG_NET_REMOTE_CHANNEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,8 +43,10 @@
 
 #include "src/common/status.h"
 #include "src/net/connection.h"
+#include "src/net/event_loop.h"
 #include "src/net/frame.h"
 #include "src/runtime/delivery.h"
+#include "src/runtime/executor.h"
 #include "src/runtime/output_buffer.h"
 
 namespace sdg::net {
@@ -52,6 +66,12 @@ struct RemoteChannelOptions {
   // may take before Deliver* gives up and reports the channel broken.
   int reconnect_attempts = 100;
   int reconnect_backoff_ms = 100;
+  // Drive the socket from the shared epoll loop (default) or fall back to
+  // the thread-per-connection baseline.
+  bool use_event_loop = true;
+  EventLoop* loop = nullptr;  // nullptr = EventLoop::Shared() when enabled
+  // Runs the background reconnect task; nullptr = Executor::Shared().
+  runtime::Executor* executor = nullptr;
 };
 
 class RemoteChannel final : public runtime::DeliveryTarget {
@@ -96,14 +116,27 @@ class RemoteChannel final : public runtime::DeliveryTarget {
   // Frames and sends one batch; false on wire failure. Under send_mutex_.
   bool SendBatchLocked(const std::vector<runtime::DataItem>& items);
   void HandleFrame(Frame frame);
+  // Submits one bounded background reconnect round (dedup'd: at most one in
+  // flight). Called from the connection's on_error.
+  void StartBackgroundReconnect();
+  // One attempt of that round; re-submits itself (as a fresh executor task,
+  // releasing the worker in between) while the budget lasts.
+  void BackgroundReconnect(int attempt);
 
   const RemoteChannelOptions options_;
   runtime::OutputBuffer* const log_;
+  runtime::Executor* const executor_;
 
   mutable std::mutex send_mutex_;
   std::unique_ptr<Connection> conn_;
   mutable std::mutex ack_mutex_;
   uint64_t acked_watermark_ = 0;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> reconnecting_{false};
+  std::mutex reconnect_mutex_;
+  std::condition_variable reconnect_cv_;
+  size_t reconnect_inflight_ = 0;  // Close/dtor wait for zero
 };
 
 }  // namespace sdg::net

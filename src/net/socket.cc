@@ -1,6 +1,7 @@
 #include "src/net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -69,6 +70,50 @@ Status Socket::WriteAll(const uint8_t* buf, size_t size) {
   return Status::Ok();
 }
 
+Status Socket::SetNonBlocking(bool enable) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return Errno("fcntl(F_GETFL)");
+  }
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> Socket::TryRead(uint8_t* buf, size_t size) {
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, size, 0);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return kWouldBlock;
+    }
+    return Errno("recv");
+  }
+}
+
+Result<size_t> Socket::TryWrite(const uint8_t* buf, size_t size) {
+  for (;;) {
+    ssize_t n = ::send(fd_, buf, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<size_t>(0);
+    }
+    return Errno("send");
+  }
+}
+
 void Socket::SetRecvTimeout(int millis) {
   timeval tv{};
   tv.tv_sec = millis / 1000;
@@ -126,6 +171,38 @@ Result<Socket> Listener::Accept() {
     }
     if (errno == EINTR) {
       continue;
+    }
+    return AbortedError(std::string("accept: ") + std::strerror(errno));
+  }
+}
+
+Status Listener::SetNonBlocking(bool enable) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) {
+    return Errno("fcntl(F_GETFL)");
+  }
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, flags) != 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+Result<Socket> Listener::TryAccept() {
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      // accept() does not inherit O_NONBLOCK: the socket is blocking, which
+      // is what the synchronous handshake wants; the data path flips it.
+      return Socket(fd);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Socket();  // nothing pending; caller checks valid()
     }
     return AbortedError(std::string("accept: ") + std::strerror(errno));
   }

@@ -1,9 +1,12 @@
 // Minimal RAII wrappers over POSIX TCP sockets.
 //
-// Blocking sockets only: the transport uses one reader and one writer thread
-// per connection (see connection.h), so nothing here needs readiness
-// notification. All failures surface as Status — a dropped peer is an
-// expected event the reconnect path handles, never a crash.
+// Sockets start blocking (handshakes are simple synchronous exchanges) and
+// switch to non-blocking for the data path, where a single epoll loop
+// (event_loop.h) multiplexes every connection: TryRead/TryWrite surface
+// would-block instead of parking a thread. The legacy thread-per-connection
+// mode keeps using the blocking calls. All failures surface as Status — a
+// dropped peer is an expected event the reconnect path handles, never a
+// crash.
 #ifndef SDG_NET_SOCKET_H_
 #define SDG_NET_SOCKET_H_
 
@@ -47,6 +50,19 @@ class Socket {
   // Used for the handshake phase so a silent client cannot pin a thread.
   void SetRecvTimeout(int millis);
 
+  // Switches O_NONBLOCK on or off (event-loop mode flips it on after the
+  // blocking handshake).
+  Status SetNonBlocking(bool enable);
+
+  // Non-blocking read: bytes read, 0 on orderly EOF, or kWouldBlock when the
+  // socket has no data right now. EINTR is retried.
+  static constexpr size_t kWouldBlock = SIZE_MAX;
+  Result<size_t> TryRead(uint8_t* buf, size_t size);
+
+  // Non-blocking write: bytes accepted (possibly short), 0 when the kernel
+  // buffer is full (would block). EINTR is retried; EPIPE surfaces as Status.
+  Result<size_t> TryWrite(const uint8_t* buf, size_t size);
+
   // Wakes any thread blocked in ReadSome/WriteAll with EOF/EPIPE.
   void ShutdownBoth();
 
@@ -84,11 +100,21 @@ class Listener {
   // Blocks for the next connection; kAborted once Close() was called.
   Result<Socket> Accept();
 
+  // Switches the listening fd to O_NONBLOCK so an event loop can drive it.
+  Status SetNonBlocking(bool enable);
+
+  // Non-blocking accept: a socket, or nullopt-like empty Socket() when no
+  // connection is pending (EAGAIN). Errors (including a closed listener)
+  // surface as Status. The accepted socket is blocking regardless of the
+  // listener's mode.
+  Result<Socket> TryAccept();
+
   // Unblocks Accept and releases the port. Idempotent.
   void Close();
 
   uint16_t port() const { return port_; }
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
 
  private:
   int fd_ = -1;

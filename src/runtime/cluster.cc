@@ -9,7 +9,6 @@
 #include "src/checkpoint/chunk_stream.h"
 #include "src/common/clock.h"
 #include "src/common/logging.h"
-#include "src/common/thread_pool.h"
 #include "src/state/chunk.h"
 #include "src/state/codec.h"
 
@@ -17,12 +16,12 @@ namespace sdg::runtime {
 
 namespace {
 
-// Acquires every mutex in `mutexes` without hold-and-wait: try-lock all, back
-// off on contention. Avoids deadlock against workers that hold their step
+// Acquires every step mutex in `mutexes` without hold-and-wait: try-lock all,
+// back off on contention. Avoids deadlock against slices that hold their step
 // lock while blocked on a full mailbox.
 class MultiLock {
  public:
-  explicit MultiLock(std::vector<std::mutex*> mutexes)
+  explicit MultiLock(std::vector<std::timed_mutex*> mutexes)
       : mutexes_(std::move(mutexes)) {
     for (;;) {
       size_t acquired = 0;
@@ -51,7 +50,7 @@ class MultiLock {
   }
 
  private:
-  std::vector<std::mutex*> mutexes_;
+  std::vector<std::timed_mutex*> mutexes_;
 };
 
 std::string StateChunkName(graph::StateId state, uint32_t instance) {
@@ -99,16 +98,18 @@ struct StagedGroup {
   std::vector<DataItem> items;
 };
 
-// Per-worker-thread staging area. A worker thread belongs to exactly one
-// TaskInstance of one Deployment, RouteEmits stages into it, and
-// FlushStagedDeliveries empties it — per input item when upstream backup is
-// on, per drained mailbox batch otherwise — so entries never cross
-// deployments. Thread-local reuse keeps the steady-state emit path free of
-// per-item allocations.
+// Per-thread staging area. RouteEmits runs inside one instance's slice and
+// stages into it; FlushStagedDeliveries empties it — per input item when
+// upstream backup is on, per drained mailbox batch otherwise. A blocked
+// delivery may help-run ANOTHER instance's slice inline on this same thread
+// (executor.h), so the flush must swap the staged groups out of the
+// thread_local before delivering: the nested slice then stages and flushes
+// its own groups without touching the outer flush's. Thread-local reuse keeps
+// the steady-state emit path free of per-item allocations.
 thread_local std::vector<StagedGroup> tl_staged;
 
 // Scratch for tuples emitted past the last out-edge (sink deliveries);
-// cleared at the end of every RouteEmits call.
+// swapped to a local before delivery for the same inline-help reason.
 thread_local std::vector<Tuple> tl_sink_tuples;
 
 }  // namespace
@@ -129,6 +130,13 @@ std::string_view FtModeName(FtMode mode) {
 
 Deployment::Deployment(graph::Sdg g, ClusterOptions options)
     : sdg_(std::move(g)), options_(std::move(options)) {
+  if (options_.executor_workers > 0) {
+    owned_executor_ = std::make_unique<Executor>(
+        Executor::Options{options_.executor_workers});
+    executor_ = owned_executor_.get();
+  } else {
+    executor_ = Executor::Shared();
+  }
   edges_ = sdg_.edges();
   out_edges_.resize(sdg_.tasks().size());
   for (const auto& e : edges_) {
@@ -215,13 +223,14 @@ Status Deployment::Start() {
       for (uint32_t j = 0; j < group.instances.size(); ++j) {
         slots.push_back(std::make_unique<TaskInstance>(
             te, j, group.instance_nodes[j], group.instances[j].get(), this,
-            options_.mailbox_capacity, options_.max_batch));
+            executor_, options_.mailbox_capacity, options_.max_batch));
       }
     } else {
       for (uint32_t j = 0; j < te.initial_instances; ++j) {
         uint32_t node = (alloc.task_nodes[te.id] + j) % options_.num_nodes;
         slots.push_back(std::make_unique<TaskInstance>(
-            te, j, node, nullptr, this, options_.mailbox_capacity, options_.max_batch));
+            te, j, node, nullptr, this, executor_, options_.mailbox_capacity,
+            options_.max_batch));
       }
     }
     if (te.is_entry) {
@@ -580,8 +589,50 @@ Status Deployment::OnOutput(std::string_view task, SinkFn fn) {
 void Deployment::Drain() {
   // AccountDone serialises on inflight_mutex_ before notifying, so checking
   // the atomic under the lock cannot miss the 1->0 wakeup.
-  std::unique_lock<std::mutex> lock(inflight_mutex_);
-  inflight_cv_.wait(lock, [&] { return in_flight_.value() <= 0; });
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    if (inflight_cv_.wait_for(lock, std::chrono::milliseconds(2),
+                              [&] { return in_flight_.value() <= 0; })) {
+      return;
+    }
+  }
+  // Slow path: help. On a shared pool every worker may be occupied — or
+  // blocked on a lock the Drain caller holds (e.g. an ingest gate taken
+  // around checkpointing): waiting passively would deadlock. The draining
+  // thread claims and runs this deployment's OWN instances inline instead.
+  // Only own instances: a foreign entity's slice could be the one that needs
+  // the caller's lock. Slices never take ingest_gate_ (only the Inject*
+  // entry points do), so a caller holding it uniquely (ScaleUp) is safe.
+  std::vector<TaskInstance*> instances;
+  for (;;) {
+    instances.clear();
+    {
+      std::shared_lock topo(topo_mutex_);
+      for (auto& slots : task_instances_) {
+        for (auto& ti : slots) {
+          if (ti) {
+            instances.push_back(ti.get());
+          }
+        }
+      }
+    }
+    // Raw pointers stay valid off the lock: instances are only destroyed in
+    // ~Deployment, never while a Drain can be in progress.
+    bool progress = false;
+    for (auto* ti : instances) {
+      progress |= ti->TryRunInline();
+    }
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    if (in_flight_.value() <= 0) {
+      return;
+    }
+    if (!progress) {
+      if (inflight_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                                [&] { return in_flight_.value() <= 0; })) {
+        return;
+      }
+    }
+  }
 }
 
 void Deployment::AccountDelivered(size_t count) {
@@ -609,24 +660,28 @@ void Deployment::Shutdown() {
   if (scaling_monitor_.joinable()) {
     scaling_monitor_.join();
   }
-  // Abort everything; callers wanting a clean flush call Drain() first.
-  std::unique_lock topo(topo_mutex_);
-  for (auto& slots : task_instances_) {
-    for (auto& ti : slots) {
-      if (ti) {
-        ti->Abort();
+  // Abort everything; callers wanting a clean flush call Drain() first. The
+  // joins happen OFF the topology lock: a retiring slice may still be inside
+  // RouteEmits waiting for a shared topo lock, and AwaitIdle-ing it while
+  // holding any topo lock could deadlock through a queued writer. The raw
+  // pointers stay valid — nothing destroys instances until ~Deployment.
+  std::vector<TaskInstance*> to_join;
+  {
+    std::unique_lock topo(topo_mutex_);
+    for (auto& slots : task_instances_) {
+      for (auto& ti : slots) {
+        if (ti) {
+          ti->Abort();
+          to_join.push_back(ti.get());
+        }
       }
     }
-  }
-  for (auto& slots : task_instances_) {
-    for (auto& ti : slots) {
-      if (ti) {
-        ti->Join();
-      }
+    for (auto& ti : dead_instances_) {
+      ti->Abort();
+      to_join.push_back(ti.get());
     }
   }
-  for (auto& ti : dead_instances_) {
-    ti->Abort();
+  for (auto* ti : to_join) {
     ti->Join();
   }
 }
@@ -782,6 +837,13 @@ void Deployment::RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
     }
   }
 
+  // Take this item's sink tuples out of the thread_local before anything can
+  // deliver: a blocked delivery below may help-run a nested slice on this
+  // thread, and its RouteEmits must find tl_sink_tuples empty rather than
+  // adopt (and mis-tag) ours.
+  std::vector<Tuple> local_sinks;
+  local_sinks.swap(sinks);
+
   // Staged items count as in flight from here: the causing input item is
   // only released (OnItemsDone) after they are flushed, so Drain() cannot
   // observe a moment where they are invisible.
@@ -801,17 +863,25 @@ void Deployment::RouteEmits(TaskInstance& src, std::vector<PendingEmit>& emits,
     }
     FlushStagedDeliveries();
   }
-  for (auto& tuple : sinks) {
+  for (auto& tuple : local_sinks) {
     DeliverToSink(src.task_id(), tuple, cause.user_tag);
   }
-  sinks.clear();
+  local_sinks.clear();
+  if (sinks.empty()) {
+    sinks.swap(local_sinks);  // hand the warmed capacity back
+  }
 }
 
 void Deployment::FlushStagedDeliveries() {
-  std::vector<StagedGroup>& groups = tl_staged;
-  if (groups.empty()) {
+  if (tl_staged.empty()) {
     return;
   }
+  // Move the staged groups out of the thread_local before delivering: a push
+  // below may block on a full mailbox and help-run another instance's slice
+  // inline on this thread, whose RouteEmits/OnItemsDone stage and flush
+  // through the same thread_local.
+  std::vector<StagedGroup> groups;
+  groups.swap(tl_staged);
   // Resolve every destination under one shared topology-lock scope; pushes
   // happen after release (a blocking push under the topology lock could
   // stall writers, and readers behind them, on a full mailbox). The resolved
@@ -862,6 +932,9 @@ void Deployment::FlushStagedDeliveries() {
     }
   }
   groups.clear();
+  if (tl_staged.empty()) {
+    tl_staged.swap(groups);  // hand the warmed capacity back
+  }
 }
 
 void Deployment::DeliverTo(graph::TaskId task, uint32_t dest, DataItem item,
@@ -1164,7 +1237,8 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
       return UnavailableError("no alive node to place the new instance on");
     }
     slots.push_back(std::make_unique<TaskInstance>(
-        te, j, node, nullptr, this, options_.mailbox_capacity, options_.max_batch));
+        te, j, node, nullptr, this, executor_, options_.mailbox_capacity,
+        options_.max_batch));
     slots.back()->Start();
     return Status::Ok();
   }
@@ -1213,35 +1287,33 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
             });
         SDG_RETURN_IF_ERROR(s);
         // Stripe-locked backends take concurrent RestoreRecord calls, so a
-        // large migration is ingested by a slice-per-thread fan-out.
+        // large migration is ingested by a stride-per-slot executor fan-out.
         const uint32_t fanout =
             std::min<uint32_t>(CkptParallelism(options_.fault_tolerance),
                                static_cast<uint32_t>(moving.size() / 64));
         if (fanout > 1) {
-          ThreadPool pool(fanout);
           std::mutex status_mutex;
           Status first_error;
           state::StateBackend* target = group.instances[j].get();
           const size_t stride = (moving.size() + fanout - 1) / fanout;
-          for (uint32_t t = 0; t < fanout; ++t) {
-            const size_t begin = t * stride;
-            const size_t end = std::min(moving.size(), begin + stride);
-            pool.Submit([&moving, target, begin, end, &status_mutex,
-                         &first_error] {
-              for (size_t r = begin; r < end; ++r) {
-                Status rs = target->RestoreRecord(moving[r].data(),
-                                                  moving[r].size());
-                if (!rs.ok()) {
-                  std::lock_guard<std::mutex> lock(status_mutex);
-                  if (first_error.ok()) {
-                    first_error = rs;
+          executor_->Parallel(
+              fanout,
+              [&moving, target, stride, &status_mutex, &first_error](size_t t) {
+                const size_t begin = t * stride;
+                const size_t end = std::min(moving.size(), begin + stride);
+                for (size_t r = begin; r < end; ++r) {
+                  Status rs = target->RestoreRecord(moving[r].data(),
+                                                    moving[r].size());
+                  if (!rs.ok()) {
+                    std::lock_guard<std::mutex> lock(status_mutex);
+                    if (first_error.ok()) {
+                      first_error = rs;
+                    }
+                    return;
                   }
-                  return;
                 }
-              }
-            });
-          }
-          pool.Wait();
+              },
+              fanout);
           SDG_CHECK(first_error.ok())
               << "re-shard restore failed: " << first_error.ToString();
         } else {
@@ -1268,7 +1340,7 @@ Status Deployment::AddTaskInstance(std::string_view task_name) {
     SDG_CHECK(slots.size() == j) << "group instance counts diverged";
     slots.push_back(std::make_unique<TaskInstance>(
         sdg_.task(accessor), j, node, group.instances[j].get(), this,
-        options_.mailbox_capacity, options_.max_batch));
+        executor_, options_.mailbox_capacity, options_.max_batch));
     slots.back()->Start();
   }
   return Status::Ok();
@@ -1353,7 +1425,7 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
   // flag the SE dirty and capture a consistent (SE, vector-timestamp, clock)
   // cut — the paper's "minimal interruption" point (§5 step 1/2).
   for (auto& unit : units) {
-    std::vector<std::mutex*> locks;
+    std::vector<std::timed_mutex*> locks;
     locks.reserve(unit.accessors.size());
     for (auto* ti : unit.accessors) {
       locks.push_back(&ti->step_mutex());
@@ -1445,19 +1517,20 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
                                              cs.name, wo);
         SDG_RETURN_IF_ERROR(writer.Begin());
         if (fanout > 1) {
-          ThreadPool pool(fanout);
           auto sink = writer.AsSink();
           auto delta_sink = writer.AsDeltaSink();
-          for (uint32_t s = 0; s < nshards; ++s) {
-            pool.Submit([&, s] {
-              if (use_delta) {
-                cs.backend->SerializeShardDirtyRecords(s, delta_sink);
-              } else {
-                cs.backend->SerializeShardRecords(s, sink);
-              }
-            });
-          }
-          pool.Wait();
+          executor_->Parallel(
+              nshards,
+              [&](size_t s) {
+                if (use_delta) {
+                  cs.backend->SerializeShardDirtyRecords(
+                      static_cast<uint32_t>(s), delta_sink);
+                } else {
+                  cs.backend->SerializeShardRecords(static_cast<uint32_t>(s),
+                                                    sink);
+                }
+              },
+              fanout);
         } else if (use_delta) {
           cs.backend->SerializeDirtyRecords(writer.AsDeltaSink());
         } else {
@@ -1531,8 +1604,9 @@ Status Deployment::CheckpointNodeLocked(uint32_t node) {
   Status persist_status;
   if (mode == FtMode::kSyncLocal || mode == FtMode::kSyncGlobal) {
     // Stop-the-node (SEEP) / stop-the-world (Naiad): hold every relevant
-    // step lock for the full serialise+write.
-    std::vector<std::mutex*> locks;
+    // step lock for the full serialise+write. Paused slices time out on
+    // try_lock_for and yield their pool worker rather than wedging the pool.
+    std::vector<std::timed_mutex*> locks;
     {
       std::shared_lock topo(topo_mutex_);
       for (auto& slots : task_instances_) {
@@ -1670,6 +1744,7 @@ void Deployment::CheckpointDriverLoop() {
                    << " tombstones, " << st.overlay_consolidated
                    << " overlay entries consolidated, last "
                    << st.last_duration_us << "us";
+    SDG_LOG(kInfo) << "executor: " << executor_->StatsSnapshot().ToString();
   }
 }
 
@@ -1836,25 +1911,23 @@ Status Deployment::RecoverNode(uint32_t failed,
             std::min<uint32_t>(CkptParallelism(options_.fault_tolerance),
                                static_cast<uint32_t>(chunks.size()));
         if (fanout > 1) {
-          ThreadPool pool(fanout);
           std::mutex status_mutex;
           Status first_error;
-          for (const auto& chunk : chunks) {
-            const std::vector<uint8_t>* chunk_ptr = &chunk;
-            state::StateBackend* target = rs.backends[0].get();
-            pool.Submit([chunk_ptr, target, &status_mutex, &first_error,
-                         &ingest_throttle] {
-              ingest_throttle(chunk_ptr->size());
-              Status s = state::RestoreChunk(*target, *chunk_ptr);
-              if (!s.ok()) {
-                std::lock_guard<std::mutex> lock(status_mutex);
-                if (first_error.ok()) {
-                  first_error = s;
+          state::StateBackend* target = rs.backends[0].get();
+          executor_->Parallel(
+              chunks.size(),
+              [&chunks, target, &status_mutex, &first_error,
+               &ingest_throttle](size_t c) {
+                ingest_throttle(chunks[c].size());
+                Status s = state::RestoreChunk(*target, chunks[c]);
+                if (!s.ok()) {
+                  std::lock_guard<std::mutex> lock(status_mutex);
+                  if (first_error.ok()) {
+                    first_error = s;
+                  }
                 }
-              }
-            });
-          }
-          pool.Wait();
+              },
+              fanout);
           SDG_RETURN_IF_ERROR(first_error);
         } else {
           for (const auto& chunk : chunks) {
@@ -1865,29 +1938,25 @@ Status Deployment::RecoverNode(uint32_t failed,
       } else {
         // Step R1/R2 of Fig. 4: split each chunk into n partitions and
         // reconstruct the n new instances in parallel.
-        ThreadPool pool(n);
         std::mutex status_mutex;
         Status first_error;
         for (const auto& chunk : chunks) {
           SDG_ASSIGN_OR_RETURN(auto parts, state::SplitChunk(chunk, n));
-          for (uint32_t i = 0; i < n; ++i) {
-            auto part =
-                std::make_shared<std::vector<uint8_t>>(std::move(parts[i]));
-            state::StateBackend* target = rs.backends[i].get();
-            pool.Submit([part, target, &status_mutex, &first_error,
-                         &ingest_throttle] {
-              ingest_throttle(part->size());
-              Status s = state::RestoreChunk(*target, *part);
-              if (!s.ok()) {
-                std::lock_guard<std::mutex> lock(status_mutex);
-                if (first_error.ok()) {
-                  first_error = s;
+          executor_->Parallel(
+              n,
+              [&parts, &rs, &status_mutex, &first_error,
+               &ingest_throttle](size_t i) {
+                ingest_throttle(parts[i].size());
+                Status s = state::RestoreChunk(*rs.backends[i], parts[i]);
+                if (!s.ok()) {
+                  std::lock_guard<std::mutex> lock(status_mutex);
+                  if (first_error.ok()) {
+                    first_error = s;
+                  }
                 }
-              }
-            });
-          }
+              },
+              n);
         }
-        pool.Wait();
         SDG_RETURN_IF_ERROR(first_error);
       }
     }
@@ -1952,8 +2021,8 @@ Status Deployment::RecoverNode(uint32_t failed,
           slots.resize(inst + 1);
         }
         slots[inst] = std::make_unique<TaskInstance>(
-            te, inst, node, backend, this, options_.mailbox_capacity,
-            options_.max_batch);
+            te, inst, node, backend, this, executor_,
+            options_.mailbox_capacity, options_.max_batch);
         // tm.emit_clock is the checkpointed Peek() — the next ts to issue.
         // ResumeAt (not AdvanceTo) so re-processed inputs re-issue the same
         // timestamps and stay inside downstream dedup watermarks.

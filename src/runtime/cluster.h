@@ -1,8 +1,9 @@
 // Cluster and Deployment: materialised execution of an SDG (§3.3) on a
 // simulated cluster.
 //
-// A "node" is a placement container: every TE instance runs its own worker
-// thread, and data items crossing a node boundary are serialised and
+// A "node" is a placement container: every TE instance is materialised as a
+// schedulable entity on the deployment's executor pool (executor.h), and
+// data items crossing a node boundary are serialised and
 // deserialised so the location-independence and recovery code paths are
 // genuinely exercised. Instances of TEs that access the same SE form a
 // state-bound group: they share the SE's instance count, and instance j of
@@ -40,6 +41,7 @@
 #include "src/graph/allocation.h"
 #include "src/graph/sdg.h"
 #include "src/runtime/data_item.h"
+#include "src/runtime/executor.h"
 #include "src/runtime/fault_injector.h"
 #include "src/runtime/task_instance.h"
 
@@ -112,6 +114,11 @@ struct ClusterOptions {
   // unaffected either way.
   size_t max_batch = 256;
   OneToAnyPolicy one_to_any = OneToAnyPolicy::kJoinShortestQueue;
+  // Workers in the deployment's executor pool. 0 = use the process-wide
+  // Executor::Shared() (hardware-concurrency workers, shared with the
+  // network layer so total thread count stays O(cores)); > 0 = a private
+  // pool of exactly that many workers (tests pin oversubscription ratios).
+  size_t executor_workers = 0;
   // Serialise/deserialise items that cross node boundaries (realistic cost;
   // disable only for microbenchmarks of pure processing).
   bool serialize_cross_node = true;
@@ -254,6 +261,14 @@ class Deployment final : public RuntimeHooks {
   };
   CheckpointStats CheckpointStatsSnapshot() const;
 
+  // Executor observability: per-worker tasks-run/steal counters and current
+  // ready-set depth of the pool this deployment runs on (shared pool stats
+  // include other deployments' work; private pools are exact).
+  ExecutorStats ExecutorStatsSnapshot() const {
+    return executor_->StatsSnapshot();
+  }
+  Executor* executor() { return executor_; }
+
   // Human-readable snapshot of the materialised topology: per node, the TE
   // instances (with queue depth and processed count) and SE instances (with
   // size) it hosts.
@@ -317,6 +332,12 @@ class Deployment final : public RuntimeHooks {
 
   graph::Sdg sdg_;
   ClusterOptions options_;
+  // The pool every TaskInstance slice, checkpoint fan-out and helper task of
+  // this deployment runs on. Declared before (so destroyed after) instances
+  // and state: entities must be able to retire their last slice before their
+  // pool disappears. owned_executor_ is set only for private pools.
+  std::unique_ptr<Executor> owned_executor_;
+  Executor* executor_ = nullptr;
   std::vector<graph::DataflowEdge> edges_;                       // flattened
   std::vector<std::vector<const graph::DataflowEdge*>> out_edges_;  // by task
 

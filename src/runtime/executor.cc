@@ -1,0 +1,320 @@
+#include "src/runtime/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/logging.h"
+
+namespace sdg::runtime {
+
+namespace {
+// Which worker (of which executor) the current thread is; lets Enqueue favour
+// the local run queue and Parallel detect re-entrancy cheaply.
+thread_local Executor* tl_executor = nullptr;
+thread_local size_t tl_worker_index = 0;
+}  // namespace
+
+Schedulable::~Schedulable() {
+  SDG_CHECK(pending_entries_.load(std::memory_order_acquire) == 0)
+      << "schedulable destroyed with live run-queue entries";
+}
+
+void Schedulable::Ready() {
+  if (home_ == nullptr) {
+    return;
+  }
+  uint32_t s = sched_state_.load(std::memory_order_acquire);
+  for (;;) {
+    if (s == kIdle) {
+      if (sched_state_.compare_exchange_weak(s, kQueued,
+                                             std::memory_order_acq_rel)) {
+        home_->Enqueue(this);
+        return;
+      }
+    } else if (s == kRunning) {
+      if (sched_state_.compare_exchange_weak(s, kRunningNotified,
+                                             std::memory_order_acq_rel)) {
+        return;  // the running slice will re-enqueue on exit
+      }
+    } else {
+      return;  // kQueued / kRunningNotified: a run is already pending
+    }
+  }
+}
+
+void Schedulable::FinishSlice(bool more) {
+  for (;;) {
+    uint32_t s = sched_state_.load(std::memory_order_acquire);
+    if (more || s == kRunningNotified) {
+      // More work (or a Ready arrived mid-slice): go back on the queue. The
+      // store may overwrite a racing kRunning->kRunningNotified transition,
+      // which is fine — we are enqueuing anyway.
+      sched_state_.store(kQueued, std::memory_order_release);
+      home_->Enqueue(this);
+      return;
+    }
+    if (sched_state_.compare_exchange_weak(s, kIdle,
+                                           std::memory_order_acq_rel)) {
+      return;
+    }
+    // CAS failed: a Ready flipped us to kRunningNotified — loop and enqueue.
+  }
+}
+
+bool Schedulable::TryRunInline() {
+  if (home_ == nullptr) {
+    return false;
+  }
+  uint32_t s = sched_state_.load(std::memory_order_acquire);
+  for (;;) {
+    if (s != kIdle && s != kQueued) {
+      return false;  // someone is running it; our wait will be short
+    }
+    // Claiming from kQueued leaves a stale queue entry behind — harmless:
+    // the popper's CAS fails and only pending_entries_ is touched.
+    if (sched_state_.compare_exchange_weak(s, kRunning,
+                                           std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+  bool more = RunSlice();
+  FinishSlice(more);
+  return true;
+}
+
+void Schedulable::AwaitIdle() {
+  for (int spins = 0;; ++spins) {
+    if (sched_state_.load(std::memory_order_acquire) == kIdle &&
+        pending_entries_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    if (spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+Executor::Executor(Options options) {
+  size_t n = options.workers;
+  if (n == 0) {
+    n = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+Executor::~Executor() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+  }
+  idle_cv_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  // Cancel whatever is still queued: entity entries release their claim so a
+  // late AwaitIdle cannot wedge; closures are dropped (owners of closure
+  // results must not outlive their executor).
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lock(w->mutex);
+    for (auto& work : w->queue) {
+      if (work.ent != nullptr) {
+        uint32_t expected = Schedulable::kQueued;
+        work.ent->sched_state_.compare_exchange_strong(
+            expected, Schedulable::kIdle, std::memory_order_acq_rel);
+        work.ent->pending_entries_.fetch_sub(1, std::memory_order_release);
+      }
+    }
+    w->queue.clear();
+  }
+}
+
+Executor* Executor::Shared() {
+  // Leaked on purpose (reachable through the static, so not a "leak" to
+  // LSan): workers must outlive every static-destruction-order dependent.
+  static Executor* shared = new Executor();
+  return shared;
+}
+
+void Executor::Enqueue(Schedulable* ent) {
+  ent->pending_entries_.fetch_add(1, std::memory_order_acq_rel);
+  Push(Work{ent, nullptr});
+}
+
+void Executor::Submit(std::function<void()> fn) {
+  Push(Work{nullptr, std::move(fn)});
+}
+
+void Executor::Push(Work work) {
+  size_t target;
+  if (tl_executor == this) {
+    target = tl_worker_index;  // stay local; thieves redistribute
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             workers_.size();
+  }
+  // Count first so the counter is conservative (never less than the queued
+  // items a scanning worker can find); a pop can therefore never underflow it.
+  work_count_.fetch_add(1, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(work));
+  }
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  if (sleepers_ > 0) {
+    lock.unlock();
+    idle_cv_.notify_one();
+  }
+}
+
+bool Executor::PopWork(size_t index, Work* out, bool* stolen) {
+  const size_t n = workers_.size();
+  for (;;) {
+    if (work_count_.load(std::memory_order_acquire) > 0) {
+      // Own queue first (FIFO front), then steal from siblings' backs.
+      {
+        WorkerState& me = *workers_[index];
+        std::lock_guard<std::mutex> lock(me.mutex);
+        if (!me.queue.empty()) {
+          *out = std::move(me.queue.front());
+          me.queue.pop_front();
+          *stolen = false;
+          work_count_.fetch_sub(1, std::memory_order_release);
+          return true;
+        }
+      }
+      for (size_t d = 1; d < n; ++d) {
+        WorkerState& victim = *workers_[(index + d) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.queue.empty()) {
+          *out = std::move(victim.queue.back());
+          victim.queue.pop_back();
+          *stolen = true;
+          work_count_.fetch_sub(1, std::memory_order_release);
+          return true;
+        }
+      }
+      // Counted work raced away between the scan's lock releases; retry.
+      if (stop_.load(std::memory_order_acquire)) {
+        return false;
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    std::unique_lock<std::mutex> lock(idle_mutex_);
+    if (work_count_.load(std::memory_order_acquire) > 0 ||
+        stop_.load(std::memory_order_acquire)) {
+      continue;  // a push landed between the check and the lock
+    }
+    ++sleepers_;
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    --sleepers_;
+  }
+}
+
+void Executor::RunWork(Work& work, WorkerState& me, bool stolen) {
+  if (work.ent != nullptr) {
+    Schedulable* ent = work.ent;
+    uint32_t expected = Schedulable::kQueued;
+    if (ent->sched_state_.compare_exchange_strong(
+            expected, Schedulable::kRunning, std::memory_order_acq_rel)) {
+      me.tasks_run.Increment();
+      if (stolen) {
+        me.steals.Increment();
+      }
+      bool more = ent->RunSlice();
+      ent->FinishSlice(more);
+    }
+    // Last access to the entity: releases AwaitIdle / the destructor.
+    ent->pending_entries_.fetch_sub(1, std::memory_order_release);
+  } else if (work.fn) {
+    me.tasks_run.Increment();
+    if (stolen) {
+      me.steals.Increment();
+    }
+    work.fn();
+  }
+}
+
+void Executor::WorkerLoop(size_t index) {
+  tl_executor = this;
+  tl_worker_index = index;
+  WorkerState& me = *workers_[index];
+  Work work;
+  bool stolen = false;
+  while (PopWork(index, &work, &stolen)) {
+    RunWork(work, me, stolen);
+    work = Work{};
+  }
+  tl_executor = nullptr;
+}
+
+void Executor::Parallel(size_t n, const std::function<void(size_t)>& fn,
+                        size_t max_workers) {
+  if (n == 0) {
+    return;
+  }
+  struct Ctl {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto ctl = std::make_shared<Ctl>();
+  auto drain = [ctl, &fn, n] {
+    for (;;) {
+      size_t i = ctl->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      fn(i);
+      if (ctl->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        std::lock_guard<std::mutex> lock(ctl->mutex);
+        ctl->cv.notify_all();
+      }
+    }
+  };
+  size_t cap = max_workers == 0 ? workers_.size() : max_workers;
+  cap = std::min(cap, workers_.size() + 1);  // caller counts as one
+  size_t helpers = std::min(cap > 0 ? cap - 1 : 0, n - 1);
+  // Helpers read `fn` only while claiming indexes; once done == n no further
+  // claim can succeed, so waking the caller cannot dangle the reference.
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit(drain);
+  }
+  drain();  // caller participates: progress even on a saturated pool
+  std::unique_lock<std::mutex> lock(ctl->mutex);
+  ctl->cv.wait(lock, [&] {
+    return ctl->done.load(std::memory_order_acquire) == n;
+  });
+}
+
+ExecutorStats Executor::StatsSnapshot() const {
+  ExecutorStats stats;
+  stats.per_worker.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    ExecutorWorkerStats ws;
+    ws.tasks_run = w->tasks_run.value();
+    ws.steals = w->steals.value();
+    stats.tasks_run += ws.tasks_run;
+    stats.steals += ws.steals;
+    stats.per_worker.push_back(ws);
+  }
+  stats.ready_queue_depth = work_count_.load(std::memory_order_acquire);
+  return stats;
+}
+
+}  // namespace sdg::runtime

@@ -1,0 +1,171 @@
+// Executor: a fixed pool of workers multiplexing every schedulable entity in
+// the process — task instances, network dispatch, checkpoint fan-out.
+//
+// The paper's runtime materialises the whole SDG (§3.1) and assumes a node
+// can host many TE/SE instances (§3.3-3.4). A dedicated thread per instance
+// caps that at hundreds; the executor decouples the dataflow graph from the
+// execution layer: N logical entities share `workers` OS threads (default
+// hardware concurrency), each worker owning a run queue and stealing from
+// siblings when its own runs dry.
+//
+// Scheduling model ("ready set"): a `Schedulable` is either idle, queued on
+// some worker's run queue, or running a slice on exactly one thread. Marking
+// it ready (mailbox push, frame arrival) enqueues it if idle, or flags the
+// current run to re-enqueue itself — so there is never more than one thread
+// inside RunSlice() per entity (the single-runner invariant per-source FIFO
+// depends on), and a burst of readies collapses into one queue entry.
+//
+// Claim protocol. Queue entries are hints, not ownership: a worker that pops
+// an entity CASes kQueued -> kRunning to claim it; a failed CAS means someone
+// else (a stealing worker, or a producer helping via TryRunInline) already
+// ran it, and the entry is dropped. `pending_entries_` counts outstanding
+// queue entries so AwaitIdle()/the destructor can wait until no queue slot
+// still points at the entity — the decrement is the popper's LAST access.
+//
+// Help-on-block: a producer blocked on a full mailbox may call the
+// destination's TryRunInline() to drain it on the producer's own thread.
+// This gives a fixed pool the same progress guarantees as thread-per-
+// instance (only cyclically-full mailboxes deadlock — which deadlocked
+// before too) and keeps a 1-worker pool (1-core container) live.
+#ifndef SDG_RUNTIME_EXECUTOR_H_
+#define SDG_RUNTIME_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/metrics.h"
+
+namespace sdg::runtime {
+
+class Executor;
+
+// A schedulable entity: something with its own inbox that processes work in
+// slices. Derivers implement RunSlice() — drain a bounded amount of work,
+// return true if more is immediately available (the executor re-enqueues).
+class Schedulable {
+ public:
+  virtual ~Schedulable();
+
+  // Associates the entity with its executor. Call before the first Ready().
+  void BindExecutor(Executor* ex) { home_ = ex; }
+  Executor* executor() const { return home_; }
+
+  // Marks the entity ready: enqueues it if idle, or (if a slice is running)
+  // asks that slice to re-enqueue on exit. Safe from any thread, including
+  // under the inbox's lock (see BoundedQueue::SetReadyCallback). No-op until
+  // BindExecutor.
+  void Ready();
+
+  // Claims and runs one slice on the calling thread if the entity is not
+  // already running. Returns true if a slice ran. Used by producers blocked
+  // on this entity's full inbox (help-on-block).
+  bool TryRunInline();
+
+  // Blocks until the entity is idle AND no run-queue entry still references
+  // it. After this returns — with the entity's work sources closed so no new
+  // Ready() can fire — the entity is safe to destroy.
+  void AwaitIdle();
+
+ protected:
+  // Processes a bounded amount of work. Must not block indefinitely. Returns
+  // true if more work is immediately available.
+  virtual bool RunSlice() = 0;
+
+ private:
+  friend class Executor;
+
+  enum State : uint32_t {
+    kIdle = 0,     // not queued, not running
+    kQueued = 1,   // at least one run-queue entry points here
+    kRunning = 2,  // a thread is inside RunSlice
+    kRunningNotified = 3,  // running, and a Ready() arrived meanwhile
+  };
+
+  // Transitions out of kRunning/kRunningNotified after a slice.
+  void FinishSlice(bool more);
+
+  std::atomic<uint32_t> sched_state_{kIdle};
+  std::atomic<uint32_t> pending_entries_{0};
+  Executor* home_ = nullptr;
+};
+
+class Executor {
+ public:
+  struct Options {
+    // 0 = std::thread::hardware_concurrency().
+    size_t workers = 0;
+  };
+
+  explicit Executor(Options options);
+  Executor() : Executor(Options()) {}
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // Process-wide executor (never destroyed; kept reachable so leak checkers
+  // stay quiet). Deployments and network endpoints default to it so the
+  // total thread count is O(pool size) no matter how many of them exist.
+  static Executor* Shared();
+
+  // Runs a one-shot closure on some worker. Closures bypass the claim
+  // protocol — use for coarse tasks (connection setup, reconnect-replay),
+  // not per-item work.
+  void Submit(std::function<void()> fn);
+
+  // Runs fn(0..n-1) across the pool, caller participating (so progress is
+  // guaranteed even on a saturated or 1-worker pool); returns when all n
+  // are done. `max_workers` caps total concurrency (0 = pool size). This is
+  // the checkpoint/restore fan-out primitive that replaced ThreadPool.
+  void Parallel(size_t n, const std::function<void(size_t)>& fn,
+                size_t max_workers = 0);
+
+  size_t workers() const { return workers_.size(); }
+
+  ExecutorStats StatsSnapshot() const;
+
+ private:
+  friend class Schedulable;
+
+  struct Work {
+    Schedulable* ent = nullptr;        // claim-protocol entry, or
+    std::function<void()> fn;          // one-shot closure
+  };
+
+  // One run queue per worker; stealing scans siblings. alignas keeps each
+  // worker's hot fields off its neighbours' cache lines.
+  struct alignas(64) WorkerState {
+    std::mutex mutex;
+    std::deque<Work> queue;
+    Counter tasks_run;
+    Counter steals;
+  };
+
+  void Enqueue(Schedulable* ent);
+  void Push(Work work);
+  void WorkerLoop(size_t index);
+  bool PopWork(size_t index, Work* out, bool* stolen);
+  void RunWork(Work& work, WorkerState& me, bool stolen);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<size_t> next_queue_{0};
+  std::atomic<uint64_t> work_count_{0};  // queued Work items (ready-set depth)
+  std::atomic<bool> stop_{false};
+
+  // Parks idle workers; producers notify after a push when sleepers exist.
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  size_t sleepers_ = 0;
+};
+
+}  // namespace sdg::runtime
+
+#endif  // SDG_RUNTIME_EXECUTOR_H_

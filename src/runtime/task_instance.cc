@@ -6,11 +6,22 @@
 
 namespace sdg::runtime {
 
+namespace {
+// Help-on-block nesting bound. A chain of full mailboxes A -> B -> C ... is
+// helped by running each destination inline on the pushing thread; the chain
+// length is bounded by the topology's path length, so a depth beyond this is
+// a cycle of full mailboxes — which deadlocked under thread-per-instance too.
+// Falling back to a bounded wait converts would-be infinite recursion into
+// that same (pre-existing) deadlock instead of a stack overflow.
+constexpr int kMaxHelpDepth = 64;
+thread_local int tl_help_depth = 0;
+}  // namespace
+
 // TaskContext implementation bound to one (instance, input item) pair. Emits
-// are coalesced into a scratch vector owned by the worker loop and routed as
-// one batch after the task function returns — one routing pass (one
-// topology-lock scope) per input item instead of one per emit, and no
-// per-item allocation once the scratch capacity has warmed up.
+// are coalesced into the instance's scratch vector (single runner, so no
+// sharing) and routed as one batch after the task function returns — one
+// routing pass (one topology-lock scope) per input item instead of one per
+// emit, and no per-item allocation once the scratch capacity has warmed up.
 class InstanceTaskContext final : public graph::TaskContext {
  public:
   InstanceTaskContext(TaskInstance& ti, const DataItem& cause,
@@ -23,7 +34,7 @@ class InstanceTaskContext final : public graph::TaskContext {
     emits_.push_back(PendingEmit{output, std::move(tuple)});
   }
 
-  // Routes everything emitted so far. Called under the worker's step lock,
+  // Routes everything emitted so far. Called under the runner's step lock,
   // so emitted timestamps stay consistent with the checkpoint cut.
   void Flush() {
     if (emits_.empty()) {
@@ -45,15 +56,21 @@ class InstanceTaskContext final : public graph::TaskContext {
 
 TaskInstance::TaskInstance(const graph::TaskElement& te, uint32_t instance,
                            uint32_t node, state::StateBackend* state,
-                           RuntimeHooks* hooks, size_t mailbox_capacity,
-                           size_t max_batch)
+                           RuntimeHooks* hooks, Executor* executor,
+                           size_t mailbox_capacity, size_t max_batch)
     : te_(te),
       instance_(instance),
       node_(node),
       state_(state),
       hooks_(hooks),
+      executor_(executor),
       mailbox_(mailbox_capacity),
-      max_batch_(max_batch < 1 ? 1 : max_batch) {}
+      max_batch_(max_batch < 1 ? 1 : max_batch) {
+  // Invoked under the mailbox lock whenever items land; Ready() is a no-op
+  // until Start() binds the executor, and Close/Abort serialise against it
+  // on the same lock, so no ready can start after shutdown begins.
+  mailbox_.SetReadyCallback([this] { Ready(); });
+}
 
 TaskInstance::~TaskInstance() {
   Abort();
@@ -62,25 +79,57 @@ TaskInstance::~TaskInstance() {
 
 void TaskInstance::Start() {
   SDG_CHECK(!started_.exchange(true)) << "task instance started twice";
-  worker_ = std::thread([this] { WorkerLoop(); });
-}
-
-void TaskInstance::StopWhenDrained() { mailbox_.Close(); }
-
-size_t TaskInstance::Abort() { return mailbox_.Abort(); }
-
-void TaskInstance::Join() {
-  if (worker_.joinable()) {
-    worker_.join();
+  BindExecutor(executor_);
+  if (!mailbox_.Empty()) {
+    Ready();  // items delivered before Start (restore/install paths)
   }
 }
 
+void TaskInstance::StopWhenDrained() {
+  mailbox_.Close();
+  Ready();  // make sure a final slice observes the close and retires
+}
+
+size_t TaskInstance::Abort() {
+  size_t dropped = mailbox_.Abort();
+  Ready();  // flush any carried resume_ items, then go idle
+  return dropped;
+}
+
+void TaskInstance::Join() { AwaitIdle(); }
+
 bool TaskInstance::Deliver(DataItem item) {
-  return mailbox_.Push(std::move(item));
+  std::vector<DataItem> one;
+  one.push_back(std::move(item));
+  return DeliverAll(std::move(one)) == 1;
 }
 
 size_t TaskInstance::DeliverAll(std::vector<DataItem>&& items) {
-  return mailbox_.PushAll(std::move(items));
+  if (items.empty()) {
+    return 0;
+  }
+  size_t done = 0;
+  bool closed = false;
+  for (;;) {
+    done = mailbox_.TryPushSome(items, done, &closed);
+    if (closed || done == items.size()) {
+      return done;  // on close the remainder is dropped, matching PushAll
+    }
+    // Mailbox full. Instead of parking this thread until the pool gets to
+    // the destination (which on a saturated pool might be never, if every
+    // worker is a blocked producer), drain the destination right here.
+    if (tl_help_depth < kMaxHelpDepth) {
+      ++tl_help_depth;
+      bool ran = TryRunInline();
+      --tl_help_depth;
+      if (ran) {
+        continue;
+      }
+    }
+    // Someone else is running it (or the help chain is a cycle): bounded
+    // wait for capacity, then retry.
+    mailbox_.WaitNotFullFor(std::chrono::microseconds(200));
+  }
 }
 
 std::map<SourceId, uint64_t> TaskInstance::LastSeenSnapshot() const {
@@ -116,34 +165,49 @@ void TaskInstance::ForEachBuffer(
   }
 }
 
-void TaskInstance::WorkerLoop() {
-  std::deque<DataItem> batch;
-  std::vector<PendingEmit> emit_scratch;
-  while (true) {
-    size_t drained = mailbox_.PopAll(batch, max_batch_);
-    if (drained == 0) {
-      return;  // closed and drained, or aborted
-    }
-    int64_t start_ns = Stopwatch::NowNanos();
+bool TaskInstance::RunSlice() {
+  // resume_ holds items already popped by a previous slice that yielded on
+  // the step lock; they must go first to preserve per-source FIFO.
+  if (resume_.empty() &&
+      mailbox_.TryPopAll(resume_, max_batch_) == 0) {
+    return false;  // empty (spurious ready) or closed-and-drained
+  }
+  int64_t start_ns = Stopwatch::NowNanos();
+  size_t processed = 0;
+  bool yielded = false;
+  while (!resume_.empty()) {
     // The step lock is re-acquired per item so a checkpoint can still cut in
-    // between any two items of a batch (§5's "minimal interruption").
-    for (const auto& item : batch) {
-      std::lock_guard<std::mutex> step(step_mutex_);
-      ProcessItem(item, emit_scratch);
+    // between any two items of a batch (§5's "minimal interruption"). A
+    // checkpointer that holds it across a long synchronous persist must not
+    // wedge this pool worker: give up after ~1ms and yield the slice (the
+    // executor re-runs it; the un-processed tail stays in resume_).
+    std::unique_lock<std::timed_mutex> step(step_mutex_, std::defer_lock);
+    if (!step.try_lock() &&
+        !step.try_lock_for(std::chrono::milliseconds(1))) {
+      yielded = true;
+      break;
     }
-    batch.clear();
-    hooks_->OnItemsDone(drained);
+    ProcessItem(resume_.front(), emit_scratch_);
+    step.unlock();
+    resume_.pop_front();
+    ++processed;
+  }
+  if (processed > 0) {
+    hooks_->OnItemsDone(processed);
     // Straggler simulation: a node with speed s < 1 takes 1/s times as long
-    // per item; pad the batch by the difference.
+    // per item; pad the batch by the difference. This sleeps a pool worker,
+    // exactly as it slept the dedicated worker before.
     double speed = hooks_->NodeSpeed(node_);
     if (speed < 1.0 && speed > 0.0) {
       int64_t took = Stopwatch::NowNanos() - start_ns;
-      auto pad = static_cast<int64_t>(static_cast<double>(took) * (1.0 / speed - 1.0));
+      auto pad = static_cast<int64_t>(static_cast<double>(took) *
+                                      (1.0 / speed - 1.0));
       if (pad > 0) {
         std::this_thread::sleep_for(std::chrono::nanoseconds(pad));
       }
     }
   }
+  return yielded || !resume_.empty() || !mailbox_.Empty();
 }
 
 void TaskInstance::ProcessItem(const DataItem& item,

@@ -1,12 +1,15 @@
 // TaskInstance: one materialised instance of a task element on a node.
 //
-// TEs are not scheduled; the whole SDG is materialised (§3.1). Every instance
-// owns a mailbox and a worker thread that drains a batch of data items per
-// wakeup, processes them one at a time against the instance's local SE, and
-// emits results downstream — a fully pipelined execution with no scheduling
-// overhead. Batching changes only how often the worker touches shared
+// TEs are not scheduled per item; the whole SDG is materialised (§3.1). Every
+// instance owns a mailbox and is a Schedulable entity on the deployment's
+// shared executor (executor.h): a mailbox push marks it ready, a pool worker
+// claims it and drains a batch of data items per slice, processing them one
+// at a time against the instance's local SE and emitting results downstream —
+// a fully pipelined execution whose thread count is O(pool size), not
+// O(instances). Batching changes only how often a slice touches shared
 // synchronisation (one mailbox lock and one in-flight report per batch, not
-// per item); items are still processed strictly in per-source FIFO order.
+// per item); items are still processed strictly in per-source FIFO order
+// (the claim protocol guarantees a single runner per instance).
 //
 // The instance also carries the recovery protocol's per-instance state (§5):
 // the emit clock issuing outgoing timestamps, the vector of last-seen
@@ -21,7 +24,6 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "src/common/clock.h"
@@ -30,6 +32,7 @@
 #include "src/graph/sdg.h"
 #include "src/runtime/data_item.h"
 #include "src/runtime/delivery.h"
+#include "src/runtime/executor.h"
 #include "src/runtime/output_buffer.h"
 #include "src/state/state_backend.h"
 
@@ -75,29 +78,36 @@ class RuntimeHooks {
   virtual uint32_t NumInstances(graph::TaskId task) const = 0;
 };
 
-class TaskInstance : public DeliveryTarget {
+class TaskInstance : public DeliveryTarget, public Schedulable {
  public:
   TaskInstance(const graph::TaskElement& te, uint32_t instance, uint32_t node,
                state::StateBackend* state, RuntimeHooks* hooks,
-               size_t mailbox_capacity, size_t max_batch);
+               Executor* executor, size_t mailbox_capacity, size_t max_batch);
   ~TaskInstance() override;
 
   TaskInstance(const TaskInstance&) = delete;
   TaskInstance& operator=(const TaskInstance&) = delete;
 
   void Start();
-  // Stops the worker after the mailbox drains (graceful shutdown).
+  // Stops processing after the mailbox drains (graceful shutdown).
   void StopWhenDrained();
-  // Kills the worker immediately, dropping queued items (failure injection).
-  // Returns the number of queued items dropped so the deployment can settle
-  // its in-flight accounting for them.
+  // Kills the instance immediately, dropping queued items (failure
+  // injection). Returns the number of queued items dropped so the deployment
+  // can settle its in-flight accounting for them. Items already popped into
+  // the current slice's batch still complete (same semantics as the old
+  // dedicated worker finishing its popped batch).
   size_t Abort();
+  // Waits for the last slice to retire. Requires StopWhenDrained or Abort
+  // first (otherwise new pushes keep the instance busy indefinitely).
   void Join();
 
-  // Enqueues an item; returns false if the mailbox is closed.
+  // Enqueues an item; returns false if the mailbox is closed. Blocks while
+  // the mailbox is full — but instead of parking, the calling thread helps
+  // drain the destination (TryRunInline), which is what gives the fixed pool
+  // the progress guarantees of thread-per-instance.
   bool Deliver(DataItem item) override;
-  // Enqueues a batch under one mailbox lock acquisition; returns the number
-  // accepted (< items.size() only if the mailbox closed mid-push).
+  // Batch variant; returns the number accepted (< items.size() only if the
+  // mailbox closed mid-push).
   size_t DeliverAll(std::vector<DataItem>&& items) override;
 
   const graph::TaskElement& te() const { return te_; }
@@ -116,11 +126,13 @@ class TaskInstance : public DeliveryTarget {
 
   // --- Recovery protocol state ----------------------------------------------
 
-  // The step lock is held by the worker while processing one item (it is
-  // re-acquired per item even when the worker drains a batch); the
-  // checkpointer takes it to capture a consistent (SE, meta) cut with only a
-  // brief interruption (§5).
-  std::mutex& step_mutex() { return step_mutex_; }
+  // The step lock is held by a slice while processing one item (it is
+  // re-acquired per item even within a batch); the checkpointer takes it to
+  // capture a consistent (SE, meta) cut with only a brief interruption (§5).
+  // timed_mutex: a slice that cannot get it within ~1ms parks the rest of
+  // its batch and yields its worker instead of wedging the pool while a
+  // synchronous checkpoint holds step locks across a persist.
+  std::timed_mutex& step_mutex() { return step_mutex_; }
 
   // Snapshot of the per-source last-seen timestamps. Caller must hold the
   // step lock for a consistent cut.
@@ -134,10 +146,13 @@ class TaskInstance : public DeliveryTarget {
   void ForEachBuffer(
       const std::function<void(graph::TaskId, OutputBuffer&)>& fn);
 
+ protected:
+  // Schedulable: drains up to max_batch items under the step lock.
+  bool RunSlice() override;
+
  private:
   friend class InstanceTaskContext;
 
-  void WorkerLoop();
   void ProcessItem(const DataItem& item, std::vector<PendingEmit>& emit_scratch);
 
   const graph::TaskElement te_;  // copy: survives graph changes & rescaling
@@ -145,14 +160,20 @@ class TaskInstance : public DeliveryTarget {
   uint32_t node_;
   state::StateBackend* state_;  // owned by the deployment; stable across repartitioning
   RuntimeHooks* const hooks_;
+  Executor* const executor_;
 
   BoundedQueue<DataItem> mailbox_;
   const size_t max_batch_;
-  std::thread worker_;
   std::atomic<bool> started_{false};
 
+  // Slice-local work owned by the single runner (claim protocol): items
+  // popped from the mailbox but not yet processed (carried across slices
+  // when the step lock forces a yield), and the emit coalescing scratch.
+  std::deque<DataItem> resume_;
+  std::vector<PendingEmit> emit_scratch_;
+
   LogicalClock emit_clock_;
-  std::mutex step_mutex_;
+  std::timed_mutex step_mutex_;
 
   mutable std::mutex seen_mutex_;
   std::map<SourceId, uint64_t> last_seen_;

@@ -24,9 +24,9 @@ namespace sdg::state {
 
 class DenseMatrix final : public StateBackend {
  public:
-  DenseMatrix() : shards_(kDefaultStateShards) {}
+  DenseMatrix() : shards_(DefaultStateShards()) {}
   DenseMatrix(size_t rows, size_t cols,
-              uint32_t num_shards = kDefaultStateShards)
+              uint32_t num_shards = DefaultStateShards())
       : shards_(num_shards), rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
 
   // --- Matrix operations ----------------------------------------------------

@@ -34,7 +34,7 @@ namespace sdg::state {
 template <typename K, typename V>
 class KeyedDict final : public StateBackend {
  public:
-  explicit KeyedDict(uint32_t num_shards = kDefaultStateShards)
+  explicit KeyedDict(uint32_t num_shards = DefaultStateShards())
       : shards_(num_shards) {}
 
   // --- Map operations -------------------------------------------------------

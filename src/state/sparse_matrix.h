@@ -27,7 +27,7 @@ class SparseMatrix final : public StateBackend {
   using Row = std::unordered_map<int64_t, double>;
   using RowMap = std::unordered_map<int64_t, Row>;
 
-  explicit SparseMatrix(uint32_t num_shards = kDefaultStateShards)
+  explicit SparseMatrix(uint32_t num_shards = DefaultStateShards())
       : shards_(num_shards) {}
 
   // --- Matrix operations ----------------------------------------------------

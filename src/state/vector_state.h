@@ -28,8 +28,8 @@ class VectorState final : public StateBackend {
  public:
   static constexpr size_t kBlockSize = 1024;
 
-  VectorState() : shards_(kDefaultStateShards) {}
-  explicit VectorState(size_t size, uint32_t num_shards = kDefaultStateShards)
+  VectorState() : shards_(DefaultStateShards()) {}
+  explicit VectorState(size_t size, uint32_t num_shards = DefaultStateShards())
       : shards_(num_shards), data_(size, 0.0) {}
 
   // --- Vector operations ----------------------------------------------------

@@ -98,6 +98,56 @@ TEST(ChannelTest, LoopbackDeliverAckTrim) {
   server.Stop();
 }
 
+// Regression test for the read-interest backpressure protocol: a slow
+// on_batch lets the per-peer frame backlog repeatedly cross the pause
+// watermark while the executor drains it back under the resume watermark,
+// cycling pause/resume many times. A stale interest update losing the race
+// (reads off while unpaused) wedges the peer permanently — the test then
+// times out with items missing.
+TEST(ChannelTest, BackpressurePauseResumeStress) {
+  constexpr uint64_t kItems = 4000;
+  std::atomic<uint64_t> received{0};
+  std::atomic<bool> in_order{true};
+  uint64_t next_ts = 1;  // dispatch slices are serialized, no lock needed
+  ChannelServer server(ChannelServerOptions{});
+  ASSERT_TRUE(server
+                  .Start([](const Handshake&) { return uint64_t{0}; },
+                         [&](const Handshake&, std::vector<DataItem> items) {
+                           for (const auto& item : items) {
+                             if (item.ts != next_ts) {
+                               in_order.store(false);
+                             }
+                             ++next_ts;
+                           }
+                           uint64_t total =
+                               received.fetch_add(items.size()) + items.size();
+                           // Stall in bursts so the frame backlog climbs past
+                           // the pause watermark, then drains below resume.
+                           if (total % 64 < 8) {
+                             std::this_thread::sleep_for(
+                                 std::chrono::microseconds(200));
+                           }
+                         })
+                  .ok());
+
+  OutputBuffer log;
+  RemoteChannelOptions opts;
+  opts.port = server.port();
+  opts.entry = "t";
+  RemoteChannel chan(opts, &log);
+  ASSERT_TRUE(chan.Connect().ok());
+  for (uint64_t ts = 1; ts <= kItems; ++ts) {
+    ASSERT_TRUE(chan.Deliver(MakeItem(ts)));
+  }
+  ASSERT_TRUE(WaitUntil([&] { return received.load() == kItems; }, 30000))
+      << "delivered " << received.load() << "/" << kItems
+      << " — read interest likely wedged off";
+  EXPECT_TRUE(in_order.load());
+
+  chan.Close();
+  server.Stop();
+}
+
 TEST(ChannelTest, HandshakeRejectionSurfacesAsError) {
   ChannelServer server(ChannelServerOptions{});
   ASSERT_TRUE(server
