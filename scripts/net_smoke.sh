@@ -1,27 +1,41 @@
 #!/usr/bin/env bash
-# Two-process loopback smoke test of the TCP transport (docs/runtime.md).
+# Loopback smoke tests of the TCP transport (docs/runtime.md).
 #
-# Starts a receiver, streams lines into it from a sender process, SIGKILLs
-# the receiver after its first checkpoint (mid-stream), restarts it on the
-# same port from the snapshot, and asserts:
+# Phase 1 — kill/restart: starts a receiver, streams lines into it from a
+# sender process, SIGKILLs the receiver after its first checkpoint
+# (mid-stream), restarts it on the same port from the snapshot, and asserts:
 #   - the sender exits 0 (every line durably acknowledged),
 #   - the receiver's final word count is exactly 2 * LINES — reconnect-replay
 #     lost nothing, and the snapshot watermark + dedup double-counted nothing.
 #
-# Usage: net_smoke.sh [path-to-cluster_wordcount] [lines]
+# Phase 2 — live scale-out (runs when HEAD_BIN and WORKER_BIN are given):
+# three processes — an elastic head, a deliberately slow worker that gets
+# all partitions, and a second worker that joins mid-stream. The head must
+# shed at least one partition to the newcomer via live migration with a
+# cutover pause under 250 ms, then verify the durable word counts exactly.
+#
+# Usage: net_smoke.sh [cluster_wordcount] [lines] [elastic_wordcount] [elastic_worker]
 set -u
 
 BIN="${1:-build/examples/cluster_wordcount}"
 LINES="${2:-300000}"
+HEAD_BIN="${3:-}"
+WORKER_BIN="${4:-}"
 PORT="${SDG_SMOKE_PORT:-7741}"
 WORK="$(mktemp -d /tmp/sdg_net_smoke.XXXXXX)"
 SNAP="$WORK/wordcount.snap"
 RECV_PID=""
 SEND_PID=""
+HEAD_PID=""
+W1_PID=""
+W2_PID=""
 
 cleanup() {
   [ -n "$RECV_PID" ] && kill -9 "$RECV_PID" 2>/dev/null
   [ -n "$SEND_PID" ] && kill -9 "$SEND_PID" 2>/dev/null
+  [ -n "$HEAD_PID" ] && kill -9 "$HEAD_PID" 2>/dev/null
+  [ -n "$W1_PID" ] && kill -9 "$W1_PID" 2>/dev/null
+  [ -n "$W2_PID" ] && kill -9 "$W2_PID" 2>/dev/null
   wait 2>/dev/null
   rm -rf "$WORK"
 }
@@ -95,4 +109,74 @@ echo "$FINAL" | grep -q "words=$WANT_WORDS$" \
 echo "NET SMOKE PASSED: $LINES lines survived a mid-stream receiver kill"
 echo "  killed after : $KILLED_AT"
 echo "  final        : $FINAL"
+
+# ---------------------------------------------------------------------------
+# Phase 2: three-process live scale-out.
+# ---------------------------------------------------------------------------
+if [ -z "$HEAD_BIN" ] || [ -z "$WORKER_BIN" ]; then
+  echo "SCALE SMOKE SKIPPED: no head/worker binaries given"
+  exit 0
+fi
+
+# Phase 1 leaves its second receiver incarnation running; retire it.
+[ -n "$RECV_PID" ] && kill -9 "$RECV_PID" 2>/dev/null
+wait "$RECV_PID" 2>/dev/null
+RECV_PID=""
+
+fail2() {
+  echo "SCALE SMOKE FAILED: $1" >&2
+  echo "--- head ---" >&2; cat "$WORK/head.log" >&2 || true
+  echo "--- worker 1 ---" >&2; cat "$WORK/w1.log" >&2 || true
+  echo "--- worker 2 ---" >&2; cat "$WORK/w2.log" >&2 || true
+  exit 1
+}
+
+[ -x "$HEAD_BIN" ] || fail2 "binary '$HEAD_BIN' not found or not executable"
+[ -x "$WORKER_BIN" ] || fail2 "binary '$WORKER_BIN' not found or not executable"
+
+BACKUP="$WORK/elastic_backup"
+SCALE_LINES="${SDG_SCALE_LINES:-4000}"
+
+"$HEAD_BIN" --backup "$BACKUP" --lines "$SCALE_LINES" \
+  > "$WORK/head.log" 2>&1 &
+HEAD_PID=$!
+wait_for "HEAD port=" "$WORK/head.log" 10 || fail2 "head never started"
+HEAD_PORT="$(grep -o 'HEAD port=[0-9]*' "$WORK/head.log" | head -1 | cut -d= -f2)"
+
+# Worker 1: deliberately slow (2 ms per item) — it gets all the partitions
+# and becomes the straggler the head scales out from.
+"$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 1 \
+  --backup "$BACKUP" --slow-us 2000 --ckpt-interval-ms 0 \
+  > "$WORK/w1.log" 2>&1 &
+W1_PID=$!
+wait_for "ASSIGNED" "$WORK/head.log" 15 || fail2 "partitions never assigned"
+
+# Worker 2 joins mid-stream; the head's management loop must notice the
+# imbalance and live-migrate at least one partition onto it.
+"$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 2 \
+  --backup "$BACKUP" --ckpt-interval-ms 0 \
+  > "$WORK/w2.log" 2>&1 &
+W2_PID=$!
+
+wait "$HEAD_PID"
+HEAD_RC=$?
+HEAD_PID=""
+[ "$HEAD_RC" -eq 0 ] || fail2 "head exited $HEAD_RC"
+
+MIGRATED="$(grep 'MIGRATED n=' "$WORK/head.log" | tail -1)"
+[ -n "$MIGRATED" ] || fail2 "no MIGRATED line in head log"
+PAUSE_MS="$(echo "$MIGRATED" | grep -o 'pause_ms=[0-9-]*' | cut -d= -f2)"
+[ -n "$PAUSE_MS" ] || fail2 "no pause_ms in '$MIGRATED'"
+[ "$PAUSE_MS" -lt 250 ] || fail2 "cutover pause ${PAUSE_MS}ms >= 250ms"
+
+COUNTS="$(grep 'COUNTS OK' "$WORK/head.log" | tail -1)"
+[ -n "$COUNTS" ] || fail2 "head never verified the durable counts"
+
+kill "$W1_PID" "$W2_PID" 2>/dev/null
+wait "$W1_PID" "$W2_PID" 2>/dev/null
+W1_PID=""; W2_PID=""
+
+echo "SCALE SMOKE PASSED: live migration to a mid-stream joiner"
+echo "  migration : $MIGRATED"
+echo "  counts    : $COUNTS"
 exit 0

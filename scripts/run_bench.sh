@@ -41,12 +41,16 @@ case "$target" in
     cmake --build build -j "$(nproc)" --target micro_net >/dev/null
     (cd build/bench && ./micro_net)
     ;;
+  migrate)
+    cmake --build build -j "$(nproc)" --target micro_migrate >/dev/null
+    (cd build/bench && ./micro_migrate)
+    ;;
   all)
-    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state micro_net >/dev/null
-    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state && ./micro_net)
+    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state micro_net micro_migrate >/dev/null
+    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state && ./micro_net && ./micro_migrate)
     ;;
   *)
-    echo "usage: $0 [hotpath|ckpt|state|net|all] [--short]" >&2
+    echo "usage: $0 [hotpath|ckpt|state|net|migrate|all] [--short]" >&2
     exit 2
     ;;
 esac

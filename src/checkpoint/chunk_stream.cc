@@ -10,7 +10,7 @@ namespace sdg::checkpoint {
 ChunkStreamWriter::ChunkStreamWriter(BackupStore& store, uint32_t node,
                                      uint64_t epoch, std::string name,
                                      Options options)
-    : store_(store),
+    : store_(&store),
       node_(node),
       epoch_(epoch),
       name_(std::move(name)),
@@ -24,6 +24,17 @@ ChunkStreamWriter::ChunkStreamWriter(BackupStore& store, uint32_t node,
   chunk_options_.delta = options_.delta;
 }
 
+ChunkStreamWriter::ChunkStreamWriter(SegmentSink sink, std::string name,
+                                     Options options)
+    : sink_(std::move(sink)), name_(std::move(name)), options_(options) {
+  SDG_CHECK(sink_) << "chunk stream sink mode needs a sink";
+  SDG_CHECK(options_.num_chunks > 0) << "chunk stream needs >= 1 chunk";
+  SDG_CHECK(options_.segment_bytes > 0) << "chunk stream needs a segment size";
+  chunk_options_.version = state::kChunkVersion2;
+  chunk_options_.codec = options_.codec;
+  chunk_options_.delta = options_.delta;
+}
+
 Status ChunkStreamWriter::Begin() {
   SDG_CHECK(!begun_) << "chunk stream writer already begun";
   begun_ = true;
@@ -31,8 +42,10 @@ Status ChunkStreamWriter::Begin() {
   for (uint32_t i = 0; i < options_.num_chunks; ++i) {
     chunks_.push_back(std::make_unique<PerChunk>());
     PerChunk& chunk = *chunks_.back();
-    SDG_ASSIGN_OR_RETURN(chunk.stream_id,
-                         store_.BeginChunkStream(node_, epoch_, name_, i));
+    if (store_ != nullptr) {
+      SDG_ASSIGN_OR_RETURN(chunk.stream_id,
+                           store_->BeginChunkStream(node_, epoch_, name_, i));
+    }
     chunk.buffer = state::BuildChunkHeader(chunk_options_, name_,
                                            state::kStreamedRecordCount);
     chunk.bytes += chunk.buffer.size();
@@ -46,7 +59,8 @@ void ChunkStreamWriter::Add(uint64_t key_hash, const uint8_t* payload,
   if (has_error_.load(std::memory_order_relaxed)) {
     return;
   }
-  PerChunk& chunk = *chunks_[key_hash % options_.num_chunks];
+  uint32_t chunk_index = static_cast<uint32_t>(key_hash % options_.num_chunks);
+  PerChunk& chunk = *chunks_[chunk_index];
   std::unique_lock<std::mutex> lock(chunk.mutex, std::defer_lock);
   if (options_.concurrent) {
     lock.lock();
@@ -60,21 +74,25 @@ void ChunkStreamWriter::Add(uint64_t key_hash, const uint8_t* payload,
     ++chunk.tombstones;
   }
   if (chunk.buffer.size() >= options_.segment_bytes) {
-    FlushChunkLocked(chunk);
+    FlushChunkLocked(chunk, chunk_index);
   }
 }
 
-void ChunkStreamWriter::FlushChunkLocked(PerChunk& chunk) {
+void ChunkStreamWriter::FlushChunkLocked(PerChunk& chunk,
+                                         uint32_t chunk_index) {
   if (chunk.buffer.empty()) {
     return;
   }
   std::vector<uint8_t> segment = std::move(chunk.buffer);
   chunk.buffer.clear();
   chunk.buffer.reserve(options_.segment_bytes + 1024);
-  // AppendChunkStream is thread-safe and may block on the store's backlog
-  // budget; holding this chunk's mutex only stalls records routed to the
-  // same chunk, the rest of the fan-out keeps serialising.
-  Status s = store_.AppendChunkStream(chunk.stream_id, std::move(segment));
+  // AppendChunkStream (and a well-behaved sink) is thread-safe and may block
+  // on its backlog budget; holding this chunk's mutex only stalls records
+  // routed to the same chunk, the rest of the fan-out keeps serialising.
+  Status s = store_ != nullptr
+                 ? store_->AppendChunkStream(chunk.stream_id,
+                                             std::move(segment))
+                 : sink_(chunk_index, std::move(segment));
   if (!s.ok()) {
     LatchError(s);
   }
@@ -102,18 +120,21 @@ state::DeltaRecordSink ChunkStreamWriter::AsDeltaSink() {
 Result<ChunkStreamWriter::Stats> ChunkStreamWriter::Finish() {
   SDG_CHECK(begun_) << "Finish before Begin on chunk stream writer";
   Stats stats;
-  for (auto& chunk : chunks_) {
-    std::lock_guard<std::mutex> lock(chunk->mutex);
-    FlushChunkLocked(*chunk);
-    stats.records += chunk->records;
-    stats.tombstones += chunk->tombstones;
-    stats.bytes += chunk->bytes;
+  for (uint32_t i = 0; i < chunks_.size(); ++i) {
+    PerChunk& chunk = *chunks_[i];
+    std::lock_guard<std::mutex> lock(chunk.mutex);
+    FlushChunkLocked(chunk, i);
+    stats.records += chunk.records;
+    stats.tombstones += chunk.tombstones;
+    stats.bytes += chunk.bytes;
   }
   // Close every stream even after an error so no stream handles leak.
-  for (auto& chunk : chunks_) {
-    Status s = store_.FinishChunkStream(chunk->stream_id);
-    if (!s.ok()) {
-      LatchError(s);
+  if (store_ != nullptr) {
+    for (auto& chunk : chunks_) {
+      Status s = store_->FinishChunkStream(chunk->stream_id);
+      if (!s.ok()) {
+        LatchError(s);
+      }
     }
   }
   if (has_error_.load(std::memory_order_relaxed)) {

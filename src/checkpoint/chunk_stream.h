@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -63,6 +64,15 @@ class ChunkStreamWriter {
   ChunkStreamWriter(BackupStore& store, uint32_t node, uint64_t epoch,
                     std::string name, Options options);
 
+  // Remote-sink mode: full segments go to `sink(chunk_index, segment)`
+  // instead of the backup store — the live-migration path streams them as
+  // kMigrateChunk frames while the source keeps serving. Segments of one
+  // chunk_index concatenate (in emission order) into a valid streamed v2
+  // chunk blob; a sink error is latched and surfaced by Finish.
+  using SegmentSink =
+      std::function<Status(uint32_t chunk_index, std::vector<uint8_t> segment)>;
+  ChunkStreamWriter(SegmentSink sink, std::string name, Options options);
+
   // Opens the per-chunk streams and writes their headers. Must be called
   // (and succeed) before Add. Not thread-safe (call before fanning out).
   Status Begin();
@@ -94,12 +104,13 @@ class ChunkStreamWriter {
   };
 
   // Caller holds chunk.mutex.
-  void FlushChunkLocked(PerChunk& chunk);
+  void FlushChunkLocked(PerChunk& chunk, uint32_t chunk_index);
   void LatchError(const Status& s);
 
-  BackupStore& store_;
-  uint32_t node_;
-  uint64_t epoch_;
+  BackupStore* store_ = nullptr;  // null in remote-sink mode
+  SegmentSink sink_;              // null in store mode
+  uint32_t node_ = 0;
+  uint64_t epoch_ = 0;
   std::string name_;
   Options options_;
   state::ChunkOptions chunk_options_;

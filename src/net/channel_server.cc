@@ -95,12 +95,17 @@ ChannelServer::ChannelServer(ChannelServerOptions options)
 
 ChannelServer::~ChannelServer() { Stop(); }
 
-Status ChannelServer::Start(HandshakeFn on_handshake, BatchFn on_batch) {
+Status ChannelServer::Start(HandshakeFn on_handshake, BatchFn on_batch,
+                            JoinFn on_join, MemberFrameFn on_member,
+                            MigrationFn on_migration) {
   if (running_.exchange(true)) {
     return FailedPreconditionError("channel server already started");
   }
   on_handshake_ = std::move(on_handshake);
   on_batch_ = std::move(on_batch);
+  on_join_ = std::move(on_join);
+  on_member_ = std::move(on_member);
+  on_migration_ = std::move(on_migration);
   SDG_ASSIGN_OR_RETURN(listener_, Listener::Bind(options_.port));
   port_ = listener_.port();
   if (options_.mode == NetMode::kEventLoop) {
@@ -169,8 +174,31 @@ void ChannelServer::SetupPeer(Socket socket) {
   socket.SetRecvTimeout(5000);
   FrameDecoder carry;
   auto first = ReadFrameBlocking(socket, carry);
-  if (!first.ok() || first->type != FrameType::kHandshake) {
+  if (!first.ok()) {
     SDG_LOG(kWarning) << "connection dropped before handshake";
+    return;
+  }
+  // The first frame selects the connection's role: a data handshake (the
+  // historical path), a membership join, or an inbound migration session.
+  if (first->type == FrameType::kJoin) {
+    SetupMember(std::move(socket), std::move(carry), *first);
+    return;
+  }
+  if (first->type == FrameType::kMigrateBegin) {
+    auto begin = MigrateBeginMsg::Decode(first->payload);
+    if (!begin.ok() || on_migration_ == nullptr) {
+      SDG_LOG(kWarning) << "migration session rejected: "
+                        << (begin.ok() ? "no handler"
+                                       : begin.status().ToString());
+      return;
+    }
+    socket.SetRecvTimeout(0);
+    on_migration_(std::move(socket), std::move(carry), *begin);
+    return;
+  }
+  if (first->type != FrameType::kHandshake) {
+    SDG_LOG(kWarning) << "connection opened with unexpected frame type "
+                      << static_cast<int>(first->type);
     return;
   }
   auto hs = Handshake::Decode(first->payload);
@@ -247,6 +275,85 @@ void ChannelServer::SetupPeer(Socket socket) {
   peers_.push_back(std::move(peer));
 }
 
+void ChannelServer::SetupMember(Socket socket, FrameDecoder carry,
+                                const Frame& first) {
+  auto join = JoinMsg::Decode(first.payload);
+  if (!join.ok()) {
+    SDG_LOG(kWarning) << "malformed join: " << join.status().ToString();
+    return;
+  }
+  JoinAckMsg ack;
+  if (on_join_ == nullptr) {
+    ack.accepted = false;
+    ack.message = "this deployment accepts no members";
+  } else if (join->protocol != kProtocolVersion) {
+    ack.accepted = false;
+    ack.message = "protocol version mismatch";
+  } else {
+    auto id = on_join_(*join);
+    if (id.ok()) {
+      ack.accepted = true;
+      ack.member_id = *id;
+    } else {
+      ack.accepted = false;
+      ack.message = id.status().message();
+    }
+  }
+  if (!ack.accepted) {
+    (void)WriteFrameBlocking(socket, FrameType::kJoinAck, ack.Encode());
+    return;
+  }
+
+  socket.SetRecvTimeout(0);
+  auto peer = std::make_shared<Peer>();
+  peer->is_member = true;
+  peer->member_id = ack.member_id;
+  const uint32_t member_id = ack.member_id;
+  Connection::Options copts;
+  copts.send_queue_frames = options_.send_queue_frames;
+  if (options_.mode == NetMode::kEventLoop) {
+    copts.loop = loop_;
+  }
+  // Member frames are control replies — rare and small — so both modes route
+  // them straight from the IO thread; on_member_ must not block.
+  peer->conn = std::make_unique<Connection>(
+      std::move(socket), copts,
+      [this, member_id](Frame frame) {
+        if (on_member_ != nullptr) {
+          on_member_(member_id, std::move(frame));
+        }
+      },
+      [](const Status&) {
+        // A member restart shows up as a fresh join; reaped on Ack/Stop.
+      },
+      std::move(carry));
+  // Register first, ack second: a member that has read its kJoinAck must
+  // already be visible to MemberCount/SendToMember. The ack rides the
+  // connection's FIFO send queue under peers_mutex_, so any control frame a
+  // concurrent SendToMember enqueues still lands after it on the wire.
+  Connection* conn = peer->conn.get();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    ClosePeer(*peer);
+    return;
+  }
+  ReapBrokenPeersLocked();
+  // A rejoin (same member id, new incarnation) supersedes the old channel.
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if ((*it)->is_member && (*it)->member_id == member_id) {
+      ClosePeer(**it);
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  peers_.push_back(std::move(peer));
+  BinaryWriter frame;
+  const std::vector<uint8_t> payload = ack.Encode();
+  EncodeFrame(frame, FrameType::kJoinAck, payload.data(), payload.size());
+  (void)conn->Send(frame.buffer());
+}
+
 void ChannelServer::ClosePeer(Peer& peer) {
   if (peer.conn != nullptr) {
     peer.conn->Close();  // deregisters: no further PushFrame after this
@@ -277,10 +384,59 @@ void ChannelServer::Ack(uint64_t watermark) {
   std::lock_guard<std::mutex> lock(peers_mutex_);
   ReapBrokenPeersLocked();
   for (auto& peer : peers_) {
+    if (peer->is_member) {
+      continue;
+    }
     // Best-effort: a dropped ack is repaired by the watermark in the next
     // handshake, so never block the checkpoint path on a wedged peer.
     (void)peer->conn->TrySend(bytes);
   }
+}
+
+void ChannelServer::AckSource(uint32_t source_task, uint32_t source_instance,
+                              uint64_t watermark) {
+  AckMsg msg;
+  msg.acked_ts = watermark;
+  auto payload = msg.Encode();
+  BinaryWriter frame;
+  EncodeFrame(frame, FrameType::kAck, payload.data(), payload.size());
+  const std::vector<uint8_t>& bytes = frame.buffer();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  ReapBrokenPeersLocked();
+  for (auto& peer : peers_) {
+    if (peer->is_member || peer->handshake.source_task != source_task ||
+        peer->handshake.source_instance != source_instance) {
+      continue;
+    }
+    (void)peer->conn->TrySend(bytes);
+  }
+}
+
+bool ChannelServer::SendToMember(uint32_t member_id, FrameType type,
+                                 const std::vector<uint8_t>& payload) {
+  BinaryWriter frame;
+  EncodeFrame(frame, type, payload.data(), payload.size());
+  const std::vector<uint8_t>& bytes = frame.buffer();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  ReapBrokenPeersLocked();
+  for (auto& peer : peers_) {
+    if (peer->is_member && peer->member_id == member_id) {
+      return peer->conn->TrySend(bytes);
+    }
+  }
+  return false;
+}
+
+size_t ChannelServer::MemberCount() {
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  ReapBrokenPeersLocked();
+  size_t n = 0;
+  for (auto& peer : peers_) {
+    if (peer->is_member) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 void ChannelServer::Stop() {

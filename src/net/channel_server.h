@@ -75,6 +75,19 @@ class ChannelServer : private EventLoop::Handler {
   using BatchFn =
       std::function<void(const Handshake& hs,
                          std::vector<runtime::DataItem> items)>;
+  // Membership: validates a kJoin and returns the member id the joiner is
+  // registered under (an error rejects the join with its message). The
+  // connection then stays open as that member's control channel.
+  using JoinFn = std::function<Result<uint32_t>(const JoinMsg& join)>;
+  // A control/reply frame arriving on a member's channel. Runs on the IO
+  // thread (event loop or reader), so it must not block — record and notify.
+  using MemberFrameFn = std::function<void(uint32_t member_id, Frame frame)>;
+  // An inbound migration session (first frame kMigrateBegin). Takes ownership
+  // of the socket plus the decoder carrying any bytes already read, and runs
+  // the whole session synchronously on the setup thread; sessions are
+  // expected to be bounded (the source closes after commit/abort).
+  using MigrationFn = std::function<void(Socket socket, FrameDecoder carry,
+                                         const MigrateBeginMsg& begin)>;
 
   explicit ChannelServer(ChannelServerOptions options);
   ~ChannelServer() override;
@@ -82,10 +95,27 @@ class ChannelServer : private EventLoop::Handler {
   ChannelServer(const ChannelServer&) = delete;
   ChannelServer& operator=(const ChannelServer&) = delete;
 
-  Status Start(HandshakeFn on_handshake, BatchFn on_batch);
+  // The membership/migration callbacks are optional; without them kJoin and
+  // kMigrateBegin connections are dropped (pre-elastic behaviour).
+  Status Start(HandshakeFn on_handshake, BatchFn on_batch,
+               JoinFn on_join = nullptr, MemberFrameFn on_member = nullptr,
+               MigrationFn on_migration = nullptr);
 
   // Broadcasts the durable watermark to every live sender.
   void Ack(uint64_t watermark);
+
+  // Acks only the senders whose handshake matches (source_task,
+  // source_instance) — per-partition watermark spaces stay independent when
+  // each partition rides its own channel.
+  void AckSource(uint32_t source_task, uint32_t source_instance,
+                 uint64_t watermark);
+
+  // Sends one control frame on a joined member's channel; false when the
+  // member is unknown or its channel is broken/backed up.
+  bool SendToMember(uint32_t member_id, FrameType type,
+                    const std::vector<uint8_t>& payload);
+
+  size_t MemberCount();
 
   // Stops accepting, closes every connection, waits out in-flight handshakes
   // and dispatch slices.
@@ -135,6 +165,10 @@ class ChannelServer : private EventLoop::Handler {
     Handshake handshake;
     std::unique_ptr<PeerDispatch> dispatch;  // event-loop mode only
     std::unique_ptr<Connection> conn;
+    // Membership channel (kJoin) peers carry no data handshake; their frames
+    // route to on_member_ instead of the batch path.
+    bool is_member = false;
+    uint32_t member_id = 0;
   };
 
   // Event-loop mode: listener readiness (accept until EAGAIN).
@@ -150,9 +184,15 @@ class ChannelServer : private EventLoop::Handler {
   void ClosePeer(Peer& peer);
   void ReapBrokenPeersLocked();
 
+  // Installs a freshly joined member peer; runs on the setup thread.
+  void SetupMember(Socket socket, FrameDecoder carry, const Frame& first);
+
   const ChannelServerOptions options_;
   HandshakeFn on_handshake_;
   BatchFn on_batch_;
+  JoinFn on_join_;
+  MemberFrameFn on_member_;
+  MigrationFn on_migration_;
   runtime::Executor* executor_ = nullptr;
   EventLoop* loop_ = nullptr;
 

@@ -64,7 +64,7 @@ Result<bool> FrameDecoder::Next(Frame* out) {
     return poisoned_;
   }
   if (type < static_cast<uint8_t>(FrameType::kHandshake) ||
-      type > static_cast<uint8_t>(FrameType::kAck)) {
+      type > kMaxFrameType) {
     poisoned_ = FrameError("unknown frame type " + std::to_string(type));
     return poisoned_;
   }
@@ -160,6 +160,167 @@ Result<AckMsg> AckMsg::Decode(const std::vector<uint8_t>& payload) {
   SDG_ASSIGN_OR_RETURN(a.acked_ts, r.Read<uint64_t>());
   SDG_RETURN_IF_ERROR(RequireAtEnd(r, "ack"));
   return a;
+}
+
+// --- JoinMsg ------------------------------------------------------------------
+
+std::vector<uint8_t> JoinMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(protocol);
+  w.Write<uint64_t>(deployment_id);
+  w.Write<uint32_t>(member_id);
+  w.WriteString(host);
+  w.Write<uint32_t>(data_port);
+  w.WriteString(name);
+  return std::move(w).TakeBuffer();
+}
+
+Result<JoinMsg> JoinMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  JoinMsg m;
+  SDG_ASSIGN_OR_RETURN(m.protocol, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.deployment_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.member_id, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.host, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.data_port, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.name, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "join"));
+  return m;
+}
+
+std::vector<uint8_t> JoinAckMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(accepted ? 1 : 0);
+  w.Write<uint32_t>(member_id);
+  w.WriteString(message);
+  return std::move(w).TakeBuffer();
+}
+
+Result<JoinAckMsg> JoinAckMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  JoinAckMsg m;
+  SDG_ASSIGN_OR_RETURN(uint8_t accepted, r.Read<uint8_t>());
+  m.accepted = accepted != 0;
+  SDG_ASSIGN_OR_RETURN(m.member_id, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.message, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "join-ack"));
+  return m;
+}
+
+// --- Migration ----------------------------------------------------------------
+
+std::vector<uint8_t> MigrateBeginMsg::Encode() const {
+  BinaryWriter w;
+  w.WriteString(state);
+  w.Write<uint32_t>(partition);
+  w.Write<uint32_t>(num_partitions);
+  w.WriteString(target_host);
+  w.Write<uint32_t>(target_port);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MigrateBeginMsg> MigrateBeginMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MigrateBeginMsg m;
+  SDG_ASSIGN_OR_RETURN(m.state, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.partition, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.num_partitions, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.target_host, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.target_port, r.Read<uint32_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "migrate-begin"));
+  return m;
+}
+
+std::vector<uint8_t> MigrateChunkMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(chunk_index);
+  w.Write<uint8_t>(flags);
+  w.WriteVector(bytes);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MigrateChunkMsg> MigrateChunkMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MigrateChunkMsg m;
+  SDG_ASSIGN_OR_RETURN(m.chunk_index, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.flags, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.bytes, r.ReadVector<uint8_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "migrate-chunk"));
+  return m;
+}
+
+std::vector<uint8_t> MigrateCommitMsg::Encode() const {
+  BinaryWriter w;
+  w.WriteString(state);
+  w.Write<uint32_t>(partition);
+  w.Write<uint64_t>(watermarks.size());
+  for (const auto& sw : watermarks) {
+    w.Write<uint32_t>(sw.source_instance);
+    w.Write<uint64_t>(sw.watermark);
+  }
+  return std::move(w).TakeBuffer();
+}
+
+Result<MigrateCommitMsg> MigrateCommitMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MigrateCommitMsg m;
+  SDG_ASSIGN_OR_RETURN(m.state, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.partition, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(uint64_t n, r.Read<uint64_t>());
+  m.watermarks.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    SourceWatermark sw;
+    SDG_ASSIGN_OR_RETURN(sw.source_instance, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(sw.watermark, r.Read<uint64_t>());
+    m.watermarks.push_back(sw);
+  }
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "migrate-commit"));
+  return m;
+}
+
+std::vector<uint8_t> MigrateAckMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(ok ? 1 : 0);
+  w.Write<uint64_t>(watermark);
+  w.WriteString(message);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MigrateAckMsg> MigrateAckMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MigrateAckMsg m;
+  SDG_ASSIGN_OR_RETURN(uint8_t ok, r.Read<uint8_t>());
+  m.ok = ok != 0;
+  SDG_ASSIGN_OR_RETURN(m.watermark, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.message, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "migrate-ack"));
+  return m;
+}
+
+// --- ControlMsg ---------------------------------------------------------------
+
+std::vector<uint8_t> ControlMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(op);
+  w.Write<uint32_t>(partition);
+  w.Write<uint64_t>(arg);
+  w.WriteString(text);
+  return std::move(w).TakeBuffer();
+}
+
+Result<ControlMsg> ControlMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  ControlMsg m;
+  SDG_ASSIGN_OR_RETURN(m.op, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.partition, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.arg, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.text, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "control"));
+  return m;
 }
 
 }  // namespace sdg::net

@@ -39,7 +39,24 @@ enum class FrameType : uint8_t {
   kHandshakeAck = 2,  // receiver -> sender, carries the acked watermark
   kData = 3,          // batch of DataItems for the handshaken entry
   kAck = 4,           // receiver -> sender: durable watermark advanced
+  // Membership (elastic scale-out): a fresh worker process registers with a
+  // running deployment's head; the connection then stays open as the
+  // member's control channel (kControl both ways).
+  kJoin = 5,      // worker -> head, once per connection
+  kJoinAck = 6,   // head -> worker
+  // Live state-partition migration, its own connection to the target's
+  // ChannelServer: Begin opens the session, Chunk streams base/delta chunk
+  // segments, Commit is the cutover barrier carrying the watermark handoff,
+  // Ack confirms each applied phase.
+  kMigrateBegin = 7,
+  kMigrateChunk = 8,
+  kMigrateCommit = 9,
+  kMigrateAck = 10,
+  kControl = 11,  // head <-> member commands/replies on the join connection
 };
+// Highest type value FrameDecoder accepts; bump when appending frame types.
+inline constexpr uint8_t kMaxFrameType =
+    static_cast<uint8_t>(FrameType::kControl);
 
 struct Frame {
   FrameType type = FrameType::kData;
@@ -120,6 +137,110 @@ struct AckMsg {
 
   std::vector<uint8_t> Encode() const;
   static Result<AckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// --- Membership / migration messages ------------------------------------------
+
+// Registers a worker process with a running deployment's head. `member_id`
+// is stable across restarts (it names the worker's backup-store directory);
+// a rejoin with a known id replaces the previous incarnation. `data_port` is
+// the joiner's own ChannelServer, where data channels and migration sessions
+// are dialled.
+struct JoinMsg {
+  uint32_t protocol = kProtocolVersion;
+  uint64_t deployment_id = 0;
+  uint32_t member_id = 0;
+  std::string host;
+  uint32_t data_port = 0;
+  std::string name;  // diagnostics only
+
+  std::vector<uint8_t> Encode() const;
+  static Result<JoinMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+struct JoinAckMsg {
+  bool accepted = false;
+  uint32_t member_id = 0;
+  std::string message;  // reject reason
+
+  std::vector<uint8_t> Encode() const;
+  static Result<JoinAckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Opens a migration session for one partition of one SE. Over the membership
+// channel (head -> source worker) the target fields say where to push; over
+// the session connection itself (source -> target) they are empty.
+struct MigrateBeginMsg {
+  std::string state;
+  uint32_t partition = 0;
+  uint32_t num_partitions = 0;
+  std::string target_host;
+  uint32_t target_port = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateBeginMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// One chunk-stream segment of the partition being migrated. Segments of one
+// chunk_index concatenate into a v2 chunk blob; an apply-marker (empty
+// payload) closes the phase: the target assembles and applies everything
+// buffered, then acks.
+inline constexpr uint8_t kMigrateChunkDelta = 1;  // segment of a delta chunk
+inline constexpr uint8_t kMigrateChunkApply = 2;  // phase barrier, no payload
+struct MigrateChunkMsg {
+  uint32_t chunk_index = 0;
+  uint8_t flags = 0;
+  std::vector<uint8_t> bytes;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateChunkMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Cutover barrier: the source has shipped its final delta and will never
+// serve this partition again. `watermarks` carries, per remote source
+// instance feeding this partition (one per head-side entry channel), the
+// highest timestamp reflected in the migrated state — the receiving worker
+// reports these on the next data handshakes so the head's output buffers
+// replay exactly the entries past them (the watermark handoff).
+struct SourceWatermark {
+  uint32_t source_instance = 0;
+  uint64_t watermark = 0;
+};
+struct MigrateCommitMsg {
+  std::string state;
+  uint32_t partition = 0;
+  std::vector<SourceWatermark> watermarks;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateCommitMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+struct MigrateAckMsg {
+  bool ok = false;
+  uint64_t watermark = 0;
+  std::string message;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateAckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Commands/replies on the membership channel.
+inline constexpr uint32_t kCtrlCheckpoint = 1;  // head->worker: persist + ack
+inline constexpr uint32_t kCtrlDone = 2;        // worker->head: command done
+inline constexpr uint32_t kCtrlRelease = 3;     // head->worker: drop partition
+inline constexpr uint32_t kCtrlStraggler = 4;   // worker->head: local straggler
+inline constexpr uint32_t kCtrlCutover = 5;     // head->worker: finish migration
+inline constexpr uint32_t kCtrlPrepared = 6;    // worker->head: base+deltas sent
+inline constexpr uint32_t kCtrlError = 7;       // worker->head: command failed
+inline constexpr uint32_t kCtrlPing = 8;        // head->worker: liveness probe
+struct ControlMsg {
+  uint32_t op = 0;
+  uint32_t partition = 0;
+  uint64_t arg = 0;
+  std::string text;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ControlMsg> Decode(const std::vector<uint8_t>& payload);
 };
 
 }  // namespace sdg::net

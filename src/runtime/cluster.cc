@@ -2238,10 +2238,17 @@ void Deployment::ScalingMonitorLoop() {
           if (median > 0 && rate < opts.straggler_ratio * median) {
             if (++slow_samples[key] >= opts.samples_to_trigger) {
               uint32_t node = s.instance_nodes[i];
-              std::unique_lock topo(topo_mutex_);
-              if (!node_straggler_[node]) {
-                SDG_LOG(kInfo) << "node " << node << " flagged as straggler";
-                node_straggler_[node] = true;
+              bool newly_flagged = false;
+              {
+                std::unique_lock topo(topo_mutex_);
+                if (!node_straggler_[node]) {
+                  SDG_LOG(kInfo) << "node " << node << " flagged as straggler";
+                  node_straggler_[node] = true;
+                  newly_flagged = true;
+                }
+              }
+              if (newly_flagged && opts.on_straggler) {
+                opts.on_straggler(node);
               }
             }
           } else {

@@ -97,6 +97,11 @@ struct ScalingOptions {
   // An instance processing slower than this fraction of its TE's median
   // marks its node as straggling (avoided for future placement).
   double straggler_ratio = 0.5;
+  // Fired once per node on the not-straggler -> straggler transition, from
+  // the monitor thread with no cluster locks held. The elastic runtime hooks
+  // this to escalate to its head process, which may respond by migrating
+  // partitions off the node live.
+  std::function<void(uint32_t node)> on_straggler;
 };
 
 // Load-balancing policy for one-to-any dispatch.

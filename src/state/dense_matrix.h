@@ -78,6 +78,10 @@ class DenseMatrix final : public StateBackend {
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
+  void ExclusiveBarrier(const std::function<void()>& fn) override {
+    shards_.WriteAll([&](bool) { fn(); });
+  }
+
  private:
   // One stripe's slice: the checkpoint overlay (flat index -> value) for the
   // rows this stripe owns.

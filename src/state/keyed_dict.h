@@ -374,6 +374,10 @@ class KeyedDict final : public StateBackend {
     });
   }
 
+  void ExclusiveBarrier(const std::function<void()>& fn) override {
+    shards_.WriteAll([&](bool) { fn(); });
+  }
+
   // Approximate number of dirty entries (for tests and metrics).
   uint64_t DirtySize() const {
     uint64_t n = 0;

@@ -81,6 +81,10 @@ class SparseMatrix final : public StateBackend {
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
+  void ExclusiveBarrier(const std::function<void()>& fn) override {
+    shards_.WriteAll([&](bool) { fn(); });
+  }
+
  private:
   // One stripe's slice of the row maps: main rows plus the checkpoint
   // overlay, both keyed to this stripe by the row hash.

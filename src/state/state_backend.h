@@ -129,6 +129,14 @@ class StateBackend {
   // hash % num_parts. Invalid while a checkpoint is active.
   virtual Status ExtractPartition(uint32_t part, uint32_t num_parts,
                                   const RecordSink& sink) = 0;
+
+  // Runs `fn` while every writer is excluded — striped backends take all
+  // stripe locks (in index order) for the duration. The live-migration
+  // cutover runs its final delta capture under this fence so the shipped
+  // state and the handed-off watermark agree; its hold time is the measured
+  // migration pause. Unsynchronised backends run `fn` directly (their caller
+  // already owns exclusivity).
+  virtual void ExclusiveBarrier(const std::function<void()>& fn) { fn(); }
 };
 
 // Creates an empty instance of a concrete backend; the runtime uses this when

@@ -93,6 +93,10 @@ class VectorState final : public StateBackend {
   Status ExtractPartition(uint32_t part, uint32_t num_parts,
                           const RecordSink& sink) override;
 
+  void ExclusiveBarrier(const std::function<void()>& fn) override {
+    shards_.WriteAll([&](bool) { fn(); });
+  }
+
  private:
   // One stripe's slice: the checkpoint overlay for the index blocks this
   // stripe owns (the dense array itself is shared, element-owned by stripe).

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <set>
 #include <thread>
 
 #include "src/apps/cf.h"
@@ -82,6 +83,85 @@ TEST(ScalingMonitorTest, DisabledMonitorNeverScales) {
   }
   (*d)->Drain();
   EXPECT_EQ((*d)->NumInstancesOf("t"), 1u);
+}
+
+TEST(ScalingMonitorTest, StragglerCallbackFiresOncePerNode) {
+  // Two instances of a partitioned entry task (key-hash routed); every item
+  // for one key sleeps, so the instance that key hashes to is persistently
+  // slower than the median and its node must be reported through
+  // on_straggler — exactly once, with no cluster locks held (the callback
+  // re-enters the deployment to prove it).
+  graph::SdgBuilder b;
+  auto dict = b.AddState("d", graph::StateDistribution::kPartitioned,
+                         [] { return std::make_unique<IntDict>(); });
+  auto t = b.AddEntryTask("t", [](const Tuple& in, graph::TaskContext& ctx) {
+    StateAs<IntDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsInt());
+    if (in[1].AsInt() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  ASSERT_TRUE(b.SetAccess(t, dict, graph::AccessMode::kPartitioned).ok());
+  b.SetInitialInstances(t, 2);
+  auto g = std::move(b).Build();
+  ASSERT_TRUE(g.ok());
+
+  // Two keys on different instances: slow traffic pins one, fast the other.
+  int64_t slow_key = 0;
+  int64_t fast_key = 1;
+  while (Value(slow_key).Hash() % 2 != 0) ++slow_key;
+  while (Value(fast_key).Hash() % 2 != 1) ++fast_key;
+
+  std::atomic<int> fired{0};
+  std::atomic<uint32_t> flagged_node{Deployment::kNoNode};
+  Deployment* dep = nullptr;
+
+  ClusterOptions o;
+  o.num_nodes = 2;
+  o.mailbox_capacity = 512;
+  o.scaling.enabled = true;
+  o.scaling.sample_interval_ms = 50;
+  o.scaling.samples_to_trigger = 2;
+  o.scaling.queue_high_watermark = 2.0;  // occupancy <= 1: never adds instances
+  o.scaling.straggler_ratio = 0.5;
+  o.scaling.on_straggler = [&](uint32_t node) {
+    fired.fetch_add(1);
+    flagged_node.store(node);
+    // Lock-free contract: deployment queries must not deadlock from here.
+    (void)dep->NumInstancesOf("t");
+  };
+  Cluster cluster(o);
+  auto d = cluster.Deploy(std::move(*g));
+  ASSERT_TRUE(d.ok());
+  dep = d->get();
+
+  std::atomic<bool> stop{false};
+  std::thread injector([&] {
+    while (!stop.load()) {
+      if ((*d)->TotalQueueDepth() < 300) {
+        (void)(*d)->Inject("t", Tuple{Value(slow_key), Value(int64_t{1})});
+        (void)(*d)->Inject("t", Tuple{Value(fast_key), Value(int64_t{0})});
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+  });
+  for (int i = 0; i < 200 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Keep load flowing a little longer: the flag must NOT re-fire for a node
+  // that already transitioned.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop = true;
+  injector.join();
+  EXPECT_EQ(fired.load(), 1) << "on_straggler must fire once per transition";
+  // The reported node hosts one of the task's instances (slot -> instance-id
+  // order is an allocation detail, so only membership is asserted).
+  std::set<uint32_t> nodes = {(*d)->NodeOfTaskInstance("t", 0),
+                              (*d)->NodeOfTaskInstance("t", 1)};
+  EXPECT_TRUE(nodes.count(flagged_node.load()) > 0)
+      << "flagged node " << flagged_node.load() << " hosts no instance of t";
+  (*d)->Drain();
+  (*d)->Shutdown();
 }
 
 TEST(StragglerPlacementTest, AvoidsFlaggedNode) {
