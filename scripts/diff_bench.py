@@ -2,10 +2,16 @@
 """Diff freshly produced BENCH_*.json against the committed trajectory.
 
 For every BENCH_*.json present in --current that also exists in --committed,
-rows are matched by their "config" value and every field whose name starts
-with "items_per_sec" is compared. A field that dropped by more than
---tolerance (default 0.2, i.e. >20% regression) fails the run; improvements
-and new rows/files are fine.
+rows are matched by their "config" value and two kinds of fields are gated:
+
+  * throughput: fields starting with "items_per_sec" — a drop of more than
+    --tolerance (default 0.2, i.e. >20% regression) fails the run;
+  * tail latency: fields starting with "p99" — an INCREASE beyond
+    --lat-tolerance (default 1.0, i.e. p99 more than doubling) fails the
+    run. The wide band absorbs open-loop tail noise while still catching a
+    batching/admission change that wrecks the SLO story.
+
+Improvements and new rows/files are fine.
 
 Rows are only comparable when they were measured under the same shape: any
 field that is not a measured metric (keys, nodes, reps, hw_threads, ...) must
@@ -38,6 +44,13 @@ METRIC_PREFIXES = (
     "items",        # raw items moved (covers items_per_sec too)
     "peak_unacked",
     "bytes",
+    # Serve front door (BENCH_serve.json).
+    "p50",
+    "p99",
+    "overloaded",
+    "errors",
+    "replica_answers",
+    "final_batch",
 )
 
 
@@ -57,6 +70,8 @@ def main():
     ap.add_argument("--current", default="build/bench", help="dir with fresh BENCH_*.json")
     ap.add_argument("--tolerance", type=float, default=0.2,
                     help="max allowed fractional drop in items_per_sec fields")
+    ap.add_argument("--lat-tolerance", type=float, default=1.0,
+                    help="max allowed fractional increase in p99 fields")
     args = ap.parse_args()
 
     current_files = sorted(glob.glob(os.path.join(args.current, "BENCH_*.json")))
@@ -90,7 +105,9 @@ def main():
                       f"({', '.join(mismatch)}), not comparable, skipped")
                 continue
             for field, ref_val in ref.items():
-                if not field.startswith("items_per_sec"):
+                gate_up = field.startswith("items_per_sec")
+                gate_down = field.startswith("p99")
+                if not gate_up and not gate_down:
                     continue
                 cur_val = cur.get(field)
                 if not isinstance(cur_val, (int, float)) or ref_val <= 0:
@@ -98,8 +115,11 @@ def main():
                 ratio = cur_val / ref_val
                 compared += 1
                 status = "ok"
-                if ratio < 1.0 - args.tolerance:
+                if gate_up and ratio < 1.0 - args.tolerance:
                     status = "REGRESSION"
+                elif gate_down and ratio > 1.0 + args.lat_tolerance:
+                    status = "REGRESSION"
+                if status == "REGRESSION":
                     failures.append(
                         f"{name}:{config}.{field} {ref_val:.0f} -> {cur_val:.0f} "
                         f"({ratio:.2f}x)")

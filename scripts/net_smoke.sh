@@ -14,13 +14,22 @@
 # shed at least one partition to the newcomer via live migration with a
 # cutover pause under 250 ms, then verify the durable word counts exactly.
 #
-# Usage: net_smoke.sh [cluster_wordcount] [lines] [elastic_wordcount] [elastic_worker]
+# Phase 3 — serve front door (runs when KV_GATEWAY_BIN and KV_LOADGEN_BIN are
+# given): kv_gateway + a --serve worker + kv_loadgen's deterministic smoke
+# sequence (fill / delete / overload burst / drain / verify). Asserts the
+# burst sheds with kOverloaded (nonzero SHED), bounded-stale reads get
+# replica answers, and the exact KV contents survive the drain.
+#
+# Usage: net_smoke.sh [cluster_wordcount] [lines] [elastic_wordcount]
+#                     [elastic_worker] [kv_gateway] [kv_loadgen]
 set -u
 
 BIN="${1:-build/examples/cluster_wordcount}"
 LINES="${2:-300000}"
 HEAD_BIN="${3:-}"
 WORKER_BIN="${4:-}"
+KV_GATEWAY_BIN="${5:-}"
+KV_LOADGEN_BIN="${6:-}"
 PORT="${SDG_SMOKE_PORT:-7741}"
 WORK="$(mktemp -d /tmp/sdg_net_smoke.XXXXXX)"
 SNAP="$WORK/wordcount.snap"
@@ -29,6 +38,8 @@ SEND_PID=""
 HEAD_PID=""
 W1_PID=""
 W2_PID=""
+GW_PID=""
+SW_PID=""
 
 cleanup() {
   [ -n "$RECV_PID" ] && kill -9 "$RECV_PID" 2>/dev/null
@@ -36,6 +47,8 @@ cleanup() {
   [ -n "$HEAD_PID" ] && kill -9 "$HEAD_PID" 2>/dev/null
   [ -n "$W1_PID" ] && kill -9 "$W1_PID" 2>/dev/null
   [ -n "$W2_PID" ] && kill -9 "$W2_PID" 2>/dev/null
+  [ -n "$GW_PID" ] && kill -9 "$GW_PID" 2>/dev/null
+  [ -n "$SW_PID" ] && kill -9 "$SW_PID" 2>/dev/null
   wait 2>/dev/null
   rm -rf "$WORK"
 }
@@ -179,4 +192,71 @@ W1_PID=""; W2_PID=""
 echo "SCALE SMOKE PASSED: live migration to a mid-stream joiner"
 echo "  migration : $MIGRATED"
 echo "  counts    : $COUNTS"
+
+# ---------------------------------------------------------------------------
+# Phase 3: serve front door — gateway + --serve worker + loadgen smoke.
+# ---------------------------------------------------------------------------
+if [ -z "$KV_GATEWAY_BIN" ] || [ -z "$KV_LOADGEN_BIN" ]; then
+  echo "SERVE SMOKE SKIPPED: no kv_gateway/kv_loadgen binaries given"
+  exit 0
+fi
+
+fail3() {
+  echo "SERVE SMOKE FAILED: $1" >&2
+  echo "--- gateway ---" >&2; cat "$WORK/gw.log" >&2 || true
+  echo "--- serve worker ---" >&2; cat "$WORK/sw.log" >&2 || true
+  echo "--- loadgen ---" >&2; cat "$WORK/lg.log" >&2 || true
+  exit 1
+}
+
+[ -x "$KV_GATEWAY_BIN" ] || fail3 "binary '$KV_GATEWAY_BIN' not found or not executable"
+[ -x "$KV_LOADGEN_BIN" ] || fail3 "binary '$KV_LOADGEN_BIN' not found or not executable"
+
+SERVE_BACKUP="$WORK/serve_backup"
+
+# Tiny admission watermarks so the loadgen's pipelined burst reliably crosses
+# high water and must be shed with kOverloaded.
+"$KV_GATEWAY_BIN" --backup "$SERVE_BACKUP" --high-water 64 --low-water 8 \
+  > "$WORK/gw.log" 2>&1 &
+GW_PID=$!
+wait_for "HEAD port=" "$WORK/gw.log" 10 || fail3 "gateway never started"
+GW_PORT="$(grep -o 'HEAD port=[0-9]*' "$WORK/gw.log" | head -1 | cut -d= -f2)"
+
+"$WORKER_BIN" --app kv --serve --head-port "$GW_PORT" --id 1 \
+  --backup "$SERVE_BACKUP" --ckpt-interval-ms 100 \
+  > "$WORK/sw.log" 2>&1 &
+SW_PID=$!
+wait_for "SERVING" "$WORK/gw.log" 20 || fail3 "fleet never assembled"
+
+# Deterministic fill / delete / overload burst / drain / verify. The loadgen
+# exits nonzero if the burst never sheds, no stale get is answered from a
+# replica, or any key reads back a wrong value after the drain.
+"$KV_LOADGEN_BIN" --port "$GW_PORT" --mode smoke > "$WORK/lg.log" 2>&1
+LG_RC=$?
+[ "$LG_RC" -eq 0 ] || fail3 "loadgen smoke exited $LG_RC"
+
+SHED_LINE="$(grep 'SHED n=' "$WORK/lg.log" | tail -1)"
+SHED_N="$(echo "$SHED_LINE" | grep -o 'n=[0-9]*' | cut -d= -f2)"
+[ -n "$SHED_N" ] && [ "$SHED_N" -gt 0 ] \
+  || fail3 "overload burst never shed: '$SHED_LINE'"
+KV_LINE="$(grep 'KV OK' "$WORK/lg.log" | tail -1)"
+[ -n "$KV_LINE" ] || fail3 "loadgen never verified the KV contents"
+REPLICA_LINE="$(grep 'REPLICA hits=' "$WORK/lg.log" | tail -1)"
+
+# Clean gateway shutdown prints a final GWSTATS line.
+kill -TERM "$GW_PID" 2>/dev/null
+wait "$GW_PID" 2>/dev/null
+GW_PID=""
+GWSTATS="$(grep 'GWSTATS' "$WORK/gw.log" | tail -1)"
+[ -n "$GWSTATS" ] || fail3 "gateway exited without GWSTATS"
+
+kill "$SW_PID" 2>/dev/null
+wait "$SW_PID" 2>/dev/null
+SW_PID=""
+
+echo "SERVE SMOKE PASSED: shed under overload, exact contents after drain"
+echo "  shed    : $SHED_LINE"
+echo "  replica : $REPLICA_LINE"
+echo "  verify  : $KV_LINE"
+echo "  gateway : $GWSTATS"
 exit 0

@@ -45,12 +45,16 @@ case "$target" in
     cmake --build build -j "$(nproc)" --target micro_migrate >/dev/null
     (cd build/bench && ./micro_migrate)
     ;;
+  serve)
+    cmake --build build -j "$(nproc)" --target micro_serve >/dev/null
+    (cd build/bench && ./micro_serve)
+    ;;
   all)
-    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state micro_net micro_migrate >/dev/null
-    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state && ./micro_net && ./micro_migrate)
+    cmake --build build -j "$(nproc)" --target micro_hotpath micro_ckpt micro_state micro_net micro_migrate micro_serve >/dev/null
+    (cd build/bench && ./micro_hotpath && ./micro_ckpt && ./micro_state && ./micro_net && ./micro_migrate && ./micro_serve)
     ;;
   *)
-    echo "usage: $0 [hotpath|ckpt|state|net|migrate|all] [--short]" >&2
+    echo "usage: $0 [hotpath|ckpt|state|net|migrate|serve|all] [--short]" >&2
     exit 2
     ;;
 esac

@@ -1,5 +1,6 @@
 #include "src/net/channel_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -16,11 +17,13 @@ ChannelServer::PeerDispatch::PeerDispatch(ChannelServer* server, Peer* peer,
 }
 
 void ChannelServer::PeerDispatch::PushFrame(Frame frame) {
+  bool held;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) {
       return;
     }
+    held = held_;
     frames_.push_back(std::move(frame));
     if (!paused_ && frames_.size() >= kPauseFrames) {
       paused_ = true;
@@ -37,7 +40,26 @@ void ChannelServer::PeerDispatch::PushFrame(Frame frame) {
       }
     }
   }
-  Ready();
+  if (!held) {
+    Ready();
+  }
+}
+
+void ChannelServer::PeerDispatch::Hold() {
+  std::lock_guard<std::mutex> lock(mu_);
+  held_ = true;
+}
+
+void ChannelServer::PeerDispatch::Release() {
+  bool any;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_ = false;
+    any = !frames_.empty();
+  }
+  if (any) {
+    Ready();
+  }
 }
 
 bool ChannelServer::PeerDispatch::RunSlice() {
@@ -45,6 +67,9 @@ bool ChannelServer::PeerDispatch::RunSlice() {
   bool more;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (held_) {
+      return false;
+    }
     size_t n = std::min(kFramesPerSlice, frames_.size());
     batch.reserve(n);
     for (size_t i = 0; i < n; ++i) {
@@ -62,16 +87,7 @@ bool ChannelServer::PeerDispatch::RunSlice() {
     more = !frames_.empty();
   }
   for (auto& frame : batch) {
-    if (frame.type != FrameType::kData) {
-      continue;
-    }
-    auto decoded = DataBatch::Decode(frame.payload);
-    if (!decoded.ok()) {
-      SDG_LOG(kWarning) << "dropping malformed data batch: "
-                        << decoded.status().ToString();
-      continue;
-    }
-    server_->on_batch_(peer_->handshake, std::move(decoded->items));
+    server_->DispatchPeerFrame(*peer_, std::move(frame));
   }
   return more;
 }
@@ -89,6 +105,75 @@ void ChannelServer::PeerDispatch::Drain() {
 
 // ---------------------------------------------------------------------------
 // ChannelServer
+
+// One decoded frame for any peer kind. Runs on the peer's dispatch entity
+// (event-loop mode) or reader thread (threaded mode) — never the epoll loop.
+void ChannelServer::DispatchPeerFrame(Peer& peer, Frame frame) {
+  if (peer.is_client) {
+    if (frame.type != FrameType::kRequest) {
+      return;
+    }
+    auto req = RequestMsg::Decode(frame.payload);
+    if (!req.ok()) {
+      SDG_LOG(kWarning) << "dropping malformed request: "
+                        << req.status().ToString();
+      return;
+    }
+    std::shared_ptr<const ServeHandlers> serve;
+    {
+      std::lock_guard<std::mutex> lock(serve_mutex_);
+      serve = serve_;
+    }
+    if (serve == nullptr || serve->on_request == nullptr) {
+      // No gateway installed: cut the connection instead of silently eating
+      // the request, so the client fails fast and redials a live gateway.
+      if (peer.conn != nullptr) {
+        peer.conn->Abort(UnavailableError("no serve handler installed"));
+      }
+      return;
+    }
+    serve->on_request(peer.client_id, std::move(*req));
+    return;
+  }
+  if (peer.is_feed) {
+    if (frame.type != FrameType::kReplicaEpoch) {
+      return;
+    }
+    auto msg = ReplicaEpochMsg::Decode(frame.payload);
+    if (!msg.ok()) {
+      SDG_LOG(kWarning) << "dropping malformed replica epoch: "
+                        << msg.status().ToString();
+      return;
+    }
+    std::shared_ptr<const ServeHandlers> serve;
+    {
+      std::lock_guard<std::mutex> lock(serve_mutex_);
+      serve = serve_;
+    }
+    if (serve == nullptr || serve->on_feed == nullptr) {
+      // Epochs dropped here would desync the publisher's tail from the
+      // gateway's replica views (a base eaten now leaves every later delta
+      // inapplicable). Cut the link: the worker redials with backoff and
+      // replays its tail — base first — once a gateway is listening.
+      if (peer.conn != nullptr) {
+        peer.conn->Abort(UnavailableError("no serve handler installed"));
+      }
+      return;
+    }
+    serve->on_feed(peer.subscribe, std::move(*msg));
+    return;
+  }
+  if (frame.type != FrameType::kData) {
+    return;
+  }
+  auto decoded = DataBatch::Decode(frame.payload);
+  if (!decoded.ok()) {
+    SDG_LOG(kWarning) << "dropping malformed data batch: "
+                      << decoded.status().ToString();
+    return;
+  }
+  on_batch_(peer.handshake, std::move(decoded->items));
+}
 
 ChannelServer::ChannelServer(ChannelServerOptions options)
     : options_(options) {}
@@ -196,6 +281,11 @@ void ChannelServer::SetupPeer(Socket socket) {
     on_migration_(std::move(socket), std::move(carry), *begin);
     return;
   }
+  if (first->type == FrameType::kRequest ||
+      first->type == FrameType::kReplicaSubscribe) {
+    SetupServePeer(std::move(socket), std::move(carry), std::move(*first));
+    return;
+  }
   if (first->type != FrameType::kHandshake) {
     SDG_LOG(kWarning) << "connection opened with unexpected frame type "
                       << static_cast<int>(first->type);
@@ -250,16 +340,7 @@ void ChannelServer::SetupPeer(Socket socket) {
     peer->conn = std::make_unique<Connection>(
         std::move(socket), copts,
         [this, raw](Frame frame) {
-          if (frame.type != FrameType::kData) {
-            return;
-          }
-          auto batch = DataBatch::Decode(frame.payload);
-          if (!batch.ok()) {
-            SDG_LOG(kWarning) << "dropping malformed data batch: "
-                              << batch.status().ToString();
-            return;
-          }
-          on_batch_(raw->handshake, std::move(batch->items));
+          DispatchPeerFrame(*raw, std::move(frame));
         },
         [](const Status&) {
           // Reaped on the next Ack/Stop, as above.
@@ -354,6 +435,94 @@ void ChannelServer::SetupMember(Socket socket, FrameDecoder carry,
   (void)conn->Send(frame.buffer());
 }
 
+void ChannelServer::SetupServePeer(Socket socket, FrameDecoder carry,
+                                   Frame first) {
+  auto peer = std::make_shared<Peer>();
+  if (first.type == FrameType::kRequest) {
+    peer->is_client = true;
+    peer->client_id = next_client_id_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    auto sub = ReplicaSubscribeMsg::Decode(first.payload);
+    if (!sub.ok()) {
+      SDG_LOG(kWarning) << "malformed replica subscribe: "
+                        << sub.status().ToString();
+      return;
+    }
+    if (sub->protocol != kProtocolVersion) {
+      SDG_LOG(kWarning) << "replica subscribe protocol mismatch";
+      return;
+    }
+    peer->is_feed = true;
+    peer->subscribe = std::move(*sub);
+  }
+  socket.SetRecvTimeout(0);
+  Peer* raw = peer.get();
+  Connection::Options copts;
+  copts.send_queue_frames = options_.send_queue_frames;
+  if (peer->is_client) {
+    // Responses are tiny and clients pipeline: a deep send queue makes the
+    // non-blocking response path lossless for any sane pipeline depth while
+    // still bounding what a never-reading client can pin.
+    copts.send_queue_frames =
+        std::max<size_t>(options_.send_queue_frames, 16384);
+  }
+  PeerDispatch* dispatch = nullptr;
+  bool dispatch_first_after_install = false;
+  if (options_.mode == NetMode::kEventLoop) {
+    peer->dispatch = std::make_unique<PeerDispatch>(this, raw, executor_);
+    dispatch = peer->dispatch.get();
+    // Held until the peer is installed in peers_: a handler running off the
+    // first request would respond via SendToClient, which scans peers_ —
+    // dispatching before installation silently drops that response.
+    dispatch->Hold();
+    // The first request must keep wire order with whatever the carry decoder
+    // already buffered, so it goes through the dispatch before the
+    // Connection starts feeding it.
+    if (peer->is_client) {
+      dispatch->PushFrame(std::move(first));
+    }
+    copts.loop = loop_;
+    peer->conn = std::make_unique<Connection>(
+        std::move(socket), copts,
+        [dispatch](Frame frame) { dispatch->PushFrame(std::move(frame)); },
+        [](const Status&) {
+          // Client/feed churn is routine; reaped on the next send/Stop.
+        },
+        std::move(carry));
+    dispatch->SetConnection(peer->conn.get());
+  } else {
+    // Threaded mode has no dispatch queue to hold, so the first request is
+    // dispatched after installation instead. A client awaits the response to
+    // its first request before pipelining (Connect is not acked otherwise),
+    // so the reader thread has nothing to reorder in front of it.
+    dispatch_first_after_install = peer->is_client;
+    peer->conn = std::make_unique<Connection>(
+        std::move(socket), copts,
+        [this, raw](Frame frame) {
+          DispatchPeerFrame(*raw, std::move(frame));
+        },
+        [](const Status&) {},
+        std::move(carry));
+  }
+  {
+    std::lock_guard<std::mutex> lock(peers_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      ClosePeer(*peer);
+      return;
+    }
+    ReapBrokenPeersLocked();
+    peers_.push_back(peer);
+  }
+  // Outside peers_mutex_: the released slice (or the inline dispatch) may
+  // call straight back into SendToClient.
+  if (dispatch != nullptr) {
+    dispatch->Release();
+  }
+  if (dispatch_first_after_install) {
+    DispatchPeerFrame(*raw, std::move(first));
+  }
+}
+
 void ChannelServer::ClosePeer(Peer& peer) {
   if (peer.conn != nullptr) {
     peer.conn->Close();  // deregisters: no further PushFrame after this
@@ -421,6 +590,30 @@ bool ChannelServer::SendToMember(uint32_t member_id, FrameType type,
   ReapBrokenPeersLocked();
   for (auto& peer : peers_) {
     if (peer->is_member && peer->member_id == member_id) {
+      return peer->conn->TrySend(bytes);
+    }
+  }
+  return false;
+}
+
+void ChannelServer::SetServeHandlers(RequestFn on_request, FeedFn on_feed) {
+  auto handlers = std::make_shared<ServeHandlers>();
+  handlers->on_request = std::move(on_request);
+  handlers->on_feed = std::move(on_feed);
+  std::lock_guard<std::mutex> lock(serve_mutex_);
+  serve_ = std::move(handlers);
+}
+
+bool ChannelServer::SendToClient(uint64_t client_id,
+                                 const std::vector<uint8_t>& payload) {
+  BinaryWriter frame;
+  EncodeFrame(frame, FrameType::kResponse, payload.data(), payload.size());
+  const std::vector<uint8_t>& bytes = frame.buffer();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  for (auto& peer : peers_) {
+    if (peer->is_client && peer->client_id == client_id) {
+      // Non-blocking: a client that stops reading sheds its own responses
+      // rather than wedging the flusher for everyone else.
       return peer->conn->TrySend(bytes);
     }
   }

@@ -88,6 +88,16 @@ class ChannelServer : private EventLoop::Handler {
   // expected to be bounded (the source closes after commit/abort).
   using MigrationFn = std::function<void(Socket socket, FrameDecoder carry,
                                          const MigrateBeginMsg& begin)>;
+  // Serve path. A connection whose first frame is a kRequest becomes a client
+  // peer: every request (including the first) is decoded off the IO thread on
+  // the peer's dispatch entity and handed to on_request, tagged with a
+  // server-assigned client id for the response route back. A connection whose
+  // first frame is kReplicaSubscribe becomes a replica-feed peer: subsequent
+  // kReplicaEpoch frames are decoded the same way and handed to on_feed.
+  // Client/feed peers share the wire-backpressure dispatch with data peers.
+  using RequestFn = std::function<void(uint64_t client_id, RequestMsg req)>;
+  using FeedFn = std::function<void(const ReplicaSubscribeMsg& sub,
+                                    ReplicaEpochMsg msg)>;
 
   explicit ChannelServer(ChannelServerOptions options);
   ~ChannelServer() override;
@@ -117,6 +127,18 @@ class ChannelServer : private EventLoop::Handler {
 
   size_t MemberCount();
 
+  // Installs the serve-path handlers. May be called after Start (the gateway
+  // layers on top of an already-listening head); until it is called, client
+  // and feed connections are accepted but any frame they deliver aborts the
+  // connection — a silently-eaten feed base would leave every later delta
+  // inapplicable, so the peer must redial (and replay) a live gateway.
+  void SetServeHandlers(RequestFn on_request, FeedFn on_feed);
+
+  // Sends one kResponse frame back to a connected client. Non-blocking:
+  // false when the client is gone or its send queue is full (a slow reader
+  // sheds its own responses; the client-side timeout retries).
+  bool SendToClient(uint64_t client_id, const std::vector<uint8_t>& payload);
+
   // Stops accepting, closes every connection, waits out in-flight handshakes
   // and dispatch slices.
   void Stop();
@@ -142,7 +164,12 @@ class ChannelServer : private EventLoop::Handler {
       conn_.store(conn, std::memory_order_release);
     }
     void PushFrame(Frame frame);  // loop thread
-    void Drain();                 // close frames source, then AwaitIdle
+    // Hold/Release bracket peer installation: while held, PushFrame queues
+    // frames but never schedules a slice, so no handler can run (and try to
+    // respond through peers_) before the peer is actually in peers_.
+    void Hold();
+    void Release();
+    void Drain();  // close frames source, then AwaitIdle
 
    protected:
     bool RunSlice() override;
@@ -159,6 +186,7 @@ class ChannelServer : private EventLoop::Handler {
     std::deque<Frame> frames_;
     bool paused_ = false;
     bool closed_ = false;
+    bool held_ = false;
   };
 
   struct Peer {
@@ -169,6 +197,11 @@ class ChannelServer : private EventLoop::Handler {
     // route to on_member_ instead of the batch path.
     bool is_member = false;
     uint32_t member_id = 0;
+    // Serve-path roles (first frame kRequest / kReplicaSubscribe).
+    bool is_client = false;
+    uint64_t client_id = 0;
+    bool is_feed = false;
+    ReplicaSubscribeMsg subscribe;
   };
 
   // Event-loop mode: listener readiness (accept until EAGAIN).
@@ -186,6 +219,13 @@ class ChannelServer : private EventLoop::Handler {
 
   // Installs a freshly joined member peer; runs on the setup thread.
   void SetupMember(Socket socket, FrameDecoder carry, const Frame& first);
+  // Installs a client or replica-feed peer; runs on the setup thread. The
+  // first frame is re-dispatched through the peer's normal frame path so it
+  // keeps wire order with whatever the carry decoder already buffered.
+  void SetupServePeer(Socket socket, FrameDecoder carry, Frame first);
+  // Decodes and routes one frame for any peer kind (dispatch entity in
+  // event-loop mode, reader thread in threaded mode).
+  void DispatchPeerFrame(Peer& peer, Frame frame);
 
   const ChannelServerOptions options_;
   HandshakeFn on_handshake_;
@@ -205,6 +245,16 @@ class ChannelServer : private EventLoop::Handler {
   std::mutex peers_mutex_;
   std::list<std::shared_ptr<Peer>> peers_;
   std::vector<std::thread> setup_threads_;
+
+  // Serve-path handlers are installed after Start, while connections may
+  // already be arriving; reads snapshot the shared_ptr under serve_mutex_.
+  struct ServeHandlers {
+    RequestFn on_request;
+    FeedFn on_feed;
+  };
+  std::mutex serve_mutex_;
+  std::shared_ptr<const ServeHandlers> serve_;
+  std::atomic<uint64_t> next_client_id_{1};
 };
 
 }  // namespace sdg::net

@@ -97,6 +97,12 @@ class Connection : private EventLoop::Handler {
   // the socket and releases loop registrations / joins threads. Idempotent.
   void Close();
 
+  // Marks the connection broken and cuts the socket immediately — no drain,
+  // no joins — so the peer observes a closed link and can redial. Unlike
+  // Close(), safe to call from inside on_frame (the threaded-mode reader
+  // would otherwise self-join). Close() must still run later for teardown.
+  void Abort(const Status& status) { Fail(status); }
+
   bool broken() const { return broken_.load(std::memory_order_acquire); }
 
  private:

@@ -323,4 +323,110 @@ Result<ControlMsg> ControlMsg::Decode(const std::vector<uint8_t>& payload) {
   return m;
 }
 
+// --- RequestMsg ---------------------------------------------------------------
+
+std::vector<uint8_t> RequestMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint64_t>(request_id);
+  w.Write<uint8_t>(op);
+  w.Write<uint8_t>(flags);
+  w.Write<int64_t>(key);
+  w.WriteString(value);
+  w.Write<uint32_t>(max_epoch_lag);
+  return std::move(w).TakeBuffer();
+}
+
+Result<RequestMsg> RequestMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  RequestMsg m;
+  SDG_ASSIGN_OR_RETURN(m.request_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.op, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.flags, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.key, r.Read<int64_t>());
+  SDG_ASSIGN_OR_RETURN(m.value, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.max_epoch_lag, r.Read<uint32_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "request"));
+  return m;
+}
+
+// --- ResponseMsg --------------------------------------------------------------
+
+std::vector<uint8_t> ResponseMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint64_t>(request_id);
+  w.Write<uint8_t>(code);
+  w.Write<uint8_t>(flags);
+  w.WriteString(value);
+  w.Write<uint64_t>(epoch);
+  return std::move(w).TakeBuffer();
+}
+
+Result<ResponseMsg> ResponseMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  ResponseMsg m;
+  SDG_ASSIGN_OR_RETURN(m.request_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.code, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.flags, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.value, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.epoch, r.Read<uint64_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "response"));
+  return m;
+}
+
+// --- ReplicaSubscribeMsg ------------------------------------------------------
+
+std::vector<uint8_t> ReplicaSubscribeMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(protocol);
+  w.Write<uint64_t>(deployment_id);
+  w.Write<uint32_t>(member_id);
+  w.WriteString(state);
+  return std::move(w).TakeBuffer();
+}
+
+Result<ReplicaSubscribeMsg> ReplicaSubscribeMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  ReplicaSubscribeMsg m;
+  SDG_ASSIGN_OR_RETURN(m.protocol, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.deployment_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.member_id, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.state, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "replica-subscribe"));
+  return m;
+}
+
+// --- ReplicaEpochMsg ----------------------------------------------------------
+
+std::vector<uint8_t> ReplicaEpochMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(partition);
+  w.Write<uint32_t>(member_id);
+  w.Write<uint8_t>(kind);
+  w.Write<uint64_t>(epoch);
+  w.Write<uint64_t>(queue_depth);
+  w.Write<uint32_t>(static_cast<uint32_t>(chunks.size()));
+  for (const auto& c : chunks) w.WriteVector(c);
+  return std::move(w).TakeBuffer();
+}
+
+Result<ReplicaEpochMsg> ReplicaEpochMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  ReplicaEpochMsg m;
+  SDG_ASSIGN_OR_RETURN(m.partition, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.member_id, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.kind, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.epoch, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.queue_depth, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(uint32_t n, r.Read<uint32_t>());
+  m.chunks.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SDG_ASSIGN_OR_RETURN(std::vector<uint8_t> c, r.ReadVector<uint8_t>());
+    m.chunks.push_back(std::move(c));
+  }
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "replica-epoch"));
+  return m;
+}
+
 }  // namespace sdg::net

@@ -53,10 +53,21 @@ enum class FrameType : uint8_t {
   kMigrateCommit = 9,
   kMigrateAck = 10,
   kControl = 11,  // head <-> member commands/replies on the join connection
+  // Serve path (client-facing front door): a client's first frame is a
+  // kRequest — no handshake — and the connection then carries pipelined
+  // requests and (out-of-order) responses keyed by request id.
+  kRequest = 12,   // client -> gateway
+  kResponse = 13,  // gateway -> client
+  // Replica feed: a worker's first frame on a second connection to the head
+  // subscribes it as a partial-state publisher; kReplicaEpoch frames then
+  // stream checkpoint-epoch base/delta chunk blobs to the gateway's read
+  // replicas (§3.2 partial state as the read-scaling path).
+  kReplicaSubscribe = 14,  // worker -> gateway, once per connection
+  kReplicaEpoch = 15,      // worker -> gateway: epoch announce/base/delta
 };
 // Highest type value FrameDecoder accepts; bump when appending frame types.
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kControl);
+    static_cast<uint8_t>(FrameType::kReplicaEpoch);
 
 struct Frame {
   FrameType type = FrameType::kData;
@@ -241,6 +252,81 @@ struct ControlMsg {
 
   std::vector<uint8_t> Encode() const;
   static Result<ControlMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// --- Serve-path messages ------------------------------------------------------
+
+// One KV operation. `request_id` is client-scoped (echoed back verbatim);
+// responses may arrive out of order, so clients key pending ops on it.
+// Reads default to the strong path (routed to the owning partition); setting
+// kReadStale allows the gateway to answer from a partial-state replica as
+// long as the replica lags the owner's announced checkpoint epoch by at most
+// `max_epoch_lag` epochs (the staleness bound).
+inline constexpr uint8_t kOpPut = 1;
+inline constexpr uint8_t kOpGet = 2;
+inline constexpr uint8_t kOpDel = 3;
+inline constexpr uint8_t kOpPing = 4;  // connection probe, answered inline
+inline constexpr uint8_t kReadStale = 1;  // RequestMsg.flags bit
+struct RequestMsg {
+  uint64_t request_id = 0;
+  uint8_t op = kOpGet;
+  uint8_t flags = 0;
+  int64_t key = 0;
+  std::string value;  // kOpPut payload
+  uint32_t max_epoch_lag = 1;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<RequestMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+inline constexpr uint8_t kRespOk = 1;
+inline constexpr uint8_t kRespOverloaded = 2;  // shed by admission control
+inline constexpr uint8_t kRespError = 3;
+inline constexpr uint8_t kRespFromReplica = 1;  // ResponseMsg.flags bit
+struct ResponseMsg {
+  uint64_t request_id = 0;
+  uint8_t code = kRespOk;
+  uint8_t flags = 0;
+  std::string value;    // get result ("" = absent) or error text
+  uint64_t epoch = 0;   // replica reads: the epoch the value reflects
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ResponseMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// --- Replica feed messages ----------------------------------------------------
+
+// Opens a worker's replica-feed connection to the gateway.
+struct ReplicaSubscribeMsg {
+  uint32_t protocol = kProtocolVersion;
+  uint64_t deployment_id = 0;
+  uint32_t member_id = 0;
+  std::string state;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ReplicaSubscribeMsg> Decode(
+      const std::vector<uint8_t>& payload);
+};
+
+// One replica-feed event for a partition. An announce (no chunks) advances
+// the owner's epoch watermark the moment a checkpoint epoch is cut — the
+// gateway's staleness bound is measured against it. Base/delta events carry
+// the v2 chunk blobs of that epoch; a base replaces the replica's contents,
+// a delta applies dirty records + tombstones on top. `queue_depth` piggybacks
+// the worker's current mailbox depth for admission control.
+inline constexpr uint8_t kEpochAnnounce = 1;
+inline constexpr uint8_t kEpochBase = 2;
+inline constexpr uint8_t kEpochDelta = 3;
+struct ReplicaEpochMsg {
+  uint32_t partition = 0;
+  uint32_t member_id = 0;
+  uint8_t kind = kEpochAnnounce;
+  uint64_t epoch = 0;
+  uint64_t queue_depth = 0;
+  std::vector<std::vector<uint8_t>> chunks;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ReplicaEpochMsg> Decode(const std::vector<uint8_t>& payload);
 };
 
 }  // namespace sdg::net

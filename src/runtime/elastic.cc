@@ -131,10 +131,48 @@ Status ElasticWorker::Start() {
         OnMigrationSession(std::move(socket), std::move(carry), begin);
       }));
 
+  // Strong-read reply path: forward these sinks' outputs to the head as
+  // kResponse frames, keyed by the item's user_tag (the gateway's request
+  // tag; untagged outputs have no waiter and are dropped).
+  for (const auto& sink : options_.forward_sinks) {
+    SDG_RETURN_IF_ERROR(deployment_->OnOutput(
+        sink, [this](const Tuple& tuple, uint64_t user_tag) {
+          if (user_tag == 0) {
+            return;
+          }
+          net::ResponseMsg resp;
+          resp.request_id = user_tag;
+          resp.code = net::kRespOk;
+          if (tuple.size() > 1) {
+            resp.value = tuple[1].AsString();
+          }
+          (void)SendResponseToHead(resp);
+        }));
+  }
+
+  if (options_.serve_feed) {
+    tails_.reserve(options_.partitions);
+    for (uint32_t p = 0; p < options_.partitions; ++p) {
+      tails_.push_back(
+          std::make_unique<checkpoint::EpochTail>(options_.feed_max_deltas));
+    }
+    // Dirty tracking from the first epoch on; restored partitions start
+    // invalid (RestoreChunk invalidates), so their first publish is a base.
+    for (uint32_t p = 0; p < options_.partitions; ++p) {
+      auto* backend = deployment_->StateInstance(options_.state, p);
+      if (backend != nullptr) {
+        backend->EnableDeltaTracking();
+      }
+    }
+  }
+
   running_.store(true, std::memory_order_release);
   control_thread_ = std::thread([this] { ControlLoop(); });
   if (options_.checkpoint_interval_ms > 0) {
     checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+  }
+  if (options_.serve_feed) {
+    feed_thread_ = std::thread([this] { FeedLoop(); });
   }
   return Status::Ok();
 }
@@ -153,11 +191,18 @@ void ElasticWorker::Stop() {
     std::lock_guard<std::mutex> lock(joined_mutex_);
     joined_cv_.notify_all();
   }
+  {
+    std::lock_guard<std::mutex> lock(feed_mutex_);
+    feed_cv_.notify_all();
+  }
   if (control_thread_.joinable()) {
     control_thread_.join();
   }
   if (checkpoint_thread_.joinable()) {
     checkpoint_thread_.join();
+  }
+  if (feed_thread_.joinable()) {
+    feed_thread_.join();
   }
   if (server_) {
     server_->Stop();
@@ -243,17 +288,56 @@ void ElasticWorker::OnBatch(const net::Handshake& hs,
 Status ElasticWorker::Checkpoint() {
   std::scoped_lock op(op_mutex_);
   std::map<uint32_t, uint64_t> acks;
+  std::vector<net::ReplicaEpochMsg> publish;
   {
     std::lock_guard<std::mutex> ingest(ingest_mutex_);
     deployment_->Drain();
     uint64_t epoch = epoch_ + 1;
+    uint64_t depth = deployment_->TotalQueueDepth();
     checkpoint::CheckpointMeta meta;
     meta.epoch = epoch;
     for (uint32_t p : owned_) {
       auto* backend = deployment_->StateInstance(options_.state, p);
-      auto chunks = state::SerializeToChunks(*backend, options_.state,
-                                             kChunksPerPartition,
-                                             MigrateChunkOptions(false));
+      std::vector<std::vector<uint8_t>> chunks;
+      if (options_.serve_feed) {
+        // Cut the epoch under the backend's delta protocol so the same
+        // quiesced snapshot yields both the durable full chunks and the
+        // replica-feed blobs (delta when the dirty tracker covers the gap
+        // since the tail's last epoch, base otherwise).
+        backend->BeginCheckpoint();
+        bool delta = backend->DeltaReady() && !tails_[p]->NeedsBase();
+        auto blobs = checkpoint::SerializeEpochBlobs(
+            *backend, options_.state, kChunksPerPartition, delta,
+            state::kChunkCodecPrefix);
+        chunks = state::SerializeToChunks(*backend, options_.state,
+                                          kChunksPerPartition,
+                                          MigrateChunkOptions(false));
+        backend->EndCheckpoint();
+        backend->ResolveEpoch(blobs.ok());
+        if (blobs.ok()) {
+          if (delta) {
+            delta = tails_[p]->PushDelta(epoch, *blobs);
+          }
+          if (!delta) {
+            tails_[p]->PushBase(epoch, *blobs);
+          }
+          net::ReplicaEpochMsg announce;
+          announce.partition = p;
+          announce.member_id = options_.member_id;
+          announce.kind = net::kEpochAnnounce;
+          announce.epoch = epoch;
+          announce.queue_depth = depth;
+          net::ReplicaEpochMsg body = announce;
+          body.kind = delta ? net::kEpochDelta : net::kEpochBase;
+          body.chunks = std::move(*blobs);
+          publish.push_back(std::move(announce));
+          publish.push_back(std::move(body));
+        }
+      } else {
+        chunks = state::SerializeToChunks(*backend, options_.state,
+                                          kChunksPerPartition,
+                                          MigrateChunkOptions(false));
+      }
       SDG_RETURN_IF_ERROR(store_->WriteChunks(options_.member_id, epoch,
                                               PartName(options_.state, p),
                                               chunks));
@@ -286,6 +370,10 @@ Status ElasticWorker::Checkpoint() {
   // repaired by the next handshake's watermark.
   for (const auto& [si, wm] : acks) {
     server_->AckSource(runtime::kRemoteSourceTask, si, wm);
+  }
+  // Publish the epoch to the replica feed (announce first, blobs after).
+  for (auto& msg : publish) {
+    QueueFeed(std::move(msg));
   }
   return Status::Ok();
 }
@@ -401,6 +489,122 @@ bool ElasticWorker::SendControlToHead(const net::ControlMsg& msg) {
       .ok();
 }
 
+bool ElasticWorker::SendResponseToHead(const net::ResponseMsg& msg) {
+  std::lock_guard<std::mutex> lock(ctrl_send_mutex_);
+  if (ctrl_socket_ == nullptr) {
+    return false;
+  }
+  return net::WriteFrameBlocking(*ctrl_socket_, net::FrameType::kResponse,
+                                 msg.Encode())
+      .ok();
+}
+
+// --- Replica feed -----------------------------------------------------------
+
+void ElasticWorker::QueueFeed(net::ReplicaEpochMsg msg) {
+  constexpr size_t kFeedQueueMax = 256;
+  std::lock_guard<std::mutex> lock(feed_mutex_);
+  if (feed_queue_.size() >= kFeedQueueMax) {
+    // A wedged gateway must not hold blob memory hostage: drop the queue and
+    // resync from the tails when the wire drains (duplicates are idempotent
+    // replica-side, and a delta chain never tears — tails replay base-first).
+    feed_queue_.clear();
+    feed_replay_ = true;
+  } else {
+    feed_queue_.push_back(std::move(msg));
+  }
+  feed_cv_.notify_all();
+}
+
+void ElasticWorker::FeedLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto dialed =
+        net::Socket::Connect(options_.head_host, options_.head_port);
+    if (!dialed.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    net::Socket socket = std::move(*dialed);
+    net::ReplicaSubscribeMsg sub;
+    sub.deployment_id = options_.deployment_id;
+    sub.member_id = options_.member_id;
+    sub.state = options_.state;
+    if (!net::WriteFrameBlocking(socket, net::FrameType::kReplicaSubscribe,
+                                 sub.Encode())
+             .ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      continue;
+    }
+    // Fresh connection: whatever queued while disconnected is superseded by
+    // a tail replay (base + deltas per partition, in epoch order).
+    {
+      std::lock_guard<std::mutex> lock(feed_mutex_);
+      feed_queue_.clear();
+      feed_replay_ = true;
+    }
+    bool wire_ok = true;
+    while (wire_ok && running_.load(std::memory_order_acquire)) {
+      std::vector<net::ReplicaEpochMsg> out;
+      bool replay = false;
+      {
+        std::unique_lock<std::mutex> lock(feed_mutex_);
+        feed_cv_.wait_for(lock, std::chrono::milliseconds(100), [this] {
+          return !feed_queue_.empty() || feed_replay_ ||
+                 !running_.load(std::memory_order_acquire);
+        });
+        if (!running_.load(std::memory_order_acquire)) {
+          return;
+        }
+        replay = feed_replay_;
+        feed_replay_ = false;
+        while (!feed_queue_.empty()) {
+          out.push_back(std::move(feed_queue_.front()));
+          feed_queue_.pop_front();
+        }
+      }
+      if (replay) {
+        std::vector<net::ReplicaEpochMsg> msgs;
+        for (uint32_t p = 0; p < options_.partitions; ++p) {
+          auto entries = tails_[p]->Replay();
+          if (entries.empty()) {
+            continue;
+          }
+          for (auto& e : entries) {
+            net::ReplicaEpochMsg m;
+            m.partition = p;
+            m.member_id = options_.member_id;
+            m.kind = e.base ? net::kEpochBase : net::kEpochDelta;
+            m.epoch = e.epoch;
+            m.chunks = std::move(e.chunks);
+            msgs.push_back(std::move(m));
+          }
+          // Close the replay with an announce at the tail's watermark: a
+          // freshly-(re)started gateway becomes read-admissible immediately
+          // instead of waiting for the next checkpoint's announce.
+          net::ReplicaEpochMsg announce;
+          announce.partition = p;
+          announce.member_id = options_.member_id;
+          announce.kind = net::kEpochAnnounce;
+          announce.epoch = tails_[p]->latest_epoch();
+          msgs.push_back(std::move(announce));
+        }
+        msgs.insert(msgs.end(), std::make_move_iterator(out.begin()),
+                    std::make_move_iterator(out.end()));
+        out = std::move(msgs);
+      }
+      for (auto& m : out) {
+        if (!net::WriteFrameBlocking(socket, net::FrameType::kReplicaEpoch,
+                                     m.Encode())
+                 .ok()) {
+          wire_ok = false;  // gateway gone: redial and replay
+          break;
+        }
+        feed_published_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
 void ElasticWorker::HandleControl(net::Socket& socket,
                                   const net::ControlMsg& msg) {
   switch (msg.op) {
@@ -448,6 +652,9 @@ void ElasticWorker::HandleControl(net::Socket& socket,
         if (outbound_ && outbound_->partition == msg.partition) {
           outbound_.reset();
         }
+      }
+      if (!tails_.empty()) {
+        tails_[msg.partition]->Clear();
       }
       if (was_owned) {
         (void)Checkpoint();  // make the release durable
@@ -524,6 +731,11 @@ void ElasticWorker::HandleMigrateBegin(net::Socket& control,
       fail(Status(StatusCode::kFailedPrecondition, "partition not owned"));
       return;
     }
+  }
+  // Migration epochs consume the backend's dirty set, so the replica feed's
+  // delta baseline is gone: drop the tail and let the next feed epoch re-base.
+  if (!tails_.empty()) {
+    tails_[cmd.partition]->Clear();
   }
   auto dialed = net::Socket::Connect(cmd.target_host,
                                      static_cast<uint16_t>(cmd.target_port));
@@ -627,6 +839,11 @@ void ElasticWorker::HandleCutover(net::Socket& control, uint32_t partition) {
     fail(Status(StatusCode::kFailedPrecondition, "no prepared session"));
     return;
   }
+  // The final delta eats the dirty set whether or not cutover lands; either
+  // way the feed tail's baseline is invalid for this partition.
+  if (!tails_.empty()) {
+    tails_[partition]->Clear();
+  }
   auto* backend = deployment_->StateInstance(options_.state, partition);
   std::vector<net::SourceWatermark> watermarks;
   Status st;
@@ -728,6 +945,9 @@ void ElasticWorker::OnMigrationSession(net::Socket socket,
   }
   auto* backend = deployment_->StateInstance(options_.state, partition);
   backend->Clear();  // drop any orphan of an aborted earlier session
+  if (!tails_.empty()) {
+    tails_[partition]->Clear();  // stale retained epochs from past ownership
+  }
   bool touched = false;
   // Segments per chunk index, concatenated in arrival order: together they
   // are one streamed v2 chunk blob (the prefix-codec context spans segment
@@ -914,7 +1134,29 @@ Result<uint32_t> ElasticHead::OnJoin(const net::JoinMsg& join) {
   return join.member_id;
 }
 
+void ElasticHead::SetResponseHandler(ResponseHandler handler) {
+  std::lock_guard<std::mutex> lock(response_mutex_);
+  response_handler_ = std::move(handler);
+}
+
 void ElasticHead::OnMemberFrame(uint32_t member_id, net::Frame frame) {
+  if (frame.type == net::FrameType::kResponse) {
+    // Strong-read result riding the worker's control channel back to the
+    // gateway. Handler must not block: this is the member IO thread.
+    auto resp = net::ResponseMsg::Decode(frame.payload);
+    if (!resp.ok()) {
+      return;
+    }
+    ResponseHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(response_mutex_);
+      handler = response_handler_;
+    }
+    if (handler) {
+      handler(member_id, std::move(*resp));
+    }
+    return;
+  }
   // IO thread: record and notify only.
   if (frame.type != net::FrameType::kControl) {
     return;
@@ -1152,6 +1394,73 @@ Status ElasticHead::Inject(uint32_t entry_index, Tuple tuple,
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+}
+
+Status ElasticHead::InjectBatch(uint32_t entry_index,
+                                std::vector<TaggedTuple> tuples,
+                                int deadline_ms) {
+  if (entry_index >= options_.entries.size()) {
+    return Status(StatusCode::kInvalidArgument, "bad entry index");
+  }
+  std::vector<std::vector<TaggedTuple>> by_part(options_.partitions);
+  for (auto& tt : tuples) {
+    if (tt.tuple.empty()) {
+      return Status(StatusCode::kInvalidArgument, "empty tuple");
+    }
+    uint32_t partition =
+        static_cast<uint32_t>(tt.tuple[0].Hash() % options_.partitions);
+    by_part[partition].push_back(std::move(tt));
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(deadline_ms);
+  for (uint32_t partition = 0; partition < options_.partitions; ++partition) {
+    auto& batch = by_part[partition];
+    if (batch.empty()) {
+      continue;
+    }
+    uint32_t si =
+        SourceInstanceOf(entry_index, partition, options_.partitions);
+    Part& part = *parts_[partition];
+    size_t accepted = 0;
+    for (;;) {
+      std::shared_ptr<net::RemoteChannel> chan;
+      {
+        std::lock_guard<std::mutex> lock(part.mu);
+        if (part.owner != kNoOwner && entry_index < part.chans.size()) {
+          chan = part.chans[entry_index];
+        }
+      }
+      if (chan) {
+        std::lock_guard<std::mutex> send(part.send_mu);
+        std::vector<runtime::DataItem> items;
+        items.reserve(batch.size() - accepted);
+        // The unaccepted suffix is rebuilt with fresh timestamps on every
+        // attempt (same monotonicity argument as Inject: holes are fine).
+        for (size_t i = accepted; i < batch.size(); ++i) {
+          runtime::DataItem item;
+          item.from = {runtime::kRemoteSourceTask, si};
+          item.ts = clocks_[si]->Next();
+          item.user_tag = batch[i].tag;
+          item.payload = batch[i].tuple;
+          items.push_back(std::move(item));
+        }
+        accepted += chan->DeliverAll(std::move(items));
+        if (accepted >= batch.size()) {
+          break;
+        }
+      }
+      if (std::chrono::steady_clock::now() > deadline) {
+        return Status(StatusCode::kDeadlineExceeded,
+                      "inject batch: partition " + std::to_string(partition) +
+                          " unreachable");
+      }
+      if (!running_.load(std::memory_order_acquire)) {
+        return Status(StatusCode::kAborted, "head stopping");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return Status::Ok();
 }
 
 Status ElasticHead::PushPartition(

@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "src/checkpoint/backup_store.h"
+#include "src/checkpoint/epoch_tail.h"
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/graph/sdg.h"
@@ -102,6 +103,18 @@ struct ElasticWorkerOptions {
   uint32_t local_nodes = 1;
   size_t executor_workers = 0;
   runtime::ScalingOptions scaling;  // on_straggler is wired to kCtrlStraggler
+  // Serve path. With serve_feed set, every checkpoint epoch of an owned
+  // partition is also published to the head's gateway over a replica-feed
+  // connection (kReplicaSubscribe + kReplicaEpoch): an announce the moment
+  // the epoch is cut, then the epoch's chunk blobs as a base or — when the
+  // backend's dirty tracker covers the gap — a delta. An EpochTail per
+  // partition retains base + deltas for reconnect replay; after
+  // feed_max_deltas deltas the next epoch re-bases.
+  bool serve_feed = false;
+  size_t feed_max_deltas = 8;
+  // Sink TEs whose outputs are forwarded to the head as kResponse frames
+  // (request_id = the item's user_tag) — the strong-read reply path.
+  std::vector<std::string> forward_sinks;
 };
 
 class ElasticWorker {
@@ -134,6 +147,11 @@ class ElasticWorker {
 
   runtime::Deployment* deployment() { return deployment_.get(); }
 
+  // Epochs published to the replica feed (serve_feed only).
+  uint64_t feed_epochs_published() const {
+    return feed_published_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct OutboundMigration {
     net::Socket socket;
@@ -164,6 +182,16 @@ class ElasticWorker {
   // Best-effort send on the current control connection (straggler escalation,
   // migrated-in notifications); false when not joined or the wire is broken.
   bool SendControlToHead(const net::ControlMsg& msg);
+  // Forwards one sink output to the head as a kResponse frame on the control
+  // channel (the strong-read reply path).
+  bool SendResponseToHead(const net::ResponseMsg& msg);
+
+  // Replica feed (serve_feed): connects to the head's gateway, replays the
+  // retained tails, then streams epochs as Checkpoint publishes them.
+  void FeedLoop();
+  // Queues one feed message; drops to a tail re-replay when the queue backs
+  // up (a wedged gateway must not hold worker memory hostage).
+  void QueueFeed(net::ReplicaEpochMsg msg);
 
   // One serialized epoch (base or delta) of `backend` streamed into `sink`
   // as kMigrateChunk segments; `phase` is the crash-point name.
@@ -203,6 +231,16 @@ class ElasticWorker {
   std::mutex joined_mutex_;
   std::condition_variable joined_cv_;
   std::atomic<uint64_t> items_ingested_{0};
+
+  // Replica feed (serve_feed). Tails are per partition, internally locked;
+  // the queue hands Checkpoint's published epochs to the feed thread.
+  std::vector<std::unique_ptr<checkpoint::EpochTail>> tails_;
+  std::thread feed_thread_;
+  std::mutex feed_mutex_;
+  std::condition_variable feed_cv_;
+  std::deque<net::ReplicaEpochMsg> feed_queue_;
+  bool feed_replay_ = false;  // queue overflowed/reconnected: replay tails
+  std::atomic<uint64_t> feed_published_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -259,6 +297,17 @@ class ElasticHead {
   // `deadline_ms` of sustained failure.
   Status Inject(uint32_t entry_index, Tuple tuple, int deadline_ms = 120000);
 
+  // Batched Inject: groups the tuples by owning partition and delivers each
+  // group as one DataBatch frame — the serve path's amortisation lever.
+  // `tag` rides DataItem::user_tag end to end (sink outputs echo it), so a
+  // gateway can correlate responses. Same blocking/deadline semantics.
+  struct TaggedTuple {
+    Tuple tuple;
+    uint64_t tag = 0;
+  };
+  Status InjectBatch(uint32_t entry_index, std::vector<TaggedTuple> tuples,
+                     int deadline_ms = 120000);
+
   // Live migration of `partition` to `target_member` (must differ from the
   // current owner). Synchronous; concurrent calls are serialized.
   Status MigratePartition(uint32_t partition, uint32_t target_member);
@@ -286,6 +335,16 @@ class ElasticHead {
   uint64_t migrations_completed() const {
     return migrations_done_.load(std::memory_order_relaxed);
   }
+
+  // The membership ChannelServer — the gateway layers its serve handlers
+  // (client requests, replica feeds) onto the same port.
+  net::ChannelServer* server() { return server_.get(); }
+
+  // Receives kResponse frames forwarded by workers over their control
+  // channels (strong-read replies). Runs on the IO thread — must not block.
+  using ResponseHandler =
+      std::function<void(uint32_t member_id, net::ResponseMsg msg)>;
+  void SetResponseHandler(ResponseHandler handler);
 
  private:
   struct Member {
@@ -363,6 +422,9 @@ class ElasticHead {
   mutable std::mutex events_mutex_;
   std::deque<ControlEvent> events_;
   std::condition_variable events_cv_;
+
+  std::mutex response_mutex_;
+  ResponseHandler response_handler_;
 
   std::mutex migrate_mutex_;  // one migration/push at a time
   std::thread mgmt_thread_;

@@ -1,0 +1,48 @@
+#include "src/serve/batcher.h"
+
+#include <algorithm>
+
+#include "src/common/metrics.h"
+
+namespace sdg::serve {
+
+AdaptiveBatcher::AdaptiveBatcher(BatcherOptions options)
+    : options_(options),
+      batch_(std::clamp(options.initial_batch, options.min_batch,
+                        options.max_batch)) {
+  window_.reserve(options_.window);
+}
+
+void AdaptiveBatcher::RecordLatencyMs(double ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_.push_back(ms);
+  if (window_.size() < options_.window) {
+    return;
+  }
+  std::sort(window_.begin(), window_.end());
+  double p99 = PercentileOfSorted(window_, 99);
+  window_.clear();
+  last_p99_ms_ = p99;
+  size_t batch = batch_.load(std::memory_order_relaxed);
+  if (p99 > options_.slo_p99_ms) {
+    size_t next = std::max(options_.min_batch, batch / 2);
+    if (next != batch) {
+      batch_.store(next, std::memory_order_relaxed);
+      shrinks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (p99 < options_.headroom * options_.slo_p99_ms) {
+    size_t step = std::max<size_t>(1, batch / 8);
+    size_t next = std::min(options_.max_batch, batch + step);
+    if (next != batch) {
+      batch_.store(next, std::memory_order_relaxed);
+      grows_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+double AdaptiveBatcher::last_window_p99_ms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_p99_ms_;
+}
+
+}  // namespace sdg::serve

@@ -1,0 +1,79 @@
+// SLO-adaptive batch sizing (AIMD over the batch-size knee).
+//
+// Injecting requests into the dataflow in batches amortises the per-delivery
+// costs (clock ticks, channel locking, wire frames), but past the knee of
+// the batch-size/latency curve extra batching only adds queueing delay. The
+// right batch size depends on the host and the offered load, so instead of a
+// fixed constant the gateway walks it at runtime: completed-request latencies
+// accumulate into a window, and each full window moves the batch size by the
+// classic AIMD rule —
+//
+//   p99 > SLO            -> multiplicative decrease (halve)
+//   p99 < headroom * SLO -> additive increase (+1/8 of current, min 1)
+//   otherwise            -> hold (inside the SLO band)
+//
+// Decrease is multiplicative because an SLO breach means the controller is
+// past the knee and queueing delay compounds; increase is additive so the
+// controller creeps back up and oscillates gently around the knee instead of
+// slamming between extremes.
+#ifndef SDG_SERVE_BATCHER_H_
+#define SDG_SERVE_BATCHER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace sdg::serve {
+
+struct BatcherOptions {
+  double slo_p99_ms = 20.0;
+  size_t min_batch = 1;
+  size_t max_batch = 512;
+  size_t initial_batch = 32;
+  // Latency samples per control decision. Small enough to react within a
+  // fraction of a second at serve rates, large enough that p99 is not noise.
+  size_t window = 128;
+  // Grow only when p99 is comfortably under the SLO, so the controller does
+  // not ride the breach boundary.
+  double headroom = 0.7;
+};
+
+class AdaptiveBatcher {
+ public:
+  explicit AdaptiveBatcher(BatcherOptions options = {});
+
+  // Current batch size for the next flush. Lock-free.
+  size_t batch_size() const {
+    return batch_.load(std::memory_order_relaxed);
+  }
+
+  // One completed request's latency. Every `window` samples the controller
+  // takes an AIMD step.
+  void RecordLatencyMs(double ms);
+
+  uint64_t grow_steps() const {
+    return grows_.load(std::memory_order_relaxed);
+  }
+  uint64_t shrink_steps() const {
+    return shrinks_.load(std::memory_order_relaxed);
+  }
+  // p99 of the last completed window (0 until one completes).
+  double last_window_p99_ms() const;
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  const BatcherOptions options_;
+  std::atomic<size_t> batch_;
+  std::atomic<uint64_t> grows_{0};
+  std::atomic<uint64_t> shrinks_{0};
+  mutable std::mutex mutex_;
+  std::vector<double> window_;
+  double last_p99_ms_ = 0;
+};
+
+}  // namespace sdg::serve
+
+#endif  // SDG_SERVE_BATCHER_H_

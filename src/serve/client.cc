@@ -1,0 +1,77 @@
+#include "src/serve/client.h"
+
+#include <utility>
+
+namespace sdg::serve {
+
+Status KvClient::Connect() {
+  SDG_ASSIGN_OR_RETURN(socket_,
+                       net::Socket::Connect(options_.host, options_.port));
+  socket_.SetRecvTimeout(options_.recv_timeout_ms);
+  carry_ = net::FrameDecoder();
+  net::RequestMsg ping;
+  ping.request_id = NextRequestId();
+  ping.op = net::kOpPing;
+  SDG_RETURN_IF_ERROR(Send(ping));
+  SDG_ASSIGN_OR_RETURN(net::ResponseMsg resp, Recv());
+  if (resp.code != net::kRespOk) {
+    return Status(StatusCode::kUnavailable, "gateway refused ping");
+  }
+  return Status::Ok();
+}
+
+Status KvClient::Send(const net::RequestMsg& req) {
+  return net::WriteFrameBlocking(socket_, net::FrameType::kRequest,
+                                 req.Encode());
+}
+
+Result<net::ResponseMsg> KvClient::Recv() {
+  SDG_ASSIGN_OR_RETURN(net::Frame frame,
+                       net::ReadFrameBlocking(socket_, carry_));
+  if (frame.type != net::FrameType::kResponse) {
+    return Status(StatusCode::kDataLoss, "unexpected frame from gateway");
+  }
+  return net::ResponseMsg::Decode(frame.payload);
+}
+
+Result<net::ResponseMsg> KvClient::Roundtrip(net::RequestMsg req) {
+  req.request_id = NextRequestId();
+  SDG_RETURN_IF_ERROR(Send(req));
+  for (;;) {
+    SDG_ASSIGN_OR_RETURN(net::ResponseMsg resp, Recv());
+    if (resp.request_id == req.request_id) {
+      return resp;
+    }
+    // A stale id (e.g. a previous sync call that timed out client-side and
+    // whose answer arrived late): drop it and keep waiting for ours.
+  }
+}
+
+Result<net::ResponseMsg> KvClient::Put(int64_t key, std::string value) {
+  net::RequestMsg req;
+  req.op = net::kOpPut;
+  req.key = key;
+  req.value = std::move(value);
+  return Roundtrip(std::move(req));
+}
+
+Result<net::ResponseMsg> KvClient::Del(int64_t key) {
+  net::RequestMsg req;
+  req.op = net::kOpDel;
+  req.key = key;
+  return Roundtrip(std::move(req));
+}
+
+Result<net::ResponseMsg> KvClient::Get(int64_t key, bool stale,
+                                       uint32_t max_epoch_lag) {
+  net::RequestMsg req;
+  req.op = net::kOpGet;
+  req.key = key;
+  if (stale) {
+    req.flags |= net::kReadStale;
+    req.max_epoch_lag = max_epoch_lag;
+  }
+  return Roundtrip(std::move(req));
+}
+
+}  // namespace sdg::serve

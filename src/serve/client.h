@@ -1,0 +1,76 @@
+// KvClient: the serve protocol's client library.
+//
+// One TCP connection to the gateway; requests are kRequest frames carrying a
+// client-chosen request id, responses come back as kResponse frames in
+// completion order (NOT request order — the gateway acks writes at injection
+// and strong gets when the dataflow answers). The async Send/Recv pair is
+// what the load generator pipelines; the sync Put/Get/Del helpers are
+// convenience wrappers that send one request and wait for its id.
+//
+// Overload is a normal outcome: kRespOverloaded means the gateway shed the
+// request before it touched any state, so retrying is always safe. Puts and
+// dels are idempotent (last-writer-wins upsert / erase), so retrying a
+// write whose response was lost is safe too.
+#ifndef SDG_SERVE_CLIENT_H_
+#define SDG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/net/connection.h"
+#include "src/net/frame.h"
+#include "src/net/socket.h"
+
+namespace sdg::serve {
+
+struct KvClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  // Bounds how long any Recv (and so any sync call) blocks.
+  int recv_timeout_ms = 10000;
+};
+
+class KvClient {
+ public:
+  explicit KvClient(KvClientOptions options) : options_(std::move(options)) {}
+
+  // Dials the gateway and pings it (the ping is also the first frame, which
+  // classifies this connection as a client peer).
+  Status Connect();
+  void Close() { socket_.Close(); }
+  // Wakes a thread blocked in Recv with an error (pipelined shutdown).
+  void Shutdown() { socket_.ShutdownBoth(); }
+  bool connected() const { return socket_.valid(); }
+
+  // --- Pipelined async API --------------------------------------------------
+
+  // Sends one request as-is (the caller owns request_id assignment).
+  Status Send(const net::RequestMsg& req);
+  // Next response off the wire, any request id.
+  Result<net::ResponseMsg> Recv();
+
+  uint64_t NextRequestId() { return next_id_++; }
+
+  // --- Sync conveniences ----------------------------------------------------
+  // Send one request, wait for its response (discarding stale ids).
+
+  Result<net::ResponseMsg> Put(int64_t key, std::string value);
+  Result<net::ResponseMsg> Del(int64_t key);
+  // `max_epoch_lag` only applies with stale=true: how many checkpoint epochs
+  // the replica may trail the owner.
+  Result<net::ResponseMsg> Get(int64_t key, bool stale = false,
+                               uint32_t max_epoch_lag = 1);
+
+ private:
+  Result<net::ResponseMsg> Roundtrip(net::RequestMsg req);
+
+  KvClientOptions options_;
+  net::Socket socket_;
+  net::FrameDecoder carry_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace sdg::serve
+
+#endif  // SDG_SERVE_CLIENT_H_

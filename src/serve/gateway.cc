@@ -1,0 +1,301 @@
+#include "src/serve/gateway.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/value.h"
+
+namespace sdg::serve {
+
+ServeGateway::ServeGateway(elastic::ElasticHead* head, GatewayOptions options)
+    : head_(head),
+      options_(options),
+      admission_(options.admission),
+      batcher_(options.batcher),
+      replicas_(options.partitions) {}
+
+ServeGateway::~ServeGateway() { Stop(); }
+
+Status ServeGateway::Start() {
+  if (head_ == nullptr || head_->server() == nullptr) {
+    return Status(StatusCode::kFailedPrecondition, "head not started");
+  }
+  running_.store(true, std::memory_order_release);
+  head_->server()->SetServeHandlers(
+      [this](uint64_t client_id, net::RequestMsg req) {
+        OnRequest(client_id, std::move(req));
+      },
+      [this](const net::ReplicaSubscribeMsg& sub, net::ReplicaEpochMsg msg) {
+        (void)sub;
+        replicas_.OnEpoch(msg);
+      });
+  head_->SetResponseHandler([this](uint32_t member_id, net::ResponseMsg msg) {
+    OnResponse(member_id, std::move(msg));
+  });
+  flusher_ = std::thread([this] { FlushLoop(); });
+  return Status::Ok();
+}
+
+void ServeGateway::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return;
+  }
+  if (head_ != nullptr) {
+    if (head_->server() != nullptr) {
+      head_->server()->SetServeHandlers(nullptr, nullptr);
+    }
+    head_->SetResponseHandler(nullptr);
+  }
+  queue_cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+}
+
+void ServeGateway::Respond(uint64_t client_id, uint64_t request_id,
+                           uint8_t code, uint8_t flags, std::string value,
+                           uint64_t epoch) {
+  net::ResponseMsg resp;
+  resp.request_id = request_id;
+  resp.code = code;
+  resp.flags = flags;
+  resp.value = std::move(value);
+  resp.epoch = epoch;
+  // TrySend under the hood: a client too slow to read its socket sheds its
+  // own responses rather than blocking the gateway.
+  (void)head_->server()->SendToClient(client_id, resp.Encode());
+}
+
+void ServeGateway::OnRequest(uint64_t client_id, net::RequestMsg req) {
+  // Dispatch-executor thread: decide, answer, or enqueue — never block.
+  if (req.op == net::kOpPing) {
+    Respond(client_id, req.request_id, net::kRespOk, 0, "", 0);
+    return;
+  }
+  size_t local;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    local = queue_.size();
+  }
+  admission_.Observe(local + extra_signal_.load(std::memory_order_relaxed));
+  if (!admission_.Admit()) {
+    Respond(client_id, req.request_id, net::kRespOverloaded, 0, "", 0);
+    return;
+  }
+  if (req.op == net::kOpGet && (req.flags & net::kReadStale) != 0) {
+    StaleReadResult r = replicas_.TryGet(req.key, req.max_epoch_lag);
+    if (r.admissible) {
+      replica_hits_.fetch_add(1, std::memory_order_relaxed);
+      Respond(client_id, req.request_id, net::kRespOk, net::kRespFromReplica,
+              r.found ? std::move(r.value) : std::string(), r.epoch);
+      return;
+    }
+    replica_misses_.fetch_add(1, std::memory_order_relaxed);
+    // Fall through to the strong path.
+  }
+  Pending p;
+  p.client_id = client_id;
+  p.req = std::move(req);
+  p.enqueued = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(std::move(p));
+  }
+  queue_cv_.notify_one();
+}
+
+void ServeGateway::FlushLoop() {
+  auto last_sweep = std::chrono::steady_clock::now();
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<Pending> batch;
+    size_t target = options_.fixed_batch > 0 ? options_.fixed_batch
+                                             : batcher_.batch_size();
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait_for(lock, std::chrono::milliseconds(10), [this] {
+        return !queue_.empty() || !running_.load(std::memory_order_acquire);
+      });
+      if (!running_.load(std::memory_order_acquire)) {
+        break;
+      }
+      if (!queue_.empty() && queue_.size() < target &&
+          options_.linger_us > 0) {
+        // Short linger to let a batch fill under load; under light load the
+        // timeout expires and a small batch goes out.
+        queue_cv_.wait_for(lock, std::chrono::microseconds(options_.linger_us),
+                           [this, target] { return queue_.size() >= target; });
+      }
+      size_t take = std::min(queue_.size(), target);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    if (!batch.empty()) {
+      FlushBatch(std::move(batch));
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep >= std::chrono::milliseconds(50)) {
+      last_sweep = now;
+      SweepTimeouts();
+      size_t gets;
+      {
+        std::lock_guard<std::mutex> lock(gets_mutex_);
+        gets = pending_gets_.size();
+      }
+      extra_signal_.store(
+          gets + replicas_.owner_queue_depth() + head_->UnackedTotal(),
+          std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServeGateway::FlushBatch(std::vector<Pending> batch) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<elastic::ElasticHead::TaggedTuple> puts;
+  std::vector<elastic::ElasticHead::TaggedTuple> gets;
+  std::vector<elastic::ElasticHead::TaggedTuple> dels;
+  // Writes acked on injection-accept; index into `batch` for latency+reply.
+  std::vector<size_t> put_idx;
+  std::vector<size_t> del_idx;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Pending& p = batch[i];
+    switch (p.req.op) {
+      case net::kOpPut:
+        puts.push_back({Tuple{Value(p.req.key), Value(p.req.value)}, 0});
+        put_idx.push_back(i);
+        break;
+      case net::kOpDel:
+        dels.push_back({Tuple{Value(p.req.key)}, 0});
+        del_idx.push_back(i);
+        break;
+      case net::kOpGet: {
+        uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(gets_mutex_);
+          pending_gets_[tag] =
+              PendingGet{p.client_id, p.req.request_id, p.enqueued};
+        }
+        gets.push_back({Tuple{Value(p.req.key)}, tag});
+        break;
+      }
+      default:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        Respond(p.client_id, p.req.request_id, net::kRespError, 0,
+                "bad op", 0);
+        break;
+    }
+  }
+  auto ack_writes = [&](const std::vector<size_t>& idx, const Status& st,
+                        std::atomic<uint64_t>& counter) {
+    for (size_t i : idx) {
+      Pending& p = batch[i];
+      if (st.ok()) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        batcher_.RecordLatencyMs(MsSince(p.enqueued));
+        Respond(p.client_id, p.req.request_id, net::kRespOk, 0, "", 0);
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        Respond(p.client_id, p.req.request_id, net::kRespError, 0,
+                st.ToString(), 0);
+      }
+    }
+  };
+  if (!puts.empty()) {
+    Status st = head_->InjectBatch(kEntryPut, std::move(puts),
+                                   options_.inject_deadline_ms);
+    ack_writes(put_idx, st, puts_);
+  }
+  if (!dels.empty()) {
+    Status st = head_->InjectBatch(kEntryDel, std::move(dels),
+                                   options_.inject_deadline_ms);
+    ack_writes(del_idx, st, dels_);
+  }
+  if (!gets.empty()) {
+    std::vector<uint64_t> tags;
+    tags.reserve(gets.size());
+    for (const auto& g : gets) {
+      tags.push_back(g.tag);
+    }
+    Status st = head_->InjectBatch(kEntryGet, std::move(gets),
+                                   options_.inject_deadline_ms);
+    if (!st.ok()) {
+      // The gets never reached an owner: fail them now instead of waiting
+      // for the sweep.
+      std::lock_guard<std::mutex> lock(gets_mutex_);
+      for (uint64_t tag : tags) {
+        auto it = pending_gets_.find(tag);
+        if (it == pending_gets_.end()) {
+          continue;
+        }
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        Respond(it->second.client_id, it->second.client_request_id,
+                net::kRespError, 0, st.ToString(), 0);
+        pending_gets_.erase(it);
+      }
+    }
+  }
+}
+
+void ServeGateway::OnResponse(uint32_t member_id, net::ResponseMsg msg) {
+  // Member IO thread: map the internal tag back to the waiting client.
+  (void)member_id;
+  PendingGet get;
+  {
+    std::lock_guard<std::mutex> lock(gets_mutex_);
+    auto it = pending_gets_.find(msg.request_id);
+    if (it == pending_gets_.end()) {
+      return;  // timed out / duplicate after worker replay
+    }
+    get = it->second;
+    pending_gets_.erase(it);
+  }
+  strong_gets_.fetch_add(1, std::memory_order_relaxed);
+  batcher_.RecordLatencyMs(MsSince(get.enqueued));
+  Respond(get.client_id, get.client_request_id, msg.code, 0,
+          std::move(msg.value), msg.epoch);
+}
+
+void ServeGateway::SweepTimeouts() {
+  std::vector<PendingGet> expired;
+  {
+    std::lock_guard<std::mutex> lock(gets_mutex_);
+    for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+      if (MsSince(it->second.enqueued) >= options_.request_timeout_ms) {
+        expired.push_back(it->second);
+        it = pending_gets_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const auto& get : expired) {
+    timeouts_.fetch_add(1, std::memory_order_relaxed);
+    Respond(get.client_id, get.client_request_id, net::kRespError, 0,
+            "timeout", 0);
+  }
+}
+
+ServeGateway::Stats ServeGateway::stats() const {
+  Stats s;
+  s.accepted = admission_.accepted();
+  s.shed = admission_.shed();
+  s.puts = puts_.load(std::memory_order_relaxed);
+  s.dels = dels_.load(std::memory_order_relaxed);
+  s.strong_gets = strong_gets_.load(std::memory_order_relaxed);
+  s.replica_hits = replica_hits_.load(std::memory_order_relaxed);
+  s.replica_misses = replica_misses_.load(std::memory_order_relaxed);
+  s.timeouts = timeouts_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.batch_size = options_.fixed_batch > 0 ? options_.fixed_batch
+                                          : batcher_.batch_size();
+  s.last_window_p99_ms = batcher_.last_window_p99_ms();
+  s.shedding = admission_.shedding();
+  s.replica_epochs_applied = replicas_.epochs_applied();
+  return s;
+}
+
+}  // namespace sdg::serve

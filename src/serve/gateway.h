@@ -1,0 +1,158 @@
+// ServeGateway: the client-facing front door of a serving KV fleet.
+//
+// Layers a request/response protocol onto the ElasticHead's existing
+// membership port: clients connect with kRequest frames (the ChannelServer
+// classifies them by first frame), workers' replica feeds arrive as
+// kReplicaSubscribe/kReplicaEpoch, and strong-read replies ride the workers'
+// control channels back as kResponse frames. The hot path is self-tuning:
+//
+//   * AdaptiveBatcher walks the inject batch size to hold the configured
+//     p99 SLO (AIMD over completed-request latencies);
+//   * AdmissionController sheds with kOverloaded once the pending queue +
+//     the owners' mailbox depth + the head's unacked backlog crosses the
+//     high-water mark (hysteresis down to the low-water mark);
+//   * gets flagged kReadStale are answered from the ReplicaTable without
+//     touching the dataflow when the replica is within the client's epoch
+//     lag bound, and fall back to the strong path otherwise.
+//
+// Writes are acked once the head has accepted (logged) the delivery — the
+// upstream-backup contract makes them replayable from that point. Strong
+// gets flow through the dataflow keyed by DataItem::user_tag and complete
+// when the owning worker's sink output returns.
+#ifndef SDG_SERVE_GATEWAY_H_
+#define SDG_SERVE_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/frame.h"
+#include "src/runtime/elastic.h"
+#include "src/serve/admission.h"
+#include "src/serve/batcher.h"
+#include "src/serve/replica_table.h"
+
+namespace sdg::serve {
+
+// Entry indexes of the serving KV fleet ({"put", "get", "del"} — must match
+// tools/elastic_worker.cc --serve).
+inline constexpr uint32_t kEntryPut = 0;
+inline constexpr uint32_t kEntryGet = 1;
+inline constexpr uint32_t kEntryDel = 2;
+
+struct GatewayOptions {
+  uint32_t partitions = 4;
+  AdmissionOptions admission;
+  BatcherOptions batcher;
+  // > 0 pins the batch size (bench baseline); 0 = adaptive.
+  size_t fixed_batch = 0;
+  // How long a flush waits for the queue to fill a batch before sending a
+  // short one.
+  int linger_us = 200;
+  // Strong gets outstanding longer than this complete as kRespError
+  // ("timeout") — e.g. the owning worker died mid-request.
+  int request_timeout_ms = 5000;
+  // Injection deadline per batch; shorter than the elastic default so an
+  // unreachable partition surfaces as request errors, not a wedged gateway.
+  int inject_deadline_ms = 10000;
+};
+
+class ServeGateway {
+ public:
+  ServeGateway(elastic::ElasticHead* head, GatewayOptions options);
+  ~ServeGateway();
+
+  ServeGateway(const ServeGateway&) = delete;
+  ServeGateway& operator=(const ServeGateway&) = delete;
+
+  // Installs the serve handlers on the head's server and starts the flusher.
+  // The head must already be started.
+  Status Start();
+  void Stop();
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t shed = 0;
+    uint64_t puts = 0;
+    uint64_t dels = 0;
+    uint64_t strong_gets = 0;
+    uint64_t replica_hits = 0;     // stale gets answered from a replica
+    uint64_t replica_misses = 0;   // stale gets that fell back to strong
+    uint64_t timeouts = 0;
+    uint64_t errors = 0;
+    uint64_t batches = 0;
+    size_t batch_size = 0;         // current controller output
+    double last_window_p99_ms = 0;
+    bool shedding = false;
+    uint64_t replica_epochs_applied = 0;
+  };
+  Stats stats() const;
+
+  const ReplicaTable& replicas() const { return replicas_; }
+  AdaptiveBatcher& batcher() { return batcher_; }
+  AdmissionController& admission() { return admission_; }
+
+ private:
+  struct Pending {
+    uint64_t client_id = 0;
+    net::RequestMsg req;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct PendingGet {
+    uint64_t client_id = 0;
+    uint64_t client_request_id = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void OnRequest(uint64_t client_id, net::RequestMsg req);
+  void OnResponse(uint32_t member_id, net::ResponseMsg msg);
+  void FlushLoop();
+  void FlushBatch(std::vector<Pending> batch);
+  void SweepTimeouts();
+  void Respond(uint64_t client_id, uint64_t request_id, uint8_t code,
+               uint8_t flags, std::string value, uint64_t epoch);
+  double MsSince(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t)
+        .count();
+  }
+
+  elastic::ElasticHead* head_;
+  const GatewayOptions options_;
+  AdmissionController admission_;
+  AdaptiveBatcher batcher_;
+  ReplicaTable replicas_;
+
+  std::atomic<bool> running_{false};
+  std::thread flusher_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  // Load signal beyond the local queue (owner mailbox depth + head unacked
+  // backlog + outstanding strong gets), refreshed by the flusher.
+  std::atomic<uint64_t> extra_signal_{0};
+
+  std::mutex gets_mutex_;
+  std::unordered_map<uint64_t, PendingGet> pending_gets_;
+  std::atomic<uint64_t> next_tag_{1};
+
+  std::atomic<uint64_t> puts_{0};
+  std::atomic<uint64_t> dels_{0};
+  std::atomic<uint64_t> strong_gets_{0};
+  std::atomic<uint64_t> replica_hits_{0};
+  std::atomic<uint64_t> replica_misses_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> batches_{0};
+};
+
+}  // namespace sdg::serve
+
+#endif  // SDG_SERVE_GATEWAY_H_

@@ -1,0 +1,258 @@
+#include "src/serve/loadgen.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/serve/client.h"
+
+namespace sdg::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Deterministic per-thread generator (xorshift64*).
+struct Rng {
+  uint64_t s;
+  uint64_t Next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+  }
+  double NextUnit() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+};
+
+struct Shared {
+  const LoadGenOptions* options = nullptr;
+  Histogram latency_ms;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> overloaded{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> replica{0};
+};
+
+net::RequestMsg MakeRequest(const LoadGenOptions& o, Rng& rng,
+                            const std::string& value) {
+  net::RequestMsg req;
+  req.key = static_cast<int64_t>(rng.Next() % static_cast<uint64_t>(
+                                                  o.key_space));
+  if (rng.NextUnit() < o.get_fraction) {
+    req.op = net::kOpGet;
+    if (rng.NextUnit() < o.stale_fraction) {
+      req.flags |= net::kReadStale;
+      req.max_epoch_lag = o.max_epoch_lag;
+    }
+  } else {
+    req.op = net::kOpPut;
+    req.value = value;
+  }
+  return req;
+}
+
+void Count(Shared& sh, const net::ResponseMsg& resp, double ms) {
+  if (resp.code == net::kRespOk) {
+    sh.ok.fetch_add(1, std::memory_order_relaxed);
+    sh.latency_ms.Record(ms);
+    if ((resp.flags & net::kRespFromReplica) != 0) {
+      sh.replica.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (resp.code == net::kRespOverloaded) {
+    sh.overloaded.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    sh.errors.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// Closed loop: one outstanding request per connection.
+void ClosedLoop(Shared& sh, int index) {
+  const LoadGenOptions& o = *sh.options;
+  KvClient client({o.host, o.port});
+  if (Status st = client.Connect(); !st.ok()) {
+    std::fprintf(stderr, "loadgen conn %d connect: %s\n", index,
+                 st.ToString().c_str());
+    sh.errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Rng rng{o.seed * 0x9E3779B97F4A7C15ULL + static_cast<uint64_t>(index) + 1};
+  std::string value(static_cast<size_t>(o.value_bytes), 'v');
+  auto end = Clock::now() + std::chrono::milliseconds(o.duration_ms);
+  while (Clock::now() < end) {
+    net::RequestMsg req = MakeRequest(o, rng, value);
+    req.request_id = client.NextRequestId();
+    auto t0 = Clock::now();
+    if (!client.Send(req).ok()) {
+      sh.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sh.sent.fetch_add(1, std::memory_order_relaxed);
+    auto resp = client.Recv();
+    if (!resp.ok()) {
+      sh.errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    Count(sh, *resp,
+          std::chrono::duration<double, std::milli>(Clock::now() - t0)
+              .count());
+  }
+}
+
+// Open loop: a paced sender and a blocking receiver share the connection.
+// Latency runs from the *scheduled* send time so the queueing delay of a
+// saturated service is visible (no coordinated omission).
+void OpenLoop(Shared& sh, int index) {
+  const LoadGenOptions& o = *sh.options;
+  KvClient client({o.host, o.port});
+  if (Status st = client.Connect(); !st.ok()) {
+    std::fprintf(stderr, "loadgen conn %d connect: %s\n", index,
+                 st.ToString().c_str());
+    sh.errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  std::mutex mu;
+  std::unordered_map<uint64_t, Clock::time_point> inflight;  // id -> scheduled
+  std::atomic<bool> sender_done{false};
+
+  std::thread receiver([&] {
+    for (;;) {
+      auto resp = client.Recv();
+      if (!resp.ok()) {
+        return;  // wire closed or timeout: sender counts leftovers
+      }
+      double ms = 0;
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        auto it = inflight.find(resp->request_id);
+        if (it != inflight.end()) {
+          ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                         it->second)
+                   .count();
+          inflight.erase(it);
+          known = true;
+        }
+      }
+      if (known) {
+        Count(sh, *resp, ms);
+      }
+      if (sender_done.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (inflight.empty()) {
+          return;
+        }
+      }
+    }
+  });
+
+  Rng rng{o.seed * 0xD1B54A32D192ED03ULL + static_cast<uint64_t>(index) + 1};
+  std::string value(static_cast<size_t>(o.value_bytes), 'v');
+  double interval_ns = 1e9 * o.connections / o.offered_qps;
+  auto start = Clock::now();
+  auto end = start + std::chrono::milliseconds(o.duration_ms);
+  uint64_t scheduled_count = 0;
+  while (Clock::now() < end) {
+    auto due = start + std::chrono::nanoseconds(static_cast<int64_t>(
+                           interval_ns * static_cast<double>(scheduled_count)));
+    std::this_thread::sleep_until(due);
+    ++scheduled_count;
+    {
+      // Pipeline cap: stall (time keeps charging against `due`).
+      std::unique_lock<std::mutex> lock(mu);
+      while (inflight.size() >= static_cast<size_t>(o.pipeline)) {
+        lock.unlock();
+        if (Clock::now() >= end) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        lock.lock();
+      }
+    }
+    net::RequestMsg req = MakeRequest(o, rng, value);
+    req.request_id = client.NextRequestId();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      inflight[req.request_id] = due;
+    }
+    if (Status st = client.Send(req); !st.ok()) {
+      std::fprintf(stderr, "loadgen conn %d send: %s\n", index,
+                   st.ToString().c_str());
+      sh.errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    sh.sent.fetch_add(1, std::memory_order_relaxed);
+  }
+  sender_done.store(true, std::memory_order_release);
+  // Bounded drain, then cut the wire so a receiver blocked in Recv wakes up
+  // instead of riding out its recv timeout.
+  auto drain_deadline = Clock::now() + std::chrono::milliseconds(2000);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (inflight.empty()) {
+        break;
+      }
+    }
+    if (Clock::now() >= drain_deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  client.Shutdown();
+  receiver.join();
+  size_t leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    leftover = inflight.size();
+  }
+  sh.errors.fetch_add(leftover, std::memory_order_relaxed);
+  client.Close();
+}
+
+}  // namespace
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.port == 0) {
+    return Status(StatusCode::kInvalidArgument, "loadgen: port required");
+  }
+  if (options.connections < 1) {
+    return Status(StatusCode::kInvalidArgument, "loadgen: connections < 1");
+  }
+  Shared sh;
+  sh.options = &options;
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options.connections));
+  for (int i = 0; i < options.connections; ++i) {
+    threads.emplace_back([&sh, i] {
+      if (sh.options->offered_qps > 0) {
+        OpenLoop(sh, i);
+      } else {
+        ClosedLoop(sh, i);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  LoadGenReport report;
+  report.sent = sh.sent.load();
+  report.ok = sh.ok.load();
+  report.overloaded = sh.overloaded.load();
+  report.errors = sh.errors.load();
+  report.replica_answers = sh.replica.load();
+  report.achieved_qps = secs > 0 ? static_cast<double>(report.ok) / secs : 0;
+  report.latency_ms = sh.latency_ms.Snapshot();
+  return report;
+}
+
+}  // namespace sdg::serve

@@ -1,0 +1,62 @@
+// Load generator for the serve front door.
+//
+// Two modes matching the two ways a latency/throughput curve is read:
+//
+//   * closed loop (offered_qps == 0): each connection keeps exactly one
+//     request outstanding — measures the service's best-case latency and
+//     its self-limited throughput;
+//   * open loop (offered_qps > 0): requests are scheduled on a fixed
+//     cadence regardless of completions, and latency is measured from the
+//     *scheduled* send time, so queueing delay under overload shows up
+//     instead of being hidden by coordinated omission. A pipeline cap
+//     bounds memory when the service falls behind.
+//
+// Overload responses (kRespOverloaded) are counted, not retried — the
+// report separates them from successes so a bench can show the shed rate
+// rising with offered load while the p99 of accepted requests holds.
+#ifndef SDG_SERVE_LOADGEN_H_
+#define SDG_SERVE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+
+namespace sdg::serve {
+
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 4;
+  int duration_ms = 2000;
+  // 0 = closed loop; > 0 = open loop at this aggregate rate.
+  double offered_qps = 0;
+  // Mix: fraction of requests that are gets (rest are puts), and of those
+  // gets, the fraction sent with the bounded-stale flag.
+  double get_fraction = 0.5;
+  double stale_fraction = 0.0;
+  uint32_t max_epoch_lag = 2;
+  int64_t key_space = 4096;
+  int value_bytes = 64;
+  // Open loop: max outstanding per connection before the sender stalls
+  // (the stall still counts against latency via the scheduled send time).
+  int pipeline = 64;
+  uint64_t seed = 1;
+};
+
+struct LoadGenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t errors = 0;
+  uint64_t replica_answers = 0;  // responses flagged kRespFromReplica
+  double achieved_qps = 0;       // completed ok / wall time
+  PercentileSummary latency_ms;  // of ok responses only
+};
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+}  // namespace sdg::serve
+
+#endif  // SDG_SERVE_LOADGEN_H_

@@ -1,0 +1,81 @@
+#include "src/serve/replica_table.h"
+
+#include "src/common/logging.h"
+#include "src/common/value.h"
+
+namespace sdg::serve {
+
+using KvDict = state::KeyedDict<int64_t, std::string>;
+
+ReplicaTable::ReplicaTable(uint32_t partitions) {
+  views_.reserve(partitions);
+  for (uint32_t p = 0; p < partitions; ++p) {
+    views_.push_back(
+        std::make_unique<state::ReplicaView>(std::make_unique<KvDict>()));
+  }
+}
+
+void ReplicaTable::OnEpoch(const net::ReplicaEpochMsg& msg) {
+  if (msg.partition >= views_.size()) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  state::ReplicaView& view = *views_[msg.partition];
+  switch (msg.kind) {
+    case net::kEpochAnnounce:
+      view.Announce(msg.member_id, msg.epoch);
+      owner_depth_.store(msg.queue_depth, std::memory_order_relaxed);
+      break;
+    case net::kEpochBase: {
+      Status st = view.ApplyBase(msg.member_id, msg.epoch, msg.chunks);
+      if (!st.ok()) {
+        SDG_LOG(kWarning) << "replica base p" << msg.partition
+                          << " failed: " << st.ToString();
+        view.Invalidate();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    case net::kEpochDelta: {
+      Status st = view.ApplyDelta(msg.member_id, msg.epoch, msg.chunks);
+      if (!st.ok()) {
+        // Delta without a matching base (owner change, or the view was
+        // invalidated): drop the view and wait for the publisher's re-base.
+        view.Invalidate();
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    }
+    default:
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+uint32_t ReplicaTable::PartitionOf(int64_t key) const {
+  // Must agree with ElasticHead::Inject routing: tuple[0].Hash() % P.
+  return static_cast<uint32_t>(Value(key).Hash() % views_.size());
+}
+
+StaleReadResult ReplicaTable::TryGet(int64_t key,
+                                     uint64_t max_epoch_lag) const {
+  StaleReadResult out;
+  const state::ReplicaView& view = *views_[PartitionOf(key)];
+  out.admissible = view.ReadWithin(
+      max_epoch_lag,
+      [&](const state::StateBackend& backend, uint64_t epoch) {
+        const auto& dict = static_cast<const KvDict&>(backend);
+        out.epoch = epoch;
+        if (auto v = dict.Get(key)) {
+          out.found = true;
+          out.value = std::move(*v);
+        }
+      });
+  return out;
+}
+
+}  // namespace sdg::serve

@@ -1,0 +1,74 @@
+// Gateway-side table of per-partition read replicas.
+//
+// The workers' replica feeds (kReplicaEpoch frames) land here: announces
+// advance each partition's owner watermark, base/delta blobs fold into the
+// partition's ReplicaView. A bounded-stale get reads the view directly —
+// never touching the dataflow — iff the view is within the caller's epoch
+// lag of the owner's announce watermark (§3.2 partial state for read
+// scaling). Announces also piggyback the owner's mailbox depth, which the
+// admission controller uses as its backpressure signal.
+#ifndef SDG_SERVE_REPLICA_TABLE_H_
+#define SDG_SERVE_REPLICA_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/net/frame.h"
+#include "src/state/keyed_dict.h"
+#include "src/state/replica_view.h"
+
+namespace sdg::serve {
+
+// Outcome of a bounded-stale read attempt.
+struct StaleReadResult {
+  bool admissible = false;  // replica fresh enough to answer at all
+  bool found = false;       // key present (meaningful iff admissible)
+  std::string value;
+  uint64_t epoch = 0;       // epoch the answer reflects
+};
+
+class ReplicaTable {
+ public:
+  explicit ReplicaTable(uint32_t partitions);
+
+  // Feed event from a worker (any thread).
+  void OnEpoch(const net::ReplicaEpochMsg& msg);
+
+  // Bounded-stale read of `key` from its partition's replica. Admissible only
+  // when the replica holds a base from the current owner and lags the owner's
+  // announce watermark by at most `max_epoch_lag` epochs.
+  StaleReadResult TryGet(int64_t key, uint64_t max_epoch_lag) const;
+
+  uint32_t partitions() const {
+    return static_cast<uint32_t>(views_.size());
+  }
+  uint32_t PartitionOf(int64_t key) const;
+
+  // Latest owner mailbox depth piggybacked on any announce (admission
+  // signal), and feed counters.
+  uint64_t owner_queue_depth() const {
+    return owner_depth_.load(std::memory_order_relaxed);
+  }
+  uint64_t epochs_applied() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  uint64_t feed_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  const state::ReplicaView& view(uint32_t partition) const {
+    return *views_[partition];
+  }
+
+ private:
+  std::vector<std::unique_ptr<state::ReplicaView>> views_;
+  std::atomic<uint64_t> owner_depth_{0};
+  std::atomic<uint64_t> applied_{0};
+  std::atomic<uint64_t> errors_{0};
+};
+
+}  // namespace sdg::serve
+
+#endif  // SDG_SERVE_REPLICA_TABLE_H_

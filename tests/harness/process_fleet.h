@@ -58,6 +58,7 @@ struct WorkerSpec {
   int slow_us = 0;
   int ckpt_interval_ms = 100;
   std::string crash_at;
+  bool serve = false;  // kv only: serving entries + replica feed
 };
 
 // fork/exec one worker. Child stdout/stderr go to /dev/null unless
@@ -78,6 +79,9 @@ inline pid_t SpawnElasticWorker(const std::string& binary,
   if (!spec.crash_at.empty()) {
     args.push_back("--crash-at");
     args.push_back(spec.crash_at);
+  }
+  if (spec.serve) {
+    args.push_back("--serve");
   }
   pid_t pid = ::fork();
   if (pid != 0) {

@@ -245,5 +245,85 @@ TEST(FrameMessageTest, TrailingBytesRejected) {
   EXPECT_FALSE(AckMsg::Decode(bytes).ok());
 }
 
+TEST(FrameMessageTest, RequestRoundTrip) {
+  RequestMsg req;
+  req.request_id = 0x1122334455667788ull;
+  req.op = kOpGet;
+  req.flags = kReadStale;
+  req.key = -42;
+  req.value = "ignored for gets";
+  req.max_epoch_lag = 7;
+  auto decoded = RequestMsg::Decode(req.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, req.request_id);
+  EXPECT_EQ(decoded->op, kOpGet);
+  EXPECT_EQ(decoded->flags, kReadStale);
+  EXPECT_EQ(decoded->key, -42);
+  EXPECT_EQ(decoded->value, req.value);
+  EXPECT_EQ(decoded->max_epoch_lag, 7u);
+
+  for (size_t cut = 0; cut + 1 < req.Encode().size(); ++cut) {
+    auto bytes = req.Encode();
+    bytes.resize(cut);
+    EXPECT_FALSE(RequestMsg::Decode(bytes).ok()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameMessageTest, ResponseRoundTrip) {
+  ResponseMsg resp;
+  resp.request_id = 99;
+  resp.code = kRespOverloaded;
+  resp.flags = kRespFromReplica;
+  resp.value = std::string(300, 'x');  // multi-byte varint length
+  resp.epoch = 1234567;
+  auto decoded = ResponseMsg::Decode(resp.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->request_id, 99u);
+  EXPECT_EQ(decoded->code, kRespOverloaded);
+  EXPECT_EQ(decoded->flags, kRespFromReplica);
+  EXPECT_EQ(decoded->value, resp.value);
+  EXPECT_EQ(decoded->epoch, 1234567u);
+}
+
+TEST(FrameMessageTest, ReplicaSubscribeRoundTrip) {
+  ReplicaSubscribeMsg sub;
+  sub.deployment_id = 31337;
+  sub.member_id = 5;
+  sub.state = "store";
+  auto decoded = ReplicaSubscribeMsg::Decode(sub.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->protocol, kProtocolVersion);
+  EXPECT_EQ(decoded->deployment_id, 31337u);
+  EXPECT_EQ(decoded->member_id, 5u);
+  EXPECT_EQ(decoded->state, "store");
+}
+
+TEST(FrameMessageTest, ReplicaEpochRoundTrip) {
+  ReplicaEpochMsg msg;
+  msg.partition = 3;
+  msg.member_id = 2;
+  msg.kind = kEpochDelta;
+  msg.epoch = 41;
+  msg.queue_depth = 17;
+  msg.chunks = {{1, 2, 3}, {}, {0xFF, 0x00, 0x7F}};
+  auto decoded = ReplicaEpochMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->partition, 3u);
+  EXPECT_EQ(decoded->member_id, 2u);
+  EXPECT_EQ(decoded->kind, kEpochDelta);
+  EXPECT_EQ(decoded->epoch, 41u);
+  EXPECT_EQ(decoded->queue_depth, 17u);
+  EXPECT_EQ(decoded->chunks, msg.chunks);
+
+  // An announce carries no chunks.
+  ReplicaEpochMsg announce;
+  announce.kind = kEpochAnnounce;
+  announce.epoch = 42;
+  auto d2 = ReplicaEpochMsg::Decode(announce.Encode());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->kind, kEpochAnnounce);
+  EXPECT_TRUE(d2->chunks.empty());
+}
+
 }  // namespace
 }  // namespace sdg::net

@@ -34,7 +34,7 @@ void OnSignal(int) { g_stop = 1; }
                "usage: %s --app kv|wordcount --head-port N --id N --backup "
                "DIR [--head-host H] [--data-port N] [--partitions N] "
                "[--slow-us N] [--ckpt-interval-ms N] [--crash-at PHASE] "
-               "[--name S]\n",
+               "[--name S] [--serve]\n",
                argv0);
   std::exit(2);
 }
@@ -43,6 +43,7 @@ void OnSignal(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   std::string app = "kv";
+  bool serve = false;
   sdg::elastic::ElasticWorkerOptions options;
   options.partitions = 4;
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +77,8 @@ int main(int argc, char** argv) {
       options.crash_at = need("--crash-at");
     } else if (std::strcmp(argv[i], "--name") == 0) {
       options.name = need("--name");
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -96,7 +99,17 @@ int main(int argc, char** argv) {
     kv.partitions = options.partitions;
     g = sdg::apps::BuildKvSdg(kv);
     options.state = "store";
-    options.entries = {"put", "del"};
+    if (serve) {
+      // Serve fleet: gets flow through the dataflow too (strong reads ride
+      // user_tag to the "get" sink), and checkpoints feed the replica stream.
+      // The entries list numbers source instances, so head and workers must
+      // agree on it — plain fleets keep {"put", "del"}.
+      options.entries = {"put", "get", "del"};
+      options.serve_feed = true;
+      options.forward_sinks = {"get"};
+    } else {
+      options.entries = {"put", "del"};
+    }
   } else if (app == "wordcount") {
     sdg::apps::WordCountOptions wc;
     wc.count_partitions = options.partitions;
