@@ -15,10 +15,13 @@ Improvements and new rows/files are fine.
 
 Rows are only comparable when they were measured under the same shape: any
 field that is not a measured metric (keys, nodes, reps, hw_threads, ...) must
-match on both sides, otherwise the row is skipped with a note. This is what
-makes the CI smoke runs (SDG_BENCH_SCALE / different core counts) safe to
-diff against the full-run numbers committed from the dev box — mismatched
-rows are reported as skipped, never as regressions.
+match on both sides, otherwise the row is skipped with a per-row warning.
+This is what makes the CI smoke runs (SDG_BENCH_SCALE / different core
+counts) safe to diff against the full-run numbers committed from the dev box
+— mismatched rows are reported as skipped, never as regressions. But a diff
+that skips more than half of the baseline rows is not a diff at all (a
+renamed shape field silently waves every regression through), so that fails
+the run outright.
 
 Usage: scripts/diff_bench.py [--committed DIR] [--current DIR] [--tolerance F]
 """
@@ -72,6 +75,10 @@ def main():
                     help="max allowed fractional drop in items_per_sec fields")
     ap.add_argument("--lat-tolerance", type=float, default=1.0,
                     help="max allowed fractional increase in p99 fields")
+    ap.add_argument("--max-skip-frac", type=float, default=0.5,
+                    help="fail when more than this fraction of baseline rows "
+                         "is skipped as shape-mismatched (smoke runs, which "
+                         "mismatch on purpose, pass 1.0)")
     args = ap.parse_args()
 
     current_files = sorted(glob.glob(os.path.join(args.current, "BENCH_*.json")))
@@ -81,6 +88,8 @@ def main():
 
     failures = []
     compared = 0
+    baseline_rows = 0
+    skipped_rows = 0
     for cur_path in current_files:
         name = os.path.basename(cur_path)
         ref_path = os.path.join(args.committed, name)
@@ -90,6 +99,7 @@ def main():
         ref_rows = load_rows(ref_path)
         cur_rows = load_rows(cur_path)
         for config, ref in ref_rows.items():
+            baseline_rows += 1
             cur = cur_rows.get(config)
             if cur is None:
                 print(f"  {name}:{config}: row missing from current run")
@@ -101,8 +111,10 @@ def main():
                 if k != "config" and not is_metric(k) and ref[k] != cur[k]
             ]
             if mismatch:
-                print(f"  {name}:{config}: shape mismatch "
-                      f"({', '.join(mismatch)}), not comparable, skipped")
+                print(f"  WARNING {name}:{config}: shape mismatch "
+                      f"({', '.join(mismatch)}), not comparable, skipped",
+                      file=sys.stderr)
+                skipped_rows += 1
                 continue
             for field, ref_val in ref.items():
                 gate_up = field.startswith("items_per_sec")
@@ -126,7 +138,12 @@ def main():
                 print(f"  {name}:{config}.{field}: {ref_val:.0f} -> "
                       f"{cur_val:.0f} ({ratio:.2f}x) {status}")
 
-    print(f"diff_bench: {compared} fields compared, {len(failures)} regressions "
+    if baseline_rows > 0 and skipped_rows > baseline_rows * args.max_skip_frac:
+        failures.append(
+            f"{skipped_rows}/{baseline_rows} baseline rows skipped as "
+            f"shape-mismatched — the diff gated almost nothing")
+    print(f"diff_bench: {compared} fields compared, {skipped_rows}/"
+          f"{baseline_rows} rows skipped, {len(failures)} failures "
           f"(tolerance {args.tolerance:.0%})")
     for f in failures:
         print(f"  FAIL {f}", file=sys.stderr)

@@ -41,14 +41,25 @@ W2_PID=""
 GW_PID=""
 SW_PID=""
 
+# Children are launched under setsid so each leads its own process group:
+# the EXIT trap can then group-kill them, taking any grandchildren (worker
+# subprocesses) along instead of orphaning them when a run times out.
+SETSID=""
+command -v setsid >/dev/null 2>&1 && SETSID="setsid"
+
+kill_group() {  # kill_group <pid> — group kill, falling back to the pid
+  [ -n "$1" ] || return 0
+  kill -9 -- "-$1" 2>/dev/null || kill -9 "$1" 2>/dev/null
+}
+
 cleanup() {
-  [ -n "$RECV_PID" ] && kill -9 "$RECV_PID" 2>/dev/null
-  [ -n "$SEND_PID" ] && kill -9 "$SEND_PID" 2>/dev/null
-  [ -n "$HEAD_PID" ] && kill -9 "$HEAD_PID" 2>/dev/null
-  [ -n "$W1_PID" ] && kill -9 "$W1_PID" 2>/dev/null
-  [ -n "$W2_PID" ] && kill -9 "$W2_PID" 2>/dev/null
-  [ -n "$GW_PID" ] && kill -9 "$GW_PID" 2>/dev/null
-  [ -n "$SW_PID" ] && kill -9 "$SW_PID" 2>/dev/null
+  kill_group "$RECV_PID"
+  kill_group "$SEND_PID"
+  kill_group "$HEAD_PID"
+  kill_group "$W1_PID"
+  kill_group "$W2_PID"
+  kill_group "$GW_PID"
+  kill_group "$SW_PID"
   wait 2>/dev/null
   rm -rf "$WORK"
 }
@@ -74,12 +85,12 @@ wait_for() {  # wait_for <pattern> <file> <timeout_s>
 [ -x "$BIN" ] || fail "binary '$BIN' not found or not executable"
 
 # Incarnation 1: receive until the first durable checkpoint, then die hard.
-"$BIN" --role receiver --port "$PORT" --snapshot "$SNAP" \
+$SETSID "$BIN" --role receiver --port "$PORT" --snapshot "$SNAP" \
   --ckpt-interval-ms 100 > "$WORK/recv1.log" 2>&1 &
 RECV_PID=$!
 wait_for "LISTENING" "$WORK/recv1.log" 10 || fail "receiver 1 never listened"
 
-"$BIN" --role sender --port "$PORT" --lines "$LINES" --batch 64 \
+$SETSID "$BIN" --role sender --port "$PORT" --lines "$LINES" --batch 64 \
   > "$WORK/send.log" 2>&1 &
 SEND_PID=$!
 
@@ -92,7 +103,7 @@ echo "receiver killed mid-stream after: $KILLED_AT"
 # Incarnation 2: same port, restored from the snapshot. The sender's
 # reconnect handshake learns the durable watermark and replays past it.
 sleep 0.2
-"$BIN" --role receiver --port "$PORT" --snapshot "$SNAP" \
+$SETSID "$BIN" --role receiver --port "$PORT" --snapshot "$SNAP" \
   --ckpt-interval-ms 100 > "$WORK/recv2.log" 2>&1 &
 RECV_PID=$!
 wait_for "restored snapshot" "$WORK/recv2.log" 10 \
@@ -150,7 +161,7 @@ fail2() {
 BACKUP="$WORK/elastic_backup"
 SCALE_LINES="${SDG_SCALE_LINES:-4000}"
 
-"$HEAD_BIN" --backup "$BACKUP" --lines "$SCALE_LINES" \
+$SETSID "$HEAD_BIN" --backup "$BACKUP" --lines "$SCALE_LINES" \
   > "$WORK/head.log" 2>&1 &
 HEAD_PID=$!
 wait_for "HEAD port=" "$WORK/head.log" 10 || fail2 "head never started"
@@ -158,7 +169,7 @@ HEAD_PORT="$(grep -o 'HEAD port=[0-9]*' "$WORK/head.log" | head -1 | cut -d= -f2
 
 # Worker 1: deliberately slow (2 ms per item) — it gets all the partitions
 # and becomes the straggler the head scales out from.
-"$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 1 \
+$SETSID "$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 1 \
   --backup "$BACKUP" --slow-us 2000 --ckpt-interval-ms 0 \
   > "$WORK/w1.log" 2>&1 &
 W1_PID=$!
@@ -166,7 +177,7 @@ wait_for "ASSIGNED" "$WORK/head.log" 15 || fail2 "partitions never assigned"
 
 # Worker 2 joins mid-stream; the head's management loop must notice the
 # imbalance and live-migrate at least one partition onto it.
-"$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 2 \
+$SETSID "$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 2 \
   --backup "$BACKUP" --ckpt-interval-ms 0 \
   > "$WORK/w2.log" 2>&1 &
 W2_PID=$!
@@ -216,13 +227,13 @@ SERVE_BACKUP="$WORK/serve_backup"
 
 # Tiny admission watermarks so the loadgen's pipelined burst reliably crosses
 # high water and must be shed with kOverloaded.
-"$KV_GATEWAY_BIN" --backup "$SERVE_BACKUP" --high-water 64 --low-water 8 \
+$SETSID "$KV_GATEWAY_BIN" --backup "$SERVE_BACKUP" --high-water 64 --low-water 8 \
   > "$WORK/gw.log" 2>&1 &
 GW_PID=$!
 wait_for "HEAD port=" "$WORK/gw.log" 10 || fail3 "gateway never started"
 GW_PORT="$(grep -o 'HEAD port=[0-9]*' "$WORK/gw.log" | head -1 | cut -d= -f2)"
 
-"$WORKER_BIN" --app kv --serve --head-port "$GW_PORT" --id 1 \
+$SETSID "$WORKER_BIN" --app kv --serve --head-port "$GW_PORT" --id 1 \
   --backup "$SERVE_BACKUP" --ckpt-interval-ms 100 \
   > "$WORK/sw.log" 2>&1 &
 SW_PID=$!

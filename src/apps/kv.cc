@@ -1,7 +1,9 @@
 #include "src/apps/kv.h"
 
+#include <atomic>
 #include <memory>
 
+#include "src/common/logging.h"
 #include "src/state/keyed_dict.h"
 
 namespace sdg::apps {
@@ -14,10 +16,46 @@ using state::StateAs;
 
 using StoreDict = KeyedDict<int64_t, std::string>;
 
+namespace {
+
+// Store factory honouring the disk-backed mode. Each created instance (one
+// per partition) gets its own spill subdirectory — spill dirs are wiped on
+// (re-)configure, so instances must never share one.
+state::StateFactory MakeStoreFactory(const KvOptions& options) {
+  uint32_t stripes = options.store_stripes;
+  if (options.spill_budget_bytes > 0 && stripes < 2) {
+    // Eviction is stripe-granular; the hardware default collapses to one
+    // stripe on a single-thread host, which cannot evict at all.
+    stripes = 8;
+  }
+  auto next_instance = std::make_shared<std::atomic<uint32_t>>(0);
+  KvOptions opts = options;
+  return [opts, stripes, next_instance]() {
+    auto dict = stripes > 0 ? std::make_unique<StoreDict>(stripes)
+                            : std::make_unique<StoreDict>();
+    if (opts.spill_budget_bytes > 0) {
+      state::SpillConfig config;
+      config.dir = opts.spill_dir + "/instance-" +
+                   std::to_string(next_instance->fetch_add(1));
+      config.budget_bytes = opts.spill_budget_bytes;
+      Status st = dict->ConfigureSpill(config);
+      SDG_CHECK(st.ok()) << "kv store spill configuration failed: "
+                         << st.ToString();
+    }
+    return dict;
+  };
+}
+
+}  // namespace
+
 Result<graph::Sdg> BuildKvSdg(const KvOptions& options) {
+  if (options.spill_budget_bytes > 0 && options.spill_dir.empty()) {
+    return InvalidArgumentError(
+        "kv spill mode needs a process-private spill_dir");
+  }
   SdgBuilder b;
   auto store = b.AddState("store", StateDistribution::kPartitioned,
-                          [] { return std::make_unique<StoreDict>(); });
+                          MakeStoreFactory(options));
 
   auto put = b.AddEntryTask("put", [](const Tuple& in, graph::TaskContext& ctx) {
     StateAs<StoreDict>(ctx.state())->Put(in[0].AsInt(), in[1].AsString());

@@ -18,6 +18,19 @@ namespace sdg::apps {
 
 struct KvOptions {
   uint32_t partitions = 1;
+  // Disk-backed store mode: when spill_budget_bytes > 0 each store instance
+  // runs under that resident-byte budget and evicts cold stripes to
+  // chunk-framed spill files under `spill_dir/instance-<n>/` (see
+  // docs/state.md, "Tiered storage"). The working set may then exceed memory
+  // by the spill-capacity ratio; checkpoints, recovery, migration and
+  // replica reads are unaffected. `spill_dir` must be process-private (spill
+  // files are an ephemeral cache, wiped on startup). `store_stripes`
+  // overrides the stripe count — eviction is stripe-granular, so a
+  // single-stripe host default is too coarse; 0 picks 8 stripes when spill
+  // is on and the hardware default otherwise.
+  uint64_t spill_budget_bytes = 0;
+  std::string spill_dir;
+  uint32_t store_stripes = 0;
 };
 
 // SDG with entries:

@@ -1,0 +1,62 @@
+// Exponential backoff schedule for redial loops.
+//
+// Delays start at initial_ms and double per consecutive failure up to
+// max_ms, each with +/-jitter so a fleet of workers that lost the same
+// gateway does not redial in lockstep forever. Reset() after a successful
+// attempt. The jitter stream is a seeded xorshift, so a schedule is fully
+// deterministic given its Options — which is what the unit test pins down.
+#ifndef SDG_COMMON_BACKOFF_H_
+#define SDG_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace sdg {
+
+class Backoff {
+ public:
+  struct Options {
+    int initial_ms = 200;
+    int max_ms = 5000;
+    double jitter = 0.2;  // +/- fraction of the base delay, uniform
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+  };
+
+  Backoff() : Backoff(Options()) {}
+  explicit Backoff(Options options)
+      : options_(options), base_ms_(options.initial_ms), rng_(options.seed | 1) {}
+
+  // Delay to sleep before the next attempt; advances the schedule.
+  int NextDelayMs() {
+    const int base = base_ms_;
+    base_ms_ = std::min(options_.max_ms, base_ms_ * 2);
+    if (options_.jitter <= 0.0) {
+      return std::max(1, base);
+    }
+    const double u = NextUnit();  // [0, 1)
+    const double scaled = base * (1.0 + options_.jitter * (2.0 * u - 1.0));
+    return std::max(1, static_cast<int>(scaled));
+  }
+
+  void Reset() { base_ms_ = options_.initial_ms; }
+
+  // Current un-jittered delay (what the next NextDelayMs draws around).
+  int base_ms() const { return base_ms_; }
+
+ private:
+  double NextUnit() {
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    const uint64_t x = rng_ * 0x2545F4914F6CDD1Dull;
+    return static_cast<double>(x >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  Options options_;
+  int base_ms_;
+  uint64_t rng_;
+};
+
+}  // namespace sdg
+
+#endif  // SDG_COMMON_BACKOFF_H_

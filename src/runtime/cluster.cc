@@ -1707,6 +1707,26 @@ Deployment::CheckpointStats Deployment::CheckpointStatsSnapshot() const {
   return s;
 }
 
+state::SpillStats Deployment::SpillStatsSnapshot() const {
+  std::shared_lock topo(topo_mutex_);
+  state::SpillStats total;
+  for (const auto& group : state_groups_) {
+    for (const auto& inst : group.instances) {
+      if (!inst) {
+        continue;
+      }
+      const state::SpillStats s = inst->GetSpillStats();
+      total.evictions += s.evictions;
+      total.fault_ins += s.fault_ins;
+      total.cold_lookups += s.cold_lookups;
+      total.spilled_stripes += s.spilled_stripes;
+      total.spilled_bytes += s.spilled_bytes;
+      total.resident_bytes += s.resident_bytes;
+    }
+  }
+  return total;
+}
+
 Status Deployment::CheckpointAllNodes() {
   for (uint32_t n = 0; n < options_.num_nodes; ++n) {
     if (NodeAlive(n)) {
@@ -1744,6 +1764,14 @@ void Deployment::CheckpointDriverLoop() {
                    << " tombstones, " << st.overlay_consolidated
                    << " overlay entries consolidated, last "
                    << st.last_duration_us << "us";
+    const state::SpillStats sp = SpillStatsSnapshot();
+    if (sp.evictions > 0 || sp.spilled_stripes > 0) {
+      SDG_LOG(kInfo) << "cold tier: " << sp.spilled_stripes
+                     << " stripes spilled (" << sp.spilled_bytes
+                     << " bytes), " << sp.resident_bytes << " bytes resident, "
+                     << sp.evictions << " evictions, " << sp.fault_ins
+                     << " fault-ins, " << sp.cold_lookups << " cold lookups";
+    }
     SDG_LOG(kInfo) << "executor: " << executor_->StatsSnapshot().ToString();
   }
 }

@@ -266,6 +266,11 @@ class Deployment final : public RuntimeHooks {
   };
   CheckpointStats CheckpointStatsSnapshot() const;
 
+  // Cold-tier observability: GetSpillStats summed over every SE instance.
+  // All-zero unless some backend runs with a spill budget (docs/state.md,
+  // "Tiered storage"); the periodic driver logs it alongside checkpoints.
+  state::SpillStats SpillStatsSnapshot() const;
+
   // Executor observability: per-worker tasks-run/steal counters and current
   // ready-set depth of the pool this deployment runs on (shared pool stats
   // include other deployments' work; private pools are exact).

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/checkpoint/chunk_stream.h"
+#include "src/common/backoff.h"
 #include "src/common/logging.h"
 #include "src/net/connection.h"
 #include "src/runtime/delivery.h"
@@ -517,11 +518,23 @@ void ElasticWorker::QueueFeed(net::ReplicaEpochMsg msg) {
 }
 
 void ElasticWorker::FeedLoop() {
+  // Redial schedule: 200 ms doubling to a 5 s cap with jitter (the old fixed
+  // 200 ms hammered a gateway that stayed down for minutes). Sleeps in small
+  // slices so Stop() is never held up by a capped delay.
+  Backoff backoff(Backoff::Options{.seed = options_.member_id * 0x9e3779b9ull + 1});
+  auto redial_sleep = [this, &backoff] {
+    int ms = backoff.NextDelayMs();
+    while (ms > 0 && running_.load(std::memory_order_acquire)) {
+      const int slice = std::min(ms, 50);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      ms -= slice;
+    }
+  };
   while (running_.load(std::memory_order_acquire)) {
     auto dialed =
         net::Socket::Connect(options_.head_host, options_.head_port);
     if (!dialed.ok()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      redial_sleep();
       continue;
     }
     net::Socket socket = std::move(*dialed);
@@ -532,9 +545,10 @@ void ElasticWorker::FeedLoop() {
     if (!net::WriteFrameBlocking(socket, net::FrameType::kReplicaSubscribe,
                                  sub.Encode())
              .ok()) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      redial_sleep();
       continue;
     }
+    backoff.Reset();
     // Fresh connection: whatever queued while disconnected is superseded by
     // a tail replay (base + deltas per partition, in epoch order).
     {

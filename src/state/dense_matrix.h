@@ -82,6 +82,15 @@ class DenseMatrix final : public StateBackend {
     shards_.WriteAll([&](bool) { fn(); });
   }
 
+  // No cold tier: the matrix is one contiguous row-major array shared by all
+  // stripes, so evicting a stripe cannot free its share of memory.
+  Status ConfigureSpill(const SpillConfig& config) override {
+    (void)config;
+    return UnimplementedError(
+        "DenseMatrix stores a contiguous row-major array; per-stripe "
+        "eviction cannot release memory — no cold-tier spill");
+  }
+
  private:
   // One stripe's slice: the checkpoint overlay (flat index -> value) for the
   // rows this stripe owns.

@@ -38,11 +38,13 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/state/delta_tracker.h"
+#include "src/state/spill.h"
 
 namespace sdg::state {
 
@@ -98,6 +100,23 @@ class ShardedState {
     mutable std::shared_mutex mutex;
     Shard data;
     DeltaTracker<DeltaId> delta;
+
+    // --- Cold tier (meaningful only when spill is enabled) ----------------
+    // `spilled` flips only while this stripe's mutex is held exclusively, so
+    // any thread inside a locked region sees a stable value; the relaxed
+    // loads outside locks (clock scan, MaybeEvict budget probe) are hints
+    // that get re-validated under the lock.
+    std::atomic<bool> spilled{false};
+    // Clock reference bit: set on every access, cleared by the victim scan.
+    // Atomic because shared-lock readers set it concurrently.
+    mutable std::atomic<uint8_t> ref{1};
+    // Accounted bytes of this stripe's resident containers; read/written
+    // under the stripe lock only. The backend keeps it in sync with its
+    // container mutations; the atomic backend-wide gauge mirrors the sum.
+    int64_t resident_bytes = 0;
+    // On-disk shape of the spilled blob (under the stripe lock).
+    uint64_t spilled_records = 0;
+    uint64_t spilled_blob_bytes = 0;
   };
 
   explicit ShardedState(uint32_t num_shards = DefaultStateShards()) {
@@ -318,6 +337,150 @@ class ShardedState {
     return n;
   }
 
+  // --- Cold-tier spill orchestration ---------------------------------------
+  // ShardedState owns the policy half — budget, clock victim selection, the
+  // resident gauge, stats — while the backend owns the data half (what a
+  // stripe's bytes look like on disk). The backend calls TouchRef on every
+  // access, keeps stripe.resident_bytes + the gauge in sync via
+  // NoteResidentBytes, and drives EvictStripe/FaultIn itself because only it
+  // can serialize its Shard.
+
+  static constexpr uint32_t kNoVictim = ~uint32_t{0};
+
+  // Validates and installs the policy and wipes any stale spill files. Must
+  // run quiesced (the backend takes its all-stripe guard around the
+  // container walk that seeds resident_bytes); not callable while a
+  // checkpoint is active. One-way: spill stays enabled for the backend's
+  // lifetime.
+  Status EnableSpill(const SpillConfig& config) {
+    if (config.budget_bytes == 0) {
+      return InvalidArgumentError("spill budget must be > 0");
+    }
+    if (num_shards_ < 2) {
+      return InvalidArgumentError(
+          "spill needs >= 2 stripes (one must stay resident while another "
+          "evicts); construct the backend with an explicit stripe count");
+    }
+    if (config.min_resident_stripes >= num_shards_) {
+      return InvalidArgumentError("min_resident_stripes must leave at least "
+                                  "one evictable stripe");
+    }
+    SDG_RETURN_IF_ERROR(PrepareSpillDir(config.dir));
+    spill_config_ = config;
+    resident_stripes_.store(num_shards_, std::memory_order_relaxed);
+    spill_enabled_.store(true, std::memory_order_release);
+    return Status::Ok();
+  }
+
+  bool spill_enabled() const {
+    return spill_enabled_.load(std::memory_order_acquire);
+  }
+  const SpillConfig& spill_config() const { return spill_config_; }
+
+  std::string SpillPath(uint32_t s) const {
+    return spill_config_.dir + "/stripe-" + std::to_string(s) + ".spill";
+  }
+
+  // Resident-byte gauge, mirrored from the per-stripe counters so the budget
+  // probe needs no locks.
+  void NoteResidentBytes(int64_t delta) {
+    resident_total_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t ResidentBytes() const {
+    return resident_total_.load(std::memory_order_relaxed);
+  }
+  bool OverBudget() const {
+    return spill_enabled() &&
+           ResidentBytes() >
+               static_cast<int64_t>(spill_config_.budget_bytes);
+  }
+
+  void TouchRef(uint32_t s) const {
+    if (spill_enabled()) {
+      stripes_[s].ref.store(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Second-chance clock over the resident stripes. `exclude` shields the
+  // stripe the caller just touched/faulted-in from immediate re-eviction
+  // (pass kNoVictim to scan all). Returns kNoVictim when eviction would drop
+  // below min_resident_stripes or nothing is evictable.
+  uint32_t PickSpillVictim(uint32_t exclude) {
+    if (resident_stripes_.load(std::memory_order_relaxed) <=
+        spill_config_.min_resident_stripes) {
+      return kNoVictim;
+    }
+    const uint32_t n = num_shards_;
+    for (uint32_t i = 0; i < 2 * n; ++i) {
+      uint32_t s =
+          static_cast<uint32_t>(clock_hand_.fetch_add(1, std::memory_order_relaxed) & mask_);
+      if (s == exclude || stripes_[s].spilled.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      if (stripes_[s].ref.exchange(0, std::memory_order_relaxed) == 0) {
+        return s;
+      }
+    }
+    // Everything was recently referenced: take the next resident stripe.
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t s =
+          static_cast<uint32_t>(clock_hand_.fetch_add(1, std::memory_order_relaxed) & mask_);
+      if (s != exclude && !stripes_[s].spilled.load(std::memory_order_relaxed)) {
+        return s;
+      }
+    }
+    return kNoVictim;
+  }
+
+  // Bookkeeping around a spilled-flag flip; call under the stripe's
+  // exclusive lock, right where the flag is stored. The event counters are
+  // separate (NoteEviction/NoteFaultIn) because Clear and partition
+  // extraction also flip stripes back without a logical fault-in.
+  void NoteStripeSpilled(Stripe& st, uint64_t records, uint64_t blob_bytes) {
+    st.spilled.store(true, std::memory_order_relaxed);
+    st.spilled_records = records;
+    st.spilled_blob_bytes = blob_bytes;
+    resident_stripes_.fetch_sub(1, std::memory_order_relaxed);
+    spilled_blob_total_.fetch_add(static_cast<int64_t>(blob_bytes),
+                                  std::memory_order_relaxed);
+  }
+  void NoteStripeResident(Stripe& st) {
+    st.spilled.store(false, std::memory_order_relaxed);
+    spilled_blob_total_.fetch_sub(static_cast<int64_t>(st.spilled_blob_bytes),
+                                  std::memory_order_relaxed);
+    st.spilled_records = 0;
+    st.spilled_blob_bytes = 0;
+    resident_stripes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Blob rewritten in place (cold-overlay compaction / partition extraction).
+  void NoteBlobRewritten(Stripe& st, uint64_t records, uint64_t blob_bytes) {
+    spilled_blob_total_.fetch_add(
+        static_cast<int64_t>(blob_bytes) -
+            static_cast<int64_t>(st.spilled_blob_bytes),
+        std::memory_order_relaxed);
+    st.spilled_records = records;
+    st.spilled_blob_bytes = blob_bytes;
+  }
+  void NoteEviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteFaultIn() { fault_ins_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteColdLookup() const {
+    cold_lookups_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  SpillStats GetSpillStats() const {
+    SpillStats stats;
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.fault_ins = fault_ins_.load(std::memory_order_relaxed);
+    stats.cold_lookups = cold_lookups_.load(std::memory_order_relaxed);
+    stats.spilled_stripes =
+        num_shards_ - resident_stripes_.load(std::memory_order_relaxed);
+    int64_t blob = spilled_blob_total_.load(std::memory_order_relaxed);
+    stats.spilled_bytes = blob > 0 ? static_cast<uint64_t>(blob) : 0;
+    int64_t res = resident_total_.load(std::memory_order_relaxed);
+    stats.resident_bytes = res > 0 ? static_cast<uint64_t>(res) : 0;
+    return stats;
+  }
+
  private:
   uint32_t num_shards_ = 0;
   uint64_t mask_ = 0;
@@ -325,6 +488,17 @@ class ShardedState {
   // Flips only under AllWriteGuard; atomic so checkpoint_active() can be
   // observed without any stripe lock.
   std::atomic<bool> checkpoint_active_{false};
+
+  // --- Cold-tier policy state ----------------------------------------------
+  SpillConfig spill_config_;           // immutable after EnableSpill
+  std::atomic<bool> spill_enabled_{false};
+  std::atomic<int64_t> resident_total_{0};
+  std::atomic<uint64_t> clock_hand_{0};
+  std::atomic<uint32_t> resident_stripes_{0};  // seeded by EnableSpill caller
+  std::atomic<int64_t> spilled_blob_total_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> fault_ins_{0};
+  mutable std::atomic<uint64_t> cold_lookups_{0};
 };
 
 }  // namespace sdg::state

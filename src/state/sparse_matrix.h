@@ -85,6 +85,16 @@ class SparseMatrix final : public StateBackend {
     shards_.WriteAll([&](bool) { fn(); });
   }
 
+  // The row maps are stripe-owned (same shape as KeyedDict) so a cold tier
+  // is implementable here; it is deliberately not wired yet — no workload
+  // pushes matrix state past memory. Until then, be explicit about it.
+  Status ConfigureSpill(const SpillConfig& config) override {
+    (void)config;
+    return UnimplementedError(
+        "SparseMatrix cold-tier spill not implemented yet (row maps are "
+        "stripe-owned, so the KeyedDict design would transfer)");
+  }
+
  private:
   // One stripe's slice of the row maps: main rows plus the checkpoint
   // overlay, both keyed to this stripe by the row hash.

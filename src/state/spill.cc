@@ -1,0 +1,100 @@
+#include "src/state/spill.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+namespace sdg::state {
+
+namespace fs = std::filesystem;
+
+Status PrepareSpillDir(const std::string& dir) {
+  if (dir.empty()) {
+    return InvalidArgumentError("spill dir is empty");
+  }
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError("cannot create spill dir " + dir + ": " +
+                         ec.message());
+  }
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".spill" ||
+        entry.path().extension() == ".tmp") {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return Status::Ok();
+}
+
+Status WriteSpillFileAtomic(const std::string& path,
+                            const std::vector<uint8_t>& blob) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return InternalError("cannot open spill tmp file " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) {
+      return InternalError("short write to spill tmp file " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return InternalError("cannot rename spill file into place at " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> ReadSpillFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return std::vector<uint8_t>{};  // absent = empty stripe on disk
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(blob.data()), size)) {
+    return DataLossError("short read from spill file " + path);
+  }
+  return blob;
+}
+
+void RemoveSpillFile(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+namespace {
+std::atomic<bool> g_crash_armed{false};  // cheap probe on the hot path
+std::mutex g_crash_mutex;
+std::string g_crash_phase;
+}  // namespace
+
+void ArmSpillCrashPoint(std::string_view phase) {
+  std::lock_guard<std::mutex> lock(g_crash_mutex);
+  g_crash_phase.assign(phase);
+  g_crash_armed.store(!g_crash_phase.empty(), std::memory_order_release);
+}
+
+void SpillCrashPoint(std::string_view phase) {
+  if (!g_crash_armed.load(std::memory_order_acquire)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_crash_mutex);
+  if (!g_crash_phase.empty() && g_crash_phase == phase) {
+    std::fprintf(stderr, "CRASH at %s\n", g_crash_phase.c_str());
+    std::fflush(stderr);
+    std::_Exit(41);
+  }
+}
+
+}  // namespace sdg::state

@@ -1,0 +1,79 @@
+// Cold-tier spill: the disk side of larger-than-memory state.
+//
+// A backend under a memory budget evicts whole stripes to per-stripe spill
+// files under a backend-private directory. A spill file is one chunk frame v2
+// blob (same codec as checkpoints), so a spilled stripe's serialized form is
+// already checkpoint-shaped: full bases re-emit it record-by-record without
+// rehydration, and migration/replica feeds stream it straight from disk.
+//
+// Spill files are an ephemeral cache of in-memory state, NOT a durability
+// tier — durability stays with checkpoints. They are therefore written
+// without fsync (tmp + rename keeps a reader from ever seeing a torn file in
+// this process's lifetime) and the spill directory is wiped whenever spill is
+// (re-)enabled, so a crashed process can never fault in a stale cold tier:
+// after a crash the state is rebuilt from the checkpoint chain, exactly as if
+// it had never spilled.
+#ifndef SDG_STATE_SPILL_H_
+#define SDG_STATE_SPILL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/state/codec.h"
+
+namespace sdg::state {
+
+// Per-backend cold-tier policy. Passed to StateBackend::ConfigureSpill.
+struct SpillConfig {
+  std::string dir;           // backend-private spill directory (required)
+  uint64_t budget_bytes = 0;  // resident-byte budget; 0 disables spill
+  // Stripes that must stay resident (victim selection never drains the
+  // backend completely; fault-in always has somewhere to land).
+  uint32_t min_resident_stripes = 1;
+  // Chunk codec for spill files (kChunkCodec*).
+  uint8_t codec = kChunkCodecPrefix;
+};
+
+// Counters for tests, metrics and the checkpoint driver's epoch log line.
+struct SpillStats {
+  uint64_t evictions = 0;        // stripe evictions (incl. compactions)
+  uint64_t fault_ins = 0;        // stripes paged back on access
+  uint64_t cold_lookups = 0;     // single-key reads answered from a blob
+  uint64_t spilled_stripes = 0;  // currently on disk
+  uint64_t spilled_bytes = 0;    // current total spill file bytes
+  uint64_t resident_bytes = 0;   // current accounted resident bytes
+};
+
+// Creates `dir` (and parents) and removes any stale "*.spill" files in it.
+// Called from ConfigureSpill: a fresh process must never read a previous
+// incarnation's cold tier.
+Status PrepareSpillDir(const std::string& dir);
+
+// Writes `blob` to `path` via "<path>.tmp" + rename, so `path` is only ever
+// absent or complete. No fsync: spill files do not outlive the process.
+Status WriteSpillFileAtomic(const std::string& path,
+                            const std::vector<uint8_t>& blob);
+
+// Reads a whole spill file. A missing file is an empty blob (an evicted
+// stripe with zero records writes no file).
+Result<std::vector<uint8_t>> ReadSpillFile(const std::string& path);
+
+// Removes `path` if present (fault-in, Clear, re-eviction).
+void RemoveSpillFile(const std::string& path);
+
+// --- Deterministic crash points (chaos harness) -----------------------------
+// ArmSpillCrashPoint("spill.evict") makes the next SpillCrashPoint call with
+// that phase _Exit(41) the process, mirroring the migration crash-point
+// mechanism in src/runtime/elastic.cc. Phases used by KeyedDict:
+//   spill.evict    — spill file renamed into place, victim not yet dropped
+//   spill.faultin  — blob read and merged, spill file not yet removed
+//   spill.ckpt     — mid-serialize of a spilled stripe during a checkpoint
+void ArmSpillCrashPoint(std::string_view phase);
+void SpillCrashPoint(std::string_view phase);
+
+}  // namespace sdg::state
+
+#endif  // SDG_STATE_SPILL_H_

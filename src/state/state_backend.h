@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "src/common/status.h"
+#include "src/state/spill.h"
 
 namespace sdg::state {
 
@@ -137,6 +138,22 @@ class StateBackend {
   // migration pause. Unsynchronised backends run `fn` directly (their caller
   // already owns exclusivity).
   virtual void ExclusiveBarrier(const std::function<void()>& fn) { fn(); }
+
+  // --- Cold-tier spill -------------------------------------------------------
+  // Puts the backend under a resident-byte budget: when accounted resident
+  // bytes exceed it, whole stripes are evicted to chunk-framed files under
+  // config.dir and paged back transparently on access (see docs/state.md,
+  // "Tiered storage"). Checkpoints, delta epochs, restore, migration and the
+  // replica feed all keep working while stripes are spilled — a spilled
+  // stripe serializes straight from its blob without rehydration. Backends
+  // whose stripes share contiguous storage (VectorState, DenseMatrix) cannot
+  // free memory per stripe and return kUnimplemented.
+  virtual Status ConfigureSpill(const SpillConfig& config) {
+    (void)config;
+    return UnimplementedError(std::string(TypeName()) +
+                              " does not support cold-tier spill");
+  }
+  virtual SpillStats GetSpillStats() const { return {}; }
 };
 
 // Creates an empty instance of a concrete backend; the runtime uses this when

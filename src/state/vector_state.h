@@ -97,6 +97,16 @@ class VectorState final : public StateBackend {
     shards_.WriteAll([&](bool) { fn(); });
   }
 
+  // No cold tier: the stripes only partition the checkpoint overlay — the
+  // values live in one contiguous array, so evicting a stripe cannot free
+  // its share of memory.
+  Status ConfigureSpill(const SpillConfig& config) override {
+    (void)config;
+    return UnimplementedError(
+        "VectorState stores a contiguous dense array; per-stripe eviction "
+        "cannot release memory — no cold-tier spill");
+  }
+
  private:
   // One stripe's slice: the checkpoint overlay for the index blocks this
   // stripe owns (the dense array itself is shared, element-owned by stripe).

@@ -1,0 +1,73 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace sdg {
+namespace {
+
+TEST(Backoff, DoublesToCapWithoutJitter) {
+  Backoff::Options opt;
+  opt.initial_ms = 200;
+  opt.max_ms = 5000;
+  opt.jitter = 0.0;
+  Backoff b(opt);
+  EXPECT_EQ(b.NextDelayMs(), 200);
+  EXPECT_EQ(b.NextDelayMs(), 400);
+  EXPECT_EQ(b.NextDelayMs(), 800);
+  EXPECT_EQ(b.NextDelayMs(), 1600);
+  EXPECT_EQ(b.NextDelayMs(), 3200);
+  EXPECT_EQ(b.NextDelayMs(), 5000);  // 6400 clamps to the cap
+  EXPECT_EQ(b.NextDelayMs(), 5000);  // and stays there
+}
+
+TEST(Backoff, ResetRestartsTheSchedule) {
+  Backoff::Options opt;
+  opt.jitter = 0.0;
+  Backoff b(opt);
+  EXPECT_EQ(b.NextDelayMs(), 200);
+  EXPECT_EQ(b.NextDelayMs(), 400);
+  b.Reset();
+  EXPECT_EQ(b.NextDelayMs(), 200);
+  EXPECT_EQ(b.NextDelayMs(), 400);
+}
+
+TEST(Backoff, JitterStaysWithinTheBandAtEveryStep) {
+  Backoff::Options opt;
+  opt.initial_ms = 200;
+  opt.max_ms = 5000;
+  opt.jitter = 0.2;
+  Backoff b(opt);
+  for (int step = 0; step < 50; ++step) {
+    const int base = b.base_ms();
+    const int d = b.NextDelayMs();
+    EXPECT_GE(d, static_cast<int>(base * (1.0 - opt.jitter)));
+    EXPECT_LE(d, static_cast<int>(base * (1.0 + opt.jitter)) + 1);
+  }
+  // The capped tail must actually vary — fixed 5000 ms redials across a
+  // fleet would re-synchronise the thundering herd the jitter is for.
+  b.Reset();
+  for (int i = 0; i < 10; ++i) {
+    b.NextDelayMs();  // run into the cap
+  }
+  int distinct = 0;
+  int prev = -1;
+  for (int i = 0; i < 10; ++i) {
+    const int d = b.NextDelayMs();
+    distinct += (d != prev);
+    prev = d;
+  }
+  EXPECT_GT(distinct, 1);
+}
+
+TEST(Backoff, DeterministicForAFixedSeed) {
+  Backoff::Options opt;
+  opt.seed = 1234;
+  Backoff a(opt);
+  Backoff b(opt);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs());
+  }
+}
+
+}  // namespace
+}  // namespace sdg

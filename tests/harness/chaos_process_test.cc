@@ -40,6 +40,13 @@ constexpr uint32_t kPartitions = 4;
 // One head + a fleet of worker child processes sharing a backup root.
 class ProcessFleet {
  public:
+  // Disk-backed store mode for every spawned worker (kv only). The spill
+  // dir defaults inside the worker to a member-scoped subtree of the backup
+  // root, so respawns under the same id wipe their own stale cold tier.
+  uint64_t spill_budget_kb = 0;
+  uint32_t store_stripes = 0;
+  bool serve = false;  // kv only: serving entries + replica feed
+
   ProcessFleet(std::string app, std::string state,
                std::vector<std::string> entries, uint32_t partitions,
                int migrate_timeout_ms = 6000)
@@ -80,6 +87,9 @@ class ProcessFleet {
     spec.backup_root = BackupRoot();
     spec.partitions = partitions_;
     spec.crash_at = crash_at;
+    spec.serve = serve;
+    spec.spill_budget_kb = spill_budget_kb;
+    spec.store_stripes = store_stripes;
     pid_t pid = SpawnElasticWorker(SDG_ELASTIC_WORKER_BIN, spec);
     ASSERT_GT(pid, 0);
     pids_[id] = pid;
@@ -481,6 +491,208 @@ TEST(MToNRecovery, DeadWorkersPartitionsSpreadAcrossSurvivors) {
   if (::testing::Test::HasFatalFailure()) return;
   EXPECT_EQ(merged, model) << "m-to-n recovery diverged";
 }
+
+// --- Cold-tier crash-point matrix --------------------------------------------
+//
+// Spill files are a cache, not a durability tier (src/state/spill.h): a
+// process that dies inside the spill machinery — spill file renamed but the
+// victim stripe not yet dropped (spill.evict), stripe merged back but the
+// file not yet removed (spill.faultin), or mid-serialize of a spilled stripe
+// during a checkpoint (spill.ckpt) — must restart from its checkpoint chain
+// with nothing lost and nothing double-applied, and the stale spill dir it
+// left behind must never be read. The armed worker runs a working set
+// several times its resident budget so the cold tier is active when the
+// crash fires; fault-in needs a read path, so that leg runs the serve-mode
+// entry set and drives "get" through the head.
+
+class SpillCrashPoint : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpillCrashPoint, DurableStateSurvivesColdTierCrash) {
+  const std::string phase = GetParam();
+  const bool serve = phase == "spill.faultin";
+  ProcessFleet fleet("kv", "store",
+                     serve ? std::vector<std::string>{"put", "get", "del"}
+                           : std::vector<std::string>{"put", "del"},
+                     kPartitions);
+  fleet.spill_budget_kb = 2;  // per store instance; see working set below
+  fleet.store_stripes = 8;
+  fleet.serve = serve;
+  ASSERT_TRUE(fleet.StartHead().ok());
+  fleet.Spawn(1, phase);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(fleet.head().WaitForMembers(1, 20000));
+  ASSERT_TRUE(fleet.head().WaitForAssignment(20000));
+
+  // ~150 B values, 240 keys over 4 instances: ~9 KiB resident demand per
+  // instance against the 2 KiB budget, so eviction starts almost at once
+  // and the periodic checkpoint (100 ms) soon serializes spilled stripes.
+  // Injection runs in a thread: once the crash point fires, in-flight puts
+  // block unacked until the respawned worker rejoins and replays them.
+  std::map<int64_t, std::string> model;
+  const std::string pad(120, 'x');
+  std::thread load([&] {
+    for (int64_t k = 0; k < 240; ++k) {
+      std::string v = "v" + std::to_string(k) + pad;
+      if (!fleet.head().Inject(0, Tuple{Value(k), Value(v)}, 120000).ok()) {
+        ADD_FAILURE() << "put " << k << " never acked";
+        return;
+      }
+      model[k] = v;
+    }
+    if (serve) {
+      // Touch every key: any key untouched since its stripe was evicted is
+      // blob-only, and the first such read pages the stripe back in.
+      for (int64_t k = 0; k < 240; ++k) {
+        if (!fleet.head().Inject(1, Tuple{Value(k)}, 120000).ok()) {
+          ADD_FAILURE() << "get " << k << " never acked";
+          return;
+        }
+      }
+    }
+  });
+  int code = fleet.Reap(1);  // blocks until the armed phase fires
+  fleet.Spawn(1);  // restart: spill dir wiped, checkpoint chain replayed
+  load.join();
+  EXPECT_EQ(code, 41) << "crash point " << phase << " never fired";
+  if (::testing::Test::HasFatalFailure()) return;
+
+  // A post-restart tail proves the respawned worker (spilling again from
+  // restore onward) still applies new writes exactly once.
+  for (int64_t k = 200; k < 280; ++k) {
+    std::string v = "r" + std::to_string(k) + pad;
+    ASSERT_TRUE(fleet.head().Inject(0, Tuple{Value(k), Value(v)}, 60000).ok());
+    model[k] = v;
+  }
+
+  std::map<int64_t, std::string> merged;
+  MergedDurableState(fleet, "store", kPartitions, &merged);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(merged, model) << "crash at " << phase << " diverged ("
+                           << merged.size() << " keys vs model "
+                           << model.size() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, SpillCrashPoint,
+                         ::testing::Values("spill.evict", "spill.faultin",
+                                           "spill.ckpt"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (auto& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Seeded kv chaos with a disk-backed store --------------------------------
+//
+// The KvProcessChaos roulette re-run with every worker under a 2 KiB
+// per-instance resident budget and a working set ~5x that (padded values),
+// so SIGKILL/respawn restores spill as they load, migrations stream spilled
+// stripes off disk, and checkpoints serialize cold state — all while the
+// reference model watches for loss or double-apply.
+
+class KvSpillProcessChaos : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KvSpillProcessChaos, MatchesReferenceModelUnderBudget) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed ^ 0x51dau);
+  ProcessFleet fleet("kv", "store", {"put", "del"}, kPartitions);
+  fleet.spill_budget_kb = 2;
+  fleet.store_stripes = 8;
+  ASSERT_TRUE(fleet.StartHead().ok());
+  fleet.Spawn(1);
+  fleet.Spawn(2);
+  if (::testing::Test::HasFatalFailure()) return;
+  ASSERT_TRUE(fleet.head().WaitForMembers(2, 20000));
+  ASSERT_TRUE(fleet.head().WaitForAssignment(20000));
+
+  std::map<int64_t, std::string> model;
+  uint64_t vseq = 0;
+  const std::string pad(120, 'x');  // ~150 B/key: ~5x the per-instance budget
+  auto burst = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      int64_t key = static_cast<int64_t>(rng.NextBounded(300));
+      std::string value = "v" + std::to_string(vseq++) + pad;
+      ASSERT_TRUE(
+          fleet.head().Inject(0, Tuple{Value(key), Value(value)}, 60000).ok());
+      model[key] = value;
+    }
+  };
+
+  for (int round = 0; round < 3; ++round) {
+    burst(120);
+    if (::testing::Test::HasFatalFailure()) return;
+    uint32_t victim = rng.NextBounded(2) == 0 ? 1 : 2;
+    uint32_t other = victim == 1 ? 2 : 1;
+    switch (rng.NextBounded(5)) {
+      case 0: {  // SIGKILL + respawn: restore must spill as it loads
+        fleet.Kill(victim);
+        fleet.Spawn(victim);
+        burst(40);
+        break;
+      }
+      case 1: {  // live migration streams spilled stripes straight off disk
+        uint32_t p = rng.NextBounded(kPartitions);
+        uint32_t owner = fleet.head().OwnerOf(p);
+        uint32_t target = owner == 1 ? 2 : 1;
+        (void)fleet.head().MigratePartition(p, target);
+        break;
+      }
+      case 2: {  // SIGKILL the migration source mid-flight
+        uint32_t p = 0;
+        for (uint32_t q = 0; q < kPartitions; ++q) {
+          if (fleet.head().OwnerOf(q) == victim) {
+            p = q;
+          }
+        }
+        if (fleet.head().OwnerOf(p) != victim) {
+          break;
+        }
+        std::thread migrate(
+            [&] { (void)fleet.head().MigratePartition(p, other); });
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(rng.NextBounded(40)));
+        fleet.Kill(victim);
+        migrate.join();
+        fleet.Spawn(victim);
+        break;
+      }
+      case 3: {  // checkpoint barrier serializes cold stripes without paging
+        (void)fleet.head().CheckpointAll(10000);
+        break;
+      }
+      default:
+        break;
+    }
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // Del phase after a quiesce barrier (same reasoning as KvProcessChaos);
+  // erases on spilled stripes land as cold-overlay tombstones.
+  ASSERT_TRUE(fleet.head().AwaitQuiesce(90000));
+  for (int i = 0; i < 60; ++i) {
+    if (i == 30) {
+      uint32_t victim = rng.NextBounded(2) == 0 ? 1 : 2;
+      fleet.Kill(victim);
+      fleet.Spawn(victim);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    int64_t key = static_cast<int64_t>(rng.NextBounded(300));
+    ASSERT_TRUE(fleet.head().Inject(1, Tuple{Value(key)}, 60000).ok());
+    model.erase(key);
+  }
+
+  std::map<int64_t, std::string> merged;
+  MergedDurableState(fleet, "store", kPartitions, &merged);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(merged, model) << "seed " << seed
+                           << ": durable state diverged under spill ("
+                           << merged.size() << " keys vs model "
+                           << model.size() << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvSpillProcessChaos,
+                         ::testing::ValuesIn(ChaosSeeds()), SeedTestName);
 
 }  // namespace
 }  // namespace sdg::harness

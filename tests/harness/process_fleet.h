@@ -10,6 +10,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <signal.h>
+#include <sys/prctl.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -59,6 +60,11 @@ struct WorkerSpec {
   int ckpt_interval_ms = 100;
   std::string crash_at;
   bool serve = false;  // kv only: serving entries + replica feed
+  // Disk-backed store mode (kv only): resident budget in KiB, 0 = no spill.
+  // spill_dir defaults inside the worker to <backup_root>/spill-m<id>.
+  uint64_t spill_budget_kb = 0;
+  std::string spill_dir;
+  uint32_t store_stripes = 0;
 };
 
 // fork/exec one worker. Child stdout/stderr go to /dev/null unless
@@ -83,9 +89,30 @@ inline pid_t SpawnElasticWorker(const std::string& binary,
   if (spec.serve) {
     args.push_back("--serve");
   }
+  if (spec.spill_budget_kb > 0) {
+    args.push_back("--spill-budget-kb");
+    args.push_back(std::to_string(spec.spill_budget_kb));
+    if (!spec.spill_dir.empty()) {
+      args.push_back("--spill-dir");
+      args.push_back(spec.spill_dir);
+    }
+    if (spec.store_stripes > 0) {
+      args.push_back("--store-stripes");
+      args.push_back(std::to_string(spec.store_stripes));
+    }
+  }
   pid_t pid = ::fork();
   if (pid != 0) {
     return pid;
+  }
+  // Own process group, so the parent's kill helpers can take out the whole
+  // worker subtree; and die with the parent (pdeathsig) so a test run that
+  // ctest SIGKILLs on timeout — no exit handlers run — cannot leave orphaned
+  // workers holding ports and spinning checkpoint loops.
+  ::setpgid(0, 0);
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1) {
+    std::_Exit(126);  // parent already gone before pdeathsig armed
   }
   if (std::getenv("SDG_CHAOS_VERBOSE") == nullptr) {
     int devnull = ::open("/dev/null", O_WRONLY);
@@ -122,12 +149,15 @@ inline int WaitExit(pid_t pid) {
 }
 
 // SIGKILL + reap: the mid-protocol process death the harness is about.
+// Signals the process group (the worker is its own group leader) so any
+// children it spawned die with it.
 inline void KillHard(pid_t pid) {
-  ::kill(pid, SIGKILL);
+  ::kill(-pid, SIGKILL);
+  ::kill(pid, SIGKILL);  // in case setpgid lost the race with exec
   (void)WaitExit(pid);
 }
 
-// Graceful stop; escalates to SIGKILL if the worker ignores SIGTERM.
+// Graceful stop; escalates to a group SIGKILL if the worker ignores SIGTERM.
 inline int StopSoft(pid_t pid, int timeout_ms = 10000) {
   ::kill(pid, SIGTERM);
   for (int waited = 0; waited < timeout_ms; waited += 50) {
@@ -140,6 +170,7 @@ inline int StopSoft(pid_t pid, int timeout_ms = 10000) {
     }
     ::usleep(50 * 1000);
   }
+  ::kill(-pid, SIGKILL);
   ::kill(pid, SIGKILL);
   return WaitExit(pid);
 }

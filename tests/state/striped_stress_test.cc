@@ -29,7 +29,9 @@
 #include "src/state/dense_matrix.h"
 #include "src/state/keyed_dict.h"
 #include "src/state/sparse_matrix.h"
+#include "src/state/spill.h"
 #include "src/state/vector_state.h"
+#include "tests/common/scoped_test_dir.h"
 
 namespace sdg::state {
 namespace {
@@ -178,6 +180,92 @@ TEST(StripedStressTest, KeyedDictConcurrentCheckpoint) {
     t.join();
   }
   EXPECT_GT(consolidated, 0u) << "no write ever hit the dirty overlay";
+
+  std::map<int64_t, int64_t> expected;
+  for (const auto& m : models) {
+    for (const auto& [k, v] : m) {
+      expected[k] = v;
+    }
+  }
+  EXPECT_EQ(dict.Size(), expected.size());
+  for (const auto& [k, v] : expected) {
+    EXPECT_EQ(dict.Get(k), v) << "lost update on key " << k;
+  }
+}
+
+// Same shape as KeyedDictConcurrentCheckpoint, but under a tiny spill budget:
+// readers and writers race eviction, fault-in and cold-overlay absorption
+// while checkpoints freeze the spilled set. The snapshot equality check makes
+// this the TSan leg for the whole cold-tier locking story.
+TEST(StripedStressTest, KeyedDictSpillConcurrentCheckpoint) {
+  constexpr int64_t kKeysPerWriter = 64;
+  ScopedTestDir tmp("spill_stress");
+  KeyedDict<int64_t, int64_t> dict(8);
+  SpillConfig spill;
+  spill.dir = (tmp.path() / "cold").string();
+  spill.budget_bytes = 512;  // entries are 32 bytes: constant churn
+  ASSERT_TRUE(dict.ConfigureSpill(spill).ok());
+  PauseGate gate;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  std::vector<std::map<int64_t, int64_t>> models(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        gate.MaybePause();
+        int64_t key = w * kKeysPerWriter + (i % kKeysPerWriter);
+        dict.Update(key, [](int64_t v) { return v + 1; });
+        ++models[w][key];
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      int64_t i = r;
+      while (!stop.load(std::memory_order_acquire)) {
+        int64_t key = i++ % (kWriters * kKeysPerWriter);
+        int64_t seen = 0;
+        dict.View(key, [&seen](const int64_t& v) { seen = v; });
+        ASSERT_GE(seen, 0);
+      }
+    });
+  }
+
+  for (int round = 0; round < kCheckpointRounds; ++round) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    gate.Pause();
+    std::map<int64_t, int64_t> reference;
+    dict.ForEach([&](int64_t k, const int64_t& v) { reference[k] = v; });
+    dict.BeginCheckpoint();
+    gate.Resume();
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    auto records = ParallelSerialize(dict, /*threads=*/4);
+
+    KeyedDict<int64_t, int64_t> restored;
+    RestoreInto(restored, records);
+    EXPECT_EQ(restored.Size(), reference.size());
+    std::map<int64_t, int64_t> got;
+    restored.ForEach([&](int64_t k, const int64_t& v) { got[k] = v; });
+    EXPECT_EQ(got, reference) << "mid-checkpoint snapshot drifted from the "
+                                 "pre-BeginCheckpoint state in round "
+                              << round;
+    dict.EndCheckpoint();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : writers) {
+    t.join();
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+
+  const SpillStats stats = dict.GetSpillStats();
+  EXPECT_GT(stats.evictions, 0u) << "budget never bound: nothing spilled";
 
   std::map<int64_t, int64_t> expected;
   for (const auto& m : models) {

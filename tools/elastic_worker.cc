@@ -23,6 +23,7 @@
 #include "src/apps/wordcount.h"
 #include "src/common/logging.h"
 #include "src/runtime/elastic.h"
+#include "src/state/spill.h"
 
 namespace {
 
@@ -34,7 +35,8 @@ void OnSignal(int) { g_stop = 1; }
                "usage: %s --app kv|wordcount --head-port N --id N --backup "
                "DIR [--head-host H] [--data-port N] [--partitions N] "
                "[--slow-us N] [--ckpt-interval-ms N] [--crash-at PHASE] "
-               "[--name S] [--serve]\n",
+               "[--name S] [--serve] [--spill-budget-kb N] [--spill-dir DIR] "
+               "[--store-stripes N]\n",
                argv0);
   std::exit(2);
 }
@@ -44,6 +46,9 @@ void OnSignal(int) { g_stop = 1; }
 int main(int argc, char** argv) {
   std::string app = "kv";
   bool serve = false;
+  uint64_t spill_budget_kb = 0;
+  std::string spill_dir;
+  uint32_t store_stripes = 0;
   sdg::elastic::ElasticWorkerOptions options;
   options.partitions = 4;
   for (int i = 1; i < argc; ++i) {
@@ -79,6 +84,14 @@ int main(int argc, char** argv) {
       options.name = need("--name");
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
+    } else if (std::strcmp(argv[i], "--spill-budget-kb") == 0) {
+      spill_budget_kb =
+          static_cast<uint64_t>(std::atoll(need("--spill-budget-kb")));
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0) {
+      spill_dir = need("--spill-dir");
+    } else if (std::strcmp(argv[i], "--store-stripes") == 0) {
+      store_stripes =
+          static_cast<uint32_t>(std::atoi(need("--store-stripes")));
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       Usage(argv[0]);
@@ -91,12 +104,28 @@ int main(int argc, char** argv) {
   if (options.name.empty()) {
     options.name = "w" + std::to_string(options.member_id);
   }
+  // "spill.*" crash points live in the state layer, not the migration
+  // machinery — arm them there and keep them out of ElasticWorkerOptions.
+  if (options.crash_at.rfind("spill.", 0) == 0) {
+    sdg::state::ArmSpillCrashPoint(options.crash_at);
+    options.crash_at.clear();
+  }
 
   sdg::Result<sdg::graph::Sdg> g =
       sdg::Status(sdg::StatusCode::kInvalidArgument, "unset");
   if (app == "kv") {
     sdg::apps::KvOptions kv;
     kv.partitions = options.partitions;
+    if (spill_budget_kb > 0) {
+      kv.spill_budget_bytes = spill_budget_kb * 1024;
+      // Spill dirs are wiped on startup, so they must be process-private:
+      // default to a member-scoped subtree of the backup root.
+      kv.spill_dir = !spill_dir.empty()
+                         ? spill_dir
+                         : options.backup_root + "/spill-m" +
+                               std::to_string(options.member_id);
+      kv.store_stripes = store_stripes;
+    }
     g = sdg::apps::BuildKvSdg(kv);
     options.state = "store";
     if (serve) {
