@@ -82,6 +82,37 @@ wait_for() {  # wait_for <pattern> <file> <timeout_s>
   return 0
 }
 
+# count_data_socks <port> — ESTABLISHED dialer-side sockets to <port>, from
+# /proc/net/tcp. A loopback connection appears twice (one line per endpoint);
+# matching only the REMOTE port counts each connection exactly once.
+count_data_socks() {
+  local hexport
+  hexport="$(printf '%04X' "$1")"
+  awk -v p=":$hexport" '$3 ~ (p "$") && $4 == "01"' /proc/net/tcp 2>/dev/null \
+    | wc -l
+}
+
+# assert_one_data_sock <port> <who> — the multiplexed transport's core
+# promise: ALL (entry, partition) channels to one worker share ONE socket.
+# Polls until the count is nonzero and stable (the head connects channels as
+# partitions flip), then requires exactly 1. A count that settles above 1
+# means channels fell back to per-channel sockets — the O(entries x
+# partitions) regression this guard exists to catch.
+assert_one_data_sock() {
+  local n=0 prev=-1 deadline=$(( $(date +%s) + 15 ))
+  while [ "$(date +%s)" -lt "$deadline" ]; do
+    n="$(count_data_socks "$1")"
+    if [ "$n" -gt 0 ] && [ "$n" = "$prev" ]; then
+      break
+    fi
+    prev="$n"
+    sleep 0.3
+  done
+  [ "$n" = "1" ] || return 1
+  echo "MUX SOCKETS OK: $2 data port $1 has exactly 1 shared socket"
+  return 0
+}
+
 [ -x "$BIN" ] || fail "binary '$BIN' not found or not executable"
 
 # Incarnation 1: receive until the first durable checkpoint, then die hard.
@@ -175,6 +206,13 @@ $SETSID "$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 1 \
 W1_PID=$!
 wait_for "ASSIGNED" "$WORK/head.log" 15 || fail2 "partitions never assigned"
 
+# Every partition just flipped to worker 1: all of its channels must share
+# one multiplexed socket, not one socket per (entry, partition).
+wait_for "READY port=" "$WORK/w1.log" 15 || fail2 "worker 1 never printed READY"
+W1_PORT="$(grep -o 'READY port=[0-9]*' "$WORK/w1.log" | head -1 | cut -d= -f2)"
+assert_one_data_sock "$W1_PORT" "worker 1" \
+  || fail2 "worker 1 data port $W1_PORT has $(count_data_socks "$W1_PORT") sockets, want 1 (mux)"
+
 # Worker 2 joins mid-stream; the head's management loop must notice the
 # imbalance and live-migrate at least one partition onto it.
 $SETSID "$WORKER_BIN" --app wordcount --head-port "$HEAD_PORT" --id 2 \
@@ -238,6 +276,12 @@ $SETSID "$WORKER_BIN" --app kv --serve --head-port "$GW_PORT" --id 1 \
   > "$WORK/sw.log" 2>&1 &
 SW_PID=$!
 wait_for "SERVING" "$WORK/gw.log" 20 || fail3 "fleet never assembled"
+
+# Serving fleet: put/get/del x partitions all ride ONE socket to the worker.
+wait_for "READY port=" "$WORK/sw.log" 15 || fail3 "serve worker never printed READY"
+SW_PORT="$(grep -o 'READY port=[0-9]*' "$WORK/sw.log" | head -1 | cut -d= -f2)"
+assert_one_data_sock "$SW_PORT" "serve worker" \
+  || fail3 "serve worker data port $SW_PORT has $(count_data_socks "$SW_PORT") sockets, want 1 (mux)"
 
 # Deterministic fill / delete / overload burst / drain / verify. The loadgen
 # exits nonzero if the burst never sheds, no stale get is answered from a

@@ -10,9 +10,13 @@ namespace sdg::net {
 // ---------------------------------------------------------------------------
 // PeerDispatch
 
-ChannelServer::PeerDispatch::PeerDispatch(ChannelServer* server, Peer* peer,
-                                          runtime::Executor* executor)
-    : server_(server), peer_(peer) {
+ChannelServer::PeerDispatch::PeerDispatch(
+    ChannelServer* server, Peer* peer, runtime::Executor* executor,
+    bool wire_pause, std::function<void(size_t)> on_consumed)
+    : server_(server),
+      peer_(peer),
+      wire_pause_(wire_pause),
+      on_consumed_(std::move(on_consumed)) {
   BindExecutor(executor);
 }
 
@@ -25,7 +29,7 @@ void ChannelServer::PeerDispatch::PushFrame(Frame frame) {
     }
     held = held_;
     frames_.push_back(std::move(frame));
-    if (!paused_ && frames_.size() >= kPauseFrames) {
+    if (wire_pause_ && !paused_ && frames_.size() >= kPauseFrames) {
       paused_ = true;
       // Backlog over the high watermark: stop reading this socket. The
       // kernel buffer fills, TCP flow control reaches the sender — wire
@@ -89,6 +93,9 @@ bool ChannelServer::PeerDispatch::RunSlice() {
   for (auto& frame : batch) {
     server_->DispatchPeerFrame(*peer_, std::move(frame));
   }
+  if (on_consumed_ != nullptr && !batch.empty()) {
+    on_consumed_(batch.size());
+  }
   return more;
 }
 
@@ -109,6 +116,19 @@ void ChannelServer::PeerDispatch::Drain() {
 // One decoded frame for any peer kind. Runs on the peer's dispatch entity
 // (event-loop mode) or reader thread (threaded mode) — never the epoll loop.
 void ChannelServer::DispatchPeerFrame(Peer& peer, Frame frame) {
+  if (peer.is_mux) {
+    // Mux parent frames never reach here: kMuxOpen is handled on a dedicated
+    // thread (see SetupMuxPeer) and everything else routes to a stream.
+    return;
+  }
+  if (peer.is_member) {
+    // A mux reply stream: kResponse (etc.) frames take the member-frame
+    // route — same handler as the control channel, different wire.
+    if (on_member_ != nullptr) {
+      on_member_(peer.member_id, std::move(frame));
+    }
+    return;
+  }
   if (peer.is_client) {
     if (frame.type != FrameType::kRequest) {
       return;
@@ -267,6 +287,10 @@ void ChannelServer::SetupPeer(Socket socket) {
   // historical path), a membership join, or an inbound migration session.
   if (first->type == FrameType::kJoin) {
     SetupMember(std::move(socket), std::move(carry), *first);
+    return;
+  }
+  if (first->type == FrameType::kMuxHello) {
+    SetupMuxPeer(std::move(socket), std::move(carry), *first);
     return;
   }
   if (first->type == FrameType::kMigrateBegin) {
@@ -435,6 +459,199 @@ void ChannelServer::SetupMember(Socket socket, FrameDecoder carry,
   (void)conn->Send(frame.buffer());
 }
 
+void ChannelServer::SetupMuxPeer(Socket socket, FrameDecoder carry,
+                                 const Frame& first) {
+  auto hello = MuxHelloMsg::Decode(first.payload);
+  MuxHelloAckMsg ack;
+  if (!hello.ok()) {
+    ack.message = "malformed mux hello";
+  } else if (hello->protocol != kProtocolVersionMux) {
+    ack.message = "protocol version mismatch";
+  } else if (options_.mode != NetMode::kEventLoop) {
+    ack.message = "mux requires event-loop mode";
+  } else {
+    ack.accepted = true;
+    ack.window = options_.mux_stream_window;
+  }
+  Status sent =
+      WriteFrameBlocking(socket, FrameType::kMuxHelloAck, ack.Encode());
+  if (!sent.ok() || !ack.accepted) {
+    return;
+  }
+  socket.SetRecvTimeout(0);
+  auto peer = std::make_shared<Peer>();
+  peer->is_mux = true;
+  Peer* raw = peer.get();
+  Connection::Options copts;
+  // Many streams share this socket's staging buffer; fairness comes from the
+  // per-stream credit windows, not this bound.
+  copts.send_queue_frames = std::max<size_t>(options_.send_queue_frames, 256);
+  copts.loop = loop_;
+  copts.mux_frames = true;
+  std::weak_ptr<Peer> weak = peer;
+  peer->conn = std::make_unique<Connection>(
+      std::move(socket), copts,
+      [this, raw, weak](Frame frame) {
+        if (frame.type == FrameType::kMuxOpen) {
+          // Opens run on a short-lived dedicated thread, NEVER the shared
+          // executor: the opener on the other end may itself be an executor
+          // task blocking on the ack, and on a small pool the two would
+          // starve each other (the same rule that puts per-channel
+          // handshakes on setup threads). ClosePeer waits these out via
+          // mux_opens_inflight; the shared_ptr keeps the peer alive for the
+          // thread's tail.
+          auto sp = weak.lock();
+          if (sp == nullptr) {
+            return;
+          }
+          {
+            std::lock_guard<std::mutex> lock(sp->mux_mu);
+            ++sp->mux_opens_inflight;
+          }
+          std::thread([this, sp, f = std::move(frame)]() mutable {
+            {
+              // SetupMuxPeer may still be between constructing the
+              // Connection (which registered with the loop and delivered
+              // this very frame) and storing it into sp->conn — wait for
+              // the assignment before HandleMuxOpen dereferences it.
+              std::unique_lock<std::mutex> lock(sp->mux_mu);
+              sp->mux_open_cv.wait(lock, [&] { return sp->mux_conn_ready; });
+            }
+            HandleMuxOpen(*sp, f);
+            std::lock_guard<std::mutex> lock(sp->mux_mu);
+            --sp->mux_opens_inflight;
+            sp->mux_open_cv.notify_all();
+          }).detach();
+          return;
+        }
+        RouteMuxFrame(*raw, std::move(frame));
+      },
+      [](const Status&) {
+        // A broken mux peer (sender restart) is reaped on the next Ack/Stop;
+        // the dialer's MuxPool drops it and redials.
+      },
+      std::move(carry));
+  {
+    std::lock_guard<std::mutex> lock(peer->mux_mu);
+    peer->mux_conn_ready = true;
+  }
+  peer->mux_open_cv.notify_all();
+  std::lock_guard<std::mutex> lock(peers_mutex_);
+  if (!running_.load(std::memory_order_acquire)) {
+    ClosePeer(*peer);
+    return;
+  }
+  ReapBrokenPeersLocked();
+  peers_.push_back(std::move(peer));
+}
+
+// Loop thread: every non-open frame of a mux connection lands here and
+// routes to its stream's own dispatch entity. Frames for an unknown stream
+// are dropped — the sender only transmits after its open-ack, so these are
+// stale post-supersede frames that the reopen's watermark replay repairs.
+void ChannelServer::RouteMuxFrame(Peer& peer, Frame frame) {
+  std::shared_ptr<Peer> stream;
+  {
+    std::lock_guard<std::mutex> lock(peer.mux_mu);
+    auto it = peer.streams.find(frame.stream);
+    if (it != peer.streams.end()) {
+      stream = it->second;
+    }
+  }
+  if (stream == nullptr) {
+    return;
+  }
+  stream->dispatch->PushFrame(std::move(frame));
+}
+
+// Dedicated open thread: validate the open, install the stream, ack.
+// Install-before-ack so the loop thread can route the sender's first data
+// frame (which cannot leave the client before the ack) to a live entity.
+void ChannelServer::HandleMuxOpen(Peer& peer, const Frame& frame) {
+  const uint32_t stream_id = frame.stream;
+  auto open = MuxOpenMsg::Decode(frame.payload);
+  MuxOpenAckMsg ack;
+  std::shared_ptr<Peer> stream;
+  if (!open.ok()) {
+    ack.message = "malformed mux open";
+  } else if (open->kind == kMuxStreamData) {
+    Handshake hs;
+    hs.deployment_id = open->deployment_id;
+    hs.source_task = open->source_task;
+    hs.source_instance = open->source_instance;
+    hs.entry = open->entry;
+    hs.emit_clock = open->emit_clock;
+    if (on_handshake_ == nullptr) {
+      ack.message = "no handshake handler";
+    } else {
+      auto watermark = on_handshake_(hs);
+      if (watermark.ok()) {
+        ack.accepted = true;
+        ack.acked_ts = *watermark;
+        stream = std::make_shared<Peer>();
+        stream->handshake = std::move(hs);
+      } else {
+        ack.message = std::string(watermark.status().message());
+      }
+    }
+  } else if (open->kind == kMuxStreamReply) {
+    if (on_member_ == nullptr) {
+      ack.message = "no member-frame handler";
+    } else {
+      ack.accepted = true;
+      stream = std::make_shared<Peer>();
+      stream->is_member = true;
+      stream->member_id = open->member_id;
+    }
+  } else {
+    ack.message = "unknown stream kind";
+  }
+  if (stream != nullptr) {
+    ack.window = options_.mux_stream_window;
+    stream->mux_stream = stream_id;
+    Peer* raw_stream = stream.get();
+    Connection* conn = peer.conn.get();
+    const uint32_t grant_at =
+        std::max<uint32_t>(1, options_.mux_stream_window / 2);
+    // Credit grants ride the consumed-frames hook: once the entity has
+    // dispatched half a window, hand the credits back. Blocking send — a
+    // lost grant would wedge the sender for good (unlike a lost ack, which
+    // the next open's watermark repairs).
+    auto grant = [raw_stream, conn, stream_id, grant_at](size_t n) {
+      raw_stream->mux_consumed += static_cast<uint32_t>(n);
+      if (raw_stream->mux_consumed >= grant_at) {
+        MuxWindowMsg msg;
+        msg.credits = raw_stream->mux_consumed;
+        raw_stream->mux_consumed = 0;
+        (void)conn->SendFrame(FrameType::kMuxWindow, stream_id, msg.Encode());
+      }
+    };
+    stream->dispatch = std::make_unique<PeerDispatch>(
+        this, raw_stream, executor_, /*wire_pause=*/false, std::move(grant));
+    std::lock_guard<std::mutex> lock(peer.mux_mu);
+    if (stream->is_member == false) {
+      // A reopened channel identity (migration flip, sender-side redial on
+      // the same socket) supersedes the old stream: stop routing to it, but
+      // keep it alive until ClosePeer for in-flight slices.
+      for (auto it = peer.streams.begin(); it != peer.streams.end();) {
+        const auto& old = *it->second;
+        if (!old.is_member &&
+            old.handshake.source_task == stream->handshake.source_task &&
+            old.handshake.source_instance ==
+                stream->handshake.source_instance &&
+            old.handshake.entry == stream->handshake.entry) {
+          peer.retired_streams.push_back(std::move(it->second));
+          it = peer.streams.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    peer.streams[stream_id] = std::move(stream);
+  }
+  (void)peer.conn->SendFrame(FrameType::kMuxOpenAck, stream_id, ack.Encode());
+}
+
 void ChannelServer::SetupServePeer(Socket socket, FrameDecoder carry,
                                    Frame first) {
   auto peer = std::make_shared<Peer>();
@@ -530,6 +747,30 @@ void ChannelServer::ClosePeer(Peer& peer) {
   if (peer.dispatch != nullptr) {
     peer.dispatch->Drain();
   }
+  if (peer.is_mux) {
+    std::vector<std::shared_ptr<Peer>> streams;
+    {
+      // In-flight open handlers (dedicated threads) finish before the stream
+      // sweep: they insert into `streams` and use this ChannelServer, so
+      // Stop must not return from under them.
+      std::unique_lock<std::mutex> lock(peer.mux_mu);
+      peer.mux_open_cv.wait(lock,
+                            [&] { return peer.mux_opens_inflight == 0; });
+      for (auto& [id, stream] : peer.streams) {
+        streams.push_back(std::move(stream));
+      }
+      peer.streams.clear();
+      for (auto& stream : peer.retired_streams) {
+        streams.push_back(std::move(stream));
+      }
+      peer.retired_streams.clear();
+    }
+    for (auto& stream : streams) {
+      if (stream->dispatch != nullptr) {
+        stream->dispatch->Drain();
+      }
+    }
+  }
 }
 
 void ChannelServer::ReapBrokenPeersLocked() {
@@ -556,6 +797,23 @@ void ChannelServer::Ack(uint64_t watermark) {
     if (peer->is_member) {
       continue;
     }
+    if (peer->is_mux) {
+      // Coalesce: one frame carries every data stream's watermark.
+      MuxAckBatchMsg batch;
+      {
+        std::lock_guard<std::mutex> mux_lock(peer->mux_mu);
+        for (auto& [id, stream] : peer->streams) {
+          if (!stream->is_member) {
+            batch.entries.push_back({id, watermark});
+          }
+        }
+      }
+      if (!batch.entries.empty()) {
+        (void)peer->conn->TrySendFrame(FrameType::kMuxAckBatch, 0,
+                                       batch.Encode());
+      }
+      continue;
+    }
     // Best-effort: a dropped ack is repaired by the watermark in the next
     // handshake, so never block the checkpoint path on a wedged peer.
     (void)peer->conn->TrySend(bytes);
@@ -564,20 +822,62 @@ void ChannelServer::Ack(uint64_t watermark) {
 
 void ChannelServer::AckSource(uint32_t source_task, uint32_t source_instance,
                               uint64_t watermark) {
-  AckMsg msg;
-  msg.acked_ts = watermark;
-  auto payload = msg.Encode();
-  BinaryWriter frame;
-  EncodeFrame(frame, FrameType::kAck, payload.data(), payload.size());
-  const std::vector<uint8_t>& bytes = frame.buffer();
+  AckSources({{source_task, source_instance, watermark}});
+}
+
+void ChannelServer::AckSources(const std::vector<SourceAck>& acks) {
+  if (acks.empty()) {
+    return;
+  }
+  // Pre-encode one kAck frame per source for the per-channel peers.
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(acks.size());
+  for (const auto& ack : acks) {
+    AckMsg msg;
+    msg.acked_ts = ack.watermark;
+    auto payload = msg.Encode();
+    BinaryWriter frame;
+    EncodeFrame(frame, FrameType::kAck, payload.data(), payload.size());
+    frames.push_back(frame.buffer());
+  }
   std::lock_guard<std::mutex> lock(peers_mutex_);
   ReapBrokenPeersLocked();
   for (auto& peer : peers_) {
-    if (peer->is_member || peer->handshake.source_task != source_task ||
-        peer->handshake.source_instance != source_instance) {
+    if (peer->is_member) {
       continue;
     }
-    (void)peer->conn->TrySend(bytes);
+    if (peer->is_mux) {
+      // One coalesced frame per peer: every stream matching any acked
+      // source gets its watermark in the same kMuxAckBatch.
+      MuxAckBatchMsg batch;
+      {
+        std::lock_guard<std::mutex> mux_lock(peer->mux_mu);
+        for (auto& [id, stream] : peer->streams) {
+          if (stream->is_member) {
+            continue;
+          }
+          for (const auto& ack : acks) {
+            if (stream->handshake.source_task == ack.source_task &&
+                stream->handshake.source_instance == ack.source_instance) {
+              batch.entries.push_back({id, ack.watermark});
+              break;
+            }
+          }
+        }
+      }
+      if (!batch.entries.empty()) {
+        (void)peer->conn->TrySendFrame(FrameType::kMuxAckBatch, 0,
+                                       batch.Encode());
+      }
+      continue;
+    }
+    for (size_t i = 0; i < acks.size(); ++i) {
+      if (peer->handshake.source_task == acks[i].source_task &&
+          peer->handshake.source_instance == acks[i].source_instance) {
+        (void)peer->conn->TrySend(frames[i]);
+        break;  // a channel carries exactly one source
+      }
+    }
   }
 }
 

@@ -33,6 +33,7 @@
 #include <deque>
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,6 +61,11 @@ struct ChannelServerOptions {
   // Event-loop mode collaborators; nullptr = the process-wide shared ones.
   runtime::Executor* executor = nullptr;
   EventLoop* loop = nullptr;
+  // Initial flow-control window (frames in flight) granted to each logical
+  // stream of a multiplexed peer. Bounds per-stream backlog on this side —
+  // mux streams never pause the shared socket's read interest, so the
+  // window is the only thing keeping a hot stream's frames from piling up.
+  uint32_t mux_stream_window = 64;
 };
 
 class ChannelServer : private EventLoop::Handler {
@@ -116,9 +122,19 @@ class ChannelServer : private EventLoop::Handler {
 
   // Acks only the senders whose handshake matches (source_task,
   // source_instance) — per-partition watermark spaces stay independent when
-  // each partition rides its own channel.
+  // each partition rides its own channel (or its own mux stream).
   void AckSource(uint32_t source_task, uint32_t source_instance,
                  uint64_t watermark);
+
+  // Batch variant: one call per checkpoint instead of one per source. For a
+  // multiplexed peer every matching stream's watermark is coalesced into a
+  // single kMuxAckBatch frame; per-channel peers get individual kAcks.
+  struct SourceAck {
+    uint32_t source_task = 0;
+    uint32_t source_instance = 0;
+    uint64_t watermark = 0;
+  };
+  void AckSources(const std::vector<SourceAck>& acks);
 
   // Sends one control frame on a joined member's channel; false when the
   // member is unknown or its channel is broken/backed up.
@@ -156,8 +172,15 @@ class ChannelServer : private EventLoop::Handler {
   // read interest; draining below kResumeFrames resumes it.
   class PeerDispatch : public runtime::Schedulable {
    public:
+    // `wire_pause`: whether a deep backlog drops the socket's read interest.
+    // Off for mux streams — many streams share one socket, so one slow
+    // stream must not stop its siblings' reads; the per-stream credit
+    // window bounds the backlog instead. `on_consumed` (may be null) runs
+    // after each slice with the number of frames it dispatched — the mux
+    // credit-grant hook.
     PeerDispatch(ChannelServer* server, Peer* peer,
-                 runtime::Executor* executor);
+                 runtime::Executor* executor, bool wire_pause = true,
+                 std::function<void(size_t)> on_consumed = nullptr);
     // Published after the Connection exists (frames can already be arriving
     // by then — pause/resume is just skipped until the pointer lands).
     void SetConnection(Connection* conn) {
@@ -181,6 +204,8 @@ class ChannelServer : private EventLoop::Handler {
 
     ChannelServer* const server_;
     Peer* const peer_;
+    const bool wire_pause_;
+    const std::function<void(size_t)> on_consumed_;
     std::atomic<Connection*> conn_{nullptr};
     std::mutex mu_;
     std::deque<Frame> frames_;
@@ -194,7 +219,9 @@ class ChannelServer : private EventLoop::Handler {
     std::unique_ptr<PeerDispatch> dispatch;  // event-loop mode only
     std::unique_ptr<Connection> conn;
     // Membership channel (kJoin) peers carry no data handshake; their frames
-    // route to on_member_ instead of the batch path.
+    // route to on_member_ instead of the batch path. Also set on a mux reply
+    // stream (kind kMuxStreamReply) so its kResponse frames take the same
+    // route — off the member control connection, same handler.
     bool is_member = false;
     uint32_t member_id = 0;
     // Serve-path roles (first frame kRequest / kReplicaSubscribe).
@@ -202,6 +229,27 @@ class ChannelServer : private EventLoop::Handler {
     uint64_t client_id = 0;
     bool is_feed = false;
     ReplicaSubscribeMsg subscribe;
+    // Mux parent (first frame kMuxHello): one shared socket carrying many
+    // logical streams. Each stream is a child Peer (conn == nullptr, framed
+    // through the parent) with its own dispatch entity and credit window.
+    // kMuxOpen is handled on a short-lived dedicated thread — never the
+    // shared executor, whose workers may be the very tasks blocking on the
+    // open-ack; ClosePeer waits out in-flight handlers via the counter.
+    bool is_mux = false;
+    std::mutex mux_mu;  // guards streams/retired_streams/opens_inflight
+    // The Connection constructor registers with the loop, so frames (and the
+    // open threads they spawn) can race the `conn` member assignment in
+    // SetupMuxPeer; open threads wait for this flag before touching conn.
+    bool mux_conn_ready = false;
+    uint32_t mux_opens_inflight = 0;
+    std::condition_variable mux_open_cv;
+    std::map<uint32_t, std::shared_ptr<Peer>> streams;
+    // Superseded streams (a reopened channel identity): no longer routed to,
+    // but kept alive until ClosePeer so in-flight dispatch slices stay safe.
+    std::vector<std::shared_ptr<Peer>> retired_streams;
+    // Child-stream fields.
+    uint32_t mux_stream = 0;
+    uint32_t mux_consumed = 0;  // frames consumed since the last credit grant
   };
 
   // Event-loop mode: listener readiness (accept until EAGAIN).
@@ -219,6 +267,14 @@ class ChannelServer : private EventLoop::Handler {
 
   // Installs a freshly joined member peer; runs on the setup thread.
   void SetupMember(Socket socket, FrameDecoder carry, const Frame& first);
+  // Runs the hello exchange and installs a mux parent peer (setup thread).
+  void SetupMuxPeer(Socket socket, FrameDecoder carry, const Frame& first);
+  // Loop thread: routes one frame of a mux connection to its stream's
+  // dispatch entity (kMuxOpen goes to the parent's control entity).
+  void RouteMuxFrame(Peer& peer, Frame frame);
+  // Control entity (executor): validates a stream open, installs the child
+  // stream Peer, replies with the open-ack carrying watermark + window.
+  void HandleMuxOpen(Peer& peer, const Frame& frame);
   // Installs a client or replica-feed peer; runs on the setup thread. The
   // first frame is re-dispatched through the peer's normal frame path so it
   // keeps wire order with whatever the carry decoder already buffered.

@@ -9,6 +9,11 @@ namespace {
 // Bound on the Close() drain wait. A healthy link flushes a full send buffer
 // in far less; a peer that stopped reading should not wedge shutdown.
 constexpr auto kCloseDrainDeadline = std::chrono::seconds(5);
+
+// Iovec segments per writev batch (each staged frame contributes up to two:
+// inline header + payload). Well under IOV_MAX; the flush loop keeps going
+// while the kernel accepts bytes, so this only chunks a very deep queue.
+constexpr int kMaxIovSegments = 64;
 }  // namespace
 
 Connection::Connection(Socket socket, Options options, FrameFn on_frame,
@@ -23,6 +28,9 @@ Connection::Connection(Socket socket, Options options, FrameFn on_frame,
                                                 : options.read_buffer_bytes),
       send_queue_(options.send_queue_frames < 1 ? 1
                                                 : options.send_queue_frames) {
+  if (options_.mux_frames) {
+    decoder_.EnableMux();
+  }
   if (options_.loop != nullptr) {
     Status s = socket_.SetNonBlocking(true);
     if (s.ok()) {
@@ -40,28 +48,48 @@ Connection::Connection(Socket socket, Options options, FrameFn on_frame,
 
 Connection::~Connection() { Close(); }
 
+bool Connection::EnqueueLocked(std::unique_lock<std::mutex>& lock,
+                               SendEntry entry, bool may_block) {
+  if (may_block) {
+    send_cv_.wait(lock, [&] {
+      return send_q_.size() < options_.send_queue_frames ||
+             broken_.load(std::memory_order_acquire) ||
+             closed_.load(std::memory_order_acquire);
+    });
+  }
+  if (send_q_.size() >= options_.send_queue_frames ||
+      broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (entry.size() == 0) {
+    return true;  // nothing to put on the wire
+  }
+  send_q_.push_back(std::move(entry));
+  // Inline flush from the caller's thread: on an idle socket the frame goes
+  // straight to the kernel with no epoll round-trip (the small-batch latency
+  // win). If EPOLLOUT is already armed the loop thread owns the drain.
+  if (!write_armed_) {
+    if (!FlushLocked(lock)) {
+      return false;  // lock released, Fail() ran
+    }
+    // The flush may have freed queue slots with EPOLLOUT left unarmed — wake
+    // senders blocked on capacity or OnWritable would never do it for them.
+    send_cv_.notify_all();
+  }
+  return true;
+}
+
 bool Connection::Send(std::vector<uint8_t> frame_bytes) {
   if (broken_.load(std::memory_order_acquire) ||
       closed_.load(std::memory_order_acquire)) {
     return false;
   }
   if (options_.loop != nullptr) {
+    SendEntry entry;
+    entry.payload = std::move(frame_bytes);
     std::unique_lock<std::mutex> lock(send_mu_);
-    send_cv_.wait(lock, [&] {
-      return send_q_.size() < options_.send_queue_frames ||
-             broken_.load(std::memory_order_acquire) ||
-             closed_.load(std::memory_order_acquire);
-    });
-    if (broken_.load(std::memory_order_acquire) ||
-        closed_.load(std::memory_order_acquire)) {
-      return false;
-    }
-    send_q_.push_back(std::move(frame_bytes));
-    if (!write_armed_) {
-      write_armed_ = true;
-      options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/true);
-    }
-    return true;
+    return EnqueueLocked(lock, std::move(entry), /*may_block=*/true);
   }
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -82,18 +110,10 @@ bool Connection::TrySend(const std::vector<uint8_t>& frame_bytes) {
     return false;
   }
   if (options_.loop != nullptr) {
-    std::lock_guard<std::mutex> lock(send_mu_);
-    if (send_q_.size() >= options_.send_queue_frames ||
-        broken_.load(std::memory_order_acquire) ||
-        closed_.load(std::memory_order_acquire)) {
-      return false;
-    }
-    send_q_.push_back(frame_bytes);
-    if (!write_armed_) {
-      write_armed_ = true;
-      options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/true);
-    }
-    return true;
+    SendEntry entry;
+    entry.payload = frame_bytes;
+    std::unique_lock<std::mutex> lock(send_mu_);
+    return EnqueueLocked(lock, std::move(entry), /*may_block=*/false);
   }
   {
     std::lock_guard<std::mutex> lock(flush_mu_);
@@ -106,6 +126,55 @@ bool Connection::TrySend(const std::vector<uint8_t>& frame_bytes) {
     return false;
   }
   return true;
+}
+
+bool Connection::SendFrame(FrameType type, uint32_t stream,
+                           std::vector<uint8_t> payload) {
+  if (broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (options_.loop != nullptr) {
+    SendEntry entry;
+    entry.header_len = static_cast<uint8_t>(EncodeFrameHeader(
+        entry.header, type, stream, payload.size(), options_.mux_frames));
+    entry.payload = std::move(payload);
+    std::unique_lock<std::mutex> lock(send_mu_);
+    return EnqueueLocked(lock, std::move(entry), /*may_block=*/true);
+  }
+  // Threaded mode keeps the copy-per-frame baseline path.
+  uint8_t header[16];
+  size_t hl =
+      EncodeFrameHeader(header, type, stream, payload.size(), options_.mux_frames);
+  std::vector<uint8_t> bytes;
+  bytes.reserve(hl + payload.size());
+  bytes.insert(bytes.end(), header, header + hl);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return Send(std::move(bytes));
+}
+
+bool Connection::TrySendFrame(FrameType type, uint32_t stream,
+                              const std::vector<uint8_t>& payload) {
+  if (broken_.load(std::memory_order_acquire) ||
+      closed_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (options_.loop != nullptr) {
+    SendEntry entry;
+    entry.header_len = static_cast<uint8_t>(EncodeFrameHeader(
+        entry.header, type, stream, payload.size(), options_.mux_frames));
+    entry.payload = payload;
+    std::unique_lock<std::mutex> lock(send_mu_);
+    return EnqueueLocked(lock, std::move(entry), /*may_block=*/false);
+  }
+  uint8_t header[16];
+  size_t hl =
+      EncodeFrameHeader(header, type, stream, payload.size(), options_.mux_frames);
+  std::vector<uint8_t> bytes;
+  bytes.reserve(hl + payload.size());
+  bytes.insert(bytes.end(), header, header + hl);
+  bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return TrySend(bytes);
 }
 
 void Connection::SetReadInterest(bool want_read) {
@@ -185,29 +254,61 @@ void Connection::OnReadable() {
   }
 }
 
-void Connection::OnWritable() {
-  std::unique_lock<std::mutex> lock(send_mu_);
+bool Connection::FlushLocked(std::unique_lock<std::mutex>& lock) {
   while (!send_q_.empty()) {
-    const auto& front = send_q_.front();
-    auto n = socket_.TryWrite(front.data() + send_offset_,
-                              front.size() - send_offset_);
+    // Gather the queue head into one iovec batch: header and payload of each
+    // staged frame by reference, the partially-written front offset skipped.
+    struct iovec iov[kMaxIovSegments];
+    int iovcnt = 0;
+    size_t skip = send_offset_;
+    for (const SendEntry& e : send_q_) {
+      if (iovcnt + 2 > kMaxIovSegments) {
+        break;
+      }
+      if (skip < e.header_len) {
+        iov[iovcnt].iov_base = const_cast<uint8_t*>(e.header) + skip;
+        iov[iovcnt].iov_len = e.header_len - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= e.header_len;
+      }
+      if (skip < e.payload.size()) {
+        iov[iovcnt].iov_base = const_cast<uint8_t*>(e.payload.data()) + skip;
+        iov[iovcnt].iov_len = e.payload.size() - skip;
+        ++iovcnt;
+        skip = 0;
+      } else {
+        skip -= e.payload.size();
+      }
+    }
+    auto n = socket_.TryWritev(iov, iovcnt);
     if (!n.ok()) {
       lock.unlock();
       Fail(n.status());
-      return;
+      return false;
     }
     if (*n == 0) {
-      return;  // kernel buffer full; EPOLLOUT stays armed
+      break;  // kernel buffer full; leave the residual for EPOLLOUT
     }
     send_offset_ += *n;
-    if (send_offset_ == front.size()) {
+    while (!send_q_.empty() && send_offset_ >= send_q_.front().size()) {
+      send_offset_ -= send_q_.front().size();
       send_q_.pop_front();
-      send_offset_ = 0;
     }
   }
-  if (write_armed_) {
-    write_armed_ = false;
-    options_.loop->UpdateEvents(fd_, want_read_, /*want_write=*/false);
+  const bool want_write = !send_q_.empty();
+  if (write_armed_ != want_write) {
+    write_armed_ = want_write;
+    options_.loop->UpdateEvents(fd_, want_read_, want_write);
+  }
+  return true;
+}
+
+void Connection::OnWritable() {
+  std::unique_lock<std::mutex> lock(send_mu_);
+  if (!FlushLocked(lock)) {
+    return;  // lock released, Fail() ran
   }
   lock.unlock();
   send_cv_.notify_all();

@@ -5,9 +5,12 @@
 //  - Event-loop mode (loop != nullptr, the default deployment path): the
 //    socket is nonblocking and registered on a shared epoll loop. Reads feed
 //    the FrameDecoder and dispatch complete frames from the loop thread;
-//    writes drain a bounded send deque on EPOLLOUT, armed only while frames
-//    are pending. No threads are owned — a process with hundreds of
-//    connections pays for one IO thread total.
+//    writes stage as {inline header, payload ref} entries in a bounded deque
+//    and flush as scatter-gather writev batches — SendFrame never copies the
+//    payload into a contiguous frame. The sender's own thread flushes
+//    inline when the kernel buffer has room (no epoll round-trip on an idle
+//    socket); EPOLLOUT is armed only for the residual. No threads are owned —
+//    a process with hundreds of connections pays for one IO thread total.
 //
 //  - Threaded mode (loop == nullptr, kept as the measured baseline and for
 //    callers that want blocking isolation): a writer thread drains a BOUNDED
@@ -59,6 +62,10 @@ class Connection : private EventLoop::Handler {
     size_t read_buffer_bytes = 64 * 1024;
     // Event loop driving the socket; nullptr selects threaded mode.
     EventLoop* loop = nullptr;
+    // Multiplexed framing: 13-byte headers carrying a stream id (protocol
+    // v2). Both ends must agree — negotiated by the kMuxHello exchange
+    // before the Connection is constructed (see mux.h).
+    bool mux_frames = false;
   };
 
   // Called one complete frame at a time — from the loop thread in event-loop
@@ -86,6 +93,18 @@ class Connection : private EventLoop::Handler {
   // Non-blocking variant for best-effort traffic (acks): false when the
   // buffer is full, broken, or closed. Never waits.
   bool TrySend(const std::vector<uint8_t>& frame_bytes);
+
+  // Zero-copy framed send: encodes the (9- or 13-byte, per Options::
+  // mux_frames) header inline in the queue entry and stages the payload by
+  // move — the flush path gathers header+payload straight into writev, so
+  // the payload bytes are never copied again. Blocking/backpressure contract
+  // matches Send. `stream` is ignored unless mux_frames.
+  bool SendFrame(FrameType type, uint32_t stream,
+                 std::vector<uint8_t> payload);
+
+  // Non-blocking framed send (best-effort traffic): contract of TrySend.
+  bool TrySendFrame(FrameType type, uint32_t stream,
+                    const std::vector<uint8_t>& payload);
 
   // Pauses/resumes read-side dispatch (event-loop mode only; no-op in
   // threaded mode). While paused the kernel receive buffer fills and TCP
@@ -142,9 +161,25 @@ class Connection : private EventLoop::Handler {
   size_t pending_frames_ = 0;
 
   // --- event-loop mode ---
+  // One staged frame: a small inline header (encoded at enqueue time) plus
+  // the payload by reference. The flush path gathers both into an iovec
+  // batch, so payload bytes are written straight from here — no recopy.
+  struct SendEntry {
+    uint8_t header[16] = {};
+    uint8_t header_len = 0;  // 0: payload already holds a whole encoded frame
+    std::vector<uint8_t> payload;
+    size_t size() const { return header_len + payload.size(); }
+  };
+  bool EnqueueLocked(std::unique_lock<std::mutex>& lock, SendEntry entry,
+                     bool may_block);
+  // Drains as much of send_q_ as the kernel accepts via writev, then
+  // arms/disarms EPOLLOUT to match the residual. On socket error releases
+  // `lock`, runs Fail(), and returns false.
+  bool FlushLocked(std::unique_lock<std::mutex>& lock);
+
   std::mutex send_mu_;
   std::condition_variable send_cv_;
-  std::deque<std::vector<uint8_t>> send_q_;
+  std::deque<SendEntry> send_q_;
   size_t send_offset_ = 0;     // bytes of send_q_.front() already written
   bool write_armed_ = false;   // EPOLLOUT currently requested
   bool want_read_ = true;      // EPOLLIN currently requested

@@ -29,6 +29,29 @@ void EncodeFrame(BinaryWriter& w, FrameType type, const uint8_t* payload,
   w.WriteBytes(payload, size);
 }
 
+void EncodeMuxFrame(BinaryWriter& w, FrameType type, uint32_t stream,
+                    const uint8_t* payload, size_t size) {
+  w.Write<uint32_t>(kFrameMagic);
+  w.Write<uint8_t>(static_cast<uint8_t>(type));
+  w.Write<uint32_t>(stream);
+  w.Write<uint32_t>(static_cast<uint32_t>(size));
+  w.WriteBytes(payload, size);
+}
+
+size_t EncodeFrameHeader(uint8_t* out, FrameType type, uint32_t stream,
+                         size_t payload_size, bool mux) {
+  const uint32_t length = static_cast<uint32_t>(payload_size);
+  std::memcpy(out, &kFrameMagic, 4);
+  out[4] = static_cast<uint8_t>(type);
+  if (mux) {
+    std::memcpy(out + 5, &stream, 4);
+    std::memcpy(out + 9, &length, 4);
+    return kMuxFrameHeaderBytes;
+  }
+  std::memcpy(out + 5, &length, 4);
+  return kFrameHeaderBytes;
+}
+
 void FrameDecoder::Feed(const uint8_t* data, size_t size) {
   // Compact lazily: only when the consumed prefix dominates the buffer, so
   // steady-state feeding does not memmove per frame.
@@ -44,8 +67,9 @@ Result<bool> FrameDecoder::Next(Frame* out) {
   if (!poisoned_.ok()) {
     return poisoned_;
   }
+  const size_t header_bytes = mux_ ? kMuxFrameHeaderBytes : kFrameHeaderBytes;
   const size_t avail = buffer_.size() - consumed_;
-  if (avail < kFrameHeaderBytes) {
+  if (avail < header_bytes) {
     return false;
   }
   const uint8_t* p = buffer_.data() + consumed_;
@@ -56,8 +80,14 @@ Result<bool> FrameDecoder::Next(Frame* out) {
     return poisoned_;
   }
   const uint8_t type = p[4];
+  uint32_t stream = 0;
   uint32_t length;
-  std::memcpy(&length, p + 5, sizeof(length));
+  if (mux_) {
+    std::memcpy(&stream, p + 5, sizeof(stream));
+    std::memcpy(&length, p + 9, sizeof(length));
+  } else {
+    std::memcpy(&length, p + 5, sizeof(length));
+  }
   if (length > kMaxFramePayload) {
     poisoned_ = FrameError("frame payload length " + std::to_string(length) +
                            " exceeds limit");
@@ -68,12 +98,13 @@ Result<bool> FrameDecoder::Next(Frame* out) {
     poisoned_ = FrameError("unknown frame type " + std::to_string(type));
     return poisoned_;
   }
-  if (avail < kFrameHeaderBytes + length) {
+  if (avail < header_bytes + length) {
     return false;  // payload still in flight
   }
   out->type = static_cast<FrameType>(type);
-  out->payload.assign(p + kFrameHeaderBytes, p + kFrameHeaderBytes + length);
-  consumed_ += kFrameHeaderBytes + length;
+  out->stream = stream;
+  out->payload.assign(p + header_bytes, p + header_bytes + length);
+  consumed_ += header_bytes + length;
   return true;
 }
 
@@ -426,6 +457,133 @@ Result<ReplicaEpochMsg> ReplicaEpochMsg::Decode(
     m.chunks.push_back(std::move(c));
   }
   SDG_RETURN_IF_ERROR(RequireAtEnd(r, "replica-epoch"));
+  return m;
+}
+
+// --- Mux messages -------------------------------------------------------------
+
+std::vector<uint8_t> MuxHelloMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(protocol);
+  w.Write<uint64_t>(deployment_id);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxHelloMsg> MuxHelloMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxHelloMsg m;
+  SDG_ASSIGN_OR_RETURN(m.protocol, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.deployment_id, r.Read<uint64_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-hello"));
+  return m;
+}
+
+std::vector<uint8_t> MuxHelloAckMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(accepted ? 1 : 0);
+  w.Write<uint32_t>(window);
+  w.WriteString(message);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxHelloAckMsg> MuxHelloAckMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxHelloAckMsg m;
+  SDG_ASSIGN_OR_RETURN(uint8_t accepted, r.Read<uint8_t>());
+  m.accepted = accepted != 0;
+  SDG_ASSIGN_OR_RETURN(m.window, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.message, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-hello-ack"));
+  return m;
+}
+
+std::vector<uint8_t> MuxOpenMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(kind);
+  w.Write<uint64_t>(deployment_id);
+  w.Write<uint32_t>(member_id);
+  w.Write<uint32_t>(source_task);
+  w.Write<uint32_t>(source_instance);
+  w.WriteString(entry);
+  w.Write<uint64_t>(emit_clock);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxOpenMsg> MuxOpenMsg::Decode(const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxOpenMsg m;
+  SDG_ASSIGN_OR_RETURN(m.kind, r.Read<uint8_t>());
+  SDG_ASSIGN_OR_RETURN(m.deployment_id, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.member_id, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.source_task, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.source_instance, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.entry, r.ReadString());
+  SDG_ASSIGN_OR_RETURN(m.emit_clock, r.Read<uint64_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-open"));
+  return m;
+}
+
+std::vector<uint8_t> MuxOpenAckMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint8_t>(accepted ? 1 : 0);
+  w.Write<uint64_t>(acked_ts);
+  w.Write<uint32_t>(window);
+  w.WriteString(message);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxOpenAckMsg> MuxOpenAckMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxOpenAckMsg m;
+  SDG_ASSIGN_OR_RETURN(uint8_t accepted, r.Read<uint8_t>());
+  m.accepted = accepted != 0;
+  SDG_ASSIGN_OR_RETURN(m.acked_ts, r.Read<uint64_t>());
+  SDG_ASSIGN_OR_RETURN(m.window, r.Read<uint32_t>());
+  SDG_ASSIGN_OR_RETURN(m.message, r.ReadString());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-open-ack"));
+  return m;
+}
+
+std::vector<uint8_t> MuxWindowMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(credits);
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxWindowMsg> MuxWindowMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxWindowMsg m;
+  SDG_ASSIGN_OR_RETURN(m.credits, r.Read<uint32_t>());
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-window"));
+  return m;
+}
+
+std::vector<uint8_t> MuxAckBatchMsg::Encode() const {
+  BinaryWriter w;
+  w.Write<uint32_t>(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.Write<uint32_t>(e.stream);
+    w.Write<uint64_t>(e.acked_ts);
+  }
+  return std::move(w).TakeBuffer();
+}
+
+Result<MuxAckBatchMsg> MuxAckBatchMsg::Decode(
+    const std::vector<uint8_t>& payload) {
+  BinaryReader r(payload);
+  MuxAckBatchMsg m;
+  SDG_ASSIGN_OR_RETURN(uint32_t n, r.Read<uint32_t>());
+  m.entries.reserve(std::min<size_t>(n, r.remaining()));
+  for (uint32_t i = 0; i < n; ++i) {
+    Entry e;
+    SDG_ASSIGN_OR_RETURN(e.stream, r.Read<uint32_t>());
+    SDG_ASSIGN_OR_RETURN(e.acked_ts, r.Read<uint64_t>());
+    m.entries.push_back(e);
+  }
+  SDG_RETURN_IF_ERROR(RequireAtEnd(r, "mux-ack-batch"));
   return m;
 }
 

@@ -29,10 +29,20 @@ namespace sdg::net {
 
 inline constexpr uint32_t kFrameMagic = 0x53444746;  // "SDGF"
 inline constexpr uint32_t kProtocolVersion = 1;
+// Protocol generation that understands multiplexed framing (kMuxHello and
+// the stream-id header below). Carried in MuxHelloMsg so a mux-capable
+// dialer and an old receiver fail the hello cleanly instead of desyncing;
+// v1 per-channel framing stays accepted everywhere.
+inline constexpr uint32_t kProtocolVersionMux = 2;
 // A frame carries at most one delivery batch; 64 MiB bounds decoder memory
 // against corrupt or hostile length fields.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4;
+// Mux framing widens the header with a stream id between type and length:
+//   magic u32 | type u8 | stream u32 | length u32
+// Both sides switch to it after the kMuxHello/kMuxHelloAck exchange (which
+// itself rides v1 framing), so a connection is either all-v1 or all-mux.
+inline constexpr size_t kMuxFrameHeaderBytes = 4 + 1 + 4 + 4;
 
 enum class FrameType : uint8_t {
   kHandshake = 1,     // sender -> receiver, once per connection
@@ -64,19 +74,40 @@ enum class FrameType : uint8_t {
   // replicas (§3.2 partial state as the read-scaling path).
   kReplicaSubscribe = 14,  // worker -> gateway, once per connection
   kReplicaEpoch = 15,      // worker -> gateway: epoch announce/base/delta
+  // Multiplexed transport (one TCP socket per peer pair, many logical
+  // streams). The hello pair negotiates the switch to mux framing; every
+  // frame after it carries a stream id in the widened header.
+  kMuxHello = 16,     // dialer -> server, first frame, v1 framing
+  kMuxHelloAck = 17,  // server -> dialer, v1 framing; mux framing follows
+  kMuxOpen = 18,      // dialer -> server: open one logical stream
+  kMuxOpenAck = 19,   // server -> dialer: per-stream watermark + send window
+  kMuxWindow = 20,    // server -> dialer: flow-control credit grant
+  kMuxAckBatch = 21,  // server -> dialer: coalesced per-stream watermarks
 };
 // Highest type value FrameDecoder accepts; bump when appending frame types.
 inline constexpr uint8_t kMaxFrameType =
-    static_cast<uint8_t>(FrameType::kReplicaEpoch);
+    static_cast<uint8_t>(FrameType::kMuxAckBatch);
 
 struct Frame {
   FrameType type = FrameType::kData;
+  // Logical stream the frame belongs to (mux framing only; 0 on v1 frames).
+  uint32_t stream = 0;
   std::vector<uint8_t> payload;
 };
 
 // Appends one whole frame (header + payload) to `w`.
 void EncodeFrame(BinaryWriter& w, FrameType type, const uint8_t* payload,
                  size_t size);
+
+// Mux-framing variant: header carries the stream id.
+void EncodeMuxFrame(BinaryWriter& w, FrameType type, uint32_t stream,
+                    const uint8_t* payload, size_t size);
+
+// Writes only the header into `out` (used by the scatter-gather send path,
+// which stages header and payload as separate iovec segments). Returns the
+// header length: kFrameHeaderBytes or kMuxFrameHeaderBytes.
+size_t EncodeFrameHeader(uint8_t* out, FrameType type, uint32_t stream,
+                         size_t payload_size, bool mux);
 
 // Incremental decoder. Feed() buffers raw bytes; Next() pops the next
 // complete frame. A magic/length violation poisons the decoder (the stream
@@ -91,11 +122,18 @@ class FrameDecoder {
   // Error -> kDataLoss: bad magic, oversized length, or unknown type.
   Result<bool> Next(Frame* out);
 
+  // Switches to mux framing (13-byte headers with a stream id) for every
+  // frame not yet parsed. Called right after the hello exchange; bytes
+  // already buffered past the hello-ack are mux-framed and parse correctly.
+  void EnableMux() { mux_ = true; }
+  bool mux() const { return mux_; }
+
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
  private:
   std::vector<uint8_t> buffer_;
   size_t consumed_ = 0;
+  bool mux_ = false;
   Status poisoned_;
 };
 
@@ -327,6 +365,94 @@ struct ReplicaEpochMsg {
 
   std::vector<uint8_t> Encode() const;
   static Result<ReplicaEpochMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// --- Mux messages -------------------------------------------------------------
+
+// First frame of a multiplexed connection (v1 framing). The protocol field
+// lets a future generation renegotiate; a server that predates mux poisons
+// its decoder on the unknown type and the dialer falls back to per-channel
+// connections.
+struct MuxHelloMsg {
+  uint32_t protocol = kProtocolVersionMux;
+  uint64_t deployment_id = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxHelloMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Reply, still v1-framed; both sides switch to mux framing after it.
+// `window` is the initial per-stream send window (frames the dialer may have
+// in flight on one stream before credits are granted back).
+struct MuxHelloAckMsg {
+  bool accepted = false;
+  uint32_t window = 0;
+  std::string message;  // reject reason
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxHelloAckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Logical stream kinds. A data stream is one (entry, partition) channel: the
+// embedded handshake fields mean exactly what Handshake means on a dedicated
+// connection, and kData frames flow dialer -> server. A reply stream carries
+// kResponse frames (strong-read results) worker -> head, off the membership
+// control channel.
+inline constexpr uint8_t kMuxStreamData = 1;
+inline constexpr uint8_t kMuxStreamReply = 2;
+
+// Opens one stream. Sent on the stream's own id so the server can reply on
+// it; the dialer sends no data frames until the ack arrives.
+struct MuxOpenMsg {
+  uint8_t kind = kMuxStreamData;
+  uint64_t deployment_id = 0;
+  uint32_t member_id = 0;  // reply streams: who is answering
+  // Data streams: the channel identity (see Handshake).
+  uint32_t source_task = 0;
+  uint32_t source_instance = 0;
+  std::string entry;
+  uint64_t emit_clock = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxOpenMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Per-stream open reply: the receiver's durable watermark for the stream's
+// source (the dialer replays its log past it, exactly the HandshakeAck
+// contract) and the stream's initial send window in frames.
+struct MuxOpenAckMsg {
+  bool accepted = false;
+  uint64_t acked_ts = 0;
+  uint32_t window = 0;
+  std::string message;  // reject reason
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxOpenAckMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Flow-control credit grant: the server consumed `credits` frames of the
+// stream, so the dialer may have that many more in flight. Per-stream
+// windows are what keep one hot partition from starving its siblings on the
+// shared socket — a stream out of credits blocks only its own sender.
+struct MuxWindowMsg {
+  uint32_t credits = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxWindowMsg> Decode(const std::vector<uint8_t>& payload);
+};
+
+// Coalesced cumulative acks: one frame carries the durable watermark of
+// every stream a checkpoint covered, instead of one kAck frame per
+// (entry, partition) channel.
+struct MuxAckBatchMsg {
+  struct Entry {
+    uint32_t stream = 0;
+    uint64_t acked_ts = 0;
+  };
+  std::vector<Entry> entries;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MuxAckBatchMsg> Decode(const std::vector<uint8_t>& payload);
 };
 
 }  // namespace sdg::net

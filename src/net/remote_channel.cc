@@ -30,6 +30,19 @@ Status RemoteChannel::Connect() {
 }
 
 Status RemoteChannel::ConnectLocked() {
+  if (options_.mux != nullptr && options_.use_event_loop) {
+    Status s = ConnectMuxLocked();
+    if (s.ok()) {
+      return s;
+    }
+    stream_.reset();
+    // A peer that does not speak mux (or a transient open failure) falls
+    // back to the dedicated-socket path below.
+    SDG_LOG(kWarning) << "mux dial to " << options_.host << ":"
+                      << options_.port
+                      << " failed, falling back to per-channel socket: "
+                      << s.ToString();
+  }
   SDG_ASSIGN_OR_RETURN(Socket sock,
                        Socket::Connect(options_.host, options_.port));
   // Bound the handshake so a wedged receiver cannot pin this thread (which
@@ -82,11 +95,46 @@ Status RemoteChannel::ConnectLocked() {
       },
       std::move(carry));
 
-  // Reconnect-replay (§5): everything logged past the receiver's durable
-  // watermark goes out again, marked replayed so downstream dedup drops what
-  // actually arrived the first time.
+  return ReplayLocked(ack.acked_ts);
+}
+
+Status RemoteChannel::ConnectMuxLocked() {
+  SDG_ASSIGN_OR_RETURN(std::shared_ptr<MuxConnection> mux,
+                       options_.mux->Get(options_.host, options_.port));
+  MuxOpenMsg open;
+  open.kind = kMuxStreamData;
+  open.deployment_id = options_.deployment_id;
+  open.source_task = options_.source_task;
+  open.source_instance = options_.source_instance;
+  open.entry = options_.entry;
+  open.emit_clock = 0;
+  SDG_ASSIGN_OR_RETURN(
+      std::shared_ptr<MuxStream> stream,
+      mux->OpenStream(
+          open, [this](Frame f) { HandleFrame(std::move(f)); },
+          [this](const Status& s) {
+            SDG_LOG(kWarning)
+                << "mux stream failed: " << s.ToString();
+            StartBackgroundReconnect();
+          }));
+  // The open-ack watermark doubles as an ack that may have been lost with
+  // the previous connection — exactly the HandshakeAck contract.
+  log_->Ack(kRemoteDest, stream->acked_ts());
+  {
+    std::lock_guard<std::mutex> alock(ack_mutex_);
+    acked_watermark_ = std::max(acked_watermark_, stream->acked_ts());
+  }
+  const uint64_t acked_ts = stream->acked_ts();
+  stream_ = std::move(stream);
+  return ReplayLocked(acked_ts);
+}
+
+// Reconnect-replay (§5): everything logged past the receiver's durable
+// watermark goes out again, marked replayed so downstream dedup drops what
+// actually arrived the first time.
+Status RemoteChannel::ReplayLocked(uint64_t acked_ts) {
   std::vector<runtime::DataItem> pending =
-      log_->ItemsAfter(kRemoteDest, ack.acked_ts);
+      log_->ItemsAfter(kRemoteDest, acked_ts);
   for (size_t i = 0; i < pending.size(); i += kReplayBatch) {
     std::vector<runtime::DataItem> batch;
     for (size_t j = i; j < std::min(pending.size(), i + kReplayBatch); ++j) {
@@ -105,6 +153,9 @@ Status RemoteChannel::EnsureConnectedLocked() {
   if (closed_.load(std::memory_order_acquire)) {
     return FailedPreconditionError("channel closed");
   }
+  if (stream_ != nullptr && !stream_->broken()) {
+    return Status::Ok();
+  }
   if (conn_ != nullptr && !conn_->broken()) {
     return Status::Ok();
   }
@@ -112,11 +163,13 @@ Status RemoteChannel::EnsureConnectedLocked() {
   for (int attempt = 0; attempt < std::max(1, options_.reconnect_attempts);
        ++attempt) {
     conn_.reset();
+    stream_.reset();
     last = ConnectLocked();
     if (last.ok()) {
       return last;
     }
     conn_.reset();
+    stream_.reset();
     std::this_thread::sleep_for(
         std::chrono::milliseconds(options_.reconnect_backoff_ms));
   }
@@ -125,21 +178,24 @@ Status RemoteChannel::EnsureConnectedLocked() {
 
 bool RemoteChannel::SendBatchLocked(
     const std::vector<runtime::DataItem>& items) {
-  if (conn_ == nullptr || conn_->broken()) {
+  const bool via_stream = stream_ != nullptr;
+  if (via_stream ? stream_->broken()
+                 : (conn_ == nullptr || conn_->broken())) {
     return false;
   }
-  // Payload scratch is reused across batches (capacity warm-up as in the
-  // node-boundary serialisation path); the frame itself must be an owned
-  // vector for the send queue.
-  thread_local BinaryWriter payload;
-  payload.Clear();
+  // The payload is serialized once and handed to the scatter-gather send
+  // path by move — the header lives inline in the queue entry, so no frame
+  // buffer is ever assembled (the per-frame memcpy the old path paid).
+  BinaryWriter payload;
   payload.Write<uint32_t>(static_cast<uint32_t>(items.size()));
   for (const auto& item : items) {
     item.Serialize(payload);
   }
-  BinaryWriter frame(kFrameHeaderBytes + payload.size());
-  EncodeFrame(frame, FrameType::kData, payload.data(), payload.size());
-  return conn_->Send(std::move(frame).TakeBuffer());
+  if (via_stream) {
+    return stream_->Send(FrameType::kData, std::move(payload).TakeBuffer());
+  }
+  return conn_->SendFrame(FrameType::kData, 0,
+                          std::move(payload).TakeBuffer());
 }
 
 bool RemoteChannel::Deliver(runtime::DataItem item) {
@@ -201,6 +257,19 @@ void RemoteChannel::StartBackgroundReconnect() {
     std::lock_guard<std::mutex> lock(reconnect_mutex_);
     ++reconnect_inflight_;
   }
+  if (options_.mux != nullptr && options_.use_event_loop) {
+    // Mux repair must not ride the shared executor: reopening a stream
+    // replays the log, and replay blocks on flow-control credits the
+    // receiver grants through ITS executor — an executor task waiting on
+    // another executor's progress is how small pools deadlock. But waiting
+    // for the next Deliver is not enough either: a reader blocked on data
+    // that only this channel's replay can deliver generates no new sends,
+    // so the channel would stay broken (and its log unreplayed) forever.
+    // A dedicated thread per round — spawned only on connection failure —
+    // heals eagerly without touching any executor.
+    std::thread([this] { MuxBackgroundReconnect(); }).detach();
+    return;
+  }
   executor_->Submit([this] { BackgroundReconnect(0); });
 }
 
@@ -220,16 +289,20 @@ void RemoteChannel::BackgroundReconnect(int attempt) {
           std::chrono::milliseconds(options_.reconnect_backoff_ms));
     }
     std::lock_guard<std::mutex> lock(send_mutex_);
-    if (!closed_.load(std::memory_order_acquire) &&
-        (conn_ == nullptr || conn_->broken())) {
+    const bool healthy = (stream_ != nullptr && !stream_->broken()) ||
+                         (conn_ != nullptr && !conn_->broken());
+    if (!closed_.load(std::memory_order_acquire) && !healthy) {
       conn_.reset();
+      stream_.reset();
       Status s = ConnectLocked();
       if (s.ok()) {
         if (closed_.load(std::memory_order_acquire)) {
           conn_.reset();  // raced with Close: do not leave a live socket
+          stream_.reset();
         }
       } else {
         conn_.reset();
+        stream_.reset();
         done = attempt + 1 >= std::max(1, options_.reconnect_attempts);
       }
     }
@@ -246,11 +319,58 @@ void RemoteChannel::BackgroundReconnect(int attempt) {
   reconnect_cv_.notify_all();
 }
 
+// One bounded round of redial attempts, all on this (dedicated) thread.
+// Blocking here is fine — replay may stall on flow-control credits until the
+// receiver drains — and the round ends early the moment the channel is
+// healthy (the synchronous Deliver path may win the race; both serialize on
+// send_mutex_).
+void RemoteChannel::MuxBackgroundReconnect() {
+  for (int attempt = 0; attempt < std::max(1, options_.reconnect_attempts);
+       ++attempt) {
+    if (closed_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.reconnect_backoff_ms));
+    }
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (closed_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if ((stream_ != nullptr && !stream_->broken()) ||
+        (conn_ != nullptr && !conn_->broken())) {
+      break;
+    }
+    conn_.reset();
+    stream_.reset();
+    Status s = ConnectLocked();
+    if (s.ok()) {
+      if (closed_.load(std::memory_order_acquire)) {
+        conn_.reset();  // raced with Close: do not leave a live socket
+        stream_.reset();
+      }
+      break;
+    }
+    conn_.reset();
+    stream_.reset();
+  }
+  reconnecting_.store(false, std::memory_order_release);
+  // Notify under the lock: once Close observes zero it may destroy the
+  // channel, so the cv must not be touched after unlock.
+  std::lock_guard<std::mutex> lock(reconnect_mutex_);
+  --reconnect_inflight_;
+  reconnect_cv_.notify_all();
+}
+
 void RemoteChannel::Close() {
   closed_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(send_mutex_);
     conn_.reset();
+    // Dropping the stream handle detaches this channel; the shared per-peer
+    // socket stays up for its sibling channels (the pool owns it).
+    stream_.reset();
   }
   std::unique_lock<std::mutex> lock(reconnect_mutex_);
   reconnect_cv_.wait(lock, [this] { return reconnect_inflight_ == 0; });
@@ -258,7 +378,8 @@ void RemoteChannel::Close() {
 
 bool RemoteChannel::connected() const {
   std::lock_guard<std::mutex> lock(send_mutex_);
-  return conn_ != nullptr && !conn_->broken();
+  return (stream_ != nullptr && !stream_->broken()) ||
+         (conn_ != nullptr && !conn_->broken());
 }
 
 }  // namespace sdg::net

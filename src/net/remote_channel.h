@@ -45,6 +45,7 @@
 #include "src/net/connection.h"
 #include "src/net/event_loop.h"
 #include "src/net/frame.h"
+#include "src/net/mux.h"
 #include "src/runtime/delivery.h"
 #include "src/runtime/executor.h"
 #include "src/runtime/output_buffer.h"
@@ -72,6 +73,12 @@ struct RemoteChannelOptions {
   EventLoop* loop = nullptr;  // nullptr = EventLoop::Shared() when enabled
   // Runs the background reconnect task; nullptr = Executor::Shared().
   runtime::Executor* executor = nullptr;
+  // When set, the channel rides a logical stream of the pool's shared
+  // per-peer socket instead of dialling its own connection — connection
+  // count to a peer becomes O(1) regardless of (entry, partition) fan-out.
+  // If the peer does not speak mux (old binary), the dial falls back to a
+  // dedicated socket transparently. Caller keeps ownership of the pool.
+  MuxPool* mux = nullptr;
 };
 
 class RemoteChannel final : public runtime::DeliveryTarget {
@@ -109,8 +116,13 @@ class RemoteChannel final : public runtime::DeliveryTarget {
   bool connected() const;
 
  private:
-  // Dial + handshake + replay; called under send_mutex_.
+  // Dial + handshake + replay; called under send_mutex_. Tries the mux pool
+  // first (when configured), falling back to a dedicated socket.
   Status ConnectLocked();
+  // Opens a logical stream on the shared per-peer socket; under send_mutex_.
+  Status ConnectMuxLocked();
+  // Replays everything logged past `acked_ts`; under send_mutex_.
+  Status ReplayLocked(uint64_t acked_ts);
   // Ensures a live connection, redialing with backoff; under send_mutex_.
   Status EnsureConnectedLocked();
   // Frames and sends one batch; false on wire failure. Under send_mutex_.
@@ -119,6 +131,9 @@ class RemoteChannel final : public runtime::DeliveryTarget {
   // Submits one bounded background reconnect round (dedup'd: at most one in
   // flight). Called from the connection's on_error.
   void StartBackgroundReconnect();
+  // The mux round: all attempts on one dedicated thread (never the shared
+  // executor — see StartBackgroundReconnect for why).
+  void MuxBackgroundReconnect();
   // One attempt of that round; re-submits itself (as a fresh executor task,
   // releasing the worker in between) while the budget lasts.
   void BackgroundReconnect(int attempt);
@@ -128,7 +143,8 @@ class RemoteChannel final : public runtime::DeliveryTarget {
   runtime::Executor* const executor_;
 
   mutable std::mutex send_mutex_;
-  std::unique_ptr<Connection> conn_;
+  std::unique_ptr<Connection> conn_;  // dedicated-socket mode
+  std::shared_ptr<MuxStream> stream_;  // mux mode (exactly one of the two)
   mutable std::mutex ack_mutex_;
   uint64_t acked_watermark_ = 0;
 

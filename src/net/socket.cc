@@ -114,6 +114,25 @@ Result<size_t> Socket::TryWrite(const uint8_t* buf, size_t size) {
   }
 }
 
+Result<size_t> Socket::TryWritev(const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  for (;;) {
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return static_cast<size_t>(0);
+    }
+    return Errno("sendmsg");
+  }
+}
+
 void Socket::SetRecvTimeout(int millis) {
   timeval tv{};
   tv.tv_sec = millis / 1000;

@@ -10,6 +10,8 @@
 #ifndef SDG_NET_SOCKET_H_
 #define SDG_NET_SOCKET_H_
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -62,6 +64,10 @@ class Socket {
   // Non-blocking write: bytes accepted (possibly short), 0 when the kernel
   // buffer is full (would block). EINTR is retried; EPIPE surfaces as Status.
   Result<size_t> TryWrite(const uint8_t* buf, size_t size);
+
+  // Scatter-gather variant of TryWrite: one sendmsg over `iovcnt` segments.
+  // Same contract — bytes accepted (possibly short), 0 on would-block.
+  Result<size_t> TryWritev(const struct iovec* iov, int iovcnt);
 
   // Wakes any thread blocked in ReadSome/WriteAll with EOF/EPIPE.
   void ShutdownBoth();

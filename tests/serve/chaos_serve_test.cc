@@ -47,6 +47,7 @@ TEST(ChaosServeTest, SigkillServingWorkerMidStream) {
   h.backup_root = (dir.path() / "backup").string();
   h.monitor_interval_ms = 50;
   h.migrate_timeout_ms = 20000;
+  h.use_mux = harness::ChaosMuxEnabled();
   elastic::ElasticHead head(h);
   ASSERT_TRUE(head.Start().ok());
 
@@ -71,6 +72,7 @@ TEST(ChaosServeTest, SigkillServingWorkerMidStream) {
     spec.partitions = kPartitions;
     spec.ckpt_interval_ms = 100;
     spec.serve = true;
+    spec.mux = harness::ChaosMuxEnabled();
     return harness::SpawnElasticWorker(SDG_ELASTIC_WORKER_BIN, spec);
   };
   pid_t pid = spawn();
@@ -134,7 +136,16 @@ TEST(ChaosServeTest, SigkillServingWorkerMidStream) {
       // CONVERGE to the acked value; anything else is a lost write.
       int64_t probe = k / 2;
       bool converged = false;
-      for (int round = 0; round < 100 && !converged; ++round) {
+      // Time-bounded, not round-bounded: convergence waits out the respawned
+      // worker's restore+replay, whose duration is load-dependent — a round
+      // count silently shrinks the wall-clock budget as responses get faster.
+      // Generous because a parallel suite run on a small host can stretch
+      // the respawn+replay well past what the test costs alone; the ctest
+      // timeout (120 s) still bounds a true wedge.
+      auto converge_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(90);
+      while (!converged &&
+             std::chrono::steady_clock::now() < converge_deadline) {
         auto get = retry_until_ok(
             [&] { return client.Get(probe); }, "get", probe);
         if (get.ok() && get->value == ValueOf(probe)) {
